@@ -1,0 +1,67 @@
+//! Ablations of the design choices DESIGN.md calls out: each §5.2 EIP
+//! optimization toggled independently, and DMine's bisimulation prefilter
+//! vs pairwise automorphism grouping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpar_bench::Workloads;
+use gpar_eip::{identify, EipAlgorithm, EipConfig, MatchOpts};
+use gpar_mine::{DMine, DmineConfig, MineOpts};
+
+fn bench_eip_ablation(c: &mut Criterion) {
+    let sg = Workloads::pokec(500);
+    let sigma = Workloads::sigma(&sg, "music", 16, 2);
+    let base = MatchOpts::for_algorithm(EipAlgorithm::Match);
+
+    let variants: Vec<(&str, MatchOpts)> = vec![
+        ("full_match", base),
+        ("no_early_termination", MatchOpts { early_termination: false, ..base }),
+        ("no_sketch_guidance", MatchOpts { sketch_guidance: false, ..base }),
+        ("no_subpattern_sharing", MatchOpts { subpattern_sharing: false, ..base }),
+    ];
+    let mut group = c.benchmark_group("ablation/eip");
+    group.sample_size(10);
+    for (name, opts) in variants {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let cfg = EipConfig {
+                eta: 1.5,
+                d: Some(2),
+                opts: Some(opts),
+                ..EipConfig::new(EipAlgorithm::Match, 4)
+            };
+            b.iter(|| identify(&sg.graph, &sigma, &cfg).expect("valid").customers.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mine_ablation(c: &mut Criterion) {
+    let sg = Workloads::pokec(500);
+    let pred = sg.schema.predicate("music", 0).expect("family");
+    let all = MineOpts::all();
+    let variants: Vec<(&str, MineOpts)> = vec![
+        ("full_dmine", all),
+        ("no_incremental_div", MineOpts { incremental_div: false, ..all }),
+        ("no_reduction_rules", MineOpts { reduction_rules: false, ..all }),
+        ("no_bisim_prefilter", MineOpts { bisim_prefilter: false, ..all }),
+    ];
+    let mut group = c.benchmark_group("ablation/mine");
+    group.sample_size(10);
+    for (name, opts) in variants {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let cfg = DmineConfig {
+                k: 6,
+                sigma: 5,
+                d: 2,
+                workers: 4,
+                max_rounds: 2,
+                opts,
+                ..Default::default()
+            };
+            b.iter(|| DMine::new(cfg.clone()).run(&sg.graph, &pred).sigma_size)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eip_ablation, bench_mine_ablation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Metric computation benches: rule evaluation (support + BF confidence),
+//! predicate statistics, the diversification objective, and the Exp-2
+//! precision measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpar_bench::Workloads;
+use gpar_core::{diff, evaluate, precision, q_stats, DiversifyParams, EvalOptions};
+use gpar_datagen::{generate_rules, RuleGenConfig};
+use gpar_graph::{FxHashSet, NodeId};
+
+fn bench_metrics(c: &mut Criterion) {
+    let sg = Workloads::pokec(500);
+    let test = Workloads::pokec(500);
+    let pred = sg.schema.predicate("music", 0).expect("family");
+    let rules = generate_rules(
+        &sg.graph,
+        &pred,
+        &RuleGenConfig { count: 4, pattern_nodes: 4, pattern_edges: 5, max_radius: 2, seed: 5 },
+    );
+    let rule = rules.first().expect("rule").clone();
+    let opts = EvalOptions::default();
+
+    c.bench_function("metrics/q_stats", |b| {
+        b.iter(|| q_stats(&sg.graph, &pred).candidates())
+    });
+    c.bench_function("metrics/evaluate_rule", |b| {
+        b.iter(|| evaluate(&rule, &sg.graph, &opts).expect("eval").supp_r)
+    });
+    c.bench_function("metrics/precision_cross_graph", |b| {
+        b.iter(|| precision(&rule, &test.graph, &opts))
+    });
+
+    // Diversification primitives on realistic match-set sizes.
+    let s1: FxHashSet<NodeId> = (0..500).map(NodeId).collect();
+    let s2: FxHashSet<NodeId> = (250..750).map(NodeId).collect();
+    c.bench_function("metrics/diff_jaccard_500", |b| b.iter(|| diff(&s1, &s2)));
+    let params = DiversifyParams::new(0.5, 10, 100.0);
+    let items: Vec<(f64, &FxHashSet<NodeId>)> =
+        (0..10).map(|i| (0.1 * i as f64, if i % 2 == 0 { &s1 } else { &s2 })).collect();
+    c.bench_function("metrics/objective_f_k10", |b| {
+        b.iter(|| gpar_core::objective_f(&params, &items))
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion counterpart of Figures 5(h)/5(j): the four EIP algorithm
+//! variants and rule-set size sensitivity at a fixed small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpar_bench::Workloads;
+use gpar_eip::{identify, EipAlgorithm, EipConfig};
+
+fn bench_eip(c: &mut Criterion) {
+    let sg = Workloads::pokec(500);
+    let sigma = Workloads::sigma(&sg, "music", 16, 2);
+    assert!(!sigma.is_empty());
+
+    let mut group = c.benchmark_group("eip/algorithm");
+    group.sample_size(10);
+    for algo in [
+        EipAlgorithm::Match,
+        EipAlgorithm::Matchs,
+        EipAlgorithm::Matchc,
+        EipAlgorithm::DisVf2,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{algo:?}")), |b| {
+            let cfg = EipConfig { eta: 1.5, d: Some(2), ..EipConfig::new(algo, 4) };
+            b.iter(|| identify(&sg.graph, &sigma, &cfg).expect("valid").customers.len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eip/sigma_count");
+    group.sample_size(10);
+    for count in [4, 8, 16] {
+        group.bench_function(BenchmarkId::from_parameter(count), |b| {
+            let cfg =
+                EipConfig { eta: 1.5, d: Some(2), ..EipConfig::new(EipAlgorithm::Match, 4) };
+            let subset = &sigma[..count.min(sigma.len())];
+            b.iter(|| identify(&sg.graph, subset, &cfg).expect("valid").customers.len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eip/workers");
+    group.sample_size(10);
+    for workers in [1, 2, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(workers), |b| {
+            let cfg = EipConfig {
+                eta: 1.5,
+                d: Some(2),
+                ..EipConfig::new(EipAlgorithm::Match, workers)
+            };
+            b.iter(|| identify(&sg.graph, &sigma, &cfg).expect("valid").customers.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eip);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the subgraph-isomorphism engines: the per-candidate
+//! primitives every paper algorithm is built from. Early-termination vs
+//! full-enumeration is the Match-vs-Matchc lever (§5.2); engine kinds are
+//! the Match/Matchs/VF2 lever.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpar_bench::Workloads;
+use gpar_datagen::{generate_rules, RuleGenConfig};
+use gpar_iso::{Matcher, MatcherConfig};
+use gpar_partition::CenterSite;
+
+fn bench_engines(c: &mut Criterion) {
+    let sg = Workloads::pokec(600);
+    let pred = sg.schema.predicate("music", 0).expect("family");
+    let rules = generate_rules(
+        &sg.graph,
+        &pred,
+        &RuleGenConfig { count: 4, pattern_nodes: 5, pattern_edges: 7, max_radius: 2, seed: 3 },
+    );
+    let rule = rules.first().expect("rule generated").clone();
+    let positives: Vec<_> = {
+        let mut v: Vec<_> = gpar_core::q_stats(&sg.graph, &pred).positives.into_iter().collect();
+        v.sort_unstable();
+        v.truncate(32);
+        v
+    };
+    let sites: Vec<CenterSite> =
+        positives.iter().map(|&c| CenterSite::build(&sg.graph, c, 2)).collect();
+
+    let mut group = c.benchmark_group("iso/exists_anchored");
+    for (name, cfg) in [
+        ("vf2", MatcherConfig::vf2()),
+        ("degree_ordered", MatcherConfig::degree_ordered()),
+        ("guided", MatcherConfig::guided()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for s in &sites {
+                    let m = Matcher::new(s.graph(), cfg);
+                    if m.exists_anchored(rule.pr(), rule.pr().x(), s.center) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("iso/termination");
+    group.bench_function("early_termination", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for s in &sites {
+                let m = Matcher::new(s.graph(), MatcherConfig::vf2());
+                hits += u32::from(m.exists_anchored(rule.antecedent(), rule.antecedent().x(), s.center));
+            }
+            hits
+        })
+    });
+    group.bench_function("full_enumeration", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for s in &sites {
+                let m = Matcher::new(s.graph(), MatcherConfig::vf2());
+                total += m.count_anchored(rule.antecedent(), rule.antecedent().x(), s.center, None);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion counterpart of Figures 5(a)/5(e): DMine vs DMineno and
+//! worker-count scaling, at a fixed small scale. The `figures` binary runs
+//! the full parameter sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpar_bench::Workloads;
+use gpar_mine::{DMine, DmineConfig, MineOpts};
+
+fn bench_mine(c: &mut Criterion) {
+    let sg = Workloads::pokec(500);
+    let pred = sg.schema.predicate("music", 0).expect("family");
+
+    let mk = |workers: usize, opts: MineOpts| DmineConfig {
+        k: 6,
+        sigma: 5,
+        d: 2,
+        workers,
+        max_rounds: 2,
+        opts,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("mine/workers");
+    group.sample_size(10);
+    for workers in [1, 2, 4] {
+        group.bench_function(BenchmarkId::from_parameter(workers), |b| {
+            b.iter(|| DMine::new(mk(workers, MineOpts::all())).run(&sg.graph, &pred).sigma_size)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mine/optimizations");
+    group.sample_size(10);
+    group.bench_function("dmine", |b| {
+        b.iter(|| DMine::new(mk(4, MineOpts::all())).run(&sg.graph, &pred).sigma_size)
+    });
+    group.bench_function("dmine_no", |b| {
+        b.iter(|| DMine::new(mk(4, MineOpts::none())).run(&sg.graph, &pred).sigma_size)
+    });
+    group.bench_function("naive_discover_then_diversify", |b| {
+        b.iter(|| DMine::new(mk(4, MineOpts::naive())).run(&sg.graph, &pred).sigma_size)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mine);
+criterion_main!(benches);

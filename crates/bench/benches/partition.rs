@@ -1,0 +1,40 @@
+//! Partitioning benches: site construction cost and balanced-vs-hash
+//! assignment quality (the §6 skew report's code path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpar_bench::Workloads;
+use gpar_partition::{partition_by_centers, partition_sites, PartitionStats, PartitionStrategy};
+
+fn bench_partition(c: &mut Criterion) {
+    let sg = Workloads::pokec(800);
+    let centers: Vec<_> = sg.graph.nodes_with_label(sg.schema.user).collect();
+
+    let mut group = c.benchmark_group("partition/sites");
+    group.sample_size(10);
+    for strategy in [PartitionStrategy::Balanced, PartitionStrategy::Hash] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{strategy:?}")), |b| {
+            b.iter(|| partition_sites(&sg.graph, &centers, 2, 8, strategy).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("partition/fragments");
+    group.sample_size(10);
+    group.bench_function("balanced_d2_n8", |b| {
+        b.iter(|| partition_by_centers(&sg.graph, &centers, 2, 8, PartitionStrategy::Balanced).len())
+    });
+    group.finish();
+
+    // Report skew once (as a sanity side effect, not a timed bench).
+    for strategy in [PartitionStrategy::Balanced, PartitionStrategy::Hash] {
+        let parts = partition_sites(&sg.graph, &centers, 2, 8, strategy);
+        let stats = PartitionStats::from_values(
+            parts.iter().map(|p| p.iter().map(|s| s.load()).sum::<u64>() as f64),
+        )
+        .expect("non-empty");
+        eprintln!("# site-load skew {strategy:?}: {:.2}%", 100.0 * stats.skew());
+    }
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! Shared harness for regenerating the paper's evaluation (§6).
+//!
+//! The `figures` binary sweeps the same parameters as Figures 5(a)–(o) and
+//! the Exp-2 precision table; the Criterion benches under `benches/`
+//! micro-benchmark the same code paths at fixed small scales. Both build
+//! on the helpers here: deterministic workload construction, timed runs,
+//! and a table printer that shows the paper's reported numbers next to the
+//! measured ones.
+
+use gpar_core::{Gpar, Predicate};
+use gpar_datagen::{generate_rules, gplus_like, pokec_like, synthetic, RuleGenConfig,
+    SocialGraph, SyntheticConfig};
+use gpar_eip::{identify, EipAlgorithm, EipConfig};
+use gpar_graph::Graph;
+use gpar_mine::{DMine, DmineConfig, MineOpts, MineResult};
+use std::time::{Duration, Instant};
+
+/// One measured series: a label plus `(x, seconds)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (e.g. `DMine`, `disVF2`).
+    pub label: String,
+    /// `(x-axis value, seconds)` pairs.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, x: impl ToString, seconds: f64) {
+        self.points.push((x.to_string(), seconds));
+    }
+
+    /// Speedup between the first and last point (the paper reports e.g.
+    /// "3.2× faster when n grows from 4 to 20").
+    pub fn endpoint_speedup(&self) -> Option<f64> {
+        let first = self.points.first()?.1;
+        let last = self.points.last()?.1;
+        if last > 0.0 {
+            Some(first / last)
+        } else {
+            None
+        }
+    }
+}
+
+/// Prints a figure as a Markdown table with a paper-shape annotation.
+pub fn print_figure(id: &str, title: &str, paper_note: &str, x_name: &str, series: &[Series]) {
+    println!("\n### {id} — {title}");
+    println!("paper: {paper_note}\n");
+    print!("| {x_name} |");
+    for s in series {
+        print!(" {} (s) |", s.label);
+    }
+    println!();
+    print!("|---|");
+    for _ in series {
+        print!("---|");
+    }
+    println!();
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for r in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(r).map(|(x, _)| x.clone()))
+            .unwrap_or_default();
+        print!("| {x} |");
+        for s in series {
+            match s.points.get(r) {
+                Some((_, secs)) => print!(" {secs:.3} |"),
+                None => print!(" – |"),
+            }
+        }
+        println!();
+    }
+    for s in series {
+        if let Some(sp) = s.endpoint_speedup() {
+            println!("measured {}: first/last = {sp:.2}×", s.label);
+        }
+    }
+}
+
+/// Times a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Deterministic workloads at a common scale factor.
+pub struct Workloads;
+
+impl Workloads {
+    /// The Pokec stand-in.
+    pub fn pokec(users: usize) -> SocialGraph {
+        pokec_like(users, 0xD0C)
+    }
+
+    /// The Google+ stand-in.
+    pub fn gplus(users: usize) -> SocialGraph {
+        gplus_like(users, 0xD0D)
+    }
+
+    /// The paper's synthetic generator at `(|V|, |E|)`.
+    pub fn synth(nodes: usize, edges: usize) -> Graph {
+        synthetic(&SyntheticConfig::sized(nodes, edges, 0xD0E))
+    }
+
+    /// A rule set Σ of `count` satisfiable GPARs with `|R| = (5, 8)` for a
+    /// social graph's predicate (the paper's EIP workload).
+    pub fn sigma(sg: &SocialGraph, family: &str, count: usize, d: u32) -> Vec<Gpar> {
+        let pred = sg
+            .schema
+            .predicate(family, 0)
+            .expect("family exists in schema");
+        generate_rules(
+            &sg.graph,
+            &pred,
+            &RuleGenConfig {
+                count,
+                pattern_nodes: 5,
+                pattern_edges: 8,
+                max_radius: d,
+                seed: 0x51D,
+            },
+        )
+    }
+
+    /// A Σ for a synthetic graph: derive a predicate from the most common
+    /// node/edge labels, then generate rules around it.
+    pub fn synth_sigma(g: &Graph, count: usize, d: u32) -> (Predicate, Vec<Gpar>) {
+        let pred = synth_predicate(g);
+        let rules = generate_rules(
+            g,
+            &pred,
+            &RuleGenConfig {
+                count,
+                pattern_nodes: 4,
+                pattern_edges: 5,
+                max_radius: d,
+                seed: 0x51E,
+            },
+        );
+        (pred, rules)
+    }
+}
+
+/// Picks the most frequent `(src-label, edge-label, dst-label)` triple of a
+/// synthetic graph as the mining/EIP predicate.
+pub fn synth_predicate(g: &Graph) -> Predicate {
+    let top = g.frequent_edge_patterns(1);
+    let ((sl, el, dl), _) = top.first().expect("graph has edges");
+    Predicate::new(
+        gpar_pattern::NodeCond::Label(*sl),
+        *el,
+        gpar_pattern::NodeCond::Label(*dl),
+    )
+}
+
+/// Runs one EIP configuration, returning the **simulated n-processor
+/// time** (partitioning/n + slowest-worker critical path + sequential
+/// assembly). On multi-core hosts this tracks wall-clock; on the paper's
+/// cluster it is the definition of `T(|G|, |Σ|, n)`. See DESIGN.md
+/// ("Substitutions").
+pub fn run_eip(g: &Graph, sigma: &[Gpar], algo: EipAlgorithm, workers: usize, d: u32) -> f64 {
+    let cfg = EipConfig { eta: 1.5, d: Some(d), ..EipConfig::new(algo, workers) };
+    let res = identify(g, sigma, &cfg).expect("valid Σ");
+    res.simulated_parallel_time().as_secs_f64()
+}
+
+/// Runs one DMine configuration, returning `(simulated seconds, result)`
+/// (same simulation as [`run_eip`]).
+pub fn run_dmine(
+    g: &Graph,
+    pred: &Predicate,
+    workers: usize,
+    sigma: u64,
+    opts: MineOpts,
+) -> (f64, MineResult) {
+    let cfg = DmineConfig {
+        k: 10,
+        sigma,
+        d: 2,
+        lambda: 0.5,
+        workers,
+        max_rounds: 2,
+        opts,
+        ..Default::default()
+    };
+    let res = DMine::new(cfg).run(g, pred);
+    (res.simulated_parallel_time().as_secs_f64(), res)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_speedup() {
+        let mut s = Series::new("x");
+        s.push(4, 2.0);
+        s.push(20, 0.5);
+        assert_eq!(s.endpoint_speedup(), Some(4.0));
+    }
+
+    #[test]
+    fn workloads_build() {
+        let sg = Workloads::pokec(300);
+        assert!(sg.graph.node_count() > 300);
+        let g = Workloads::synth(500, 1000);
+        let pred = synth_predicate(&g);
+        let stats = gpar_core::q_stats(&g, &pred);
+        assert!(stats.candidates() > 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! Rule evaluation and the revised-Bayes-Factor confidence (§3).
+
+use crate::gpar::{Gpar, GparError};
+use crate::support::{q_stats, QStats};
+use gpar_graph::{FxHashSet, Graph, NodeId};
+use gpar_iso::{Matcher, MatcherConfig};
+
+/// The support counts entering the confidence formula.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfStats {
+    /// `supp(R, G) = ‖P_R(x, G)‖`.
+    pub supp_r: u64,
+    /// `supp(Q, G) = ‖Q(x, G)‖` (the antecedent alone).
+    pub supp_q_ante: u64,
+    /// `supp(q, G)` — positives of the predicate.
+    pub supp_q: u64,
+    /// `supp(q̄, G)` — negatives under the LCWA.
+    pub supp_qbar: u64,
+    /// `supp(Qq̄, G)` — negatives that also match the antecedent.
+    pub supp_q_qbar: u64,
+}
+
+/// The confidence of a GPAR, distinguishing the paper's two trivial cases
+/// (§3 Remark).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Confidence {
+    /// The ordinary finite Bayes-Factor value.
+    Value(f64),
+    /// `supp(Qq̄, G) = 0`: the rule holds logically on all of `G`
+    /// (`conf = ∞`).
+    LogicalRule,
+    /// `supp(q, G) = 0`: `q(x, y)` names no user in `G`; the rule should
+    /// be discarded as uninteresting.
+    Uninteresting,
+}
+
+impl Confidence {
+    /// The numeric value, if the confidence is an ordinary finite number.
+    pub fn numeric(self) -> Option<f64> {
+        match self {
+            Confidence::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A total order-friendly value for ranking: trivial logical rules map
+    /// to `+∞` and uninteresting ones to `0`, mirroring how DMine treats
+    /// them before filtering.
+    pub fn ranking_value(self) -> f64 {
+        match self {
+            Confidence::Value(v) => v,
+            Confidence::LogicalRule => f64::INFINITY,
+            Confidence::Uninteresting => 0.0,
+        }
+    }
+
+    /// Whether the confidence clears a threshold `η`.
+    pub fn at_least(self, eta: f64) -> bool {
+        match self {
+            Confidence::Value(v) => v >= eta,
+            Confidence::LogicalRule => true,
+            Confidence::Uninteresting => false,
+        }
+    }
+}
+
+impl ConfStats {
+    /// The BF-based confidence
+    /// `supp(R,G)·supp(q̄,G) / (supp(Qq̄,G)·supp(q,G))`.
+    pub fn conf(&self) -> Confidence {
+        if self.supp_q == 0 {
+            return Confidence::Uninteresting;
+        }
+        if self.supp_q_qbar == 0 {
+            return Confidence::LogicalRule;
+        }
+        Confidence::Value(
+            (self.supp_r as f64 * self.supp_qbar as f64)
+                / (self.supp_q_qbar as f64 * self.supp_q as f64),
+        )
+    }
+
+    /// The conventional confidence `supp(R,G)/supp(Q,G)`, shown in
+    /// Example 6 to conflate "unknown" with "negative".
+    pub fn conventional(&self) -> f64 {
+        if self.supp_q_ante == 0 {
+            0.0
+        } else {
+            self.supp_r as f64 / self.supp_q_ante as f64
+        }
+    }
+
+    /// The PCA confidence `supp(R,G)/supp(Qq̄,G)` (Galárraga et al. [17],
+    /// compared in Exp-2). Returns `+∞` when `supp(Qq̄) = 0`.
+    pub fn pca(&self) -> f64 {
+        if self.supp_q_qbar == 0 {
+            f64::INFINITY
+        } else {
+            self.supp_r as f64 / self.supp_q_qbar as f64
+        }
+    }
+
+    /// The normalization constant `N = supp(q,G)·supp(q̄,G)` of the
+    /// diversification objective (§4.1).
+    pub fn normalization(&self) -> f64 {
+        (self.supp_q as f64) * (self.supp_qbar as f64)
+    }
+}
+
+/// Options controlling rule evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Which isomorphism engine to use.
+    pub engine: MatcherConfig,
+    /// Evaluate membership by full enumeration per candidate rather than
+    /// stopping at the first witness (the `disVF2` cost model).
+    pub full_enumeration: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self { engine: MatcherConfig::vf2(), full_enumeration: false }
+    }
+}
+
+/// The complete evaluation of one GPAR on one graph.
+#[derive(Debug, Clone)]
+pub struct RuleEvaluation {
+    /// `P_R(x, G)` — matches of the whole rule pattern.
+    pub pr_matches: FxHashSet<NodeId>,
+    /// `Q(x, G)` — matches of the antecedent (the potential customers).
+    pub q_matches: FxHashSet<NodeId>,
+    /// `supp(R, G)`.
+    pub supp_r: u64,
+    /// `supp(Q, G)`.
+    pub supp_q_ante: u64,
+    /// `supp(q, G)`.
+    pub supp_q: u64,
+    /// `supp(q̄, G)`.
+    pub supp_qbar: u64,
+    /// `supp(Qq̄, G)`.
+    pub supp_q_qbar: u64,
+    /// The BF-based confidence.
+    pub confidence: Confidence,
+}
+
+impl RuleEvaluation {
+    /// The raw counts as a [`ConfStats`].
+    pub fn stats(&self) -> ConfStats {
+        ConfStats {
+            supp_r: self.supp_r,
+            supp_q_ante: self.supp_q_ante,
+            supp_q: self.supp_q,
+            supp_qbar: self.supp_qbar,
+            supp_q_qbar: self.supp_q_qbar,
+        }
+    }
+}
+
+/// Evaluates a GPAR on `g`: computes `Q(x,G)`, `P_R(x,G)`, the predicate
+/// statistics and the confidence, exactly as Example 5/8 does by hand.
+///
+/// Exploits `Q ⊑ P_R` (with `x` pinned): any `P_R`-match of `x` is also a
+/// `Q`-match, so each candidate needs at most two anchored searches.
+pub fn evaluate(rule: &Gpar, g: &Graph, opts: &EvalOptions) -> Result<RuleEvaluation, GparError> {
+    let qs = q_stats(g, rule.predicate());
+    Ok(evaluate_with_qstats(rule, g, &qs, opts))
+}
+
+/// As [`evaluate`], reusing precomputed predicate statistics (fragments
+/// compute them once per predicate across many rules).
+pub fn evaluate_with_qstats(
+    rule: &Gpar,
+    g: &Graph,
+    qs: &QStats,
+    opts: &EvalOptions,
+) -> RuleEvaluation {
+    let m = Matcher::new(g, opts.engine);
+    let pr = rule.pr();
+    let q = rule.antecedent();
+    let x = q.x();
+    let mut pr_matches = FxHashSet::default();
+    let mut q_matches = FxHashSet::default();
+    for v in m.candidates(q, x) {
+        let in_pr = if opts.full_enumeration {
+            m.count_anchored(pr, x, v, None) > 0
+        } else {
+            m.exists_anchored(pr, x, v)
+        };
+        if in_pr {
+            pr_matches.insert(v);
+            q_matches.insert(v);
+            continue;
+        }
+        let in_q = if opts.full_enumeration {
+            m.count_anchored(q, x, v, None) > 0
+        } else {
+            m.exists_anchored(q, x, v)
+        };
+        if in_q {
+            q_matches.insert(v);
+        }
+    }
+    let supp_q_qbar = q_matches.intersection(&qs.negatives).count() as u64;
+    let stats = ConfStats {
+        supp_r: pr_matches.len() as u64,
+        supp_q_ante: q_matches.len() as u64,
+        supp_q: qs.supp_q(),
+        supp_qbar: qs.supp_qbar(),
+        supp_q_qbar,
+    };
+    RuleEvaluation {
+        pr_matches,
+        q_matches,
+        supp_r: stats.supp_r,
+        supp_q_ante: stats.supp_q_ante,
+        supp_q: stats.supp_q,
+        supp_qbar: stats.supp_qbar,
+        supp_q_qbar: stats.supp_q_qbar,
+        confidence: stats.conf(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_pattern::{NodeCond, PatternBuilder};
+
+    /// Example 6/7: BF confidence is 1 while conventional is 1/3.
+    #[test]
+    fn example_7_bf_confidence_ignores_unknowns() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let ecuador = vocab.intern("ecuador");
+        let shakira = vocab.intern("shakira_album");
+        let mj = vocab.intern("mj_album");
+        let like = vocab.intern("like");
+        let live_in = vocab.intern("live_in");
+        let mut b = GraphBuilder::new(vocab.clone());
+        let ec = b.add_node(ecuador);
+        let v1 = b.add_node(cust);
+        let v2 = b.add_node(cust);
+        let v3 = b.add_node(cust);
+        for v in [v1, v2, v3] {
+            b.add_edge(v, ec, live_in);
+        }
+        let sa = b.add_node(shakira);
+        let ma = b.add_node(mj);
+        b.add_edge(v1, sa, like);
+        b.add_edge(v2, ma, like);
+        let g = b.build();
+
+        // Antecedent: x lives in Ecuador; consequent: likes Shakira album.
+        // (A simplification of Q2 keeping the Example 6 counting.)
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let e = pb.node(ecuador);
+        let y = pb.node(shakira);
+        pb.edge(x, e, live_in);
+        let q = pb.designate(x, y).build().unwrap();
+        let rule = Gpar::new(q, like).unwrap();
+
+        let eval = evaluate(&rule, &g, &EvalOptions::default()).unwrap();
+        assert_eq!(eval.supp_r, 1); // v1
+        assert_eq!(eval.supp_q, 1); // positives: v1
+        assert_eq!(eval.supp_qbar, 1); // v2
+        assert_eq!(eval.supp_q_qbar, 1); // v2 matches the antecedent
+        assert_eq!(eval.confidence, Confidence::Value(1.0));
+        assert!((eval.stats().conventional() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_cases_are_flagged() {
+        let s = ConfStats { supp_r: 2, supp_q_ante: 2, supp_q: 0, supp_qbar: 0, supp_q_qbar: 0 };
+        assert_eq!(s.conf(), Confidence::Uninteresting);
+        let s = ConfStats { supp_r: 2, supp_q_ante: 2, supp_q: 3, supp_qbar: 1, supp_q_qbar: 0 };
+        assert_eq!(s.conf(), Confidence::LogicalRule);
+        assert!(Confidence::LogicalRule.at_least(100.0));
+        assert!(!Confidence::Uninteresting.at_least(0.1));
+        assert_eq!(Confidence::Value(2.0).numeric(), Some(2.0));
+        assert_eq!(Confidence::LogicalRule.numeric(), None);
+        assert_eq!(Confidence::LogicalRule.ranking_value(), f64::INFINITY);
+    }
+
+    #[test]
+    fn pca_and_conventional_metrics() {
+        let s = ConfStats { supp_r: 3, supp_q_ante: 4, supp_q: 5, supp_qbar: 1, supp_q_qbar: 1 };
+        assert!((s.conf().numeric().unwrap() - 0.6).abs() < 1e-12);
+        assert!((s.pca() - 3.0).abs() < 1e-12);
+        assert!((s.conventional() - 0.75).abs() < 1e-12);
+        assert!((s.normalization() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_matches_are_a_subset_of_q_matches_and_positives() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let friend = vocab.intern("friend");
+        let visit = vocab.intern("visit");
+        let mut b = GraphBuilder::new(vocab.clone());
+        let c1 = b.add_node(cust);
+        let c2 = b.add_node(cust);
+        let r = b.add_node(rest);
+        b.add_edge(c1, c2, friend);
+        b.add_edge(c2, c1, friend);
+        b.add_edge(c2, r, visit);
+        b.add_edge(c1, r, visit);
+        let g = b.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let x2 = pb.node(cust);
+        let y = pb.node(rest);
+        pb.edge(x, x2, friend);
+        pb.edge(x2, y, visit);
+        let q = pb.designate(x, y).build().unwrap();
+        let rule = Gpar::new(q, visit).unwrap();
+        let eval = evaluate(&rule, &g, &EvalOptions::default()).unwrap();
+        assert!(eval.pr_matches.is_subset(&eval.q_matches));
+        let qs = q_stats(&g, rule.predicate());
+        assert!(eval.pr_matches.is_subset(&qs.positives));
+        assert_eq!(eval.supp_r, 2);
+    }
+
+    #[test]
+    fn full_enumeration_option_gives_identical_results() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let visit = vocab.intern("visit");
+        let mut b = GraphBuilder::new(vocab.clone());
+        for _ in 0..3 {
+            let c = b.add_node(cust);
+            let r1 = b.add_node(rest);
+            let r2 = b.add_node(rest);
+            b.add_edge(c, r1, like);
+            b.add_edge(c, r2, like);
+            b.add_edge(c, r1, visit);
+        }
+        let g = b.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(rest);
+        let r2 = pb.node(rest);
+        pb.edge(x, y, like);
+        pb.edge(x, r2, like);
+        let q = pb.designate(x, y).build().unwrap();
+        let rule = Gpar::new(q, visit).unwrap();
+        let fast = evaluate(&rule, &g, &EvalOptions::default()).unwrap();
+        let slow = evaluate(
+            &rule,
+            &g,
+            &EvalOptions { full_enumeration: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(fast.pr_matches, slow.pr_matches);
+        assert_eq!(fast.q_matches, slow.q_matches);
+        assert_eq!(fast.confidence, slow.confidence);
+    }
+
+    #[test]
+    fn predicate_with_value_binding_y() {
+        // R4-style rule: y = fake is a value binding; x is an account.
+        let vocab = Vocab::new();
+        let acct = vocab.intern("acct");
+        let fake = vocab.intern("fake");
+        let blog = vocab.intern("blog");
+        let is_a = vocab.intern("is_a");
+        let likes = vocab.intern("like");
+        let mut b = GraphBuilder::new(vocab.clone());
+        let fake_node = b.add_node(fake);
+        let a1 = b.add_node(acct);
+        let a2 = b.add_node(acct);
+        let p1 = b.add_node(blog);
+        b.add_edge(a1, p1, likes);
+        b.add_edge(a2, p1, likes);
+        b.add_edge(a1, fake_node, is_a);
+        let g = b.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(acct);
+        let y = pb.node(fake);
+        let pblog = pb.node(blog);
+        pb.edge(x, pblog, likes);
+        let q = pb.designate(x, y).build().unwrap();
+        let rule = Gpar::new(q, is_a).unwrap();
+        let eval = evaluate(&rule, &g, &EvalOptions::default()).unwrap();
+        assert_eq!(eval.supp_r, 1); // a1 is confirmed fake
+        assert_eq!(eval.supp_q_ante, 2); // both accounts like the blog
+        assert_eq!(rule.predicate().y_cond, NodeCond::Label(fake));
+    }
+}

@@ -1,0 +1,159 @@
+//! Diversification: `diff`, the objective `F`, and the pair score `F'`
+//! (§4.1).
+
+use gpar_graph::{FxHashSet, NodeId};
+
+/// The difference between two GPARs, measured as the Jaccard *distance* of
+/// their `P_R(x, G)` match sets (social groups):
+///
+/// ```text
+/// diff(R1, R2) = 1 − |S1 ∩ S2| / |S1 ∪ S2|
+/// ```
+///
+/// Two rules covering identical groups have `diff = 0`; disjoint groups
+/// give `diff = 1`. Two empty sets are identical, so their distance is 0.
+pub fn diff(s1: &FxHashSet<NodeId>, s2: &FxHashSet<NodeId>) -> f64 {
+    let inter = s1.intersection(s2).count();
+    let union = s1.len() + s2.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        1.0 - inter as f64 / union as f64
+    }
+}
+
+/// Parameters of the max-sum diversification objective.
+#[derive(Debug, Clone, Copy)]
+pub struct DiversifyParams {
+    /// User-controlled balance `λ ∈ [0, 1]` between interestingness
+    /// (`λ = 0`) and diversity (`λ = 1`).
+    pub lambda: f64,
+    /// The number of rules `k` to select.
+    pub k: usize,
+    /// The confidence normalization `N = supp(q,G) · supp(q̄,G)` — a
+    /// constant for a fixed predicate.
+    pub n: f64,
+}
+
+impl DiversifyParams {
+    /// Creates parameters; `n` is clamped away from 0 so degenerate
+    /// predicates don't poison the objective with divisions by zero.
+    pub fn new(lambda: f64, k: usize, n: f64) -> Self {
+        Self { lambda, k: k.max(2), n: if n > 0.0 { n } else { 1.0 } }
+    }
+}
+
+/// The objective
+/// `F(L_k) = (1−λ)/N · Σ conf(R_i) + 2λ/(k−1) · Σ_{i<j} diff(R_i, R_j)`
+/// over a candidate result set given as `(confidence, match set)` pairs.
+pub fn objective_f(params: &DiversifyParams, items: &[(f64, &FxHashSet<NodeId>)]) -> f64 {
+    let k = params.k.max(2) as f64;
+    let mut conf_sum = 0.0;
+    for (c, _) in items {
+        conf_sum += c;
+    }
+    let mut diff_sum = 0.0;
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            diff_sum += diff(items[i].1, items[j].1);
+        }
+    }
+    (1.0 - params.lambda) * conf_sum / params.n + 2.0 * params.lambda / (k - 1.0) * diff_sum
+}
+
+/// The incremental pair score used by `incDiv` (§4.2):
+///
+/// ```text
+/// F'(R, R') = (1−λ)/(N(k−1)) · (conf(R) + conf(R'))
+///           + 2λ/(k−1) · diff(R, R')
+/// ```
+///
+/// Summing `F'` over the `⌈k/2⌉` disjoint pairs of the priority queue
+/// approximates `F` (the reduction to max-sum dispersion of Theorem 2).
+pub fn pair_score(
+    params: &DiversifyParams,
+    conf1: f64,
+    conf2: f64,
+    set1: &FxHashSet<NodeId>,
+    set2: &FxHashSet<NodeId>,
+) -> f64 {
+    let k = params.k.max(2) as f64;
+    (1.0 - params.lambda) / (params.n * (k - 1.0)) * (conf1 + conf2)
+        + 2.0 * params.lambda / (k - 1.0) * diff(set1, set2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> FxHashSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn diff_bounds_and_identity() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[4, 5]);
+        let c = set(&[2, 3, 4]);
+        assert_eq!(diff(&a, &a), 0.0);
+        assert_eq!(diff(&a, &b), 1.0);
+        let d = diff(&a, &c);
+        assert!(d > 0.0 && d < 1.0);
+        assert_eq!(diff(&set(&[]), &set(&[])), 0.0);
+        // Symmetry.
+        assert_eq!(diff(&a, &c), diff(&c, &a));
+    }
+
+    /// Example 8: top-2 over {R1, R7, R8} with λ = 0.5.
+    #[test]
+    fn example_8_objective_values() {
+        // R1 and R7 share {cust1,cust2,cust3}; R8 = {cust6};
+        // conf(R1)=conf(R7)=0.6, conf(R8)=0.2; supp(q)=5, supp(q̄)=1 → N=5.
+        let r1 = set(&[1, 2, 3]);
+        let r7 = set(&[1, 2, 3]);
+        let r8 = set(&[6]);
+        assert_eq!(diff(&r1, &r7), 0.0);
+        assert_eq!(diff(&r1, &r8), 1.0);
+        assert_eq!(diff(&r7, &r8), 1.0);
+        let params = DiversifyParams::new(0.5, 2, 5.0);
+        let f_78 = objective_f(&params, &[(0.6, &r7), (0.2, &r8)]);
+        assert!((f_78 - 1.08).abs() < 1e-9, "paper computes F(R7,R8) = 1.08, got {f_78}");
+        let f_17 = objective_f(&params, &[(0.6, &r1), (0.6, &r7)]);
+        assert!(f_78 > f_17, "diversified pair must win over redundant pair");
+    }
+
+    /// Example 9 computes F'(R5,R6) = 0.92 and F'(R7,R8) = 1.08.
+    #[test]
+    fn example_9_pair_scores() {
+        let params = DiversifyParams::new(0.5, 2, 5.0);
+        // R5(x,G1) = cust1..4, R6(x,G1) = {cust4, cust6}: diff = 0.8.
+        let r5 = set(&[1, 2, 3, 4]);
+        let r6 = set(&[4, 6]);
+        let f56 = pair_score(&params, 0.8, 0.4, &r5, &r6);
+        assert!((f56 - 0.92).abs() < 1e-9, "got {f56}");
+        let r7 = set(&[1, 2, 3]);
+        let r8 = set(&[6]);
+        let f78 = pair_score(&params, 0.6, 0.2, &r7, &r8);
+        assert!((f78 - 1.08).abs() < 1e-9, "got {f78}");
+        assert!(f78 > f56);
+    }
+
+    #[test]
+    fn lambda_extremes() {
+        let a = set(&[1]);
+        let b = set(&[2]);
+        let conf_only = DiversifyParams::new(0.0, 2, 1.0);
+        let div_only = DiversifyParams::new(1.0, 2, 1.0);
+        // λ=0: objective is pure (normalized) confidence sum.
+        assert_eq!(objective_f(&conf_only, &[(0.5, &a), (0.25, &b)]), 0.75);
+        // λ=1: objective is pure diversity.
+        assert_eq!(objective_f(&div_only, &[(0.5, &a), (0.25, &b)]), 2.0);
+    }
+
+    #[test]
+    fn degenerate_params_are_guarded() {
+        let p = DiversifyParams::new(0.5, 0, 0.0);
+        assert_eq!(p.k, 2);
+        assert_eq!(p.n, 1.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The GPAR data type (§2.2).
+
+use gpar_graph::{Label, Vocab};
+use gpar_pattern::{EdgeCond, NodeCond, PEdge, PNodeId, Pattern};
+use std::fmt;
+use std::sync::Arc;
+
+/// The consequent predicate `q(x, y)`: an edge labeled `q` from a node
+/// satisfying `x_cond` to a node satisfying `y_cond`. The same search
+/// conditions as in `Q` are imposed on `x` and `y` (§2.2), including value
+/// bindings such as `y = fake` in rule `R4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Predicate {
+    /// Condition on the subject `x` (the potential customer).
+    pub x_cond: NodeCond,
+    /// The consequent edge label `q`.
+    pub label: Label,
+    /// Condition on the object `y`.
+    pub y_cond: NodeCond,
+}
+
+impl Predicate {
+    /// Creates a predicate `q(x, y)`.
+    pub fn new(x_cond: NodeCond, label: Label, y_cond: NodeCond) -> Self {
+        Self { x_cond, label, y_cond }
+    }
+
+    /// The two-node pattern `P_q`: `x -q-> y`.
+    pub fn pattern(&self, vocab: Arc<Vocab>) -> Pattern {
+        Pattern::from_parts(
+            vec![self.x_cond, self.y_cond],
+            vec![PEdge { src: PNodeId(0), dst: PNodeId(1), cond: EdgeCond::Label(self.label) }],
+            PNodeId(0),
+            Some(PNodeId(1)),
+            vocab,
+        )
+        .expect("two-node predicate pattern is always valid")
+    }
+}
+
+/// Errors raised constructing a GPAR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GparError {
+    /// The antecedent must designate the consequent's object node `y`.
+    NoDesignatedY,
+    /// `q(x, y)` must not already appear in the antecedent (§2.2 (3)).
+    ConsequentInAntecedent,
+    /// The full pattern `P_R` must be connected (§2.2 (1)).
+    NotConnected,
+    /// The antecedent must have at least one edge (§2.2 (2)).
+    EmptyAntecedent,
+    /// Underlying pattern construction failed.
+    Pattern(gpar_pattern::PatternError),
+}
+
+impl fmt::Display for GparError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GparError::NoDesignatedY => write!(f, "antecedent does not designate node y"),
+            GparError::ConsequentInAntecedent => {
+                write!(f, "consequent edge q(x, y) already appears in the antecedent")
+            }
+            GparError::NotConnected => write!(f, "pattern P_R is not connected"),
+            GparError::EmptyAntecedent => write!(f, "antecedent Q has no edges"),
+            GparError::Pattern(e) => write!(f, "invalid pattern: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GparError {}
+
+impl From<gpar_pattern::PatternError> for GparError {
+    fn from(e: gpar_pattern::PatternError) -> Self {
+        GparError::Pattern(e)
+    }
+}
+
+/// A graph-pattern association rule `R(x, y): Q(x, y) ⇒ q(x, y)`.
+///
+/// The rule is represented, as in the paper, by the pattern `P_R` that
+/// extends `Q` with the (dotted) consequent edge; both `Q` and `P_R` are
+/// stored so matching never rebuilds them.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Gpar {
+    antecedent: Pattern,
+    pr: Pattern,
+    predicate: Predicate,
+}
+
+impl Gpar {
+    /// Builds a *nontrivial* GPAR from an antecedent `Q` (which must
+    /// designate both `x` and `y`) and a consequent edge label `q`,
+    /// enforcing the paper's §2.2 conditions: `P_R` connected, `Q`
+    /// nonempty, and `q(x, y)` absent from `Q`.
+    pub fn new(antecedent: Pattern, q: Label) -> Result<Self, GparError> {
+        if antecedent.edge_count() == 0 {
+            return Err(GparError::EmptyAntecedent);
+        }
+        Self::new_relaxed(antecedent, q)
+    }
+
+    /// As [`Gpar::new`] but allowing an empty antecedent. Used by the miner
+    /// for the round-0 seed `q(x, y)`; such seeds report
+    /// [`Gpar::is_nontrivial`] `== false` and are never emitted as results.
+    #[doc(hidden)]
+    pub fn new_relaxed(antecedent: Pattern, q: Label) -> Result<Self, GparError> {
+        let x = antecedent.x();
+        let y = antecedent.y().ok_or(GparError::NoDesignatedY)?;
+        if antecedent.has_edge(x, y, EdgeCond::Label(q)) {
+            return Err(GparError::ConsequentInAntecedent);
+        }
+        let pr = antecedent.with_edge(x, y, EdgeCond::Label(q))?;
+        if !pr.is_connected() {
+            return Err(GparError::NotConnected);
+        }
+        let predicate = Predicate {
+            x_cond: antecedent.cond(x),
+            label: q,
+            y_cond: antecedent.cond(y),
+        };
+        Ok(Self { antecedent, pr, predicate })
+    }
+
+    /// The round-0 mining seed: an antecedent with just the two designated
+    /// nodes and no edges, i.e. the bare predicate `q(x, y)`.
+    pub fn seed(pred: &Predicate, vocab: Arc<Vocab>) -> Self {
+        let antecedent = Pattern::from_parts(
+            vec![pred.x_cond, pred.y_cond],
+            vec![],
+            PNodeId(0),
+            Some(PNodeId(1)),
+            vocab,
+        )
+        .expect("seed pattern is always valid");
+        Self::new_relaxed(antecedent, pred.label).expect("seed GPAR is always valid")
+    }
+
+    /// The antecedent `Q(x, y)`.
+    #[inline]
+    pub fn antecedent(&self) -> &Pattern {
+        &self.antecedent
+    }
+
+    /// The full rule pattern `P_R = Q + q(x, y)`.
+    #[inline]
+    pub fn pr(&self) -> &Pattern {
+        &self.pr
+    }
+
+    /// The consequent predicate.
+    #[inline]
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// Whether the rule meets all of §2.2's nontriviality conditions.
+    pub fn is_nontrivial(&self) -> bool {
+        self.antecedent.edge_count() > 0
+    }
+
+    /// `r(P_R, x)` — the radius of the rule pattern at the designated node.
+    pub fn radius(&self) -> Option<u32> {
+        self.pr.radius()
+    }
+
+    /// `|R| = (|V_p|, |E_p|)` of the rule pattern, the paper's size measure
+    /// for GPARs (§6).
+    pub fn size(&self) -> (usize, usize) {
+        (self.pr.node_count(), self.pr.edge_count())
+    }
+
+    /// Whether two GPARs pertain to the same event `q(x, y)`.
+    pub fn same_predicate(&self, other: &Gpar) -> bool {
+        self.predicate == other.predicate
+    }
+}
+
+impl fmt::Display for Gpar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vocab = self.antecedent.vocab();
+        write!(
+            f,
+            "{} ⇒ {}({}, {})",
+            self.antecedent,
+            vocab.resolve(self.predicate.label),
+            self.antecedent.x(),
+            self.antecedent.y().expect("GPAR always designates y"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_pattern::PatternBuilder;
+
+    fn friend_visit_rule() -> (Gpar, Arc<Vocab>) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let friend = vocab.intern("friend");
+        let visit = vocab.intern("visit");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let x2 = b.node(cust);
+        let y = b.node(rest);
+        b.edge(x, x2, friend);
+        b.edge(x2, y, visit);
+        let q = b.designate(x, y).build().unwrap();
+        (Gpar::new(q, visit).unwrap(), vocab)
+    }
+
+    #[test]
+    fn pr_extends_q_with_consequent_edge() {
+        let (r, vocab) = friend_visit_rule();
+        let visit = vocab.get("visit").unwrap();
+        assert_eq!(r.antecedent().edge_count() + 1, r.pr().edge_count());
+        let x = r.pr().x();
+        let y = r.pr().y().unwrap();
+        assert!(r.pr().has_edge(x, y, EdgeCond::Label(visit)));
+        assert!(!r.antecedent().has_edge(x, y, EdgeCond::Label(visit)));
+        assert!(r.is_nontrivial());
+        // In P_R the consequent edge links x and y directly, so the radius
+        // at x is 1 even though Q alone reaches y in 2 hops.
+        assert_eq!(r.radius(), Some(1));
+        assert_eq!(r.antecedent().radius(), Some(2));
+        assert_eq!(r.size(), (3, 3));
+    }
+
+    #[test]
+    fn consequent_must_not_be_in_antecedent() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let visit = vocab.intern("visit");
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node(cust);
+        let y = b.node(rest);
+        b.edge(x, y, visit);
+        let q = b.designate(x, y).build().unwrap();
+        assert_eq!(Gpar::new(q, visit).unwrap_err(), GparError::ConsequentInAntecedent);
+    }
+
+    #[test]
+    fn empty_antecedent_rejected_by_strict_constructor() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let visit = vocab.intern("visit");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let y = b.node(rest);
+        let q = b.designate(x, y).build().unwrap();
+        assert_eq!(Gpar::new(q, visit).unwrap_err(), GparError::EmptyAntecedent);
+        // But the seed constructor builds it for mining.
+        let pred = Predicate::new(NodeCond::Label(cust), visit, NodeCond::Label(rest));
+        let seed = Gpar::seed(&pred, vocab);
+        assert!(!seed.is_nontrivial());
+        assert_eq!(seed.pr().edge_count(), 1);
+    }
+
+    #[test]
+    fn pr_must_be_connected() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let visit = vocab.intern("visit");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node(cust);
+        let y = b.node(rest);
+        let a = b.node(cust);
+        let c = b.node(cust);
+        b.edge(a, c, e); // component disconnected from {x, y}
+        let q = b.designate(x, y).build().unwrap();
+        assert_eq!(Gpar::new(q, visit).unwrap_err(), GparError::NotConnected);
+    }
+
+    #[test]
+    fn missing_y_is_an_error() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node(cust);
+        let a = b.node(cust);
+        b.edge(x, a, e);
+        let q = b.designate_x(x).build().unwrap();
+        assert_eq!(Gpar::new(q, e).unwrap_err(), GparError::NoDesignatedY);
+    }
+
+    #[test]
+    fn predicate_pattern_has_two_nodes_and_one_edge() {
+        let (r, vocab) = friend_visit_rule();
+        let pq = r.predicate().pattern(vocab);
+        assert_eq!(pq.node_count(), 2);
+        assert_eq!(pq.edge_count(), 1);
+        assert_eq!(pq.cond(pq.x()), r.predicate().x_cond);
+    }
+
+    #[test]
+    fn same_predicate_compares_conditions_and_label() {
+        let (r1, vocab) = friend_visit_rule();
+        let cust = vocab.get("cust").unwrap();
+        let rest = vocab.get("rest").unwrap();
+        let visit = vocab.get("visit").unwrap();
+        let like = vocab.intern("like");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let y = b.node(rest);
+        b.edge(x, y, like);
+        let q = b.designate(x, y).build().unwrap();
+        let r2 = Gpar::new(q, visit).unwrap();
+        assert!(r1.same_predicate(&r2));
+    }
+
+    #[test]
+    fn display_resolves_labels() {
+        let (r, _) = friend_visit_rule();
+        let s = r.to_string();
+        assert!(s.contains("visit"), "{s}");
+        assert!(s.contains('⇒'), "{s}");
+    }
+}

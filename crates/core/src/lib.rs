@@ -1,0 +1,34 @@
+//! # gpar-core
+//!
+//! Graph-pattern association rules (GPARs) with the support and confidence
+//! semantics of §2.2–§3 of *Fan et al., PVLDB 2015*.
+//!
+//! A GPAR `R(x, y): Q(x, y) ⇒ q(x, y)` pairs an antecedent graph pattern
+//! `Q` (with designated nodes `x`, `y`) with a consequent edge predicate
+//! `q(x, y)`. Its support is *topological*: the number of distinct matches
+//! of the designated node `x` (which is anti-monotonic under pattern
+//! subsumption, unlike raw match counts). Its confidence revises the Bayes
+//! Factor of association rules under the **local closed-world assumption**,
+//! so that nodes with *no* `q`-edge at all count as "unknown" rather than
+//! as counterexamples:
+//!
+//! ```text
+//! conf(R, G) = supp(R, G) · supp(q̄, G) / (supp(Qq̄, G) · supp(q, G))
+//! ```
+//!
+//! The crate also implements the diversification machinery of §4.1
+//! (`diff`, the max-sum objective `F`, the incremental pair score `F'`) and
+//! the alternative metrics compared in Exp-2 (PCA confidence, minimum-image
+//! based support / `Iconf`).
+
+pub mod confidence;
+pub mod diversity;
+pub mod gpar;
+pub mod metrics;
+pub mod support;
+
+pub use confidence::{evaluate, ConfStats, Confidence, EvalOptions, RuleEvaluation};
+pub use diversity::{diff, objective_f, pair_score, DiversifyParams};
+pub use gpar::{Gpar, GparError, Predicate};
+pub use metrics::{iconf, mni_support, pca_conf, precision};
+pub use support::{classify, pattern_support, q_stats, LcwaClass, QStats};

@@ -1,0 +1,224 @@
+//! Topological support and the LCWA trichotomy (§3).
+
+use crate::gpar::Predicate;
+use gpar_graph::{FxHashSet, Graph, NodeId};
+use gpar_iso::{Matcher, MatcherConfig};
+use gpar_pattern::{PNodeId, Pattern};
+
+/// The local closed-world classification of a candidate node `u` (one that
+/// satisfies the search condition of `x`) with respect to a predicate
+/// `q(x, y)` (§3):
+///
+/// * **Positive** — `u ∈ P_q(x, G)`: `u` has a `q`-edge to a node matching
+///   `y`'s condition.
+/// * **Negative** — `u` has at least one `q`-labeled out-edge, but none to
+///   a `y`-matching node: the graph *knows* about `q` at `u`, so the
+///   absence is a genuine counterexample.
+/// * **Unknown** — `u` has no `q`-labeled out-edge at all: the graph knows
+///   nothing about `q` at `u`, so `u` must not be counted against any rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LcwaClass {
+    /// `u ∈ P_q(x, G)`.
+    Positive,
+    /// Counted in `supp(q̄, G)`.
+    Negative,
+    /// Locally incomplete: no `q`-edge at `u`.
+    Unknown,
+}
+
+/// Classifies `u` under the LCWA; `None` if `u` does not satisfy `x`'s
+/// search condition.
+pub fn classify(g: &Graph, pred: &Predicate, u: NodeId) -> Option<LcwaClass> {
+    if !pred.x_cond.matches(g.node_label(u)) {
+        return None;
+    }
+    let edges = g.out_edges_labeled(u, pred.label);
+    if edges.is_empty() {
+        return Some(LcwaClass::Unknown);
+    }
+    if edges.iter().any(|e| pred.y_cond.matches(g.node_label(e.node))) {
+        Some(LcwaClass::Positive)
+    } else {
+        Some(LcwaClass::Negative)
+    }
+}
+
+/// Aggregated predicate statistics over a graph (or fragment). The paper
+/// computes these once per predicate ("supp(q, F_i) and supp(q̄, F_i) never
+/// change and hence are derived once for all").
+#[derive(Debug, Clone, Default)]
+pub struct QStats {
+    /// `P_q(x, G)` — the positives.
+    pub positives: FxHashSet<NodeId>,
+    /// The nodes counted by `supp(q̄, G)` — the negatives.
+    pub negatives: FxHashSet<NodeId>,
+    /// Number of "unknown" candidates (kept as a count only).
+    pub unknown: u64,
+}
+
+impl QStats {
+    /// `supp(q, G)`.
+    pub fn supp_q(&self) -> u64 {
+        self.positives.len() as u64
+    }
+
+    /// `supp(q̄, G)`.
+    pub fn supp_qbar(&self) -> u64 {
+        self.negatives.len() as u64
+    }
+
+    /// Total candidates satisfying `x`'s condition.
+    pub fn candidates(&self) -> u64 {
+        self.supp_q() + self.supp_qbar() + self.unknown
+    }
+}
+
+/// Computes [`QStats`] for `pred` over `g` by one scan of the candidate
+/// nodes.
+pub fn q_stats(g: &Graph, pred: &Predicate) -> QStats {
+    let mut stats = QStats::default();
+    for u in g.nodes() {
+        match classify(g, pred, u) {
+            Some(LcwaClass::Positive) => {
+                stats.positives.insert(u);
+            }
+            Some(LcwaClass::Negative) => {
+                stats.negatives.insert(u);
+            }
+            Some(LcwaClass::Unknown) => stats.unknown += 1,
+            None => {}
+        }
+    }
+    stats
+}
+
+/// `supp(Q, G) = ‖Q(x, G)‖` — the paper's anti-monotonic support measure:
+/// the number of distinct matches of the designated node (not of whole
+/// subgraphs).
+pub fn pattern_support(p: &Pattern, g: &Graph, cfg: MatcherConfig) -> u64 {
+    pattern_images(p, g, cfg).len() as u64
+}
+
+/// `Q(x, G)` as a set.
+pub fn pattern_images(p: &Pattern, g: &Graph, cfg: MatcherConfig) -> FxHashSet<NodeId> {
+    Matcher::new(g, cfg).images(p, p.x())
+}
+
+/// `Q(u, G)` for an arbitrary pattern node.
+pub fn pattern_images_of(
+    p: &Pattern,
+    g: &Graph,
+    u: PNodeId,
+    cfg: MatcherConfig,
+) -> FxHashSet<NodeId> {
+    Matcher::new(g, cfg).images(p, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_pattern::{NodeCond, PatternBuilder};
+
+    /// Example 6/7's setting: three Ecuadorians; v1 likes the Shakira
+    /// album, v2 likes only MJ's album, v3 has no `like` edge at all.
+    fn ecuador() -> (Graph, Predicate, Vec<NodeId>) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let shakira = vocab.intern("shakira_album");
+        let mj = vocab.intern("mj_album");
+        let like = vocab.intern("like");
+        let mut b = GraphBuilder::new(vocab);
+        let v1 = b.add_node(cust);
+        let v2 = b.add_node(cust);
+        let v3 = b.add_node(cust);
+        let sa = b.add_node(shakira);
+        let ma = b.add_node(mj);
+        b.add_edge(v1, sa, like);
+        b.add_edge(v2, ma, like);
+        let g = b.build();
+        let pred = Predicate::new(NodeCond::Label(cust), like, NodeCond::Label(shakira));
+        (g, pred, vec![v1, v2, v3])
+    }
+
+    #[test]
+    fn example_7_lcwa_trichotomy() {
+        let (g, pred, vs) = ecuador();
+        assert_eq!(classify(&g, &pred, vs[0]), Some(LcwaClass::Positive));
+        assert_eq!(classify(&g, &pred, vs[1]), Some(LcwaClass::Negative));
+        assert_eq!(classify(&g, &pred, vs[2]), Some(LcwaClass::Unknown));
+        let stats = q_stats(&g, &pred);
+        assert_eq!(stats.supp_q(), 1);
+        assert_eq!(stats.supp_qbar(), 1);
+        assert_eq!(stats.unknown, 1);
+        assert_eq!(stats.candidates(), 3);
+    }
+
+    #[test]
+    fn non_candidates_are_not_classified() {
+        let (g, pred, _) = ecuador();
+        // The album nodes do not satisfy x's condition.
+        let album = g.nodes().find(|&v| classify(&g, &pred, v).is_none());
+        assert!(album.is_some());
+    }
+
+    #[test]
+    fn support_counts_distinct_x_images_not_matches() {
+        // One cust liking 3 restaurants: ‖Q(G)‖ = 3 matches of the edge
+        // pattern, but supp = 1 distinct image of x.
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let mut b = GraphBuilder::new(vocab.clone());
+        let c = b.add_node(cust);
+        for _ in 0..3 {
+            let r = b.add_node(rest);
+            b.add_edge(c, r, like);
+        }
+        let g = b.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(rest);
+        pb.edge(x, y, like);
+        let p = pb.designate(x, y).build().unwrap();
+        assert_eq!(pattern_support(&p, &g, MatcherConfig::vf2()), 1);
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        assert_eq!(m.count_matches(&p, None), 3);
+    }
+
+    #[test]
+    fn support_is_anti_monotonic_on_paper_example() {
+        // §3's counterexample to match-count support: Q' = single cust
+        // node, Q = cust -like-> rest. Match-count grows, x-image support
+        // does not.
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let mut b = GraphBuilder::new(vocab.clone());
+        for _ in 0..2 {
+            let c = b.add_node(cust);
+            for _ in 0..3 {
+                let r = b.add_node(rest);
+                b.add_edge(c, r, like);
+            }
+        }
+        let g = b.build();
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node(cust);
+        let small = pb.designate_x(x).build().unwrap();
+        let mut pb = PatternBuilder::new(vocab);
+        let x2 = pb.node(cust);
+        let y2 = pb.node(rest);
+        pb.edge(x2, y2, like);
+        let big = pb.designate_x(x2).build().unwrap();
+        assert!(small.is_subsumed_by(&big));
+        let s_small = pattern_support(&small, &g, MatcherConfig::vf2());
+        let s_big = pattern_support(&big, &g, MatcherConfig::vf2());
+        assert!(s_small >= s_big);
+        // While raw match counts violate anti-monotonicity:
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        assert!(m.count_matches(&big, None) > m.count_matches(&small, None));
+    }
+}

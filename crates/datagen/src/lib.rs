@@ -1,0 +1,39 @@
+//! # gpar-datagen
+//!
+//! Deterministic (seeded) graph and workload generators standing in for the
+//! paper's datasets (§6 "Experimental setting"):
+//!
+//! * [`synthetic`] — the paper's synthetic generator: graphs controlled by
+//!   `|V|` and `|E|` with labels drawn from an alphabet of 100 labels;
+//! * [`pokec_like`] — a Pokec-shaped social network: one `user` type plus
+//!   ~268 attribute-value types (≈ the paper's "1.63M nodes of 269
+//!   different types"), 11 edge types (`follow`, `like_music`, `hobby`,
+//!   `live_in`, …), follow edges with power-law out-degree and community
+//!   structure, and *homophily correlations* so that association rules
+//!   genuinely exist to be mined;
+//! * [`gplus_like`] — a Google+-shaped graph: 5 node types and 5 edge
+//!   types;
+//! * [`plant`] — explicit GPAR planting with a controlled confidence rate,
+//!   used by the precision experiment (Exp-2);
+//! * [`generate_rules`] — the paper's "pattern generator": random GPARs of
+//!   controlled size `(|V_p|, |E_p|)` with labels drawn from the data,
+//!   guaranteed satisfiable (used to build the rule sets `Σ` for EIP).
+//!
+//! Substitution note (see DESIGN.md): the real Pokec/Google+ snapshots are
+//! not redistributable here; these generators reproduce the structural
+//! features the experiments depend on — label selectivity, degree skew,
+//! bounded d-neighborhoods and correlated attributes — at configurable
+//! scale. One deliberate divergence from raw social-network dumps: shared
+//! attribute *values* are materialized as multiple instance nodes with
+//! bounded degree (a fresh instance per ~48 users), keeping `G_d(v_x)`
+//! small, which is the property the paper's locality argument relies on.
+
+pub mod plant;
+pub mod rulegen;
+pub mod social;
+pub mod synthetic;
+
+pub use plant::{plant, PlantReport, PlantSpec};
+pub use rulegen::{generate_rules, RuleGenConfig};
+pub use social::{gplus_like, pokec_like, SocialGraph, SocialSchema};
+pub use synthetic::{synthetic, SyntheticConfig};

@@ -1,0 +1,189 @@
+//! Explicit GPAR planting with controlled confidence.
+//!
+//! The precision experiment (Exp-2) needs ground truth: rules that hold in
+//! the data with a *known* rate. [`plant`] embeds fresh instances of a
+//! rule's antecedent into a graph and adds the consequent edge on a
+//! controlled fraction of them; the rest become LCWA negatives (a `q`-edge
+//! to a decoy) or unknowns (no `q`-edge), so all three evidence classes are
+//! exercised.
+
+use gpar_core::Gpar;
+use gpar_graph::{Graph, GraphBuilder, NodeId};
+use gpar_pattern::{EdgeCond, NodeCond};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What to plant and how often the consequent should hold.
+#[derive(Debug, Clone)]
+pub struct PlantSpec {
+    /// Number of antecedent instances to embed.
+    pub instances: usize,
+    /// Fraction of instances that also get the consequent edge.
+    pub conf_rate: f64,
+    /// Of the instances *without* the consequent, the fraction that get a
+    /// decoy `q`-edge (making them LCWA negatives); the rest get no
+    /// `q`-edge (unknowns).
+    pub negative_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantSpec {
+    fn default() -> Self {
+        Self { instances: 50, conf_rate: 0.7, negative_rate: 0.5, seed: 0xBEEF }
+    }
+}
+
+/// Summary of a planting run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantReport {
+    /// Instances whose center received the consequent edge.
+    pub positives: usize,
+    /// Instances turned into LCWA negatives via a decoy edge.
+    pub negatives: usize,
+    /// Instances left without any `q`-edge.
+    pub unknowns: usize,
+}
+
+/// Embeds `spec.instances` fresh copies of `rule.antecedent()` into a copy
+/// of `g`, returning the extended graph and the exact class counts.
+///
+/// Every pattern node becomes a fresh graph node labeled with its condition
+/// (wildcards get a dedicated `planted_any` label), so planted instances
+/// never interfere with existing matches except through shared labels.
+pub fn plant(g: &Graph, rule: &Gpar, spec: &PlantSpec) -> (Graph, PlantReport) {
+    let vocab = g.vocab().clone();
+    let any_label = vocab.intern("planted_any");
+    let decoy_label = vocab.intern("planted_decoy");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Copy g into a new builder.
+    let mut b = GraphBuilder::new(vocab.clone());
+    b.reserve(g.node_count() + spec.instances * rule.antecedent().node_count(), g.edge_count());
+    for v in g.nodes() {
+        b.add_node(g.node_label(v));
+    }
+    for v in g.nodes() {
+        for e in g.out_edges(v) {
+            b.add_edge(v, e.node, e.label);
+        }
+    }
+
+    let q = rule.antecedent();
+    let pred = rule.predicate();
+    let mut report = PlantReport { positives: 0, negatives: 0, unknowns: 0 };
+    for _ in 0..spec.instances {
+        // Fresh nodes for every pattern node.
+        let mapped: Vec<NodeId> = q
+            .nodes()
+            .map(|u| match q.cond(u) {
+                NodeCond::Label(l) => b.add_node(l),
+                NodeCond::Any => b.add_node(any_label),
+            })
+            .collect();
+        for e in q.edges() {
+            let label = match e.cond {
+                EdgeCond::Label(l) => l,
+                EdgeCond::Any => pred.label,
+            };
+            b.add_edge(mapped[e.src.index()], mapped[e.dst.index()], label);
+        }
+        let vx = mapped[q.x().index()];
+        let vy = mapped[q.y().expect("GPAR designates y").index()];
+        if rng.gen_bool(spec.conf_rate) {
+            b.add_edge(vx, vy, pred.label);
+            report.positives += 1;
+        } else if rng.gen_bool(spec.negative_rate) {
+            let decoy = b.add_node(decoy_label);
+            b.add_edge(vx, decoy, pred.label);
+            report.negatives += 1;
+        } else {
+            report.unknowns += 1;
+        }
+    }
+    (b.build(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_core::{evaluate, EvalOptions};
+    use gpar_graph::Vocab;
+    use gpar_pattern::PatternBuilder;
+
+    fn simple_rule() -> (Graph, Gpar) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let visit = vocab.intern("visit");
+        let g = GraphBuilder::new(vocab.clone()).build(); // empty base
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(rest);
+        pb.edge(x, y, like);
+        let q = pb.designate(x, y).build().unwrap();
+        (g, Gpar::new(q, visit).unwrap())
+    }
+
+    #[test]
+    fn planted_counts_match_evaluation() {
+        let (g, rule) = simple_rule();
+        let spec = PlantSpec { instances: 60, conf_rate: 0.5, negative_rate: 1.0, seed: 1 };
+        let (g2, report) = plant(&g, &rule, &spec);
+        assert_eq!(report.positives + report.negatives + report.unknowns, 60);
+        assert_eq!(report.unknowns, 0, "negative_rate 1.0 leaves no unknowns");
+        let eval = evaluate(&rule, &g2, &EvalOptions::default()).unwrap();
+        assert_eq!(eval.supp_r, report.positives as u64);
+        assert_eq!(eval.supp_q_ante, 60);
+        assert_eq!(eval.supp_q_qbar, report.negatives as u64);
+    }
+
+    #[test]
+    fn conf_rate_controls_measured_confidence() {
+        let (g, rule) = simple_rule();
+        let hi = plant(&g, &rule, &PlantSpec { instances: 200, conf_rate: 0.9, negative_rate: 1.0, seed: 2 });
+        let lo = plant(&g, &rule, &PlantSpec { instances: 200, conf_rate: 0.2, negative_rate: 1.0, seed: 2 });
+        let opts = EvalOptions::default();
+        let ev_hi = evaluate(&rule, &hi.0, &opts).unwrap();
+        let ev_lo = evaluate(&rule, &lo.0, &opts).unwrap();
+        // Conventional confidence tracks the planted rate directly.
+        assert!(ev_hi.stats().conventional() > 0.8);
+        assert!(ev_lo.stats().conventional() < 0.35);
+    }
+
+    #[test]
+    fn existing_graph_is_preserved() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let visit = vocab.intern("visit");
+        let mut gb = GraphBuilder::new(vocab.clone());
+        let c = gb.add_node(cust);
+        let r = gb.add_node(rest);
+        gb.add_edge(c, r, like);
+        let g = gb.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(rest);
+        pb.edge(x, y, like);
+        let q = pb.designate(x, y).build().unwrap();
+        let rule = Gpar::new(q, visit).unwrap();
+        let (g2, _) = plant(&g, &rule, &PlantSpec { instances: 5, ..Default::default() });
+        assert!(g2.has_edge(c, r, like));
+        assert!(g2.node_count() >= g.node_count() + 10);
+    }
+
+    #[test]
+    fn unknown_instances_have_no_q_edge() {
+        let (g, rule) = simple_rule();
+        let spec = PlantSpec { instances: 40, conf_rate: 0.0, negative_rate: 0.0, seed: 3 };
+        let (g2, report) = plant(&g, &rule, &spec);
+        assert_eq!(report.unknowns, 40);
+        let stats = gpar_core::q_stats(&g2, rule.predicate());
+        assert_eq!(stats.supp_q(), 0);
+        assert_eq!(stats.supp_qbar(), 0);
+        assert_eq!(stats.unknown, 40);
+    }
+}

@@ -1,0 +1,380 @@
+//! Pokec-like and Google+-like social graph generators.
+//!
+//! Both generators share one engine: users follow each other (community-
+//! structured, heavy-tailed out-degree, partially reciprocated) and connect
+//! to *attribute-value* nodes (`live_in → city_03`, `like_music →
+//! music_00`, …). Attribute values are materialized as instance nodes with
+//! bounded degree (a fresh instance every [`ATTR_INSTANCE_CAP`] users) so
+//! that d-neighborhoods stay small — the locality property the paper's
+//! partitioning argument relies on.
+//!
+//! **Homophily** makes mining meaningful: with probability
+//! [`FamilySpec::homophily`], a user's attribute value is copied from a
+//! followee instead of sampled, so rules like *"x follows x′ and x′ likes
+//! music m ⇒ x likes m"* (cf. `R9`/`R10` in Fig. 5(g)) hold with measurably
+//! higher confidence than the base rate.
+
+use gpar_core::Predicate;
+use gpar_graph::{Graph, GraphBuilder, Label, NodeId, Vocab};
+use gpar_pattern::NodeCond;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use rustc_hash::FxHashMap;
+
+/// Maximum users attached to one attribute-instance node before a new
+/// instance with the same label is created.
+pub const ATTR_INSTANCE_CAP: usize = 48;
+
+/// One attribute family (e.g. *music*, reached by `like_music` edges, with
+/// 40 value labels `music_00 … music_39`).
+#[derive(Debug, Clone)]
+pub struct FamilySpec {
+    /// Family name; value labels are `{name}_{index:02}`.
+    pub name: &'static str,
+    /// Edge label connecting users to values.
+    pub edge: &'static str,
+    /// Number of distinct value labels.
+    pub values: usize,
+    /// Minimum attribute edges per user.
+    pub min_per_user: u32,
+    /// Maximum attribute edges per user.
+    pub max_per_user: u32,
+    /// Probability that a value is copied from a random followee
+    /// (association signal) rather than sampled from the Zipf base rate.
+    pub homophily: f64,
+}
+
+/// Everything the experiments need to know about a generated social graph.
+#[derive(Debug, Clone)]
+pub struct FamilyInfo {
+    /// Family name.
+    pub name: String,
+    /// The connecting edge label.
+    pub edge: Label,
+    /// Value labels, most common first.
+    pub values: Vec<Label>,
+}
+
+/// Schema handle of a generated social graph.
+#[derive(Debug, Clone)]
+pub struct SocialSchema {
+    /// The `user` node label.
+    pub user: Label,
+    /// The `follow` edge label.
+    pub follow: Label,
+    /// Attribute families in generation order.
+    pub families: Vec<FamilyInfo>,
+}
+
+impl SocialSchema {
+    /// Builds the predicate `q(x, y)` = `edge(user, family_value)`.
+    pub fn predicate(&self, family: &str, value_idx: usize) -> Option<Predicate> {
+        let f = self.families.iter().find(|f| f.name == family)?;
+        let v = *f.values.get(value_idx)?;
+        Some(Predicate::new(NodeCond::Label(self.user), f.edge, NodeCond::Label(v)))
+    }
+
+    /// A default workload of `count` predicates over the most common values
+    /// of the first families (Exp-2 selects 5 predicates this way).
+    pub fn default_predicates(&self, count: usize) -> Vec<Predicate> {
+        let mut out = Vec::with_capacity(count);
+        let mut value_idx = 0;
+        'outer: loop {
+            for f in &self.families {
+                if let Some(&v) = f.values.get(value_idx) {
+                    out.push(Predicate::new(
+                        NodeCond::Label(self.user),
+                        f.edge,
+                        NodeCond::Label(v),
+                    ));
+                    if out.len() == count {
+                        break 'outer;
+                    }
+                }
+            }
+            value_idx += 1;
+            if value_idx > 64 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The family info for a name.
+    pub fn family(&self, name: &str) -> Option<&FamilyInfo> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
+/// A generated social graph plus its schema.
+#[derive(Debug, Clone)]
+pub struct SocialGraph {
+    /// The graph.
+    pub graph: Graph,
+    /// Schema handle (labels, families, predicate helpers).
+    pub schema: SocialSchema,
+    /// The user node ids (dense prefix of the node range).
+    pub users: Vec<NodeId>,
+}
+
+struct SocialConfig {
+    users: usize,
+    seed: u64,
+    families: Vec<FamilySpec>,
+    avg_follow: f64,
+    community: usize,
+    reciprocate: f64,
+}
+
+fn generate(cfg: SocialConfig) -> SocialGraph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let vocab = Vocab::new();
+    let user = vocab.intern("user");
+    let follow = vocab.intern("follow");
+    let mut b = GraphBuilder::new(vocab.clone());
+
+    let users: Vec<NodeId> = (0..cfg.users).map(|_| b.add_node(user)).collect();
+
+    // --- follow edges: community-local + global preferential tail -------
+    let deg_dist = Zipf::new(40, 1.35).expect("valid zipf");
+    let mut follows_of: Vec<Vec<usize>> = vec![Vec::new(); cfg.users];
+    let mut pool: Vec<usize> = Vec::new();
+    for u in 0..cfg.users {
+        let deg = deg_dist.sample(&mut rng) as usize;
+        let com = u / cfg.community.max(1);
+        let com_lo = com * cfg.community;
+        let com_hi = ((com + 1) * cfg.community).min(cfg.users);
+        for _ in 0..deg {
+            let v = if rng.gen_bool(0.8) || pool.is_empty() {
+                rng.gen_range(com_lo..com_hi)
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if v == u {
+                continue;
+            }
+            b.add_edge(users[u], users[v], follow);
+            follows_of[u].push(v);
+            pool.push(v);
+            if rng.gen_bool(cfg.reciprocate) {
+                b.add_edge(users[v], users[u], follow);
+                follows_of[v].push(u);
+            }
+        }
+        // Thin the pool so it does not dominate memory at large scales.
+        if pool.len() > 4 * cfg.users {
+            pool.truncate(2 * cfg.users);
+        }
+    }
+    let _ = cfg.avg_follow; // reserved for future degree shaping
+
+    // --- attribute families --------------------------------------------
+    let mut families = Vec::with_capacity(cfg.families.len());
+    // Per (family, value): current instance node and its remaining slots.
+    let mut instances: FxHashMap<(usize, usize), (NodeId, usize)> = FxHashMap::default();
+    // Per user, per family: chosen value indices (for homophily copying).
+    let mut chosen: Vec<Vec<Vec<usize>>> =
+        vec![vec![Vec::new(); cfg.families.len()]; cfg.users];
+
+    let fam_labels: Vec<(Label, Vec<Label>)> = cfg
+        .families
+        .iter()
+        .map(|f| {
+            let e = vocab.intern(f.edge);
+            let vals = (0..f.values)
+                .map(|i| vocab.intern(&format!("{}_{i:02}", f.name)))
+                .collect();
+            (e, vals)
+        })
+        .collect();
+
+    for u in 0..cfg.users {
+        for (fi, fam) in cfg.families.iter().enumerate() {
+            let n = rng.gen_range(fam.min_per_user..=fam.max_per_user) as usize;
+            let zipf = Zipf::new(fam.values as u64, 1.15).expect("valid zipf");
+            for _ in 0..n {
+                // Homophily: copy a value from a random followee if it has
+                // any; otherwise fall back to the base-rate sample.
+                let copied = if rng.gen_bool(fam.homophily) && !follows_of[u].is_empty() {
+                    let v = follows_of[u][rng.gen_range(0..follows_of[u].len())];
+                    let vals = &chosen[v][fi];
+                    if vals.is_empty() {
+                        None
+                    } else {
+                        Some(vals[rng.gen_range(0..vals.len())])
+                    }
+                } else {
+                    None
+                };
+                let value = copied.unwrap_or_else(|| zipf.sample(&mut rng) as usize - 1);
+                if chosen[u][fi].contains(&value) {
+                    continue;
+                }
+                chosen[u][fi].push(value);
+                let (edge_label, vals) = &fam_labels[fi];
+                let entry = instances.entry((fi, value)).or_insert_with(|| (NodeId(0), 0));
+                if entry.1 == 0 {
+                    *entry = (b.add_node(vals[value]), ATTR_INSTANCE_CAP);
+                }
+                b.add_edge(users[u], entry.0, *edge_label);
+                entry.1 -= 1;
+            }
+        }
+    }
+
+    for (fam, (edge, vals)) in cfg.families.iter().zip(fam_labels) {
+        families.push(FamilyInfo { name: fam.name.to_string(), edge, values: vals });
+    }
+
+    SocialGraph {
+        graph: b.build(),
+        schema: SocialSchema { user, follow, families },
+        users,
+    }
+}
+
+/// A Pokec-shaped social network: `user` + 268 attribute-value labels (269
+/// node types), 9 attribute/relationship edge types, heavy-tailed follows.
+pub fn pokec_like(users: usize, seed: u64) -> SocialGraph {
+    generate(SocialConfig {
+        users,
+        seed,
+        avg_follow: 8.0,
+        community: 96,
+        reciprocate: 0.3,
+        families: vec![
+            FamilySpec { name: "city", edge: "live_in", values: 45, min_per_user: 1, max_per_user: 1, homophily: 0.55 },
+            FamilySpec { name: "music", edge: "like_music", values: 40, min_per_user: 0, max_per_user: 3, homophily: 0.55 },
+            FamilySpec { name: "hobby", edge: "hobby", values: 45, min_per_user: 1, max_per_user: 3, homophily: 0.45 },
+            FamilySpec { name: "book", edge: "like_book", values: 35, min_per_user: 0, max_per_user: 2, homophily: 0.55 },
+            FamilySpec { name: "school", edge: "school", values: 25, min_per_user: 0, max_per_user: 1, homophily: 0.5 },
+            FamilySpec { name: "employer", edge: "employer", values: 25, min_per_user: 0, max_per_user: 1, homophily: 0.45 },
+            FamilySpec { name: "major", edge: "major", values: 23, min_per_user: 0, max_per_user: 1, homophily: 0.5 },
+            FamilySpec { name: "restaurant", edge: "visit", values: 30, min_per_user: 0, max_per_user: 2, homophily: 0.55 },
+        ],
+    })
+}
+
+/// A Google+-shaped graph: 5 node types (`user`, `employer`, `school`,
+/// `major`, `place`) and 5 edge types (`follow` + 4 attribute edges),
+/// matching the social-attribute network of Gong et al. [20].
+pub fn gplus_like(users: usize, seed: u64) -> SocialGraph {
+    generate(SocialConfig {
+        users,
+        seed,
+        avg_follow: 12.0,
+        community: 128,
+        reciprocate: 0.2,
+        families: vec![
+            FamilySpec { name: "employer", edge: "works_at", values: 40, min_per_user: 0, max_per_user: 2, homophily: 0.45 },
+            FamilySpec { name: "school", edge: "attended", values: 40, min_per_user: 0, max_per_user: 2, homophily: 0.5 },
+            FamilySpec { name: "major", edge: "majored_in", values: 30, min_per_user: 0, max_per_user: 1, homophily: 0.45 },
+            FamilySpec { name: "place", edge: "lived_in", values: 50, min_per_user: 1, max_per_user: 2, homophily: 0.5 },
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pokec_shape_has_expected_type_counts() {
+        let sg = pokec_like(1500, 7);
+        // 1 user label + 268 attribute value labels = 269 node types, as in
+        // the Pokec description, plus 9 edge labels.
+        let node_types = 1 + sg.schema.families.iter().map(|f| f.values.len()).sum::<usize>();
+        assert_eq!(node_types, 269);
+        let edge_types = 1 + sg.schema.families.len();
+        assert_eq!(edge_types, 9);
+        assert_eq!(sg.users.len(), 1500);
+        assert!(sg.graph.node_count() > 1500);
+    }
+
+    #[test]
+    fn gplus_shape_has_5_and_5() {
+        let sg = gplus_like(1000, 9);
+        // 5 node *kinds* (user + 4 families); labels per family are values.
+        assert_eq!(sg.schema.families.len(), 4);
+        let edge_types = 1 + sg.schema.families.len();
+        assert_eq!(edge_types, 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = pokec_like(400, 5);
+        let b = pokec_like(400, 5);
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let c = pokec_like(400, 6);
+        assert!(
+            a.graph.edge_count() != c.graph.edge_count()
+                || a.graph.node_count() != c.graph.node_count()
+        );
+    }
+
+    #[test]
+    fn attribute_instances_have_bounded_degree() {
+        let sg = pokec_like(3000, 3);
+        let g = &sg.graph;
+        for v in g.nodes() {
+            if g.node_label(v) != sg.schema.user {
+                assert!(
+                    g.in_degree(v) <= ATTR_INSTANCE_CAP,
+                    "attribute instance over cap: {}",
+                    g.in_degree(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_are_well_formed_and_populated() {
+        let sg = pokec_like(1200, 21);
+        let preds = sg.schema.default_predicates(5);
+        assert_eq!(preds.len(), 5);
+        for p in &preds {
+            let stats = gpar_core::q_stats(&sg.graph, p);
+            assert!(stats.candidates() > 0);
+            assert!(stats.supp_q() > 0, "predicate should have positives");
+        }
+    }
+
+    #[test]
+    fn homophily_raises_conditional_probability() {
+        // Aggregated over tail music values m:
+        // P(u likes m | some followee of u likes m) > P(u likes m).
+        // (Head values are near their saturated base rate, so we measure
+        // the association on values 4..40 where the signal lives.)
+        let sg = pokec_like(4000, 13);
+        let g = &sg.graph;
+        let music = sg.schema.family("music").unwrap();
+        let like_music = music.edge;
+        let follow = sg.schema.follow;
+        let likes = |u: NodeId, m: gpar_graph::Label| {
+            g.out_edges_labeled(u, like_music).iter().any(|e| g.node_label(e.node) == m)
+        };
+        let mut base = (0u64, 0u64);
+        let mut cond = (0u64, 0u64);
+        for &m in &music.values[4..] {
+            for &u in &sg.users {
+                let u_likes = likes(u, m);
+                base.1 += 1;
+                base.0 += u64::from(u_likes);
+                let followee_likes =
+                    g.out_edges_labeled(u, follow).iter().any(|e| likes(e.node, m));
+                if followee_likes {
+                    cond.1 += 1;
+                    cond.0 += u64::from(u_likes);
+                }
+            }
+        }
+        let p_base = base.0 as f64 / base.1 as f64;
+        let p_cond = cond.0 as f64 / cond.1.max(1) as f64;
+        assert!(
+            p_cond > 1.5 * p_base,
+            "homophily signal too weak: base {p_base:.4}, cond {p_cond:.4}"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! The paper's synthetic graph generator (§6): `G = (V, E, L)` controlled
+//! by `|V|` and `|E|`, with `L` drawn from an alphabet of 100 labels.
+
+use gpar_graph::{Graph, GraphBuilder, NodeId, Vocab};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of nodes `|V|`.
+    pub nodes: usize,
+    /// Number of directed edges `|E|`.
+    pub edges: usize,
+    /// Size of the node-label alphabet (the paper uses 100).
+    pub node_labels: usize,
+    /// Size of the edge-label alphabet.
+    pub edge_labels: usize,
+    /// Zipf skew of the label distributions (1.0 ≈ natural skew).
+    pub label_skew: f64,
+    /// Preferential-attachment strength in `[0, 1]`: probability that an
+    /// edge endpoint is drawn from the degree-weighted pool rather than
+    /// uniformly (yields the heavy-tailed degrees of social graphs).
+    pub preferential: f64,
+    /// RNG seed; identical configs produce identical graphs.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 10_000,
+            edges: 20_000,
+            node_labels: 100,
+            edge_labels: 10,
+            label_skew: 1.0,
+            preferential: 0.6,
+            seed: 0xFA9,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A config sized `(|V|, |E|)` with the paper's defaults otherwise.
+    pub fn sized(nodes: usize, edges: usize, seed: u64) -> Self {
+        Self { nodes, edges, seed, ..Default::default() }
+    }
+}
+
+/// Generates a synthetic labeled directed graph.
+pub fn synthetic(cfg: &SyntheticConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let vocab = Vocab::new();
+    let node_labels: Vec<_> = (0..cfg.node_labels.max(1))
+        .map(|i| vocab.intern(&format!("n{i:03}")))
+        .collect();
+    let edge_labels: Vec<_> = (0..cfg.edge_labels.max(1))
+        .map(|i| vocab.intern(&format!("e{i:02}")))
+        .collect();
+    let nzipf = Zipf::new(node_labels.len() as u64, cfg.label_skew).expect("valid zipf");
+    let ezipf = Zipf::new(edge_labels.len() as u64, cfg.label_skew).expect("valid zipf");
+
+    let mut b = GraphBuilder::new(vocab);
+    b.reserve(cfg.nodes, cfg.edges);
+    for _ in 0..cfg.nodes {
+        let li = nzipf.sample(&mut rng) as usize - 1;
+        b.add_node(node_labels[li]);
+    }
+    if cfg.nodes == 0 {
+        return b.build();
+    }
+    // Degree-weighted endpoint pool for preferential attachment.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * cfg.edges);
+    let pick = |rng: &mut StdRng, pool: &[NodeId]| -> NodeId {
+        if !pool.is_empty() && rng.gen_bool(cfg.preferential) {
+            pool[rng.gen_range(0..pool.len())]
+        } else {
+            NodeId(rng.gen_range(0..cfg.nodes as u32))
+        }
+    };
+    for _ in 0..cfg.edges {
+        let src = pick(&mut rng, &pool);
+        let mut dst = pick(&mut rng, &pool);
+        if dst == src {
+            dst = NodeId(rng.gen_range(0..cfg.nodes as u32));
+        }
+        let li = ezipf.sample(&mut rng) as usize - 1;
+        b.add_edge(src, dst, edge_labels[li]);
+        pool.push(src);
+        pool.push(dst);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = SyntheticConfig::sized(500, 1000, 42);
+        let g1 = synthetic(&cfg);
+        let g2 = synthetic(&cfg);
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for v in g1.nodes() {
+            assert_eq!(
+                g1.vocab().resolve(g1.node_label(v)),
+                g2.vocab().resolve(g2.node_label(v))
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = synthetic(&SyntheticConfig::sized(500, 1000, 1));
+        let g2 = synthetic(&SyntheticConfig::sized(500, 1000, 2));
+        let labels = |g: &Graph| -> Vec<String> {
+            g.nodes().map(|v| g.vocab().resolve(g.node_label(v)).to_string()).collect()
+        };
+        assert_ne!(labels(&g1), labels(&g2));
+    }
+
+    #[test]
+    fn requested_sizes_are_respected() {
+        let g = synthetic(&SyntheticConfig::sized(1000, 3000, 7));
+        assert_eq!(g.node_count(), 1000);
+        // Dedup can drop a handful of duplicate random edges.
+        assert!(g.edge_count() > 2900 && g.edge_count() <= 3000);
+        assert!(g.vocab().len() >= 100);
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed_with_preferential_attachment() {
+        let g = synthetic(&SyntheticConfig {
+            preferential: 0.8,
+            ..SyntheticConfig::sized(2000, 10_000, 11)
+        });
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            max_deg as f64 > 5.0 * avg,
+            "expected a hub: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn zipf_makes_low_indices_common() {
+        let g = synthetic(&SyntheticConfig::sized(5000, 1, 3));
+        let hist = g.node_label_histogram();
+        let l0 = g.vocab().get("n000").unwrap();
+        let l99 = g.vocab().get("n099").unwrap();
+        assert!(hist.get(&l0).copied().unwrap_or(0) > hist.get(&l99).copied().unwrap_or(0));
+    }
+}

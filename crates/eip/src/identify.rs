@@ -1,0 +1,391 @@
+//! The parallel EIP driver (`Matchc`'s three steps, §5.1, shared by all
+//! algorithm variants).
+
+use crate::eval::CandidateEvaluator;
+use crate::options::EipConfig;
+use gpar_core::{ConfStats, Confidence, Gpar, LcwaClass};
+use gpar_graph::{FxHashSet, Graph, NodeId};
+use gpar_partition::partition_sites;
+use gpar_pattern::NodeCond;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors raised by [`identify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EipError {
+    /// Σ must contain at least one rule.
+    EmptySigma,
+    /// All rules in Σ must pertain to the same event `q(x, y)` (§5.1).
+    MixedPredicates,
+}
+
+impl fmt::Display for EipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EipError::EmptySigma => write!(f, "Σ is empty"),
+            EipError::MixedPredicates => {
+                write!(f, "all GPARs in Σ must share the same predicate q(x, y)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EipError {}
+
+/// Per-rule global outcome.
+#[derive(Debug, Clone)]
+pub struct RuleOutcome {
+    /// Assembled support counts.
+    pub stats: ConfStats,
+    /// Global BF confidence.
+    pub confidence: Confidence,
+    /// `Q(x, G)` — the rule's potential customers.
+    pub q_matches: FxHashSet<NodeId>,
+    /// `P_R(x, G)` — customers that already performed `q`.
+    pub pr_matches: FxHashSet<NodeId>,
+}
+
+/// Result of an EIP run.
+#[derive(Debug)]
+pub struct EipResult {
+    /// `Σ(x, G, η)` — the identified potential customers.
+    pub customers: FxHashSet<NodeId>,
+    /// Per-rule outcomes, aligned with the input Σ.
+    pub per_rule: Vec<RuleOutcome>,
+    /// Per-worker busy times (skew measurement).
+    pub worker_times: Vec<Duration>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Time spent building/partitioning candidate sites (step 1; itself
+    /// center-parallel on a real cluster).
+    pub partition_time: Duration,
+    /// CPU time the coordinating thread spent on validation and assembly.
+    pub coordinator_time: Duration,
+    /// Number of candidate centers examined (`|L|`).
+    pub candidates: usize,
+}
+
+impl EipResult {
+    /// Simulated wall-clock on an `n`-processor shared-nothing cluster:
+    /// partitioning (embarrassingly center-parallel) divided by `n`, plus
+    /// the *critical path* of the matching step (the slowest worker), plus
+    /// the sequential assembly remainder. On a single-core host — where
+    /// thread wall-clock cannot exhibit parallel speedup — this is the
+    /// faithful reading of the paper's `T(|G|, |Σ|, n)` (see DESIGN.md
+    /// substitutions).
+    pub fn simulated_parallel_time(&self) -> Duration {
+        let n = self.worker_times.len().max(1) as u32;
+        let critical = self.worker_times.iter().max().copied().unwrap_or_default();
+        self.partition_time / n + critical + self.coordinator_time
+    }
+}
+
+struct WorkerOut {
+    worker: usize,
+    supp_q: u64,
+    supp_qbar: u64,
+    /// Per rule: (supp_r, supp_q_qbar, q-matching centers, PR-matching
+    /// centers) over this worker's candidates.
+    per_rule: Vec<(u64, u64, Vec<NodeId>, Vec<NodeId>)>,
+    elapsed: Duration,
+}
+
+/// Computes `Σ(x, G, η)` with the configured algorithm. This is exact for
+/// every variant (Theorem 6's `Matchc` is exact; the optimizations only
+/// change the work per candidate), so all four algorithms return identical
+/// results — a property the integration tests pin down.
+pub fn identify(g: &Graph, sigma: &[Gpar], config: &EipConfig) -> Result<EipResult, EipError> {
+    let start = Instant::now();
+    let cpu0 = gpar_graph::thread_cpu_time();
+    let first = sigma.first().ok_or(EipError::EmptySigma)?;
+    if sigma.iter().any(|r| !r.same_predicate(first)) {
+        return Err(EipError::MixedPredicates);
+    }
+    let pred = *first.predicate();
+    // d = max radius over Σ (§5.1). The paper states r(P_R, x); we also
+    // cover r(Q, x), which can exceed it — the consequent edge shortens
+    // paths in P_R (e.g. Q1's y sits 2 hops from x in Q but only 1 in
+    // P_R), yet EIP must evaluate *antecedent* membership. Components of
+    // Q that x cannot reach have unbounded radius and are matched within
+    // the d-ball (the locality boundary; see the gpar-partition docs).
+    let d = config.d.unwrap_or_else(|| {
+        sigma
+            .iter()
+            .map(|r| {
+                let pr = r.radius().unwrap_or(1);
+                let q = r.antecedent().radius().unwrap_or(pr);
+                pr.max(q)
+            })
+            .max()
+            .unwrap_or(1)
+    });
+
+    // Step 1: candidates L = nodes satisfying x's search condition,
+    // partitioned with their d-neighborhoods.
+    let centers: Vec<NodeId> = match pred.x_cond {
+        NodeCond::Label(l) => g.nodes_with_label(l).collect(),
+        NodeCond::Any => g.nodes().collect(),
+    };
+    let candidates = centers.len();
+    let cpu_pre_part = gpar_graph::thread_cpu_time();
+    let assignments = partition_sites(g, &centers, d, config.workers, config.strategy);
+    let partition_time = gpar_graph::thread_cpu_time().saturating_sub(cpu_pre_part);
+    let opts = config.match_opts();
+
+    // Step 2: all workers compute local memberships in parallel.
+    let n = assignments.len();
+    let (tx, rx) = crossbeam::channel::unbounded::<WorkerOut>();
+    crossbeam::scope(|scope| {
+        for (w, sites) in assignments.into_iter().enumerate() {
+            let tx = tx.clone();
+            let sigma_ref = sigma;
+            scope.spawn(move |_| {
+                let t0 = gpar_graph::thread_cpu_time();
+                let ev = CandidateEvaluator::new(sigma_ref, opts);
+                let mut out = WorkerOut {
+                    worker: w,
+                    supp_q: 0,
+                    supp_qbar: 0,
+                    per_rule: vec![(0, 0, Vec::new(), Vec::new()); sigma_ref.len()],
+                    elapsed: Duration::ZERO,
+                };
+                for cs in &sites {
+                    let o = ev.evaluate(cs);
+                    match o.class {
+                        LcwaClass::Positive => out.supp_q += 1,
+                        LcwaClass::Negative => out.supp_qbar += 1,
+                        LcwaClass::Unknown => {}
+                    }
+                    for (r, slot) in out.per_rule.iter_mut().enumerate() {
+                        if o.q_member[r] {
+                            slot.2.push(cs.center_global);
+                            if o.class == LcwaClass::Negative {
+                                slot.1 += 1;
+                            }
+                        }
+                        if o.pr_member[r] && o.class == LcwaClass::Positive {
+                            slot.0 += 1;
+                            slot.3.push(cs.center_global);
+                        }
+                    }
+                }
+                out.elapsed = gpar_graph::thread_cpu_time().saturating_sub(t0);
+                let _ = tx.send(out);
+            });
+        }
+        drop(tx);
+    })
+    .expect("EIP worker panicked");
+
+    // Step 3: assemble.
+    let mut worker_times = vec![Duration::ZERO; n];
+    let mut supp_q = 0u64;
+    let mut supp_qbar = 0u64;
+    let mut per_rule: Vec<(u64, u64, FxHashSet<NodeId>, FxHashSet<NodeId>)> =
+        vec![(0, 0, FxHashSet::default(), FxHashSet::default()); sigma.len()];
+    for out in rx.iter() {
+        worker_times[out.worker] = out.elapsed;
+        supp_q += out.supp_q;
+        supp_qbar += out.supp_qbar;
+        for (acc, part) in per_rule.iter_mut().zip(out.per_rule) {
+            acc.0 += part.0;
+            acc.1 += part.1;
+            acc.2.extend(part.2);
+            acc.3.extend(part.3);
+        }
+    }
+
+    let mut customers = FxHashSet::default();
+    let per_rule: Vec<RuleOutcome> = per_rule
+        .into_iter()
+        .map(|(supp_r, supp_q_qbar, q_matches, pr_matches)| {
+            let stats = ConfStats {
+                supp_r,
+                supp_q_ante: q_matches.len() as u64,
+                supp_q,
+                supp_qbar,
+                supp_q_qbar,
+            };
+            let confidence = stats.conf();
+            if confidence.at_least(config.eta) {
+                customers.extend(q_matches.iter().copied());
+            }
+            RuleOutcome { stats, confidence, q_matches, pr_matches }
+        })
+        .collect();
+
+    let coordinator_time = gpar_graph::thread_cpu_time()
+        .saturating_sub(cpu0)
+        .saturating_sub(partition_time);
+    Ok(EipResult {
+        customers,
+        per_rule,
+        worker_times,
+        elapsed: start.elapsed(),
+        partition_time,
+        coordinator_time,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::EipAlgorithm;
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_pattern::PatternBuilder;
+
+    /// 10 positives matching the rule, 2 negatives matching the
+    /// antecedent, 3 unknowns matching the antecedent.
+    fn scenario() -> (Graph, Vec<Gpar>) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let bar = vocab.intern("bar");
+        let (like, visit) = (vocab.intern("like"), vocab.intern("visit"));
+        let mut b = GraphBuilder::new(vocab.clone());
+        for _ in 0..10 {
+            let c = b.add_node(cust);
+            let r = b.add_node(rest);
+            b.add_edge(c, r, like);
+            b.add_edge(c, r, visit);
+        }
+        for _ in 0..2 {
+            let c = b.add_node(cust);
+            let r = b.add_node(rest);
+            let bb = b.add_node(bar);
+            b.add_edge(c, r, like);
+            b.add_edge(c, bb, visit);
+        }
+        for _ in 0..3 {
+            let c = b.add_node(cust);
+            let r = b.add_node(rest);
+            b.add_edge(c, r, like);
+        }
+        let g = b.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(rest);
+        pb.edge(x, y, like);
+        let rule = Gpar::new(pb.designate(x, y).build().unwrap(), visit).unwrap();
+        (g, vec![rule])
+    }
+
+    #[test]
+    fn counts_follow_the_lcwa() {
+        let (g, sigma) = scenario();
+        let cfg = EipConfig { eta: 0.5, ..EipConfig::new(EipAlgorithm::Match, 3) };
+        let res = identify(&g, &sigma, &cfg).unwrap();
+        let o = &res.per_rule[0];
+        assert_eq!(o.stats.supp_q, 10);
+        assert_eq!(o.stats.supp_qbar, 2);
+        assert_eq!(o.stats.supp_r, 10);
+        assert_eq!(o.stats.supp_q_qbar, 2);
+        assert_eq!(o.stats.supp_q_ante, 15);
+        // conf = 10*2/(2*10) = 1.0 ≥ η = 0.5 ⇒ all 15 antecedent matches
+        // are potential customers.
+        assert_eq!(o.confidence, Confidence::Value(1.0));
+        assert_eq!(res.customers.len(), 15);
+        assert_eq!(res.candidates, 15);
+    }
+
+    #[test]
+    fn eta_gates_the_output() {
+        let (g, sigma) = scenario();
+        let cfg = EipConfig { eta: 1.5, ..EipConfig::new(EipAlgorithm::Match, 2) };
+        let res = identify(&g, &sigma, &cfg).unwrap();
+        assert!(res.customers.is_empty(), "conf 1.0 < η 1.5");
+        // The per-rule outcome is still reported.
+        assert_eq!(res.per_rule[0].q_matches.len(), 15);
+    }
+
+    #[test]
+    fn all_algorithms_return_identical_results() {
+        let (g, sigma) = scenario();
+        let baseline = identify(
+            &g,
+            &sigma,
+            &EipConfig { eta: 0.5, ..EipConfig::new(EipAlgorithm::DisVf2, 2) },
+        )
+        .unwrap();
+        for algo in [EipAlgorithm::Match, EipAlgorithm::Matchs, EipAlgorithm::Matchc] {
+            for workers in [1, 3, 5] {
+                let res = identify(
+                    &g,
+                    &sigma,
+                    &EipConfig { eta: 0.5, ..EipConfig::new(algo, workers) },
+                )
+                .unwrap();
+                assert_eq!(res.customers, baseline.customers, "{algo:?}/{workers}");
+                assert_eq!(
+                    res.per_rule[0].stats, baseline.per_rule[0].stats,
+                    "{algo:?}/{workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (g, sigma) = scenario();
+        assert_eq!(identify(&g, &[], &EipConfig::default()).unwrap_err(), EipError::EmptySigma);
+        // A rule with a different predicate label.
+        let vocab = g.vocab().clone();
+        let cust = vocab.get("cust").unwrap();
+        let rest = vocab.get("rest").unwrap();
+        let like = vocab.get("like").unwrap();
+        let other = vocab.intern("recommends");
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(rest);
+        pb.edge(x, y, like);
+        let mixed = Gpar::new(pb.designate(x, y).build().unwrap(), other).unwrap();
+        let sigma2 = vec![sigma[0].clone(), mixed];
+        assert_eq!(
+            identify(&g, &sigma2, &EipConfig::default()).unwrap_err(),
+            EipError::MixedPredicates
+        );
+    }
+
+    #[test]
+    fn multi_rule_union_semantics() {
+        // Two rules: the strong one admits its antecedent matches, the
+        // weak one (conf < η) contributes nothing.
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let bar = vocab.intern("bar");
+        let (like, hate, visit) =
+            (vocab.intern("like"), vocab.intern("hate"), vocab.intern("visit"));
+        let mut b = GraphBuilder::new(vocab.clone());
+        // likers: always visit. haters: never visit (negatives).
+        for _ in 0..6 {
+            let c = b.add_node(cust);
+            let r = b.add_node(rest);
+            b.add_edge(c, r, like);
+            b.add_edge(c, r, visit);
+        }
+        for _ in 0..4 {
+            let c = b.add_node(cust);
+            let r = b.add_node(rest);
+            let bb = b.add_node(bar);
+            b.add_edge(c, r, hate);
+            b.add_edge(c, bb, visit);
+        }
+        let g = b.build();
+        let mk = |edge| {
+            let mut pb = PatternBuilder::new(vocab.clone());
+            let x = pb.node(cust);
+            let y = pb.node(rest);
+            pb.edge(x, y, edge);
+            Gpar::new(pb.designate(x, y).build().unwrap(), visit).unwrap()
+        };
+        let sigma = vec![mk(like), mk(hate)];
+        let cfg = EipConfig { eta: 1.0, ..EipConfig::new(EipAlgorithm::Match, 2) };
+        let res = identify(&g, &sigma, &cfg).unwrap();
+        // like-rule: supp_r 6, Qq̄ 0 → logical rule (∞ ≥ η) — admits 6.
+        // hate-rule: supp_r 0 → conf 0 — admits nothing.
+        assert_eq!(res.customers.len(), 6);
+        assert_eq!(res.per_rule[1].stats.supp_r, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gpar-eip
+//!
+//! The **entity identification problem (EIP)** of §5: given a set `Σ` of
+//! GPARs pertaining to one event `q(x, y)`, a confidence bound `η` and a
+//! graph `G`, compute
+//!
+//! ```text
+//! Σ(x, G, η) = { v_x | v_x ∈ Q(x, G), Q ⇒ q ∈ Σ, conf(R, G) ≥ η }
+//! ```
+//!
+//! — the potential customers identified by at least one sufficiently
+//! confident rule. EIP is NP-hard even for a single rule (Prop. 5) but
+//! **parallel scalable** (Theorem 6): the algorithms here split the
+//! candidate centers over `n` workers, decide membership per candidate
+//! inside its d-neighborhood `G_d(v_x)` (data locality of subgraph
+//! isomorphism), and assemble the global confidence from per-worker
+//! counts.
+//!
+//! Four algorithm configurations reproduce the paper's comparison:
+//!
+//! | name | per-candidate strategy |
+//! |---|---|
+//! | [`EipAlgorithm::Match`] | early termination + sketch-guided search + common-subpattern sharing (§5.2) |
+//! | [`EipAlgorithm::Matchs`] | as `Match` but with the degree-based ordering of [38] |
+//! | [`EipAlgorithm::Matchc`] | full enumeration per candidate, no guidance (§5.1) |
+//! | [`EipAlgorithm::DisVf2`] | two full VF2 enumerations per candidate per rule (`P_R` *and* `Q`) |
+
+pub mod eval;
+pub mod identify;
+pub mod options;
+
+pub use eval::{CandidateEvaluator, SharingPlan};
+pub use identify::{identify, EipError, EipResult, RuleOutcome};
+pub use options::{EipAlgorithm, EipConfig, MatchOpts};

@@ -1,0 +1,155 @@
+//! EIP algorithm configurations.
+
+use gpar_iso::MatcherConfig;
+use gpar_partition::PartitionStrategy;
+
+/// The paper's EIP algorithm variants (§5–§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EipAlgorithm {
+    /// Optimized `Match`: early termination, k-hop-sketch guided search
+    /// and pruning, common-subpattern sharing across Σ.
+    Match,
+    /// `Matchs`: `Match` with the degree-ordered search of Ren & Wang
+    /// [38] instead of sketch guidance (the paper reports near-identical
+    /// performance).
+    Matchs,
+    /// Baseline `Matchc` (§5.1): parallel-scalable but enumerates all
+    /// matches per candidate, with no guidance or sharing.
+    Matchc,
+    /// `disVF2`: a distributed VF2 that runs *two* full enumerations per
+    /// candidate per rule — one for `P_R` and one for `Q`/`Qq̄` — without
+    /// the single-check discipline of `Matchc`/`Match`.
+    DisVf2,
+}
+
+/// Fine-grained optimization toggles, derivable from an
+/// [`EipAlgorithm`] but also settable individually for ablation benches.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchOpts {
+    /// Stop at the first witness per candidate instead of enumerating all
+    /// matches.
+    pub early_termination: bool,
+    /// Prune candidates whose 2-hop sketch cannot cover the pattern's
+    /// sketch at `x`, and order in-search candidates by sketch surplus.
+    pub sketch_guidance: bool,
+    /// Skip rules whose antecedent subsumes an already-failed antecedent
+    /// at the same candidate (multi-query common-subpattern sharing [32]).
+    pub subpattern_sharing: bool,
+    /// Evaluate `P_R` and `Q` independently per candidate (the disVF2
+    /// cost model) instead of deriving what one check implies.
+    pub double_check: bool,
+    /// The underlying engine configuration.
+    pub engine: MatcherConfig,
+}
+
+impl MatchOpts {
+    /// Options implementing `algo`.
+    pub fn for_algorithm(algo: EipAlgorithm) -> Self {
+        match algo {
+            EipAlgorithm::Match => Self {
+                early_termination: true,
+                sketch_guidance: true,
+                subpattern_sharing: true,
+                double_check: false,
+                engine: MatcherConfig::guided(),
+            },
+            EipAlgorithm::Matchs => Self {
+                early_termination: true,
+                sketch_guidance: false,
+                subpattern_sharing: true,
+                double_check: false,
+                engine: MatcherConfig::degree_ordered(),
+            },
+            EipAlgorithm::Matchc => Self {
+                early_termination: false,
+                sketch_guidance: false,
+                subpattern_sharing: false,
+                double_check: false,
+                engine: MatcherConfig::vf2(),
+            },
+            EipAlgorithm::DisVf2 => Self {
+                early_termination: false,
+                sketch_guidance: false,
+                subpattern_sharing: false,
+                double_check: true,
+                engine: MatcherConfig::vf2(),
+            },
+        }
+    }
+}
+
+/// Full EIP run configuration.
+#[derive(Debug, Clone)]
+pub struct EipConfig {
+    /// Algorithm preset (expanded into [`MatchOpts`] unless overridden).
+    pub algorithm: EipAlgorithm,
+    /// Confidence bound η.
+    pub eta: f64,
+    /// Number of worker threads `n`.
+    pub workers: usize,
+    /// Radius `d`; `None` derives the maximum `r(P_R, x)` over Σ.
+    pub d: Option<u32>,
+    /// Center-to-worker assignment strategy.
+    pub strategy: PartitionStrategy,
+    /// Optional explicit toggles (ablation); `None` uses the preset.
+    pub opts: Option<MatchOpts>,
+}
+
+impl EipConfig {
+    /// A configuration for `algo` with the paper's default η = 1.5.
+    pub fn new(algo: EipAlgorithm, workers: usize) -> Self {
+        Self {
+            algorithm: algo,
+            eta: 1.5,
+            workers,
+            d: None,
+            strategy: PartitionStrategy::Balanced,
+            opts: None,
+        }
+    }
+
+    /// The effective per-candidate options.
+    pub fn match_opts(&self) -> MatchOpts {
+        self.opts.unwrap_or_else(|| MatchOpts::for_algorithm(self.algorithm))
+    }
+}
+
+impl Default for EipConfig {
+    fn default() -> Self {
+        Self::new(EipAlgorithm::Match, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_iso::EngineKind;
+
+    #[test]
+    fn presets_match_paper_semantics() {
+        let m = MatchOpts::for_algorithm(EipAlgorithm::Match);
+        assert!(m.early_termination && m.sketch_guidance && m.subpattern_sharing);
+        assert!(!m.double_check);
+        assert_eq!(m.engine.kind, EngineKind::Guided);
+
+        let c = MatchOpts::for_algorithm(EipAlgorithm::Matchc);
+        assert!(!c.early_termination && !c.sketch_guidance && !c.subpattern_sharing);
+        assert!(!c.double_check);
+
+        let v = MatchOpts::for_algorithm(EipAlgorithm::DisVf2);
+        assert!(v.double_check, "disVF2 runs two checks per candidate");
+
+        let s = MatchOpts::for_algorithm(EipAlgorithm::Matchs);
+        assert_eq!(s.engine.kind, EngineKind::DegreeOrdered);
+    }
+
+    #[test]
+    fn explicit_opts_override_preset() {
+        let mut cfg = EipConfig::new(EipAlgorithm::Match, 2);
+        assert!(cfg.match_opts().sketch_guidance);
+        let mut o = MatchOpts::for_algorithm(EipAlgorithm::Match);
+        o.sketch_guidance = false;
+        cfg.opts = Some(o);
+        assert!(!cfg.match_opts().sketch_guidance);
+    }
+}

@@ -1,0 +1,194 @@
+//! Mutable graph construction.
+
+use crate::graph::{Edge, Graph, NodeId};
+use crate::label::{Label, Vocab};
+use std::sync::Arc;
+
+/// Builds a [`Graph`] incrementally, then freezes it into CSR form.
+///
+/// ```
+/// use gpar_graph::{GraphBuilder, Vocab};
+/// let vocab = Vocab::new();
+/// let mut b = GraphBuilder::new(vocab.clone());
+/// let cust = vocab.intern("cust");
+/// let shop = vocab.intern("shop");
+/// let visit = vocab.intern("visit");
+/// let x = b.add_node(cust);
+/// let y = b.add_node(shop);
+/// b.add_edge(x, y, visit);
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 2);
+/// assert!(g.has_edge(x, y, visit));
+/// ```
+pub struct GraphBuilder {
+    vocab: Arc<Vocab>,
+    node_labels: Vec<Label>,
+    edges: Vec<(NodeId, NodeId, Label)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder over a shared vocabulary.
+    pub fn new(vocab: Arc<Vocab>) -> Self {
+        Self {
+            vocab,
+            node_labels: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with a fresh private vocabulary.
+    pub fn with_fresh_vocab() -> Self {
+        Self::new(Vocab::new())
+    }
+
+    /// The vocabulary this builder interns into.
+    pub fn vocab(&self) -> &Arc<Vocab> {
+        &self.vocab
+    }
+
+    /// Pre-allocates for `nodes` nodes and `edges` edges.
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.node_labels.reserve(nodes);
+        self.edges.reserve(edges);
+    }
+
+    /// Adds a node with the given label, returning its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = NodeId(self.node_labels.len() as u32);
+        self.node_labels.push(label);
+        id
+    }
+
+    /// Convenience: interns `label` and adds a node.
+    pub fn add_node_str(&mut self, label: &str) -> NodeId {
+        let l = self.vocab.intern(label);
+        self.add_node(l)
+    }
+
+    /// Adds a directed labeled edge. Duplicate `(src, dst, label)` triples
+    /// are deduplicated at [`GraphBuilder::build`] time.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: Label) {
+        assert!(
+            src.index() < self.node_labels.len() && dst.index() < self.node_labels.len(),
+            "edge endpoint out of range"
+        );
+        self.edges.push((src, dst, label));
+    }
+
+    /// Convenience: interns `label` and adds an edge.
+    pub fn add_edge_str(&mut self, src: NodeId, dst: NodeId, label: &str) {
+        let l = self.vocab.intern(label);
+        self.add_edge(src, dst, label_of(l));
+    }
+
+    /// Current number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Current number of (pre-dedup) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the builder into an immutable CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.node_labels.len();
+        let mut edges = self.edges;
+        // Sort by (src, label, dst) so per-node out slices come out ordered
+        // by (label, target); dedup removes parallel identical edges.
+        edges.sort_unstable_by_key(|&(s, d, l)| (s, l, d));
+        edges.dedup();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(s, _, _) in &edges {
+            out_offsets[s.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_adj = Vec::with_capacity(edges.len());
+        for &(_, d, l) in &edges {
+            out_adj.push(Edge { label: l, node: d });
+        }
+
+        // In-adjacency: re-sort by (dst, label, src).
+        let mut in_sorted = edges;
+        in_sorted.sort_unstable_by_key(|&(s, d, l)| (d, l, s));
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, d, _) in &in_sorted {
+            in_offsets[d.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_adj = Vec::with_capacity(in_sorted.len());
+        for &(s, _, l) in &in_sorted {
+            in_adj.push(Edge { label: l, node: s });
+        }
+
+        Graph {
+            node_labels: self.node_labels,
+            out_offsets,
+            out_adj,
+            in_offsets,
+            in_adj,
+            vocab: self.vocab,
+        }
+    }
+}
+
+#[inline]
+fn label_of(l: Label) -> Label {
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::with_fresh_vocab().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.size(), 0);
+    }
+
+    #[test]
+    fn nodes_without_edges_have_empty_adjacency() {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let l = vocab.intern("n");
+        let v = b.add_node(l);
+        let g = b.build();
+        assert!(g.out_edges(v).is_empty());
+        assert!(g.in_edges(v).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_to_unknown_node_panics() {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let l = vocab.intern("n");
+        let v = b.add_node(l);
+        b.add_edge(v, NodeId(7), l);
+    }
+
+    #[test]
+    fn build_size_matches_paper_definition() {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let l = vocab.intern("n");
+        let e = vocab.intern("e");
+        let a = b.add_node(l);
+        let c = b.add_node(l);
+        b.add_edge(a, c, e);
+        let g = b.build();
+        assert_eq!(g.size(), 3); // |V| + |E|
+    }
+}

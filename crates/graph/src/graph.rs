@@ -1,0 +1,340 @@
+//! The immutable CSR-packed graph.
+
+use crate::label::{Label, Vocab};
+use std::fmt;
+use std::sync::Arc;
+
+/// A node identifier, dense in `0..graph.node_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A half-edge as stored in an adjacency slice: the edge label plus the
+/// other endpoint. Ordering is `(label, endpoint)` so that all edges with a
+/// given label form a contiguous, binary-searchable run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Edge {
+    /// Edge label (e.g. `friend`, `like`, `visit`).
+    pub label: Label,
+    /// The other endpoint (target for out-edges, source for in-edges).
+    pub node: NodeId,
+}
+
+/// An immutable labeled directed multigraph `G = (V, E, L)` (§2.1 of the
+/// paper).
+///
+/// Both out- and in-adjacency are materialized as CSR arrays whose per-node
+/// slices are sorted by `(label, endpoint)`. This supports, in `O(log deg)`:
+///
+/// * [`Graph::has_edge`] — the edge-existence probes at the heart of
+///   subgraph-isomorphism feasibility checks, and
+/// * [`Graph::out_edges_labeled`] / [`Graph::in_edges_labeled`] — label-
+///   restricted neighbor ranges used for candidate generation.
+///
+/// Parallel edges with identical `(src, dst, label)` are deduplicated at
+/// build time (the paper's `E ⊆ V × V` is a set); parallel edges with
+/// *different* labels are kept, as in property graphs.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct Graph {
+    pub(crate) node_labels: Vec<Label>,
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_adj: Vec<Edge>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_adj: Vec<Edge>,
+    #[serde(skip, default = "default_vocab")]
+    pub(crate) vocab: Arc<Vocab>,
+}
+
+fn default_vocab() -> Arc<Vocab> {
+    Vocab::new()
+}
+
+impl Graph {
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of directed edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// The paper's size measure `|G| = |V| + |E|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// The shared label vocabulary.
+    #[inline]
+    pub fn vocab(&self) -> &Arc<Vocab> {
+        &self.vocab
+    }
+
+    /// The label `L(v)` of a node.
+    #[inline]
+    pub fn node_label(&self, v: NodeId) -> Label {
+        self.node_labels[v.index()]
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// All nodes carrying `label`, in id order.
+    pub fn nodes_with_label(&self, label: Label) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&v| self.node_label(v) == label)
+    }
+
+    /// Out-adjacency slice of `v`, sorted by `(label, target)`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[Edge] {
+        let i = v.index();
+        &self.out_adj[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
+    }
+
+    /// In-adjacency slice of `v`, sorted by `(label, source)`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[Edge] {
+        let i = v.index();
+        &self.in_adj[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// Total (undirected) degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// The contiguous run of out-edges of `v` labeled `label`.
+    pub fn out_edges_labeled(&self, v: NodeId, label: Label) -> &[Edge] {
+        labeled_range(self.out_edges(v), label)
+    }
+
+    /// The contiguous run of in-edges of `v` labeled `label`.
+    pub fn in_edges_labeled(&self, v: NodeId, label: Label) -> &[Edge] {
+        labeled_range(self.in_edges(v), label)
+    }
+
+    /// Whether the directed edge `(src, dst)` with `label` exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId, label: Label) -> bool {
+        self.out_edges(src)
+            .binary_search(&Edge { label, node: dst })
+            .is_ok()
+    }
+
+    /// Whether `v` has at least one out-edge labeled `label` — the paper's
+    /// "has at least one edge of type q" test used by the LCWA trichotomy.
+    pub fn has_out_label(&self, v: NodeId, label: Label) -> bool {
+        !self.out_edges_labeled(v, label).is_empty()
+    }
+
+    /// Whether node `v'` is a *descendant* of `v` (reachable by a directed
+    /// path, §2.1 notation (5)).
+    pub fn is_descendant(&self, v: NodeId, target: NodeId) -> bool {
+        if v == target {
+            return false; // a path of length >= 1 is required
+        }
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![v];
+        seen[v.index()] = true;
+        while let Some(u) = stack.pop() {
+            for e in self.out_edges(u) {
+                if e.node == target {
+                    return true;
+                }
+                if !seen[e.node.index()] {
+                    seen[e.node.index()] = true;
+                    stack.push(e.node);
+                }
+            }
+        }
+        false
+    }
+
+    /// Per-label node counts, used for sketch/statistics construction.
+    pub fn node_label_histogram(&self) -> rustc_hash::FxHashMap<Label, u64> {
+        let mut h = rustc_hash::FxHashMap::default();
+        for &l in &self.node_labels {
+            *h.entry(l).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Per-label directed-edge counts.
+    pub fn edge_label_histogram(&self) -> rustc_hash::FxHashMap<Label, u64> {
+        let mut h = rustc_hash::FxHashMap::default();
+        for e in &self.out_adj {
+            *h.entry(e.label).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Most frequent `(src-label, edge-label, dst-label)` triples — the
+    /// "most frequent edge patterns" DMine seeds mining with when no
+    /// predicate is given (§4.2 Remarks, §6 Exp-1).
+    pub fn frequent_edge_patterns(&self, top: usize) -> Vec<((Label, Label, Label), u64)> {
+        let mut h: rustc_hash::FxHashMap<(Label, Label, Label), u64> = Default::default();
+        for v in self.nodes() {
+            let lv = self.node_label(v);
+            for e in self.out_edges(v) {
+                *h.entry((lv, e.label, self.node_label(e.node))).or_insert(0) += 1;
+            }
+        }
+        let mut v: Vec<_> = h.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(top);
+        v
+    }
+}
+
+fn labeled_range(adj: &[Edge], label: Label) -> &[Edge] {
+    let lo = adj.partition_point(|e| e.label < label);
+    let hi = adj.partition_point(|e| e.label <= label);
+    &adj[lo..hi]
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(|V|={}, |E|={}, labels={})",
+            self.node_count(),
+            self.edge_count(),
+            self.vocab.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::label::Vocab;
+
+    #[test]
+    fn adjacency_is_sorted_and_labeled_ranges_work() {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let cust = vocab.intern("cust");
+        let like = vocab.intern("like");
+        let follow = vocab.intern("follow");
+        let a = b.add_node(cust);
+        let x = b.add_node(cust);
+        let y = b.add_node(cust);
+        let z = b.add_node(cust);
+        b.add_edge(a, y, like);
+        b.add_edge(a, x, follow);
+        b.add_edge(a, z, like);
+        b.add_edge(a, x, like);
+        let g = b.build();
+
+        let likes = g.out_edges_labeled(a, like);
+        assert_eq!(likes.len(), 3);
+        assert!(likes.windows(2).all(|w| w[0].node < w[1].node));
+        assert_eq!(g.out_edges_labeled(a, follow).len(), 1);
+        assert!(g.has_edge(a, x, like));
+        assert!(!g.has_edge(x, a, like));
+        assert!(g.has_out_label(a, follow));
+        assert!(!g.has_out_label(x, follow));
+    }
+
+    #[test]
+    fn in_edges_mirror_out_edges() {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let l = vocab.intern("n");
+        let e = vocab.intern("e");
+        let n0 = b.add_node(l);
+        let n1 = b.add_node(l);
+        let n2 = b.add_node(l);
+        b.add_edge(n0, n2, e);
+        b.add_edge(n1, n2, e);
+        let g = b.build();
+        assert_eq!(g.in_degree(n2), 2);
+        assert_eq!(g.out_degree(n2), 0);
+        let srcs: Vec<_> = g.in_edges(n2).iter().map(|e| e.node).collect();
+        assert_eq!(srcs, vec![n0, n1]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let l = vocab.intern("n");
+        let e = vocab.intern("e");
+        let f = vocab.intern("f");
+        let n0 = b.add_node(l);
+        let n1 = b.add_node(l);
+        b.add_edge(n0, n1, e);
+        b.add_edge(n0, n1, e);
+        b.add_edge(n0, n1, f); // different label: kept
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn descendant_follows_directed_paths_only() {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let l = vocab.intern("n");
+        let e = vocab.intern("e");
+        let n0 = b.add_node(l);
+        let n1 = b.add_node(l);
+        let n2 = b.add_node(l);
+        b.add_edge(n0, n1, e);
+        b.add_edge(n1, n2, e);
+        let g = b.build();
+        assert!(g.is_descendant(n0, n2));
+        assert!(!g.is_descendant(n2, n0));
+        assert!(!g.is_descendant(n0, n0));
+    }
+
+    #[test]
+    fn frequent_edge_patterns_rank_by_count() {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let cust = vocab.intern("cust");
+        let shop = vocab.intern("shop");
+        let like = vocab.intern("like");
+        let visit = vocab.intern("visit");
+        let c0 = b.add_node(cust);
+        let c1 = b.add_node(cust);
+        let s = b.add_node(shop);
+        b.add_edge(c0, s, like);
+        b.add_edge(c1, s, like);
+        b.add_edge(c0, s, visit);
+        let g = b.build();
+        let top = g.frequent_edge_patterns(10);
+        assert_eq!(top[0], ((cust, like, shop), 2));
+        assert_eq!(top[1], ((cust, visit, shop), 1));
+    }
+}

@@ -1,0 +1,175 @@
+//! A minimal line-oriented text format for labeled graphs.
+//!
+//! ```text
+//! # comment / blank lines ignored
+//! v <id> <label>
+//! e <src> <dst> <label>
+//! ```
+//!
+//! Node ids must be dense `0..n` but may appear in any order. Labels are
+//! whitespace-free tokens (use `_` in place of spaces).
+
+use crate::graph::{Graph, NodeId};
+use crate::label::Vocab;
+use crate::GraphBuilder;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
+
+/// Errors produced while parsing the text graph format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads a graph in the text format from `reader`, interning labels into
+/// `vocab`.
+pub fn read_graph(reader: impl Read, vocab: Arc<Vocab>) -> Result<Graph, ParseError> {
+    let mut nodes: Vec<Option<crate::Label>> = Vec::new();
+    let mut edges: Vec<(u32, u32, crate::Label)> = Vec::new();
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let kind = it.next().unwrap();
+        let malformed = |msg: &str| ParseError::Malformed(lineno, msg.to_string());
+        match kind {
+            "v" => {
+                let id: usize = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| malformed("expected `v <id> <label>`"))?;
+                let label = it
+                    .next()
+                    .ok_or_else(|| malformed("expected `v <id> <label>`"))?;
+                if id >= nodes.len() {
+                    nodes.resize(id + 1, None);
+                }
+                if nodes[id].is_some() {
+                    return Err(malformed(&format!("duplicate node id {id}")));
+                }
+                nodes[id] = Some(vocab.intern(label));
+            }
+            "e" => {
+                let src: u32 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| malformed("expected `e <src> <dst> <label>`"))?;
+                let dst: u32 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| malformed("expected `e <src> <dst> <label>`"))?;
+                let label = it
+                    .next()
+                    .ok_or_else(|| malformed("expected `e <src> <dst> <label>`"))?;
+                edges.push((src, dst, vocab.intern(label)));
+            }
+            other => return Err(malformed(&format!("unknown record kind `{other}`"))),
+        }
+    }
+    let mut b = GraphBuilder::new(vocab);
+    b.reserve(nodes.len(), edges.len());
+    for (i, l) in nodes.into_iter().enumerate() {
+        let l = l.ok_or_else(|| ParseError::Malformed(0, format!("node id {i} never declared")))?;
+        b.add_node(l);
+    }
+    for (s, d, l) in edges {
+        let n = b.node_count() as u32;
+        if s >= n || d >= n {
+            return Err(ParseError::Malformed(
+                0,
+                format!("edge ({s},{d}) references undeclared node"),
+            ));
+        }
+        b.add_edge(NodeId(s), NodeId(d), l);
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` in the text format.
+pub fn write_graph(g: &Graph, mut w: impl Write) -> std::io::Result<()> {
+    let mut out = String::new();
+    for v in g.nodes() {
+        let label = g.vocab().resolve(g.node_label(v));
+        writeln!(out, "v {} {}", v.0, label).unwrap();
+    }
+    for v in g.nodes() {
+        for e in g.out_edges(v) {
+            let label = g.vocab().resolve(e.label);
+            writeln!(out, "e {} {} {}", v.0, e.node.0, label).unwrap();
+        }
+    }
+    w.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let text = "\
+# a tiny graph
+v 0 cust
+v 1 shop
+e 0 1 visit
+v 2 cust
+e 2 1 visit
+e 0 2 friend
+";
+        let vocab = Vocab::new();
+        let g = read_graph(text.as_bytes(), vocab).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice(), Vocab::new()).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let visit = g2.vocab().get("visit").unwrap();
+        assert!(g2.has_edge(NodeId(0), NodeId(1), visit));
+    }
+
+    #[test]
+    fn rejects_duplicate_and_dangling() {
+        let vocab = Vocab::new();
+        let err = read_graph("v 0 a\nv 0 b\n".as_bytes(), vocab.clone()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(2, _)));
+        let err = read_graph("v 0 a\ne 0 5 x\n".as_bytes(), vocab.clone()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(_, _)));
+        let err = read_graph("v 1 a\n".as_bytes(), vocab).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(_, _))); // id 0 missing
+    }
+
+    #[test]
+    fn rejects_unknown_record() {
+        let err = read_graph("x 1 2\n".as_bytes(), Vocab::new()).unwrap_err();
+        assert!(err.to_string().contains("unknown record"));
+    }
+}

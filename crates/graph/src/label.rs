@@ -1,0 +1,161 @@
+//! Interned labels and the shared vocabulary.
+//!
+//! Labels in the paper double as *search conditions*: a pattern node labeled
+//! `"44"` only matches data nodes labeled `"44"` (value binding, see `Q3` in
+//! Fig. 1 of the paper). Interning every label string into a dense `u32`
+//! symbol makes label comparison a single integer compare and lets adjacency
+//! arrays store labels inline.
+
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned label symbol.
+///
+/// Labels are only meaningful relative to the [`Vocab`] that produced them;
+/// graphs, patterns and fragments participating in one mining task must share
+/// a single vocabulary (they do automatically when built through the same
+/// [`crate::GraphBuilder`] / generator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The dense index of this label in its vocabulary.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct VocabInner {
+    map: FxHashMap<Arc<str>, Label>,
+    strings: Vec<Arc<str>>,
+}
+
+/// A thread-safe, append-only string interner.
+///
+/// `Vocab` is shared via [`Arc`] between the graph, its fragments, patterns
+/// and generators. Interning takes a write lock; resolution takes a read
+/// lock and returns a cheap `Arc<str>` clone, so hot paths never hold lock
+/// guards across user code.
+#[derive(Default)]
+pub struct Vocab {
+    inner: RwLock<VocabInner>,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Interns `s`, returning its symbol (allocating one if unseen).
+    pub fn intern(&self, s: &str) -> Label {
+        if let Some(&l) = self.inner.read().map.get(s) {
+            return l;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&l) = inner.map.get(s) {
+            return l;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let l = Label(inner.strings.len() as u32);
+        inner.strings.push(arc.clone());
+        inner.map.insert(arc, l);
+        l
+    }
+
+    /// Looks up `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<Label> {
+        self.inner.read().map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `l` was not produced by this vocabulary.
+    pub fn resolve(&self, l: Label) -> Arc<str> {
+        self.inner.read().strings[l.index()].clone()
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// Whether no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for Vocab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vocab({} labels)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let v = Vocab::new();
+        let a = v.intern("cust");
+        let b = v.intern("cust");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_labels() {
+        let v = Vocab::new();
+        let a = v.intern("cust");
+        let b = v.intern("city");
+        assert_ne!(a, b);
+        assert_eq!(v.resolve(a).as_ref(), "cust");
+        assert_eq!(v.resolve(b).as_ref(), "city");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let v = Vocab::new();
+        assert_eq!(v.get("nothing"), None);
+        assert!(v.is_empty());
+        let l = v.intern("x");
+        assert_eq!(v.get("x"), Some(l));
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let v = Vocab::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let v = Arc::clone(&v);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        v.intern(&format!("label-{}", i % 10));
+                    }
+                });
+            }
+        });
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn value_bindings_are_plain_labels() {
+        // The paper encodes value bindings like zip code "44" as labels.
+        let v = Vocab::new();
+        let zip = v.intern("44");
+        assert_eq!(v.resolve(zip).as_ref(), "44");
+    }
+}

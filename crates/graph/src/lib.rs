@@ -1,0 +1,59 @@
+//! # gpar-graph
+//!
+//! Labeled directed multigraph substrate for graph-pattern association rules
+//! (GPARs), reproducing the data model of *Fan et al., "Association Rules
+//! with Graph Patterns", PVLDB 2015* (§2.1):
+//!
+//! > A graph is `G = (V, E, L)` where `V` is a finite set of nodes,
+//! > `E ⊆ V × V` a set of edges, and every node and edge carries a label
+//! > `L(·)` (its label or content, e.g. `cust`, `French restaurant`, `"44"`).
+//!
+//! The crate provides:
+//!
+//! * [`Vocab`] — a thread-safe string interner mapping label strings to
+//!   compact [`Label`] symbols shared across graphs, patterns and fragments;
+//! * [`Graph`] — an immutable CSR-packed graph with out- *and* in-adjacency,
+//!   both sorted by `(label, endpoint)` for `O(log deg)` labeled lookups;
+//! * [`GraphBuilder`] — the mutable construction API;
+//! * [`neighborhood`] — BFS utilities, `N_r(v)` balls and `G_d(v_x)`
+//!   d-neighborhood extraction (the locality primitive both DMine and Match
+//!   capitalize on);
+//! * [`sketch`] — k-hop label-frequency sketches used by the guided-search
+//!   optimization of §5.2;
+//! * [`io`] — a small line-oriented text format for graphs.
+//!
+//! All node and label identifiers are `u32` newtypes: the paper's target
+//! graphs (tens of millions of nodes) fit comfortably, and halving index
+//! width keeps the CSR arrays cache-resident.
+
+pub mod builder;
+pub mod graph;
+pub mod io;
+pub mod label;
+pub mod neighborhood;
+pub mod sketch;
+
+pub use builder::GraphBuilder;
+pub use graph::{Edge, Graph, NodeId};
+pub use label::{Label, Vocab};
+pub use neighborhood::{ball, bfs_layers, extract_induced, Extracted};
+pub use sketch::{Sketch, SketchIndex};
+
+/// Fast hash map keyed by small integers (FxHash; see the performance notes
+/// in DESIGN.md §7).
+pub type FxHashMap<K, V> = rustc_hash::FxHashMap<K, V>;
+/// Fast hash set for small integer keys.
+pub type FxHashSet<K> = rustc_hash::FxHashSet<K>;
+
+/// Per-thread CPU time (`CLOCK_THREAD_CPUTIME_ID`).
+///
+/// Worker busy times must be CPU time, not wall time: on an oversubscribed
+/// host every thread's wall time approaches the total elapsed time, which
+/// would make critical-path simulation of an n-processor cluster (see
+/// DESIGN.md "Substitutions") meaningless.
+pub fn thread_cpu_time() -> std::time::Duration {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // Safety: clock_gettime writes into the provided timespec.
+    unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    std::time::Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}

@@ -1,0 +1,198 @@
+//! BFS neighborhoods and induced-subgraph extraction.
+//!
+//! These are the locality primitives behind both algorithms in the paper:
+//! for any GPAR `R` of radius ≤ `d` at `x` and any node `v_x`,
+//! `v_x ∈ P_R(x, G)` iff `v_x ∈ P_R(x, G_d(v_x))` where `G_d(v_x)` is the
+//! subgraph *induced* by `N_d(v_x)` (§4.2 "data locality of subgraph
+//! isomorphism"). Fragmentation (crate `gpar-partition`) builds on
+//! [`ball`] + [`extract_induced`].
+
+use crate::graph::{Graph, NodeId};
+use crate::GraphBuilder;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// BFS over the *undirected* view of `g` from `start`, up to `max_depth`
+/// hops. Returns `(node, depth)` pairs in visit order; `start` is included
+/// at depth 0.
+pub fn bfs_layers(g: &Graph, start: NodeId, max_depth: u32) -> Vec<(NodeId, u32)> {
+    let mut seen: FxHashMap<NodeId, u32> = FxHashMap::default();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start, 0);
+    order.push((start, 0));
+    queue.push_back((start, 0));
+    while let Some((v, depth)) = queue.pop_front() {
+        if depth == max_depth {
+            continue;
+        }
+        for e in g.out_edges(v).iter().chain(g.in_edges(v)) {
+            if !seen.contains_key(&e.node) {
+                seen.insert(e.node, depth + 1);
+                order.push((e.node, depth + 1));
+                queue.push_back((e.node, depth + 1));
+            }
+        }
+    }
+    order
+}
+
+/// The ball `N_r(v)`: all nodes within undirected radius `r` of `v`
+/// (including `v`), sorted by node id.
+pub fn ball(g: &Graph, v: NodeId, r: u32) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = bfs_layers(g, v, r).into_iter().map(|(n, _)| n).collect();
+    nodes.sort_unstable();
+    nodes
+}
+
+/// Undirected distance between two nodes, if connected within `max_depth`.
+pub fn undirected_distance(g: &Graph, a: NodeId, b: NodeId, max_depth: u32) -> Option<u32> {
+    bfs_layers(g, a, max_depth)
+        .into_iter()
+        .find(|&(n, _)| n == b)
+        .map(|(_, d)| d)
+}
+
+/// A subgraph extracted from a parent graph, with the mapping back to
+/// parent ("global") node ids.
+#[derive(Debug, Clone)]
+pub struct Extracted {
+    /// The induced subgraph, with local dense node ids.
+    pub graph: Graph,
+    /// `to_global[local.index()]` is the parent-graph id of a local node.
+    pub to_global: Vec<NodeId>,
+    /// Reverse map from parent-graph id to local id.
+    pub to_local: FxHashMap<NodeId, NodeId>,
+}
+
+impl Extracted {
+    /// Translates a local node id back to the parent graph.
+    #[inline]
+    pub fn global(&self, local: NodeId) -> NodeId {
+        self.to_global[local.index()]
+    }
+
+    /// Translates a parent-graph node id into this subgraph, if present.
+    #[inline]
+    pub fn local(&self, global: NodeId) -> Option<NodeId> {
+        self.to_local.get(&global).copied()
+    }
+}
+
+/// Extracts the subgraph of `g` *induced* by `nodes` (§2.1: all edges of `g`
+/// whose endpoints are both in the set), preserving labels and sharing the
+/// vocabulary.
+///
+/// `nodes` may be unsorted and may contain duplicates; local ids are
+/// assigned in first-occurrence order.
+pub fn extract_induced(g: &Graph, nodes: &[NodeId]) -> Extracted {
+    let mut to_local: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    to_local.reserve(nodes.len());
+    let mut to_global = Vec::with_capacity(nodes.len());
+    let mut b = GraphBuilder::new(g.vocab().clone());
+    for &v in nodes {
+        if !to_local.contains_key(&v) {
+            let local = b.add_node(g.node_label(v));
+            to_local.insert(v, local);
+            to_global.push(v);
+        }
+    }
+    for (&global, &local) in to_local.clone().iter() {
+        for e in g.out_edges(global) {
+            if let Some(&dst) = to_local.get(&e.node) {
+                b.add_edge(local, dst, e.label);
+            }
+        }
+    }
+    Extracted {
+        graph: b.build(),
+        to_global,
+        to_local,
+    }
+}
+
+/// Extracts `G_d(v_x)`: the subgraph induced by `N_d(v_x)`, together with
+/// the local id of the center.
+pub fn d_neighborhood(g: &Graph, center: NodeId, d: u32) -> (Extracted, NodeId) {
+    let nodes = ball(g, center, d);
+    let ex = extract_induced(g, &nodes);
+    let c = ex.local(center).expect("center is in its own ball");
+    (ex, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Vocab;
+
+    /// A directed path v0 -> v1 -> v2 -> v3 with one label.
+    fn path4() -> (Graph, Vec<NodeId>) {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        let vs: Vec<NodeId> = (0..4).map(|_| b.add_node(n)).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], e);
+        }
+        (b.build(), vs)
+    }
+
+    #[test]
+    fn bfs_is_undirected_and_depth_bounded() {
+        let (g, vs) = path4();
+        // From the *end* of the path, in-edges must be traversed too.
+        let l1 = bfs_layers(&g, vs[3], 1);
+        assert_eq!(l1.len(), 2);
+        assert!(l1.contains(&(vs[2], 1)));
+        let l3 = bfs_layers(&g, vs[3], 3);
+        assert_eq!(l3.len(), 4);
+        assert!(l3.contains(&(vs[0], 3)));
+    }
+
+    #[test]
+    fn ball_includes_center_and_is_sorted() {
+        let (g, vs) = path4();
+        let b = ball(&g, vs[1], 1);
+        assert_eq!(b, vec![vs[0], vs[1], vs[2]]);
+    }
+
+    #[test]
+    fn undirected_distance_matches_path_lengths() {
+        let (g, vs) = path4();
+        assert_eq!(undirected_distance(&g, vs[0], vs[3], 5), Some(3));
+        assert_eq!(undirected_distance(&g, vs[0], vs[3], 2), None);
+        assert_eq!(undirected_distance(&g, vs[2], vs[2], 0), Some(0));
+    }
+
+    #[test]
+    fn induced_extraction_keeps_internal_edges_only() {
+        let (g, vs) = path4();
+        let ex = extract_induced(&g, &[vs[0], vs[1], vs[3]]);
+        assert_eq!(ex.graph.node_count(), 3);
+        // Only v0->v1 survives; v1->v2 and v2->v3 have an endpoint outside.
+        assert_eq!(ex.graph.edge_count(), 1);
+        let l0 = ex.local(vs[0]).unwrap();
+        let l1 = ex.local(vs[1]).unwrap();
+        let e = g.vocab().get("e").unwrap();
+        assert!(ex.graph.has_edge(l0, l1, e));
+        assert_eq!(ex.global(l0), vs[0]);
+        assert_eq!(ex.local(vs[2]), None);
+    }
+
+    #[test]
+    fn d_neighborhood_is_the_induced_ball() {
+        let (g, vs) = path4();
+        let (ex, c) = d_neighborhood(&g, vs[1], 1);
+        assert_eq!(ex.graph.node_count(), 3);
+        assert_eq!(ex.graph.edge_count(), 2); // v0->v1, v1->v2 are internal
+        assert_eq!(ex.global(c), vs[1]);
+    }
+
+    #[test]
+    fn extraction_dedups_node_list() {
+        let (g, vs) = path4();
+        let ex = extract_induced(&g, &[vs[0], vs[0], vs[1], vs[0]]);
+        assert_eq!(ex.graph.node_count(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! k-hop neighborhood label sketches (§5.2 "guided search").
+//!
+//! For each node `v`, the sketch `K(v)` is a list `{(1, D_1), …, (k, D_k)}`
+//! where `D_i` is the distribution of node labels *within* `i` hops of `v`
+//! (cumulative, matching the worked Example 10 in the paper, where `D_2`
+//! repeats everything already reachable at hop 1).
+//!
+//! Cumulative layers make the sketch sound as a pruning filter for subgraph
+//! *monomorphism*: a match `h` can only shrink distances, so every pattern
+//! node within `i` hops of `u'` maps to a distinct data node within `i`
+//! hops of `h(u')`. Hence if for some layer `i` and label `ℓ` the pattern
+//! needs more `ℓ`-nodes than the data offers (`D_i − D'_i < 0` in the
+//! paper's notation), `v'` cannot match `u'` and is pruned. The surplus
+//! `Σ_i (D_i − D'_i)` is the paper's ranking score `f(u', v')`.
+
+use crate::graph::{Graph, NodeId};
+use crate::label::Label;
+use crate::neighborhood::bfs_layers;
+use rustc_hash::FxHashMap;
+
+/// A cumulative k-hop label-frequency sketch.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Sketch {
+    /// `layers[i]` holds label counts within `i+1` hops, sorted by label.
+    layers: Vec<Vec<(Label, u32)>>,
+}
+
+impl Sketch {
+    /// Builds the sketch of `v` in `g` with `k` layers.
+    pub fn build(g: &Graph, v: NodeId, k: u32) -> Self {
+        let mut per_depth: Vec<FxHashMap<Label, u32>> =
+            (0..k).map(|_| FxHashMap::default()).collect();
+        for (n, depth) in bfs_layers(g, v, k) {
+            if depth == 0 {
+                continue; // the center itself is not part of its neighborhood
+            }
+            // Cumulative: a node at depth t counts in every layer >= t.
+            for layer in per_depth.iter_mut().skip(depth as usize - 1) {
+                *layer.entry(g.node_label(n)).or_insert(0) += 1;
+            }
+        }
+        Self::from_layer_maps(per_depth)
+    }
+
+    /// Builds a sketch from pre-computed cumulative per-layer label counts.
+    /// Used by the pattern crate to sketch pattern nodes.
+    pub fn from_layer_maps(maps: Vec<FxHashMap<Label, u32>>) -> Self {
+        let layers = maps
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(Label, u32)> = m.into_iter().collect();
+                v.sort_unstable_by_key(|&(l, _)| l);
+                v
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of layers `k`.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Count of `label` within `hop` hops (1-based hop index).
+    pub fn count(&self, hop: usize, label: Label) -> u32 {
+        debug_assert!(hop >= 1);
+        let layer = &self.layers[hop - 1];
+        match layer.binary_search_by_key(&label, |&(l, _)| l) {
+            Ok(i) => layer[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Whether this (data) sketch can *cover* a pattern sketch: for every
+    /// layer and label, the data count is at least the pattern count.
+    /// Returns `false` exactly when the paper's mismatch condition
+    /// `D_i − D'_i < 0` holds for some `i`.
+    pub fn covers(&self, pattern: &Sketch) -> bool {
+        let k = self.depth().min(pattern.depth());
+        for i in 0..k {
+            for &(l, need) in &pattern.layers[i] {
+                if self.count(i + 1, l) < need {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The paper's guidance score `f(u', v') = Σ_i (D_i − D'_i)`: total
+    /// frequency surplus of this (data) sketch over the pattern sketch,
+    /// summed over labels the pattern mentions. Larger surplus ⇒ more
+    /// likely to extend to a full match. Returns `None` on mismatch.
+    pub fn surplus(&self, pattern: &Sketch) -> Option<i64> {
+        let k = self.depth().min(pattern.depth());
+        let mut total: i64 = 0;
+        for i in 0..k {
+            for &(l, need) in &pattern.layers[i] {
+                let have = self.count(i + 1, l) as i64;
+                let diff = have - need as i64;
+                if diff < 0 {
+                    return None;
+                }
+                total += diff;
+            }
+        }
+        Some(total)
+    }
+}
+
+/// Pre-computed sketches for a set of nodes of one graph.
+#[derive(Debug, Clone)]
+pub struct SketchIndex {
+    k: u32,
+    sketches: FxHashMap<NodeId, Sketch>,
+}
+
+impl SketchIndex {
+    /// Builds sketches for `nodes` (typically the candidate centers `L`).
+    pub fn build_for(g: &Graph, nodes: impl IntoIterator<Item = NodeId>, k: u32) -> Self {
+        let sketches = nodes
+            .into_iter()
+            .map(|v| (v, Sketch::build(g, v, k)))
+            .collect();
+        Self { k, sketches }
+    }
+
+    /// Builds sketches for every node of `g`. Only use on small graphs or
+    /// fragments; for big graphs prefer [`SketchIndex::build_for`].
+    pub fn build_all(g: &Graph, k: u32) -> Self {
+        Self::build_for(g, g.nodes(), k)
+    }
+
+    /// Sketch depth `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The sketch of `v`, if indexed.
+    pub fn get(&self, v: NodeId) -> Option<&Sketch> {
+        self.sketches.get(&v)
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label::Vocab;
+
+    /// Star: center cust with 3 `like`-> restaurant, 1 `friend`-> cust;
+    /// the friend has 1 `like`-> restaurant.
+    fn star() -> (Graph, NodeId, NodeId) {
+        let vocab = Vocab::new();
+        let mut b = GraphBuilder::new(vocab.clone());
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("restaurant");
+        let like = vocab.intern("like");
+        let friend = vocab.intern("friend");
+        let c = b.add_node(cust);
+        let f = b.add_node(cust);
+        b.add_edge(c, f, friend);
+        for _ in 0..3 {
+            let r = b.add_node(rest);
+            b.add_edge(c, r, like);
+        }
+        let r = b.add_node(rest);
+        b.add_edge(f, r, like);
+        (b.build(), c, f)
+    }
+
+    #[test]
+    fn sketch_layers_are_cumulative() {
+        let (g, c, _) = star();
+        let rest = g.vocab().get("restaurant").unwrap();
+        let cust = g.vocab().get("cust").unwrap();
+        let s = Sketch::build(&g, c, 2);
+        assert_eq!(s.count(1, rest), 3);
+        assert_eq!(s.count(1, cust), 1);
+        // Hop 2 adds the friend's restaurant, cumulatively.
+        assert_eq!(s.count(2, rest), 4);
+        assert_eq!(s.count(2, cust), 1);
+    }
+
+    #[test]
+    fn covers_and_surplus_agree() {
+        let (g, c, f) = star();
+        let rest = g.vocab().get("restaurant").unwrap();
+        let sc = Sketch::build(&g, c, 2);
+        let sf = Sketch::build(&g, f, 2);
+        // "pattern" needing 2 restaurants within 1 hop.
+        let mut need = FxHashMap::default();
+        need.insert(rest, 2u32);
+        let pat = Sketch::from_layer_maps(vec![need.clone(), need]);
+        assert!(sc.covers(&pat));
+        assert!(sc.surplus(&pat).is_some());
+        assert!(!sf.covers(&pat)); // friend has only 1 restaurant at hop 1
+        assert_eq!(sf.surplus(&pat), None);
+    }
+
+    #[test]
+    fn surplus_ranks_richer_neighborhoods_higher() {
+        let (g, c, f) = star();
+        let rest = g.vocab().get("restaurant").unwrap();
+        let mut need = FxHashMap::default();
+        need.insert(rest, 1u32);
+        let pat = Sketch::from_layer_maps(vec![need]);
+        let sc = Sketch::build(&g, c, 2).surplus(&pat).unwrap();
+        let sf = Sketch::build(&g, f, 2).surplus(&pat).unwrap();
+        assert!(sc > sf, "center has more like-edges, so a larger surplus");
+    }
+
+    #[test]
+    fn index_builds_for_selected_nodes() {
+        let (g, c, f) = star();
+        let idx = SketchIndex::build_for(&g, [c], 2);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.get(c).is_some());
+        assert!(idx.get(f).is_none());
+        let all = SketchIndex::build_all(&g, 2);
+        assert_eq!(all.len(), g.node_count());
+    }
+}

@@ -1,0 +1,143 @@
+//! A brute-force matcher used as a test oracle.
+//!
+//! Enumerates *every* injective assignment of pattern nodes to graph nodes
+//! and filters by the match conditions — exponential, safe only on tiny
+//! inputs, and deliberately free of the pruning logic the real engines use,
+//! so that property tests can compare against an independent
+//! implementation.
+
+use gpar_graph::{FxHashSet, Graph, NodeId};
+use gpar_pattern::{EdgeCond, PNodeId, Pattern};
+
+fn is_match(p: &Pattern, g: &Graph, map: &[NodeId]) -> bool {
+    for u in p.nodes() {
+        if !p.cond(u).matches(g.node_label(map[u.index()])) {
+            return false;
+        }
+    }
+    for e in p.edges() {
+        let s = map[e.src.index()];
+        let d = map[e.dst.index()];
+        let ok = match e.cond {
+            EdgeCond::Label(l) => g.has_edge(s, d, l),
+            EdgeCond::Any => g.out_edges(s).iter().any(|ge| ge.node == d),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// All images of pattern node `u` over all matches of `p` in `g`, computed
+/// by exhaustive enumeration of injective assignments.
+pub fn brute_force_images(p: &Pattern, g: &Graph, u: PNodeId) -> FxHashSet<NodeId> {
+    let n = p.node_count();
+    let mut out = FxHashSet::default();
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let mut map: Vec<NodeId> = vec![NodeId(0); n];
+    let mut used = vec![false; nodes.len()];
+
+    fn rec(
+        p: &Pattern,
+        g: &Graph,
+        nodes: &[NodeId],
+        pos: usize,
+        map: &mut [NodeId],
+        used: &mut [bool],
+        u: PNodeId,
+        out: &mut FxHashSet<NodeId>,
+    ) {
+        if pos == map.len() {
+            if is_match(p, g, map) {
+                out.insert(map[u.index()]);
+            }
+            return;
+        }
+        for (i, &v) in nodes.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            used[i] = true;
+            map[pos] = v;
+            rec(p, g, nodes, pos + 1, map, used, u, out);
+            used[i] = false;
+        }
+    }
+    if nodes.len() >= n {
+        rec(p, g, &nodes, 0, &mut map, &mut used, u, &mut out);
+    }
+    out
+}
+
+/// Counts all matches of `p` in `g` by exhaustive enumeration.
+pub fn brute_force_count(p: &Pattern, g: &Graph) -> u64 {
+    let n = p.node_count();
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    if nodes.len() < n {
+        return 0;
+    }
+    let mut map: Vec<NodeId> = vec![NodeId(0); n];
+    let mut used = vec![false; nodes.len()];
+    let mut count = 0u64;
+
+    fn rec(
+        p: &Pattern,
+        g: &Graph,
+        nodes: &[NodeId],
+        pos: usize,
+        map: &mut [NodeId],
+        used: &mut [bool],
+        count: &mut u64,
+    ) {
+        if pos == map.len() {
+            if is_match(p, g, map) {
+                *count += 1;
+            }
+            return;
+        }
+        for (i, &v) in nodes.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            used[i] = true;
+            map[pos] = v;
+            rec(p, g, nodes, pos + 1, map, used, count);
+            used[i] = false;
+        }
+    }
+    rec(p, g, &nodes, 0, &mut map, &mut used, &mut count);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matcher, MatcherConfig};
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_pattern::PatternBuilder;
+
+    #[test]
+    fn oracle_agrees_on_a_small_case() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let r = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let mut gb = GraphBuilder::new(vocab.clone());
+        let c1 = gb.add_node(cust);
+        let c2 = gb.add_node(cust);
+        let r1 = gb.add_node(r);
+        gb.add_edge(c1, r1, like);
+        gb.add_edge(c2, r1, like);
+        let g = gb.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(r);
+        pb.edge(x, y, like);
+        let p = pb.designate(x, y).build().unwrap();
+        let oracle = brute_force_images(&p, &g, x);
+        let engine = Matcher::new(&g, MatcherConfig::vf2()).images(&p, x);
+        assert_eq!(oracle, engine);
+        assert_eq!(brute_force_count(&p, &g), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! # gpar-iso
+//!
+//! Subgraph-isomorphism engines for GPAR matching.
+//!
+//! The paper adopts subgraph isomorphism for pattern matching (§2.1): a
+//! match of pattern `Q` in graph `G` is an injective `h` from pattern nodes
+//! to graph nodes such that node conditions hold (`f(u) = L(h(u))`) and
+//! every pattern edge maps onto a graph edge with the matching label. (The
+//! "if and only if" in the paper quantifies over the *witness subgraph*
+//! `G'`, which is any subgraph of `G` containing exactly the mapped edges —
+//! so the semantics is standard, non-induced subgraph isomorphism.)
+//!
+//! One [`Matcher`] type serves all algorithms in the paper, differing only
+//! in configuration:
+//!
+//! | paper's algorithm | configuration |
+//! |---|---|
+//! | `VF2` baseline / `disVF2` | [`EngineKind::Vf2`], full enumeration |
+//! | `Matchc` | [`EngineKind::Vf2`], one enumeration per candidate |
+//! | `Match` (guided search, §5.2) | [`EngineKind::Guided`] + early stop |
+//! | `Matchs` (ordering of [38]) | [`EngineKind::DegreeOrdered`] |
+//!
+//! Early termination is the *caller's* choice: [`Matcher::exists_anchored`]
+//! stops at the first witness, [`Matcher::enumerate_anchored`] visits all
+//! matches.
+
+pub mod bruteforce;
+pub mod matcher;
+pub mod order;
+pub mod simulation;
+
+pub use bruteforce::brute_force_images;
+pub use matcher::{EngineKind, Matcher, MatcherConfig, PatternSketchCache};
+pub use simulation::{dual_simulation, simulation_images};
+
+use gpar_graph::{FxHashSet, Graph, NodeId};
+use gpar_pattern::{PNodeId, Pattern};
+
+/// Convenience: `Q(u, G)` with the default VF2 engine — the set of distinct
+/// matches of pattern node `u` over all matches of `p` in `g` (Table 1).
+pub fn images(p: &Pattern, g: &Graph, u: PNodeId) -> FxHashSet<NodeId> {
+    Matcher::new(g, MatcherConfig::vf2()).images(p, u)
+}
+
+/// Convenience: `Q(x, G)` for the designated node with the default engine.
+pub fn images_of_x(p: &Pattern, g: &Graph) -> FxHashSet<NodeId> {
+    images(p, g, p.x())
+}

@@ -1,0 +1,830 @@
+//! The backtracking subgraph-isomorphism matcher.
+
+use crate::order::visit_order;
+use gpar_graph::{FxHashMap, FxHashSet, Graph, Label, NodeId, Sketch, SketchIndex};
+use gpar_pattern::{pattern_sketch, EdgeCond, NodeCond, PNodeId, Pattern};
+use std::cell::RefCell;
+use std::ops::ControlFlow;
+
+/// Which search strategy to use. See the crate docs for the mapping to the
+/// paper's algorithm names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// VF2-style: connectivity-driven order, most-constrained-first
+    /// tie-break, candidates in adjacency order.
+    Vf2,
+    /// Static degree-based variable order (the vertex-relationship
+    /// heuristic in the spirit of Ren & Wang [38]; the paper's `Matchs`).
+    DegreeOrdered,
+    /// Guided search (§5.2): k-hop-sketch candidate *pruning* plus
+    /// best-surplus-first candidate ordering with backtracking.
+    Guided,
+}
+
+/// Matcher configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MatcherConfig {
+    /// Search strategy.
+    pub kind: EngineKind,
+    /// Sketch depth `k` for [`EngineKind::Guided`].
+    pub sketch_k: u32,
+    /// Whether guided search prunes candidates whose sketch cannot cover
+    /// the pattern's sketch (`D_i − D'_i < 0` ⇒ mismatch).
+    pub sketch_prune: bool,
+    /// Minimum branching factor before guided search scores/sorts
+    /// candidates by sketch surplus. Scoring every tiny candidate list
+    /// costs more than it saves; the anchor-level prefilter still applies
+    /// regardless.
+    pub guided_min_branch: usize,
+}
+
+impl MatcherConfig {
+    /// Baseline VF2 configuration.
+    pub fn vf2() -> Self {
+        Self { kind: EngineKind::Vf2, sketch_k: 0, sketch_prune: false, guided_min_branch: 0 }
+    }
+
+    /// Degree-ordered configuration (the paper's `Matchs` flavor).
+    pub fn degree_ordered() -> Self {
+        Self {
+            kind: EngineKind::DegreeOrdered,
+            sketch_k: 0,
+            sketch_prune: false,
+            guided_min_branch: 0,
+        }
+    }
+
+    /// Guided-search configuration with 2-hop sketches (the paper's
+    /// default; Example 10 uses `k = 2`).
+    pub fn guided() -> Self {
+        Self { kind: EngineKind::Guided, sketch_k: 2, sketch_prune: true, guided_min_branch: 24 }
+    }
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        Self::vf2()
+    }
+}
+
+/// A shareable cache of pattern-side sketches, keyed by a structural
+/// fingerprint of the pattern. Pattern sketches do not depend on the data
+/// graph, so callers evaluating many small graphs (one per candidate
+/// site, as EIP does) should create one cache per thread and share it
+/// across matchers via [`Matcher::with_shared_pattern_cache`].
+pub type PatternSketchCache = std::rc::Rc<RefCell<FxHashMap<Vec<u64>, std::rc::Rc<Vec<Sketch>>>>>;
+
+/// A reusable matcher bound to one data graph.
+///
+/// The matcher owns a lazily filled cache of data-node sketches for guided
+/// search; create one matcher per fragment/thread and reuse it across
+/// candidates and rules to amortize sketch construction (matching the
+/// paper's precomputed `K(v)`).
+pub struct Matcher<'g> {
+    g: &'g Graph,
+    cfg: MatcherConfig,
+    precomputed: Option<&'g SketchIndex>,
+    cache: RefCell<FxHashMap<NodeId, Sketch>>,
+    pattern_cache: PatternSketchCache,
+}
+
+impl<'g> Matcher<'g> {
+    /// Creates a matcher over `g`.
+    pub fn new(g: &'g Graph, cfg: MatcherConfig) -> Self {
+        Self {
+            g,
+            cfg,
+            precomputed: None,
+            cache: RefCell::new(FxHashMap::default()),
+            pattern_cache: PatternSketchCache::default(),
+        }
+    }
+
+    /// Creates a matcher that consults a precomputed sketch index before
+    /// falling back to on-demand sketch construction.
+    pub fn with_sketches(g: &'g Graph, cfg: MatcherConfig, idx: &'g SketchIndex) -> Self {
+        Self {
+            g,
+            cfg,
+            precomputed: Some(idx),
+            cache: RefCell::new(FxHashMap::default()),
+            pattern_cache: PatternSketchCache::default(),
+        }
+    }
+
+    /// Replaces the pattern-sketch cache with a shared one (see
+    /// [`PatternSketchCache`]).
+    pub fn with_shared_pattern_cache(mut self, cache: PatternSketchCache) -> Self {
+        self.pattern_cache = cache;
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> MatcherConfig {
+        self.cfg
+    }
+
+    /// All data nodes satisfying the condition of pattern node `u`.
+    pub fn candidates(&self, p: &Pattern, u: PNodeId) -> Vec<NodeId> {
+        match p.cond(u) {
+            NodeCond::Label(l) => self.g.nodes_with_label(l).collect(),
+            NodeCond::Any => self.g.nodes().collect(),
+        }
+    }
+
+    /// Whether at least one match maps `u ↦ v` (early termination at the
+    /// first witness — the `Match` optimization of §5.2).
+    pub fn exists_anchored(&self, p: &Pattern, u: PNodeId, v: NodeId) -> bool {
+        let mut found = false;
+        self.run_anchored(p, u, v, &mut |_| {
+            found = true;
+            ControlFlow::Break(())
+        });
+        found
+    }
+
+    /// Enumerates every match mapping `u ↦ v`. The callback receives the
+    /// complete assignment (indexed by pattern node) and may stop the
+    /// enumeration by returning [`ControlFlow::Break`].
+    pub fn enumerate_anchored(
+        &self,
+        p: &Pattern,
+        u: PNodeId,
+        v: NodeId,
+        cb: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) {
+        self.run_anchored(p, u, v, cb);
+    }
+
+    /// Counts matches mapping `u ↦ v`, up to an optional cap (full
+    /// enumeration, as the `Matchc`/`disVF2` baselines perform).
+    pub fn count_anchored(&self, p: &Pattern, u: PNodeId, v: NodeId, cap: Option<u64>) -> u64 {
+        let mut n = 0u64;
+        self.run_anchored(p, u, v, &mut |_| {
+            n += 1;
+            match cap {
+                Some(c) if n >= c => ControlFlow::Break(()),
+                _ => ControlFlow::Continue(()),
+            }
+        });
+        n
+    }
+
+    /// `Q(u, G)`: the distinct images of pattern node `u` across all
+    /// matches, computed with early termination per candidate.
+    pub fn images(&self, p: &Pattern, u: PNodeId) -> FxHashSet<NodeId> {
+        self.images_among(p, u, self.candidates(p, u).into_iter())
+    }
+
+    /// As [`Matcher::images`] but restricted to the given candidates.
+    pub fn images_among(
+        &self,
+        p: &Pattern,
+        u: PNodeId,
+        candidates: impl Iterator<Item = NodeId>,
+    ) -> FxHashSet<NodeId> {
+        candidates
+            .filter(|&v| self.exists_anchored(p, u, v))
+            .collect()
+    }
+
+    /// `Q(u, G)` computed by *full enumeration per candidate* — the cost
+    /// profile of the `disVF2` baseline, which enumerates all isomorphic
+    /// matches instead of stopping at the first.
+    pub fn images_by_full_enumeration(&self, p: &Pattern, u: PNodeId) -> FxHashSet<NodeId> {
+        let mut out = FxHashSet::default();
+        for v in self.candidates(p, u) {
+            if self.count_anchored(p, u, v, None) > 0 {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Counts all matches of `p` in the graph (`‖Q(G)‖`), up to `cap`.
+    pub fn count_matches(&self, p: &Pattern, cap: Option<u64>) -> u64 {
+        let mut n = 0u64;
+        for v in self.candidates(p, p.x()) {
+            n += self.count_anchored(p, p.x(), v, cap.map(|c| c.saturating_sub(n)));
+            if let Some(c) = cap {
+                if n >= c {
+                    return c;
+                }
+            }
+        }
+        n
+    }
+
+    /// Enumerates all matches of `p` (anchorless).
+    pub fn enumerate(&self, p: &Pattern, cb: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>) {
+        for v in self.candidates(p, p.x()) {
+            let mut stop = false;
+            self.run_anchored(p, p.x(), v, &mut |m| {
+                let flow = cb(m);
+                if flow.is_break() {
+                    stop = true;
+                }
+                flow
+            });
+            if stop {
+                return;
+            }
+        }
+    }
+
+    fn run_anchored(
+        &self,
+        p: &Pattern,
+        u: PNodeId,
+        v: NodeId,
+        cb: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) {
+        if !self.node_feasible(p, u, v) {
+            return;
+        }
+        // The anchor is assigned without going through `assign_feasible`,
+        // so its self-loop edges must be verified here.
+        for &(dst, cond) in p.out(u) {
+            if dst == u && !self.edge_exists(v, v, cond) {
+                return;
+            }
+        }
+        // Degree-first static orders help both the degree-ordered engine
+        // and guided search (sketch ranking then refines within a step).
+        let order = visit_order(p, u, self.cfg.kind != EngineKind::Vf2);
+        let psketches = if self.cfg.kind == EngineKind::Guided {
+            Some(self.pattern_sketches(p))
+        } else {
+            None
+        };
+        if let Some(ps) = &psketches {
+            if self.cfg.sketch_prune && !self.data_sketch_covers(v, &ps[u.index()]) {
+                return;
+            }
+        }
+        let mut st = SearchState {
+            map: vec![None; p.node_count()],
+            used: FxHashSet::default(),
+            buf: Vec::new(),
+        };
+        st.assign(u, v);
+        let psk: Option<&[Sketch]> = psketches.as_ref().map(|r| r.as_slice());
+        let _ = self.go(p, &order, 1, &mut st, psk, cb);
+    }
+
+    /// Cached per-pattern-node sketches, keyed by a structural fingerprint
+    /// of the pattern (conditions + edges), so equal patterns share one
+    /// entry regardless of allocation identity.
+    fn pattern_sketches(&self, p: &Pattern) -> std::rc::Rc<Vec<Sketch>> {
+        let mut key: Vec<u64> = Vec::with_capacity(2 + p.node_count() + 3 * p.edge_count());
+        key.push(self.cfg.sketch_k as u64);
+        for u in p.nodes() {
+            key.push(match p.cond(u) {
+                NodeCond::Label(l) => l.0 as u64,
+                NodeCond::Any => u64::MAX,
+            });
+        }
+        key.push(u64::MAX - 1);
+        for e in p.edges() {
+            key.push(e.src.0 as u64);
+            key.push(e.dst.0 as u64);
+            key.push(match e.cond {
+                EdgeCond::Label(l) => l.0 as u64,
+                EdgeCond::Any => u64::MAX,
+            });
+        }
+        if let Some(hit) = self.pattern_cache.borrow().get(&key) {
+            return hit.clone();
+        }
+        let built = std::rc::Rc::new(
+            p.nodes()
+                .map(|pu| pattern_sketch(p, pu, self.cfg.sketch_k))
+                .collect::<Vec<_>>(),
+        );
+        self.pattern_cache.borrow_mut().insert(key, built.clone());
+        built
+    }
+
+    fn go(
+        &self,
+        p: &Pattern,
+        order: &[PNodeId],
+        pos: usize,
+        st: &mut SearchState,
+        psk: Option<&[Sketch]>,
+        cb: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if pos == order.len() {
+            st.buf.clear();
+            st.buf.extend(st.map.iter().map(|m| m.unwrap()));
+            let full = std::mem::take(&mut st.buf);
+            let flow = cb(&full);
+            st.buf = full;
+            return flow;
+        }
+        let u = order[pos];
+        let candidates = self.gen_candidates(p, u, st);
+        let candidates = self.rank_candidates(candidates, u, psk);
+        for v in candidates {
+            if !self.assign_feasible(p, u, v, st, psk) {
+                continue;
+            }
+            st.assign(u, v);
+            let flow = self.go(p, order, pos + 1, st, psk, cb);
+            st.unassign(u, v);
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Generates candidate data nodes for pattern node `u`, preferring the
+    /// mapped pattern neighbor whose label-filtered adjacency is smallest.
+    fn gen_candidates(&self, p: &Pattern, u: PNodeId, st: &SearchState) -> Vec<NodeId> {
+        let mut best: Option<Vec<NodeId>> = None;
+        let mut consider = |list: Vec<NodeId>| {
+            if best.as_ref().map_or(true, |b| list.len() < b.len()) {
+                best = Some(list);
+            }
+        };
+        for &(dst, cond) in p.out(u) {
+            if let Some(m) = st.map[dst.index()] {
+                consider(self.adjacent(m, cond, /*incoming_of_m=*/ true));
+            }
+        }
+        for &(src, cond) in p.inn(u) {
+            if let Some(m) = st.map[src.index()] {
+                consider(self.adjacent(m, cond, /*incoming_of_m=*/ false));
+            }
+        }
+        match best {
+            Some(list) => list,
+            // No mapped neighbor: full label scan (disconnected component
+            // start). Correct but linear in |V|.
+            None => self.candidates(p, u),
+        }
+    }
+
+    /// Neighbors of data node `m` along edges satisfying `cond`;
+    /// `incoming_of_m` selects which side of the pattern edge `m` plays.
+    fn adjacent(&self, m: NodeId, cond: EdgeCond, incoming_of_m: bool) -> Vec<NodeId> {
+        let slice = match (cond, incoming_of_m) {
+            (EdgeCond::Label(l), true) => self.g.in_edges_labeled(m, l),
+            (EdgeCond::Label(l), false) => self.g.out_edges_labeled(m, l),
+            (EdgeCond::Any, true) => self.g.in_edges(m),
+            (EdgeCond::Any, false) => self.g.out_edges(m),
+        };
+        slice.iter().map(|e| e.node).collect()
+    }
+
+    fn rank_candidates(
+        &self,
+        mut cands: Vec<NodeId>,
+        u: PNodeId,
+        psk: Option<&[Sketch]>,
+    ) -> Vec<NodeId> {
+        let Some(psk) = psk else { return cands };
+        if cands.len() < self.cfg.guided_min_branch.max(2) {
+            return cands;
+        }
+        let ps = &psk[u.index()];
+        let mut scored: Vec<(i64, NodeId)> = Vec::with_capacity(cands.len());
+        for v in cands.drain(..) {
+            match self.data_sketch_surplus(v, ps) {
+                Some(s) => scored.push((s, v)),
+                None if self.cfg.sketch_prune => {} // mismatch ⇒ prune
+                None => scored.push((i64::MIN, v)),
+            }
+        }
+        // Best (largest surplus) first — the paper's f(u', v') ranking.
+        scored.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().map(|(_, v)| v).collect()
+    }
+
+    fn node_feasible(&self, p: &Pattern, u: PNodeId, v: NodeId) -> bool {
+        p.cond(u).matches(self.g.node_label(v))
+            && p.out(u).len() <= self.g.out_degree(v)
+            && p.inn(u).len() <= self.g.in_degree(v)
+    }
+
+    fn assign_feasible(
+        &self,
+        p: &Pattern,
+        u: PNodeId,
+        v: NodeId,
+        st: &SearchState,
+        psk: Option<&[Sketch]>,
+    ) -> bool {
+        if st.used.contains(&v) || !self.node_feasible(p, u, v) {
+            return false;
+        }
+        // Self-loop pattern edges (dst == u) must be checked against v
+        // itself: u is not yet in the partial map at this point.
+        for &(dst, cond) in p.out(u) {
+            let target = if dst == u { Some(v) } else { st.map[dst.index()] };
+            if let Some(m) = target {
+                if !self.edge_exists(v, m, cond) {
+                    return false;
+                }
+            }
+        }
+        for &(src, cond) in p.inn(u) {
+            if src == u {
+                continue; // self-loop already verified above
+            }
+            if let Some(m) = st.map[src.index()] {
+                if !self.edge_exists(m, v, cond) {
+                    return false;
+                }
+            }
+        }
+        // Sketch-based pruning happens in `rank_candidates` (above the
+        // configured branching threshold); re-checking each assignment
+        // here costs more than the structural checks it could save.
+        let _ = psk;
+        true
+    }
+
+    fn edge_exists(&self, s: NodeId, d: NodeId, cond: EdgeCond) -> bool {
+        match cond {
+            EdgeCond::Label(l) => self.g.has_edge(s, d, l),
+            EdgeCond::Any => self.g.out_edges(s).iter().any(|e| e.node == d),
+        }
+    }
+
+    fn with_data_sketch<R>(&self, v: NodeId, f: impl FnOnce(&Sketch) -> R) -> R {
+        if let Some(idx) = self.precomputed {
+            if let Some(s) = idx.get(v) {
+                return f(s);
+            }
+        }
+        if let Some(s) = self.cache.borrow().get(&v) {
+            return f(s);
+        }
+        let s = Sketch::build(self.g, v, self.cfg.sketch_k);
+        let r = f(&s);
+        self.cache.borrow_mut().insert(v, s);
+        r
+    }
+
+    fn data_sketch_covers(&self, v: NodeId, ps: &Sketch) -> bool {
+        self.with_data_sketch(v, |ds| ds.covers(ps))
+    }
+
+    fn data_sketch_surplus(&self, v: NodeId, ps: &Sketch) -> Option<i64> {
+        self.with_data_sketch(v, |ds| ds.surplus(ps))
+    }
+}
+
+struct SearchState {
+    map: Vec<Option<NodeId>>,
+    used: FxHashSet<NodeId>,
+    buf: Vec<NodeId>,
+}
+
+impl SearchState {
+    fn assign(&mut self, u: PNodeId, v: NodeId) {
+        self.map[u.index()] = Some(v);
+        self.used.insert(v);
+    }
+
+    fn unassign(&mut self, u: PNodeId, v: NodeId) {
+        self.map[u.index()] = None;
+        self.used.remove(&v);
+    }
+}
+
+/// A `Label` helper re-export for downstream test utilities.
+pub type LabelAlias = Label;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_pattern::PatternBuilder;
+    use std::sync::Arc;
+
+    /// Builds the paper's graph `G1` (Fig. 2): a restaurant recommendation
+    /// network. Returns (graph, custs, le_bernardin).
+    pub(crate) fn build_g1() -> (Graph, Vec<NodeId>, NodeId) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let city = vocab.intern("city");
+        let fr = vocab.intern("french_restaurant");
+        let asian = vocab.intern("asian_restaurant");
+        let (live_in, friend, like, inn, visit) = (
+            vocab.intern("live_in"),
+            vocab.intern("friend"),
+            vocab.intern("like"),
+            vocab.intern("in"),
+            vocab.intern("visit"),
+        );
+        let mut b = GraphBuilder::new(vocab);
+        let custs: Vec<NodeId> = (0..6).map(|_| b.add_node(cust)).collect();
+        let ny = b.add_node(city);
+        let la = b.add_node(city);
+        let le_bernardin = b.add_node(fr);
+        let perse = b.add_node(fr);
+        let patina = b.add_node(fr);
+        // Three groups of 3 shared French restaurants (the "FR^3" nodes).
+        let fr3_ny1: Vec<NodeId> = (0..3).map(|_| b.add_node(fr)).collect();
+        let fr3_ny2: Vec<NodeId> = (0..3).map(|_| b.add_node(fr)).collect();
+        let fr3_la: Vec<NodeId> = (0..3).map(|_| b.add_node(fr)).collect();
+        let asian1 = b.add_node(asian);
+        let asian2 = b.add_node(asian);
+
+        // cust1, cust2 in New York; friends; share 3 FRs; both visit
+        // Le Bernardin.
+        b.add_edge(custs[0], ny, live_in);
+        b.add_edge(custs[1], ny, live_in);
+        b.add_edge(custs[0], custs[1], friend);
+        b.add_edge(custs[1], custs[0], friend);
+        for &r in &fr3_ny1 {
+            b.add_edge(custs[0], r, like);
+            b.add_edge(custs[1], r, like);
+            b.add_edge(r, ny, inn);
+        }
+        b.add_edge(custs[0], le_bernardin, visit);
+        b.add_edge(custs[1], le_bernardin, visit);
+        b.add_edge(le_bernardin, ny, inn);
+
+        // cust2 & cust3 friends; cust3 in NY, shares 3 FRs with cust2,
+        // visits Le Bernardin too.
+        b.add_edge(custs[2], ny, live_in);
+        b.add_edge(custs[1], custs[2], friend);
+        b.add_edge(custs[2], custs[1], friend);
+        for &r in &fr3_ny2 {
+            b.add_edge(custs[1], r, like);
+            b.add_edge(custs[2], r, like);
+            b.add_edge(r, ny, inn);
+        }
+        b.add_edge(custs[2], le_bernardin, visit);
+
+        // cust4 in LA, visits Per se (a FR) — a match of q but not of Q1.
+        b.add_edge(custs[3], la, live_in);
+        b.add_edge(custs[3], perse, visit);
+        b.add_edge(perse, la, inn);
+        b.add_edge(patina, la, inn);
+
+        // cust5 & cust6 in LA, friends, share 3 FRs; cust5 visits an Asian
+        // restaurant only (the q̄ witness); cust6 visits a FR (Patina).
+        b.add_edge(custs[4], la, live_in);
+        b.add_edge(custs[5], la, live_in);
+        b.add_edge(custs[4], custs[5], friend);
+        b.add_edge(custs[5], custs[4], friend);
+        for &r in &fr3_la {
+            b.add_edge(custs[4], r, like);
+            b.add_edge(custs[5], r, like);
+            b.add_edge(r, la, inn);
+        }
+        b.add_edge(custs[4], asian1, visit);
+        b.add_edge(asian1, la, inn);
+        b.add_edge(custs[5], patina, visit);
+        b.add_edge(custs[5], asian2, like);
+        b.add_edge(asian2, la, inn);
+
+        (b.build(), custs, le_bernardin)
+    }
+
+    /// The antecedent Q1 of Example 1 (with 3 restaurant copies).
+    pub(crate) fn build_q1(vocab: &Arc<Vocab>) -> Pattern {
+        let cust = vocab.intern("cust");
+        let city = vocab.intern("city");
+        let fr = vocab.intern("french_restaurant");
+        let (live_in, friend, like, inn, visit) = (
+            vocab.intern("live_in"),
+            vocab.intern("friend"),
+            vocab.intern("like"),
+            vocab.intern("in"),
+            vocab.intern("visit"),
+        );
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let x2 = b.node(cust);
+        let c = b.node(city);
+        let y = b.node(fr);
+        let rests = b.node_copies(fr, 3);
+        b.edge(x, x2, friend);
+        b.edge(x2, x, friend);
+        b.edge(x, c, live_in);
+        b.edge(x2, c, live_in);
+        b.edge_to_copies(x, &rests, like);
+        b.edge_to_copies(x2, &rests, like);
+        b.edge_from_copies(&rests, c, inn);
+        b.edge(y, c, inn);
+        b.edge(x2, y, visit);
+        b.designate(x, y).build().unwrap()
+    }
+
+    fn all_engines() -> Vec<MatcherConfig> {
+        vec![
+            MatcherConfig::vf2(),
+            MatcherConfig::degree_ordered(),
+            MatcherConfig::guided(),
+        ]
+    }
+
+    #[test]
+    fn example_3_q1_images_are_cust_1_2_3_5() {
+        let (g, custs, _) = build_g1();
+        let q1 = build_q1(g.vocab());
+        for cfg in all_engines() {
+            let m = Matcher::new(&g, cfg);
+            let imgs = m.images(&q1, q1.x());
+            let expect: FxHashSet<NodeId> =
+                [custs[0], custs[1], custs[2], custs[4]].into_iter().collect();
+            assert_eq!(imgs, expect, "engine {:?}", cfg.kind);
+        }
+    }
+
+    #[test]
+    fn full_enumeration_agrees_with_early_termination() {
+        let (g, _, _) = build_g1();
+        let q1 = build_q1(g.vocab());
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        assert_eq!(m.images(&q1, q1.x()), m.images_by_full_enumeration(&q1, q1.x()));
+    }
+
+    #[test]
+    fn anchored_existence_and_counting() {
+        let (g, custs, lb) = build_g1();
+        let q1 = build_q1(g.vocab());
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        assert!(m.exists_anchored(&q1, q1.x(), custs[0]));
+        assert!(!m.exists_anchored(&q1, q1.x(), custs[3]));
+        // The designated y: cust1's matches put Le Bernardin at y.
+        let y = q1.y().unwrap();
+        let mut saw_lb = false;
+        m.enumerate_anchored(&q1, q1.x(), custs[0], &mut |mm| {
+            if mm[y.index()] == lb {
+                saw_lb = true;
+            }
+            ControlFlow::Continue(())
+        });
+        assert!(saw_lb);
+        // Copies are interchangeable: 3! orderings of the FR^3 nodes.
+        assert_eq!(m.count_anchored(&q1, q1.x(), custs[0], None) % 6, 0);
+        // Cap is honored.
+        assert_eq!(m.count_anchored(&q1, q1.x(), custs[0], Some(2)), 2);
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Pattern wants two distinct restaurants; data has one.
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let r = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let mut gb = GraphBuilder::new(vocab.clone());
+        let c = gb.add_node(cust);
+        let r0 = gb.add_node(r);
+        gb.add_edge(c, r0, like);
+        let g = gb.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let rs = pb.node_copies(r, 2);
+        pb.edge_to_copies(x, &rs, like);
+        let p = pb.designate_x(x).build().unwrap();
+        for cfg in all_engines() {
+            let m = Matcher::new(&g, cfg);
+            assert!(!m.exists_anchored(&p, x, c), "engine {:?}", cfg.kind);
+        }
+    }
+
+    #[test]
+    fn matches_are_not_induced() {
+        // Data has an *extra* edge between matched nodes; the pattern still
+        // matches (non-induced semantics).
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        let extra = vocab.intern("extra");
+        let mut gb = GraphBuilder::new(vocab.clone());
+        let a = gb.add_node(n);
+        let c = gb.add_node(n);
+        gb.add_edge(a, c, e);
+        gb.add_edge(c, a, extra);
+        let g = gb.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let pa = pb.node(n);
+        let pc = pb.node(n);
+        pb.edge(pa, pc, e);
+        let p = pb.designate_x(pa).build().unwrap();
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        assert!(m.exists_anchored(&p, pa, a));
+    }
+
+    #[test]
+    fn wildcard_pattern_edges_match_any_label() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("weird");
+        let mut gb = GraphBuilder::new(vocab.clone());
+        let a = gb.add_node(n);
+        let c = gb.add_node(n);
+        gb.add_edge(a, c, e);
+        let g = gb.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let pa = pb.node(n);
+        let pc = pb.node_any();
+        pb.edge_any(pa, pc);
+        let p = pb.designate_x(pa).build().unwrap();
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        assert!(m.exists_anchored(&p, pa, a));
+        assert!(!m.exists_anchored(&p, pa, c)); // c has no out-edge
+    }
+
+    #[test]
+    fn disconnected_pattern_components_are_matched() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let k = vocab.intern("k");
+        let e = vocab.intern("e");
+        let mut gb = GraphBuilder::new(vocab.clone());
+        let a = gb.add_node(n);
+        let c = gb.add_node(n);
+        let other = gb.add_node(k);
+        gb.add_edge(a, c, e);
+        let g = gb.build();
+        // Pattern: edge n->n plus an isolated k node.
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let pa = pb.node(n);
+        let pc = pb.node(n);
+        let pk = pb.node(k);
+        pb.edge(pa, pc, e);
+        let p = pb.designate_x(pa).build().unwrap();
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        assert!(m.exists_anchored(&p, pa, a));
+        let y_imgs = m.images(&p, pk);
+        assert!(y_imgs.contains(&other));
+        // Remove the k node from data: no match anymore.
+        let mut gb = GraphBuilder::new(vocab);
+        let a2 = gb.add_node(n);
+        let c2 = gb.add_node(n);
+        gb.add_edge(a2, c2, e);
+        let g2 = gb.build();
+        let m2 = Matcher::new(&g2, MatcherConfig::vf2());
+        assert!(!m2.exists_anchored(&p, pa, a2));
+    }
+
+    #[test]
+    fn count_matches_counts_all_assignments() {
+        // x -like-> r with 2 custs each liking 2 rests: 4 matches.
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let r = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let mut gb = GraphBuilder::new(vocab.clone());
+        for _ in 0..2 {
+            let c = gb.add_node(cust);
+            for _ in 0..2 {
+                let rr = gb.add_node(r);
+                gb.add_edge(c, rr, like);
+            }
+        }
+        let g = gb.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(r);
+        pb.edge(x, y, like);
+        let p = pb.designate(x, y).build().unwrap();
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        assert_eq!(m.count_matches(&p, None), 4);
+        assert_eq!(m.count_matches(&p, Some(3)), 3);
+    }
+
+    #[test]
+    fn self_loop_patterns() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        let mut gb = GraphBuilder::new(vocab.clone());
+        let a = gb.add_node(n);
+        let c = gb.add_node(n);
+        gb.add_edge(a, a, e);
+        gb.add_edge(c, a, e);
+        let g = gb.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(n);
+        pb.edge(x, x, e);
+        let p = pb.designate_x(x).build().unwrap();
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        assert!(m.exists_anchored(&p, x, a));
+        assert!(!m.exists_anchored(&p, x, c));
+    }
+
+    #[test]
+    fn guided_respects_precomputed_sketches() {
+        let (g, custs, _) = build_g1();
+        let q1 = build_q1(g.vocab());
+        let idx = SketchIndex::build_all(&g, 2);
+        let m = Matcher::with_sketches(&g, MatcherConfig::guided(), &idx);
+        let imgs = m.images(&q1, q1.x());
+        assert!(imgs.contains(&custs[0]));
+        assert!(!imgs.contains(&custs[3]));
+    }
+}

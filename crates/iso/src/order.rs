@@ -1,0 +1,125 @@
+//! Pattern-node visit orders for the backtracking search.
+
+use gpar_pattern::{PNodeId, Pattern};
+
+/// Computes a visit order over the pattern nodes starting from `anchor`.
+///
+/// The order is *connectivity-first*: after the anchor, every next node is
+/// chosen among those adjacent to already-ordered nodes (so candidate sets
+/// can be generated from mapped neighbors rather than by scanning `G`),
+/// breaking ties by the given preference. Disconnected components are
+/// appended afterwards (each begins with a full scan at match time).
+///
+/// `prefer_degree`: tie-break by descending pattern degree (the static
+/// heuristic of degree-ordered engines); otherwise break ties by most
+/// already-ordered neighbors (most-constrained-first, VF2-style).
+pub fn visit_order(p: &Pattern, anchor: PNodeId, prefer_degree: bool) -> Vec<PNodeId> {
+    let n = p.node_count();
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    placed[anchor.index()] = true;
+    order.push(anchor);
+
+    // Count of already-placed neighbors per node.
+    let mut conn = vec![0usize; n];
+    let bump = |conn: &mut Vec<usize>, p: &Pattern, u: PNodeId| {
+        for &(v, _) in p.out(u).iter().chain(p.inn(u)) {
+            conn[v.index()] += 1;
+        }
+    };
+    bump(&mut conn, p, anchor);
+
+    while order.len() < n {
+        let mut best: Option<PNodeId> = None;
+        for u in p.nodes() {
+            if placed[u.index()] {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let key = |w: PNodeId| {
+                        if prefer_degree {
+                            (conn[w.index()].min(1), p.degree(w), usize::MAX - w.index())
+                        } else {
+                            (conn[w.index()], p.degree(w), usize::MAX - w.index())
+                        }
+                    };
+                    key(u) > key(b)
+                }
+            };
+            if better {
+                best = Some(u);
+            }
+        }
+        let u = best.unwrap();
+        placed[u.index()] = true;
+        order.push(u);
+        bump(&mut conn, p, u);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_graph::Vocab;
+    use gpar_pattern::PatternBuilder;
+
+    #[test]
+    fn order_starts_at_anchor_and_covers_all_nodes() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab);
+        let a = b.node(n);
+        let c = b.node(n);
+        let d = b.node(n);
+        b.edge(a, c, e);
+        b.edge(c, d, e);
+        let p = b.designate_x(a).build().unwrap();
+        let o = visit_order(&p, c, false);
+        assert_eq!(o[0], c);
+        assert_eq!(o.len(), 3);
+        let mut sorted = o.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn connected_nodes_are_visited_before_disconnected_ones() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab);
+        let a = b.node(n);
+        let c = b.node(n);
+        let iso = b.node(n); // disconnected
+        b.edge(a, c, e);
+        let p = b.designate_x(a).build().unwrap();
+        let o = visit_order(&p, a, false);
+        assert_eq!(o.last(), Some(&iso));
+    }
+
+    #[test]
+    fn degree_preference_picks_hubs_earlier() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab);
+        let a = b.node(n);
+        let low = b.node(n);
+        let hub = b.node(n);
+        let l1 = b.node(n);
+        let l2 = b.node(n);
+        b.edge(a, low, e);
+        b.edge(a, hub, e);
+        b.edge(hub, l1, e);
+        b.edge(hub, l2, e);
+        let p = b.designate_x(a).build().unwrap();
+        let o = visit_order(&p, a, true);
+        let pos = |x| o.iter().position(|&u| u == x).unwrap();
+        assert!(pos(hub) < pos(low));
+    }
+}

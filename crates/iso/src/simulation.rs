@@ -1,0 +1,219 @@
+//! Graph-simulation matching — the alternative semantics the paper's
+//! conclusion (§7) names as future work ("extend GPARs … by allowing
+//! other matching semantics such as graph simulation").
+//!
+//! A simulation relation `S ⊆ V_p × V` requires label compatibility and
+//! that every pattern edge can be *followed*: if `(u, v) ∈ S` and
+//! `(u, u')` is a pattern edge, some graph edge `(v, v')` with a matching
+//! label has `(u', v') ∈ S` — and symmetrically for incoming pattern
+//! edges (dual simulation, which is the variant that keeps designated-
+//! node semantics sensible on social graphs). Unlike subgraph
+//! isomorphism, simulation is computable in polynomial time
+//! (`O(|V_p|·|E|)` per refinement round here) and does not require
+//! injectivity, so `Q(x, G)` under simulation is a superset of the
+//! isomorphism-based one — useful as a cheap over-approximation filter
+//! or as a semantics of its own (cf. Fan et al., "Distributed Graph
+//! Simulation", PVLDB 2014 [15]).
+
+use gpar_graph::{FxHashSet, Graph, NodeId};
+use gpar_pattern::{EdgeCond, PNodeId, Pattern};
+
+/// Computes the maximal dual-simulation relation of `p` over `g`,
+/// returned as one match set per pattern node (`sim[u]` = data nodes that
+/// can simulate `u`). Empty sets mean the pattern cannot be simulated.
+pub fn dual_simulation(p: &Pattern, g: &Graph) -> Vec<FxHashSet<NodeId>> {
+    let mut sim: Vec<FxHashSet<NodeId>> = p
+        .nodes()
+        .map(|u| {
+            g.nodes()
+                .filter(|&v| p.cond(u).matches(g.node_label(v)))
+                .collect::<FxHashSet<NodeId>>()
+        })
+        .collect();
+
+    let can_follow_out = |g: &Graph, v: NodeId, cond: EdgeCond, tgt: &FxHashSet<NodeId>| {
+        match cond {
+            EdgeCond::Label(l) => g.out_edges_labeled(v, l).iter().any(|e| tgt.contains(&e.node)),
+            EdgeCond::Any => g.out_edges(v).iter().any(|e| tgt.contains(&e.node)),
+        }
+    };
+    let can_follow_in = |g: &Graph, v: NodeId, cond: EdgeCond, src: &FxHashSet<NodeId>| {
+        match cond {
+            EdgeCond::Label(l) => g.in_edges_labeled(v, l).iter().any(|e| src.contains(&e.node)),
+            EdgeCond::Any => g.in_edges(v).iter().any(|e| src.contains(&e.node)),
+        }
+    };
+
+    // Naive refinement to fixpoint; pattern sizes make this cheap and the
+    // data pass is linear in Σ deg(v) per round.
+    loop {
+        let mut changed = false;
+        for u in p.nodes() {
+            let keep: FxHashSet<NodeId> = sim[u.index()]
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    p.out(u).iter().all(|&(dst, cond)| {
+                        can_follow_out(g, v, cond, &sim[dst.index()])
+                    }) && p.inn(u).iter().all(|&(src, cond)| {
+                        can_follow_in(g, v, cond, &sim[src.index()])
+                    })
+                })
+                .collect();
+            if keep.len() != sim[u.index()].len() {
+                sim[u.index()] = keep;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // If any pattern node is unsimulable, the whole relation is empty.
+    if sim.iter().any(|s| s.is_empty()) {
+        for s in &mut sim {
+            s.clear();
+        }
+    }
+    sim
+}
+
+/// `Q(x, G)` under dual-simulation semantics: the data nodes that can
+/// simulate the designated node. Always a superset of the subgraph-
+/// isomorphism match set (simulation drops injectivity), making it a
+/// sound pre-filter for the exact engines.
+pub fn simulation_images(p: &Pattern, g: &Graph) -> FxHashSet<NodeId> {
+    dual_simulation(p, g).swap_remove(p.x().index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matcher, MatcherConfig};
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_pattern::PatternBuilder;
+
+    /// cust -like-> rest pattern over two custs, one matching.
+    #[test]
+    fn simulation_matches_edge_followability() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let mut b = GraphBuilder::new(vocab.clone());
+        let c1 = b.add_node(cust);
+        let c2 = b.add_node(cust);
+        let r = b.add_node(rest);
+        b.add_edge(c1, r, like);
+        let g = b.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(rest);
+        pb.edge(x, y, like);
+        let p = pb.designate(x, y).build().unwrap();
+        let sims = simulation_images(&p, &g);
+        assert!(sims.contains(&c1));
+        assert!(!sims.contains(&c2));
+    }
+
+    /// The canonical case where simulation is strictly weaker than
+    /// isomorphism: a pattern needing two distinct neighbors is simulated
+    /// by a node with one (no injectivity).
+    #[test]
+    fn simulation_is_a_superset_of_isomorphism() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let mut b = GraphBuilder::new(vocab.clone());
+        let c = b.add_node(cust);
+        let r = b.add_node(rest);
+        b.add_edge(c, r, like);
+        let g = b.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let rs = pb.node_copies(rest, 2); // needs two distinct restaurants
+        pb.edge_to_copies(x, &rs, like);
+        let p = pb.designate_x(x).build().unwrap();
+        let iso = Matcher::new(&g, MatcherConfig::vf2()).images(&p, x);
+        let sim = simulation_images(&p, &g);
+        assert!(iso.is_empty(), "isomorphism needs 2 distinct restaurants");
+        assert!(sim.contains(&c), "simulation folds the copies");
+        assert!(iso.is_subset(&sim));
+    }
+
+    #[test]
+    fn unsimulable_pattern_yields_empty_relation() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let ghost = vocab.intern("ghost");
+        let e = vocab.intern("e");
+        let mut b = GraphBuilder::new(vocab.clone());
+        b.add_node(cust);
+        let g = b.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let gh = pb.node(ghost);
+        pb.edge(x, gh, e);
+        let p = pb.designate_x(x).build().unwrap();
+        let sim = dual_simulation(&p, &g);
+        assert!(sim.iter().all(|s| s.is_empty()));
+    }
+
+    /// Dual simulation respects *incoming* pattern edges too: a node with
+    /// the right out-edges but no required in-edge is rejected.
+    #[test]
+    fn dual_simulation_checks_incoming_edges() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        let mut b = GraphBuilder::new(vocab.clone());
+        let a = b.add_node(n);
+        let c = b.add_node(n);
+        let d = b.add_node(n);
+        b.add_edge(a, c, e);
+        b.add_edge(c, d, e);
+        let g = b.build();
+        // Pattern: u0 -> u1 -> u2; middle node needs both in and out.
+        let mut pb = PatternBuilder::new(vocab);
+        let u0 = pb.node(n);
+        let u1 = pb.node(n);
+        let u2 = pb.node(n);
+        pb.edge(u0, u1, e);
+        pb.edge(u1, u2, e);
+        let p = pb.designate_x(u1).build().unwrap();
+        let sims = simulation_images(&p, &g);
+        assert!(sims.contains(&c));
+        assert!(!sims.contains(&a), "a has no incoming e-edge");
+        assert!(!sims.contains(&d), "d has no outgoing e-edge");
+    }
+
+    /// Proposition from the paper's related work: simulation cannot
+    /// distinguish structures isomorphism can (cycles vs long paths).
+    #[test]
+    fn simulation_folds_cycles() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        // Graph: 2-cycle a <-> b.
+        let mut b = GraphBuilder::new(vocab.clone());
+        let a = b.add_node(n);
+        let c = b.add_node(n);
+        b.add_edge(a, c, e);
+        b.add_edge(c, a, e);
+        let g = b.build();
+        // Pattern: 3-cycle.
+        let mut pb = PatternBuilder::new(vocab);
+        let u0 = pb.node(n);
+        let u1 = pb.node(n);
+        let u2 = pb.node(n);
+        pb.edge(u0, u1, e);
+        pb.edge(u1, u2, e);
+        pb.edge(u2, u0, e);
+        let p = pb.designate_x(u0).build().unwrap();
+        let iso = Matcher::new(&g, MatcherConfig::vf2()).images(&p, u0);
+        assert!(iso.is_empty(), "no injective 3-cycle in a 2-cycle");
+        let sim = simulation_images(&p, &g);
+        assert_eq!(sim.len(), 2, "simulation folds the 3-cycle onto the 2-cycle");
+    }
+}

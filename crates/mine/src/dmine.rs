@@ -1,0 +1,810 @@
+//! The DMine coordinator (Fig. 4 of the paper).
+
+use crate::incdiv::IncDiv;
+use crate::messages::{LocalConf, MinedRule};
+use crate::reduction::{apply_reduction, ReductionStats};
+use crate::worker::{ClassifiedSite, GeneratedTemplates, MineWorker};
+use gpar_core::{q_stats, Confidence, ConfStats, DiversifyParams, Gpar, LcwaClass, Predicate};
+use gpar_graph::{FxHashMap, Graph, NodeId};
+use gpar_iso::MatcherConfig;
+use gpar_partition::{partition_sites, CenterSite, PartitionStrategy};
+use gpar_pattern::{are_isomorphic, bisimilar, CanonicalCode};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which of DMine's optimizations are enabled. The paper's `DMineno`
+/// baseline disables the incremental diversification, the Lemma 3
+/// reductions and the bisimulation prefilter; the naive
+/// "discover-then-diversify" strategy additionally defers diversification
+/// entirely to the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MineOpts {
+    /// Maintain `L_k` incrementally across rounds (`incDiv`).
+    pub incremental_div: bool,
+    /// Apply the Lemma 3 reduction rules.
+    pub reduction_rules: bool,
+    /// Use canonical-code bucketing + bisimulation before exact
+    /// automorphism tests when grouping candidate rules.
+    pub bisim_prefilter: bool,
+    /// Diversify during mining at all (false = naive baseline: one greedy
+    /// pass after discovery completes).
+    pub diversify_during: bool,
+}
+
+impl MineOpts {
+    /// Full DMine.
+    pub fn all() -> Self {
+        Self {
+            incremental_div: true,
+            reduction_rules: true,
+            bisim_prefilter: true,
+            diversify_during: true,
+        }
+    }
+
+    /// The paper's `DMineno`: no optimizations, but still diversifying
+    /// (from scratch) every round.
+    pub fn none() -> Self {
+        Self {
+            incremental_div: false,
+            reduction_rules: false,
+            bisim_prefilter: false,
+            diversify_during: true,
+        }
+    }
+
+    /// The naive "discover-then-diversify" strategy of §4.2's discussion.
+    pub fn naive() -> Self {
+        Self {
+            incremental_div: false,
+            reduction_rules: false,
+            bisim_prefilter: false,
+            diversify_during: false,
+        }
+    }
+}
+
+/// DMine configuration (the DMP instance plus execution knobs).
+#[derive(Debug, Clone)]
+pub struct DmineConfig {
+    /// Result size `k`.
+    pub k: usize,
+    /// Support threshold σ (on `supp(R, G) = ‖P_R(x, G)‖`).
+    pub sigma: u64,
+    /// Radius bound `d` on `r(P_R, x)`.
+    pub d: u32,
+    /// Diversification balance λ ∈ [0, 1].
+    pub lambda: f64,
+    /// Number of worker threads `n − 1` (the coordinator is the caller).
+    pub workers: usize,
+    /// Levelwise growth rounds (= maximum antecedent edges; see the crate
+    /// docs for the interpretation of the paper's "d rounds").
+    pub max_rounds: usize,
+    /// Cap on matches enumerated per center during template generation.
+    pub match_cap: u64,
+    /// Cap on extension templates kept per rule per worker.
+    pub ext_cap: usize,
+    /// Cap on frontier rules extended per round (the paper reports ≤ 300
+    /// candidate patterns; drops are counted, never silent).
+    pub max_frontier: usize,
+    /// Isomorphism engine configuration for the workers.
+    pub engine: MatcherConfig,
+    /// Optimization toggles.
+    pub opts: MineOpts,
+    /// Center-to-worker assignment strategy.
+    pub strategy: PartitionStrategy,
+}
+
+impl Default for DmineConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            sigma: 1,
+            d: 2,
+            lambda: 0.5,
+            workers: 4,
+            max_rounds: 3,
+            match_cap: 128,
+            ext_cap: 64,
+            max_frontier: 300,
+            engine: MatcherConfig::vf2(),
+            opts: MineOpts::all(),
+            strategy: PartitionStrategy::Balanced,
+        }
+    }
+}
+
+/// Outcome of a mining run.
+#[derive(Debug)]
+pub struct MineResult {
+    /// The diversified top-k rules, best pair first.
+    pub top_k: Vec<MinedRule>,
+    /// The full Σ of retained rules (supp ≥ σ, nontrivial, unpruned), in
+    /// discovery order — used e.g. to re-rank by alternative metrics in
+    /// the Exp-2 precision study.
+    pub sigma: Vec<MinedRule>,
+    /// Objective value `F(L_k)`.
+    pub objective: f64,
+    /// Total rules retained in Σ across all rounds.
+    pub sigma_size: usize,
+    /// Rounds actually executed.
+    pub rounds_run: usize,
+    /// Candidate rules generated (before σ/trivial filtering).
+    pub candidates_generated: usize,
+    /// Logical rules dropped (`supp(Qq̄) = 0`, conf = ∞; §3 Remark).
+    pub logical_rules: usize,
+    /// Accumulated reduction-rule statistics.
+    pub reduction: ReductionStats,
+    /// Per-round, per-worker wall-clock times (skew reporting).
+    pub round_worker_times: Vec<Vec<Duration>>,
+    /// Time spent building/partitioning candidate sites.
+    pub partition_time: Duration,
+    /// CPU time the coordinator thread spent (grouping, assembly, incDiv,
+    /// reductions).
+    pub coordinator_time: Duration,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Whether any cap (frontier, templates, match enumeration) was hit.
+    pub capped: bool,
+}
+
+impl MineResult {
+    /// Simulated wall-clock on an `n`-processor shared-nothing cluster:
+    /// partitioning divided by `n` (center-parallel), plus the per-round
+    /// critical path (slowest worker per round, as BSP barriers dictate),
+    /// plus the sequential coordinator remainder. See the substitutions
+    /// section of DESIGN.md: on a single-core host this is the faithful
+    /// reading of the paper's per-round cost `t(|G|/n, k, |Σ|)`.
+    pub fn simulated_parallel_time(&self) -> Duration {
+        let n = self
+            .round_worker_times
+            .iter()
+            .map(|r| r.len())
+            .max()
+            .unwrap_or(1)
+            .max(1) as u32;
+        let critical: Duration = self
+            .round_worker_times
+            .iter()
+            .map(|r| r.iter().max().copied().unwrap_or_default())
+            .sum();
+        self.partition_time / n + critical + self.coordinator_time
+    }
+}
+
+enum CoordMsg {
+    Generate(Arc<Vec<Gpar>>),
+    Evaluate(Arc<Vec<Gpar>>),
+    Done,
+}
+
+enum Reply {
+    Generated { worker: usize, per_rule: Vec<GeneratedTemplates>, elapsed: Duration },
+    Evaluated { worker: usize, evals: Vec<(LocalConf, bool)>, elapsed: Duration },
+}
+
+/// The parallel diversified GPAR miner.
+#[derive(Debug, Clone)]
+pub struct DMine {
+    config: DmineConfig,
+}
+
+impl DMine {
+    /// Creates a miner with the given configuration.
+    pub fn new(config: DmineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DmineConfig {
+        &self.config
+    }
+
+    /// Mines each predicate in turn (§4.2 Remarks (1): "when a set of
+    /// predicates instead of a single q(x, y) is given, it groups the
+    /// predicates and iteratively mines GPARs for each distinct one").
+    pub fn run_multi(&self, g: &Graph, preds: &[Predicate]) -> Vec<(Predicate, MineResult)> {
+        let mut seen = gpar_graph::FxHashSet::default();
+        preds
+            .iter()
+            .filter(|p| seen.insert(**p))
+            .map(|p| (*p, self.run(g, p)))
+            .collect()
+    }
+
+    /// Mines without a user-given predicate (§4.2 Remarks (2)): collects
+    /// the `top` most frequent edge patterns of `g` as predicates, then
+    /// mines each as in [`DMine::run_multi`].
+    pub fn run_auto(&self, g: &Graph, top: usize) -> Vec<(Predicate, MineResult)> {
+        let preds: Vec<Predicate> = g
+            .frequent_edge_patterns(top)
+            .into_iter()
+            .map(|((sl, el, dl), _)| {
+                Predicate::new(
+                    gpar_pattern::NodeCond::Label(sl),
+                    el,
+                    gpar_pattern::NodeCond::Label(dl),
+                )
+            })
+            .collect();
+        self.run_multi(g, &preds)
+    }
+
+    /// Mines diversified top-k GPARs for `pred` over `g`.
+    pub fn run(&self, g: &Graph, pred: &Predicate) -> MineResult {
+        let cfg = &self.config;
+        let t_run = Instant::now();
+        // Trivial case 1: q(x, y) names no one in G (§3 Remark).
+        let qs = q_stats(g, pred);
+        if qs.supp_q() == 0 {
+            return empty_result();
+        }
+        // Mining centers: positives ∪ negatives. Unknown candidates never
+        // affect supp(R) or supp(Qq̄), so they are skipped entirely.
+        let mut centers: Vec<NodeId> = qs.positives.iter().copied().collect();
+        centers.extend(qs.negatives.iter().copied());
+        centers.sort_unstable();
+        let class_of = |c: NodeId| {
+            if qs.positives.contains(&c) { LcwaClass::Positive } else { LcwaClass::Negative }
+        };
+        let cpu_pre_part = gpar_graph::thread_cpu_time();
+        let assignments = partition_sites(g, &centers, cfg.d, cfg.workers, cfg.strategy);
+        let partition_time = gpar_graph::thread_cpu_time().saturating_sub(cpu_pre_part);
+        let workers: Vec<MineWorker> = assignments
+            .into_iter()
+            .enumerate()
+            .map(|(id, sites)| MineWorker {
+                id,
+                sites: sites
+                    .into_iter()
+                    .map(|site: CenterSite| ClassifiedSite {
+                        class: class_of(site.center_global),
+                        site,
+                    })
+                    .collect(),
+                engine: cfg.engine,
+                match_cap: cfg.match_cap,
+                ext_cap: cfg.ext_cap,
+                d: cfg.d,
+            })
+            .collect();
+
+        let params =
+            DiversifyParams::new(cfg.lambda, cfg.k, qs.supp_q() as f64 * qs.supp_qbar() as f64);
+        let mut result =
+            self.coordinate(g, pred, workers, params, qs.supp_q(), qs.supp_qbar());
+        result.partition_time = partition_time;
+        result.elapsed = t_run.elapsed();
+        result
+    }
+
+    fn coordinate(
+        &self,
+        g: &Graph,
+        pred: &Predicate,
+        workers: Vec<MineWorker>,
+        params: DiversifyParams,
+        supp_q: u64,
+        supp_qbar: u64,
+    ) -> MineResult {
+        let n = workers.len().max(1);
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded::<Reply>();
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut cmd_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = crossbeam::channel::unbounded::<CoordMsg>();
+            cmd_txs.push(tx);
+            cmd_rxs.push(rx);
+        }
+
+        let cpu0 = gpar_graph::thread_cpu_time();
+        let mut result = crossbeam::scope(|scope| {
+            for w in workers {
+                let rx = cmd_rxs.remove(0);
+                let tx = reply_tx.clone();
+                scope.spawn(move |_| worker_loop(w, rx, tx));
+            }
+            drop(reply_tx);
+            self.rounds(g, pred, params, supp_q, supp_qbar, &cmd_txs, &reply_rx, n)
+        })
+        .expect("worker thread panicked");
+        result.coordinator_time = gpar_graph::thread_cpu_time().saturating_sub(cpu0);
+
+        result.objective = finalize_objective(&result, params);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rounds(
+        &self,
+        g: &Graph,
+        pred: &Predicate,
+        params: DiversifyParams,
+        supp_q: u64,
+        supp_qbar: u64,
+        cmd_txs: &[crossbeam::channel::Sender<CoordMsg>],
+        reply_rx: &crossbeam::channel::Receiver<Reply>,
+        n: usize,
+    ) -> MineResult {
+        let cfg = &self.config;
+        let mut rules: Vec<MinedRule> = Vec::new();
+        let mut alive: Vec<bool> = Vec::new();
+        let mut codes: FxHashMap<CanonicalCode, usize> = FxHashMap::default();
+        let mut inc = IncDiv::new(params);
+        let mut reduction = ReductionStats::default();
+        let mut round_worker_times = Vec::new();
+        let mut candidates_generated = 0usize;
+        let mut logical_rules = 0usize;
+        let mut capped = false;
+        let mut rounds_run = 0usize;
+
+        let seed = Gpar::seed(pred, g.vocab().clone());
+        let mut frontier: Vec<Gpar> = vec![seed];
+
+        for round in 1..=cfg.max_rounds {
+            if frontier.is_empty() {
+                break;
+            }
+            rounds_run = round;
+            let mut worker_times = vec![Duration::ZERO; n];
+
+            // ---- Phase 1: generate templates -------------------------
+            let frontier_arc = Arc::new(std::mem::take(&mut frontier));
+            for tx in cmd_txs {
+                tx.send(CoordMsg::Generate(frontier_arc.clone())).expect("worker alive");
+            }
+            // Union templates per frontier rule across workers.
+            let mut per_rule: Vec<gpar_graph::FxHashSet<crate::extension::ExtTemplate>> =
+                vec![Default::default(); frontier_arc.len()];
+            for _ in 0..n {
+                match reply_rx.recv().expect("worker reply") {
+                    Reply::Generated { worker, per_rule: pr, elapsed } => {
+                        worker_times[worker] += elapsed;
+                        for (i, gt) in pr.into_iter().enumerate() {
+                            capped |= gt.dropped > 0 || gt.match_capped;
+                            per_rule[i].extend(gt.templates);
+                        }
+                    }
+                    Reply::Evaluated { .. } => unreachable!("phase mismatch"),
+                }
+            }
+
+            // ---- Materialize + group candidates ----------------------
+            // The per-rule template cap is re-applied *globally* here (on
+            // the same sorted order the workers truncate by), so the
+            // candidate set is identical for every worker count n: each
+            // worker's kept-`ext_cap` smallest templates necessarily
+            // include its share of the globally smallest `ext_cap`.
+            let mut candidates: Vec<Gpar> = Vec::new();
+            for (i, set) in per_rule.into_iter().enumerate() {
+                let parent = &frontier_arc[i];
+                let mut templates: Vec<_> = set.into_iter().collect();
+                templates.sort_unstable();
+                if templates.len() > cfg.ext_cap {
+                    capped = true;
+                    templates.truncate(cfg.ext_cap);
+                }
+                for t in templates {
+                    if let Some(rule) = t.apply(parent, cfg.d) {
+                        candidates.push(rule);
+                    }
+                }
+            }
+            candidates_generated += candidates.len();
+            let candidates = group_candidates(candidates, cfg.opts.bisim_prefilter);
+
+            if candidates.is_empty() {
+                round_worker_times.push(worker_times);
+                break;
+            }
+
+            // ---- Phase 2: evaluate ------------------------------------
+            let cand_arc = Arc::new(candidates);
+            for tx in cmd_txs {
+                tx.send(CoordMsg::Evaluate(cand_arc.clone())).expect("worker alive");
+            }
+            let mut merged: Vec<(LocalConf, bool)> =
+                (0..cand_arc.len()).map(|_| (LocalConf::default(), false)).collect();
+            for _ in 0..n {
+                match reply_rx.recv().expect("worker reply") {
+                    Reply::Evaluated { worker, evals, elapsed } => {
+                        worker_times[worker] += elapsed;
+                        for (slot, (lc, ext)) in merged.iter_mut().zip(evals) {
+                            slot.0.merge(&lc);
+                            slot.1 |= ext;
+                        }
+                    }
+                    Reply::Generated { .. } => unreachable!("phase mismatch"),
+                }
+            }
+            round_worker_times.push(worker_times);
+
+            // ---- Assemble ∆E (σ filter + trivial filter) --------------
+            let mut fresh: Vec<usize> = Vec::new();
+            for (rule, (lc, extendable)) in cand_arc.iter().zip(merged) {
+                if lc.supp_r < cfg.sigma {
+                    continue; // anti-monotone: extensions can't recover σ
+                }
+                let stats = ConfStats {
+                    supp_r: lc.supp_r,
+                    supp_q_ante: 0, // not needed by DMP; see RuleEvaluation
+                    supp_q,
+                    supp_qbar,
+                    supp_q_qbar: lc.supp_q_qbar,
+                };
+                let confidence = stats.conf();
+                if confidence == Confidence::LogicalRule {
+                    // §4.2 "Trivial GPARs" (2): holds on the entire G.
+                    logical_rules += 1;
+                    continue;
+                }
+                let conf_value = confidence.numeric().unwrap_or(0.0);
+                let code = rule.pr().canonical_code();
+                if codes.contains_key(&code) {
+                    continue; // already in Σ from an earlier round
+                }
+                let idx = rules.len();
+                codes.insert(code, idx);
+                rules.push(MinedRule {
+                    rule: Arc::new(rule.clone()),
+                    matches: Arc::new(lc.matches.iter().copied().collect()),
+                    stats,
+                    confidence,
+                    conf_value,
+                    usupp: lc.usupp,
+                    extendable,
+                    round,
+                });
+                alive.push(true);
+                fresh.push(idx);
+            }
+
+            // ---- Diversify --------------------------------------------
+            if cfg.opts.diversify_during {
+                if cfg.opts.incremental_div {
+                    inc.update(&rules, &fresh, &alive);
+                } else {
+                    // DMineno: re-diversify from scratch every round.
+                    inc.reset();
+                    let all: Vec<usize> = (0..rules.len()).filter(|&i| alive[i]).collect();
+                    inc.update(&rules, &all, &alive);
+                }
+            }
+
+            // ---- Select next frontier (+ Lemma 3 reductions) ----------
+            let mut next: Vec<usize> = fresh.clone();
+            if cfg.opts.reduction_rules {
+                let stats = apply_reduction(&inc, &rules, &mut alive, &mut next);
+                reduction.sigma_pruned += stats.sigma_pruned;
+                reduction.frontier_pruned += stats.frontier_pruned;
+            } else {
+                next.retain(|&i| rules[i].extendable);
+            }
+            // Deterministic frontier cap: best confidence first.
+            next.sort_by(|&a, &b| {
+                rules[b].conf_value.total_cmp(&rules[a].conf_value).then(a.cmp(&b))
+            });
+            if next.len() > cfg.max_frontier {
+                capped = true;
+                next.truncate(cfg.max_frontier);
+            }
+            frontier = next.iter().map(|&i| (*rules[i].rule).clone()).collect();
+        }
+
+        for tx in cmd_txs {
+            let _ = tx.send(CoordMsg::Done);
+        }
+
+        // Naive baseline: single diversification pass at the very end.
+        if !cfg.opts.diversify_during {
+            let all: Vec<usize> = (0..rules.len()).filter(|&i| alive[i]).collect();
+            inc.update(&rules, &all, &alive);
+        }
+
+        let top_idx = inc.top_k(&rules);
+        let top_k: Vec<MinedRule> = top_idx.iter().map(|&i| rules[i].clone()).collect();
+        let sigma_size = alive.iter().filter(|&&a| a).count();
+        let sigma: Vec<MinedRule> = rules
+            .iter()
+            .zip(&alive)
+            .filter(|&(_, &a)| a)
+            .map(|(r, _)| r.clone())
+            .collect();
+        MineResult {
+            top_k,
+            sigma,
+            objective: 0.0, // filled by caller
+            sigma_size,
+            rounds_run,
+            candidates_generated,
+            logical_rules,
+            reduction,
+            round_worker_times,
+            partition_time: Duration::ZERO,   // filled by run()
+            coordinator_time: Duration::ZERO, // filled by coordinate()
+            elapsed: Duration::ZERO,          // filled by run()
+            capped,
+        }
+    }
+}
+
+fn finalize_objective(result: &MineResult, params: DiversifyParams) -> f64 {
+    let items: Vec<(f64, &gpar_graph::FxHashSet<NodeId>)> = result
+        .top_k
+        .iter()
+        .map(|r| (r.conf_value, r.matches.as_ref()))
+        .collect();
+    gpar_core::objective_f(&params, &items)
+}
+
+fn empty_result() -> MineResult {
+    MineResult {
+        top_k: Vec::new(),
+        sigma: Vec::new(),
+        objective: 0.0,
+        sigma_size: 0,
+        rounds_run: 0,
+        candidates_generated: 0,
+        logical_rules: 0,
+        reduction: ReductionStats::default(),
+        round_worker_times: Vec::new(),
+        partition_time: Duration::ZERO,
+        coordinator_time: Duration::ZERO,
+        elapsed: Duration::ZERO,
+        capped: false,
+    }
+}
+
+/// Deduplicates automorphic candidates.
+///
+/// * `fast` — bucket by canonical code, then confirm with the Lemma 4
+///   bisimulation prefilter followed by the exact automorphism test;
+/// * `!fast` (the `DMineno` path) — pairwise exact automorphism tests
+///   against all kept representatives.
+fn group_candidates(cands: Vec<Gpar>, fast: bool) -> Vec<Gpar> {
+    if fast {
+        let mut buckets: FxHashMap<CanonicalCode, Vec<usize>> = FxHashMap::default();
+        let mut kept: Vec<Gpar> = Vec::new();
+        for rule in cands {
+            let code = rule.pr().canonical_code();
+            let bucket = buckets.entry(code).or_default();
+            let dup = bucket.iter().any(|&j| {
+                bisimilar(kept[j].pr(), rule.pr()) && are_isomorphic(kept[j].pr(), rule.pr(), true)
+            });
+            if !dup {
+                bucket.push(kept.len());
+                kept.push(rule);
+            }
+        }
+        kept
+    } else {
+        let mut kept: Vec<Gpar> = Vec::new();
+        for rule in cands {
+            if !kept.iter().any(|k| are_isomorphic(k.pr(), rule.pr(), true)) {
+                kept.push(rule);
+            }
+        }
+        kept
+    }
+}
+
+fn worker_loop(
+    w: MineWorker,
+    rx: crossbeam::channel::Receiver<CoordMsg>,
+    tx: crossbeam::channel::Sender<Reply>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CoordMsg::Generate(frontier) => {
+                let start = gpar_graph::thread_cpu_time();
+                let per_rule = w.generate(&frontier);
+                let _ = tx.send(Reply::Generated {
+                    worker: w.id,
+                    per_rule,
+                    elapsed: gpar_graph::thread_cpu_time().saturating_sub(start),
+                });
+            }
+            CoordMsg::Evaluate(cands) => {
+                let start = gpar_graph::thread_cpu_time();
+                let evals = w.evaluate(&cands);
+                let _ = tx.send(Reply::Evaluated {
+                    worker: w.id,
+                    evals,
+                    elapsed: gpar_graph::thread_cpu_time().saturating_sub(start),
+                });
+            }
+            CoordMsg::Done => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_pattern::NodeCond;
+
+    /// Build the paper's G1-style scenario: friends sharing restaurant
+    /// tastes; some visit French restaurants, one visits only Asian.
+    fn restaurant_graph() -> (Graph, Predicate) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let fr = vocab.intern("french_restaurant");
+        let asian = vocab.intern("asian_restaurant");
+        let (friend, like, visit) =
+            (vocab.intern("friend"), vocab.intern("like"), vocab.intern("visit"));
+        let mut b = GraphBuilder::new(vocab.clone());
+        // 8 pairs of friends; in 6 pairs both visit a FR they both like;
+        // in 2 pairs one visits an Asian restaurant instead (negatives).
+        for i in 0..8 {
+            let c1 = b.add_node(cust);
+            let c2 = b.add_node(cust);
+            b.add_edge(c1, c2, friend);
+            b.add_edge(c2, c1, friend);
+            let r = b.add_node(fr);
+            b.add_edge(c1, r, like);
+            b.add_edge(c2, r, like);
+            if i < 6 {
+                b.add_edge(c1, r, visit);
+                b.add_edge(c2, r, visit);
+            } else {
+                let a = b.add_node(asian);
+                b.add_edge(c1, a, visit);
+                b.add_edge(c2, r, visit);
+            }
+        }
+        let g = b.build();
+        let pred = Predicate::new(NodeCond::Label(cust), visit, NodeCond::Label(fr));
+        (g, pred)
+    }
+
+    #[test]
+    fn dmine_finds_high_confidence_rules() {
+        let (g, pred) = restaurant_graph();
+        let cfg = DmineConfig { k: 4, sigma: 2, workers: 3, max_rounds: 2, ..Default::default() };
+        let result = DMine::new(cfg).run(&g, &pred);
+        assert!(result.rounds_run >= 1);
+        assert!(!result.top_k.is_empty(), "should find rules");
+        for r in &result.top_k {
+            assert!(r.rule.is_nontrivial());
+            assert!(r.support() >= 2);
+            assert!(r.rule.radius().unwrap() <= 2);
+        }
+        // The like(x, y) antecedent is the strongest signal planted.
+        let like = g.vocab().get("like").unwrap();
+        let found_like = result.top_k.iter().any(|r| {
+            r.rule
+                .antecedent()
+                .edges()
+                .iter()
+                .any(|e| e.cond == gpar_pattern::EdgeCond::Label(like))
+        });
+        assert!(found_like, "expected a rule using the like edge");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (g, pred) = restaurant_graph();
+        let run = |workers: usize| {
+            let cfg = DmineConfig {
+                k: 4,
+                sigma: 2,
+                workers,
+                max_rounds: 2,
+                ..Default::default()
+            };
+            let mut r = DMine::new(cfg).run(&g, &pred);
+            let mut codes: Vec<_> =
+                r.top_k.drain(..).map(|m| m.rule.pr().canonical_code()).collect();
+            codes.sort();
+            (codes, r.sigma_size)
+        };
+        let (c1, s1) = run(1);
+        let (c2, s2) = run(3);
+        let (c3, s3) = run(7);
+        assert_eq!(s1, s2);
+        assert_eq!(s2, s3);
+        assert_eq!(c1, c2);
+        assert_eq!(c2, c3);
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_agree_on_sigma() {
+        let (g, pred) = restaurant_graph();
+        let mk = |opts: MineOpts| DmineConfig {
+            k: 4,
+            sigma: 2,
+            workers: 2,
+            max_rounds: 2,
+            opts,
+            ..Default::default()
+        };
+        let full = DMine::new(mk(MineOpts::all())).run(&g, &pred);
+        let no = DMine::new(mk(MineOpts::none())).run(&g, &pred);
+        // Reduction rules may prune Σ in the optimized run, so Σ_full ≤
+        // Σ_no; but both must achieve the same objective within the 2-approx
+        // guarantee band, and DMineno's Σ must contain every full-Σ rule.
+        assert!(full.sigma_size <= no.sigma_size);
+        assert!(!full.top_k.is_empty() && !no.top_k.is_empty());
+        let ratio = full.objective / no.objective;
+        assert!(ratio > 0.5 && ratio < 2.0, "objectives diverge: {ratio}");
+    }
+
+    #[test]
+    fn sigma_threshold_filters_rules() {
+        let (g, pred) = restaurant_graph();
+        let lo = DMine::new(DmineConfig { sigma: 1, workers: 2, max_rounds: 2, ..Default::default() })
+            .run(&g, &pred);
+        let hi = DMine::new(DmineConfig { sigma: 10, workers: 2, max_rounds: 2, ..Default::default() })
+            .run(&g, &pred);
+        assert!(hi.sigma_size <= lo.sigma_size);
+        for r in &hi.top_k {
+            assert!(r.support() >= 10);
+        }
+    }
+
+    #[test]
+    fn empty_predicate_returns_empty() {
+        let (g, _) = restaurant_graph();
+        let vocab = g.vocab();
+        let ghost = vocab.intern("ghost_label");
+        let e = vocab.intern("ghost_edge");
+        let pred = Predicate::new(NodeCond::Label(ghost), e, NodeCond::Label(ghost));
+        let result = DMine::new(DmineConfig::default()).run(&g, &pred);
+        assert!(result.top_k.is_empty());
+        assert_eq!(result.rounds_run, 0);
+    }
+
+    #[test]
+    fn run_multi_dedups_predicates_and_mines_each() {
+        let (g, pred) = restaurant_graph();
+        let miner = DMine::new(DmineConfig {
+            k: 2,
+            sigma: 2,
+            workers: 2,
+            max_rounds: 1,
+            ..Default::default()
+        });
+        let results = miner.run_multi(&g, &[pred, pred]);
+        assert_eq!(results.len(), 1, "duplicate predicates are grouped");
+        assert!(!results[0].1.top_k.is_empty());
+    }
+
+    #[test]
+    fn run_auto_derives_predicates_from_frequent_edges() {
+        let (g, _) = restaurant_graph();
+        let miner = DMine::new(DmineConfig {
+            k: 2,
+            sigma: 2,
+            workers: 2,
+            max_rounds: 1,
+            ..Default::default()
+        });
+        let results = miner.run_auto(&g, 3);
+        assert_eq!(results.len(), 3);
+        // The most frequent edge pattern (cust -like-> fr) must be among
+        // the auto-derived predicates and mineable.
+        let like = g.vocab().get("like").unwrap();
+        assert!(results.iter().any(|(p, _)| p.label == like));
+    }
+
+    #[test]
+    fn group_candidates_fast_and_slow_agree() {
+        let (g, pred) = restaurant_graph();
+        let seed = Gpar::seed(&pred, g.vocab().clone());
+        let friend = g.vocab().get("friend").unwrap();
+        let cust = g.vocab().get("cust").unwrap();
+        let t = crate::extension::ExtTemplate::NewNode {
+            at: gpar_pattern::PNodeId(0),
+            outgoing: true,
+            elabel: friend,
+            nlabel: cust,
+        };
+        let r1 = t.apply(&seed, 2).unwrap();
+        let cands = vec![r1.clone(), r1.clone(), seed.clone()];
+        let fast = group_candidates(cands.clone(), true);
+        let slow = group_candidates(cands, false);
+        assert_eq!(fast.len(), 2);
+        assert_eq!(slow.len(), 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Data-driven pattern extension (the growth step of `localMine`).
+//!
+//! Given a rule `R` and a match of `P_R` inside a center's site, every
+//! incident data edge around the match's image induces an *extension
+//! template*: either attach a fresh pattern node through a new edge, or
+//! close an edge between two existing pattern nodes. Templates are plain
+//! value types, so workers can deduplicate them cheaply and the
+//! coordinator can materialize and group them across workers.
+
+use gpar_core::Gpar;
+use gpar_graph::{FxHashSet, Graph, Label, NodeId};
+use gpar_iso::Matcher;
+use gpar_pattern::{EdgeCond, NodeCond, PNodeId, Pattern};
+use std::ops::ControlFlow;
+
+/// One single-edge extension of a rule's antecedent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExtTemplate {
+    /// Attach a fresh node labeled `nlabel` to pattern node `at` via an
+    /// edge labeled `elabel` (`outgoing` = direction from `at`).
+    NewNode { at: PNodeId, outgoing: bool, elabel: Label, nlabel: Label },
+    /// Add the edge `src -elabel-> dst` between existing pattern nodes.
+    Close { src: PNodeId, dst: PNodeId, elabel: Label },
+}
+
+impl ExtTemplate {
+    /// Materializes the template into a new rule (antecedent + one edge).
+    /// Returns `None` when the result is invalid (duplicate edge, the
+    /// consequent edge itself, radius over `d`, …).
+    pub fn apply(&self, rule: &Gpar, d: u32) -> Option<Gpar> {
+        let q = rule.antecedent();
+        let ext = match *self {
+            ExtTemplate::Close { src, dst, elabel } => {
+                if q.has_edge(src, dst, EdgeCond::Label(elabel)) {
+                    return None;
+                }
+                q.with_edge(src, dst, EdgeCond::Label(elabel)).ok()?
+            }
+            ExtTemplate::NewNode { at, outgoing, elabel, nlabel } => {
+                q.with_node_and_edge(at, NodeCond::Label(nlabel), EdgeCond::Label(elabel), outgoing)
+                    .ok()?
+                    .0
+            }
+        };
+        let rule = Gpar::new(ext, rule.predicate().label).ok()?;
+        if rule.radius()? > d {
+            return None;
+        }
+        Some(rule)
+    }
+}
+
+/// Enumerates extension templates visible from the matches of `P_R`
+/// anchored at `center` in `site`, visiting at most `match_cap` matches.
+/// Returns the distinct templates and whether the cap was hit (so callers
+/// can report capped enumeration instead of silently under-counting).
+pub fn templates_at(
+    rule: &Gpar,
+    matcher: &Matcher<'_>,
+    site: &Graph,
+    center: NodeId,
+    match_cap: u64,
+    out: &mut FxHashSet<ExtTemplate>,
+) -> bool {
+    let pr = rule.pr();
+    let x = pr.x();
+    let y = pr.y().expect("GPAR designates y");
+    let qlabel = rule.predicate().label;
+    let mut visited = 0u64;
+    let mut capped = false;
+    matcher.enumerate_anchored(pr, x, center, &mut |assignment| {
+        visited += 1;
+        collect_from_match(pr, site, assignment, x, y, qlabel, out);
+        if visited >= match_cap {
+            capped = true;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    capped
+}
+
+fn collect_from_match(
+    pr: &Pattern,
+    site: &Graph,
+    assignment: &[NodeId],
+    x: PNodeId,
+    y: PNodeId,
+    qlabel: Label,
+    out: &mut FxHashSet<ExtTemplate>,
+) {
+    // Reverse map: data node -> pattern node (injective).
+    for u in pr.nodes() {
+        let vu = assignment[u.index()];
+        for e in site.out_edges(vu) {
+            // Never lift the consequent edge itself.
+            let to_pat = assignment.iter().position(|&w| w == e.node).map(|i| PNodeId(i as u32));
+            match to_pat {
+                Some(dst) => {
+                    if u == x && dst == y && e.label == qlabel {
+                        continue;
+                    }
+                    if !pr.has_edge(u, dst, EdgeCond::Label(e.label)) {
+                        out.insert(ExtTemplate::Close { src: u, dst, elabel: e.label });
+                    }
+                }
+                None => {
+                    out.insert(ExtTemplate::NewNode {
+                        at: u,
+                        outgoing: true,
+                        elabel: e.label,
+                        nlabel: site.node_label(e.node),
+                    });
+                }
+            }
+        }
+        for e in site.in_edges(vu) {
+            let from_pat = assignment.iter().position(|&w| w == e.node).map(|i| PNodeId(i as u32));
+            match from_pat {
+                Some(src) => {
+                    if src == x && u == y && e.label == qlabel {
+                        continue;
+                    }
+                    if !pr.has_edge(src, u, EdgeCond::Label(e.label)) {
+                        out.insert(ExtTemplate::Close { src, dst: u, elabel: e.label });
+                    }
+                }
+                None => {
+                    out.insert(ExtTemplate::NewNode {
+                        at: u,
+                        outgoing: false,
+                        elabel: e.label,
+                        nlabel: site.node_label(e.node),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_core::Predicate;
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_iso::MatcherConfig;
+    use gpar_pattern::NodeCond;
+
+    /// Data: c -visit-> r, c -friend-> f, f -visit-> r.
+    fn tiny() -> (Graph, NodeId, Predicate) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let visit = vocab.intern("visit");
+        let friend = vocab.intern("friend");
+        let mut b = GraphBuilder::new(vocab.clone());
+        let c = b.add_node(cust);
+        let f = b.add_node(cust);
+        let r = b.add_node(rest);
+        b.add_edge(c, r, visit);
+        b.add_edge(c, f, friend);
+        b.add_edge(f, r, visit);
+        let g = b.build();
+        let pred = Predicate::new(
+            NodeCond::Label(cust),
+            visit,
+            NodeCond::Label(rest),
+        );
+        (g, c, pred)
+    }
+
+    #[test]
+    fn seed_rule_extensions_exclude_the_consequent() {
+        let (g, c, pred) = tiny();
+        let seed = Gpar::seed(&pred, g.vocab().clone());
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        let mut out = FxHashSet::default();
+        let capped = templates_at(&seed, &m, &g, c, 64, &mut out);
+        assert!(!capped);
+        // Expected: friend(x, new cust), visit(new cust, y)-ish templates,
+        // but NOT the consequent visit(x, y) itself.
+        let vocab = g.vocab();
+        let visit = vocab.get("visit").unwrap();
+        assert!(!out.contains(&ExtTemplate::Close {
+            src: PNodeId(0),
+            dst: PNodeId(1),
+            elabel: visit
+        }));
+        assert!(!out.is_empty());
+        // friend edge to a new cust node must be among the templates.
+        let friend = vocab.get("friend").unwrap();
+        let cust = vocab.get("cust").unwrap();
+        assert!(out.contains(&ExtTemplate::NewNode {
+            at: PNodeId(0),
+            outgoing: true,
+            elabel: friend,
+            nlabel: cust
+        }));
+    }
+
+    #[test]
+    fn applying_templates_yields_valid_larger_rules() {
+        let (g, c, pred) = tiny();
+        let seed = Gpar::seed(&pred, g.vocab().clone());
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        let mut out = FxHashSet::default();
+        templates_at(&seed, &m, &g, c, 64, &mut out);
+        let mut applied = 0;
+        for t in &out {
+            if let Some(r2) = t.apply(&seed, 2) {
+                applied += 1;
+                assert!(r2.is_nontrivial());
+                assert_eq!(r2.antecedent().edge_count(), 1);
+                assert!(r2.radius().unwrap() <= 2);
+            }
+        }
+        assert!(applied > 0);
+    }
+
+    #[test]
+    fn radius_budget_rejects_deep_extensions() {
+        let (g, c, pred) = tiny();
+        let seed = Gpar::seed(&pred, g.vocab().clone());
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        let mut out = FxHashSet::default();
+        templates_at(&seed, &m, &g, c, 64, &mut out);
+        // With d = 0 every extension that adds a node is rejected.
+        for t in &out {
+            if let ExtTemplate::NewNode { .. } = t {
+                assert!(t.apply(&seed, 0).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn cap_is_reported() {
+        let (g, c, pred) = tiny();
+        let seed = Gpar::seed(&pred, g.vocab().clone());
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        let mut out = FxHashSet::default();
+        let capped = templates_at(&seed, &m, &g, c, 1, &mut out);
+        assert!(capped, "cap of 1 must be reported as hit");
+    }
+
+    #[test]
+    fn duplicate_edges_are_not_proposed() {
+        let (g, c, pred) = tiny();
+        let seed = Gpar::seed(&pred, g.vocab().clone());
+        let vocab = g.vocab();
+        let friend = vocab.get("friend").unwrap();
+        let cust = vocab.get("cust").unwrap();
+        // Extend seed with friend(x, x2) first.
+        let t = ExtTemplate::NewNode { at: PNodeId(0), outgoing: true, elabel: friend, nlabel: cust };
+        let r1 = t.apply(&seed, 2).unwrap();
+        // Re-proposing the same Close edge on r1 must fail to apply.
+        let visit = vocab.get("visit").unwrap();
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        let mut out = FxHashSet::default();
+        templates_at(&r1, &m, &g, c, 64, &mut out);
+        for t in out {
+            if let Some(r2) = t.apply(&r1, 2) {
+                // No duplicate pattern edges can arise.
+                let mut edges: Vec<_> = r2.pr().edges().to_vec();
+                let before = edges.len();
+                edges.dedup();
+                assert_eq!(before, edges.len());
+            }
+        }
+        let _ = visit;
+    }
+}

@@ -1,0 +1,255 @@
+//! A GRAMI-style frequent-subgraph miner (single graph, minimum-image
+//! support), used for the *qualitative* comparison of Exp-2: frequency-only
+//! mining tends to surface structurally frequent but association-free
+//! patterns (the paper found "mostly cycles of users"), whereas DMine's
+//! confidence/diversity objective surfaces rules about a designated
+//! entity.
+//!
+//! This is intentionally a plain frequency miner: no designated-node
+//! semantics, no consequent, no confidence — exactly what it is being
+//! compared against.
+
+use gpar_graph::{FxHashMap, FxHashSet, Graph, NodeId};
+use gpar_iso::{Matcher, MatcherConfig};
+use gpar_pattern::{CanonicalCode, EdgeCond, NodeCond, PEdge, PNodeId, Pattern};
+use std::ops::ControlFlow;
+
+/// FSG mining configuration.
+#[derive(Debug, Clone)]
+pub struct FsgConfig {
+    /// Minimum-image support threshold.
+    pub sigma: u64,
+    /// Maximum pattern edges.
+    pub max_edges: usize,
+    /// Cap on patterns explored per level (drops reported via
+    /// [`FsgResult::capped`]).
+    pub level_cap: usize,
+    /// Cap on matches enumerated per anchor image during growth.
+    pub match_cap: u64,
+}
+
+impl Default for FsgConfig {
+    fn default() -> Self {
+        Self { sigma: 2, max_edges: 3, level_cap: 200, match_cap: 64 }
+    }
+}
+
+/// Result of an FSG run.
+#[derive(Debug)]
+pub struct FsgResult {
+    /// Frequent patterns with their MNI supports, descending support.
+    pub patterns: Vec<(Pattern, u64)>,
+    /// Whether the level cap truncated exploration.
+    pub capped: bool,
+}
+
+/// The miner.
+#[derive(Debug, Clone, Default)]
+pub struct FsgMiner {
+    /// Configuration.
+    pub config: FsgConfig,
+}
+
+impl FsgMiner {
+    /// Creates a miner.
+    pub fn new(config: FsgConfig) -> Self {
+        Self { config }
+    }
+
+    /// Minimum-image-based support of `p` in `g`.
+    fn mni(&self, p: &Pattern, m: &Matcher<'_>) -> u64 {
+        p.nodes().map(|u| m.images(p, u).len() as u64).min().unwrap_or(0)
+    }
+
+    /// Mines MNI-frequent patterns of up to `max_edges` edges.
+    pub fn mine(&self, g: &Graph) -> FsgResult {
+        let cfg = &self.config;
+        let m = Matcher::new(g, MatcherConfig::vf2());
+        let mut capped = false;
+
+        // Level 1: frequent single-edge patterns.
+        let mut level: Vec<Pattern> = Vec::new();
+        let mut seen: FxHashSet<CanonicalCode> = FxHashSet::default();
+        for ((sl, el, dl), _) in g.frequent_edge_patterns(usize::MAX) {
+            let p = Pattern::from_parts(
+                vec![NodeCond::Label(sl), NodeCond::Label(dl)],
+                vec![PEdge { src: PNodeId(0), dst: PNodeId(1), cond: EdgeCond::Label(el) }],
+                PNodeId(0),
+                None,
+                g.vocab().clone(),
+            )
+            .expect("single-edge pattern is valid");
+            if seen.insert(p.canonical_code()) {
+                level.push(p);
+            }
+        }
+
+        let mut out: Vec<(Pattern, u64)> = Vec::new();
+        while !level.is_empty() {
+            // Score the level, keep the frequent ones.
+            let mut next_seeds: Vec<Pattern> = Vec::new();
+            if level.len() > cfg.level_cap {
+                capped = true;
+                level.truncate(cfg.level_cap);
+            }
+            for p in level.drain(..) {
+                let support = self.mni(&p, &m);
+                if support < cfg.sigma {
+                    continue;
+                }
+                if p.edge_count() < cfg.max_edges {
+                    next_seeds.push(p.clone());
+                }
+                out.push((p, support));
+            }
+            // Grow the frequent ones by one edge.
+            let mut next: Vec<Pattern> = Vec::new();
+            for p in &next_seeds {
+                for ext in self.extensions(p, g, &m) {
+                    if seen.insert(ext.canonical_code()) {
+                        next.push(ext);
+                    }
+                }
+            }
+            level = next;
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.edge_count().cmp(&b.0.edge_count())));
+        FsgResult { patterns: out, capped }
+    }
+
+    /// Single-edge growths of `p` discovered from its matches.
+    fn extensions(&self, p: &Pattern, g: &Graph, m: &Matcher<'_>) -> Vec<Pattern> {
+        #[derive(PartialEq, Eq, Hash, PartialOrd, Ord)]
+        enum T {
+            New(PNodeId, bool, gpar_graph::Label, gpar_graph::Label),
+            Close(PNodeId, PNodeId, gpar_graph::Label),
+        }
+        let mut templates: FxHashSet<T> = FxHashSet::default();
+        let anchors: Vec<NodeId> = m.images(p, p.x()).into_iter().collect();
+        for v in anchors {
+            let mut visited = 0u64;
+            m.enumerate_anchored(p, p.x(), v, &mut |assignment| {
+                visited += 1;
+                let rev: FxHashMap<NodeId, PNodeId> = assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &n)| (n, PNodeId(i as u32)))
+                    .collect();
+                for u in p.nodes() {
+                    let vu = assignment[u.index()];
+                    for e in g.out_edges(vu) {
+                        match rev.get(&e.node) {
+                            Some(&dst) => {
+                                if !p.has_edge(u, dst, EdgeCond::Label(e.label)) {
+                                    templates.insert(T::Close(u, dst, e.label));
+                                }
+                            }
+                            None => {
+                                templates.insert(T::New(u, true, e.label, g.node_label(e.node)));
+                            }
+                        }
+                    }
+                    for e in g.in_edges(vu) {
+                        match rev.get(&e.node) {
+                            Some(&src) => {
+                                if !p.has_edge(src, u, EdgeCond::Label(e.label)) {
+                                    templates.insert(T::Close(src, u, e.label));
+                                }
+                            }
+                            None => {
+                                templates.insert(T::New(u, false, e.label, g.node_label(e.node)));
+                            }
+                        }
+                    }
+                }
+                if visited >= self.config.match_cap {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+        }
+        let mut sorted: Vec<T> = templates.into_iter().collect();
+        sorted.sort();
+        sorted
+            .into_iter()
+            .filter_map(|t| match t {
+                T::New(at, outgoing, el, nl) => p
+                    .with_node_and_edge(at, NodeCond::Label(nl), EdgeCond::Label(el), outgoing)
+                    .ok()
+                    .map(|(p, _)| p),
+                T::Close(s, d, el) => p.with_edge(s, d, EdgeCond::Label(el)).ok(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_graph::{GraphBuilder, Vocab};
+
+    /// A graph with a frequent triangle motif among users.
+    fn triangles(n: usize) -> Graph {
+        let vocab = Vocab::new();
+        let user = vocab.intern("user");
+        let f = vocab.intern("f");
+        let mut b = GraphBuilder::new(vocab);
+        for _ in 0..n {
+            let a = b.add_node(user);
+            let c = b.add_node(user);
+            let d = b.add_node(user);
+            b.add_edge(a, c, f);
+            b.add_edge(c, d, f);
+            b.add_edge(d, a, f);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_frequent_edges_and_cycles() {
+        let g = triangles(5);
+        let miner = FsgMiner::new(FsgConfig { sigma: 3, max_edges: 3, ..Default::default() });
+        let result = miner.mine(&g);
+        assert!(!result.patterns.is_empty());
+        // The single f-edge pattern has MNI 15 (each of 15 nodes is both a
+        // source and a target image).
+        let (p1, s1) = &result.patterns[0];
+        assert_eq!(p1.edge_count(), 1);
+        assert_eq!(*s1, 15);
+        // The 3-cycle must be found — GRAMI's signature output shape.
+        let cycle = result
+            .patterns
+            .iter()
+            .find(|(p, _)| p.edge_count() == 3 && p.node_count() == 3);
+        assert!(cycle.is_some(), "triangle motif should be frequent");
+        assert_eq!(cycle.unwrap().1, 15);
+    }
+
+    #[test]
+    fn sigma_prunes_infrequent_patterns() {
+        let g = triangles(2);
+        let hi = FsgMiner::new(FsgConfig { sigma: 100, ..Default::default() }).mine(&g);
+        assert!(hi.patterns.is_empty());
+    }
+
+    #[test]
+    fn supports_are_anti_monotonic_along_growth() {
+        let g = triangles(4);
+        let result = FsgMiner::new(FsgConfig { sigma: 1, max_edges: 3, ..Default::default() })
+            .mine(&g);
+        // Every 2-edge pattern's support is ≤ the 1-edge pattern's support.
+        let max1 = result
+            .patterns
+            .iter()
+            .filter(|(p, _)| p.edge_count() == 1)
+            .map(|&(_, s)| s)
+            .max()
+            .unwrap();
+        for (p, s) in &result.patterns {
+            if p.edge_count() > 1 {
+                assert!(*s <= max1);
+            }
+        }
+    }
+}

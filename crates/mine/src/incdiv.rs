@@ -1,0 +1,283 @@
+//! Incremental diversification (`incDiv`, §4.2).
+//!
+//! The coordinator maintains a max priority queue of `⌈k/2⌉` *pairwise
+//! disjoint* GPAR pairs scored by
+//! `F'(R, R') = (1−λ)/(N(k−1))·(conf(R)+conf(R')) + 2λ/(k−1)·diff(R, R')`.
+//! Maximizing the sum of `F'` over disjoint pairs is the max-sum
+//! dispersion problem, whose greedy achieves approximation ratio 2
+//! (Gollapudi & Sharma [19]) — this is the constant of Theorem 2.
+
+use crate::messages::MinedRule;
+use gpar_core::{pair_score, DiversifyParams};
+use gpar_graph::FxHashSet;
+
+/// One queued pair of rule indices with its `F'` score.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedPair {
+    /// Index of the first rule in the coordinator's Σ store.
+    pub a: usize,
+    /// Index of the second rule.
+    pub b: usize,
+    /// `F'(a, b)`.
+    pub score: f64,
+}
+
+/// The incremental top-k maintainer.
+#[derive(Debug)]
+pub struct IncDiv {
+    params: DiversifyParams,
+    capacity: usize,
+    pairs: Vec<QueuedPair>,
+    in_queue: FxHashSet<usize>,
+}
+
+impl IncDiv {
+    /// Creates a maintainer for top-`k` (queue capacity `⌈k/2⌉`).
+    pub fn new(params: DiversifyParams) -> Self {
+        let capacity = params.k.div_ceil(2);
+        Self { params, capacity, pairs: Vec::new(), in_queue: FxHashSet::default() }
+    }
+
+    /// The diversification parameters in force.
+    pub fn params(&self) -> &DiversifyParams {
+        &self.params
+    }
+
+    /// `F'_m` — the minimum pair score in the queue, used by the
+    /// Lemma 3 reduction rules. Returns `None` while the queue is not yet
+    /// full (the rules must not fire then: any candidate can still enter).
+    pub fn fm(&self) -> Option<f64> {
+        if self.pairs.len() < self.capacity {
+            return None;
+        }
+        self.pairs.iter().map(|p| p.score).min_by(f64::total_cmp)
+    }
+
+    /// Whether rule `i` currently sits in the queue (hence in `L_k`).
+    pub fn contains(&self, i: usize) -> bool {
+        self.in_queue.contains(&i)
+    }
+
+    fn score(&self, rules: &[MinedRule], i: usize, j: usize) -> f64 {
+        pair_score(
+            &self.params,
+            rules[i].conf_value,
+            rules[j].conf_value,
+            &rules[i].matches,
+            &rules[j].matches,
+        )
+    }
+
+    /// Incrementally folds the newly arrived rules (`fresh` indices into
+    /// `rules`) into the queue; `alive` masks rules pruned from Σ.
+    ///
+    /// Phase 1 greedily fills the queue with the best disjoint pairs;
+    /// phase 2 tries, for every fresh rule outside the queue, its best
+    /// partner among all alive rules outside the queue, replacing the
+    /// minimum pair when the new pair scores higher.
+    pub fn update(&mut self, rules: &[MinedRule], fresh: &[usize], alive: &[bool]) {
+        let available = |me: &Self, i: usize| alive[i] && !me.in_queue.contains(&i);
+
+        // Phase 1: fill.
+        while self.pairs.len() < self.capacity {
+            let mut best: Option<QueuedPair> = None;
+            let candidates: Vec<usize> =
+                (0..rules.len()).filter(|&i| available(self, i)).collect();
+            for (ci, &i) in candidates.iter().enumerate() {
+                for &j in &candidates[ci + 1..] {
+                    let s = self.score(rules, i, j);
+                    if best.map_or(true, |b| s > b.score) {
+                        best = Some(QueuedPair { a: i, b: j, score: s });
+                    }
+                }
+            }
+            match best {
+                Some(p) => self.push(p),
+                None => break,
+            }
+        }
+
+        // Phase 2: replacement with fresh rules.
+        if self.pairs.len() == self.capacity {
+            for &i in fresh {
+                if !available(self, i) {
+                    continue;
+                }
+                let mut best: Option<QueuedPair> = None;
+                for j in 0..rules.len() {
+                    if j == i || !available(self, j) {
+                        continue;
+                    }
+                    let s = self.score(rules, i, j);
+                    if best.map_or(true, |b| s > b.score) {
+                        best = Some(QueuedPair { a: i, b: j, score: s });
+                    }
+                }
+                let Some(candidate) = best else { continue };
+                let (mi, min_pair) = self
+                    .pairs
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.score.total_cmp(&b.1.score))
+                    .map(|(m, p)| (m, *p))
+                    .expect("queue full");
+                if candidate.score > min_pair.score {
+                    self.in_queue.remove(&min_pair.a);
+                    self.in_queue.remove(&min_pair.b);
+                    self.pairs.swap_remove(mi);
+                    self.push(candidate);
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, p: QueuedPair) {
+        self.in_queue.insert(p.a);
+        self.in_queue.insert(p.b);
+        self.pairs.push(p);
+    }
+
+    /// Clears the queue (used by the non-incremental baseline, which
+    /// re-diversifies from scratch every round).
+    pub fn reset(&mut self) {
+        self.pairs.clear();
+        self.in_queue.clear();
+    }
+
+    /// Flattens the queue into `L_k`: the pair members ordered by pair
+    /// score then confidence, trimmed to `k`.
+    pub fn top_k(&self, rules: &[MinedRule]) -> Vec<usize> {
+        let mut ordered = self.pairs.clone();
+        ordered.sort_by(|a, b| b.score.total_cmp(&a.score));
+        let mut out = Vec::with_capacity(self.params.k);
+        for p in ordered {
+            let (hi, lo) = if rules[p.a].conf_value >= rules[p.b].conf_value {
+                (p.a, p.b)
+            } else {
+                (p.b, p.a)
+            };
+            out.push(hi);
+            out.push(lo);
+        }
+        out.truncate(self.params.k);
+        out
+    }
+
+    /// Objective value `F(L_k)` of the current selection.
+    pub fn objective(&self, rules: &[MinedRule]) -> f64 {
+        let idx = self.top_k(rules);
+        let items: Vec<(f64, &FxHashSet<gpar_graph::NodeId>)> =
+            idx.iter().map(|&i| (rules[i].conf_value, rules[i].matches.as_ref())).collect();
+        gpar_core::objective_f(&self.params, &items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_core::{ConfStats, Confidence, Gpar, Predicate};
+    use gpar_graph::{NodeId, Vocab};
+    use gpar_pattern::NodeCond;
+    use std::sync::Arc;
+
+    fn mk_rule(conf: f64, matches: &[u32]) -> MinedRule {
+        // The pattern itself is irrelevant to incDiv scoring; use a seed.
+        let vocab = Vocab::new();
+        let c = vocab.intern("c");
+        let e = vocab.intern("e");
+        let seed = Gpar::seed(&Predicate::new(NodeCond::Label(c), e, NodeCond::Label(c)), vocab);
+        MinedRule {
+            rule: Arc::new(seed),
+            matches: Arc::new(matches.iter().map(|&i| NodeId(i)).collect()),
+            stats: ConfStats::default(),
+            confidence: Confidence::Value(conf),
+            conf_value: conf,
+            usupp: 0,
+            extendable: false,
+            round: 1,
+        }
+    }
+
+    /// Example 9's dynamics: (R5, R6) fills the queue, then (R7, R8)
+    /// replaces it because F'(R7,R8) = 1.08 > F'(R5,R6) = 0.92.
+    #[test]
+    fn example_9_replacement() {
+        let params = DiversifyParams::new(0.5, 2, 5.0);
+        let mut inc = IncDiv::new(params);
+        let mut rules = vec![
+            mk_rule(0.8, &[1, 2, 3, 4]), // R5
+            mk_rule(0.4, &[4, 6]),       // R6
+        ];
+        inc.update(&rules, &[0, 1], &[true, true]);
+        assert_eq!(inc.pairs.len(), 1);
+        assert!((inc.fm().unwrap() - 0.92).abs() < 1e-9);
+        // Round 2: R7, R8 arrive.
+        rules.push(mk_rule(0.6, &[1, 2, 3])); // R7
+        rules.push(mk_rule(0.2, &[6])); // R8
+        inc.update(&rules, &[2, 3], &[true; 4]);
+        assert_eq!(inc.pairs.len(), 1);
+        assert!((inc.fm().unwrap() - 1.08).abs() < 1e-9);
+        let top = inc.top_k(&rules);
+        assert_eq!(top, vec![2, 3], "L_k should now be (R7, R8)");
+    }
+
+    #[test]
+    fn fill_prefers_diverse_high_confidence_pairs() {
+        let params = DiversifyParams::new(0.5, 4, 1.0);
+        let mut inc = IncDiv::new(params);
+        let rules = vec![
+            mk_rule(0.9, &[1, 2]),
+            mk_rule(0.9, &[1, 2]), // duplicate group of rule 0
+            mk_rule(0.8, &[3, 4]),
+            mk_rule(0.7, &[5, 6]),
+        ];
+        inc.update(&rules, &[0, 1, 2, 3], &[true; 4]);
+        assert_eq!(inc.pairs.len(), 2);
+        let top = inc.top_k(&rules);
+        assert_eq!(top.len(), 4);
+        // All four rules selected (two disjoint pairs); the redundant pair
+        // (0,1) has diff 0 and must not be one of the chosen *pairs*.
+        for p in &inc.pairs {
+            assert!(
+                !(p.a == 0 && p.b == 1) && !(p.a == 1 && p.b == 0),
+                "redundant pair selected"
+            );
+        }
+    }
+
+    #[test]
+    fn fm_is_none_until_full() {
+        let params = DiversifyParams::new(0.5, 4, 1.0);
+        let mut inc = IncDiv::new(params);
+        let rules = vec![mk_rule(0.9, &[1]), mk_rule(0.8, &[2])];
+        inc.update(&rules, &[0, 1], &[true, true]);
+        assert_eq!(inc.pairs.len(), 1);
+        assert!(inc.fm().is_none(), "capacity 2 not yet reached");
+    }
+
+    #[test]
+    fn odd_k_trims_to_k() {
+        let params = DiversifyParams::new(0.5, 3, 1.0);
+        let mut inc = IncDiv::new(params);
+        let rules = vec![
+            mk_rule(0.9, &[1]),
+            mk_rule(0.8, &[2]),
+            mk_rule(0.7, &[3]),
+            mk_rule(0.6, &[4]),
+        ];
+        inc.update(&rules, &[0, 1, 2, 3], &[true; 4]);
+        assert_eq!(inc.pairs.len(), 2); // ceil(3/2)
+        assert_eq!(inc.top_k(&rules).len(), 3);
+    }
+
+    #[test]
+    fn dead_rules_are_never_paired() {
+        let params = DiversifyParams::new(0.5, 2, 1.0);
+        let mut inc = IncDiv::new(params);
+        let rules = vec![mk_rule(0.9, &[1]), mk_rule(0.95, &[2]), mk_rule(0.1, &[3])];
+        // Rule 1 is dead (pruned from Σ).
+        inc.update(&rules, &[0, 1, 2], &[true, false, true]);
+        let top = inc.top_k(&rules);
+        assert!(!top.contains(&1));
+    }
+}

@@ -1,0 +1,182 @@
+//! The message/candidate reduction rules of Lemma 3 (§4.2).
+//!
+//! With `F'_m` the minimum pair score in the top-k queue,
+//! `Uconf⁺(R_j)` an upper bound on the confidence of any extension of a
+//! frontier rule `R_j`, and `1` the maximum possible `diff`, Lemma 3
+//! states:
+//!
+//! 1. a rule `R ∈ Σ` cannot contribute to `L_k` if
+//!    `(1−λ)/(N(k−1))·(conf(R) + maxUconf⁺(∆E)) + 2λ/(k−1) ≤ F'_m`;
+//! 2. a frontier rule `R_j ∈ ∆E` need not be extended if it is not
+//!    extendable, or
+//!    `(1−λ)/(N(k−1))·(Uconf⁺(R_j) + max conf(Σ)) + 2λ/(k−1) ≤ F'_m`.
+//!
+//! Both right-hand quantities shrink as rules are removed, so the rules
+//! are applied to a fixpoint. Rules currently seated in the queue are
+//! never pruned (they already contribute to `L_k`).
+
+use crate::incdiv::IncDiv;
+use crate::messages::MinedRule;
+
+/// Counters reporting what the reduction pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Rules pruned from Σ (rule 1).
+    pub sigma_pruned: usize,
+    /// Frontier rules whose extension was cancelled (rule 2).
+    pub frontier_pruned: usize,
+}
+
+/// `Uconf⁺(R)` — the confidence upper bound for any extension of `R`:
+/// `Usupp(R)·supp(q̄,G) / (1·supp(q,G))` (the denominator's `supp(Qq̄)` is
+/// lower-bounded by 1).
+pub fn uconf_plus(rule: &MinedRule) -> f64 {
+    if rule.stats.supp_q == 0 {
+        return 0.0;
+    }
+    rule.usupp as f64 * rule.stats.supp_qbar as f64 / rule.stats.supp_q as f64
+}
+
+/// Applies both reduction rules to a fixpoint.
+///
+/// * `rules` — the Σ store; `alive[i]` is cleared when rule `i` is pruned.
+/// * `frontier` — indices of ∆E rules still scheduled for extension;
+///   pruned entries are removed in place.
+pub fn apply_reduction(
+    inc: &IncDiv,
+    rules: &[MinedRule],
+    alive: &mut [bool],
+    frontier: &mut Vec<usize>,
+) -> ReductionStats {
+    let mut stats = ReductionStats::default();
+    let Some(fm) = inc.fm() else {
+        // Queue not full yet: every candidate can still make top-k.
+        frontier.retain(|&i| rules[i].extendable);
+        return stats;
+    };
+    let p = inc.params();
+    let k = p.k.max(2) as f64;
+    let conf_coeff = (1.0 - p.lambda) / (p.n * (k - 1.0));
+    let div_max = 2.0 * p.lambda / (k - 1.0);
+
+    loop {
+        let max_uconf = frontier
+            .iter()
+            .map(|&i| uconf_plus(&rules[i]))
+            .fold(0.0_f64, f64::max);
+        let max_conf = rules
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| alive[i])
+            .map(|(_, r)| r.conf_value)
+            .fold(0.0_f64, f64::max);
+
+        let mut changed = false;
+        // Rule 1: prune Σ.
+        for (i, r) in rules.iter().enumerate() {
+            if !alive[i] || inc.contains(i) {
+                continue;
+            }
+            if conf_coeff * (r.conf_value + max_uconf) + div_max <= fm {
+                alive[i] = false;
+                stats.sigma_pruned += 1;
+                changed = true;
+            }
+        }
+        // Rule 2: prune the frontier.
+        let before = frontier.len();
+        frontier.retain(|&i| {
+            let r = &rules[i];
+            let keep =
+                r.extendable && conf_coeff * (uconf_plus(r) + max_conf) + div_max > fm;
+            keep
+        });
+        if frontier.len() != before {
+            stats.frontier_pruned += before - frontier.len();
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_core::{ConfStats, Confidence, DiversifyParams, Gpar, Predicate};
+    use gpar_graph::{NodeId, Vocab};
+    use gpar_pattern::NodeCond;
+    use std::sync::Arc;
+
+    fn mk_rule(conf: f64, usupp: u64, matches: &[u32], extendable: bool) -> MinedRule {
+        let vocab = Vocab::new();
+        let c = vocab.intern("c");
+        let e = vocab.intern("e");
+        let seed = Gpar::seed(&Predicate::new(NodeCond::Label(c), e, NodeCond::Label(c)), vocab);
+        MinedRule {
+            rule: Arc::new(seed),
+            matches: Arc::new(matches.iter().map(|&i| NodeId(i)).collect()),
+            stats: ConfStats { supp_r: matches.len() as u64, supp_q_ante: 0, supp_q: 10, supp_qbar: 2, supp_q_qbar: 1 },
+            confidence: Confidence::Value(conf),
+            conf_value: conf,
+            usupp,
+            extendable,
+            round: 1,
+        }
+    }
+
+    #[test]
+    fn nothing_pruned_while_queue_not_full() {
+        let params = DiversifyParams::new(0.5, 6, 1.0);
+        let inc = IncDiv::new(params);
+        let rules = vec![mk_rule(0.1, 1, &[1], true)];
+        let mut alive = vec![true];
+        let mut frontier = vec![0];
+        let stats = apply_reduction(&inc, &rules, &mut alive, &mut frontier);
+        assert_eq!(stats, ReductionStats::default());
+        assert_eq!(frontier, vec![0]);
+    }
+
+    #[test]
+    fn hopeless_rules_are_pruned_once_queue_is_full() {
+        // λ = 0 isolates the confidence term, making the bound easy to hit.
+        let params = DiversifyParams::new(0.0, 2, 1.0);
+        let mut inc = IncDiv::new(params);
+        let rules = vec![
+            mk_rule(10.0, 0, &[1, 2], false),
+            mk_rule(9.0, 0, &[3], false),
+            mk_rule(0.001, 0, &[4], true), // hopeless straggler, usupp 0
+        ];
+        let mut alive = vec![true; 3];
+        inc.update(&rules, &[0, 1, 2], &alive);
+        assert!(inc.fm().is_some());
+        let mut frontier = vec![2];
+        let stats = apply_reduction(&inc, &rules, &mut alive, &mut frontier);
+        // Rule 2 (index 2): conf bound (1)(0.001 + max_uconf 0) ≤ F'm ⇒ pruned
+        // from Σ; its extension bound (uconf+ 0 + maxconf 10)·coef vs fm…
+        assert!(stats.sigma_pruned >= 1);
+        assert!(!alive[2]);
+        // Queue members stay alive.
+        assert!(alive[0] && alive[1]);
+    }
+
+    #[test]
+    fn non_extendable_frontier_entries_always_drop() {
+        let params = DiversifyParams::new(0.5, 2, 1.0);
+        let inc = IncDiv::new(params);
+        let rules = vec![mk_rule(5.0, 5, &[1], false)];
+        let mut alive = vec![true];
+        let mut frontier = vec![0];
+        apply_reduction(&inc, &rules, &mut alive, &mut frontier);
+        assert!(frontier.is_empty());
+    }
+
+    #[test]
+    fn uconf_plus_formula() {
+        let r = mk_rule(1.0, 4, &[1, 2, 3, 4], true);
+        // usupp * supp_qbar / supp_q = 4 * 2 / 10
+        assert!((uconf_plus(&r) - 0.8).abs() < 1e-12);
+    }
+}

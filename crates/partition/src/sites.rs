@@ -1,0 +1,185 @@
+//! Per-center d-neighborhood *sites*.
+//!
+//! Both DMine's `localMine` and EIP's `Matchc`/`Match` decide membership
+//! per candidate center inside `G_d(v_x)` ("checks whether `v_x` is in
+//! `P_R(x, G_d(v_x))`", §5.1). A [`CenterSite`] materializes exactly that:
+//! the induced d-ball subgraph of one center with id mappings back to `G`.
+//!
+//! Evaluating *inside the site* rather than inside a larger fragment keeps
+//! the semantics a pure function of `(G, v_x, d)` — independent of how
+//! centers were grouped onto workers — which is what makes parallel
+//! support counts deterministic across any worker count `n`. (For
+//! patterns of radius ≤ d whose components are connected to `x` this
+//! coincides with global matching, per the locality property; components
+//! that `x` cannot reach are matched within the ball, the paper's implicit
+//! semantic boundary.)
+
+use crate::fragment::PartitionStrategy;
+use crate::stats::chunk_evenly;
+use gpar_graph::{extract_induced, Extracted, Graph, NodeId};
+
+/// One candidate center with its materialized d-neighborhood `G_d(v_x)`.
+#[derive(Debug, Clone)]
+pub struct CenterSite {
+    /// The center's id in the parent graph.
+    pub center_global: NodeId,
+    /// The center's id inside [`CenterSite::site`].
+    pub center: NodeId,
+    /// The induced d-ball subgraph plus id mappings.
+    pub site: Extracted,
+    /// Nodes per BFS depth `0..=d` (used for extendability estimates).
+    pub layer_sizes: Vec<u32>,
+}
+
+impl CenterSite {
+    /// Builds the site of `center` with radius `d`.
+    pub fn build(g: &Graph, center: NodeId, d: u32) -> Self {
+        let layers = gpar_graph::bfs_layers(g, center, d);
+        let mut layer_sizes = vec![0u32; d as usize + 1];
+        for &(_, depth) in &layers {
+            layer_sizes[depth as usize] += 1;
+        }
+        let nodes: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = layers.into_iter().map(|(n, _)| n).collect();
+            v.sort_unstable();
+            v
+        };
+        let site = extract_induced(g, &nodes);
+        let center_local = site.local(center).expect("center in own ball");
+        Self { center_global: center, center: center_local, site, layer_sizes }
+    }
+
+    /// The site's graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.site.graph
+    }
+
+    /// Size `|V| + |E|` of the site (the load measure for balancing).
+    pub fn load(&self) -> u64 {
+        self.graph().size() as u64
+    }
+}
+
+/// Builds sites for all centers and assigns them to `n` workers.
+///
+/// * [`PartitionStrategy::Balanced`] — LPT bin packing on site loads.
+/// * [`PartitionStrategy::Hash`] — `center mod n` (skew baseline).
+///
+/// Returns one site list per worker; every center appears in exactly one
+/// list, so summed per-center statistics never double count.
+pub fn partition_sites(
+    g: &Graph,
+    centers: &[NodeId],
+    d: u32,
+    n: usize,
+    strategy: PartitionStrategy,
+) -> Vec<Vec<CenterSite>> {
+    let n = n.max(1);
+    let sites: Vec<CenterSite> = centers.iter().map(|&c| CenterSite::build(g, c, d)).collect();
+    let mut out: Vec<Vec<CenterSite>> = (0..n).map(|_| Vec::new()).collect();
+    match strategy {
+        PartitionStrategy::Hash => {
+            for s in sites {
+                let w = s.center_global.index() % n;
+                out[w].push(s);
+            }
+        }
+        PartitionStrategy::Balanced => {
+            let mut order: Vec<usize> = (0..sites.len()).collect();
+            let loads: Vec<u64> = sites.iter().map(|s| s.load()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(loads[i]));
+            let mut bins = vec![0u64; n];
+            let mut assign = vec![0usize; sites.len()];
+            for i in order {
+                let w = bins
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &l)| l)
+                    .map(|(w, _)| w)
+                    .unwrap();
+                assign[i] = w;
+                bins[w] += loads[i];
+            }
+            for (s, w) in sites.into_iter().zip(assign) {
+                out[w].push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: evenly chunk *already built* sites across workers in id
+/// order (used when re-partitioning for a different `n` without the
+/// balancing pass).
+pub fn chunk_sites(sites: Vec<CenterSite>, n: usize) -> Vec<Vec<CenterSite>> {
+    let refs: Vec<CenterSite> = sites;
+    let chunks = chunk_evenly(&refs.iter().map(|s| s.center_global).collect::<Vec<_>>(), n);
+    // Rebuild by matching center ids (cheap: move out of a map).
+    let mut by_center: rustc_hash::FxHashMap<NodeId, CenterSite> =
+        refs.into_iter().map(|s| (s.center_global, s)).collect();
+    chunks
+        .into_iter()
+        .map(|chunk| chunk.into_iter().map(|c| by_center.remove(&c).unwrap()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_graph::{GraphBuilder, Vocab};
+
+    fn chain(n: usize) -> (Graph, Vec<NodeId>) {
+        let vocab = Vocab::new();
+        let l = vocab.intern("n");
+        let e = vocab.intern("e");
+        let mut b = GraphBuilder::new(vocab);
+        let vs: Vec<NodeId> = (0..n).map(|_| b.add_node(l)).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], e);
+        }
+        (b.build(), vs)
+    }
+
+    #[test]
+    fn site_contains_exactly_the_d_ball() {
+        let (g, vs) = chain(7);
+        let s = CenterSite::build(&g, vs[3], 2);
+        assert_eq!(s.graph().node_count(), 5); // v1..v5
+        assert_eq!(s.layer_sizes, vec![1, 2, 2]);
+        assert_eq!(s.site.global(s.center), vs[3]);
+    }
+
+    #[test]
+    fn every_center_is_assigned_once() {
+        let (g, vs) = chain(20);
+        for strategy in [PartitionStrategy::Balanced, PartitionStrategy::Hash] {
+            let parts = partition_sites(&g, &vs, 1, 3, strategy);
+            assert_eq!(parts.len(), 3);
+            let mut all: Vec<NodeId> =
+                parts.iter().flatten().map(|s| s.center_global).collect();
+            all.sort_unstable();
+            assert_eq!(all, vs);
+        }
+    }
+
+    #[test]
+    fn balanced_assignment_evens_loads() {
+        let (g, vs) = chain(30);
+        let parts = partition_sites(&g, &vs, 2, 3, PartitionStrategy::Balanced);
+        let loads: Vec<u64> =
+            parts.iter().map(|p| p.iter().map(|s| s.load()).sum()).collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert!(max - min <= 16, "loads should be near-even: {loads:?}");
+    }
+
+    #[test]
+    fn chunking_preserves_all_sites() {
+        let (g, vs) = chain(10);
+        let sites: Vec<CenterSite> = vs.iter().map(|&c| CenterSite::build(&g, c, 1)).collect();
+        let chunks = chunk_sites(sites, 4);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), 10);
+        assert_eq!(chunks.len(), 4);
+    }
+}

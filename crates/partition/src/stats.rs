@@ -1,0 +1,94 @@
+//! Partition quality measurements and work-chunking helpers.
+
+use crate::fragment::Fragment;
+
+/// Skew statistics over per-fragment quantities (sizes, loads or measured
+/// per-fragment processing times). The paper reports
+/// `(max − min) / max ≤ 14.4%` for DMine's fragments; [`PartitionStats::skew`]
+/// is that measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionStats {
+    /// Smallest per-fragment value.
+    pub min: f64,
+    /// Largest per-fragment value.
+    pub max: f64,
+    /// Mean per-fragment value.
+    pub mean: f64,
+}
+
+impl PartitionStats {
+    /// Computes stats over arbitrary per-fragment values.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Option<Self> {
+        let vals: Vec<f64> = values.into_iter().collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        Some(Self { min, max, mean })
+    }
+
+    /// Computes stats over fragment sizes `|F_i|`.
+    pub fn from_fragments(frags: &[Fragment]) -> Option<Self> {
+        Self::from_values(frags.iter().map(|f| f.size() as f64))
+    }
+
+    /// The gap between the largest and smallest value as a fraction of the
+    /// largest — the paper's skew measure.
+    pub fn skew(&self) -> f64 {
+        if self.max == 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.max
+        }
+    }
+}
+
+/// Splits `items` into `n` chunks of nearly equal length (the paper's
+/// "partition L into n fragments" for the parallel assembling step).
+pub fn chunk_evenly<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
+    let n = n.max(1);
+    let mut out = vec![Vec::new(); n];
+    let base = items.len() / n;
+    let extra = items.len() % n;
+    let mut idx = 0;
+    for (i, chunk) in out.iter_mut().enumerate() {
+        let len = base + usize::from(i < extra);
+        chunk.extend_from_slice(&items[idx..idx + len]);
+        idx += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_and_skew() {
+        let s = PartitionStats::from_values([80.0, 100.0, 90.0]).unwrap();
+        assert_eq!(s.min, 80.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 90.0);
+        assert!((s.skew() - 0.2).abs() < 1e-12);
+        assert!(PartitionStats::from_values([]).is_none());
+        let zero = PartitionStats::from_values([0.0, 0.0]).unwrap();
+        assert_eq!(zero.skew(), 0.0);
+    }
+
+    #[test]
+    fn chunks_cover_everything_evenly() {
+        let items: Vec<u32> = (0..10).collect();
+        let chunks = chunk_evenly(&items, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[1].len(), 3);
+        assert_eq!(chunks[2].len(), 3);
+        let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, items);
+        // More chunks than items.
+        let chunks = chunk_evenly(&items[..2], 5);
+        assert_eq!(chunks.iter().filter(|c| !c.is_empty()).count(), 2);
+    }
+}

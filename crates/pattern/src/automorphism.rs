@@ -1,0 +1,361 @@
+//! Exact pattern isomorphism / automorphism with pinned designated nodes.
+//!
+//! Two GPARs are *redundant duplicates* when their patterns are automorphic
+//! with `x` mapped to `x` and `y` to `y` (§4.2 "Automorphism checking").
+//! Patterns are tiny, so a signature-pruned backtracking search is exact and
+//! fast; the [`crate::bisim`] prefilter (Lemma 4) avoids calling it for most
+//! non-isomorphic pairs.
+
+use crate::pattern::{PNodeId, Pattern};
+
+/// Searches for an embedding of `p1` into `p2`.
+///
+/// * `exact`: require a full isomorphism (node bijection, equal edge count,
+///   every `p1` edge present in `p2` — which together imply edge bijection
+///   since patterns have no duplicate edges).
+/// * `pin_designated`: force `x₁ ↦ x₂` (and `y₁ ↦ y₂` when both present;
+///   one-sided `y` fails).
+pub(crate) fn find_embedding(
+    p1: &Pattern,
+    p2: &Pattern,
+    exact: bool,
+    pin_designated: bool,
+) -> Option<Vec<PNodeId>> {
+    if exact && (p1.node_count() != p2.node_count() || p1.edge_count() != p2.edge_count()) {
+        return None;
+    }
+    if p1.node_count() > p2.node_count() || p1.edge_count() > p2.edge_count() {
+        return None;
+    }
+    let n1 = p1.node_count();
+    let mut map: Vec<Option<PNodeId>> = vec![None; n1];
+    let mut used = vec![false; p2.node_count()];
+
+    if pin_designated {
+        let (x1, x2) = (p1.x(), p2.x());
+        if !compatible(p1, x1, p2, x2, exact) {
+            return None;
+        }
+        map[x1.index()] = Some(x2);
+        used[x2.index()] = true;
+        match (p1.y(), p2.y()) {
+            (Some(y1), Some(y2)) => {
+                if y1 != p1.x() {
+                    if !compatible(p1, y1, p2, y2, exact) || used[y2.index()] {
+                        return None;
+                    }
+                    map[y1.index()] = Some(y2);
+                    used[y2.index()] = true;
+                } else if y2 != p2.x() {
+                    return None;
+                }
+            }
+            (None, None) => {}
+            _ => return None,
+        }
+    }
+
+    // Order unmapped p1 nodes: most-constrained (highest degree) first.
+    let mut order: Vec<PNodeId> = p1.nodes().filter(|u| map[u.index()].is_none()).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(p1.degree(u)));
+
+    fn rec(
+        p1: &Pattern,
+        p2: &Pattern,
+        order: &[PNodeId],
+        pos: usize,
+        map: &mut Vec<Option<PNodeId>>,
+        used: &mut Vec<bool>,
+        exact: bool,
+    ) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let u = order[pos];
+        for v in p2.nodes() {
+            if used[v.index()] || !compatible(p1, u, p2, v, exact) {
+                continue;
+            }
+            if !edges_consistent(p1, p2, u, v, map, exact) {
+                continue;
+            }
+            map[u.index()] = Some(v);
+            used[v.index()] = true;
+            if rec(p1, p2, order, pos + 1, map, used, exact) {
+                return true;
+            }
+            map[u.index()] = None;
+            used[v.index()] = false;
+        }
+        false
+    }
+
+    // Verify pinned pairs' mutual edges before recursing.
+    for u in p1.nodes() {
+        if map[u.index()].is_some() && !edges_consistent_pinned(p1, p2, u, &map, exact) {
+            return None;
+        }
+    }
+
+    if rec(p1, p2, &order, 0, &mut map, &mut used, exact) {
+        Some(map.into_iter().map(|m| m.unwrap()).collect())
+    } else {
+        None
+    }
+}
+
+fn compatible(p1: &Pattern, u: PNodeId, p2: &Pattern, v: PNodeId, exact: bool) -> bool {
+    if p1.cond(u) != p2.cond(v) {
+        return false;
+    }
+    let (_, o1, i1) = p1.node_signature(u);
+    let (_, o2, i2) = p2.node_signature(v);
+    if exact {
+        o1 == o2 && i1 == i2
+    } else {
+        o1 <= o2 && i1 <= i2
+    }
+}
+
+/// Checks all p1 edges between `u` and already-mapped nodes exist in p2
+/// (and, for `exact`, that no extra p2 edges exist between the images).
+fn edges_consistent(
+    p1: &Pattern,
+    p2: &Pattern,
+    u: PNodeId,
+    v: PNodeId,
+    map: &[Option<PNodeId>],
+    exact: bool,
+) -> bool {
+    // Self-loops (dst == u) must be checked against v directly: u is not
+    // yet in the partial map when its own feasibility is evaluated.
+    for &(dst, cond) in p1.out(u) {
+        let target = if dst == u { Some(v) } else { map[dst.index()] };
+        if let Some(dst2) = target {
+            if !p2.has_edge(v, dst2, cond) {
+                return false;
+            }
+        }
+    }
+    for &(src, cond) in p1.inn(u) {
+        if src == u {
+            continue; // self-loop already verified above
+        }
+        if let Some(src2) = map[src.index()] {
+            if !p2.has_edge(src2, v, cond) {
+                return false;
+            }
+        }
+    }
+    if exact {
+        // Reverse direction: p2 edges between v and mapped images must be
+        // matched by p1 edges (count argument per endpoint pair + cond).
+        for &(dst2, cond) in p2.out(v) {
+            let back = if dst2 == v { Some(u) } else { reverse_lookup(map, dst2) };
+            if let Some(dst1) = back {
+                if !p1.has_edge(u, dst1, cond) {
+                    return false;
+                }
+            }
+        }
+        for &(src2, cond) in p2.inn(v) {
+            if let Some(src1) = reverse_lookup(map, src2) {
+                if !p1.has_edge(src1, u, cond) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn edges_consistent_pinned(
+    p1: &Pattern,
+    p2: &Pattern,
+    u: PNodeId,
+    map: &[Option<PNodeId>],
+    exact: bool,
+) -> bool {
+    let v = map[u.index()].unwrap();
+    edges_consistent(p1, p2, u, v, map, exact)
+}
+
+fn reverse_lookup(map: &[Option<PNodeId>], target: PNodeId) -> Option<PNodeId> {
+    map.iter()
+        .position(|&m| m == Some(target))
+        .map(|i| PNodeId(i as u32))
+}
+
+/// Whether `p1` and `p2` are isomorphic, with designated nodes pinned when
+/// `pin_designated` is set. This is the paper's automorphism test between
+/// candidate GPARs.
+pub fn are_isomorphic(p1: &Pattern, p2: &Pattern, pin_designated: bool) -> bool {
+    find_embedding(p1, p2, true, pin_designated).is_some()
+}
+
+/// Counts the automorphisms of `p` that fix the designated nodes.
+/// Exposed mainly for tests and diagnostics.
+pub fn count_automorphisms(p: &Pattern) -> usize {
+    let n = p.node_count();
+    let mut map: Vec<Option<PNodeId>> = vec![None; n];
+    let mut used = vec![false; n];
+    map[p.x().index()] = Some(p.x());
+    used[p.x().index()] = true;
+    if let Some(y) = p.y() {
+        if map[y.index()].is_none() {
+            map[y.index()] = Some(y);
+            used[y.index()] = true;
+        }
+    }
+    let order: Vec<PNodeId> = p.nodes().filter(|u| map[u.index()].is_none()).collect();
+    let mut count = 0usize;
+
+    fn rec(
+        p: &Pattern,
+        order: &[PNodeId],
+        pos: usize,
+        map: &mut Vec<Option<PNodeId>>,
+        used: &mut Vec<bool>,
+        count: &mut usize,
+    ) {
+        if pos == order.len() {
+            *count += 1;
+            return;
+        }
+        let u = order[pos];
+        for v in p.nodes() {
+            if used[v.index()] || !compatible(p, u, p, v, true) {
+                continue;
+            }
+            if !edges_consistent(p, p, u, v, map, true) {
+                continue;
+            }
+            map[u.index()] = Some(v);
+            used[v.index()] = true;
+            rec(p, order, pos + 1, map, used, count);
+            map[u.index()] = None;
+            used[v.index()] = false;
+        }
+    }
+    rec(p, &order, 0, &mut map, &mut used, &mut count);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PatternBuilder;
+    use gpar_graph::Vocab;
+
+    fn two_friend_patterns() -> (Pattern, Pattern) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let friend = vocab.intern("friend");
+        // p1: x -friend-> a
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let a = b.node(cust);
+        b.edge(x, a, friend);
+        let p1 = b.designate_x(x).build().unwrap();
+        // p2: same shape, nodes declared in the opposite order
+        let mut b = PatternBuilder::new(vocab);
+        let a2 = b.node(cust);
+        let x2 = b.node(cust);
+        b.edge(x2, a2, friend);
+        let p2 = b.designate_x(x2).build().unwrap();
+        (p1, p2)
+    }
+
+    #[test]
+    fn isomorphic_up_to_node_order() {
+        let (p1, p2) = two_friend_patterns();
+        assert!(are_isomorphic(&p1, &p2, true));
+        assert!(are_isomorphic(&p1, &p2, false));
+    }
+
+    #[test]
+    fn direction_matters() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let friend = vocab.intern("friend");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let a = b.node(cust);
+        b.edge(x, a, friend);
+        let p1 = b.designate_x(x).build().unwrap();
+        let mut b = PatternBuilder::new(vocab);
+        let x2 = b.node(cust);
+        let a2 = b.node(cust);
+        b.edge(a2, x2, friend); // reversed
+        let p2 = b.designate_x(x2).build().unwrap();
+        // Unpinned they are isomorphic (swap roles); pinned at x they are not.
+        assert!(are_isomorphic(&p1, &p2, false));
+        assert!(!are_isomorphic(&p1, &p2, true));
+    }
+
+    #[test]
+    fn labels_must_agree() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let shop = vocab.intern("shop");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let a = b.node(cust);
+        b.edge(x, a, e);
+        let p1 = b.designate_x(x).build().unwrap();
+        let mut b = PatternBuilder::new(vocab);
+        let x2 = b.node(cust);
+        let a2 = b.node(shop);
+        b.edge(x2, a2, e);
+        let p2 = b.designate_x(x2).build().unwrap();
+        assert!(!are_isomorphic(&p1, &p2, false));
+    }
+
+    #[test]
+    fn extra_edges_break_isomorphism() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let a = b.node(cust);
+        b.edge(x, a, e);
+        let p1 = b.designate_x(x).build().unwrap();
+        let p2 = p1.with_edge(a, x, crate::pattern::EdgeCond::Label(e)).unwrap();
+        assert!(!are_isomorphic(&p1, &p2, true));
+        assert!(!are_isomorphic(&p2, &p1, true));
+    }
+
+    #[test]
+    fn automorphism_count_of_star_with_k_copies() {
+        // x with 3 identical out-neighbors: 3! automorphisms fixing x.
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node(cust);
+        let copies = b.node_copies(rest, 3);
+        b.edge_to_copies(x, &copies, like);
+        let p = b.designate_x(x).build().unwrap();
+        assert_eq!(count_automorphisms(&p), 6);
+    }
+
+    #[test]
+    fn rigid_pattern_has_one_automorphism() {
+        let vocab = Vocab::new();
+        let a = vocab.intern("a");
+        let bb = vocab.intern("b");
+        let c = vocab.intern("c");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab);
+        let n1 = b.node(a);
+        let n2 = b.node(bb);
+        let n3 = b.node(c);
+        b.edge(n1, n2, e);
+        b.edge(n2, n3, e);
+        let p = b.designate_x(n1).build().unwrap();
+        assert_eq!(count_automorphisms(&p), 1);
+    }
+}

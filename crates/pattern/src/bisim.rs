@@ -1,0 +1,229 @@
+//! Bisimulation prefilter for automorphism grouping (Lemma 4).
+//!
+//! > **Lemma 4.** If graph pattern `P_R1` is not bisimilar to `P_R2`, then
+//! > `R1` is not an automorphism of `R2`.
+//!
+//! DMine therefore checks bisimilarity first (cheap, partition refinement)
+//! and runs the exact automorphism test only on bisimilar pairs. We refine
+//! on both out- and in-signatures; automorphisms preserve both, so the
+//! lemma's soundness (automorphic ⇒ bisimilar) is kept while the filter is
+//! strictly stronger than the forward-only variant.
+
+use crate::pattern::{EdgeCond, NodeCond, PNodeId, Pattern};
+use rustc_hash::FxHashMap;
+
+fn econd_key(c: EdgeCond) -> u64 {
+    match c {
+        EdgeCond::Any => u64::MAX,
+        EdgeCond::Label(l) => l.0 as u64,
+    }
+}
+
+fn cond_key(c: NodeCond) -> u64 {
+    match c {
+        NodeCond::Any => u64::MAX,
+        NodeCond::Label(l) => l.0 as u64,
+    }
+}
+
+/// Computes the coarsest bisimulation partition of the *disjoint union* of
+/// `p1` and `p2`. Returns per-pattern block ids (block numbering shared
+/// across both patterns).
+fn joint_blocks(p1: &Pattern, p2: &Pattern) -> (Vec<u32>, Vec<u32>) {
+    let n1 = p1.node_count();
+    let n = n1 + p2.node_count();
+    let cond_at = |i: usize| {
+        if i < n1 {
+            p1.cond(PNodeId(i as u32))
+        } else {
+            p2.cond(PNodeId((i - n1) as u32))
+        }
+    };
+    // Initial partition: by node condition.
+    let mut block = vec![0u32; n];
+    {
+        let mut ids: FxHashMap<u64, u32> = FxHashMap::default();
+        for (i, b) in block.iter_mut().enumerate() {
+            let k = cond_key(cond_at(i));
+            let next = ids.len() as u32;
+            *b = *ids.entry(k).or_insert(next);
+        }
+    }
+    // Refinement: signature = (block, sorted out (label, block), sorted in
+    // (label, block)); deduplicated — bisimulation compares *sets* of moves.
+    loop {
+        let mut sig_ids: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
+        let mut next = vec![0u32; n];
+        let sig_of = |i: usize,
+                          out: &[(PNodeId, EdgeCond)],
+                          inn: &[(PNodeId, EdgeCond)],
+                          off: usize,
+                          block: &[u32]| {
+            let mut sig = vec![block[i] as u64];
+            let mut outs: Vec<u64> = out
+                .iter()
+                .map(|&(v, c)| (econd_key(c) << 32) | block[v.index() + off] as u64)
+                .collect();
+            outs.sort_unstable();
+            outs.dedup();
+            sig.push(u64::MAX - 1); // separator
+            sig.extend(outs);
+            let mut ins: Vec<u64> = inn
+                .iter()
+                .map(|&(v, c)| (econd_key(c) << 32) | block[v.index() + off] as u64)
+                .collect();
+            ins.sort_unstable();
+            ins.dedup();
+            sig.push(u64::MAX - 2);
+            sig.extend(ins);
+            sig
+        };
+        let mut changed = false;
+        for i in 0..n {
+            let sig = if i < n1 {
+                let u = PNodeId(i as u32);
+                sig_of(i, p1.out(u), p1.inn(u), 0, &block)
+            } else {
+                let u = PNodeId((i - n1) as u32);
+                sig_of(i, p2.out(u), p2.inn(u), n1, &block)
+            };
+            let id = {
+                let next_id = sig_ids.len() as u32;
+                *sig_ids.entry(sig).or_insert(next_id)
+            };
+            next[i] = id;
+        }
+        for i in 0..n {
+            if next[i] != block[i] {
+                changed = true;
+                break;
+            }
+        }
+        block = next;
+        if !changed {
+            break;
+        }
+    }
+    let b2 = block.split_off(n1);
+    (block, b2)
+}
+
+/// Whether `p1` and `p2` are bisimilar in the sense of §4.2: every node of
+/// each pattern is bisimilar to some node of the other, and the designated
+/// nodes are pairwise bisimilar (`x₁ ~ x₂`, `y₁ ~ y₂`). The designated-node
+/// requirement is sound for the Lemma-4 prefilter because automorphisms in
+/// DMine pin `x` and `y`.
+pub fn bisimilar(p1: &Pattern, p2: &Pattern) -> bool {
+    let (b1, b2) = joint_blocks(p1, p2);
+    // Designated nodes must share blocks.
+    if b1[p1.x().index()] != b2[p2.x().index()] {
+        return false;
+    }
+    match (p1.y(), p2.y()) {
+        (Some(y1), Some(y2)) => {
+            if b1[y1.index()] != b2[y2.index()] {
+                return false;
+            }
+        }
+        (None, None) => {}
+        _ => return false,
+    }
+    // Mutual coverage of blocks.
+    let s1: rustc_hash::FxHashSet<u32> = b1.iter().copied().collect();
+    let s2: rustc_hash::FxHashSet<u32> = b2.iter().copied().collect();
+    s1 == s2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::are_isomorphic;
+    use crate::builder::PatternBuilder;
+    use gpar_graph::Vocab;
+
+    #[test]
+    fn isomorphic_patterns_are_bisimilar() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let build = |swap: bool| {
+            let mut b = PatternBuilder::new(vocab.clone());
+            let x = b.node(cust);
+            let (r1, r2) = (b.node(rest), b.node(rest));
+            if swap {
+                b.edge(x, r2, like);
+                b.edge(x, r1, like);
+            } else {
+                b.edge(x, r1, like);
+                b.edge(x, r2, like);
+            }
+            b.designate_x(x).build().unwrap()
+        };
+        let (p1, p2) = (build(false), build(true));
+        assert!(are_isomorphic(&p1, &p2, true));
+        assert!(bisimilar(&p1, &p2));
+    }
+
+    #[test]
+    fn different_shapes_are_not_bisimilar() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let like = vocab.intern("like");
+        // chain x -> a -> b   vs   star x -> a, x -> b
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let a = b.node(cust);
+        let c = b.node(cust);
+        b.edge(x, a, like);
+        b.edge(a, c, like);
+        let chain = b.designate_x(x).build().unwrap();
+        let mut b = PatternBuilder::new(vocab);
+        let x2 = b.node(cust);
+        let a2 = b.node(cust);
+        let c2 = b.node(cust);
+        b.edge(x2, a2, like);
+        b.edge(x2, c2, like);
+        let star = b.designate_x(x2).build().unwrap();
+        assert!(!bisimilar(&chain, &star));
+        assert!(!are_isomorphic(&chain, &star, true));
+    }
+
+    #[test]
+    fn bisimilar_but_not_automorphic_exists() {
+        // The classic case: k identical parallel branches are bisimilar to
+        // one branch, but not isomorphic. Lemma 4 is one-directional.
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let build = |k: usize| {
+            let mut b = PatternBuilder::new(vocab.clone());
+            let x = b.node(cust);
+            let copies = b.node_copies(rest, k);
+            b.edge_to_copies(x, &copies, like);
+            b.designate_x(x).build().unwrap()
+        };
+        let (one, three) = (build(1), build(3));
+        assert!(bisimilar(&one, &three));
+        assert!(!are_isomorphic(&one, &three, true));
+    }
+
+    #[test]
+    fn designated_nodes_must_align() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let like = vocab.intern("like");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let a = b.node(cust);
+        b.edge(x, a, like);
+        let p1 = b.designate_x(x).build().unwrap();
+        let mut b = PatternBuilder::new(vocab);
+        let x2 = b.node(cust);
+        let a2 = b.node(cust);
+        b.edge(x2, a2, like);
+        let p2 = b.designate_x(a2).build().unwrap(); // x designated at sink
+        assert!(!bisimilar(&p1, &p2));
+    }
+}

@@ -1,0 +1,195 @@
+//! Ergonomic pattern construction, including the paper's `C(u) = k`
+//! node-copy annotation.
+
+use crate::pattern::{EdgeCond, NodeCond, PEdge, PNodeId, Pattern, PatternError};
+use gpar_graph::{Label, Vocab};
+use std::sync::Arc;
+
+/// Builds a [`Pattern`].
+///
+/// The paper's succinct integer annotation (`C(u) = k` meaning "k copies of
+/// `u` with the same label and links in the common neighborhood", e.g. the
+/// *3 French restaurants* in `Q1`) is supported via [`PatternBuilder::node_copies`]:
+/// the handle stands for all copies, and edges added to it are replicated.
+///
+/// ```
+/// use gpar_pattern::PatternBuilder;
+/// use gpar_graph::Vocab;
+/// let vocab = Vocab::new();
+/// let cust = vocab.intern("cust");
+/// let fr = vocab.intern("french_restaurant");
+/// let like = vocab.intern("like");
+/// let mut b = PatternBuilder::new(vocab);
+/// let x = b.node(cust);
+/// let rests = b.node_copies(fr, 3);
+/// b.edge_to_copies(x, &rests, like);
+/// let q = b.designate_x(x).build().unwrap();
+/// assert_eq!(q.node_count(), 4);
+/// assert_eq!(q.edge_count(), 3);
+/// ```
+pub struct PatternBuilder {
+    vocab: Arc<Vocab>,
+    conds: Vec<NodeCond>,
+    edges: Vec<PEdge>,
+    x: Option<PNodeId>,
+    y: Option<PNodeId>,
+}
+
+impl PatternBuilder {
+    /// Creates a builder over a shared vocabulary.
+    pub fn new(vocab: Arc<Vocab>) -> Self {
+        Self {
+            vocab,
+            conds: Vec::new(),
+            edges: Vec::new(),
+            x: None,
+            y: None,
+        }
+    }
+
+    /// The vocabulary this builder interns into.
+    pub fn vocab(&self) -> &Arc<Vocab> {
+        &self.vocab
+    }
+
+    /// Adds a node matching `label`.
+    pub fn node(&mut self, label: Label) -> PNodeId {
+        self.push(NodeCond::Label(label))
+    }
+
+    /// Adds a node from a label string (interning it).
+    pub fn node_str(&mut self, label: &str) -> PNodeId {
+        let l = self.vocab.intern(label);
+        self.node(l)
+    }
+
+    /// Adds a wildcard node.
+    pub fn node_any(&mut self) -> PNodeId {
+        self.push(NodeCond::Any)
+    }
+
+    /// Adds `k` copies of a node with the same label (`C(u) = k`).
+    pub fn node_copies(&mut self, label: Label, k: usize) -> Vec<PNodeId> {
+        (0..k).map(|_| self.node(label)).collect()
+    }
+
+    fn push(&mut self, cond: NodeCond) -> PNodeId {
+        let id = PNodeId(self.conds.len() as u32);
+        self.conds.push(cond);
+        id
+    }
+
+    /// Adds a directed edge with `label`.
+    pub fn edge(&mut self, src: PNodeId, dst: PNodeId, label: Label) {
+        self.edges.push(PEdge { src, dst, cond: EdgeCond::Label(label) });
+    }
+
+    /// Adds a directed edge from a label string.
+    pub fn edge_str(&mut self, src: PNodeId, dst: PNodeId, label: &str) {
+        let l = self.vocab.intern(label);
+        self.edge(src, dst, l);
+    }
+
+    /// Adds a wildcard edge.
+    pub fn edge_any(&mut self, src: PNodeId, dst: PNodeId) {
+        self.edges.push(PEdge { src, dst, cond: EdgeCond::Any });
+    }
+
+    /// Adds an edge from `src` to *every* copy in `copies` (replicating the
+    /// common-neighborhood links of the succinct representation).
+    pub fn edge_to_copies(&mut self, src: PNodeId, copies: &[PNodeId], label: Label) {
+        for &c in copies {
+            self.edge(src, c, label);
+        }
+    }
+
+    /// Adds an edge from *every* copy to `dst`.
+    pub fn edge_from_copies(&mut self, copies: &[PNodeId], dst: PNodeId, label: Label) {
+        for &c in copies {
+            self.edge(c, dst, label);
+        }
+    }
+
+    /// Designates both `x` and `y`.
+    pub fn designate(mut self, x: PNodeId, y: PNodeId) -> Self {
+        self.x = Some(x);
+        self.y = Some(y);
+        self
+    }
+
+    /// Designates only `x`.
+    pub fn designate_x(mut self, x: PNodeId) -> Self {
+        self.x = Some(x);
+        self
+    }
+
+    /// Finalizes the pattern. Defaults `x` to the first node if never
+    /// designated.
+    pub fn build(self) -> Result<Pattern, PatternError> {
+        let x = self.x.unwrap_or(PNodeId(0));
+        Pattern::from_parts(self.conds, self.edges, x, self.y, self.vocab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_replicate_edges_both_directions() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let inn = vocab.intern("in");
+        let city = vocab.intern("city");
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node(cust);
+        let c = b.node(city);
+        let rs = b.node_copies(rest, 3);
+        b.edge_to_copies(x, &rs, like);
+        b.edge_from_copies(&rs, c, inn);
+        let q = b.designate_x(x).build().unwrap();
+        assert_eq!(q.node_count(), 5);
+        assert_eq!(q.edge_count(), 6);
+        assert_eq!(q.out(x).len(), 3);
+        assert_eq!(q.inn(c).len(), 3);
+    }
+
+    #[test]
+    fn default_designation_is_first_node() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let mut b = PatternBuilder::new(vocab);
+        let first = b.node(cust);
+        b.node(cust);
+        let q = b.build().unwrap();
+        assert_eq!(q.x(), first);
+        assert_eq!(q.y(), None);
+    }
+
+    #[test]
+    fn designate_sets_both() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let shop = vocab.intern("shop");
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node(cust);
+        let y = b.node(shop);
+        let q = b.designate(x, y).build().unwrap();
+        assert_eq!(q.x(), x);
+        assert_eq!(q.y(), Some(y));
+    }
+
+    #[test]
+    fn wildcard_nodes_and_edges() {
+        let vocab = Vocab::new();
+        let mut b = PatternBuilder::new(vocab);
+        let a = b.node_any();
+        let c = b.node_str("thing");
+        b.edge_any(a, c);
+        let q = b.build().unwrap();
+        assert_eq!(q.cond(a), NodeCond::Any);
+        assert!(q.has_edge(a, c, EdgeCond::Any));
+    }
+}

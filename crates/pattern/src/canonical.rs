@@ -1,0 +1,348 @@
+//! Canonical codes for grouping automorphic patterns.
+//!
+//! The DMine coordinator must group GPARs generated independently by many
+//! workers and keep one representative per automorphism class (§4.2). We
+//! canonicalize each pattern once and group by the resulting code:
+//!
+//! * designated nodes are pinned (`x` at position 0, `y` next), since two
+//!   GPARs are interchangeable only if some isomorphism maps `x ↦ x`,
+//!   `y ↦ y`;
+//! * for patterns with at most [`MAX_EXACT_FREE`] free nodes the code is
+//!   **exact** (minimum over all placements — small patterns make this
+//!   cheap);
+//! * larger patterns fall back to a Weisfeiler-Leman-style refinement hash
+//!   which may (rarely) collide or split classes; grouping consumers always
+//!   confirm with [`crate::are_isomorphic`], so the fallback affects only
+//!   performance, never correctness.
+
+use crate::pattern::{EdgeCond, NodeCond, PNodeId, Pattern};
+use rustc_hash::FxHashMap;
+
+/// Above this many non-designated nodes, fall back to the hash-based code.
+pub const MAX_EXACT_FREE: usize = 9;
+
+/// A canonical (or near-canonical) pattern code, usable as a hash key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalCode {
+    words: Vec<u64>,
+    exact: bool,
+}
+
+impl CanonicalCode {
+    /// Whether this code is an exact canonical form (equal codes ⇔
+    /// automorphic patterns, designated nodes pinned).
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+}
+
+fn cond_word(c: NodeCond) -> u64 {
+    match c {
+        NodeCond::Any => u64::MAX,
+        NodeCond::Label(l) => l.0 as u64,
+    }
+}
+
+fn econd_word(c: EdgeCond) -> u64 {
+    match c {
+        EdgeCond::Any => u64::MAX,
+        EdgeCond::Label(l) => l.0 as u64,
+    }
+}
+
+/// Builds the code for one concrete placement `pos[node] = position`.
+fn code_for_placement(p: &Pattern, pos: &[usize]) -> Vec<u64> {
+    let n = p.node_count();
+    let mut words = Vec::with_capacity(2 + n + 3 * p.edge_count());
+    words.push(n as u64);
+    words.push(p.edge_count() as u64);
+    // Node conditions in placement order.
+    let mut by_pos = vec![0u64; n];
+    for u in p.nodes() {
+        by_pos[pos[u.index()]] = cond_word(p.cond(u));
+    }
+    words.extend_from_slice(&by_pos);
+    // Edges as sorted (src_pos, dst_pos, cond) triples.
+    let mut es: Vec<(usize, usize, u64)> = p
+        .edges()
+        .iter()
+        .map(|e| (pos[e.src.index()], pos[e.dst.index()], econd_word(e.cond)))
+        .collect();
+    es.sort_unstable();
+    for (s, d, c) in es {
+        words.push(s as u64);
+        words.push(d as u64);
+        words.push(c);
+    }
+    words
+}
+
+fn pinned_prefix(p: &Pattern) -> (Vec<usize>, Vec<PNodeId>) {
+    // pos[node] = position; designated first, then free nodes (placed later).
+    let n = p.node_count();
+    let mut pos = vec![usize::MAX; n];
+    let mut next = 0usize;
+    pos[p.x().index()] = next;
+    next += 1;
+    if let Some(y) = p.y() {
+        if pos[y.index()] == usize::MAX {
+            pos[y.index()] = next;
+        }
+    }
+    let free: Vec<PNodeId> = p.nodes().filter(|u| pos[u.index()] == usize::MAX).collect();
+    (pos, free)
+}
+
+fn exact_code(p: &Pattern, mut pos: Vec<usize>, free: &[PNodeId]) -> Vec<u64> {
+    let base = p.node_count() - free.len();
+    let mut best: Option<Vec<u64>> = None;
+    let mut perm: Vec<usize> = (0..free.len()).collect();
+    // Enumerate permutations via Heap's algorithm.
+    fn heaps(
+        k: usize,
+        perm: &mut Vec<usize>,
+        p: &Pattern,
+        pos: &mut Vec<usize>,
+        free: &[PNodeId],
+        base: usize,
+        best: &mut Option<Vec<u64>>,
+    ) {
+        if k <= 1 {
+            for (slot, &fi) in perm.iter().enumerate() {
+                pos[free[fi].index()] = base + slot;
+            }
+            let code = code_for_placement(p, pos);
+            if best.as_ref().map_or(true, |b| code < *b) {
+                *best = Some(code);
+            }
+            return;
+        }
+        for i in 0..k {
+            heaps(k - 1, perm, p, pos, free, base, best);
+            if k % 2 == 0 {
+                perm.swap(i, k - 1);
+            } else {
+                perm.swap(0, k - 1);
+            }
+        }
+    }
+    if free.is_empty() {
+        return code_for_placement(p, &pos);
+    }
+    heaps(free.len(), &mut perm, p, &mut pos, free, base, &mut best);
+    best.unwrap()
+}
+
+/// WL-style refinement hash for large patterns (approximate but stable).
+fn refined_code(p: &Pattern, pos_pinned: &[usize], free: &[PNodeId]) -> Vec<u64> {
+    let n = p.node_count();
+    // Initial colors: pinned position (distinct) or condition word.
+    let mut color: Vec<u64> = (0..n)
+        .map(|i| {
+            if pos_pinned[i] != usize::MAX {
+                // Reserve small values for pinned nodes.
+                pos_pinned[i] as u64
+            } else {
+                cond_word(p.cond(PNodeId(i as u32))).wrapping_add(1 << 32)
+            }
+        })
+        .collect();
+    for _round in 0..n {
+        let mut next = Vec::with_capacity(n);
+        for u in p.nodes() {
+            let mut sig: Vec<u64> = Vec::with_capacity(p.degree(u) + 1);
+            sig.push(color[u.index()]);
+            let mut neigh: Vec<u64> = p
+                .out(u)
+                .iter()
+                .map(|&(v, c)| hash3(1, econd_word(c), color[v.index()]))
+                .chain(
+                    p.inn(u)
+                        .iter()
+                        .map(|&(v, c)| hash3(2, econd_word(c), color[v.index()])),
+                )
+                .collect();
+            neigh.sort_unstable();
+            sig.extend(neigh);
+            next.push(hash_slice(&sig));
+        }
+        if next == color {
+            break;
+        }
+        color = next;
+    }
+    // Order free nodes by final color (stable tie-break keeps determinism
+    // but may split automorphic classes — acceptable for the fallback).
+    let mut pos = pos_pinned.to_vec();
+    let base = n - free.len();
+    let mut order: Vec<PNodeId> = free.to_vec();
+    order.sort_by_key(|u| (color[u.index()], u.0));
+    for (slot, u) in order.iter().enumerate() {
+        pos[u.index()] = base + slot;
+    }
+    code_for_placement(p, &pos)
+}
+
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    hash_slice(&[a, b, c])
+}
+
+fn hash_slice(words: &[u64]) -> u64 {
+    // FNV-1a over 64-bit words; deterministic across runs and platforms.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &w in words {
+        for shift in [0, 16, 32, 48] {
+            h ^= (w >> shift) & 0xffff;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+impl Pattern {
+    /// Computes the canonical code of this pattern with designated nodes
+    /// pinned. See module docs for exactness guarantees.
+    pub fn canonical_code(&self) -> CanonicalCode {
+        let (pos, free) = pinned_prefix(self);
+        if free.len() <= MAX_EXACT_FREE {
+            CanonicalCode { words: exact_code(self, pos, &free), exact: true }
+        } else {
+            CanonicalCode { words: refined_code(self, &pos, &free), exact: false }
+        }
+    }
+}
+
+/// Groups patterns by canonical code, confirming with the exact
+/// isomorphism test inside each bucket. Returns, for each input index, the
+/// index of its class representative (the first member seen).
+pub fn group_automorphic(patterns: &[&Pattern]) -> Vec<usize> {
+    let mut buckets: FxHashMap<CanonicalCode, Vec<usize>> = FxHashMap::default();
+    let mut repr = vec![usize::MAX; patterns.len()];
+    for (i, p) in patterns.iter().enumerate() {
+        let code = p.canonical_code();
+        let bucket = buckets.entry(code).or_default();
+        let mut found = None;
+        for &j in bucket.iter() {
+            if crate::are_isomorphic(patterns[j], p, true) {
+                found = Some(repr[j]);
+                break;
+            }
+        }
+        match found {
+            Some(r) => repr[i] = r,
+            None => {
+                repr[i] = i;
+                bucket.push(i);
+            }
+        }
+    }
+    repr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PatternBuilder;
+    use gpar_graph::Vocab;
+
+    fn triangle(vocab: &std::sync::Arc<Vocab>, order: [usize; 3]) -> Pattern {
+        // Three labeled nodes a,b,c in a directed cycle; node insertion
+        // order is permuted by `order` to exercise canonicalization.
+        let la = vocab.intern("a");
+        let lb = vocab.intern("b");
+        let lc = vocab.intern("c");
+        let e = vocab.intern("e");
+        let labels = [la, lb, lc];
+        let mut b = PatternBuilder::new(vocab.clone());
+        let mut ids = [PNodeId(0); 3];
+        for &i in &order {
+            ids[i] = b.node(labels[i]);
+        }
+        b.edge(ids[0], ids[1], e);
+        b.edge(ids[1], ids[2], e);
+        b.edge(ids[2], ids[0], e);
+        b.designate_x(ids[0]).build().unwrap()
+    }
+
+    #[test]
+    fn canonical_code_is_invariant_under_node_order() {
+        let vocab = Vocab::new();
+        let p1 = triangle(&vocab, [0, 1, 2]);
+        let p2 = triangle(&vocab, [2, 0, 1]);
+        let p3 = triangle(&vocab, [1, 2, 0]);
+        assert_eq!(p1.canonical_code(), p2.canonical_code());
+        assert_eq!(p1.canonical_code(), p3.canonical_code());
+        assert!(p1.canonical_code().is_exact());
+    }
+
+    #[test]
+    fn different_patterns_get_different_codes() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let a = b.node(cust);
+        b.edge(x, a, e);
+        let p1 = b.designate_x(x).build().unwrap();
+        let mut b = PatternBuilder::new(vocab);
+        let x2 = b.node(cust);
+        let a2 = b.node(cust);
+        b.edge(a2, x2, e); // reversed direction
+        let p2 = b.designate_x(x2).build().unwrap();
+        assert_ne!(p1.canonical_code(), p2.canonical_code());
+    }
+
+    #[test]
+    fn symmetric_copies_share_a_code() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let build = |swap: bool| {
+            let mut b = PatternBuilder::new(vocab.clone());
+            let x = b.node(cust);
+            let r1 = b.node(rest);
+            let r2 = b.node(rest);
+            if swap {
+                b.edge(x, r2, like);
+                b.edge(x, r1, like);
+            } else {
+                b.edge(x, r1, like);
+                b.edge(x, r2, like);
+            }
+            b.designate_x(x).build().unwrap()
+        };
+        assert_eq!(build(false).canonical_code(), build(true).canonical_code());
+    }
+
+    #[test]
+    fn grouping_collapses_automorphic_patterns() {
+        let vocab = Vocab::new();
+        let p1 = triangle(&vocab, [0, 1, 2]);
+        let p2 = triangle(&vocab, [1, 0, 2]);
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node_str("a");
+        let p3 = b.designate_x(x).build().unwrap();
+        let repr = group_automorphic(&[&p1, &p2, &p3]);
+        assert_eq!(repr, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn large_pattern_falls_back_to_refined_code() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab);
+        let hub = b.node(n);
+        let leaves: Vec<_> = (0..12).map(|_| b.node(n)).collect();
+        for &l in &leaves {
+            b.edge(hub, l, e);
+        }
+        let p = b.designate_x(hub).build().unwrap();
+        let code = p.canonical_code();
+        assert!(!code.is_exact());
+        // Still deterministic.
+        assert_eq!(code, p.canonical_code());
+    }
+}

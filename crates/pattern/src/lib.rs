@@ -1,0 +1,41 @@
+//! # gpar-pattern
+//!
+//! Graph pattern queries `Q = (V_p, E_p, f, C)` from §2.1 of *Fan et al.,
+//! PVLDB 2015*: each pattern node / edge carries a search condition
+//! (a label, possibly a value binding like `"44"`, or a wildcard), one node
+//! `x` is *designated* (the "potential customer" position), and a second
+//! designated node `y` marks the consequent's object. The integer
+//! annotation `C(u) = k` denotes `k` copies of node `u` with the same label
+//! and links (the paper's succinct representation, e.g. *3 French
+//! restaurants*); the builder expands copies eagerly.
+//!
+//! Besides the data type this crate implements the structural machinery the
+//! mining and matching algorithms need:
+//!
+//! * [`radius`] — `r(Q, x)` and connectivity (§2.1),
+//! * [`subsume`] — pattern subsumption `Q' ⊑ Q` (anti-monotonicity),
+//! * [`canonical`] — exact canonical codes for grouping automorphic
+//!   patterns across workers,
+//! * [`bisim`] — the bisimulation prefilter of Lemma 4,
+//! * [`automorphism`] — exact pattern isomorphism with pinned designated
+//!   nodes,
+//! * [`sketch`] — pattern-side k-hop sketches for guided search (§5.2),
+//! * [`parse`] — a small text DSL plus pretty-printing.
+
+pub mod automorphism;
+pub mod bisim;
+pub mod builder;
+pub mod canonical;
+pub mod parse;
+pub mod pattern;
+pub mod radius;
+pub mod sketch;
+pub mod subsume;
+
+pub use automorphism::{are_isomorphic, count_automorphisms};
+pub use bisim::bisimilar;
+pub use builder::PatternBuilder;
+pub use canonical::CanonicalCode;
+pub use parse::{parse_pattern, PatternParseError};
+pub use pattern::{EdgeCond, NodeCond, PEdge, PNodeId, Pattern, PatternError};
+pub use sketch::pattern_sketch;

@@ -1,0 +1,156 @@
+//! A small line-oriented text DSL for patterns.
+//!
+//! ```text
+//! # GPAR antecedent of Example 1 (rule R1), sans copies
+//! node x cust
+//! node x2 cust
+//! node c city
+//! node y french_restaurant
+//! edge x x2 friend
+//! edge x c live_in
+//! edge x2 c live_in
+//! edge x2 y visit
+//! edge y c in
+//! designate x y
+//! ```
+//!
+//! `*` stands for a wildcard node or edge condition.
+
+use crate::builder::PatternBuilder;
+use crate::pattern::{PNodeId, Pattern, PatternError};
+use gpar_graph::Vocab;
+use rustc_hash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised while parsing the pattern DSL.
+#[derive(Debug)]
+pub enum PatternParseError {
+    /// A malformed line, with its 1-based number and description.
+    Malformed(usize, String),
+    /// The finished pattern failed validation.
+    Invalid(PatternError),
+}
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternParseError::Malformed(line, msg) => write!(f, "line {line}: {msg}"),
+            PatternParseError::Invalid(e) => write!(f, "invalid pattern: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+/// Parses the DSL into a [`Pattern`], interning labels into `vocab`.
+pub fn parse_pattern(text: &str, vocab: Arc<Vocab>) -> Result<Pattern, PatternParseError> {
+    let mut b = PatternBuilder::new(vocab);
+    let mut names: FxHashMap<String, PNodeId> = FxHashMap::default();
+    let mut designated: Option<(PNodeId, Option<PNodeId>)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_ascii_whitespace().collect();
+        let malformed =
+            |msg: &str| PatternParseError::Malformed(lineno, msg.to_string());
+        match toks.as_slice() {
+            ["node", name, label] => {
+                if names.contains_key(*name) {
+                    return Err(malformed(&format!("duplicate node name `{name}`")));
+                }
+                let id = if *label == "*" { b.node_any() } else { b.node_str(label) };
+                names.insert(name.to_string(), id);
+            }
+            ["edge", a, c, label] => {
+                let &src = names
+                    .get(*a)
+                    .ok_or_else(|| malformed(&format!("unknown node `{a}`")))?;
+                let &dst = names
+                    .get(*c)
+                    .ok_or_else(|| malformed(&format!("unknown node `{c}`")))?;
+                if *label == "*" {
+                    b.edge_any(src, dst);
+                } else {
+                    b.edge_str(src, dst, label);
+                }
+            }
+            ["designate", x] => {
+                let &px = names
+                    .get(*x)
+                    .ok_or_else(|| malformed(&format!("unknown node `{x}`")))?;
+                designated = Some((px, None));
+            }
+            ["designate", x, y] => {
+                let &px = names
+                    .get(*x)
+                    .ok_or_else(|| malformed(&format!("unknown node `{x}`")))?;
+                let &py = names
+                    .get(*y)
+                    .ok_or_else(|| malformed(&format!("unknown node `{y}`")))?;
+                designated = Some((px, Some(py)));
+            }
+            _ => return Err(malformed("expected `node`, `edge` or `designate` record")),
+        }
+    }
+    let b = match designated {
+        Some((x, Some(y))) => b.designate(x, y),
+        Some((x, None)) => b.designate_x(x),
+        None => b,
+    };
+    b.build().map_err(PatternParseError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_1_antecedent() {
+        let text = "\
+node x cust
+node x2 cust
+node c city
+node y french_restaurant
+edge x x2 friend
+edge x c live_in
+edge x2 c live_in
+edge x2 y visit
+edge y c in
+designate x y
+";
+        let vocab = Vocab::new();
+        let p = parse_pattern(text, vocab.clone()).unwrap();
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.edge_count(), 5);
+        assert_eq!(p.radius(), Some(2));
+        let cust = vocab.get("cust").unwrap();
+        assert_eq!(p.cond(p.x()).label(), Some(cust));
+        assert!(p.y().is_some());
+    }
+
+    #[test]
+    fn wildcards_parse() {
+        let p = parse_pattern("node a *\nnode b thing\nedge a b *\n", Vocab::new()).unwrap();
+        assert_eq!(p.cond(PNodeId(0)), crate::pattern::NodeCond::Any);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_pattern("node a x\nedge a zzz e\n", Vocab::new()).unwrap_err();
+        assert!(matches!(err, PatternParseError::Malformed(2, _)), "{err}");
+        let err = parse_pattern("bogus line\n", Vocab::new()).unwrap_err();
+        assert!(matches!(err, PatternParseError::Malformed(1, _)));
+        let err = parse_pattern("node a x\nnode a y\n", Vocab::new()).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_input_is_invalid() {
+        let err = parse_pattern("# nothing\n", Vocab::new()).unwrap_err();
+        assert!(matches!(err, PatternParseError::Invalid(PatternError::Empty)));
+    }
+}

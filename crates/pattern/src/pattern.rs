@@ -1,0 +1,450 @@
+//! The pattern data type.
+
+use gpar_graph::{Label, Vocab};
+use std::fmt;
+use std::sync::Arc;
+
+/// A pattern node identifier, dense in `0..pattern.node_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct PNodeId(pub u32);
+
+impl PNodeId {
+    /// Dense index of this pattern node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Search condition on a pattern node: `f(u)` in the paper. A concrete
+/// label matches data nodes with exactly that label (value bindings like
+/// `"44"` are labels too); [`NodeCond::Any`] matches every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NodeCond {
+    /// Match nodes labeled with this symbol.
+    Label(Label),
+    /// Wildcard: match any node.
+    Any,
+}
+
+impl NodeCond {
+    /// Whether a data label satisfies this condition.
+    #[inline]
+    pub fn matches(self, l: Label) -> bool {
+        match self {
+            NodeCond::Label(need) => need == l,
+            NodeCond::Any => true,
+        }
+    }
+
+    /// The concrete label, if any.
+    #[inline]
+    pub fn label(self) -> Option<Label> {
+        match self {
+            NodeCond::Label(l) => Some(l),
+            NodeCond::Any => None,
+        }
+    }
+}
+
+/// Search condition on a pattern edge: `f(e)` in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum EdgeCond {
+    /// Match edges labeled with this symbol.
+    Label(Label),
+    /// Wildcard: match any edge label.
+    Any,
+}
+
+impl EdgeCond {
+    /// Whether a data edge label satisfies this condition.
+    #[inline]
+    pub fn matches(self, l: Label) -> bool {
+        match self {
+            EdgeCond::Label(need) => need == l,
+            EdgeCond::Any => true,
+        }
+    }
+}
+
+/// A directed pattern edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct PEdge {
+    /// Source pattern node.
+    pub src: PNodeId,
+    /// Destination pattern node.
+    pub dst: PNodeId,
+    /// Edge condition.
+    pub cond: EdgeCond,
+}
+
+/// Errors raised while constructing or mutating patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// A pattern must contain at least one node.
+    Empty,
+    /// The designated node id is out of range.
+    BadDesignated(PNodeId),
+    /// An edge endpoint is out of range.
+    BadEndpoint(PNodeId),
+    /// The same directed labeled edge was added twice.
+    DuplicateEdge(PEdge),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "pattern has no nodes"),
+            PatternError::BadDesignated(u) => write!(f, "designated node {u} out of range"),
+            PatternError::BadEndpoint(u) => write!(f, "edge endpoint {u} out of range"),
+            PatternError::DuplicateEdge(e) => {
+                write!(f, "duplicate pattern edge {} -> {}", e.src, e.dst)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A graph pattern with designated nodes `x` (always) and `y` (optional).
+///
+/// Patterns are small (the paper: 98% of real-life patterns have radius 1,
+/// and GPAR patterns have a handful of nodes), so adjacency is stored as
+/// per-node `Vec`s and clones are cheap — pattern *extension* during mining
+/// is clone-plus-push (see [`Pattern::with_edge`] and
+/// [`Pattern::with_node_and_edge`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Pattern {
+    conds: Vec<NodeCond>,
+    edges: Vec<PEdge>,
+    out: Vec<Vec<(PNodeId, EdgeCond)>>,
+    inn: Vec<Vec<(PNodeId, EdgeCond)>>,
+    x: PNodeId,
+    y: Option<PNodeId>,
+    #[serde(skip, default = "default_vocab")]
+    vocab: Arc<Vocab>,
+}
+
+fn default_vocab() -> Arc<Vocab> {
+    Vocab::new()
+}
+
+impl Pattern {
+    /// Constructs a pattern from parts. Prefer [`crate::PatternBuilder`].
+    pub fn from_parts(
+        conds: Vec<NodeCond>,
+        edges: Vec<PEdge>,
+        x: PNodeId,
+        y: Option<PNodeId>,
+        vocab: Arc<Vocab>,
+    ) -> Result<Self, PatternError> {
+        if conds.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        let n = conds.len();
+        if x.index() >= n {
+            return Err(PatternError::BadDesignated(x));
+        }
+        if let Some(y) = y {
+            if y.index() >= n {
+                return Err(PatternError::BadDesignated(y));
+            }
+        }
+        let mut seen = rustc_hash::FxHashSet::default();
+        for e in &edges {
+            if e.src.index() >= n {
+                return Err(PatternError::BadEndpoint(e.src));
+            }
+            if e.dst.index() >= n {
+                return Err(PatternError::BadEndpoint(e.dst));
+            }
+            if !seen.insert(*e) {
+                return Err(PatternError::DuplicateEdge(*e));
+            }
+        }
+        let mut out = vec![Vec::new(); n];
+        let mut inn = vec![Vec::new(); n];
+        for e in &edges {
+            out[e.src.index()].push((e.dst, e.cond));
+            inn[e.dst.index()].push((e.src, e.cond));
+        }
+        Ok(Self {
+            conds,
+            edges,
+            out,
+            inn,
+            x,
+            y,
+            vocab,
+        })
+    }
+
+    /// Number of pattern nodes `|V_p|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// Number of pattern edges `|E_p|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The designated node `x`.
+    #[inline]
+    pub fn x(&self) -> PNodeId {
+        self.x
+    }
+
+    /// The designated node `y`, if any.
+    #[inline]
+    pub fn y(&self) -> Option<PNodeId> {
+        self.y
+    }
+
+    /// The shared vocabulary.
+    #[inline]
+    pub fn vocab(&self) -> &Arc<Vocab> {
+        &self.vocab
+    }
+
+    /// Condition of node `u`.
+    #[inline]
+    pub fn cond(&self, u: PNodeId) -> NodeCond {
+        self.conds[u.index()]
+    }
+
+    /// All node conditions, indexed by node.
+    #[inline]
+    pub fn conds(&self) -> &[NodeCond] {
+        &self.conds
+    }
+
+    /// All pattern edges.
+    #[inline]
+    pub fn edges(&self) -> &[PEdge] {
+        &self.edges
+    }
+
+    /// Iterator over pattern node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = PNodeId> {
+        (0..self.node_count() as u32).map(PNodeId)
+    }
+
+    /// Out-neighbors `(dst, cond)` of `u`.
+    #[inline]
+    pub fn out(&self, u: PNodeId) -> &[(PNodeId, EdgeCond)] {
+        &self.out[u.index()]
+    }
+
+    /// In-neighbors `(src, cond)` of `u`.
+    #[inline]
+    pub fn inn(&self, u: PNodeId) -> &[(PNodeId, EdgeCond)] {
+        &self.inn[u.index()]
+    }
+
+    /// Undirected degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: PNodeId) -> usize {
+        self.out[u.index()].len() + self.inn[u.index()].len()
+    }
+
+    /// Whether the directed edge `(src, dst)` with exactly `cond` exists.
+    pub fn has_edge(&self, src: PNodeId, dst: PNodeId, cond: EdgeCond) -> bool {
+        self.out[src.index()].iter().any(|&(d, c)| d == dst && c == cond)
+    }
+
+    /// Returns a new pattern extended with one edge between existing nodes.
+    pub fn with_edge(
+        &self,
+        src: PNodeId,
+        dst: PNodeId,
+        cond: EdgeCond,
+    ) -> Result<Self, PatternError> {
+        let mut edges = self.edges.clone();
+        edges.push(PEdge { src, dst, cond });
+        Self::from_parts(self.conds.clone(), edges, self.x, self.y, self.vocab.clone())
+    }
+
+    /// Returns a new pattern with a fresh node attached by one edge.
+    /// `outgoing` chooses the direction of the new edge relative to the
+    /// existing node `at`.
+    pub fn with_node_and_edge(
+        &self,
+        at: PNodeId,
+        node_cond: NodeCond,
+        edge_cond: EdgeCond,
+        outgoing: bool,
+    ) -> Result<(Self, PNodeId), PatternError> {
+        let mut conds = self.conds.clone();
+        let new = PNodeId(conds.len() as u32);
+        conds.push(node_cond);
+        let mut edges = self.edges.clone();
+        let e = if outgoing {
+            PEdge { src: at, dst: new, cond: edge_cond }
+        } else {
+            PEdge { src: new, dst: at, cond: edge_cond }
+        };
+        edges.push(e);
+        let p = Self::from_parts(conds, edges, self.x, self.y, self.vocab.clone())?;
+        Ok((p, new))
+    }
+
+    /// A compact structural signature of node `u`:
+    /// `(cond, out-degree, in-degree)`. Used to seed refinement and to
+    /// prune isomorphism search.
+    pub(crate) fn node_signature(&self, u: PNodeId) -> (NodeCond, usize, usize) {
+        (self.cond(u), self.out[u.index()].len(), self.inn[u.index()].len())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |c: NodeCond| match c {
+            NodeCond::Label(l) => self.vocab.resolve(l).to_string(),
+            NodeCond::Any => "*".to_string(),
+        };
+        write!(f, "Q[x={}", self.x)?;
+        if let Some(y) = self.y {
+            write!(f, ", y={y}")?;
+        }
+        write!(f, "](")?;
+        for (i, u) in self.nodes().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}:{}", name(self.cond(u)))?;
+        }
+        write!(f, "; ")?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let el = match e.cond {
+                EdgeCond::Label(l) => self.vocab.resolve(l).to_string(),
+                EdgeCond::Any => "*".to_string(),
+            };
+            write!(f, "{}-[{}]->{}", e.src, el, e.dst)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab_and_labels() -> (Arc<Vocab>, Label, Label, Label) {
+        let v = Vocab::new();
+        let cust = v.intern("cust");
+        let shop = v.intern("shop");
+        let visit = v.intern("visit");
+        (v, cust, shop, visit)
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let (v, cust, _, visit) = vocab_and_labels();
+        assert_eq!(
+            Pattern::from_parts(vec![], vec![], PNodeId(0), None, v.clone()).unwrap_err(),
+            PatternError::Empty
+        );
+        assert!(matches!(
+            Pattern::from_parts(vec![NodeCond::Label(cust)], vec![], PNodeId(3), None, v.clone()),
+            Err(PatternError::BadDesignated(_))
+        ));
+        let e = PEdge { src: PNodeId(0), dst: PNodeId(9), cond: EdgeCond::Label(visit) };
+        assert!(matches!(
+            Pattern::from_parts(vec![NodeCond::Label(cust)], vec![e], PNodeId(0), None, v.clone()),
+            Err(PatternError::BadEndpoint(_))
+        ));
+        let e0 = PEdge { src: PNodeId(0), dst: PNodeId(0), cond: EdgeCond::Label(visit) };
+        assert!(matches!(
+            Pattern::from_parts(
+                vec![NodeCond::Label(cust)],
+                vec![e0, e0],
+                PNodeId(0),
+                None,
+                v
+            ),
+            Err(PatternError::DuplicateEdge(_))
+        ));
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let (v, cust, shop, visit) = vocab_and_labels();
+        let p = Pattern::from_parts(
+            vec![NodeCond::Label(cust), NodeCond::Label(shop)],
+            vec![PEdge { src: PNodeId(0), dst: PNodeId(1), cond: EdgeCond::Label(visit) }],
+            PNodeId(0),
+            Some(PNodeId(1)),
+            v,
+        )
+        .unwrap();
+        assert_eq!(p.out(PNodeId(0)).len(), 1);
+        assert_eq!(p.inn(PNodeId(1)).len(), 1);
+        assert_eq!(p.degree(PNodeId(0)), 1);
+        assert!(p.has_edge(PNodeId(0), PNodeId(1), EdgeCond::Label(visit)));
+        assert!(!p.has_edge(PNodeId(1), PNodeId(0), EdgeCond::Label(visit)));
+    }
+
+    #[test]
+    fn extension_constructors_do_not_mutate_original() {
+        let (v, cust, shop, visit) = vocab_and_labels();
+        let p = Pattern::from_parts(
+            vec![NodeCond::Label(cust), NodeCond::Label(shop)],
+            vec![],
+            PNodeId(0),
+            None,
+            v,
+        )
+        .unwrap();
+        let p2 = p.with_edge(PNodeId(0), PNodeId(1), EdgeCond::Label(visit)).unwrap();
+        assert_eq!(p.edge_count(), 0);
+        assert_eq!(p2.edge_count(), 1);
+        let (p3, new) = p
+            .with_node_and_edge(PNodeId(0), NodeCond::Label(shop), EdgeCond::Label(visit), true)
+            .unwrap();
+        assert_eq!(p3.node_count(), 3);
+        assert_eq!(p3.out(PNodeId(0)), &[(new, EdgeCond::Label(visit))]);
+        // incoming variant
+        let (p4, new4) = p
+            .with_node_and_edge(PNodeId(0), NodeCond::Label(shop), EdgeCond::Label(visit), false)
+            .unwrap();
+        assert_eq!(p4.inn(PNodeId(0)), &[(new4, EdgeCond::Label(visit))]);
+    }
+
+    #[test]
+    fn wildcard_conditions_match_everything() {
+        let (v, cust, _, visit) = vocab_and_labels();
+        assert!(NodeCond::Any.matches(cust));
+        assert!(NodeCond::Label(cust).matches(cust));
+        assert!(!NodeCond::Label(cust).matches(v.intern("other")));
+        assert!(EdgeCond::Any.matches(visit));
+        assert!(!EdgeCond::Label(visit).matches(v.intern("other_e")));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (v, cust, shop, visit) = vocab_and_labels();
+        let p = Pattern::from_parts(
+            vec![NodeCond::Label(cust), NodeCond::Label(shop)],
+            vec![PEdge { src: PNodeId(0), dst: PNodeId(1), cond: EdgeCond::Label(visit) }],
+            PNodeId(0),
+            Some(PNodeId(1)),
+            v,
+        )
+        .unwrap();
+        let s = p.to_string();
+        assert!(s.contains("cust"), "{s}");
+        assert!(s.contains("visit"), "{s}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Radius `r(Q, x)` and connectivity (§2.1 notations (1)–(2)).
+//!
+//! > For a pattern `Q` and a node `x` in `Q`, the radius of `Q` at `x` is
+//! > the longest distance from `x` to all nodes in `Q` when `Q` is treated
+//! > as an undirected graph.
+
+use crate::pattern::{PNodeId, Pattern};
+use std::collections::VecDeque;
+
+impl Pattern {
+    /// Undirected BFS distances from `from`; `None` for unreachable nodes.
+    pub fn undirected_distances(&self, from: PNodeId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.node_count()];
+        dist[from.index()] = Some(0);
+        let mut q = VecDeque::new();
+        q.push_back(from);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.index()].unwrap();
+            for &(v, _) in self.out(u).iter().chain(self.inn(u)) {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// `r(Q, x)` — the eccentricity of `x` in the undirected view of the
+    /// pattern. Returns `None` if some node is unreachable from `x`
+    /// (disconnected patterns have unbounded radius).
+    pub fn radius_at(&self, x: PNodeId) -> Option<u32> {
+        let dist = self.undirected_distances(x);
+        let mut r = 0;
+        for d in dist {
+            r = r.max(d?);
+        }
+        Some(r)
+    }
+
+    /// Radius at the designated node `x`.
+    pub fn radius(&self) -> Option<u32> {
+        self.radius_at(self.x())
+    }
+
+    /// Whether the pattern is connected (undirected path between every pair
+    /// of nodes). A single node is connected.
+    pub fn is_connected(&self) -> bool {
+        self.radius_at(PNodeId(0)).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::PatternBuilder;
+    use gpar_graph::Vocab;
+
+    #[test]
+    fn radius_of_a_path_is_its_length_from_one_end() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let e = vocab.intern("e");
+        let mut b = PatternBuilder::new(vocab);
+        let a = b.node(n);
+        let c = b.node(n);
+        let d = b.node(n);
+        b.edge(a, c, e);
+        b.edge(d, c, e); // direction must not matter
+        let q = b.designate_x(a).build().unwrap();
+        assert_eq!(q.radius(), Some(2));
+        assert_eq!(q.radius_at(c), Some(1));
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn disconnected_pattern_has_no_radius() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let mut b = PatternBuilder::new(vocab);
+        let a = b.node(n);
+        b.node(n); // isolated
+        let q = b.designate_x(a).build().unwrap();
+        assert_eq!(q.radius(), None);
+        assert!(!q.is_connected());
+    }
+
+    #[test]
+    fn single_node_has_radius_zero() {
+        let vocab = Vocab::new();
+        let n = vocab.intern("n");
+        let mut b = PatternBuilder::new(vocab);
+        let a = b.node(n);
+        let q = b.designate_x(a).build().unwrap();
+        assert_eq!(q.radius(), Some(0));
+        assert!(q.is_connected());
+    }
+}

@@ -1,0 +1,140 @@
+//! Pattern-side k-hop sketches for guided search (§5.2, Example 10).
+//!
+//! The guided matcher compares, for a pattern node `u'` and a data node
+//! `v'`, the pattern's label demand within `i` hops of `u'` against the
+//! data's supply within `i` hops of `v'`. Both sides use the same
+//! cumulative [`gpar_graph::Sketch`] representation; this module builds the
+//! pattern side.
+
+use crate::pattern::{NodeCond, PNodeId, Pattern};
+use gpar_graph::Sketch;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// Builds the cumulative k-hop sketch of pattern node `u`.
+///
+/// Wildcard (`Any`) neighbors impose no label demand and are skipped; the
+/// sketch therefore under-approximates the pattern's requirements, which
+/// keeps sketch-based pruning sound.
+pub fn pattern_sketch(p: &Pattern, u: PNodeId, k: u32) -> Sketch {
+    let mut dist: Vec<Option<u32>> = vec![None; p.node_count()];
+    dist[u.index()] = Some(0);
+    let mut q = VecDeque::new();
+    q.push_back(u);
+    while let Some(v) = q.pop_front() {
+        let dv = dist[v.index()].unwrap();
+        if dv == k {
+            continue;
+        }
+        for &(w, _) in p.out(v).iter().chain(p.inn(v)) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(dv + 1);
+                q.push_back(w);
+            }
+        }
+    }
+    let mut layers: Vec<FxHashMap<gpar_graph::Label, u32>> =
+        (0..k).map(|_| FxHashMap::default()).collect();
+    for v in p.nodes() {
+        let Some(d) = dist[v.index()] else { continue };
+        if d == 0 || d > k {
+            continue;
+        }
+        if let NodeCond::Label(l) = p.cond(v) {
+            for layer in layers.iter_mut().skip(d as usize - 1) {
+                *layer.entry(l).or_insert(0) += 1;
+            }
+        }
+    }
+    Sketch::from_layer_maps(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PatternBuilder;
+    use gpar_graph::{GraphBuilder, Vocab};
+
+    #[test]
+    fn example_10_shape_q1_sketch() {
+        // Reproduce Example 10: in PR1, x sees {city:1, cust:1, FR:4}
+        // within 1 hop and the same cumulative set within 2 hops.
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let city = vocab.intern("city");
+        let fr = vocab.intern("french_restaurant");
+        let (live_in, friend, like, inn, visit) = (
+            vocab.intern("live_in"),
+            vocab.intern("friend"),
+            vocab.intern("like"),
+            vocab.intern("in"),
+            vocab.intern("visit"),
+        );
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let x2 = b.node(cust);
+        let c = b.node(city);
+        let rests = b.node_copies(fr, 3);
+        let y = b.node(fr);
+        b.edge(x, x2, friend);
+        b.edge(x, c, live_in);
+        b.edge(x2, c, live_in);
+        b.edge_to_copies(x, &rests, like);
+        b.edge_to_copies(x2, &rests, like);
+        b.edge_from_copies(&rests, c, inn);
+        b.edge(y, c, inn);
+        b.edge(x2, y, visit);
+        b.edge(x, y, visit); // the consequent edge, making this P_R1
+        let pr1 = b.designate(x, y).build().unwrap();
+
+        let s = pattern_sketch(&pr1, x, 2);
+        assert_eq!(s.count(1, cust), 1);
+        assert_eq!(s.count(1, city), 1);
+        assert_eq!(s.count(1, fr), 4);
+        assert_eq!(s.count(2, cust), 1);
+        assert_eq!(s.count(2, city), 1);
+        assert_eq!(s.count(2, fr), 4);
+    }
+
+    #[test]
+    fn data_sketch_covers_matching_candidate_only() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let fr = vocab.intern("fr");
+        let like = vocab.intern("like");
+        // Pattern: x likes 2 fr.
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node(cust);
+        let rs = pb.node_copies(fr, 2);
+        pb.edge_to_copies(x, &rs, like);
+        let p = pb.designate_x(x).build().unwrap();
+        let ps = pattern_sketch(&p, x, 2);
+        // Data: a likes 2 fr; b likes 1 fr.
+        let mut gb = GraphBuilder::new(vocab);
+        let a = gb.add_node(cust);
+        let bnode = gb.add_node(cust);
+        for _ in 0..2 {
+            let r = gb.add_node(fr);
+            gb.add_edge(a, r, like);
+        }
+        let r = gb.add_node(fr);
+        gb.add_edge(bnode, r, like);
+        let g = gb.build();
+        assert!(gpar_graph::Sketch::build(&g, a, 2).covers(&ps));
+        assert!(!gpar_graph::Sketch::build(&g, bnode, 2).covers(&ps));
+    }
+
+    #[test]
+    fn wildcards_impose_no_demand() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let e = vocab.intern("e");
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node(cust);
+        let w = pb.node_any();
+        pb.edge(x, w, e);
+        let p = pb.designate_x(x).build().unwrap();
+        let s = pattern_sketch(&p, x, 1);
+        assert_eq!(s.count(1, cust), 0);
+    }
+}

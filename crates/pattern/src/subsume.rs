@@ -1,0 +1,98 @@
+//! Pattern subsumption `Q' ⊑ Q` (§2.1).
+//!
+//! `Q'` is subsumed by `Q` when `(V'_p, E'_p)` embeds as a subgraph of
+//! `(V_p, E_p)` with the search conditions preserved (restrictions of `f`
+//! and `C`). Subsumption is what makes the paper's support measure
+//! anti-monotonic: if `Q' ⊑ Q` then `supp(Q', G) ≥ supp(Q, G)` — a fact the
+//! mining algorithm's pruning depends on and our property tests verify.
+
+use crate::automorphism::find_embedding;
+use crate::pattern::Pattern;
+
+impl Pattern {
+    /// Whether `self ⊑ other`: `self` embeds into `other` as a subgraph
+    /// with identical node/edge conditions and designated nodes aligned
+    /// (`x ↦ x`, and `y ↦ y` when both designate `y`).
+    pub fn is_subsumed_by(&self, other: &Pattern) -> bool {
+        find_embedding(self, other, false, true).is_some()
+    }
+
+    /// Subsumption without pinning the designated nodes (plain subgraph
+    /// embedding between patterns).
+    pub fn embeds_into(&self, other: &Pattern) -> bool {
+        find_embedding(self, other, false, false).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::PatternBuilder;
+    use gpar_graph::Vocab;
+
+    #[test]
+    fn single_edge_is_subsumed_by_its_extensions() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let friend = vocab.intern("friend");
+
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let y = b.node(rest);
+        b.edge(x, y, like);
+        let small = b.designate(x, y).build().unwrap();
+
+        let mut b = PatternBuilder::new(vocab);
+        let x2 = b.node(cust);
+        let y2 = b.node(rest);
+        let f = b.node(cust);
+        b.edge(x2, y2, like);
+        b.edge(x2, f, friend);
+        b.edge(f, y2, like);
+        let big = b.designate(x2, y2).build().unwrap();
+
+        assert!(small.is_subsumed_by(&big));
+        assert!(!big.is_subsumed_by(&small));
+        assert!(small.is_subsumed_by(&small), "subsumption is reflexive");
+    }
+
+    #[test]
+    fn designated_pinning_is_respected() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let follows = vocab.intern("follows");
+        // small: x -> a
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(cust);
+        let a = b.node(cust);
+        b.edge(x, a, follows);
+        let small = b.designate_x(x).build().unwrap();
+        // big: b -> x2 (x2 designated, only *incoming* edge)
+        let mut b2 = PatternBuilder::new(vocab);
+        let x2 = b2.node(cust);
+        let bb = b2.node(cust);
+        b2.edge(bb, x2, follows);
+        let big = b2.designate_x(x2).build().unwrap();
+        // Without pinning there is an embedding; with pinning x must map to
+        // x2 which has no outgoing edge.
+        assert!(small.embeds_into(&big));
+        assert!(!small.is_subsumed_by(&big));
+    }
+
+    #[test]
+    fn conditions_must_be_identical_not_just_compatible() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let mut b = PatternBuilder::new(vocab.clone());
+        let any = b.node_any();
+        let small = b.designate_x(any).build().unwrap();
+        let mut b = PatternBuilder::new(vocab);
+        let lab = b.node(cust);
+        let big = b.designate_x(lab).build().unwrap();
+        // `Any` is not a restriction of `Label(cust)` — f' must be f's
+        // restriction, i.e. conditions coincide on shared nodes.
+        assert!(!small.is_subsumed_by(&big));
+        assert!(!big.is_subsumed_by(&small));
+    }
+}

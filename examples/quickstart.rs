@@ -1,0 +1,126 @@
+//! Quickstart: build the paper's graph `G1` (Fig. 2), express rule `R1`
+//! of Example 1, and reproduce the support/confidence numbers computed by
+//! hand in Examples 3, 5 and 10.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use gpar::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Build G1: a restaurant recommendation network (Fig. 2, left).
+    // ------------------------------------------------------------------
+    let vocab = Vocab::new();
+    let cust = vocab.intern("cust");
+    let city = vocab.intern("city");
+    let fr = vocab.intern("french_restaurant");
+    let asian = vocab.intern("asian_restaurant");
+    let (live_in, friend, like, r#in, visit) = (
+        vocab.intern("live_in"),
+        vocab.intern("friend"),
+        vocab.intern("like"),
+        vocab.intern("in"),
+        vocab.intern("visit"),
+    );
+
+    let mut b = GraphBuilder::new(vocab.clone());
+    let custs: Vec<NodeId> = (0..6).map(|_| b.add_node(cust)).collect();
+    let ny = b.add_node(city);
+    let la = b.add_node(city);
+    let le_bernardin = b.add_node(fr);
+    let per_se = b.add_node(fr);
+    let patina = b.add_node(fr);
+
+    let shared_likes = |b: &mut GraphBuilder, a: NodeId, c: NodeId, town: NodeId| {
+        // "3 French restaurants that both like" — the FR³ succinct nodes.
+        for _ in 0..3 {
+            let r = b.add_node(fr);
+            b.add_edge(a, r, like);
+            b.add_edge(c, r, like);
+            b.add_edge(r, town, r#in);
+        }
+    };
+
+    // cust1, cust2: New Yorkers, friends, shared tastes, both visited
+    // Le Bernardin.
+    b.add_edge(custs[0], ny, live_in);
+    b.add_edge(custs[1], ny, live_in);
+    b.add_edge(custs[0], custs[1], friend);
+    b.add_edge(custs[1], custs[0], friend);
+    shared_likes(&mut b, custs[0], custs[1], ny);
+    b.add_edge(custs[0], le_bernardin, visit);
+    b.add_edge(custs[1], le_bernardin, visit);
+    b.add_edge(le_bernardin, ny, r#in);
+
+    // cust3: New Yorker, friend of cust2, shares tastes, visited too.
+    b.add_edge(custs[2], ny, live_in);
+    b.add_edge(custs[1], custs[2], friend);
+    b.add_edge(custs[2], custs[1], friend);
+    shared_likes(&mut b, custs[1], custs[2], ny);
+    b.add_edge(custs[2], le_bernardin, visit);
+
+    // cust4: Angeleno who visits Per se — matches q but not Q1.
+    b.add_edge(custs[3], la, live_in);
+    b.add_edge(custs[3], per_se, visit);
+    b.add_edge(per_se, la, r#in);
+    b.add_edge(patina, la, r#in);
+
+    // cust5 & cust6: Angelenos, friends, shared tastes; cust5 visits only
+    // an Asian restaurant (the LCWA negative), cust6 visits Patina.
+    b.add_edge(custs[4], la, live_in);
+    b.add_edge(custs[5], la, live_in);
+    b.add_edge(custs[4], custs[5], friend);
+    b.add_edge(custs[5], custs[4], friend);
+    shared_likes(&mut b, custs[4], custs[5], la);
+    let asian1 = b.add_node(asian);
+    b.add_edge(custs[4], asian1, visit);
+    b.add_edge(asian1, la, r#in);
+    b.add_edge(custs[5], patina, visit);
+
+    let g = b.build();
+    println!("G1: {} nodes, {} edges", g.node_count(), g.edge_count());
+
+    // ------------------------------------------------------------------
+    // 2. Express R1(x, y): Q1(x, y) ⇒ visit(x, y)  (Example 1 / Fig 1a).
+    // ------------------------------------------------------------------
+    let mut q = PatternBuilder::new(vocab.clone());
+    let x = q.node(cust);
+    let x2 = q.node(cust);
+    let c = q.node(city);
+    let y = q.node(fr);
+    let shared = q.node_copies(fr, 3); // C(u) = 3: the FR³ annotation
+    q.edge(x, x2, friend);
+    q.edge(x2, x, friend);
+    q.edge(x, c, live_in);
+    q.edge(x2, c, live_in);
+    q.edge_to_copies(x, &shared, like);
+    q.edge_to_copies(x2, &shared, like);
+    q.edge_from_copies(&shared, c, r#in);
+    q.edge(y, c, r#in);
+    q.edge(x2, y, visit);
+    let q1 = q.designate(x, y).build().expect("Q1 is a valid pattern");
+    let r1 = Gpar::new(q1, visit).expect("R1 is a valid GPAR");
+    println!("R1: {r1}");
+
+    // ------------------------------------------------------------------
+    // 3. Evaluate — the numbers of Examples 3, 5 and 10.
+    // ------------------------------------------------------------------
+    let eval = evaluate(&r1, &g, &EvalOptions::default()).expect("evaluation");
+    println!("Q1(x, G1)  = {} customers (paper: 4: cust1-cust3, cust5)", eval.supp_q_ante);
+    println!("supp(R1)   = {} (paper: 3: cust1-cust3)", eval.supp_r);
+    println!("supp(q)    = {} (paper: 5)", eval.supp_q);
+    println!("supp(q̄)    = {} (paper: 1: cust5)", eval.supp_qbar);
+    println!("supp(Qq̄)   = {} (paper: 1)", eval.supp_q_qbar);
+    match eval.confidence {
+        Confidence::Value(v) => println!("conf(R1)   = {v} (paper: 3·1/(1·5) = 0.6)"),
+        other => println!("conf(R1)   = {other:?}"),
+    }
+
+    assert_eq!(eval.supp_q_ante, 4);
+    assert_eq!(eval.supp_r, 3);
+    assert_eq!(eval.supp_q, 5);
+    assert_eq!(eval.supp_qbar, 1);
+    assert_eq!(eval.supp_q_qbar, 1);
+    assert_eq!(eval.confidence, Confidence::Value(0.6));
+    println!("\nAll numbers match the paper. ✓");
+}

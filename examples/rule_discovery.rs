@@ -1,0 +1,77 @@
+//! Diversified GPAR discovery on a Pokec-like social network — the
+//! workload of Exp-1/Exp-2 and the case study of Fig. 5(g).
+//!
+//! Mines diversified top-k rules for a `like_music` predicate with DMine,
+//! prints them next to the frequency-only patterns a GRAMI-style miner
+//! produces, illustrating the paper's qualitative claim: frequent
+//! patterns "reveal little insight about entity associations", while
+//! GPARs surface who influences whom.
+//!
+//! Run with: `cargo run --release --example rule_discovery`
+
+use gpar::mine::frequent::{FsgConfig, FsgMiner};
+use gpar::prelude::*;
+
+fn main() {
+    let sg = pokec_like(3000, 42);
+    println!(
+        "Pokec-like graph: {} nodes, {} edges, {} labels",
+        sg.graph.node_count(),
+        sg.graph.edge_count(),
+        sg.graph.vocab().len()
+    );
+
+    // The event of interest: q(x, y) = like_music(user, music_00).
+    let pred = sg.schema.predicate("music", 0).expect("music family exists");
+    let stats = gpar::core::q_stats(&sg.graph, &pred);
+    println!(
+        "predicate like_music(user, music_00): {} positives, {} negatives, {} unknown",
+        stats.supp_q(),
+        stats.supp_qbar(),
+        stats.unknown
+    );
+
+    // ---- DMine: diversified top-k GPARs ------------------------------
+    let config = DmineConfig {
+        k: 6,
+        sigma: 8,
+        d: 2,
+        lambda: 0.5,
+        workers: 4,
+        max_rounds: 2,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let result = DMine::new(config).run(&sg.graph, &pred);
+    println!(
+        "\nDMine: {} rounds, |Σ| = {}, {} candidates generated, F(Lk) = {:.3}, {:?}",
+        result.rounds_run,
+        result.sigma_size,
+        result.candidates_generated,
+        result.objective,
+        t0.elapsed()
+    );
+    println!("top-{} diversified GPARs:", result.top_k.len());
+    for (i, r) in result.top_k.iter().enumerate() {
+        println!(
+            "  #{:<2} conf={:.3} supp={:<4} {}",
+            i + 1,
+            r.conf_value,
+            r.support(),
+            r.rule
+        );
+    }
+
+    // ---- GRAMI-style frequency-only mining (the contrast) ------------
+    let fsg = FsgMiner::new(FsgConfig { sigma: 400, max_edges: 2, ..Default::default() });
+    let freq = fsg.mine(&sg.graph);
+    println!("\nGRAMI-style frequent patterns (no designated entity, no confidence):");
+    for (p, s) in freq.patterns.iter().take(5) {
+        println!("  MNI={s:<6} {p}");
+    }
+    println!(
+        "\nNote how the frequent patterns are generic hub shapes, while the \
+         GPARs above\nname the social context (follows/hobby edges) under \
+         which users adopt music_00."
+    );
+}

@@ -1,0 +1,202 @@
+//! Integration tests pinning down the paper's worked examples end to end
+//! (Examples 1–10 of Fan et al., PVLDB 2015) across all crates.
+
+use gpar::prelude::*;
+use gpar::core::q_stats;
+
+/// Builds the paper's graph `G1` (Fig. 2). Returns the graph, the six
+/// customer nodes, and Le Bernardin.
+fn build_g1() -> (Graph, Vec<NodeId>, NodeId) {
+    let vocab = Vocab::new();
+    let cust = vocab.intern("cust");
+    let city = vocab.intern("city");
+    let fr = vocab.intern("french_restaurant");
+    let asian = vocab.intern("asian_restaurant");
+    let (live_in, friend, like, r#in, visit) = (
+        vocab.intern("live_in"),
+        vocab.intern("friend"),
+        vocab.intern("like"),
+        vocab.intern("in"),
+        vocab.intern("visit"),
+    );
+    let mut b = GraphBuilder::new(vocab);
+    let custs: Vec<NodeId> = (0..6).map(|_| b.add_node(cust)).collect();
+    let ny = b.add_node(city);
+    let la = b.add_node(city);
+    let le_bernardin = b.add_node(fr);
+    let per_se = b.add_node(fr);
+    let patina = b.add_node(fr);
+    let shared = |b: &mut GraphBuilder, a: NodeId, c: NodeId, town: NodeId| {
+        for _ in 0..3 {
+            let r = b.add_node(fr);
+            b.add_edge(a, r, like);
+            b.add_edge(c, r, like);
+            b.add_edge(r, town, r#in);
+        }
+    };
+    b.add_edge(custs[0], ny, live_in);
+    b.add_edge(custs[1], ny, live_in);
+    b.add_edge(custs[0], custs[1], friend);
+    b.add_edge(custs[1], custs[0], friend);
+    shared(&mut b, custs[0], custs[1], ny);
+    b.add_edge(custs[0], le_bernardin, visit);
+    b.add_edge(custs[1], le_bernardin, visit);
+    b.add_edge(le_bernardin, ny, r#in);
+    b.add_edge(custs[2], ny, live_in);
+    b.add_edge(custs[1], custs[2], friend);
+    b.add_edge(custs[2], custs[1], friend);
+    shared(&mut b, custs[1], custs[2], ny);
+    b.add_edge(custs[2], le_bernardin, visit);
+    b.add_edge(custs[3], la, live_in);
+    b.add_edge(custs[3], per_se, visit);
+    b.add_edge(per_se, la, r#in);
+    b.add_edge(patina, la, r#in);
+    b.add_edge(custs[4], la, live_in);
+    b.add_edge(custs[5], la, live_in);
+    b.add_edge(custs[4], custs[5], friend);
+    b.add_edge(custs[5], custs[4], friend);
+    shared(&mut b, custs[4], custs[5], la);
+    let asian1 = b.add_node(asian);
+    b.add_edge(custs[4], asian1, visit);
+    b.add_edge(asian1, la, r#in);
+    b.add_edge(custs[5], patina, visit);
+    // cust6 also likes an Asian restaurant (Fig. 2: the `like` edge that
+    // rule R8 keys on).
+    let asian2 = b.add_node(asian);
+    b.add_edge(custs[5], asian2, like);
+    b.add_edge(asian2, la, r#in);
+    (b.build(), custs, le_bernardin)
+}
+
+/// The antecedent `Q1` of Example 1, with the `C(u)=3` copies.
+fn build_q1(g: &Graph) -> Pattern {
+    let vocab = g.vocab().clone();
+    let cust = vocab.get("cust").unwrap();
+    let city = vocab.get("city").unwrap();
+    let fr = vocab.get("french_restaurant").unwrap();
+    let (live_in, friend, like, r#in, visit) = (
+        vocab.get("live_in").unwrap(),
+        vocab.get("friend").unwrap(),
+        vocab.get("like").unwrap(),
+        vocab.get("in").unwrap(),
+        vocab.get("visit").unwrap(),
+    );
+    let mut q = PatternBuilder::new(vocab);
+    let x = q.node(cust);
+    let x2 = q.node(cust);
+    let c = q.node(city);
+    let y = q.node(fr);
+    let rests = q.node_copies(fr, 3);
+    q.edge(x, x2, friend);
+    q.edge(x2, x, friend);
+    q.edge(x, c, live_in);
+    q.edge(x2, c, live_in);
+    q.edge_to_copies(x, &rests, like);
+    q.edge_to_copies(x2, &rests, like);
+    q.edge_from_copies(&rests, c, r#in);
+    q.edge(y, c, r#in);
+    q.edge(x2, y, visit);
+    q.designate(x, y).build().unwrap()
+}
+
+#[test]
+fn example_3_and_5_support_and_confidence() {
+    let (g, custs, _) = build_g1();
+    let q1 = build_q1(&g);
+    let visit = g.vocab().get("visit").unwrap();
+    let r1 = Gpar::new(q1, visit).unwrap();
+    let eval = evaluate(&r1, &g, &EvalOptions::default()).unwrap();
+    // Example 3: Q1(x, G1) = {cust1, cust2, cust3, cust5}.
+    let expect: gpar::graph::FxHashSet<NodeId> =
+        [custs[0], custs[1], custs[2], custs[4]].into_iter().collect();
+    assert_eq!(eval.q_matches, expect);
+    // Example 5: supp(R1, G1) = 3.
+    assert_eq!(eval.supp_r, 3);
+    // Example 8: conf(R1, G1) = 0.6.
+    assert_eq!(eval.confidence, Confidence::Value(0.6));
+}
+
+#[test]
+fn example_8_diversified_pair_beats_redundant_pair() {
+    let (g, custs, _) = build_g1();
+    let vocab = g.vocab().clone();
+    let cust = vocab.get("cust").unwrap();
+    let fr = vocab.get("french_restaurant").unwrap();
+    let asian = vocab.get("asian_restaurant").unwrap();
+    let (friend, like, visit) = (
+        vocab.get("friend").unwrap(),
+        vocab.get("like").unwrap(),
+        vocab.get("visit").unwrap(),
+    );
+    // R7-style: x, x' friends; x' likes FR^2; x' visits y.
+    let mut b = PatternBuilder::new(vocab.clone());
+    let x = b.node(cust);
+    let x2 = b.node(cust);
+    let y = b.node(fr);
+    let rests = b.node_copies(fr, 2);
+    b.edge(x, x2, friend);
+    b.edge_to_copies(x2, &rests, like);
+    b.edge(x2, y, visit);
+    let r7 = Gpar::new(b.designate(x, y).build().unwrap(), visit).unwrap();
+    // R8-style: x, x' friends; x likes an Asian restaurant; y is French.
+    let mut b = PatternBuilder::new(vocab);
+    let x = b.node(cust);
+    let x2 = b.node(cust);
+    let y = b.node(fr);
+    let a = b.node(asian);
+    b.edge(x, x2, friend);
+    b.edge(x, a, like);
+    let _ = y;
+    let r8 = Gpar::new(b.designate(x, y).build().unwrap(), visit).unwrap();
+
+    let opts = EvalOptions::default();
+    let e7 = evaluate(&r7, &g, &opts).unwrap();
+    let e8 = evaluate(&r8, &g, &opts).unwrap();
+    // R7 identifies the New York group, R8 the LA one (cust6 likes an
+    // Asian restaurant in G1).
+    assert!(e7.pr_matches.contains(&custs[0]));
+    assert!(e8.pr_matches.contains(&custs[5]));
+    let d = diff(&e7.pr_matches, &e8.pr_matches);
+    assert_eq!(d, 1.0, "disjoint customer groups have diff 1");
+}
+
+#[test]
+fn eip_on_g1_identifies_cust5_as_potential_customer() {
+    let (g, custs, _) = build_g1();
+    let q1 = build_q1(&g);
+    let visit = g.vocab().get("visit").unwrap();
+    let r1 = Gpar::new(q1, visit).unwrap();
+    // conf(R1) = 0.6; with η = 0.5 the rule fires and its antecedent
+    // matches — including cust5, who has not visited a French restaurant
+    // yet — are the recommendation targets.
+    let cfg = EipConfig { eta: 0.5, ..EipConfig::new(EipAlgorithm::Match, 2) };
+    let res = identify(&g, std::slice::from_ref(&r1), &cfg).unwrap();
+    assert!(res.customers.contains(&custs[4]), "cust5 is the target");
+    assert_eq!(res.customers.len(), 4);
+    // With η above the confidence nothing is identified.
+    let cfg = EipConfig { eta: 0.7, ..EipConfig::new(EipAlgorithm::Match, 2) };
+    let res = identify(&g, std::slice::from_ref(&r1), &cfg).unwrap();
+    assert!(res.customers.is_empty());
+}
+
+#[test]
+fn dmine_on_g1_finds_friend_like_rules() {
+    let (g, _, _) = build_g1();
+    let vocab = g.vocab().clone();
+    let cust = vocab.get("cust").unwrap();
+    let fr = vocab.get("french_restaurant").unwrap();
+    let visit = vocab.get("visit").unwrap();
+    let pred = Predicate::new(NodeCond::Label(cust), visit, NodeCond::Label(fr));
+    let qs = q_stats(&g, &pred);
+    // §6 setting on G1: supp(q) = 5, supp(q̄) = 1.
+    assert_eq!(qs.supp_q(), 5);
+    assert_eq!(qs.supp_qbar(), 1);
+    let cfg = DmineConfig { k: 2, sigma: 2, d: 2, workers: 2, max_rounds: 2, ..Default::default() };
+    let res = DMine::new(cfg).run(&g, &pred);
+    assert!(!res.top_k.is_empty());
+    for r in &res.top_k {
+        assert!(r.support() >= 2);
+        assert!(r.rule.radius().unwrap() <= 2);
+        assert!(r.rule.is_nontrivial());
+    }
+}

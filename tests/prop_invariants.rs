@@ -1,0 +1,174 @@
+//! Property-based tests of the system's core invariants, using random
+//! graphs and patterns.
+//!
+//! * engine agreement: every matcher configuration computes the same
+//!   `Q(x, G)` as the brute-force oracle;
+//! * anti-monotonicity of the paper's support measure under single-edge
+//!   extension;
+//! * `diff` is a bounded, symmetric distance with identity;
+//! * LCWA classes partition the candidate set;
+//! * partitioning preserves per-center match semantics for any worker
+//!   count.
+
+use gpar::core::{classify, q_stats, LcwaClass, Predicate};
+use gpar::graph::{Graph, GraphBuilder, NodeId, Vocab};
+use gpar::iso::{brute_force_images, Matcher, MatcherConfig};
+use gpar::pattern::{EdgeCond, NodeCond, PatternBuilder};
+use gpar::prelude::*;
+use proptest::prelude::*;
+
+const NLABELS: u32 = 3;
+const ELABELS: u32 = 2;
+
+/// Strategy: a random small labeled digraph (≤ 8 nodes, ≤ 16 edges).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..8, proptest::collection::vec((0u32..8, 0u32..8, 0u32..ELABELS), 0..16)).prop_map(
+        |(n, edges)| {
+            let vocab = Vocab::new();
+            let nl: Vec<_> = (0..NLABELS).map(|i| vocab.intern(&format!("n{i}"))).collect();
+            let el: Vec<_> = (0..ELABELS).map(|i| vocab.intern(&format!("e{i}"))).collect();
+            let mut b = GraphBuilder::new(vocab);
+            for i in 0..n {
+                b.add_node(nl[i % nl.len()]);
+            }
+            for (s, d, l) in edges {
+                let s = NodeId(s % n as u32);
+                let d = NodeId(d % n as u32);
+                b.add_edge(s, d, el[l as usize]);
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_with_brute_force(
+        g in arb_graph(),
+        pn in 2usize..4,
+        edges in proptest::collection::vec((0u32..4, 0u32..4, 0u32..ELABELS), 1..4),
+    ) {
+        // Build the pattern against g's vocabulary inline (strategies
+        // cannot depend on the generated graph's vocab).
+        let vocab = g.vocab().clone();
+        let nl: Vec<_> = (0..NLABELS).map(|i| vocab.intern(&format!("n{i}"))).collect();
+        let el: Vec<_> = (0..ELABELS).map(|i| vocab.intern(&format!("e{i}"))).collect();
+        let mut b = PatternBuilder::new(vocab);
+        let ids: Vec<_> = (0..pn).map(|i| b.node(nl[i % nl.len()])).collect();
+        let mut seen = std::collections::HashSet::new();
+        for (s, d, l) in edges {
+            let s = ids[s as usize % pn];
+            let d = ids[d as usize % pn];
+            if seen.insert((s, d, l)) {
+                b.edge(s, d, el[l as usize]);
+            }
+        }
+        let pattern = b.designate_x(ids[0]).build().unwrap();
+        let oracle = brute_force_images(&pattern, &g, pattern.x());
+        for cfg in [MatcherConfig::vf2(), MatcherConfig::degree_ordered(), MatcherConfig::guided()] {
+            let m = Matcher::new(&g, cfg);
+            prop_assert_eq!(&m.images(&pattern, pattern.x()), &oracle, "engine {:?}", cfg.kind);
+            prop_assert_eq!(&m.images_by_full_enumeration(&pattern, pattern.x()), &oracle);
+        }
+    }
+
+    #[test]
+    fn support_is_anti_monotonic_under_extension(g in arb_graph(), el in 0u32..ELABELS) {
+        // Take a single-node pattern and extend it edge by edge; the
+        // x-image support must never increase (§3).
+        let vocab = g.vocab().clone();
+        let n0 = vocab.get("n0").unwrap();
+        let elab = vocab.get(&format!("e{el}")).unwrap();
+        let mut b = PatternBuilder::new(vocab.clone());
+        let x = b.node(n0);
+        let base = b.designate_x(x).build().unwrap();
+        let m = Matcher::new(&g, MatcherConfig::vf2());
+        let s0 = m.images(&base, x).len();
+        let (ext1, _) = base
+            .with_node_and_edge(x, NodeCond::Label(n0), EdgeCond::Label(elab), true)
+            .unwrap();
+        let s1 = m.images(&ext1, x).len();
+        prop_assert!(s1 <= s0, "adding an edge grew support: {s0} -> {s1}");
+        let (ext2, _) = ext1
+            .with_node_and_edge(x, NodeCond::Label(n0), EdgeCond::Label(elab), false)
+            .unwrap();
+        let s2 = m.images(&ext2, x).len();
+        prop_assert!(s2 <= s1);
+        prop_assert!(base.is_subsumed_by(&ext1));
+        prop_assert!(ext1.is_subsumed_by(&ext2));
+    }
+
+    #[test]
+    fn diff_is_a_bounded_symmetric_distance(
+        a in proptest::collection::hash_set(0u32..30, 0..12),
+        b in proptest::collection::hash_set(0u32..30, 0..12),
+    ) {
+        let sa: gpar::graph::FxHashSet<NodeId> = a.iter().map(|&i| NodeId(i)).collect();
+        let sb: gpar::graph::FxHashSet<NodeId> = b.iter().map(|&i| NodeId(i)).collect();
+        let d = diff(&sa, &sb);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(diff(&sa, &sb), diff(&sb, &sa));
+        prop_assert_eq!(diff(&sa, &sa), 0.0);
+        if a.is_disjoint(&b) && !(a.is_empty() && b.is_empty()) {
+            prop_assert_eq!(d, 1.0);
+        }
+    }
+
+    #[test]
+    fn lcwa_classes_partition_candidates(g in arb_graph(), el in 0u32..ELABELS) {
+        let vocab = g.vocab().clone();
+        let pred = Predicate::new(
+            NodeCond::Label(vocab.get("n0").unwrap()),
+            vocab.get(&format!("e{el}")).unwrap(),
+            NodeCond::Label(vocab.get("n1").unwrap()),
+        );
+        let qs = q_stats(&g, &pred);
+        let mut counted = 0u64;
+        for v in g.nodes() {
+            match classify(&g, &pred, v) {
+                Some(LcwaClass::Positive) => {
+                    counted += 1;
+                    prop_assert!(qs.positives.contains(&v));
+                }
+                Some(LcwaClass::Negative) => {
+                    counted += 1;
+                    prop_assert!(qs.negatives.contains(&v));
+                }
+                Some(LcwaClass::Unknown) => counted += 1,
+                None => {}
+            }
+        }
+        prop_assert_eq!(counted, qs.candidates());
+    }
+
+    #[test]
+    fn partitioning_preserves_anchored_matching(g in arb_graph(), n_workers in 1usize..5) {
+        // Every center's d-site must answer anchored matching exactly as
+        // the full graph does, for patterns of radius ≤ d (Theorem 6's
+        // locality argument).
+        let vocab = g.vocab().clone();
+        let n0 = vocab.get("n0").unwrap();
+        let e0 = vocab.get("e0").unwrap();
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node(n0);
+        let y = b.node_any();
+        b.edge(x, y, e0);
+        let p = b.designate_x(x).build().unwrap();
+        let d = 2;
+        let centers: Vec<NodeId> = g.nodes_with_label(n0).collect();
+        let parts = gpar::partition::partition_sites(
+            &g, &centers, d, n_workers, PartitionStrategy::Balanced,
+        );
+        let m_global = Matcher::new(&g, MatcherConfig::vf2());
+        for sites in parts {
+            for cs in sites {
+                let local = Matcher::new(cs.graph(), MatcherConfig::vf2());
+                let here = local.exists_anchored(&p, x, cs.center);
+                let there = m_global.exists_anchored(&p, x, cs.center_global);
+                prop_assert_eq!(here, there, "center {:?}", cs.center_global);
+            }
+        }
+    }
+}
