@@ -20,9 +20,7 @@ fn bench_metrics(c: &mut Criterion) {
     let rule = rules.first().expect("rule").clone();
     let opts = EvalOptions::default();
 
-    c.bench_function("metrics/q_stats", |b| {
-        b.iter(|| q_stats(&sg.graph, &pred).candidates())
-    });
+    c.bench_function("metrics/q_stats", |b| b.iter(|| q_stats(&sg.graph, &pred).candidates()));
     c.bench_function("metrics/evaluate_rule", |b| {
         b.iter(|| evaluate(&rule, &sg.graph, &opts).expect("eval").supp_r)
     });

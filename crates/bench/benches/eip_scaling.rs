@@ -12,12 +12,9 @@ fn bench_eip(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("eip/algorithm");
     group.sample_size(10);
-    for algo in [
-        EipAlgorithm::Match,
-        EipAlgorithm::Matchs,
-        EipAlgorithm::Matchc,
-        EipAlgorithm::DisVf2,
-    ] {
+    for algo in
+        [EipAlgorithm::Match, EipAlgorithm::Matchs, EipAlgorithm::Matchc, EipAlgorithm::DisVf2]
+    {
         group.bench_function(BenchmarkId::from_parameter(format!("{algo:?}")), |b| {
             let cfg = EipConfig { eta: 1.5, d: Some(2), ..EipConfig::new(algo, 4) };
             b.iter(|| identify(&sg.graph, &sigma, &cfg).expect("valid").customers.len())
@@ -29,8 +26,7 @@ fn bench_eip(c: &mut Criterion) {
     group.sample_size(10);
     for count in [4, 8, 16] {
         group.bench_function(BenchmarkId::from_parameter(count), |b| {
-            let cfg =
-                EipConfig { eta: 1.5, d: Some(2), ..EipConfig::new(EipAlgorithm::Match, 4) };
+            let cfg = EipConfig { eta: 1.5, d: Some(2), ..EipConfig::new(EipAlgorithm::Match, 4) };
             let subset = &sigma[..count.min(sigma.len())];
             b.iter(|| identify(&sg.graph, subset, &cfg).expect("valid").customers.len())
         });
@@ -41,11 +37,8 @@ fn bench_eip(c: &mut Criterion) {
     group.sample_size(10);
     for workers in [1, 2, 4, 8] {
         group.bench_function(BenchmarkId::from_parameter(workers), |b| {
-            let cfg = EipConfig {
-                eta: 1.5,
-                d: Some(2),
-                ..EipConfig::new(EipAlgorithm::Match, workers)
-            };
+            let cfg =
+                EipConfig { eta: 1.5, d: Some(2), ..EipConfig::new(EipAlgorithm::Match, workers) };
             b.iter(|| identify(&sg.graph, &sigma, &cfg).expect("valid").customers.len())
         });
     }

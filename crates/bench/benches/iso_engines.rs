@@ -54,7 +54,11 @@ fn bench_engines(c: &mut Criterion) {
             let mut hits = 0u32;
             for s in &sites {
                 let m = Matcher::new(s.graph(), MatcherConfig::vf2());
-                hits += u32::from(m.exists_anchored(rule.antecedent(), rule.antecedent().x(), s.center));
+                hits += u32::from(m.exists_anchored(
+                    rule.antecedent(),
+                    rule.antecedent().x(),
+                    s.center,
+                ));
             }
             hits
         })

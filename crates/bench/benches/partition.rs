@@ -21,7 +21,9 @@ fn bench_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition/fragments");
     group.sample_size(10);
     group.bench_function("balanced_d2_n8", |b| {
-        b.iter(|| partition_by_centers(&sg.graph, &centers, 2, 8, PartitionStrategy::Balanced).len())
+        b.iter(|| {
+            partition_by_centers(&sg.graph, &centers, 2, 8, PartitionStrategy::Balanced).len()
+        })
     });
     group.finish();
 

@@ -58,7 +58,8 @@ impl Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
     let scale = Scale::new(quick);
     let all = which.contains(&"all");
@@ -91,10 +92,20 @@ fn main() {
         table_precision(&scale);
     }
     if want("f5h") {
-        fig_eip_vary_n("F5h", "Match vs Matchc vs disVF2, varying n (Pokec)", &scale, Dataset::Pokec);
+        fig_eip_vary_n(
+            "F5h",
+            "Match vs Matchc vs disVF2, varying n (Pokec)",
+            &scale,
+            Dataset::Pokec,
+        );
     }
     if want("f5i") {
-        fig_eip_vary_n("F5i", "Match vs Matchc vs disVF2, varying n (Google+)", &scale, Dataset::Gplus);
+        fig_eip_vary_n(
+            "F5i",
+            "Match vs Matchc vs disVF2, varying n (Google+)",
+            &scale,
+            Dataset::Gplus,
+        );
     }
     if want("f5j") {
         fig_eip_vary_sigma_count("F5j", "varying ‖Σ‖ (Pokec)", &scale, Dataset::Pokec);
@@ -285,8 +296,7 @@ fn table_precision(scale: &Scale) {
         if take.is_empty() {
             return 0.0;
         }
-        take.iter().map(|r| precision(&r.rule, &test.graph, &opts)).sum::<f64>()
-            / take.len() as f64
+        take.iter().map(|r| precision(&r.rule, &test.graph, &opts)).sum::<f64>() / take.len() as f64
     };
     let mut by_conf: Vec<&gpar_mine::MinedRule> = all.iter().map(|(r, _, _)| r).collect();
     by_conf.sort_by(|a, b| b.conf_value.total_cmp(&a.conf_value));
@@ -321,11 +331,7 @@ fn fig_eip_vary_n(id: &str, title: &str, scale: &Scale, ds: Dataset) {
     let (sg, family) = ds.build(scale);
     let d = 2;
     let sigma = Workloads::sigma(&sg, family, 24, d);
-    let mut series = vec![
-        Series::new("Match"),
-        Series::new("Matchc"),
-        Series::new("disVF2"),
-    ];
+    let mut series = vec![Series::new("Match"), Series::new("Matchc"), Series::new("disVF2")];
     for &n in &scale.ns {
         series[0].push(n, run_eip(&sg.graph, &sigma, EipAlgorithm::Match, n, d));
         series[1].push(n, run_eip(&sg.graph, &sigma, EipAlgorithm::Matchc, n, d));
@@ -345,11 +351,7 @@ fn fig_eip_vary_sigma_count(id: &str, title: &str, scale: &Scale, ds: Dataset) {
     let (sg, family) = ds.build(scale);
     let d = 2;
     let all_rules = Workloads::sigma(&sg, family, *scale.sigma_counts.last().unwrap(), d);
-    let mut series = vec![
-        Series::new("Match"),
-        Series::new("Matchc"),
-        Series::new("disVF2"),
-    ];
+    let mut series = vec![Series::new("Match"), Series::new("Matchc"), Series::new("disVF2")];
     for &count in &scale.sigma_counts {
         let sigma = &all_rules[..count.min(all_rules.len())];
         series[0].push(count, run_eip(&sg.graph, sigma, EipAlgorithm::Match, 8, d));
@@ -372,11 +374,7 @@ fn fig_eip_vary_d(id: &str, title: &str, scale: &Scale, ds: Dataset) {
         Dataset::Pokec => (Workloads::pokec(scale.pokec_users / 2), "music"),
         Dataset::Gplus => (Workloads::gplus(scale.gplus_users / 2), "place"),
     };
-    let mut series = vec![
-        Series::new("Match"),
-        Series::new("Matchc"),
-        Series::new("disVF2"),
-    ];
+    let mut series = vec![Series::new("Match"), Series::new("Matchc"), Series::new("disVF2")];
     for &d in &scale.ds {
         let sigma = Workloads::sigma(&sg, family, 20, d);
         series[0].push(d, run_eip(&sg.graph, &sigma, EipAlgorithm::Match, 8, d));
@@ -398,11 +396,7 @@ fn fig_eip_synth_n(id: &str, scale: &Scale) {
     let g = Workloads::synth(nodes, edges);
     let d = 2;
     let (_, sigma) = Workloads::synth_sigma(&g, 24, d);
-    let mut series = vec![
-        Series::new("Match"),
-        Series::new("Matchc"),
-        Series::new("disVF2"),
-    ];
+    let mut series = vec![Series::new("Match"), Series::new("Matchc"), Series::new("disVF2")];
     for &n in &scale.ns {
         series[0].push(n, run_eip(&g, &sigma, EipAlgorithm::Match, n, d));
         series[1].push(n, run_eip(&g, &sigma, EipAlgorithm::Matchc, n, d));
@@ -419,11 +413,7 @@ fn fig_eip_synth_n(id: &str, scale: &Scale) {
 
 fn fig_eip_synth_size(id: &str, scale: &Scale) {
     let d = 2;
-    let mut series = vec![
-        Series::new("Match"),
-        Series::new("Matchc"),
-        Series::new("disVF2"),
-    ];
+    let mut series = vec![Series::new("Match"), Series::new("Matchc"), Series::new("disVF2")];
     for &(nodes, edges) in &scale.synth_sizes {
         let g = Workloads::synth(nodes, edges);
         let (_, sigma) = Workloads::synth_sigma(&g, 24, d);
@@ -455,9 +445,7 @@ fn report_skew(scale: &Scale) {
     let centers: Vec<_> = sg.graph.nodes_with_label(sg.schema.user).collect();
     for strategy in [PartitionStrategy::Balanced, PartitionStrategy::Hash] {
         let parts = partition_sites(&sg.graph, &centers, 2, 8, strategy);
-        let loads = parts
-            .iter()
-            .map(|p| p.iter().map(|s| s.load()).sum::<u64>() as f64);
+        let loads = parts.iter().map(|p| p.iter().map(|s| s.load()).sum::<u64>() as f64);
         let stats = PartitionStats::from_values(loads).expect("non-empty");
         println!("site-load skew ({strategy:?}, n=8): {:.1}%", 100.0 * stats.skew());
     }
@@ -466,15 +454,14 @@ fn report_skew(scale: &Scale) {
     let sigma = Workloads::sigma(&sg, "music", 24, 2);
     let cfg = EipConfig { eta: 1.5, ..EipConfig::new(EipAlgorithm::Match, 8) };
     let (res, _) = timed(|| identify(&sg.graph, &sigma, &cfg).expect("valid Σ"));
-    let stats =
-        PartitionStats::from_values(res.worker_times.iter().map(|t| t.as_secs_f64()))
-            .expect("non-empty");
+    let stats = PartitionStats::from_values(res.worker_times.iter().map(|t| t.as_secs_f64()))
+        .expect("non-empty");
     println!("Match worker-time skew (n=8): {:.1}%", 100.0 * stats.skew());
 
     let (_, mine) = run_dmine(&sg.graph, &pred, 8, 8, MineOpts::all());
     if let Some(last) = mine.round_worker_times.last() {
-        let stats = PartitionStats::from_values(last.iter().map(|t| t.as_secs_f64()))
-            .expect("non-empty");
+        let stats =
+            PartitionStats::from_values(last.iter().map(|t| t.as_secs_f64())).expect("non-empty");
         println!("DMine worker-time skew (n=8, last round): {:.1}%", 100.0 * stats.skew());
     }
 }

@@ -8,8 +8,9 @@
 //! measured ones.
 
 use gpar_core::{Gpar, Predicate};
-use gpar_datagen::{generate_rules, gplus_like, pokec_like, synthetic, RuleGenConfig,
-    SocialGraph, SyntheticConfig};
+use gpar_datagen::{
+    generate_rules, gplus_like, pokec_like, synthetic, RuleGenConfig, SocialGraph, SyntheticConfig,
+};
 use gpar_eip::{identify, EipAlgorithm, EipConfig};
 use gpar_graph::Graph;
 use gpar_mine::{DMine, DmineConfig, MineOpts, MineResult};
@@ -64,10 +65,8 @@ pub fn print_figure(id: &str, title: &str, paper_note: &str, x_name: &str, serie
     println!();
     let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
     for r in 0..rows {
-        let x = series
-            .iter()
-            .find_map(|s| s.points.get(r).map(|(x, _)| x.clone()))
-            .unwrap_or_default();
+        let x =
+            series.iter().find_map(|s| s.points.get(r).map(|(x, _)| x.clone())).unwrap_or_default();
         print!("| {x} |");
         for s in series {
             match s.points.get(r) {
@@ -113,10 +112,7 @@ impl Workloads {
     /// A rule set Σ of `count` satisfiable GPARs with `|R| = (5, 8)` for a
     /// social graph's predicate (the paper's EIP workload).
     pub fn sigma(sg: &SocialGraph, family: &str, count: usize, d: u32) -> Vec<Gpar> {
-        let pred = sg
-            .schema
-            .predicate(family, 0)
-            .expect("family exists in schema");
+        let pred = sg.schema.predicate(family, 0).expect("family exists in schema");
         generate_rules(
             &sg.graph,
             &pred,
@@ -154,11 +150,7 @@ impl Workloads {
 pub fn synth_predicate(g: &Graph) -> Predicate {
     let top = g.frequent_edge_patterns(1);
     let ((sl, el, dl), _) = top.first().expect("graph has edges");
-    Predicate::new(
-        gpar_pattern::NodeCond::Label(*sl),
-        *el,
-        gpar_pattern::NodeCond::Label(*dl),
-    )
+    Predicate::new(gpar_pattern::NodeCond::Label(*sl), *el, gpar_pattern::NodeCond::Label(*dl))
 }
 
 /// Runs one EIP configuration, returning the **simulated n-processor

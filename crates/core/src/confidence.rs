@@ -349,12 +349,9 @@ mod tests {
         let q = pb.designate(x, y).build().unwrap();
         let rule = Gpar::new(q, visit).unwrap();
         let fast = evaluate(&rule, &g, &EvalOptions::default()).unwrap();
-        let slow = evaluate(
-            &rule,
-            &g,
-            &EvalOptions { full_enumeration: true, ..Default::default() },
-        )
-        .unwrap();
+        let slow =
+            evaluate(&rule, &g, &EvalOptions { full_enumeration: true, ..Default::default() })
+                .unwrap();
         assert_eq!(fast.pr_matches, slow.pr_matches);
         assert_eq!(fast.q_matches, slow.q_matches);
         assert_eq!(fast.confidence, slow.confidence);

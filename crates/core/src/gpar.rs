@@ -9,7 +9,7 @@ use std::sync::Arc;
 /// satisfying `x_cond` to a node satisfying `y_cond`. The same search
 /// conditions as in `Q` are imposed on `x` and `y` (§2.2), including value
 /// bindings such as `y = fake` in rule `R4`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Predicate {
     /// Condition on the subject `x` (the potential customer).
     pub x_cond: NodeCond,
@@ -80,7 +80,7 @@ impl From<gpar_pattern::PatternError> for GparError {
 /// The rule is represented, as in the paper, by the pattern `P_R` that
 /// extends `Q` with the (dotted) consequent edge; both `Q` and `P_R` are
 /// stored so matching never rebuilds them.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Gpar {
     antecedent: Pattern,
     pr: Pattern,
@@ -113,11 +113,8 @@ impl Gpar {
         if !pr.is_connected() {
             return Err(GparError::NotConnected);
         }
-        let predicate = Predicate {
-            x_cond: antecedent.cond(x),
-            label: q,
-            y_cond: antecedent.cond(y),
-        };
+        let predicate =
+            Predicate { x_cond: antecedent.cond(x), label: q, y_cond: antecedent.cond(y) };
         Ok(Self { antecedent, pr, predicate })
     }
 

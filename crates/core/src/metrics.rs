@@ -24,10 +24,7 @@ use gpar_pattern::Pattern;
 /// nodes `u` ([7]); anti-monotonic like the paper's measure.
 pub fn mni_support(p: &Pattern, g: &Graph, opts: &EvalOptions) -> u64 {
     let m = Matcher::new(g, opts.engine);
-    p.nodes()
-        .map(|u| m.images(p, u).len() as u64)
-        .min()
-        .unwrap_or(0)
+    p.nodes().map(|u| m.images(p, u).len() as u64).min().unwrap_or(0)
 }
 
 /// PCA confidence of an evaluated rule: `supp(R,G)/supp(Qq̄,G)`.

@@ -142,8 +142,16 @@ mod tests {
     #[test]
     fn conf_rate_controls_measured_confidence() {
         let (g, rule) = simple_rule();
-        let hi = plant(&g, &rule, &PlantSpec { instances: 200, conf_rate: 0.9, negative_rate: 1.0, seed: 2 });
-        let lo = plant(&g, &rule, &PlantSpec { instances: 200, conf_rate: 0.2, negative_rate: 1.0, seed: 2 });
+        let hi = plant(
+            &g,
+            &rule,
+            &PlantSpec { instances: 200, conf_rate: 0.9, negative_rate: 1.0, seed: 2 },
+        );
+        let lo = plant(
+            &g,
+            &rule,
+            &PlantSpec { instances: 200, conf_rate: 0.2, negative_rate: 1.0, seed: 2 },
+        );
         let opts = EvalOptions::default();
         let ev_hi = evaluate(&rule, &hi.0, &opts).unwrap();
         let ev_lo = evaluate(&rule, &lo.0, &opts).unwrap();

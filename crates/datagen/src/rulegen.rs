@@ -105,7 +105,8 @@ fn grow_rule(
         // neighbor would stay within d of x in P_R. Distances in P_R are
         // bounded above by distances in the (partial) antecedent + the
         // consequent edge; recompute on the PR shadow for correctness.
-        let pr_shadow = pattern.with_edge(PNodeId(0), PNodeId(1), EdgeCond::Label(pred.label)).ok()?;
+        let pr_shadow =
+            pattern.with_edge(PNodeId(0), PNodeId(1), EdgeCond::Label(pred.label)).ok()?;
         let dists = pr_shadow.undirected_distances(PNodeId(0));
         let du = dists[u.index()].unwrap_or(u32::MAX);
         if du >= cfg.max_radius {
@@ -140,9 +141,8 @@ fn grow_rule(
             }
         } else if pattern.node_count() < cfg.pattern_nodes {
             let cond = NodeCond::Label(g.node_label(other));
-            let (p2, new) = pattern
-                .with_node_and_edge(u, cond, EdgeCond::Label(elabel), outgoing)
-                .ok()?;
+            let (p2, new) =
+                pattern.with_node_and_edge(u, cond, EdgeCond::Label(elabel), outgoing).ok()?;
             pattern = p2;
             mapped.push(other);
             data_to_pat.insert(other, new);
@@ -152,7 +152,7 @@ fn grow_rule(
         return None;
     }
     let rule = Gpar::new(pattern, pred.label).ok()?;
-    if rule.radius().map_or(true, |r| r > cfg.max_radius) {
+    if rule.radius().is_none_or(|r| r > cfg.max_radius) {
         return None;
     }
     Some(rule)
@@ -184,7 +184,8 @@ mod tests {
     fn rules_are_distinct_and_respect_size_budget() {
         let sg = pokec_like(800, 23);
         let pred = sg.schema.default_predicates(1).pop().unwrap();
-        let cfg = RuleGenConfig { count: 12, pattern_nodes: 4, pattern_edges: 5, ..Default::default() };
+        let cfg =
+            RuleGenConfig { count: 12, pattern_nodes: 4, pattern_edges: 5, ..Default::default() };
         let rules = generate_rules(&sg.graph, &pred, &cfg);
         let mut codes: Vec<_> = rules.iter().map(|r| r.pr().canonical_code()).collect();
         codes.sort();

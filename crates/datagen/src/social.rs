@@ -174,17 +174,14 @@ fn generate(cfg: SocialConfig) -> SocialGraph {
     // Per (family, value): current instance node and its remaining slots.
     let mut instances: FxHashMap<(usize, usize), (NodeId, usize)> = FxHashMap::default();
     // Per user, per family: chosen value indices (for homophily copying).
-    let mut chosen: Vec<Vec<Vec<usize>>> =
-        vec![vec![Vec::new(); cfg.families.len()]; cfg.users];
+    let mut chosen: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); cfg.families.len()]; cfg.users];
 
     let fam_labels: Vec<(Label, Vec<Label>)> = cfg
         .families
         .iter()
         .map(|f| {
             let e = vocab.intern(f.edge);
-            let vals = (0..f.values)
-                .map(|i| vocab.intern(&format!("{}_{i:02}", f.name)))
-                .collect();
+            let vals = (0..f.values).map(|i| vocab.intern(&format!("{}_{i:02}", f.name))).collect();
             (e, vals)
         })
         .collect();
@@ -227,11 +224,7 @@ fn generate(cfg: SocialConfig) -> SocialGraph {
         families.push(FamilyInfo { name: fam.name.to_string(), edge, values: vals });
     }
 
-    SocialGraph {
-        graph: b.build(),
-        schema: SocialSchema { user, follow, families },
-        users,
-    }
+    SocialGraph { graph: b.build(), schema: SocialSchema { user, follow, families }, users }
 }
 
 /// A Pokec-shaped social network: `user` + 268 attribute-value labels (269
@@ -244,14 +237,70 @@ pub fn pokec_like(users: usize, seed: u64) -> SocialGraph {
         community: 96,
         reciprocate: 0.3,
         families: vec![
-            FamilySpec { name: "city", edge: "live_in", values: 45, min_per_user: 1, max_per_user: 1, homophily: 0.55 },
-            FamilySpec { name: "music", edge: "like_music", values: 40, min_per_user: 0, max_per_user: 3, homophily: 0.55 },
-            FamilySpec { name: "hobby", edge: "hobby", values: 45, min_per_user: 1, max_per_user: 3, homophily: 0.45 },
-            FamilySpec { name: "book", edge: "like_book", values: 35, min_per_user: 0, max_per_user: 2, homophily: 0.55 },
-            FamilySpec { name: "school", edge: "school", values: 25, min_per_user: 0, max_per_user: 1, homophily: 0.5 },
-            FamilySpec { name: "employer", edge: "employer", values: 25, min_per_user: 0, max_per_user: 1, homophily: 0.45 },
-            FamilySpec { name: "major", edge: "major", values: 23, min_per_user: 0, max_per_user: 1, homophily: 0.5 },
-            FamilySpec { name: "restaurant", edge: "visit", values: 30, min_per_user: 0, max_per_user: 2, homophily: 0.55 },
+            FamilySpec {
+                name: "city",
+                edge: "live_in",
+                values: 45,
+                min_per_user: 1,
+                max_per_user: 1,
+                homophily: 0.55,
+            },
+            FamilySpec {
+                name: "music",
+                edge: "like_music",
+                values: 40,
+                min_per_user: 0,
+                max_per_user: 3,
+                homophily: 0.55,
+            },
+            FamilySpec {
+                name: "hobby",
+                edge: "hobby",
+                values: 45,
+                min_per_user: 1,
+                max_per_user: 3,
+                homophily: 0.45,
+            },
+            FamilySpec {
+                name: "book",
+                edge: "like_book",
+                values: 35,
+                min_per_user: 0,
+                max_per_user: 2,
+                homophily: 0.55,
+            },
+            FamilySpec {
+                name: "school",
+                edge: "school",
+                values: 25,
+                min_per_user: 0,
+                max_per_user: 1,
+                homophily: 0.5,
+            },
+            FamilySpec {
+                name: "employer",
+                edge: "employer",
+                values: 25,
+                min_per_user: 0,
+                max_per_user: 1,
+                homophily: 0.45,
+            },
+            FamilySpec {
+                name: "major",
+                edge: "major",
+                values: 23,
+                min_per_user: 0,
+                max_per_user: 1,
+                homophily: 0.5,
+            },
+            FamilySpec {
+                name: "restaurant",
+                edge: "visit",
+                values: 30,
+                min_per_user: 0,
+                max_per_user: 2,
+                homophily: 0.55,
+            },
         ],
     })
 }
@@ -267,10 +316,38 @@ pub fn gplus_like(users: usize, seed: u64) -> SocialGraph {
         community: 128,
         reciprocate: 0.2,
         families: vec![
-            FamilySpec { name: "employer", edge: "works_at", values: 40, min_per_user: 0, max_per_user: 2, homophily: 0.45 },
-            FamilySpec { name: "school", edge: "attended", values: 40, min_per_user: 0, max_per_user: 2, homophily: 0.5 },
-            FamilySpec { name: "major", edge: "majored_in", values: 30, min_per_user: 0, max_per_user: 1, homophily: 0.45 },
-            FamilySpec { name: "place", edge: "lived_in", values: 50, min_per_user: 1, max_per_user: 2, homophily: 0.5 },
+            FamilySpec {
+                name: "employer",
+                edge: "works_at",
+                values: 40,
+                min_per_user: 0,
+                max_per_user: 2,
+                homophily: 0.45,
+            },
+            FamilySpec {
+                name: "school",
+                edge: "attended",
+                values: 40,
+                min_per_user: 0,
+                max_per_user: 2,
+                homophily: 0.5,
+            },
+            FamilySpec {
+                name: "major",
+                edge: "majored_in",
+                values: 30,
+                min_per_user: 0,
+                max_per_user: 1,
+                homophily: 0.45,
+            },
+            FamilySpec {
+                name: "place",
+                edge: "lived_in",
+                values: 50,
+                min_per_user: 1,
+                max_per_user: 2,
+                homophily: 0.5,
+            },
         ],
     })
 }

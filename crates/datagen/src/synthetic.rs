@@ -52,12 +52,10 @@ impl SyntheticConfig {
 pub fn synthetic(cfg: &SyntheticConfig) -> Graph {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let vocab = Vocab::new();
-    let node_labels: Vec<_> = (0..cfg.node_labels.max(1))
-        .map(|i| vocab.intern(&format!("n{i:03}")))
-        .collect();
-    let edge_labels: Vec<_> = (0..cfg.edge_labels.max(1))
-        .map(|i| vocab.intern(&format!("e{i:02}")))
-        .collect();
+    let node_labels: Vec<_> =
+        (0..cfg.node_labels.max(1)).map(|i| vocab.intern(&format!("n{i:03}"))).collect();
+    let edge_labels: Vec<_> =
+        (0..cfg.edge_labels.max(1)).map(|i| vocab.intern(&format!("e{i:02}"))).collect();
     let nzipf = Zipf::new(node_labels.len() as u64, cfg.label_skew).expect("valid zipf");
     let ezipf = Zipf::new(edge_labels.len() as u64, cfg.label_skew).expect("valid zipf");
 
@@ -105,10 +103,7 @@ mod tests {
         assert_eq!(g1.node_count(), g2.node_count());
         assert_eq!(g1.edge_count(), g2.edge_count());
         for v in g1.nodes() {
-            assert_eq!(
-                g1.vocab().resolve(g1.node_label(v)),
-                g2.vocab().resolve(g2.node_label(v))
-            );
+            assert_eq!(g1.vocab().resolve(g1.node_label(v)), g2.vocab().resolve(g2.node_label(v)));
         }
     }
 
@@ -139,10 +134,7 @@ mod tests {
         });
         let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
         let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
-        assert!(
-            max_deg as f64 > 5.0 * avg,
-            "expected a hub: max {max_deg}, avg {avg}"
-        );
+        assert!(max_deg as f64 > 5.0 * avg, "expected a hub: max {max_deg}, avg {avg}");
     }
 
     #[test]

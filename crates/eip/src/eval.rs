@@ -57,14 +57,37 @@ pub struct CandidateOutcome {
     pub pr_member: Vec<bool>,
 }
 
+/// The sketch depth an evaluator uses under `opts` (the engine's
+/// configured depth, defaulting to 2).
+fn effective_sketch_k(opts: &MatchOpts) -> u32 {
+    if opts.engine.sketch_k > 0 {
+        opts.engine.sketch_k
+    } else {
+        2
+    }
+}
+
+/// Builds the per-rule antecedent sketches at `x` used by the
+/// candidate-level prefilter under `opts`. Build once per rule group and
+/// hand the `Arc` to [`CandidateEvaluator::with_plan_and_sketches`] so
+/// repeated evaluator construction (one per serving request) does no
+/// per-rule sketch work.
+pub fn antecedent_sketches(rules: &[Gpar], opts: &MatchOpts) -> std::sync::Arc<Vec<Sketch>> {
+    let k = effective_sketch_k(opts);
+    std::sync::Arc::new(
+        rules.iter().map(|r| pattern_sketch(r.antecedent(), r.antecedent().x(), k)).collect(),
+    )
+}
+
 /// Evaluates one candidate site against all rules of Σ.
 pub struct CandidateEvaluator<'r> {
     rules: &'r [Gpar],
     pred: Predicate,
     opts: MatchOpts,
     plan: Option<SharingPlan>,
-    /// Antecedent sketches at `x`, for the candidate-level prefilter.
-    q_sketches: Vec<Sketch>,
+    /// Antecedent sketches at `x`, for the candidate-level prefilter
+    /// (shareable across evaluators, see [`antecedent_sketches`]).
+    q_sketches: std::sync::Arc<Vec<Sketch>>,
     sketch_k: u32,
     /// Pattern sketches shared across the per-site matchers (they do not
     /// depend on the data graph).
@@ -75,20 +98,57 @@ impl<'r> CandidateEvaluator<'r> {
     /// Prepares the evaluator (sharing plan + pattern sketches are built
     /// once and reused across all candidates of a worker).
     pub fn new(rules: &'r [Gpar], opts: MatchOpts) -> Self {
-        let pred = *rules[0].predicate();
         let plan = opts.subpattern_sharing.then(|| SharingPlan::build(rules));
-        let sketch_k = if opts.engine.sketch_k > 0 { opts.engine.sketch_k } else { 2 };
-        let q_sketches = rules
-            .iter()
-            .map(|r| pattern_sketch(r.antecedent(), r.antecedent().x(), sketch_k))
-            .collect();
+        Self::with_plan_opt(rules, opts, plan)
+    }
+
+    /// Replaces the internal pattern-sketch cache with a caller-provided
+    /// one. Successive evaluators over the *same rules on the same
+    /// thread* (the serving layer builds one per request) then reuse
+    /// pattern-side sketches instead of re-deriving them; the cache is
+    /// `Rc`-based and must stay thread-local.
+    pub fn with_pattern_cache(mut self, cache: gpar_iso::PatternSketchCache) -> Self {
+        self.psketch_cache = cache;
+        self
+    }
+
+    /// As [`CandidateEvaluator::new`] but reusing a pre-built
+    /// [`SharingPlan`] (skipping the `|Σ|²` pairwise subsumption tests)
+    /// and antecedent sketches pre-built with [`antecedent_sketches`] for
+    /// the *same `(rules, opts)`*. This is the serving layer's
+    /// per-request constructor: both inputs are built once per catalog
+    /// rule group, so constructing an evaluator does no per-rule work.
+    ///
+    /// The plan must have been built for exactly this `rules` slice
+    /// (same contents, same order); it is ignored when
+    /// `opts.subpattern_sharing` is off.
+    pub fn with_plan_and_sketches(
+        rules: &'r [Gpar],
+        opts: MatchOpts,
+        plan: SharingPlan,
+        q_sketches: std::sync::Arc<Vec<Sketch>>,
+    ) -> Self {
+        assert_eq!(q_sketches.len(), rules.len(), "sketches must align with rules");
+        let plan = opts.subpattern_sharing.then_some(plan);
         Self {
             rules,
-            pred,
+            pred: *rules[0].predicate(),
             opts,
             plan,
             q_sketches,
-            sketch_k,
+            sketch_k: effective_sketch_k(&opts),
+            psketch_cache: gpar_iso::PatternSketchCache::default(),
+        }
+    }
+
+    fn with_plan_opt(rules: &'r [Gpar], opts: MatchOpts, plan: Option<SharingPlan>) -> Self {
+        Self {
+            rules,
+            pred: *rules[0].predicate(),
+            opts,
+            plan,
+            q_sketches: antecedent_sketches(rules, &opts),
+            sketch_k: effective_sketch_k(&opts),
             psketch_cache: gpar_iso::PatternSketchCache::default(),
         }
     }
@@ -110,10 +170,8 @@ impl<'r> CandidateEvaluator<'r> {
         let matcher =
             Matcher::new(g, self.opts.engine).with_shared_pattern_cache(self.psketch_cache.clone());
         // Candidate-level sketch prefilter: built once per candidate.
-        let center_sketch = self
-            .opts
-            .sketch_guidance
-            .then(|| Sketch::build(g, center, self.sketch_k));
+        let center_sketch =
+            self.opts.sketch_guidance.then(|| Sketch::build(g, center, self.sketch_k));
 
         let default_order: Vec<usize>;
         let order: &[usize] = match &self.plan {
@@ -147,11 +205,8 @@ impl<'r> CandidateEvaluator<'r> {
             // P_R membership: only positives can match (P_R contains the
             // consequent edge). disVF2 checks unconditionally — its
             // second full enumeration per candidate.
-            let need_pr = if self.opts.double_check {
-                true
-            } else {
-                in_q && class == LcwaClass::Positive
-            };
+            let need_pr =
+                if self.opts.double_check { true } else { in_q && class == LcwaClass::Positive };
             if need_pr {
                 let pr = rule.pr();
                 pr_member[r] = if self.opts.early_termination {
@@ -222,12 +277,9 @@ mod tests {
     fn all_algorithms_agree_on_memberships() {
         let (g, rules, c1, c2) = setup();
         let d = 2;
-        for algo in [
-            EipAlgorithm::Match,
-            EipAlgorithm::Matchs,
-            EipAlgorithm::Matchc,
-            EipAlgorithm::DisVf2,
-        ] {
+        for algo in
+            [EipAlgorithm::Match, EipAlgorithm::Matchs, EipAlgorithm::Matchc, EipAlgorithm::DisVf2]
+        {
             let ev = CandidateEvaluator::new(&rules, MatchOpts::for_algorithm(algo));
             let s1 = gpar_partition::CenterSite::build(&g, c1, d);
             let o1 = ev.evaluate(&s1);

@@ -90,6 +90,27 @@ struct WorkerOut {
     elapsed: Duration,
 }
 
+/// The evaluation radius `d` for a rule set: the maximum of `r(P_R, x)`
+/// and `r(Q, x)` over Σ (§5.1). The paper states `r(P_R, x)`; we also
+/// cover `r(Q, x)`, which can exceed it — the consequent edge shortens
+/// paths in `P_R` (e.g. Q1's `y` sits 2 hops from `x` in `Q` but only 1
+/// in `P_R`), yet EIP must evaluate *antecedent* membership. Components
+/// of `Q` that `x` cannot reach have unbounded radius and are matched
+/// within the d-ball (the locality boundary; see the gpar-partition
+/// docs). Shared with `gpar-serve`'s candidate index so serving and
+/// one-shot evaluation can never diverge on `d`.
+pub fn derive_radius(sigma: &[Gpar]) -> u32 {
+    sigma
+        .iter()
+        .map(|r| {
+            let pr = r.radius().unwrap_or(1);
+            let q = r.antecedent().radius().unwrap_or(pr);
+            pr.max(q)
+        })
+        .max()
+        .unwrap_or(1)
+}
+
 /// Computes `Σ(x, G, η)` with the configured algorithm. This is exact for
 /// every variant (Theorem 6's `Matchc` is exact; the optimizations only
 /// change the work per candidate), so all four algorithms return identical
@@ -102,23 +123,7 @@ pub fn identify(g: &Graph, sigma: &[Gpar], config: &EipConfig) -> Result<EipResu
         return Err(EipError::MixedPredicates);
     }
     let pred = *first.predicate();
-    // d = max radius over Σ (§5.1). The paper states r(P_R, x); we also
-    // cover r(Q, x), which can exceed it — the consequent edge shortens
-    // paths in P_R (e.g. Q1's y sits 2 hops from x in Q but only 1 in
-    // P_R), yet EIP must evaluate *antecedent* membership. Components of
-    // Q that x cannot reach have unbounded radius and are matched within
-    // the d-ball (the locality boundary; see the gpar-partition docs).
-    let d = config.d.unwrap_or_else(|| {
-        sigma
-            .iter()
-            .map(|r| {
-                let pr = r.radius().unwrap_or(1);
-                let q = r.antecedent().radius().unwrap_or(pr);
-                pr.max(q)
-            })
-            .max()
-            .unwrap_or(1)
-    });
+    let d = config.d.unwrap_or_else(|| derive_radius(sigma));
 
     // Step 1: candidates L = nodes satisfying x's search condition,
     // partitioned with their d-neighborhoods.
@@ -214,9 +219,8 @@ pub fn identify(g: &Graph, sigma: &[Gpar], config: &EipConfig) -> Result<EipResu
         })
         .collect();
 
-    let coordinator_time = gpar_graph::thread_cpu_time()
-        .saturating_sub(cpu0)
-        .saturating_sub(partition_time);
+    let coordinator_time =
+        gpar_graph::thread_cpu_time().saturating_sub(cpu0).saturating_sub(partition_time);
     Ok(EipResult {
         customers,
         per_rule,
@@ -310,17 +314,11 @@ mod tests {
         .unwrap();
         for algo in [EipAlgorithm::Match, EipAlgorithm::Matchs, EipAlgorithm::Matchc] {
             for workers in [1, 3, 5] {
-                let res = identify(
-                    &g,
-                    &sigma,
-                    &EipConfig { eta: 0.5, ..EipConfig::new(algo, workers) },
-                )
-                .unwrap();
+                let res =
+                    identify(&g, &sigma, &EipConfig { eta: 0.5, ..EipConfig::new(algo, workers) })
+                        .unwrap();
                 assert_eq!(res.customers, baseline.customers, "{algo:?}/{workers}");
-                assert_eq!(
-                    res.per_rule[0].stats, baseline.per_rule[0].stats,
-                    "{algo:?}/{workers}"
-                );
+                assert_eq!(res.per_rule[0].stats, baseline.per_rule[0].stats, "{algo:?}/{workers}");
             }
         }
     }

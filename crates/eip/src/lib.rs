@@ -29,6 +29,6 @@ pub mod eval;
 pub mod identify;
 pub mod options;
 
-pub use eval::{CandidateEvaluator, SharingPlan};
-pub use identify::{identify, EipError, EipResult, RuleOutcome};
+pub use eval::{antecedent_sketches, CandidateEvaluator, SharingPlan};
+pub use identify::{derive_radius, identify, EipError, EipResult, RuleOutcome};
 pub use options::{EipAlgorithm, EipConfig, MatchOpts};

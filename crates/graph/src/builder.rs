@@ -29,11 +29,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder over a shared vocabulary.
     pub fn new(vocab: Arc<Vocab>) -> Self {
-        Self {
-            vocab,
-            node_labels: Vec::new(),
-            edges: Vec::new(),
-        }
+        Self { vocab, node_labels: Vec::new(), edges: Vec::new() }
     }
 
     /// Creates a builder with a fresh private vocabulary.

@@ -5,7 +5,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A node identifier, dense in `0..graph.node_count()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -25,7 +25,7 @@ impl fmt::Display for NodeId {
 /// A half-edge as stored in an adjacency slice: the edge label plus the
 /// other endpoint. Ordering is `(label, endpoint)` so that all edges with a
 /// given label form a contiguous, binary-searchable run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Edge {
     /// Edge label (e.g. `friend`, `like`, `visit`).
     pub label: Label,
@@ -47,19 +47,14 @@ pub struct Edge {
 /// Parallel edges with identical `(src, dst, label)` are deduplicated at
 /// build time (the paper's `E ⊆ V × V` is a set); parallel edges with
 /// *different* labels are kept, as in property graphs.
-#[derive(Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Clone)]
 pub struct Graph {
     pub(crate) node_labels: Vec<Label>,
     pub(crate) out_offsets: Vec<u32>,
     pub(crate) out_adj: Vec<Edge>,
     pub(crate) in_offsets: Vec<u32>,
     pub(crate) in_adj: Vec<Edge>,
-    #[serde(skip, default = "default_vocab")]
     pub(crate) vocab: Arc<Vocab>,
-}
-
-fn default_vocab() -> Arc<Vocab> {
-    Vocab::new()
 }
 
 impl Graph {
@@ -147,9 +142,7 @@ impl Graph {
 
     /// Whether the directed edge `(src, dst)` with `label` exists.
     pub fn has_edge(&self, src: NodeId, dst: NodeId, label: Label) -> bool {
-        self.out_edges(src)
-            .binary_search(&Edge { label, node: dst })
-            .is_ok()
+        self.out_edges(src).binary_search(&Edge { label, node: dst }).is_ok()
     }
 
     /// Whether `v` has at least one out-edge labeled `label` — the paper's

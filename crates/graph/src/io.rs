@@ -1,4 +1,7 @@
-//! A minimal line-oriented text format for labeled graphs.
+//! Graph serialization: a line-oriented text format and a compact binary
+//! codec.
+//!
+//! # Text format
 //!
 //! ```text
 //! # comment / blank lines ignored
@@ -8,9 +11,26 @@
 //!
 //! Node ids must be dense `0..n` but may appear in any order. Labels are
 //! whitespace-free tokens (use `_` in place of spaces).
+//!
+//! # Binary format
+//!
+//! [`write_graph_binary`] / [`read_graph_binary`] implement the compact
+//! codec the serving layer persists catalogs and graphs with (see
+//! `gpar-serve`). Layout (all integers LEB128 varints, see [`bin`]):
+//!
+//! ```text
+//! magic  "GPARG01\n"
+//! label table   count, then (len, utf8-bytes) per label
+//! nodes         count, then a label-table index per node
+//! edges         per node: out-degree, then (label-index, dst) per edge
+//! ```
+//!
+//! The label table localizes labels so the format is self-contained:
+//! reading interns every referenced string into the destination [`Vocab`],
+//! which need not be the vocabulary the graph was written with.
 
 use crate::graph::{Graph, NodeId};
-use crate::label::Vocab;
+use crate::label::{Label, Vocab};
 use crate::GraphBuilder;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -45,8 +65,12 @@ impl From<std::io::Error> for ParseError {
 /// Reads a graph in the text format from `reader`, interning labels into
 /// `vocab`.
 pub fn read_graph(reader: impl Read, vocab: Arc<Vocab>) -> Result<Graph, ParseError> {
+    // Holes created by an out-of-order declaration remember the line that
+    // implied them (`implied_at`), so "never declared" diagnostics can
+    // point at a real line instead of the historic `line 0`.
     let mut nodes: Vec<Option<crate::Label>> = Vec::new();
-    let mut edges: Vec<(u32, u32, crate::Label)> = Vec::new();
+    let mut implied_at: Vec<usize> = Vec::new();
+    let mut edges: Vec<(u32, u32, crate::Label, usize)> = Vec::new();
     let buf = BufReader::new(reader);
     for (lineno, line) in buf.lines().enumerate() {
         let line = line?;
@@ -64,11 +88,10 @@ pub fn read_graph(reader: impl Read, vocab: Arc<Vocab>) -> Result<Graph, ParseEr
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| malformed("expected `v <id> <label>`"))?;
-                let label = it
-                    .next()
-                    .ok_or_else(|| malformed("expected `v <id> <label>`"))?;
+                let label = it.next().ok_or_else(|| malformed("expected `v <id> <label>`"))?;
                 if id >= nodes.len() {
                     nodes.resize(id + 1, None);
+                    implied_at.resize(id + 1, lineno);
                 }
                 if nodes[id].is_some() {
                     return Err(malformed(&format!("duplicate node id {id}")));
@@ -84,25 +107,29 @@ pub fn read_graph(reader: impl Read, vocab: Arc<Vocab>) -> Result<Graph, ParseEr
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| malformed("expected `e <src> <dst> <label>`"))?;
-                let label = it
-                    .next()
-                    .ok_or_else(|| malformed("expected `e <src> <dst> <label>`"))?;
-                edges.push((src, dst, vocab.intern(label)));
+                let label =
+                    it.next().ok_or_else(|| malformed("expected `e <src> <dst> <label>`"))?;
+                edges.push((src, dst, vocab.intern(label), lineno));
             }
             other => return Err(malformed(&format!("unknown record kind `{other}`"))),
         }
     }
     let mut b = GraphBuilder::new(vocab);
     b.reserve(nodes.len(), edges.len());
-    for (i, l) in nodes.into_iter().enumerate() {
-        let l = l.ok_or_else(|| ParseError::Malformed(0, format!("node id {i} never declared")))?;
+    for (i, slot) in nodes.into_iter().enumerate() {
+        let l = slot.ok_or_else(|| {
+            ParseError::Malformed(
+                implied_at[i],
+                format!("node id {i} never declared (implied by this line's node id)"),
+            )
+        })?;
         b.add_node(l);
     }
-    for (s, d, l) in edges {
+    for (s, d, l, lineno) in edges {
         let n = b.node_count() as u32;
         if s >= n || d >= n {
             return Err(ParseError::Malformed(
-                0,
+                lineno,
                 format!("edge ({s},{d}) references undeclared node"),
             ));
         }
@@ -125,6 +152,280 @@ pub fn write_graph(g: &Graph, mut w: impl Write) -> std::io::Result<()> {
         }
     }
     w.write_all(out.as_bytes())
+}
+
+/// Shared binary-codec primitives: LEB128 varints, length-prefixed
+/// strings, magic headers and the [`BinError`](bin::BinError) type.
+/// Used by this module, `gpar-pattern`'s pattern codec and `gpar-serve`'s
+/// catalog codec.
+pub mod bin {
+    use std::io::{Read, Write};
+
+    /// Errors produced by the binary codecs.
+    #[derive(Debug)]
+    pub enum BinError {
+        /// Underlying I/O failure (including unexpected EOF).
+        Io(std::io::Error),
+        /// The stream does not start with the expected magic.
+        BadMagic {
+            /// The magic the codec expected.
+            expected: &'static [u8; 8],
+            /// What the stream contained.
+            found: [u8; 8],
+        },
+        /// Structurally invalid content (out-of-range index, bad UTF-8,
+        /// oversized varint, …).
+        Malformed(String),
+    }
+
+    impl std::fmt::Display for BinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                BinError::Io(e) => write!(f, "i/o error: {e}"),
+                BinError::BadMagic { expected, found } => write!(
+                    f,
+                    "bad magic: expected {:?}, found {:?}",
+                    String::from_utf8_lossy(&expected[..]),
+                    String::from_utf8_lossy(&found[..]),
+                ),
+                BinError::Malformed(msg) => write!(f, "malformed binary data: {msg}"),
+            }
+        }
+    }
+
+    impl std::error::Error for BinError {}
+
+    impl From<std::io::Error> for BinError {
+        fn from(e: std::io::Error) -> Self {
+            BinError::Io(e)
+        }
+    }
+
+    /// Writes the 8-byte magic header.
+    pub fn write_magic(w: &mut impl Write, magic: &'static [u8; 8]) -> Result<(), BinError> {
+        w.write_all(magic)?;
+        Ok(())
+    }
+
+    /// Reads and checks the 8-byte magic header.
+    pub fn read_magic(r: &mut impl Read, magic: &'static [u8; 8]) -> Result<(), BinError> {
+        let mut found = [0u8; 8];
+        r.read_exact(&mut found)?;
+        if &found != magic {
+            return Err(BinError::BadMagic { expected: magic, found });
+        }
+        Ok(())
+    }
+
+    /// Writes `v` as an LEB128 varint (1–10 bytes).
+    pub fn write_uvarint(w: &mut impl Write, mut v: u64) -> Result<(), BinError> {
+        let mut buf = [0u8; 10];
+        let mut i = 0;
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                buf[i] = byte;
+                i += 1;
+                break;
+            }
+            buf[i] = byte | 0x80;
+            i += 1;
+        }
+        w.write_all(&buf[..i])?;
+        Ok(())
+    }
+
+    /// Reads an LEB128 varint, rejecting encodings longer than 10 bytes.
+    pub fn read_uvarint(r: &mut impl Read) -> Result<u64, BinError> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            r.read_exact(&mut byte)?;
+            let b = byte[0];
+            if shift == 63 && b > 1 {
+                return Err(BinError::Malformed("varint overflows u64".into()));
+            }
+            out |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(BinError::Malformed("varint longer than 10 bytes".into()));
+            }
+        }
+    }
+
+    /// Reads a varint and narrows it to `usize`, checking `limit` (a
+    /// sanity bound that keeps corrupted counts from causing huge
+    /// allocations).
+    pub fn read_count(r: &mut impl Read, limit: u64, what: &str) -> Result<usize, BinError> {
+        let v = read_uvarint(r)?;
+        if v > limit {
+            return Err(BinError::Malformed(format!(
+                "{what} count {v} exceeds sanity limit {limit}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_str(w: &mut impl Write, s: &str) -> Result<(), BinError> {
+        write_uvarint(w, s.len() as u64)?;
+        w.write_all(s.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a length-prefixed UTF-8 string (≤ 16 MiB).
+    pub fn read_str(r: &mut impl Read) -> Result<String, BinError> {
+        let len = read_count(r, 16 << 20, "string byte")?;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| BinError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// Writes a label table (the distinct strings of `labels`, in order)
+    /// and returns nothing; the caller guarantees `labels[i]` is the
+    /// string for local label index `i`.
+    pub fn write_label_table(
+        w: &mut impl Write,
+        labels: &[std::sync::Arc<str>],
+    ) -> Result<(), BinError> {
+        write_uvarint(w, labels.len() as u64)?;
+        for l in labels {
+            write_str(w, l)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a label table, interning every string into `vocab`; returns
+    /// the local-index → [`crate::Label`] mapping.
+    pub fn read_label_table(
+        r: &mut impl Read,
+        vocab: &crate::label::Vocab,
+    ) -> Result<Vec<crate::label::Label>, BinError> {
+        let n = read_count(r, 1 << 24, "label")?;
+        let mut out = Vec::with_capacity(n.min(PREALLOC_CAP));
+        for _ in 0..n {
+            out.push(vocab.intern(&read_str(r)?));
+        }
+        Ok(out)
+    }
+
+    /// Cap on speculative pre-allocation from untrusted counts: a
+    /// corrupted count can claim billions of elements, but the stream
+    /// backing it would fail long before — so readers reserve at most
+    /// this many slots up front and let `Vec` growth handle honest
+    /// larger inputs.
+    pub const PREALLOC_CAP: usize = 1 << 20;
+
+    /// Accumulates the distinct labels a writer references, assigning
+    /// dense local indices; pair with [`write_label_table`]. Shared by
+    /// the graph and pattern codecs so the two table layouts cannot
+    /// diverge.
+    #[derive(Default)]
+    pub struct LabelTable {
+        strings: Vec<std::sync::Arc<str>>,
+        index: rustc_hash::FxHashMap<crate::label::Label, u64>,
+    }
+
+    impl LabelTable {
+        /// Returns `l`'s local index, assigning the next one (and
+        /// resolving its string through `vocab`) on first sight.
+        pub fn intern(&mut self, l: crate::label::Label, vocab: &crate::label::Vocab) -> u64 {
+            *self.index.entry(l).or_insert_with(|| {
+                self.strings.push(vocab.resolve(l));
+                (self.strings.len() - 1) as u64
+            })
+        }
+
+        /// The local index of an already-interned label.
+        ///
+        /// # Panics
+        /// Panics if `l` was never interned (a writer bug).
+        pub fn index_of(&self, l: crate::label::Label) -> u64 {
+            self.index[&l]
+        }
+
+        /// The table strings, in local-index order.
+        pub fn strings(&self) -> &[std::sync::Arc<str>] {
+            &self.strings
+        }
+    }
+}
+
+use bin::BinError;
+
+/// Magic header of the binary graph format.
+pub const GRAPH_MAGIC: &[u8; 8] = b"GPARG01\n";
+
+/// Writes `g` in the compact binary format.
+pub fn write_graph_binary(g: &Graph, mut w: impl Write) -> Result<(), BinError> {
+    let w = &mut w;
+    bin::write_magic(w, GRAPH_MAGIC)?;
+    let mut table = bin::LabelTable::default();
+    for v in g.nodes() {
+        table.intern(g.node_label(v), g.vocab());
+    }
+    for v in g.nodes() {
+        for e in g.out_edges(v) {
+            table.intern(e.label, g.vocab());
+        }
+    }
+    bin::write_label_table(w, table.strings())?;
+    bin::write_uvarint(w, g.node_count() as u64)?;
+    for v in g.nodes() {
+        bin::write_uvarint(w, table.index_of(g.node_label(v)))?;
+    }
+    for v in g.nodes() {
+        let out = g.out_edges(v);
+        bin::write_uvarint(w, out.len() as u64)?;
+        for e in out {
+            bin::write_uvarint(w, table.index_of(e.label))?;
+            bin::write_uvarint(w, e.node.0 as u64)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a graph in the compact binary format, interning labels into
+/// `vocab`.
+pub fn read_graph_binary(mut r: impl Read, vocab: Arc<Vocab>) -> Result<Graph, BinError> {
+    let r = &mut r;
+    bin::read_magic(r, GRAPH_MAGIC)?;
+    let table = bin::read_label_table(r, &vocab)?;
+    let label_at = |i: usize| -> Result<Label, BinError> {
+        table
+            .get(i)
+            .copied()
+            .ok_or_else(|| BinError::Malformed(format!("label index {i} out of range")))
+    };
+    let n_nodes = bin::read_count(r, u32::MAX as u64, "node")?;
+    let mut b = GraphBuilder::new(vocab);
+    // Reserve from the untrusted count only up to a cap: a corrupted
+    // 20-byte stream may claim u32::MAX nodes, and pre-allocating that
+    // would abort before the EOF error surfaces.
+    b.reserve(n_nodes.min(bin::PREALLOC_CAP), 0);
+    for _ in 0..n_nodes {
+        let li = bin::read_count(r, 1 << 24, "label index")?;
+        b.add_node(label_at(li)?);
+    }
+    for v in 0..n_nodes {
+        let deg = bin::read_count(r, u32::MAX as u64, "edge")?;
+        for _ in 0..deg {
+            let li = bin::read_count(r, 1 << 24, "label index")?;
+            let dst = bin::read_uvarint(r)?;
+            if dst >= n_nodes as u64 {
+                return Err(BinError::Malformed(format!(
+                    "edge ({v},{dst}) references node out of range (|V| = {n_nodes})"
+                )));
+            }
+            b.add_edge(NodeId(v as u32), NodeId(dst as u32), label_at(li)?);
+        }
+    }
+    Ok(b.build())
 }
 
 #[cfg(test)]
@@ -168,8 +469,103 @@ e 0 2 friend
     }
 
     #[test]
+    fn dangling_edge_reports_its_own_line() {
+        let text = "v 0 a\nv 1 b\n# comment\ne 0 1 x\ne 0 7 x\n";
+        let err = read_graph(text.as_bytes(), Vocab::new()).unwrap_err();
+        match err {
+            ParseError::Malformed(line, msg) => {
+                assert_eq!(line, 5, "{msg}");
+                assert!(msg.contains("(0,7)"), "{msg}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_node_reports_the_implying_line() {
+        // `v 3` on line 2 implies ids 0..3 exist; id 1 is filled on line 3,
+        // ids 0 and 2 never are — the error must point at line 2.
+        let text = "# heading\nv 3 a\nv 1 b\n";
+        let err = read_graph(text.as_bytes(), Vocab::new()).unwrap_err();
+        match err {
+            ParseError::Malformed(line, msg) => {
+                assert_eq!(line, 2, "{msg}");
+                assert!(msg.contains("never declared"), "{msg}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_unknown_record() {
         let err = read_graph("x 1 2\n".as_bytes(), Vocab::new()).unwrap_err();
         assert!(err.to_string().contains("unknown record"));
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_structure_and_labels() {
+        let text = "v 0 cust\nv 1 shop\nv 2 cust\ne 0 1 visit\ne 2 1 visit\ne 0 2 friend\n";
+        let g = read_graph(text.as_bytes(), Vocab::new()).unwrap();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        // Well under the text size for this shape, and self-contained.
+        assert!(buf.len() < text.len(), "binary ({}) should beat text ({})", buf.len(), text.len());
+        let fresh = Vocab::new();
+        let g2 = read_graph_binary(buf.as_slice(), fresh.clone()).unwrap();
+        assert_eq!(g2.node_count(), 3);
+        assert_eq!(g2.edge_count(), 3);
+        let visit = fresh.get("visit").unwrap();
+        let friend = fresh.get("friend").unwrap();
+        assert!(g2.has_edge(NodeId(0), NodeId(1), visit));
+        assert!(g2.has_edge(NodeId(2), NodeId(1), visit));
+        assert!(g2.has_edge(NodeId(0), NodeId(2), friend));
+        assert_eq!(fresh.resolve(g2.node_label(NodeId(1))).as_ref(), "shop");
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_truncation_and_ranges() {
+        let g = read_graph("v 0 a\nv 1 b\ne 0 1 x\n".as_bytes(), Vocab::new()).unwrap();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            read_graph_binary(bad.as_slice(), Vocab::new()).unwrap_err(),
+            BinError::BadMagic { .. }
+        ));
+
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..buf.len() {
+            assert!(read_graph_binary(&buf[..cut], Vocab::new()).is_err(), "cut {cut}");
+        }
+
+        // Out-of-range destination node: the stream ends with node 0's
+        // single edge (label-idx, dst) followed by node 1's degree 0 —
+        // corrupt the dst varint (second-to-last byte).
+        let mut oor = buf.clone();
+        let n = oor.len();
+        oor[n - 2] = 0x55; // dst = 85 with |V| = 2
+        assert!(matches!(
+            read_graph_binary(oor.as_slice(), Vocab::new()).unwrap_err(),
+            BinError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn varints_roundtrip_and_reject_overflow() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            bin::write_uvarint(&mut buf, v).unwrap();
+            assert_eq!(bin::read_uvarint(&mut buf.as_slice()).unwrap(), v);
+        }
+        // 11-byte encoding must be rejected.
+        let long = [0x80u8; 11];
+        assert!(bin::read_uvarint(&mut long.as_slice()).is_err());
+        // 10-byte encoding with overflow bits set must be rejected.
+        let mut of = [0xffu8; 10];
+        of[9] = 0x02;
+        assert!(bin::read_uvarint(&mut of.as_slice()).is_err());
     }
 }

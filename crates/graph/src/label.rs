@@ -17,7 +17,7 @@ use std::sync::Arc;
 /// graphs, patterns and fragments participating in one mining task must share
 /// a single vocabulary (they do automatically when built through the same
 /// [`crate::GraphBuilder`] / generator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label(pub u32);
 
 impl Label {

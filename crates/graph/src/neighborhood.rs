@@ -27,8 +27,8 @@ pub fn bfs_layers(g: &Graph, start: NodeId, max_depth: u32) -> Vec<(NodeId, u32)
             continue;
         }
         for e in g.out_edges(v).iter().chain(g.in_edges(v)) {
-            if !seen.contains_key(&e.node) {
-                seen.insert(e.node, depth + 1);
+            if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(e.node) {
+                slot.insert(depth + 1);
                 order.push((e.node, depth + 1));
                 queue.push_back((e.node, depth + 1));
             }
@@ -47,10 +47,7 @@ pub fn ball(g: &Graph, v: NodeId, r: u32) -> Vec<NodeId> {
 
 /// Undirected distance between two nodes, if connected within `max_depth`.
 pub fn undirected_distance(g: &Graph, a: NodeId, b: NodeId, max_depth: u32) -> Option<u32> {
-    bfs_layers(g, a, max_depth)
-        .into_iter()
-        .find(|&(n, _)| n == b)
-        .map(|(_, d)| d)
+    bfs_layers(g, a, max_depth).into_iter().find(|&(n, _)| n == b).map(|(_, d)| d)
 }
 
 /// A subgraph extracted from a parent graph, with the mapping back to
@@ -91,9 +88,8 @@ pub fn extract_induced(g: &Graph, nodes: &[NodeId]) -> Extracted {
     let mut to_global = Vec::with_capacity(nodes.len());
     let mut b = GraphBuilder::new(g.vocab().clone());
     for &v in nodes {
-        if !to_local.contains_key(&v) {
-            let local = b.add_node(g.node_label(v));
-            to_local.insert(v, local);
+        if let std::collections::hash_map::Entry::Vacant(slot) = to_local.entry(v) {
+            slot.insert(b.add_node(g.node_label(v)));
             to_global.push(v);
         }
     }
@@ -104,11 +100,7 @@ pub fn extract_induced(g: &Graph, nodes: &[NodeId]) -> Extracted {
             }
         }
     }
-    Extracted {
-        graph: b.build(),
-        to_global,
-        to_local,
-    }
+    Extracted { graph: b.build(), to_global, to_local }
 }
 
 /// Extracts `G_d(v_x)`: the subgraph induced by `N_d(v_x)`, together with

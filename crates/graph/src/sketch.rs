@@ -19,7 +19,7 @@ use crate::neighborhood::bfs_layers;
 use rustc_hash::FxHashMap;
 
 /// A cumulative k-hop label-frequency sketch.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sketch {
     /// `layers[i]` holds label counts within `i+1` hops, sorted by label.
     layers: Vec<Vec<(Label, u32)>>,
@@ -118,10 +118,7 @@ pub struct SketchIndex {
 impl SketchIndex {
     /// Builds sketches for `nodes` (typically the candidate centers `L`).
     pub fn build_for(g: &Graph, nodes: impl IntoIterator<Item = NodeId>, k: u32) -> Self {
-        let sketches = nodes
-            .into_iter()
-            .map(|v| (v, Sketch::build(g, v, k)))
-            .collect();
+        let sketches = nodes.into_iter().map(|v| (v, Sketch::build(g, v, k))).collect();
         Self { k, sketches }
     }
 

@@ -38,6 +38,7 @@ pub fn brute_force_images(p: &Pattern, g: &Graph, u: PNodeId) -> FxHashSet<NodeI
     let mut map: Vec<NodeId> = vec![NodeId(0); n];
     let mut used = vec![false; nodes.len()];
 
+    #[allow(clippy::too_many_arguments)] // explicit DFS state, kept flat on purpose
     fn rec(
         p: &Pattern,
         g: &Graph,

@@ -188,9 +188,7 @@ impl<'g> Matcher<'g> {
         u: PNodeId,
         candidates: impl Iterator<Item = NodeId>,
     ) -> FxHashSet<NodeId> {
-        candidates
-            .filter(|&v| self.exists_anchored(p, u, v))
-            .collect()
+        candidates.filter(|&v| self.exists_anchored(p, u, v)).collect()
     }
 
     /// `Q(u, G)` computed by *full enumeration per candidate* — the cost
@@ -257,11 +255,8 @@ impl<'g> Matcher<'g> {
         // Degree-first static orders help both the degree-ordered engine
         // and guided search (sketch ranking then refines within a step).
         let order = visit_order(p, u, self.cfg.kind != EngineKind::Vf2);
-        let psketches = if self.cfg.kind == EngineKind::Guided {
-            Some(self.pattern_sketches(p))
-        } else {
-            None
-        };
+        let psketches =
+            if self.cfg.kind == EngineKind::Guided { Some(self.pattern_sketches(p)) } else { None };
         if let Some(ps) = &psketches {
             if self.cfg.sketch_prune && !self.data_sketch_covers(v, &ps[u.index()]) {
                 return;
@@ -302,9 +297,7 @@ impl<'g> Matcher<'g> {
             return hit.clone();
         }
         let built = std::rc::Rc::new(
-            p.nodes()
-                .map(|pu| pattern_sketch(p, pu, self.cfg.sketch_k))
-                .collect::<Vec<_>>(),
+            p.nodes().map(|pu| pattern_sketch(p, pu, self.cfg.sketch_k)).collect::<Vec<_>>(),
         );
         self.pattern_cache.borrow_mut().insert(key, built.clone());
         built
@@ -347,7 +340,7 @@ impl<'g> Matcher<'g> {
     fn gen_candidates(&self, p: &Pattern, u: PNodeId, st: &SearchState) -> Vec<NodeId> {
         let mut best: Option<Vec<NodeId>> = None;
         let mut consider = |list: Vec<NodeId>| {
-            if best.as_ref().map_or(true, |b| list.len() < b.len()) {
+            if best.as_ref().is_none_or(|b| list.len() < b.len()) {
                 best = Some(list);
             }
         };
@@ -621,11 +614,7 @@ mod tests {
     }
 
     fn all_engines() -> Vec<MatcherConfig> {
-        vec![
-            MatcherConfig::vf2(),
-            MatcherConfig::degree_ordered(),
-            MatcherConfig::guided(),
-        ]
+        vec![MatcherConfig::vf2(), MatcherConfig::degree_ordered(), MatcherConfig::guided()]
     }
 
     #[test]

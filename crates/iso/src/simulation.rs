@@ -16,7 +16,7 @@
 //! Simulation", PVLDB 2014 [15]).
 
 use gpar_graph::{FxHashSet, Graph, NodeId};
-use gpar_pattern::{EdgeCond, PNodeId, Pattern};
+use gpar_pattern::{EdgeCond, Pattern};
 
 /// Computes the maximal dual-simulation relation of `p` over `g`,
 /// returned as one match set per pattern node (`sim[u]` = data nodes that
@@ -25,23 +25,18 @@ pub fn dual_simulation(p: &Pattern, g: &Graph) -> Vec<FxHashSet<NodeId>> {
     let mut sim: Vec<FxHashSet<NodeId>> = p
         .nodes()
         .map(|u| {
-            g.nodes()
-                .filter(|&v| p.cond(u).matches(g.node_label(v)))
-                .collect::<FxHashSet<NodeId>>()
+            g.nodes().filter(|&v| p.cond(u).matches(g.node_label(v))).collect::<FxHashSet<NodeId>>()
         })
         .collect();
 
-    let can_follow_out = |g: &Graph, v: NodeId, cond: EdgeCond, tgt: &FxHashSet<NodeId>| {
-        match cond {
-            EdgeCond::Label(l) => g.out_edges_labeled(v, l).iter().any(|e| tgt.contains(&e.node)),
-            EdgeCond::Any => g.out_edges(v).iter().any(|e| tgt.contains(&e.node)),
-        }
+    let can_follow_out = |g: &Graph, v: NodeId, cond: EdgeCond, tgt: &FxHashSet<NodeId>| match cond
+    {
+        EdgeCond::Label(l) => g.out_edges_labeled(v, l).iter().any(|e| tgt.contains(&e.node)),
+        EdgeCond::Any => g.out_edges(v).iter().any(|e| tgt.contains(&e.node)),
     };
-    let can_follow_in = |g: &Graph, v: NodeId, cond: EdgeCond, src: &FxHashSet<NodeId>| {
-        match cond {
-            EdgeCond::Label(l) => g.in_edges_labeled(v, l).iter().any(|e| src.contains(&e.node)),
-            EdgeCond::Any => g.in_edges(v).iter().any(|e| src.contains(&e.node)),
-        }
+    let can_follow_in = |g: &Graph, v: NodeId, cond: EdgeCond, src: &FxHashSet<NodeId>| match cond {
+        EdgeCond::Label(l) => g.in_edges_labeled(v, l).iter().any(|e| src.contains(&e.node)),
+        EdgeCond::Any => g.in_edges(v).iter().any(|e| src.contains(&e.node)),
     };
 
     // Naive refinement to fixpoint; pattern sizes make this cheap and the
@@ -53,11 +48,12 @@ pub fn dual_simulation(p: &Pattern, g: &Graph) -> Vec<FxHashSet<NodeId>> {
                 .iter()
                 .copied()
                 .filter(|&v| {
-                    p.out(u).iter().all(|&(dst, cond)| {
-                        can_follow_out(g, v, cond, &sim[dst.index()])
-                    }) && p.inn(u).iter().all(|&(src, cond)| {
-                        can_follow_in(g, v, cond, &sim[src.index()])
-                    })
+                    p.out(u)
+                        .iter()
+                        .all(|&(dst, cond)| can_follow_out(g, v, cond, &sim[dst.index()]))
+                        && p.inn(u)
+                            .iter()
+                            .all(|&(src, cond)| can_follow_in(g, v, cond, &sim[src.index()]))
                 })
                 .collect();
             if keep.len() != sim[u.index()].len() {

@@ -4,7 +4,7 @@ use crate::incdiv::IncDiv;
 use crate::messages::{LocalConf, MinedRule};
 use crate::reduction::{apply_reduction, ReductionStats};
 use crate::worker::{ClassifiedSite, GeneratedTemplates, MineWorker};
-use gpar_core::{q_stats, Confidence, ConfStats, DiversifyParams, Gpar, LcwaClass, Predicate};
+use gpar_core::{q_stats, ConfStats, Confidence, DiversifyParams, Gpar, LcwaClass, Predicate};
 use gpar_graph::{FxHashMap, Graph, NodeId};
 use gpar_iso::MatcherConfig;
 use gpar_partition::{partition_sites, CenterSite, PartitionStrategy};
@@ -156,19 +156,23 @@ impl MineResult {
     /// section of DESIGN.md: on a single-core host this is the faithful
     /// reading of the paper's per-round cost `t(|G|/n, k, |Σ|)`.
     pub fn simulated_parallel_time(&self) -> Duration {
-        let n = self
-            .round_worker_times
-            .iter()
-            .map(|r| r.len())
-            .max()
-            .unwrap_or(1)
-            .max(1) as u32;
+        let n = self.round_worker_times.iter().map(|r| r.len()).max().unwrap_or(1).max(1) as u32;
         let critical: Duration = self
             .round_worker_times
             .iter()
             .map(|r| r.iter().max().copied().unwrap_or_default())
             .sum();
         self.partition_time / n + critical + self.coordinator_time
+    }
+
+    /// The retained rule set Σ deduplicated by canonical code of `P_R`,
+    /// in discovery order — the export surface a serving catalog ingests
+    /// (`gpar-serve`'s `RuleCatalog::from_mine_result`). Σ is normally
+    /// already duplicate-free (the coordinator groups automorphic rules),
+    /// so this is a cheap safety net for merged results.
+    pub fn unique_sigma(&self) -> Vec<&MinedRule> {
+        let mut seen: gpar_graph::FxHashSet<CanonicalCode> = Default::default();
+        self.sigma.iter().filter(|r| seen.insert(r.rule.pr().canonical_code())).collect()
     }
 }
 
@@ -205,11 +209,7 @@ impl DMine {
     /// predicates and iteratively mines GPARs for each distinct one").
     pub fn run_multi(&self, g: &Graph, preds: &[Predicate]) -> Vec<(Predicate, MineResult)> {
         let mut seen = gpar_graph::FxHashSet::default();
-        preds
-            .iter()
-            .filter(|p| seen.insert(**p))
-            .map(|p| (*p, self.run(g, p)))
-            .collect()
+        preds.iter().filter(|p| seen.insert(**p)).map(|p| (*p, self.run(g, p))).collect()
     }
 
     /// Mines without a user-given predicate (§4.2 Remarks (2)): collects
@@ -245,7 +245,11 @@ impl DMine {
         centers.extend(qs.negatives.iter().copied());
         centers.sort_unstable();
         let class_of = |c: NodeId| {
-            if qs.positives.contains(&c) { LcwaClass::Positive } else { LcwaClass::Negative }
+            if qs.positives.contains(&c) {
+                LcwaClass::Positive
+            } else {
+                LcwaClass::Negative
+            }
         };
         let cpu_pre_part = gpar_graph::thread_cpu_time();
         let assignments = partition_sites(g, &centers, cfg.d, cfg.workers, cfg.strategy);
@@ -271,8 +275,7 @@ impl DMine {
 
         let params =
             DiversifyParams::new(cfg.lambda, cfg.k, qs.supp_q() as f64 * qs.supp_qbar() as f64);
-        let mut result =
-            self.coordinate(g, pred, workers, params, qs.supp_q(), qs.supp_qbar());
+        let mut result = self.coordinate(g, pred, workers, params, qs.supp_q(), qs.supp_qbar());
         result.partition_time = partition_time;
         result.elapsed = t_run.elapsed();
         result
@@ -504,12 +507,8 @@ impl DMine {
         let top_idx = inc.top_k(&rules);
         let top_k: Vec<MinedRule> = top_idx.iter().map(|&i| rules[i].clone()).collect();
         let sigma_size = alive.iter().filter(|&&a| a).count();
-        let sigma: Vec<MinedRule> = rules
-            .iter()
-            .zip(&alive)
-            .filter(|&(_, &a)| a)
-            .map(|(r, _)| r.clone())
-            .collect();
+        let sigma: Vec<MinedRule> =
+            rules.iter().zip(&alive).filter(|&(_, &a)| a).map(|(r, _)| r.clone()).collect();
         MineResult {
             top_k,
             sigma,
@@ -529,11 +528,8 @@ impl DMine {
 }
 
 fn finalize_objective(result: &MineResult, params: DiversifyParams) -> f64 {
-    let items: Vec<(f64, &gpar_graph::FxHashSet<NodeId>)> = result
-        .top_k
-        .iter()
-        .map(|r| (r.conf_value, r.matches.as_ref()))
-        .collect();
+    let items: Vec<(f64, &gpar_graph::FxHashSet<NodeId>)> =
+        result.top_k.iter().map(|r| (r.conf_value, r.matches.as_ref())).collect();
     gpar_core::objective_f(&params, &items)
 }
 
@@ -686,13 +682,7 @@ mod tests {
     fn worker_count_does_not_change_results() {
         let (g, pred) = restaurant_graph();
         let run = |workers: usize| {
-            let cfg = DmineConfig {
-                k: 4,
-                sigma: 2,
-                workers,
-                max_rounds: 2,
-                ..Default::default()
-            };
+            let cfg = DmineConfig { k: 4, sigma: 2, workers, max_rounds: 2, ..Default::default() };
             let mut r = DMine::new(cfg).run(&g, &pred);
             let mut codes: Vec<_> =
                 r.top_k.drain(..).map(|m| m.rule.pr().canonical_code()).collect();
@@ -733,10 +723,12 @@ mod tests {
     #[test]
     fn sigma_threshold_filters_rules() {
         let (g, pred) = restaurant_graph();
-        let lo = DMine::new(DmineConfig { sigma: 1, workers: 2, max_rounds: 2, ..Default::default() })
-            .run(&g, &pred);
-        let hi = DMine::new(DmineConfig { sigma: 10, workers: 2, max_rounds: 2, ..Default::default() })
-            .run(&g, &pred);
+        let lo =
+            DMine::new(DmineConfig { sigma: 1, workers: 2, max_rounds: 2, ..Default::default() })
+                .run(&g, &pred);
+        let hi =
+            DMine::new(DmineConfig { sigma: 10, workers: 2, max_rounds: 2, ..Default::default() })
+                .run(&g, &pred);
         assert!(hi.sigma_size <= lo.sigma_size);
         for r in &hi.top_k {
             assert!(r.support() >= 10);

@@ -162,11 +162,7 @@ mod tests {
         b.add_edge(c, f, friend);
         b.add_edge(f, r, visit);
         let g = b.build();
-        let pred = Predicate::new(
-            NodeCond::Label(cust),
-            visit,
-            NodeCond::Label(rest),
-        );
+        let pred = Predicate::new(NodeCond::Label(cust), visit, NodeCond::Label(rest));
         (g, c, pred)
     }
 
@@ -251,7 +247,8 @@ mod tests {
         let friend = vocab.get("friend").unwrap();
         let cust = vocab.get("cust").unwrap();
         // Extend seed with friend(x, x2) first.
-        let t = ExtTemplate::NewNode { at: PNodeId(0), outgoing: true, elabel: friend, nlabel: cust };
+        let t =
+            ExtTemplate::NewNode { at: PNodeId(0), outgoing: true, elabel: friend, nlabel: cust };
         let r1 = t.apply(&seed, 2).unwrap();
         // Re-proposing the same Close edge on r1 must fail to apply.
         let visit = vocab.get("visit").unwrap();

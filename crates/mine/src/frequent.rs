@@ -130,11 +130,8 @@ impl FsgMiner {
             let mut visited = 0u64;
             m.enumerate_anchored(p, p.x(), v, &mut |assignment| {
                 visited += 1;
-                let rev: FxHashMap<NodeId, PNodeId> = assignment
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &n)| (n, PNodeId(i as u32)))
-                    .collect();
+                let rev: FxHashMap<NodeId, PNodeId> =
+                    assignment.iter().enumerate().map(|(i, &n)| (n, PNodeId(i as u32))).collect();
                 for u in p.nodes() {
                     let vu = assignment[u.index()];
                     for e in g.out_edges(vu) {
@@ -218,10 +215,8 @@ mod tests {
         assert_eq!(p1.edge_count(), 1);
         assert_eq!(*s1, 15);
         // The 3-cycle must be found — GRAMI's signature output shape.
-        let cycle = result
-            .patterns
-            .iter()
-            .find(|(p, _)| p.edge_count() == 3 && p.node_count() == 3);
+        let cycle =
+            result.patterns.iter().find(|(p, _)| p.edge_count() == 3 && p.node_count() == 3);
         assert!(cycle.is_some(), "triangle motif should be frequent");
         assert_eq!(cycle.unwrap().1, 15);
     }
@@ -236,8 +231,8 @@ mod tests {
     #[test]
     fn supports_are_anti_monotonic_along_growth() {
         let g = triangles(4);
-        let result = FsgMiner::new(FsgConfig { sigma: 1, max_edges: 3, ..Default::default() })
-            .mine(&g);
+        let result =
+            FsgMiner::new(FsgConfig { sigma: 1, max_edges: 3, ..Default::default() }).mine(&g);
         // Every 2-edge pattern's support is ≤ the 1-edge pattern's support.
         let max1 = result
             .patterns

@@ -81,12 +81,11 @@ impl IncDiv {
         // Phase 1: fill.
         while self.pairs.len() < self.capacity {
             let mut best: Option<QueuedPair> = None;
-            let candidates: Vec<usize> =
-                (0..rules.len()).filter(|&i| available(self, i)).collect();
+            let candidates: Vec<usize> = (0..rules.len()).filter(|&i| available(self, i)).collect();
             for (ci, &i) in candidates.iter().enumerate() {
                 for &j in &candidates[ci + 1..] {
                     let s = self.score(rules, i, j);
-                    if best.map_or(true, |b| s > b.score) {
+                    if best.is_none_or(|b| s > b.score) {
                         best = Some(QueuedPair { a: i, b: j, score: s });
                     }
                 }
@@ -109,7 +108,7 @@ impl IncDiv {
                         continue;
                     }
                     let s = self.score(rules, i, j);
-                    if best.map_or(true, |b| s > b.score) {
+                    if best.is_none_or(|b| s > b.score) {
                         best = Some(QueuedPair { a: i, b: j, score: s });
                     }
                 }
@@ -238,10 +237,8 @@ mod tests {
         // All four rules selected (two disjoint pairs); the redundant pair
         // (0,1) has diff 0 and must not be one of the chosen *pairs*.
         for p in &inc.pairs {
-            assert!(
-                !(p.a == 0 && p.b == 1) && !(p.a == 1 && p.b == 0),
-                "redundant pair selected"
-            );
+            let redundant = (p.a, p.b) == (0, 1) || (p.a, p.b) == (1, 0);
+            assert!(!redundant, "redundant pair selected");
         }
     }
 
@@ -259,12 +256,8 @@ mod tests {
     fn odd_k_trims_to_k() {
         let params = DiversifyParams::new(0.5, 3, 1.0);
         let mut inc = IncDiv::new(params);
-        let rules = vec![
-            mk_rule(0.9, &[1]),
-            mk_rule(0.8, &[2]),
-            mk_rule(0.7, &[3]),
-            mk_rule(0.6, &[4]),
-        ];
+        let rules =
+            vec![mk_rule(0.9, &[1]), mk_rule(0.8, &[2]), mk_rule(0.7, &[3]), mk_rule(0.6, &[4])];
         inc.update(&rules, &[0, 1, 2, 3], &[true; 4]);
         assert_eq!(inc.pairs.len(), 2); // ceil(3/2)
         assert_eq!(inc.top_k(&rules).len(), 3);

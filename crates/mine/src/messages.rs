@@ -81,12 +81,8 @@ mod tests {
 
     #[test]
     fn local_conf_merges_counts_and_matches() {
-        let mut a = LocalConf {
-            supp_r: 2,
-            supp_q_qbar: 1,
-            usupp: 2,
-            matches: vec![NodeId(1), NodeId(2)],
-        };
+        let mut a =
+            LocalConf { supp_r: 2, supp_q_qbar: 1, usupp: 2, matches: vec![NodeId(1), NodeId(2)] };
         let b = LocalConf { supp_r: 1, supp_q_qbar: 0, usupp: 1, matches: vec![NodeId(7)] };
         a.merge(&b);
         assert_eq!(a.supp_r, 3);

@@ -60,10 +60,7 @@ pub fn apply_reduction(
     let div_max = 2.0 * p.lambda / (k - 1.0);
 
     loop {
-        let max_uconf = frontier
-            .iter()
-            .map(|&i| uconf_plus(&rules[i]))
-            .fold(0.0_f64, f64::max);
+        let max_uconf = frontier.iter().map(|&i| uconf_plus(&rules[i])).fold(0.0_f64, f64::max);
         let max_conf = rules
             .iter()
             .enumerate()
@@ -87,9 +84,8 @@ pub fn apply_reduction(
         let before = frontier.len();
         frontier.retain(|&i| {
             let r = &rules[i];
-            let keep =
-                r.extendable && conf_coeff * (uconf_plus(r) + max_conf) + div_max > fm;
-            keep
+
+            r.extendable && conf_coeff * (uconf_plus(r) + max_conf) + div_max > fm
         });
         if frontier.len() != before {
             stats.frontier_pruned += before - frontier.len();
@@ -118,7 +114,13 @@ mod tests {
         MinedRule {
             rule: Arc::new(seed),
             matches: Arc::new(matches.iter().map(|&i| NodeId(i)).collect()),
-            stats: ConfStats { supp_r: matches.len() as u64, supp_q_ante: 0, supp_q: 10, supp_qbar: 2, supp_q_qbar: 1 },
+            stats: ConfStats {
+                supp_r: matches.len() as u64,
+                supp_q_ante: 0,
+                supp_q: 10,
+                supp_qbar: 2,
+                supp_q_qbar: 1,
+            },
             confidence: Confidence::Value(conf),
             conf_value: conf,
             usupp,

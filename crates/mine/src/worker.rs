@@ -160,10 +160,7 @@ mod tests {
                 if class == LcwaClass::Unknown {
                     return None;
                 }
-                Some(ClassifiedSite {
-                    site: gpar_partition::CenterSite::build(&g, c, 2),
-                    class,
-                })
+                Some(ClassifiedSite { site: gpar_partition::CenterSite::build(&g, c, 2), class })
             })
             .collect();
         let w = MineWorker {
@@ -186,11 +183,8 @@ mod tests {
         assert!(!gens[0].templates.is_empty());
         assert_eq!(gens[0].dropped, 0);
         // Materialize and evaluate.
-        let candidates: Vec<Gpar> = gens[0]
-            .templates
-            .iter()
-            .filter_map(|t| t.apply(&seed, w.d))
-            .collect();
+        let candidates: Vec<Gpar> =
+            gens[0].templates.iter().filter_map(|t| t.apply(&seed, w.d)).collect();
         let evals = w.evaluate(&candidates);
         assert_eq!(evals.len(), candidates.len());
         // The friend(x, x') extension must have supp 1 (only c1's friend

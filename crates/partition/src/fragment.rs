@@ -81,12 +81,7 @@ pub fn partition_by_centers(
             let mut order: Vec<usize> = (0..centers.len()).collect();
             order.sort_by_key(|&i| std::cmp::Reverse(balls[i].len()));
             for i in order {
-                let f = loads
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &l)| l)
-                    .map(|(f, _)| f)
-                    .unwrap();
+                let f = loads.iter().enumerate().min_by_key(|&(_, &l)| l).map(|(f, _)| f).unwrap();
                 assign[i] = f;
                 loads[f] += balls[i].len() as u64;
             }
@@ -146,8 +141,7 @@ mod tests {
             assert_eq!(frags.len(), 3);
             let total: usize = frags.iter().map(|f| f.centers.len()).sum();
             assert_eq!(total, hubs.len());
-            let mut seen: Vec<NodeId> =
-                frags.iter().flat_map(|f| f.center_globals()).collect();
+            let mut seen: Vec<NodeId> = frags.iter().flat_map(|f| f.center_globals()).collect();
             seen.sort_unstable();
             let mut expect = hubs.clone();
             expect.sort_unstable();

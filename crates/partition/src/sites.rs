@@ -92,12 +92,7 @@ pub fn partition_sites(
             let mut bins = vec![0u64; n];
             let mut assign = vec![0usize; sites.len()];
             for i in order {
-                let w = bins
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &l)| l)
-                    .map(|(w, _)| w)
-                    .unwrap();
+                let w = bins.iter().enumerate().min_by_key(|&(_, &l)| l).map(|(w, _)| w).unwrap();
                 assign[i] = w;
                 bins[w] += loads[i];
             }
@@ -156,8 +151,7 @@ mod tests {
         for strategy in [PartitionStrategy::Balanced, PartitionStrategy::Hash] {
             let parts = partition_sites(&g, &vs, 1, 3, strategy);
             assert_eq!(parts.len(), 3);
-            let mut all: Vec<NodeId> =
-                parts.iter().flatten().map(|s| s.center_global).collect();
+            let mut all: Vec<NodeId> = parts.iter().flatten().map(|s| s.center_global).collect();
             all.sort_unstable();
             assert_eq!(all, vs);
         }
@@ -167,8 +161,7 @@ mod tests {
     fn balanced_assignment_evens_loads() {
         let (g, vs) = chain(30);
         let parts = partition_sites(&g, &vs, 2, 3, PartitionStrategy::Balanced);
-        let loads: Vec<u64> =
-            parts.iter().map(|p| p.iter().map(|s| s.load()).sum()).collect();
+        let loads: Vec<u64> = parts.iter().map(|p| p.iter().map(|s| s.load()).sum()).collect();
         let max = *loads.iter().max().unwrap();
         let min = *loads.iter().min().unwrap();
         assert!(max - min <= 16, "loads should be near-even: {loads:?}");

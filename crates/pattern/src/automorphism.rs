@@ -181,9 +181,7 @@ fn edges_consistent_pinned(
 }
 
 fn reverse_lookup(map: &[Option<PNodeId>], target: PNodeId) -> Option<PNodeId> {
-    map.iter()
-        .position(|&m| m == Some(target))
-        .map(|i| PNodeId(i as u32))
+    map.iter().position(|&m| m == Some(target)).map(|i| PNodeId(i as u32))
 }
 
 /// Whether `p1` and `p2` are isomorphic, with designated nodes pinned when

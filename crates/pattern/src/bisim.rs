@@ -55,10 +55,10 @@ fn joint_blocks(p1: &Pattern, p2: &Pattern) -> (Vec<u32>, Vec<u32>) {
         let mut sig_ids: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
         let mut next = vec![0u32; n];
         let sig_of = |i: usize,
-                          out: &[(PNodeId, EdgeCond)],
-                          inn: &[(PNodeId, EdgeCond)],
-                          off: usize,
-                          block: &[u32]| {
+                      out: &[(PNodeId, EdgeCond)],
+                      inn: &[(PNodeId, EdgeCond)],
+                      off: usize,
+                      block: &[u32]| {
             let mut sig = vec![block[i] as u64];
             let mut outs: Vec<u64> = out
                 .iter()
@@ -79,6 +79,7 @@ fn joint_blocks(p1: &Pattern, p2: &Pattern) -> (Vec<u32>, Vec<u32>) {
             sig
         };
         let mut changed = false;
+        #[allow(clippy::needless_range_loop)] // i indexes two patterns' disjoint halves
         for i in 0..n {
             let sig = if i < n1 {
                 let u = PNodeId(i as u32);

@@ -38,13 +38,7 @@ pub struct PatternBuilder {
 impl PatternBuilder {
     /// Creates a builder over a shared vocabulary.
     pub fn new(vocab: Arc<Vocab>) -> Self {
-        Self {
-            vocab,
-            conds: Vec::new(),
-            edges: Vec::new(),
-            x: None,
-            y: None,
-        }
+        Self { vocab, conds: Vec::new(), edges: Vec::new(), x: None, y: None }
     }
 
     /// The vocabulary this builder interns into.

@@ -112,14 +112,14 @@ fn exact_code(p: &Pattern, mut pos: Vec<usize>, free: &[PNodeId]) -> Vec<u64> {
                 pos[free[fi].index()] = base + slot;
             }
             let code = code_for_placement(p, pos);
-            if best.as_ref().map_or(true, |b| code < *b) {
+            if best.as_ref().is_none_or(|b| code < *b) {
                 *best = Some(code);
             }
             return;
         }
         for i in 0..k {
             heaps(k - 1, perm, p, pos, free, base, best);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 perm.swap(i, k - 1);
             } else {
                 perm.swap(0, k - 1);
@@ -156,11 +156,7 @@ fn refined_code(p: &Pattern, pos_pinned: &[usize], free: &[PNodeId]) -> Vec<u64>
                 .out(u)
                 .iter()
                 .map(|&(v, c)| hash3(1, econd_word(c), color[v.index()]))
-                .chain(
-                    p.inn(u)
-                        .iter()
-                        .map(|&(v, c)| hash3(2, econd_word(c), color[v.index()])),
-                )
+                .chain(p.inn(u).iter().map(|&(v, c)| hash3(2, econd_word(c), color[v.index()])))
                 .collect();
             neigh.sort_unstable();
             sig.extend(neigh);

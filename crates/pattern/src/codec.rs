@@ -1,0 +1,187 @@
+//! Compact binary codec for patterns, sharing the varint primitives of
+//! [`gpar_graph::io::bin`].
+//!
+//! Layout (all integers LEB128 varints):
+//!
+//! ```text
+//! magic  "GPARP01\n"
+//! label table   count, then (len, utf8-bytes) per referenced label
+//! nodes         count, then per node: 0 = Any | 1 followed by label-index
+//! designated    x, then 0 = no y | local-node-index + 1
+//! edges         count, then per edge: src, dst, 0 = Any | 1 + label-index
+//! ```
+//!
+//! Like the graph codec, the label table makes streams self-contained:
+//! reading interns every referenced string into the destination `Vocab`.
+
+use crate::pattern::{EdgeCond, NodeCond, PEdge, PNodeId, Pattern};
+use gpar_graph::io::bin::{self, BinError};
+use gpar_graph::{Label, Vocab};
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Magic header of the binary pattern format.
+pub const PATTERN_MAGIC: &[u8; 8] = b"GPARP01\n";
+
+/// Writes `p` in the compact binary format.
+pub fn write_pattern_binary(p: &Pattern, mut w: impl Write) -> Result<(), BinError> {
+    let w = &mut w;
+    bin::write_magic(w, PATTERN_MAGIC)?;
+    let vocab = p.vocab();
+    let mut table = bin::LabelTable::default();
+    for u in p.nodes() {
+        if let NodeCond::Label(l) = p.cond(u) {
+            table.intern(l, vocab);
+        }
+    }
+    for e in p.edges() {
+        if let EdgeCond::Label(l) = e.cond {
+            table.intern(l, vocab);
+        }
+    }
+    bin::write_label_table(w, table.strings())?;
+    bin::write_uvarint(w, p.node_count() as u64)?;
+    for u in p.nodes() {
+        match p.cond(u) {
+            NodeCond::Any => bin::write_uvarint(w, 0)?,
+            NodeCond::Label(l) => {
+                bin::write_uvarint(w, 1)?;
+                bin::write_uvarint(w, table.index_of(l))?;
+            }
+        }
+    }
+    bin::write_uvarint(w, p.x().0 as u64)?;
+    bin::write_uvarint(w, p.y().map_or(0, |y| y.0 as u64 + 1))?;
+    bin::write_uvarint(w, p.edge_count() as u64)?;
+    for e in p.edges() {
+        bin::write_uvarint(w, e.src.0 as u64)?;
+        bin::write_uvarint(w, e.dst.0 as u64)?;
+        match e.cond {
+            EdgeCond::Any => bin::write_uvarint(w, 0)?,
+            EdgeCond::Label(l) => {
+                bin::write_uvarint(w, 1)?;
+                bin::write_uvarint(w, table.index_of(l))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a pattern in the compact binary format, interning labels into
+/// `vocab`. Structural validation (designated nodes in range, no
+/// duplicate edges, …) is delegated to [`Pattern::from_parts`].
+pub fn read_pattern_binary(mut r: impl Read, vocab: Arc<Vocab>) -> Result<Pattern, BinError> {
+    let r = &mut r;
+    bin::read_magic(r, PATTERN_MAGIC)?;
+    let table = bin::read_label_table(r, &vocab)?;
+    let label_at = |i: u64| -> Result<Label, BinError> {
+        table
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| BinError::Malformed(format!("label index {i} out of range")))
+    };
+    let n_nodes = bin::read_count(r, 1 << 20, "pattern node")?;
+    let mut conds = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        conds.push(match bin::read_uvarint(r)? {
+            0 => NodeCond::Any,
+            1 => NodeCond::Label(label_at(bin::read_uvarint(r)?)?),
+            t => return Err(BinError::Malformed(format!("bad node-cond tag {t}"))),
+        });
+    }
+    let x = PNodeId(bin::read_count(r, u32::MAX as u64, "node index")? as u32);
+    let y = match bin::read_uvarint(r)? {
+        0 => None,
+        i if i <= u32::MAX as u64 => Some(PNodeId(i as u32 - 1)),
+        i => return Err(BinError::Malformed(format!("y index {i} out of range"))),
+    };
+    let n_edges = bin::read_count(r, 1 << 20, "pattern edge")?;
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let src = PNodeId(bin::read_count(r, u32::MAX as u64, "node index")? as u32);
+        let dst = PNodeId(bin::read_count(r, u32::MAX as u64, "node index")? as u32);
+        let cond = match bin::read_uvarint(r)? {
+            0 => EdgeCond::Any,
+            1 => EdgeCond::Label(label_at(bin::read_uvarint(r)?)?),
+            t => return Err(BinError::Malformed(format!("bad edge-cond tag {t}"))),
+        };
+        edges.push(PEdge { src, dst, cond });
+    }
+    Pattern::from_parts(conds, edges, x, y, vocab)
+        .map_err(|e| BinError::Malformed(format!("invalid pattern: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PatternBuilder;
+
+    fn sample() -> Pattern {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let (like, visit) = (vocab.intern("like"), vocab.intern("visit"));
+        let mut b = PatternBuilder::new(vocab);
+        let x = b.node(cust);
+        let x2 = b.node_any();
+        let y = b.node(rest);
+        b.edge(x, x2, like);
+        b.edge(x2, y, visit);
+        b.edge_any(x, y);
+        b.designate(x, y).build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample();
+        let mut buf = Vec::new();
+        write_pattern_binary(&p, &mut buf).unwrap();
+        let fresh = Vocab::new();
+        let q = read_pattern_binary(buf.as_slice(), fresh.clone()).unwrap();
+        assert_eq!(q.node_count(), p.node_count());
+        assert_eq!(q.edge_count(), p.edge_count());
+        assert_eq!(q.x(), p.x());
+        assert_eq!(q.y(), p.y());
+        // Conditions survive, with labels re-interned by name.
+        assert_eq!(q.cond(q.x()), NodeCond::Label(fresh.get("cust").unwrap()));
+        assert_eq!(q.cond(PNodeId(1)), NodeCond::Any);
+        let like = fresh.get("like").unwrap();
+        assert!(q.has_edge(PNodeId(0), PNodeId(1), EdgeCond::Label(like)));
+        assert!(q.has_edge(PNodeId(0), PNodeId(2), EdgeCond::Any));
+        // Structural identity under the exact isomorphism check.
+        assert!(crate::automorphism::are_isomorphic(&p, &q, true));
+    }
+
+    #[test]
+    fn rejects_malformed_streams() {
+        let p = sample();
+        let mut buf = Vec::new();
+        write_pattern_binary(&p, &mut buf).unwrap();
+
+        let mut bad = buf.clone();
+        bad[1] = b'X';
+        assert!(matches!(
+            read_pattern_binary(bad.as_slice(), Vocab::new()).unwrap_err(),
+            BinError::BadMagic { .. }
+        ));
+
+        for cut in 0..buf.len() {
+            assert!(read_pattern_binary(&buf[..cut], Vocab::new()).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn structural_validation_applies_on_read() {
+        // Hand-craft a stream whose designated x is out of range.
+        let mut buf = Vec::new();
+        bin::write_magic(&mut buf, PATTERN_MAGIC).unwrap();
+        bin::write_uvarint(&mut buf, 0).unwrap(); // empty label table
+        bin::write_uvarint(&mut buf, 1).unwrap(); // one node
+        bin::write_uvarint(&mut buf, 0).unwrap(); // NodeCond::Any
+        bin::write_uvarint(&mut buf, 9).unwrap(); // x = 9 (out of range)
+        bin::write_uvarint(&mut buf, 0).unwrap(); // no y
+        bin::write_uvarint(&mut buf, 0).unwrap(); // no edges
+        let err = read_pattern_binary(buf.as_slice(), Vocab::new()).unwrap_err();
+        assert!(err.to_string().contains("invalid pattern"), "{err}");
+    }
+}

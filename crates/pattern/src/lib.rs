@@ -20,12 +20,15 @@
 //! * [`automorphism`] — exact pattern isomorphism with pinned designated
 //!   nodes,
 //! * [`sketch`] — pattern-side k-hop sketches for guided search (§5.2),
-//! * [`parse`] — a small text DSL plus pretty-printing.
+//! * [`parse`] — a small text DSL plus pretty-printing,
+//! * [`codec`] — the compact binary pattern codec (shares primitives with
+//!   `gpar_graph::io::bin`; used by `gpar-serve` catalogs).
 
 pub mod automorphism;
 pub mod bisim;
 pub mod builder;
 pub mod canonical;
+pub mod codec;
 pub mod parse;
 pub mod pattern;
 pub mod radius;
@@ -36,6 +39,7 @@ pub use automorphism::{are_isomorphic, count_automorphisms};
 pub use bisim::bisimilar;
 pub use builder::PatternBuilder;
 pub use canonical::CanonicalCode;
+pub use codec::{read_pattern_binary, write_pattern_binary, PATTERN_MAGIC};
 pub use parse::{parse_pattern, PatternParseError};
 pub use pattern::{EdgeCond, NodeCond, PEdge, PNodeId, Pattern, PatternError};
 pub use sketch::pattern_sketch;

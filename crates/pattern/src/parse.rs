@@ -55,8 +55,7 @@ pub fn parse_pattern(text: &str, vocab: Arc<Vocab>) -> Result<Pattern, PatternPa
             continue;
         }
         let toks: Vec<&str> = line.split_ascii_whitespace().collect();
-        let malformed =
-            |msg: &str| PatternParseError::Malformed(lineno, msg.to_string());
+        let malformed = |msg: &str| PatternParseError::Malformed(lineno, msg.to_string());
         match toks.as_slice() {
             ["node", name, label] => {
                 if names.contains_key(*name) {
@@ -66,12 +65,10 @@ pub fn parse_pattern(text: &str, vocab: Arc<Vocab>) -> Result<Pattern, PatternPa
                 names.insert(name.to_string(), id);
             }
             ["edge", a, c, label] => {
-                let &src = names
-                    .get(*a)
-                    .ok_or_else(|| malformed(&format!("unknown node `{a}`")))?;
-                let &dst = names
-                    .get(*c)
-                    .ok_or_else(|| malformed(&format!("unknown node `{c}`")))?;
+                let &src =
+                    names.get(*a).ok_or_else(|| malformed(&format!("unknown node `{a}`")))?;
+                let &dst =
+                    names.get(*c).ok_or_else(|| malformed(&format!("unknown node `{c}`")))?;
                 if *label == "*" {
                     b.edge_any(src, dst);
                 } else {
@@ -79,18 +76,12 @@ pub fn parse_pattern(text: &str, vocab: Arc<Vocab>) -> Result<Pattern, PatternPa
                 }
             }
             ["designate", x] => {
-                let &px = names
-                    .get(*x)
-                    .ok_or_else(|| malformed(&format!("unknown node `{x}`")))?;
+                let &px = names.get(*x).ok_or_else(|| malformed(&format!("unknown node `{x}`")))?;
                 designated = Some((px, None));
             }
             ["designate", x, y] => {
-                let &px = names
-                    .get(*x)
-                    .ok_or_else(|| malformed(&format!("unknown node `{x}`")))?;
-                let &py = names
-                    .get(*y)
-                    .ok_or_else(|| malformed(&format!("unknown node `{y}`")))?;
+                let &px = names.get(*x).ok_or_else(|| malformed(&format!("unknown node `{x}`")))?;
+                let &py = names.get(*y).ok_or_else(|| malformed(&format!("unknown node `{y}`")))?;
                 designated = Some((px, Some(py)));
             }
             _ => return Err(malformed("expected `node`, `edge` or `designate` record")),

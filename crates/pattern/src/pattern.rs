@@ -5,7 +5,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A pattern node identifier, dense in `0..pattern.node_count()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PNodeId(pub u32);
 
 impl PNodeId {
@@ -25,7 +25,7 @@ impl fmt::Display for PNodeId {
 /// Search condition on a pattern node: `f(u)` in the paper. A concrete
 /// label matches data nodes with exactly that label (value bindings like
 /// `"44"` are labels too); [`NodeCond::Any`] matches every node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NodeCond {
     /// Match nodes labeled with this symbol.
     Label(Label),
@@ -54,7 +54,7 @@ impl NodeCond {
 }
 
 /// Search condition on a pattern edge: `f(e)` in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EdgeCond {
     /// Match edges labeled with this symbol.
     Label(Label),
@@ -74,7 +74,7 @@ impl EdgeCond {
 }
 
 /// A directed pattern edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PEdge {
     /// Source pattern node.
     pub src: PNodeId,
@@ -119,7 +119,7 @@ impl std::error::Error for PatternError {}
 /// per-node `Vec`s and clones are cheap — pattern *extension* during mining
 /// is clone-plus-push (see [`Pattern::with_edge`] and
 /// [`Pattern::with_node_and_edge`]).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Pattern {
     conds: Vec<NodeCond>,
     edges: Vec<PEdge>,
@@ -127,12 +127,7 @@ pub struct Pattern {
     inn: Vec<Vec<(PNodeId, EdgeCond)>>,
     x: PNodeId,
     y: Option<PNodeId>,
-    #[serde(skip, default = "default_vocab")]
     vocab: Arc<Vocab>,
-}
-
-fn default_vocab() -> Arc<Vocab> {
-    Vocab::new()
 }
 
 impl Pattern {
@@ -174,15 +169,7 @@ impl Pattern {
             out[e.src.index()].push((e.dst, e.cond));
             inn[e.dst.index()].push((e.src, e.cond));
         }
-        Ok(Self {
-            conds,
-            edges,
-            out,
-            inn,
-            x,
-            y,
-            vocab,
-        })
+        Ok(Self { conds, edges, out, inn, x, y, vocab })
     }
 
     /// Number of pattern nodes `|V_p|`.
@@ -367,13 +354,7 @@ mod tests {
         ));
         let e0 = PEdge { src: PNodeId(0), dst: PNodeId(0), cond: EdgeCond::Label(visit) };
         assert!(matches!(
-            Pattern::from_parts(
-                vec![NodeCond::Label(cust)],
-                vec![e0, e0],
-                PNodeId(0),
-                None,
-                v
-            ),
+            Pattern::from_parts(vec![NodeCond::Label(cust)], vec![e0, e0], PNodeId(0), None, v),
             Err(PatternError::DuplicateEdge(_))
         ));
     }

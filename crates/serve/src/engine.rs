@@ -1,0 +1,752 @@
+//! The batched query executor: a fixed worker pool serving `identify` and
+//! `top_rules` requests concurrently over one graph + catalog.
+//!
+//! ## Execution model
+//!
+//! * [`ServeEngine::new`] builds the [`CandidateIndex`] and spawns
+//!   `workers` OS threads sharing one job queue.
+//! * The first query touching a predicate **warms** it: every candidate
+//!   center is evaluated once, assembling the exact global
+//!   [`ConfStats`]/confidence per rule — the same counts
+//!   [`gpar_eip::identify`] produces, so the η-gating of rules is
+//!   *identical* to a direct EIP run on this graph.
+//! * Subsequent `identify(pred, candidates?)` requests re-evaluate only
+//!   the requested candidates' antecedent memberships (serving semantics:
+//!   membership is recomputed per query so a future incremental-graph PR
+//!   can slot in without an API change), but d-ball extraction — the
+//!   dominant per-candidate cost — is served from a shared LRU cache
+//!   ([`crate::cache::LruCache`]), so hot centers are never re-extracted.
+//! * Rule-group state built at index time is reused across the batch:
+//!   the [`gpar_eip::SharingPlan`] is cloned (two small `Vec`s) into each
+//!   request's [`CandidateEvaluator`] instead of re-deriving the `|Σ|²`
+//!   subsumption tests.
+//!
+//! ## Consistency contract
+//!
+//! For any predicate `p` in the catalog and any candidate subset `C`:
+//! `identify(p, C).customers = C ∩ identify_eip(G, Σ_p, η).customers`
+//! (and with `C = None`, the full EIP answer). The serve tests and
+//! `examples/serving.rs` pin this down.
+
+use crate::cache::{CacheStats, LruCache};
+use crate::catalog::RuleCatalog;
+use crate::index::{CandidateIndex, PredicateGroup};
+use gpar_core::{classify, ConfStats, Confidence, Gpar, LcwaClass, Predicate};
+use gpar_eip::{CandidateEvaluator, EipAlgorithm, MatchOpts};
+use gpar_graph::{FxHashMap, Graph, NodeId};
+use gpar_partition::CenterSite;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Capacity of the shared d-ball LRU cache (entries; 0 disables).
+    pub cache_capacity: usize,
+    /// Confidence bound η gating which rules admit customers.
+    pub eta: f64,
+    /// Evaluation radius override; `None` derives it per predicate from
+    /// the rules (EIP's rule).
+    pub d: Option<u32>,
+    /// Per-candidate matching preset (the EIP algorithm variants).
+    pub algorithm: EipAlgorithm,
+    /// Depth of the index-time candidate sketches (0 disables candidate
+    /// pruning; effective depth is capped at the group's radius `d`).
+    pub sketch_k: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            cache_capacity: 4096,
+            eta: 1.5,
+            d: None,
+            algorithm: EipAlgorithm::Match,
+            sketch_k: 2,
+        }
+    }
+}
+
+/// Errors returned by queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// No cataloged rule pertains to the predicate (or none is
+    /// satisfiable in this graph).
+    UnknownPredicate,
+    /// The worker pool has shut down.
+    Stopped,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownPredicate => write!(f, "no cataloged rules for this predicate"),
+            QueryError::Stopped => write!(f, "serving engine stopped"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One identification request.
+#[derive(Debug, Clone)]
+pub struct IdentifyRequest {
+    /// The event `q(x, y)` to identify potential customers for.
+    pub predicate: Predicate,
+    /// Candidate centers to test; `None` means all candidates `L`.
+    pub candidates: Option<Vec<NodeId>>,
+}
+
+/// The answer to an [`IdentifyRequest`].
+#[derive(Debug, Clone)]
+pub struct IdentifyResponse {
+    /// Identified potential customers, sorted by node id.
+    pub customers: Vec<NodeId>,
+    /// Candidates actually evaluated (after intersection with `L` and
+    /// sketch pruning). On the request that performed the warm-up
+    /// (`warmed == true`) this reports the warm pass's counts over *all*
+    /// of `L`, since that pass answered the request.
+    pub evaluated: usize,
+    /// Candidates skipped by the index-time sketch prefilter (warm-pass
+    /// counts when `warmed == true`, as above).
+    pub pruned: usize,
+    /// Whether this request performed the predicate warm-up.
+    pub warmed: bool,
+}
+
+/// One rule with its serving-graph confidence, as returned by
+/// [`ServeEngine::top_rules`].
+#[derive(Debug, Clone)]
+pub struct RuleInfo {
+    /// The rule.
+    pub rule: Arc<Gpar>,
+    /// Exact confidence on the serving graph.
+    pub confidence: Confidence,
+    /// Exact counts on the serving graph.
+    pub stats: ConfStats,
+    /// Whether the rule clears η (i.e. contributes customers).
+    pub active: bool,
+}
+
+/// Aggregate engine counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Queries answered (identify + top_rules).
+    pub queries: u64,
+    /// Predicate warm-ups performed.
+    pub warmups: u64,
+    /// d-ball cache counters.
+    pub cache: CacheStats,
+}
+
+/// Per-predicate state established by the warm-up pass.
+struct PredicateState {
+    /// Exact per-rule counts on the serving graph (aligned with the
+    /// group's active rules).
+    stats: Vec<ConfStats>,
+    /// Per-rule confidence.
+    conf: Vec<Confidence>,
+    /// Per-rule: clears η.
+    active: Vec<bool>,
+    /// The full answer implied by the warm pass (sorted): the warming
+    /// request returns this directly instead of evaluating its
+    /// candidates a second time.
+    warm_customers: Vec<NodeId>,
+    /// Candidates the warm pass evaluated / sketch-pruned.
+    warm_evaluated: usize,
+    warm_pruned: usize,
+}
+
+/// Per-worker-thread reusable state. The pattern-sketch cache is
+/// `Rc`-based (thread-local by construction), so each worker keeps its
+/// own per-predicate instance and hands clones to every evaluator it
+/// builds — pattern-side sketches are then derived once per worker, not
+/// once per request.
+#[derive(Default)]
+struct WorkerCaches {
+    psketch: FxHashMap<Predicate, gpar_iso::PatternSketchCache>,
+}
+
+impl WorkerCaches {
+    fn pattern_cache(&mut self, pred: &Predicate) -> gpar_iso::PatternSketchCache {
+        self.psketch.entry(*pred).or_default().clone()
+    }
+}
+
+struct Shared {
+    graph: Arc<Graph>,
+    index: CandidateIndex,
+    cfg: ServeConfig,
+    cache: Mutex<LruCache<(NodeId, u32), Arc<CenterSite>>>,
+    states: RwLock<FxHashMap<Predicate, Arc<PredicateState>>>,
+    /// Serializes warm-up passes so concurrent cold queries for one
+    /// predicate don't all run the full O(|L|) scan (warm-ups happen once
+    /// per predicate, so cross-predicate contention here is negligible).
+    warm_lock: Mutex<()>,
+    queries: AtomicU64,
+    warmups: AtomicU64,
+}
+
+impl Shared {
+    fn site(&self, center: NodeId, d: u32) -> Arc<CenterSite> {
+        let key = (center, d);
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            return hit;
+        }
+        // Extract outside the lock: extraction is the expensive part and
+        // must not serialize the pool. Rarely two workers race on the
+        // same cold center and both extract; last insert wins, both use
+        // their own (identical) site.
+        let site = Arc::new(CenterSite::build(&self.graph, center, d));
+        self.cache.lock().unwrap().insert(key, site.clone());
+        site
+    }
+
+    fn opts(&self) -> MatchOpts {
+        MatchOpts::for_algorithm(self.cfg.algorithm)
+    }
+
+    /// Builds the per-request evaluator: the group's pre-built sharing
+    /// plan plus the worker's persistent pattern-sketch cache, so
+    /// pattern-side sketches are derived once per worker rather than once
+    /// per request.
+    fn evaluator<'r>(
+        &self,
+        group: &'r PredicateGroup,
+        caches: &mut WorkerCaches,
+    ) -> CandidateEvaluator<'r> {
+        CandidateEvaluator::with_plan_and_sketches(
+            &group.rules,
+            self.opts(),
+            group.plan.clone(),
+            group.eval_sketches.clone(),
+        )
+        .with_pattern_cache(caches.pattern_cache(&group.predicate))
+    }
+
+    /// Returns the warmed state for `group`, performing the full-candidate
+    /// evaluation pass if this predicate has not been touched yet.
+    fn state(
+        &self,
+        group: &PredicateGroup,
+        caches: &mut WorkerCaches,
+    ) -> (Arc<PredicateState>, bool) {
+        if let Some(s) = self.states.read().unwrap().get(&group.predicate) {
+            return (s.clone(), false);
+        }
+        // Cold predicate: serialize warmers so losers wait for the winner
+        // instead of redoing the full O(|L|) scan.
+        let _warming = self.warm_lock.lock().unwrap();
+        if let Some(s) = self.states.read().unwrap().get(&group.predicate) {
+            return (s.clone(), false);
+        }
+        let state = Arc::new(self.warm(group, caches));
+        self.warmups.fetch_add(1, Ordering::Relaxed);
+        self.states.write().unwrap().insert(group.predicate, state.clone());
+        (state, true)
+    }
+
+    /// The warm-up pass: evaluate every candidate once and assemble the
+    /// exact global statistics, exactly as `gpar_eip::identify`'s step 3.
+    fn warm(&self, group: &PredicateGroup, caches: &mut WorkerCaches) -> PredicateState {
+        let n = group.rules.len();
+        let ev = self.evaluator(group, caches);
+        let mut supp_q = 0u64;
+        let mut supp_qbar = 0u64;
+        // Per rule: (supp_r, supp_q_qbar, supp_q_ante).
+        let mut per_rule = vec![(0u64, 0u64, 0u64); n];
+        // Antecedent memberships of centers that matched anything — kept
+        // so the warming request can answer without a second pass (which
+        // rules gate as customers depends on η, known only at the end).
+        let mut memberships: Vec<(NodeId, Vec<bool>)> = Vec::new();
+        let mut warm_evaluated = 0usize;
+        let mut warm_pruned = 0usize;
+        for (i, &c) in group.centers.iter().enumerate() {
+            // LCWA class is rule-independent and must count *every*
+            // candidate, including sketch-pruned ones.
+            let class = classify(&self.graph, &group.predicate, c)
+                .expect("centers satisfy x's condition by construction");
+            match class {
+                LcwaClass::Positive => supp_q += 1,
+                LcwaClass::Negative => supp_qbar += 1,
+                LcwaClass::Unknown => {}
+            }
+            if !group.center_may_match(i) {
+                warm_pruned += 1;
+                continue; // member of no antecedent: contributes nothing
+            }
+            warm_evaluated += 1;
+            let site = self.site(c, group.d);
+            let o = ev.evaluate(&site);
+            debug_assert_eq!(o.class, class, "site and global LCWA must agree");
+            for (r, slot) in per_rule.iter_mut().enumerate() {
+                if o.q_member[r] {
+                    slot.2 += 1;
+                    if class == LcwaClass::Negative {
+                        slot.1 += 1;
+                    }
+                }
+                if o.pr_member[r] && class == LcwaClass::Positive {
+                    slot.0 += 1;
+                }
+            }
+            if o.q_member.iter().any(|&m| m) {
+                memberships.push((c, o.q_member));
+            }
+        }
+        let stats: Vec<ConfStats> = per_rule
+            .into_iter()
+            .map(|(supp_r, supp_q_qbar, supp_q_ante)| ConfStats {
+                supp_r,
+                supp_q_ante,
+                supp_q,
+                supp_qbar,
+                supp_q_qbar,
+            })
+            .collect();
+        let conf: Vec<Confidence> = stats.iter().map(ConfStats::conf).collect();
+        let active: Vec<bool> = conf.iter().map(|c| c.at_least(self.cfg.eta)).collect();
+        let mut warm_customers: Vec<NodeId> = memberships
+            .into_iter()
+            .filter(|(_, qm)| qm.iter().zip(&active).any(|(&m, &a)| m && a))
+            .map(|(c, _)| c)
+            .collect();
+        warm_customers.sort_unstable();
+        PredicateState { stats, conf, active, warm_customers, warm_evaluated, warm_pruned }
+    }
+
+    fn identify(
+        &self,
+        req: &IdentifyRequest,
+        caches: &mut WorkerCaches,
+    ) -> Result<IdentifyResponse, QueryError> {
+        let group = self.index.group(&req.predicate).ok_or(QueryError::UnknownPredicate)?;
+        let (state, warmed) = self.state(group, caches);
+        if warmed {
+            // This request performed the warm-up, which already evaluated
+            // every candidate — answer from that pass instead of doubling
+            // the cold-query latency.
+            let customers = match &req.candidates {
+                None => state.warm_customers.clone(),
+                Some(cands) => {
+                    let mut v: Vec<NodeId> = cands
+                        .iter()
+                        .filter(|c| state.warm_customers.binary_search(c).is_ok())
+                        .copied()
+                        .collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                }
+            };
+            return Ok(IdentifyResponse {
+                customers,
+                evaluated: state.warm_evaluated,
+                pruned: state.warm_pruned,
+                warmed: true,
+            });
+        }
+        let ev = self.evaluator(group, caches);
+
+        // Position of each center in `centers` (for sketch lookup).
+        let positions: Vec<usize> = match &req.candidates {
+            None => (0..group.centers.len()).collect(),
+            Some(cands) => {
+                // Intersect with L; ids outside L are not candidates (no
+                // x-condition match) and are silently excluded, exactly as
+                // EIP never considers them.
+                // `centers` is in id order, so one binary search both
+                // tests membership and yields the position.
+                let mut pos: Vec<usize> =
+                    cands.iter().filter_map(|c| group.centers.binary_search(c).ok()).collect();
+                pos.sort_unstable();
+                pos.dedup();
+                pos
+            }
+        };
+
+        let mut customers = Vec::new();
+        let mut evaluated = 0usize;
+        let mut pruned = 0usize;
+        for i in positions {
+            let c = group.centers[i];
+            if !group.center_may_match(i) {
+                pruned += 1;
+                continue;
+            }
+            evaluated += 1;
+            let site = self.site(c, group.d);
+            let o = ev.evaluate(&site);
+            if o.q_member.iter().zip(&state.active).any(|(&m, &a)| m && a) {
+                customers.push(c);
+            }
+        }
+        customers.sort_unstable();
+        Ok(IdentifyResponse { customers, evaluated, pruned, warmed })
+    }
+
+    fn top_rules(
+        &self,
+        pred: &Predicate,
+        k: usize,
+        caches: &mut WorkerCaches,
+    ) -> Result<Vec<RuleInfo>, QueryError> {
+        let group = self.index.group(pred).ok_or(QueryError::UnknownPredicate)?;
+        let (state, _) = self.state(group, caches);
+        let mut out: Vec<RuleInfo> = group
+            .rule_arcs
+            .iter()
+            .enumerate()
+            .map(|(r, rule)| RuleInfo {
+                rule: rule.clone(),
+                confidence: state.conf[r],
+                stats: state.stats[r],
+                active: state.active[r],
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.confidence
+                .ranking_value()
+                .total_cmp(&a.confidence.ranking_value())
+                .then(b.stats.supp_r.cmp(&a.stats.supp_r))
+        });
+        out.truncate(k);
+        Ok(out)
+    }
+}
+
+enum Job {
+    Identify(IdentifyRequest, Sender<Result<IdentifyResponse, QueryError>>),
+    TopRules(Predicate, usize, Sender<Result<Vec<RuleInfo>, QueryError>>),
+}
+
+/// The serving engine: index + warm state + fixed worker pool.
+///
+/// Cloning is not supported; share the engine behind an `Arc` if multiple
+/// frontends submit queries. Dropping the engine shuts the pool down and
+/// joins every worker.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    job_tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Builds the index for `(graph, catalog)` and spawns the pool.
+    pub fn new(graph: Arc<Graph>, catalog: &RuleCatalog, cfg: ServeConfig) -> Self {
+        let index = CandidateIndex::build(
+            &graph,
+            catalog,
+            cfg.sketch_k,
+            cfg.d,
+            &MatchOpts::for_algorithm(cfg.algorithm),
+        );
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            states: RwLock::new(FxHashMap::default()),
+            warm_lock: Mutex::new(()),
+            queries: AtomicU64::new(0),
+            warmups: AtomicU64::new(0),
+            graph,
+            index,
+            cfg,
+        });
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                let rx = job_rx.clone();
+                std::thread::spawn(move || worker_loop(shared, rx))
+            })
+            .collect();
+        Self { shared, job_tx: Some(job_tx), handles }
+    }
+
+    fn submit(&self, job: Job) -> Result<(), QueryError> {
+        self.job_tx.as_ref().ok_or(QueryError::Stopped)?.send(job).map_err(|_| QueryError::Stopped)
+    }
+
+    /// `Σ_p(x, G, η)` over `candidates` (or all candidates): submits one
+    /// job to the pool and blocks for the answer.
+    pub fn identify(
+        &self,
+        predicate: Predicate,
+        candidates: Option<Vec<NodeId>>,
+    ) -> Result<IdentifyResponse, QueryError> {
+        let (tx, rx) = channel();
+        self.submit(Job::Identify(IdentifyRequest { predicate, candidates }, tx))?;
+        rx.recv().map_err(|_| QueryError::Stopped)?
+    }
+
+    /// Submits a whole batch concurrently and collects the answers in
+    /// request order. With `workers > 1`, requests overlap.
+    pub fn identify_batch(
+        &self,
+        reqs: Vec<IdentifyRequest>,
+    ) -> Vec<Result<IdentifyResponse, QueryError>> {
+        let mut waits = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let (tx, rx) = channel();
+            match self.submit(Job::Identify(req, tx)) {
+                Ok(()) => waits.push(Ok(rx)),
+                Err(e) => waits.push(Err(e)),
+            }
+        }
+        waits
+            .into_iter()
+            .map(|w| match w {
+                Ok(rx) => rx.recv().unwrap_or(Err(QueryError::Stopped)),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// The `k` highest-confidence rules for `pred`, with exact confidence
+    /// on the serving graph (warms the predicate if needed).
+    pub fn top_rules(&self, predicate: Predicate, k: usize) -> Result<Vec<RuleInfo>, QueryError> {
+        let (tx, rx) = channel();
+        self.submit(Job::TopRules(predicate, k, tx))?;
+        rx.recv().map_err(|_| QueryError::Stopped)?
+    }
+
+    /// Predicates this engine can serve.
+    pub fn predicates(&self) -> Vec<Predicate> {
+        self.shared.index.groups().map(|g| g.predicate).collect()
+    }
+
+    /// A counters snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            warmups: self.shared.warmups.load(Ordering::Relaxed),
+            cache: self.shared.cache.lock().unwrap().stats(),
+        }
+    }
+
+    /// The serving graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.shared.graph
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv fail and exit.
+        self.job_tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) {
+    let mut caches = WorkerCaches::default();
+    loop {
+        // Hold the queue lock only for the dequeue, never during work.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(j) => j,
+            Err(_) => return,
+        };
+        shared.queries.fetch_add(1, Ordering::Relaxed);
+        match job {
+            Job::Identify(req, reply) => {
+                let _ = reply.send(shared.identify(&req, &mut caches));
+            }
+            Job::TopRules(pred, k, reply) => {
+                let _ = reply.send(shared.top_rules(&pred, k, &mut caches));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_eip::{identify as eip_identify, EipConfig};
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_pattern::PatternBuilder;
+
+    /// The EIP test scenario: 10 positives, 2 negatives, 3 unknowns.
+    fn scenario() -> (Arc<Graph>, RuleCatalog, Predicate) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let bar = vocab.intern("bar");
+        let (like, visit) = (vocab.intern("like"), vocab.intern("visit"));
+        let mut b = GraphBuilder::new(vocab.clone());
+        for _ in 0..10 {
+            let c = b.add_node(cust);
+            let r = b.add_node(rest);
+            b.add_edge(c, r, like);
+            b.add_edge(c, r, visit);
+        }
+        for _ in 0..2 {
+            let c = b.add_node(cust);
+            let r = b.add_node(rest);
+            let bb = b.add_node(bar);
+            b.add_edge(c, r, like);
+            b.add_edge(c, bb, visit);
+        }
+        for _ in 0..3 {
+            let c = b.add_node(cust);
+            let r = b.add_node(rest);
+            b.add_edge(c, r, like);
+        }
+        let g = Arc::new(b.build());
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node(cust);
+        let y = pb.node(rest);
+        pb.edge(x, y, like);
+        let rule = Arc::new(Gpar::new(pb.designate(x, y).build().unwrap(), visit).unwrap());
+        let pred = *rule.predicate();
+        let mut cat = RuleCatalog::new(vocab);
+        cat.insert(rule, ConfStats::default());
+        (g, cat, pred)
+    }
+
+    fn sorted(set: &gpar_graph::FxHashSet<NodeId>) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = set.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn full_identify_equals_direct_eip() {
+        let (g, cat, pred) = scenario();
+        let sigma: Vec<Gpar> = cat.rules_for(&pred).iter().map(|e| (*e.rule).clone()).collect();
+        for eta in [0.5, 1.5] {
+            let eip = eip_identify(
+                &g,
+                &sigma,
+                &EipConfig { eta, ..EipConfig::new(EipAlgorithm::Match, 3) },
+            )
+            .unwrap();
+            for workers in [1, 3] {
+                let engine = ServeEngine::new(
+                    g.clone(),
+                    &cat,
+                    ServeConfig { workers, eta, ..Default::default() },
+                );
+                let res = engine.identify(pred, None).unwrap();
+                assert_eq!(res.customers, sorted(&eip.customers), "eta {eta} w {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_identify_is_the_intersection() {
+        let (g, cat, pred) = scenario();
+        let sigma: Vec<Gpar> = cat.rules_for(&pred).iter().map(|e| (*e.rule).clone()).collect();
+        let eip = eip_identify(
+            &g,
+            &sigma,
+            &EipConfig { eta: 0.5, ..EipConfig::new(EipAlgorithm::Match, 2) },
+        )
+        .unwrap();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        // Mixed subset: members, non-members, non-candidates, duplicates.
+        let subset = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(9999)];
+        let res = engine.identify(pred, Some(subset.clone())).unwrap();
+        let mut expect: Vec<NodeId> =
+            subset.iter().filter(|c| eip.customers.contains(c)).copied().collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(res.customers, expect);
+    }
+
+    #[test]
+    fn warm_state_matches_eip_stats_and_top_rules_rank() {
+        let (g, cat, pred) = scenario();
+        let sigma: Vec<Gpar> = cat.rules_for(&pred).iter().map(|e| (*e.rule).clone()).collect();
+        let eip = eip_identify(
+            &g,
+            &sigma,
+            &EipConfig { eta: 0.5, ..EipConfig::new(EipAlgorithm::Match, 2) },
+        )
+        .unwrap();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        let top = engine.top_rules(pred, 10).unwrap();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].stats, eip.per_rule[0].stats, "serving stats must equal EIP's");
+        assert_eq!(top[0].confidence, eip.per_rule[0].confidence);
+        assert!(top[0].active);
+        assert_eq!(engine.stats().warmups, 1);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let (g, cat, pred) = scenario();
+        let engine = ServeEngine::new(
+            g,
+            &cat,
+            ServeConfig { eta: 0.5, cache_capacity: 64, ..Default::default() },
+        );
+        // Customers sit at even ids in the scenario graph (cust, rest pairs).
+        let hot = vec![NodeId(0), NodeId(2), NodeId(6)];
+        engine.identify(pred, Some(hot.clone())).unwrap(); // warms + fills
+        let before = engine.stats().cache;
+        for _ in 0..5 {
+            engine.identify(pred, Some(hot.clone())).unwrap();
+        }
+        let after = engine.stats().cache;
+        assert_eq!(after.hits - before.hits, 15, "3 hot centers × 5 queries");
+        assert_eq!(after.misses, before.misses, "no re-extraction of hot centers");
+    }
+
+    #[test]
+    fn batch_is_consistent_with_serial_and_unknown_predicate_errors() {
+        let (g, cat, pred) = scenario();
+        let engine = ServeEngine::new(
+            g.clone(),
+            &cat,
+            ServeConfig { eta: 0.5, workers: 4, ..Default::default() },
+        );
+        let serial = engine.identify(pred, None).unwrap().customers;
+        let reqs: Vec<IdentifyRequest> = (0..16)
+            .map(|i| IdentifyRequest {
+                predicate: pred,
+                candidates: (i % 2 == 0).then(|| vec![NodeId(i as u32 % 12)]),
+            })
+            .collect();
+        let answers = engine.identify_batch(reqs.clone());
+        for (req, ans) in reqs.iter().zip(answers) {
+            let ans = ans.unwrap();
+            match &req.candidates {
+                None => assert_eq!(ans.customers, serial),
+                Some(c) => {
+                    let expect: Vec<NodeId> =
+                        c.iter().filter(|x| serial.contains(x)).copied().collect();
+                    assert_eq!(ans.customers, expect);
+                }
+            }
+        }
+        // A predicate nobody mined for.
+        let vocab = engine.graph().vocab().clone();
+        let ghost = Predicate::new(
+            gpar_pattern::NodeCond::Label(vocab.intern("cust")),
+            vocab.intern("never_mined"),
+            gpar_pattern::NodeCond::Any,
+        );
+        assert_eq!(engine.identify(ghost, None).unwrap_err(), QueryError::UnknownPredicate);
+    }
+
+    #[test]
+    fn engine_shuts_down_cleanly_under_load() {
+        let (g, cat, pred) = scenario();
+        let engine =
+            ServeEngine::new(g, &cat, ServeConfig { eta: 0.5, workers: 3, ..Default::default() });
+        for _ in 0..8 {
+            engine.identify(pred, Some(vec![NodeId(0)])).unwrap();
+        }
+        drop(engine); // must join all workers without hanging
+    }
+}

@@ -1,0 +1,318 @@
+//! The candidate index: per consequent predicate, everything a query
+//! needs that does **not** depend on the query itself.
+//!
+//! Built once per `(graph, catalog)` pair, the index holds for each
+//! predicate `q`:
+//!
+//! * the rule group (catalog entries pertaining to `q`), with rules whose
+//!   **antecedent label signature** cannot occur in the graph marked
+//!   inactive up front — a rule demanding a node or edge label the graph
+//!   simply does not contain matches nowhere, so queries never touch it;
+//! * a pre-built [`SharingPlan`] (the `|Σ|²` subsumption tests are paid
+//!   once per catalog version, not per request);
+//! * the candidate centers `L` (nodes satisfying `x`'s condition) with,
+//!   optionally, pre-computed k-hop [`Sketch`]es so candidates that cannot
+//!   cover *any* antecedent's demand at `x` are pruned without search
+//!   (§5.2's guidance, hoisted from per-query to index-build time);
+//! * the evaluation radius `d` (max rule radius, as EIP derives it).
+
+use crate::catalog::RuleCatalog;
+use gpar_core::{Gpar, Predicate};
+use gpar_eip::{antecedent_sketches, derive_radius, MatchOpts, SharingPlan};
+use gpar_graph::{FxHashMap, Graph, Label, NodeId, Sketch};
+use gpar_pattern::{pattern_sketch, NodeCond, Pattern};
+use rustc_hash::FxHashMap as Map;
+use std::sync::Arc;
+
+/// The sorted, deduplicated node- and edge-label demand of an antecedent.
+/// A necessary condition for `Q(x, G) ≠ ∅`: every concrete label `Q`
+/// mentions must exist in `G` (wildcards impose no demand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSignature {
+    /// Concrete node labels the antecedent requires.
+    pub node_labels: Vec<Label>,
+    /// Concrete edge labels the antecedent requires.
+    pub edge_labels: Vec<Label>,
+}
+
+impl LabelSignature {
+    /// Extracts the signature of a pattern.
+    pub fn of_pattern(p: &Pattern) -> Self {
+        let mut node_labels: Vec<Label> = p.conds().iter().filter_map(|c| c.label()).collect();
+        node_labels.sort_unstable();
+        node_labels.dedup();
+        let mut edge_labels: Vec<Label> = p
+            .edges()
+            .iter()
+            .filter_map(|e| match e.cond {
+                gpar_pattern::EdgeCond::Label(l) => Some(l),
+                gpar_pattern::EdgeCond::Any => None,
+            })
+            .collect();
+        edge_labels.sort_unstable();
+        edge_labels.dedup();
+        Self { node_labels, edge_labels }
+    }
+
+    /// Whether every demanded label occurs in the histograms (a sound
+    /// satisfiability prefilter: `false` ⇒ the pattern matches nowhere).
+    pub fn satisfiable_in(
+        &self,
+        node_hist: &FxHashMap<Label, u64>,
+        edge_hist: &FxHashMap<Label, u64>,
+    ) -> bool {
+        self.node_labels.iter().all(|l| node_hist.contains_key(l))
+            && self.edge_labels.iter().all(|l| edge_hist.contains_key(l))
+    }
+}
+
+/// Everything precomputed for one consequent predicate.
+#[derive(Debug)]
+pub struct PredicateGroup {
+    /// The predicate `q(x, y)` this group serves.
+    pub predicate: Predicate,
+    /// Catalog entry indices of the *active* rules, aligned with
+    /// [`PredicateGroup::rules`].
+    pub entry_indices: Vec<usize>,
+    /// Active rules (owned clones, in catalog order) — the Σ every query
+    /// for this predicate evaluates.
+    pub rules: Vec<Gpar>,
+    /// The same rules as shared handles (aligned with
+    /// [`PredicateGroup::rules`]) — query answers clone these `Arc`s
+    /// instead of deep-copying patterns.
+    pub rule_arcs: Vec<Arc<Gpar>>,
+    /// Rules dropped because their label signature cannot occur in the
+    /// graph.
+    pub inactive_rules: usize,
+    /// Pre-built common-subpattern sharing plan over [`PredicateGroup::rules`].
+    pub plan: SharingPlan,
+    /// Evaluation radius: `max(r(P_R, x), r(Q, x))` over the active rules
+    /// (exactly EIP's derivation).
+    pub d: u32,
+    /// Candidate centers `L` (nodes satisfying `x`'s condition), id order
+    /// — sorted, so membership of query-supplied ids is a binary search.
+    pub centers: Vec<NodeId>,
+    /// Per active rule: the antecedent's sketch at `x`, capped at depth
+    /// `d` (for the index-level candidate prefilter).
+    pub q_sketches: Arc<Vec<Sketch>>,
+    /// Per active rule: the antecedent sketches the *evaluator* uses
+    /// (depth from the engine's `MatchOpts`; shares the allocation with
+    /// [`PredicateGroup::q_sketches`] when the depths coincide).
+    pub eval_sketches: Arc<Vec<Sketch>>,
+    /// Per center (aligned with `centers`): its k-hop sketch, if sketch
+    /// pruning is enabled.
+    pub center_sketches: Option<Vec<Sketch>>,
+}
+
+impl PredicateGroup {
+    /// Whether the center at `centers[i]` can possibly match *some*
+    /// active antecedent (sound: `false` ⇒ member of no `Q(x, G)`).
+    pub fn center_may_match(&self, i: usize) -> bool {
+        match &self.center_sketches {
+            None => true,
+            Some(sk) => self.q_sketches.iter().any(|q| sk[i].covers(q)),
+        }
+    }
+}
+
+/// The full index: one [`PredicateGroup`] per predicate in the catalog
+/// (with at least one rule valid for the graph).
+#[derive(Debug, Default)]
+pub struct CandidateIndex {
+    groups: Map<Predicate, Arc<PredicateGroup>>,
+}
+
+impl CandidateIndex {
+    /// Builds the index for `graph` over every predicate of `catalog`.
+    ///
+    /// `sketch_k` enables candidate sketch pruning with that depth
+    /// (`0` disables it — build time drops, per-query work rises);
+    /// `d_override` pins the evaluation radius instead of deriving it;
+    /// `eval_opts` is the engine's per-candidate matching configuration,
+    /// used to pre-build the evaluator-side antecedent sketches.
+    pub fn build(
+        graph: &Graph,
+        catalog: &RuleCatalog,
+        sketch_k: u32,
+        d_override: Option<u32>,
+        eval_opts: &MatchOpts,
+    ) -> Self {
+        let node_hist = graph.node_label_histogram();
+        let edge_hist = graph.edge_label_histogram();
+        let mut groups = Map::default();
+        for pred in catalog.predicates() {
+            let mut entry_indices = Vec::new();
+            let mut rules = Vec::new();
+            let mut rule_arcs = Vec::new();
+            let mut inactive = 0usize;
+            for &i in catalog.indices_for(pred) {
+                let e = &catalog.entries()[i];
+                let sig = LabelSignature::of_pattern(e.rule.antecedent());
+                if sig.satisfiable_in(&node_hist, &edge_hist) {
+                    entry_indices.push(i);
+                    rules.push((*e.rule).clone());
+                    rule_arcs.push(e.rule.clone());
+                } else {
+                    inactive += 1;
+                }
+            }
+            if rules.is_empty() {
+                continue;
+            }
+            let plan = SharingPlan::build(&rules);
+            let d = d_override.unwrap_or_else(|| derive_radius(&rules));
+            let centers: Vec<NodeId> = match pred.x_cond {
+                NodeCond::Label(l) => graph.nodes_with_label(l).collect(),
+                NodeCond::Any => graph.nodes().collect(),
+            };
+            debug_assert!(centers.is_sorted(), "centers must stay binary-searchable");
+            let eval_sketches = antecedent_sketches(&rules, eval_opts);
+            // Index-side sketch depth must not exceed the evaluation
+            // radius: center sketches are built on the full graph, site
+            // evaluation sees the d-ball, and the two agree exactly on
+            // the first min(k, d) hops.
+            let k = sketch_k.min(d);
+            let (q_sketches, center_sketches) = if k > 0 {
+                let eval_depth = eval_sketches.first().map_or(0, |s| s.depth() as u32);
+                let qs = if eval_depth == k {
+                    // Same depth: the prefilter shares the evaluator's set.
+                    eval_sketches.clone()
+                } else {
+                    Arc::new(
+                        rules
+                            .iter()
+                            .map(|r| pattern_sketch(r.antecedent(), r.antecedent().x(), k))
+                            .collect::<Vec<Sketch>>(),
+                    )
+                };
+                let cs: Vec<Sketch> = centers.iter().map(|&c| Sketch::build(graph, c, k)).collect();
+                (qs, Some(cs))
+            } else {
+                (Arc::new(Vec::new()), None)
+            };
+            groups.insert(
+                *pred,
+                Arc::new(PredicateGroup {
+                    predicate: *pred,
+                    entry_indices,
+                    rules,
+                    rule_arcs,
+                    inactive_rules: inactive,
+                    plan,
+                    d,
+                    centers,
+                    q_sketches,
+                    eval_sketches,
+                    center_sketches,
+                }),
+            );
+        }
+        Self { groups }
+    }
+
+    /// The group serving `pred`, if any rule pertains to it.
+    pub fn group(&self, pred: &Predicate) -> Option<&Arc<PredicateGroup>> {
+        self.groups.get(pred)
+    }
+
+    /// Number of predicate groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the index serves no predicate.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterator over the groups.
+    pub fn groups(&self) -> impl Iterator<Item = &Arc<PredicateGroup>> {
+        self.groups.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_core::ConfStats;
+    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_pattern::PatternBuilder;
+
+    fn test_opts() -> MatchOpts {
+        MatchOpts::for_algorithm(gpar_eip::EipAlgorithm::Match)
+    }
+
+    fn setup() -> (Graph, RuleCatalog, Predicate) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let (like, visit) = (vocab.intern("like"), vocab.intern("visit"));
+        let ghost = vocab.intern("ghost_label");
+        let mut b = GraphBuilder::new(vocab.clone());
+        for _ in 0..4 {
+            let c = b.add_node(cust);
+            let r = b.add_node(rest);
+            b.add_edge(c, r, like);
+            b.add_edge(c, r, visit);
+        }
+        let g = b.build();
+
+        let mut cat = RuleCatalog::new(vocab.clone());
+        let mk = |via: Label, q: Label| {
+            let mut pb = PatternBuilder::new(vocab.clone());
+            let x = pb.node(cust);
+            let y = pb.node(rest);
+            pb.edge(x, y, via);
+            Arc::new(Gpar::new(pb.designate(x, y).build().unwrap(), q).unwrap())
+        };
+        let r1 = mk(like, visit);
+        let pred = *r1.predicate();
+        cat.insert(r1, ConfStats::default());
+        // This rule demands an edge label absent from the graph.
+        cat.insert(mk(ghost, visit), ConfStats::default());
+        (g, cat, pred)
+    }
+
+    #[test]
+    fn signature_pruning_deactivates_unsatisfiable_rules() {
+        let (g, cat, pred) = setup();
+        let idx = CandidateIndex::build(&g, &cat, 2, None, &test_opts());
+        let grp = idx.group(&pred).expect("group exists");
+        assert_eq!(grp.rules.len(), 1, "ghost rule must be inactive");
+        assert_eq!(grp.inactive_rules, 1);
+        assert_eq!(grp.entry_indices, vec![0]);
+    }
+
+    #[test]
+    fn centers_are_the_x_condition_matches() {
+        let (g, cat, pred) = setup();
+        let idx = CandidateIndex::build(&g, &cat, 0, None, &test_opts());
+        let grp = idx.group(&pred).unwrap();
+        assert_eq!(grp.centers.len(), 4, "four cust nodes");
+        assert!(grp.center_sketches.is_none(), "k = 0 disables sketches");
+        assert!(grp.center_may_match(0), "no sketches ⇒ nobody pruned");
+        assert!(grp.centers.is_sorted(), "centers must be binary-searchable");
+    }
+
+    #[test]
+    fn sketch_pruning_is_sound_on_matching_centers() {
+        let (g, cat, pred) = setup();
+        let idx = CandidateIndex::build(&g, &cat, 2, None, &test_opts());
+        let grp = idx.group(&pred).unwrap();
+        let sk = grp.center_sketches.as_ref().unwrap();
+        assert_eq!(sk.len(), grp.centers.len());
+        // Every cust here has a like-edge to a rest: none may be pruned.
+        for i in 0..grp.centers.len() {
+            assert!(grp.center_may_match(i), "center {i} wrongly pruned");
+        }
+    }
+
+    #[test]
+    fn derived_radius_covers_antecedent_and_rule() {
+        let (g, cat, pred) = setup();
+        let idx = CandidateIndex::build(&g, &cat, 2, None, &test_opts());
+        assert_eq!(idx.group(&pred).unwrap().d, 1);
+        let idx = CandidateIndex::build(&g, &cat, 2, Some(3), &test_opts());
+        assert_eq!(idx.group(&pred).unwrap().d, 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! # gpar-serve
+//!
+//! The serving subsystem: mine GPARs **once**, then answer entity
+//! identification queries (§5's EIP, "identify potential customers") at
+//! production rates against a live graph.
+//!
+//! The one-shot pipeline (`gpar-mine` → `gpar-eip`) re-derives everything
+//! per call: candidate sets, sharing plans, d-ball extractions, global
+//! confidences. This crate splits that work along the serving boundary:
+//!
+//! * [`RuleCatalog`] — the durable artifact between mining and serving: a
+//!   **versioned** rule collection with mining-time statistics, persisted
+//!   with the workspace's compact binary codec (`gpar_graph::io::bin` +
+//!   `gpar_pattern::codec`). Export a mining run with
+//!   [`RuleCatalog::from_mine_result`], ship the file, load it next to any
+//!   graph.
+//! * [`CandidateIndex`] — per consequent predicate: the rule group with
+//!   unsatisfiable rules deactivated (antecedent **label signature**
+//!   check), a pre-built [`gpar_eip::SharingPlan`], the candidate centers
+//!   `L`, and optional k-hop sketches so candidates that cannot cover any
+//!   antecedent's demand at `x` are pruned without search.
+//! * [`ServeEngine`] — a fixed worker pool servicing
+//!   [`identify`](ServeEngine::identify) /
+//!   [`top_rules`](ServeEngine::top_rules) requests concurrently, with a
+//!   shared LRU cache ([`cache::LruCache`]) of per-center d-ball
+//!   extractions so hot centers are never re-extracted.
+//!
+//! The engine's answers are **exactly** those of a direct
+//! [`gpar_eip::identify`] run on the same graph (the warm-up pass
+//! assembles the same global confidence counts); see the consistency
+//! contract in [`engine`].
+//!
+//! ```
+//! use gpar_serve::{RuleCatalog, ServeConfig, ServeEngine};
+//! use gpar_core::{ConfStats, Gpar};
+//! use gpar_graph::{GraphBuilder, Vocab};
+//! use gpar_pattern::PatternBuilder;
+//! use std::sync::Arc;
+//!
+//! // A tiny graph: two customers like a restaurant; one already visits.
+//! let vocab = Vocab::new();
+//! let (cust, rest) = (vocab.intern("cust"), vocab.intern("rest"));
+//! let (like, visit) = (vocab.intern("like"), vocab.intern("visit"));
+//! let mut b = GraphBuilder::new(vocab.clone());
+//! let c1 = b.add_node(cust);
+//! let c2 = b.add_node(cust);
+//! let r = b.add_node(rest);
+//! b.add_edge(c1, r, like);
+//! b.add_edge(c1, r, visit);
+//! b.add_edge(c2, r, like);
+//! let g = Arc::new(b.build());
+//!
+//! // Catalog one rule: like(x, y) ⇒ visit(x, y).
+//! let mut pb = PatternBuilder::new(vocab.clone());
+//! let x = pb.node(cust);
+//! let y = pb.node(rest);
+//! pb.edge(x, y, like);
+//! let rule = Gpar::new(pb.designate(x, y).build().unwrap(), visit).unwrap();
+//! let pred = *rule.predicate();
+//! let mut catalog = RuleCatalog::new(vocab);
+//! catalog.insert(Arc::new(rule), ConfStats::default());
+//!
+//! // Serve: c2 likes but does not yet visit — a potential customer.
+//! let engine = ServeEngine::new(g, &catalog, ServeConfig { eta: 0.0, ..Default::default() });
+//! let res = engine.identify(pred, None).unwrap();
+//! assert_eq!(res.customers, vec![c1, c2]);
+//! ```
+
+pub mod cache;
+pub mod catalog;
+pub mod engine;
+pub mod index;
+
+pub use cache::{CacheStats, LruCache};
+pub use catalog::{CatalogEntry, CatalogError, RuleCatalog, CATALOG_FORMAT_VERSION, CATALOG_MAGIC};
+pub use engine::{
+    EngineStats, IdentifyRequest, IdentifyResponse, QueryError, RuleInfo, ServeConfig, ServeEngine,
+};
+pub use index::{CandidateIndex, LabelSignature, PredicateGroup};

@@ -1,0 +1,123 @@
+//! End-to-end: mine on a generated social graph, export the catalog,
+//! round-trip it through the binary codec, and check the serving engine
+//! answers exactly as direct EIP evaluation.
+
+use gpar_core::Gpar;
+use gpar_datagen::pokec_like;
+use gpar_eip::{identify, EipAlgorithm, EipConfig};
+use gpar_graph::{NodeId, Vocab};
+use gpar_mine::{DMine, DmineConfig};
+use gpar_serve::{RuleCatalog, ServeConfig, ServeEngine};
+use std::sync::Arc;
+
+#[test]
+fn mined_catalog_roundtrips_and_serves_like_eip() {
+    let sg = pokec_like(600, 42);
+    let pred = sg.schema.predicate("music", 0).unwrap();
+    let cfg = DmineConfig { k: 4, sigma: 4, d: 2, workers: 2, max_rounds: 2, ..Default::default() };
+    let mined = DMine::new(cfg).run(&sg.graph, &pred);
+    assert!(!mined.sigma.is_empty(), "mining must retain rules on homophily data");
+
+    // Export → save → load through a fresh vocabulary.
+    let catalog = RuleCatalog::from_mine_result(&mined, sg.graph.vocab().clone());
+    assert_eq!(catalog.len(), mined.unique_sigma().len());
+    assert_eq!(catalog.version(), 1);
+    let mut buf = Vec::new();
+    catalog.save(&mut buf).unwrap();
+
+    // Serving-side: read the graph's own vocab (production would load the
+    // graph first, then the catalog into the same vocabulary).
+    let loaded = RuleCatalog::load(buf.as_slice(), sg.graph.vocab().clone()).unwrap();
+    assert_eq!(loaded.len(), catalog.len());
+    assert_eq!(loaded.version(), catalog.version());
+
+    // The loaded predicate key must equal the mining predicate (same
+    // vocab ⇒ same labels).
+    assert!(!loaded.indices_for(&pred).is_empty());
+
+    // Direct EIP on the same graph with the same Σ.
+    let sigma: Vec<Gpar> = loaded.rules_for(&pred).iter().map(|e| (*e.rule).clone()).collect();
+    let eta = 0.5;
+    let eip = identify(
+        &sg.graph,
+        &sigma,
+        &EipConfig { eta, d: Some(2), ..EipConfig::new(EipAlgorithm::Match, 3) },
+    )
+    .unwrap();
+    let mut expect: Vec<NodeId> = eip.customers.iter().copied().collect();
+    expect.sort_unstable();
+
+    let graph = Arc::new(sg.graph.clone());
+    for workers in [1, 4] {
+        let engine = ServeEngine::new(
+            graph.clone(),
+            &loaded,
+            ServeConfig { workers, eta, d: Some(2), ..Default::default() },
+        );
+        let res = engine.identify(pred, None).unwrap();
+        assert_eq!(res.customers, expect, "serve (w={workers}) must equal direct EIP");
+
+        // Per-rule serving confidences equal EIP's assembly.
+        let top = engine.top_rules(pred, sigma.len()).unwrap();
+        let mut eip_stats: Vec<_> = eip.per_rule.iter().map(|o| o.stats).collect();
+        let mut srv_stats: Vec<_> = top.iter().map(|r| r.stats).collect();
+        eip_stats.sort_by_key(|s| (s.supp_r, s.supp_q_ante, s.supp_q_qbar));
+        srv_stats.sort_by_key(|s| (s.supp_r, s.supp_q_ante, s.supp_q_qbar));
+        assert_eq!(srv_stats, eip_stats);
+
+        // Subset queries are intersections of the full answer.
+        let subset: Vec<NodeId> =
+            (0..sg.graph.node_count() as u32).step_by(7).map(NodeId).collect();
+        let sub = engine.identify(pred, Some(subset.clone())).unwrap();
+        let want: Vec<NodeId> =
+            subset.iter().filter(|c| eip.customers.contains(c)).copied().collect();
+        assert_eq!(sub.customers, want);
+    }
+}
+
+#[test]
+fn catalog_survives_a_cold_vocabulary() {
+    // Loading into a *fresh* vocab re-interns label names; serving a graph
+    // written/read through the binary codec with that same vocab must
+    // still work end-to-end.
+    let sg = pokec_like(300, 7);
+    let pred = sg.schema.predicate("music", 0).unwrap();
+    let cfg = DmineConfig { k: 3, sigma: 3, d: 2, workers: 2, max_rounds: 1, ..Default::default() };
+    let mined = DMine::new(cfg).run(&sg.graph, &pred);
+    if mined.sigma.is_empty() {
+        return; // tiny graph: nothing mined at this σ, nothing to check
+    }
+    let catalog = RuleCatalog::from_mine_result(&mined, sg.graph.vocab().clone());
+    let mut cat_bytes = Vec::new();
+    catalog.save(&mut cat_bytes).unwrap();
+    let mut graph_bytes = Vec::new();
+    gpar_graph::io::write_graph_binary(&sg.graph, &mut graph_bytes).unwrap();
+
+    // Cold start: new vocab, graph first, catalog second.
+    let vocab = Vocab::new();
+    let graph =
+        Arc::new(gpar_graph::io::read_graph_binary(graph_bytes.as_slice(), vocab.clone()).unwrap());
+    let loaded = RuleCatalog::load(cat_bytes.as_slice(), vocab.clone()).unwrap();
+
+    // Rebuild the predicate key in the new vocabulary by name.
+    let family = sg.schema.family("music").unwrap();
+    let pred_cold = gpar_core::Predicate::new(
+        gpar_pattern::NodeCond::Label(vocab.get("user").unwrap()),
+        vocab.get(&sg.graph.vocab().resolve(family.edge)).unwrap(),
+        gpar_pattern::NodeCond::Label(
+            vocab.get(&sg.graph.vocab().resolve(family.values[0])).unwrap(),
+        ),
+    );
+    let engine = ServeEngine::new(graph, &loaded, ServeConfig { eta: 0.5, ..Default::default() });
+    assert!(engine.predicates().contains(&pred_cold));
+    let res = engine.identify(pred_cold, None).unwrap();
+
+    // Same answer as serving in the original vocabulary.
+    let orig = ServeEngine::new(
+        Arc::new(sg.graph.clone()),
+        &catalog,
+        ServeConfig { eta: 0.5, ..Default::default() },
+    );
+    let orig_res = orig.identify(pred, None).unwrap();
+    assert_eq!(res.customers.len(), orig_res.customers.len());
+}

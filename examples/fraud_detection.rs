@@ -90,12 +90,8 @@ fn main() {
     assert_eq!(eval.supp_q_ante, 3);
 
     // The suspects: accounts matching Q4 that are not yet confirmed fake.
-    let suspects: Vec<NodeId> = eval
-        .q_matches
-        .iter()
-        .copied()
-        .filter(|&a| !g.has_edge(a, fake_node, is_a))
-        .collect();
+    let suspects: Vec<NodeId> =
+        eval.q_matches.iter().copied().filter(|&a| !g.has_edge(a, fake_node, is_a)).collect();
     println!("suspects flagged: {} accounts", suspects.len());
     assert_eq!(suspects.len(), 3, "acct1, acct2, acct3");
 

@@ -48,7 +48,7 @@ fn main() {
     for r in &mined.top_k {
         let p = precision(&r.rule, &test.graph, &opts);
         println!("  prec={p:.3} for {}", r.rule);
-        if best.as_ref().map_or(true, |(bp, _)| p > *bp) {
+        if best.as_ref().is_none_or(|(bp, _)| p > *bp) {
             best = Some((p, r));
         }
     }
@@ -63,9 +63,5 @@ fn main() {
         res.candidates
     );
     let (p, r) = best.expect("at least one rule");
-    println!(
-        "\nbest rule generalizes with precision {:.1}%:\n  {}",
-        100.0 * p,
-        r.rule
-    );
+    println!("\nbest rule generalizes with precision {:.1}%:\n  {}", 100.0 * p, r.rule);
 }

@@ -53,13 +53,7 @@ fn main() {
     );
     println!("top-{} diversified GPARs:", result.top_k.len());
     for (i, r) in result.top_k.iter().enumerate() {
-        println!(
-            "  #{:<2} conf={:.3} supp={:<4} {}",
-            i + 1,
-            r.conf_value,
-            r.support(),
-            r.rule
-        );
+        println!("  #{:<2} conf={:.3} supp={:<4} {}", i + 1, r.conf_value, r.support(), r.rule);
     }
 
     // ---- GRAMI-style frequency-only mining (the contrast) ------------

@@ -14,11 +14,7 @@ use std::time::Instant;
 
 fn main() {
     let sg = pokec_like(4000, 7);
-    println!(
-        "graph: {} nodes, {} edges",
-        sg.graph.node_count(),
-        sg.graph.edge_count()
-    );
+    println!("graph: {} nodes, {} edges", sg.graph.node_count(), sg.graph.edge_count());
 
     let pred = sg.schema.predicate("restaurant", 0).expect("restaurant family");
     let rules = generate_rules(
@@ -29,12 +25,9 @@ fn main() {
     println!("Σ: {} GPARs pertaining to visit(user, restaurant_00), |R| ≈ (5, 8)", rules.len());
 
     let mut reference: Option<FxHashSetAlias> = None;
-    for algo in [
-        EipAlgorithm::DisVf2,
-        EipAlgorithm::Matchc,
-        EipAlgorithm::Matchs,
-        EipAlgorithm::Match,
-    ] {
+    for algo in
+        [EipAlgorithm::DisVf2, EipAlgorithm::Matchc, EipAlgorithm::Matchs, EipAlgorithm::Match]
+    {
         let cfg = EipConfig { eta: 1.0, ..EipConfig::new(algo, 4) };
         let t0 = Instant::now();
         let res = identify(&sg.graph, &rules, &cfg).expect("valid Σ");
@@ -54,12 +47,8 @@ fn main() {
     let cfg = EipConfig { eta: 1.0, ..EipConfig::new(EipAlgorithm::Match, 4) };
     let res = identify(&sg.graph, &rules, &cfg).unwrap();
     println!("\nmost confident rules:");
-    let mut ranked: Vec<(usize, f64)> = res
-        .per_rule
-        .iter()
-        .enumerate()
-        .map(|(i, o)| (i, o.confidence.ranking_value()))
-        .collect();
+    let mut ranked: Vec<(usize, f64)> =
+        res.per_rule.iter().enumerate().map(|(i, o)| (i, o.confidence.ranking_value())).collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     for &(i, conf) in ranked.iter().take(3) {
         let o = &res.per_rule[i];

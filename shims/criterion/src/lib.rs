@@ -1,0 +1,163 @@
+//! Offline shim for `criterion`: a minimal, dependency-free bench harness
+//! exposing the subset of the API the workspace's benches use
+//! (`Criterion`, benchmark groups, `Bencher::iter`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`). It reports the mean wall-clock
+//! time per iteration — no statistics, plots or comparisons. See
+//! `shims/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so callers can `criterion::black_box` as upstream allows.
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id from a function name + param.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// Id from just a parameter value (the common form in this repo).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running one untimed warm-up pass then `samples`
+    /// timed passes, recording the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.last_mean = Some(t0.elapsed() / self.samples as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples, last_mean: None };
+    f(&mut b);
+    match b.last_mean {
+        Some(mean) => println!("bench: {full_id:<48} {:>12.3?} /iter  ({samples} samples)", mean),
+        None => println!("bench: {full_id:<48} (no iter() call)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.samples, f);
+        self
+    }
+
+    /// Finishes the group (no-op; prints a separator for readability).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.effective_samples();
+        run_one(&id.to_string(), samples, f);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.effective_samples();
+        BenchmarkGroup { name: name.into(), samples, _criterion: self }
+    }
+
+    /// Default sample count (10, as the repo's groups configure anyway).
+    fn effective_samples(&self) -> usize {
+        if self.samples == 0 {
+            10
+        } else {
+            self.samples
+        }
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_mean() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3).bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline shim for `crossbeam`: the `scope` + `channel::unbounded` subset,
+//! implemented over `std::thread::scope` and `std::sync::mpsc`. See
+//! `shims/README.md`.
+//!
+//! Behavioral notes versus the real crate:
+//! * `scope` returns `Ok(..)` always; a panicking child thread propagates
+//!   its panic when the underlying `std::thread::scope` joins, instead of
+//!   surfacing as `Err`. Callers that `.expect(..)` the result observe a
+//!   panic either way.
+//! * `channel::Receiver` is the single-consumer `mpsc` receiver (the
+//!   workspace never clones receivers).
+
+use std::any::Any;
+
+/// Scoped-thread handle passed to [`scope`] closures and to each spawned
+/// thread (crossbeam's `spawn` closures take `&Scope` as an argument).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle, as
+    /// with crossbeam (commonly ignored as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow non-`'static` data.
+/// All threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Multi-producer channels (the `crossbeam::channel` subset).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let (tx, rx) = channel::unbounded::<u32>();
+        let sum: u32 = scope(|s| {
+            for chunk in data.chunks(2) {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    tx.send(chunk.iter().sum()).unwrap();
+                });
+            }
+            drop(tx);
+            rx.iter().sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_arg() {
+        let n = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline shim for the `libc` crate: only the `clock_gettime` surface the
+//! workspace uses for per-thread CPU timing. Linux-only. See
+//! `shims/README.md`.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type time_t = i64;
+pub type clockid_t = c_int;
+
+/// `CLOCK_THREAD_CPUTIME_ID` from `<time.h>` on Linux.
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+/// `struct timespec` from `<time.h>` (x86-64/aarch64 Linux layout).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+extern "C" {
+    /// POSIX `clock_gettime(2)`, linked from the system C library.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_ticks() {
+        let mut a = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a) };
+        assert_eq!(rc, 0);
+        // Burn a little CPU, then read again: must not go backwards.
+        let mut x = 0u64;
+        for i in 0..100_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let mut b = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) };
+        assert_eq!(rc, 0);
+        assert!((b.tv_sec, b.tv_nsec) >= (a.tv_sec, a.tv_nsec));
+    }
+}

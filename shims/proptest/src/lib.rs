@@ -1,0 +1,306 @@
+//! Offline shim for `proptest`: a seeded random-input harness exposing the
+//! subset the workspace's property tests use — the [`proptest!`] macro,
+//! the [`Strategy`] trait with `prop_map`, range / tuple strategies,
+//! `collection::{vec, hash_set}`, `ProptestConfig`, and the
+//! `prop_assert*` macros. **No shrinking**: a failing case panics with the
+//! deterministic case index so it can be replayed. See `shims/README.md`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// The per-test RNG (SplitMix64; deterministic per case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for one numbered test case.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // Mix the test name so distinct tests explore distinct streams.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Multiply-shift; bias is < 2^-64 * n, irrelevant for testing.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec`s with element strategy `S` and a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, size_range)` as in upstream proptest.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s (size is best-effort under collisions).
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `hash_set(element, size_range)` as in upstream proptest.
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.clone().generate(rng);
+            let mut out = HashSet::with_capacity(n);
+            // Bounded attempts: collisions simply yield a smaller set.
+            for _ in 0..n * 4 {
+                if out.len() == n {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Run configuration for [`proptest!`] blocks.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` deterministic
+/// random cases. On failure the panic message carries the case number.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            #[test]
+            fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )*
+                    let run = || -> () { $body };
+                    if let Err(payload) = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest case {case}/{} of `{}` failed",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    // No config attribute: use the default.
+    (
+        $(
+            #[test]
+            fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                #[test]
+                fn $name( $( $arg in $strat ),* ) $body
+            )*
+        }
+    };
+}
+
+/// Glob-import surface matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_compose(
+            x in 3u32..9,
+            pair in (0usize..4, 10u64..12),
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(pair.0 < 4 && (10..12).contains(&pair.1));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in collection::vec((0u32..5, 0u32..5), 0..7),
+            s in collection::hash_set(0u32..100, 0..6),
+        ) {
+            prop_assert!(v.len() < 7);
+            prop_assert!(s.len() < 6);
+        }
+
+        #[test]
+        fn prop_map_applies(y in (1u32..4).prop_map(|v| v * 10)) {
+            prop_assert!(y == 10 || y == 20 || y == 30, "{y}");
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..5).map(|c| TestRng::for_case("t", c).next_u64()).collect();
+        let b: Vec<u64> = (0..5).map(|c| TestRng::for_case("t", c).next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], TestRng::for_case("other", 0).next_u64());
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline shim for `rand_distr`: the `Distribution` trait and a `Zipf`
+//! sampler (exact inverse-CDF over a precomputed table — the workspace
+//! only instantiates small alphabets). See `shims/README.md`.
+
+use rand::Rng;
+
+/// Types that can sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Errors constructing a [`Zipf`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` must be at least 1.
+    EmptySupport,
+    /// The exponent must be finite and non-negative.
+    BadExponent,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::EmptySupport => write!(f, "zipf: n must be >= 1"),
+            ZipfError::BadExponent => write!(f, "zipf: exponent must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over `{1, …, n}` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`. Samples are returned as `f64` holding the integer
+/// rank, matching the upstream crate's `Zipf<f64>` the workspace uses
+/// (`sample(..) as usize - 1`).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[k-1] = P(X <= k)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution with support `1..=n` and exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::EmptySupport);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::BadExponent);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        *cdf.last_mut().unwrap() = 1.0;
+        Ok(Self { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit uniform in [0, 1), inverted through the CDF table.
+        let bits = rng.next_u64() >> 11;
+        let unit = bits as f64 * (1.0 / (1u64 << 53) as f64);
+        let idx = self.cdf.partition_point(|&c| c <= unit);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Zipf::new(0, 1.0).unwrap_err(), ZipfError::EmptySupport);
+        assert_eq!(Zipf::new(5, f64::NAN).unwrap_err(), ZipfError::BadExponent);
+        assert!(Zipf::new(5, 0.0).is_ok());
+    }
+
+    #[test]
+    fn samples_stay_in_support_and_skew_low_ranks() {
+        let z = Zipf::new(40, 1.35).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 40];
+        for _ in 0..20_000 {
+            let v = z.sample(&mut rng);
+            let k = v as usize;
+            assert!((1..=40).contains(&k), "{v}");
+            counts[k - 1] += 1;
+        }
+        assert!(counts[0] > counts[9], "rank 1 must dominate rank 10");
+        assert!(counts[0] > 4000, "rank 1 should take a large share: {}", counts[0]);
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 4];
+        for _ in 0..8000 {
+            counts[z.sample(&mut rng) as usize - 1] += 1;
+        }
+        for c in counts {
+            assert!((1700..2300).contains(&c), "{counts:?}");
+        }
+    }
+}

@@ -18,7 +18,10 @@
 //! * [`mine`] — `DMine`, the parallel diversified top-k GPAR miner (DMP),
 //! * [`eip`] — `Match`/`Matchc`/`disVF2`, parallel-scalable entity
 //!   identification (EIP),
-//! * [`datagen`] — seeded social-graph and workload generators.
+//! * [`datagen`] — seeded social-graph and workload generators,
+//! * [`serve`] — the serving subsystem: versioned rule catalogs (binary
+//!   codec), candidate indexes, and a concurrent worker-pool query engine
+//!   with d-ball caching.
 //!
 //! ## Quickstart
 //!
@@ -64,6 +67,7 @@ pub use gpar_iso as iso;
 pub use gpar_mine as mine;
 pub use gpar_partition as partition;
 pub use gpar_pattern as pattern;
+pub use gpar_serve as serve;
 
 /// Convenient glob-import surface covering the common API.
 pub mod prelude {
@@ -78,4 +82,5 @@ pub mod prelude {
     pub use gpar_mine::{DMine, DmineConfig, MineOpts, MineResult, MinedRule};
     pub use gpar_partition::{partition_by_centers, Fragment, PartitionStrategy};
     pub use gpar_pattern::{NodeCond, Pattern, PatternBuilder};
+    pub use gpar_serve::{RuleCatalog, ServeConfig, ServeEngine};
 }

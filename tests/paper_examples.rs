@@ -1,8 +1,8 @@
 //! Integration tests pinning down the paper's worked examples end to end
 //! (Examples 1–10 of Fan et al., PVLDB 2015) across all crates.
 
-use gpar::prelude::*;
 use gpar::core::q_stats;
+use gpar::prelude::*;
 
 /// Builds the paper's graph `G1` (Fig. 2). Returns the graph, the six
 /// customer nodes, and Le Bernardin.
@@ -123,11 +123,8 @@ fn example_8_diversified_pair_beats_redundant_pair() {
     let cust = vocab.get("cust").unwrap();
     let fr = vocab.get("french_restaurant").unwrap();
     let asian = vocab.get("asian_restaurant").unwrap();
-    let (friend, like, visit) = (
-        vocab.get("friend").unwrap(),
-        vocab.get("like").unwrap(),
-        vocab.get("visit").unwrap(),
-    );
+    let (friend, like, visit) =
+        (vocab.get("friend").unwrap(), vocab.get("like").unwrap(), vocab.get("visit").unwrap());
     // R7-style: x, x' friends; x' likes FR^2; x' visits y.
     let mut b = PatternBuilder::new(vocab.clone());
     let x = b.node(cust);

@@ -48,8 +48,7 @@ fn dmine_worker_counts_agree_even_when_capped() {
             ..Default::default()
         };
         let res = DMine::new(cfg).run(&sg.graph, &pred);
-        let mut codes: Vec<_> =
-            res.sigma.iter().map(|r| r.rule.pr().canonical_code()).collect();
+        let mut codes: Vec<_> = res.sigma.iter().map(|r| r.rule.pr().canonical_code()).collect();
         codes.sort();
         (codes, res.sigma_size)
     };
@@ -132,7 +131,8 @@ fn planted_rules_are_rediscovered_with_expected_confidence() {
     let pred = *truth.predicate();
     let qs = q_stats(&g, &pred);
     assert_eq!(qs.supp_q() as usize, report.positives);
-    let cfg = DmineConfig { k: 2, sigma: 10, d: 2, workers: 2, max_rounds: 1, ..Default::default() };
+    let cfg =
+        DmineConfig { k: 2, sigma: 10, d: 2, workers: 2, max_rounds: 1, ..Default::default() };
     let res = DMine::new(cfg).run(&g, &pred);
     let found = res
         .sigma

@@ -1,0 +1,255 @@
+//! Property-based round-trip tests for the serialization surfaces: the
+//! text graph format, the binary graph codec, the binary pattern codec,
+//! and binary rule catalogs — plus malformed-input rejection.
+
+use gpar::core::{ConfStats, Gpar};
+use gpar::graph::io::{read_graph, read_graph_binary, write_graph, write_graph_binary, ParseError};
+use gpar::graph::{Graph, GraphBuilder, NodeId, Vocab};
+use gpar::pattern::{
+    read_pattern_binary, write_pattern_binary, EdgeCond, NodeCond, PEdge, PNodeId, Pattern,
+};
+use gpar::serve::RuleCatalog;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const NLABELS: u32 = 4;
+const ELABELS: u32 = 3;
+
+/// Strategy: a random small labeled digraph (≤ 10 nodes, ≤ 24 edges).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..10, collection::vec((0u32..10, 0u32..10, 0u32..ELABELS), 0..24)).prop_map(
+        |(n, edges)| {
+            let vocab = Vocab::new();
+            let nl: Vec<_> = (0..NLABELS).map(|i| vocab.intern(&format!("node_{i}"))).collect();
+            let el: Vec<_> = (0..ELABELS).map(|i| vocab.intern(&format!("edge_{i}"))).collect();
+            let mut b = GraphBuilder::new(vocab);
+            for i in 0..n {
+                b.add_node(nl[i % nl.len()]);
+            }
+            for (s, d, l) in edges {
+                b.add_edge(NodeId(s % n as u32), NodeId(d % n as u32), el[l as usize]);
+            }
+            b.build()
+        },
+    )
+}
+
+/// Strategy: a random valid pattern with designated x (and sometimes y).
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    (1usize..6, collection::vec((0u32..6, 0u32..6, 0u32..ELABELS, 0u32..4), 0..8), 0u32..6, 0u32..7)
+        .prop_map(|(n, edges, x, y)| {
+            let vocab = Vocab::new();
+            let nl: Vec<_> = (0..NLABELS).map(|i| vocab.intern(&format!("node_{i}"))).collect();
+            let el: Vec<_> = (0..ELABELS).map(|i| vocab.intern(&format!("edge_{i}"))).collect();
+            // Mix of labeled and wildcard node conditions.
+            let conds: Vec<NodeCond> = (0..n)
+                .map(|i| if i % 3 == 2 { NodeCond::Any } else { NodeCond::Label(nl[i % nl.len()]) })
+                .collect();
+            let mut pedges = Vec::new();
+            for (s, d, l, any) in edges {
+                let e = PEdge {
+                    src: PNodeId(s % n as u32),
+                    dst: PNodeId(d % n as u32),
+                    cond: if any == 0 { EdgeCond::Any } else { EdgeCond::Label(el[l as usize]) },
+                };
+                if !pedges.contains(&e) {
+                    pedges.push(e);
+                }
+            }
+            let x = PNodeId(x % n as u32);
+            let y = if y as usize >= n { None } else { Some(PNodeId(y)) };
+            Pattern::from_parts(conds, pedges, x, y, vocab).expect("constructed valid")
+        })
+}
+
+fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+    // Structural equality with label comparison *by name* (the vocabs
+    // differ after a round-trip into a fresh Vocab).
+    if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    let name = |g: &Graph, l| g.vocab().resolve(l);
+    for v in a.nodes() {
+        if name(a, a.node_label(v)) != name(b, b.node_label(v)) {
+            return false;
+        }
+        let ea = a.out_edges(v);
+        let eb = b.out_edges(v);
+        if ea.len() != eb.len() {
+            return false;
+        }
+        let mut la: Vec<_> = ea.iter().map(|e| (name(a, e.label), e.node)).collect();
+        let mut lb: Vec<_> = eb.iter().map(|e| (name(b, e.label), e.node)).collect();
+        la.sort();
+        lb.sort();
+        if la != lb {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn text_roundtrip_preserves_graphs(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice(), Vocab::new()).unwrap();
+        prop_assert!(graphs_equal(&g, &g2));
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_graphs(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        let g2 = read_graph_binary(buf.as_slice(), Vocab::new()).unwrap();
+        prop_assert!(graphs_equal(&g, &g2));
+        // And reading back through the *same* vocab preserves label ids.
+        let mut buf2 = Vec::new();
+        write_graph_binary(&g2, &mut buf2).unwrap();
+        let g3 = read_graph_binary(buf2.as_slice(), g2.vocab().clone()).unwrap();
+        for v in g2.nodes() {
+            prop_assert_eq!(g2.node_label(v), g3.node_label(v));
+        }
+    }
+
+    #[test]
+    fn binary_graphs_reject_any_truncation(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            prop_assert!(read_graph_binary(&buf[..cut], Vocab::new()).is_err());
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_patterns(p in arb_pattern()) {
+        let mut buf = Vec::new();
+        write_pattern_binary(&p, &mut buf).unwrap();
+        let q = read_pattern_binary(buf.as_slice(), Vocab::new()).unwrap();
+        prop_assert_eq!(p.node_count(), q.node_count());
+        prop_assert_eq!(p.edge_count(), q.edge_count());
+        prop_assert_eq!(p.x(), q.x());
+        prop_assert_eq!(p.y(), q.y());
+        // Node conditions agree by name.
+        for u in p.nodes() {
+            match (p.cond(u), q.cond(u)) {
+                (NodeCond::Any, NodeCond::Any) => {}
+                (NodeCond::Label(a), NodeCond::Label(b)) => {
+                    prop_assert_eq!(p.vocab().resolve(a), q.vocab().resolve(b));
+                }
+                other => prop_assert!(false, "cond mismatch {:?}", other),
+            }
+        }
+        // Label symbols are only comparable within one vocabulary, so the
+        // exact isomorphism check runs on a same-vocab round-trip.
+        let same = read_pattern_binary(buf.as_slice(), p.vocab().clone()).unwrap();
+        prop_assert!(gpar::pattern::are_isomorphic(&p, &same, true));
+    }
+
+    #[test]
+    fn binary_patterns_reject_any_truncation(p in arb_pattern()) {
+        let mut buf = Vec::new();
+        write_pattern_binary(&p, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            prop_assert!(read_pattern_binary(&buf[..cut], Vocab::new()).is_err());
+        }
+    }
+
+    #[test]
+    fn catalog_roundtrip_preserves_rules_and_stats(
+        rules in collection::vec((1u32..4, 0u32..3, 1u64..50, 0u64..20), 1..6),
+    ) {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let shop = vocab.intern("shop");
+        let q = vocab.intern("buys");
+        let mut cat = RuleCatalog::new(vocab.clone());
+        for (edges, el, supp, qqbar) in rules {
+            // A star antecedent x →(e_el) shop, with `edges` rays.
+            let mut conds = vec![NodeCond::Label(cust), NodeCond::Label(shop)];
+            let mut pedges = Vec::new();
+            for i in 0..edges {
+                conds.push(NodeCond::Label(shop));
+                pedges.push(PEdge {
+                    src: PNodeId(0),
+                    dst: PNodeId(1 + i),
+                    cond: EdgeCond::Label(vocab.intern(&format!("edge_{}", (el + i) % 5))),
+                });
+            }
+            let p = Pattern::from_parts(conds, pedges, PNodeId(0), Some(PNodeId(1)), vocab.clone())
+                .unwrap();
+            if let Ok(rule) = Gpar::new(p, q) {
+                let stats = ConfStats {
+                    supp_r: supp,
+                    supp_q_ante: supp + qqbar,
+                    supp_q: supp + 5,
+                    supp_qbar: qqbar + 1,
+                    supp_q_qbar: qqbar,
+                };
+                cat.insert(Arc::new(rule), stats);
+            }
+        }
+        let mut buf = Vec::new();
+        cat.save(&mut buf).unwrap();
+        // Load into the same vocabulary so the exact isomorphism check is
+        // meaningful (fresh-vocab loading is covered by the catalog's own
+        // unit tests and `mine_to_serve`).
+        let back = RuleCatalog::load(buf.as_slice(), vocab.clone()).unwrap();
+        prop_assert_eq!(back.len(), cat.len());
+        prop_assert_eq!(back.version(), cat.version());
+        for (a, b) in cat.entries().iter().zip(back.entries()) {
+            prop_assert_eq!(a.stats, b.stats);
+            prop_assert_eq!(a.confidence(), b.confidence());
+            prop_assert!(gpar::pattern::are_isomorphic(a.rule.pr(), b.rule.pr(), true));
+        }
+
+        // Any truncation must be rejected, never panic.
+        for cut in (0..buf.len()).step_by(3) {
+            prop_assert!(RuleCatalog::load(&buf[..cut], Vocab::new()).is_err());
+        }
+    }
+}
+
+#[test]
+fn text_parser_reports_real_line_numbers() {
+    // Edge referencing an undeclared node: the edge's own line.
+    let err = read_graph("v 0 a\n\ne 0 9 x\n".as_bytes(), Vocab::new()).unwrap_err();
+    match err {
+        ParseError::Malformed(line, msg) => {
+            assert_eq!(line, 3, "{msg}");
+            assert!(msg.contains("undeclared"), "{msg}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // A hole implied by an out-of-order declaration: the implying line.
+    let err = read_graph("# c\n# c\nv 2 a\n".as_bytes(), Vocab::new()).unwrap_err();
+    match err {
+        ParseError::Malformed(line, msg) => {
+            assert_eq!(line, 3, "{msg}");
+            assert!(msg.contains("never declared"), "{msg}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn binary_codecs_reject_cross_format_streams() {
+    // Feeding a pattern stream to the graph reader (and vice versa) must
+    // fail on the magic, not misparse.
+    let vocab = Vocab::new();
+    let cust = vocab.intern("cust");
+    let p =
+        Pattern::from_parts(vec![NodeCond::Label(cust)], vec![], PNodeId(0), None, vocab).unwrap();
+    let mut pbuf = Vec::new();
+    write_pattern_binary(&p, &mut pbuf).unwrap();
+    assert!(read_graph_binary(pbuf.as_slice(), Vocab::new()).is_err());
+
+    let g = GraphBuilder::with_fresh_vocab().build();
+    let mut gbuf = Vec::new();
+    write_graph_binary(&g, &mut gbuf).unwrap();
+    assert!(read_pattern_binary(gbuf.as_slice(), Vocab::new()).is_err());
+    assert!(RuleCatalog::load(gbuf.as_slice(), Vocab::new()).is_err());
+}
