@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpar_bench::Workloads;
 use gpar_datagen::{generate_rules, RuleGenConfig};
-use gpar_iso::{Matcher, MatcherConfig};
+use gpar_iso::{Matcher, MatcherConfig, PatternSketchCache, SharedScratch};
 use gpar_partition::CenterSite;
 
 fn bench_engines(c: &mut Criterion) {
@@ -34,10 +34,16 @@ fn bench_engines(c: &mut Criterion) {
         ("guided", MatcherConfig::guided()),
     ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            // One scratch arena + pattern-sketch cache per "worker", as
+            // the EIP/mine/serve evaluators thread them.
+            let scratch = SharedScratch::default();
+            let psketch = PatternSketchCache::default();
             b.iter(|| {
                 let mut hits = 0u32;
                 for s in &sites {
-                    let m = Matcher::new(s.graph(), cfg);
+                    let m = Matcher::new(s.graph(), cfg)
+                        .with_scratch(scratch.clone())
+                        .with_shared_pattern_cache(psketch.clone());
                     if m.exists_anchored(rule.pr(), rule.pr().x(), s.center) {
                         hits += 1;
                     }
@@ -50,10 +56,11 @@ fn bench_engines(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("iso/termination");
     group.bench_function("early_termination", |b| {
+        let scratch = SharedScratch::default();
         b.iter(|| {
             let mut hits = 0u32;
             for s in &sites {
-                let m = Matcher::new(s.graph(), MatcherConfig::vf2());
+                let m = Matcher::new(s.graph(), MatcherConfig::vf2()).with_scratch(scratch.clone());
                 hits += u32::from(m.exists_anchored(
                     rule.antecedent(),
                     rule.antecedent().x(),
@@ -64,10 +71,11 @@ fn bench_engines(c: &mut Criterion) {
         })
     });
     group.bench_function("full_enumeration", |b| {
+        let scratch = SharedScratch::default();
         b.iter(|| {
             let mut total = 0u64;
             for s in &sites {
-                let m = Matcher::new(s.graph(), MatcherConfig::vf2());
+                let m = Matcher::new(s.graph(), MatcherConfig::vf2()).with_scratch(scratch.clone());
                 total += m.count_anchored(rule.antecedent(), rule.antecedent().x(), s.center, None);
             }
             total

@@ -92,6 +92,10 @@ pub struct CandidateEvaluator<'r> {
     /// Pattern sketches shared across the per-site matchers (they do not
     /// depend on the data graph).
     psketch_cache: gpar_iso::PatternSketchCache,
+    /// Search-state arena shared across the per-site matchers: candidate
+    /// stacks, mark buffers and traversal scratch survive the thousands
+    /// of matcher invocations a worker makes per round.
+    scratch: gpar_iso::SharedScratch,
 }
 
 impl<'r> CandidateEvaluator<'r> {
@@ -109,6 +113,15 @@ impl<'r> CandidateEvaluator<'r> {
     /// `Rc`-based and must stay thread-local.
     pub fn with_pattern_cache(mut self, cache: gpar_iso::PatternSketchCache) -> Self {
         self.psketch_cache = cache;
+        self
+    }
+
+    /// Replaces the internal search-state arena with a caller-provided
+    /// one (see [`gpar_iso::SharedScratch`]). Like the pattern cache,
+    /// successive evaluators on one thread then reuse search buffers
+    /// instead of regrowing them per evaluator; `Rc`-based, thread-local.
+    pub fn with_scratch(mut self, scratch: gpar_iso::SharedScratch) -> Self {
+        self.scratch = scratch;
         self
     }
 
@@ -138,6 +151,7 @@ impl<'r> CandidateEvaluator<'r> {
             q_sketches,
             sketch_k: effective_sketch_k(&opts),
             psketch_cache: gpar_iso::PatternSketchCache::default(),
+            scratch: gpar_iso::SharedScratch::default(),
         }
     }
 
@@ -150,6 +164,7 @@ impl<'r> CandidateEvaluator<'r> {
             q_sketches: antecedent_sketches(rules, &opts),
             sketch_k: effective_sketch_k(&opts),
             psketch_cache: gpar_iso::PatternSketchCache::default(),
+            scratch: gpar_iso::SharedScratch::default(),
         }
     }
 
@@ -167,11 +182,14 @@ impl<'r> CandidateEvaluator<'r> {
         let n = self.rules.len();
         let mut q_member = vec![false; n];
         let mut pr_member = vec![false; n];
-        let matcher =
-            Matcher::new(g, self.opts.engine).with_shared_pattern_cache(self.psketch_cache.clone());
-        // Candidate-level sketch prefilter: built once per candidate.
-        let center_sketch =
-            self.opts.sketch_guidance.then(|| Sketch::build(g, center, self.sketch_k));
+        let matcher = Matcher::new(g, self.opts.engine)
+            .with_shared_pattern_cache(self.psketch_cache.clone())
+            .with_scratch(self.scratch.clone());
+        // Candidate-level sketch prefilter: built once per candidate,
+        // through the shared arena's traversal scratch.
+        let center_sketch = self.opts.sketch_guidance.then(|| {
+            self.scratch.with_neighborhood(|nbr| Sketch::build_with(g, center, self.sketch_k, nbr))
+        });
 
         let default_order: Vec<usize>;
         let order: &[usize] = match &self.plan {

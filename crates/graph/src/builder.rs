@@ -126,12 +126,16 @@ impl GraphBuilder {
             in_adj.push(Edge { label: l, node: s });
         }
 
+        let (label_nodes, label_starts) = build_label_index(&self.node_labels);
+
         Graph {
             node_labels: self.node_labels,
             out_offsets,
             out_adj,
             in_offsets,
             in_adj,
+            label_nodes,
+            label_starts,
             vocab: self.vocab,
         }
     }
@@ -140,6 +144,26 @@ impl GraphBuilder {
 #[inline]
 fn label_of(l: Label) -> Label {
     l
+}
+
+/// Builds the label-partitioned node index for a label array: ids grouped
+/// by label (stable sort keeps each run in id order) plus the run-start
+/// table, closed by a terminal sentinel (never matched: real labels are
+/// dense interner ids well below `u32::MAX`). Shared by the builder and
+/// the direct-CSR extraction fast path.
+pub(crate) fn build_label_index(node_labels: &[Label]) -> (Vec<NodeId>, Vec<(Label, u32)>) {
+    let n = node_labels.len();
+    let mut label_nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    label_nodes.sort_by_key(|v| node_labels[v.index()]);
+    let mut label_starts: Vec<(Label, u32)> = Vec::new();
+    for (i, &v) in label_nodes.iter().enumerate() {
+        let l = node_labels[v.index()];
+        if label_starts.last().map(|&(pl, _)| pl) != Some(l) {
+            label_starts.push((l, i as u32));
+        }
+    }
+    label_starts.push((Label(u32::MAX), n as u32));
+    (label_nodes, label_starts)
 }
 
 #[cfg(test)]

@@ -54,6 +54,13 @@ pub struct Graph {
     pub(crate) out_adj: Vec<Edge>,
     pub(crate) in_offsets: Vec<u32>,
     pub(crate) in_adj: Vec<Edge>,
+    /// All node ids grouped by label: sorted by `(label, id)`, so each
+    /// label's nodes form one contiguous, id-ordered run.
+    pub(crate) label_nodes: Vec<NodeId>,
+    /// Run starts into `label_nodes`, one `(label, start)` per distinct
+    /// label present, sorted by label (a terminal sentinel closes the
+    /// last run).
+    pub(crate) label_starts: Vec<(Label, u32)>,
     pub(crate) vocab: Arc<Vocab>,
 }
 
@@ -93,9 +100,34 @@ impl Graph {
         (0..self.node_count() as u32).map(NodeId)
     }
 
-    /// All nodes carrying `label`, in id order.
-    pub fn nodes_with_label(&self, label: Label) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes().filter(move |&v| self.node_label(v) == label)
+    /// All nodes carrying `label`, in id order — a slice of the
+    /// label-partitioned node index, served in `O(log #labels)` instead of
+    /// the former full `O(|V|)` scan.
+    pub fn nodes_with_label(&self, label: Label) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.nodes_with_label_slice(label).iter().copied()
+    }
+
+    /// The contiguous id-ordered run of nodes labeled `label`.
+    #[inline]
+    pub fn nodes_with_label_slice(&self, label: Label) -> &[NodeId] {
+        // `label_starts` ends with a sentinel (excluded from the search),
+        // so `i + 1` is always valid for a hit and every run is
+        // `starts[i].1 .. starts[i + 1].1`.
+        let runs = &self.label_starts[..self.label_starts.len().saturating_sub(1)];
+        match runs.binary_search_by_key(&label, |&(l, _)| l) {
+            Ok(i) => {
+                let lo = self.label_starts[i].1 as usize;
+                let hi = self.label_starts[i + 1].1 as usize;
+                &self.label_nodes[lo..hi]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Number of nodes carrying `label`.
+    #[inline]
+    pub fn label_count(&self, label: Label) -> usize {
+        self.nodes_with_label_slice(label).len()
     }
 
     /// Out-adjacency slice of `v`, sorted by `(label, target)`.
@@ -131,22 +163,26 @@ impl Graph {
     }
 
     /// The contiguous run of out-edges of `v` labeled `label`.
+    #[inline]
     pub fn out_edges_labeled(&self, v: NodeId, label: Label) -> &[Edge] {
         labeled_range(self.out_edges(v), label)
     }
 
     /// The contiguous run of in-edges of `v` labeled `label`.
+    #[inline]
     pub fn in_edges_labeled(&self, v: NodeId, label: Label) -> &[Edge] {
         labeled_range(self.in_edges(v), label)
     }
 
     /// Whether the directed edge `(src, dst)` with `label` exists.
+    #[inline]
     pub fn has_edge(&self, src: NodeId, dst: NodeId, label: Label) -> bool {
         self.out_edges(src).binary_search(&Edge { label, node: dst }).is_ok()
     }
 
     /// Whether `v` has at least one out-edge labeled `label` — the paper's
     /// "has at least one edge of type q" test used by the LCWA trichotomy.
+    #[inline]
     pub fn has_out_label(&self, v: NodeId, label: Label) -> bool {
         !self.out_edges_labeled(v, label).is_empty()
     }
@@ -210,9 +246,16 @@ impl Graph {
     }
 }
 
+#[inline]
 fn labeled_range(adj: &[Edge], label: Label) -> &[Edge] {
+    // One binary search for the run start, then a second over the
+    // *remainder* for the run end: same O(log deg) bound as two full
+    // searches (length-only callers like `has_out_label` and the
+    // matcher's labeled-degree probes stay cheap on high-degree hubs),
+    // but the narrowed suffix costs measurably less on the short runs
+    // the matcher consumes.
     let lo = adj.partition_point(|e| e.label < label);
-    let hi = adj.partition_point(|e| e.label <= label);
+    let hi = lo + adj[lo..].partition_point(|e| e.label <= label);
     &adj[lo..hi]
 }
 

@@ -32,12 +32,17 @@ pub mod io;
 pub mod label;
 pub mod neighborhood;
 pub mod sketch;
+pub mod visited;
 
 pub use builder::GraphBuilder;
 pub use graph::{Edge, Graph, NodeId};
 pub use label::{Label, Vocab};
-pub use neighborhood::{ball, bfs_layers, extract_induced, Extracted};
+pub use neighborhood::{
+    ball, ball_with, bfs_layers, bfs_layers_with, d_neighborhood, d_neighborhood_with,
+    extract_induced, extract_induced_with, Extracted, NeighborhoodScratch,
+};
 pub use sketch::{Sketch, SketchIndex};
+pub use visited::{EpochMap, VisitedBuffer};
 
 /// Fast hash map keyed by small integers (FxHash; see the performance notes
 /// in DESIGN.md §7).

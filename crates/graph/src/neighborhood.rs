@@ -6,48 +6,143 @@
 //! subgraph *induced* by `N_d(v_x)` (§4.2 "data locality of subgraph
 //! isomorphism"). Fragmentation (crate `gpar-partition`) builds on
 //! [`ball`] + [`extract_induced`].
+//!
+//! Every traversal here sits on the per-candidate hot path (one ball +
+//! extraction per candidate center, for every mining round / EIP run /
+//! serve request), so each primitive has a `_with` variant taking a
+//! reusable [`NeighborhoodScratch`]: visited marks are epoch-stamped
+//! ([`VisitedBuffer`]) instead of hashed, the BFS frontier is the output
+//! layer vector itself, and global→local translation during extraction is
+//! a dense [`EpochMap`]. The scratch-free wrappers allocate a fresh
+//! scratch per call and remain the convenient choice off the hot path.
 
 use crate::graph::{Graph, NodeId};
+use crate::visited::{EpochMap, VisitedBuffer};
 use crate::GraphBuilder;
-use rustc_hash::FxHashMap;
-use std::collections::VecDeque;
 
-/// BFS over the *undirected* view of `g` from `start`, up to `max_depth`
-/// hops. Returns `(node, depth)` pairs in visit order; `start` is included
-/// at depth 0.
-pub fn bfs_layers(g: &Graph, start: NodeId, max_depth: u32) -> Vec<(NodeId, u32)> {
-    let mut seen: FxHashMap<NodeId, u32> = FxHashMap::default();
-    let mut order = Vec::new();
-    let mut queue = VecDeque::new();
-    seen.insert(start, 0);
+/// Reusable state for [`bfs_layers_with`], [`ball_with`],
+/// [`extract_induced_with`] and [`crate::Sketch::build_with`]. Create one
+/// per worker/thread and reuse it across traversals; buffers grow to the
+/// largest graph seen and are never shrunk.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborhoodScratch {
+    /// Visited marks for BFS.
+    pub(crate) visited: VisitedBuffer,
+    /// `(node, depth)` in visit order; doubles as the BFS queue.
+    pub(crate) layers: Vec<(NodeId, u32)>,
+    /// Sorted ball node ids.
+    pub(crate) nodes: Vec<NodeId>,
+    /// Global → local id translation during extraction.
+    pub(crate) local_of: EpochMap,
+    /// Per-hop label buffers for sketch construction.
+    pub(crate) labels: Vec<Vec<crate::Label>>,
+}
+
+impl NeighborhoodScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `(node, depth)` layers of the most recent BFS run through this
+    /// scratch ([`bfs_layers_with`], [`ball_with`], [`d_neighborhood_with`]
+    /// all leave them in place), letting callers read depth information
+    /// without a second traversal.
+    pub fn last_layers(&self) -> &[(NodeId, u32)] {
+        &self.layers
+    }
+}
+
+/// The shared bounded-BFS core over the *undirected* view of `g`: fills
+/// `scratch.layers` with `(node, depth)` in visit order and, when a
+/// `target` is given, stops and reports its distance the moment an edge
+/// touches it (the first touch is the shortest distance).
+fn bfs_bounded(
+    g: &Graph,
+    start: NodeId,
+    max_depth: u32,
+    scratch: &mut NeighborhoodScratch,
+    target: Option<NodeId>,
+) -> Option<u32> {
+    let seen = &mut scratch.visited;
+    let order = &mut scratch.layers;
+    seen.reset(g.node_count());
+    order.clear();
+    seen.insert(start);
     order.push((start, 0));
-    queue.push_back((start, 0));
-    while let Some((v, depth)) = queue.pop_front() {
+    // The output vector doubles as the queue: BFS visit order is already
+    // the FIFO order, so a read cursor replaces the `VecDeque`.
+    let mut head = 0;
+    while head < order.len() {
+        let (v, depth) = order[head];
+        head += 1;
         if depth == max_depth {
             continue;
         }
         for e in g.out_edges(v).iter().chain(g.in_edges(v)) {
-            if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(e.node) {
-                slot.insert(depth + 1);
+            if target == Some(e.node) {
+                return Some(depth + 1);
+            }
+            if seen.insert(e.node) {
                 order.push((e.node, depth + 1));
-                queue.push_back((e.node, depth + 1));
             }
         }
     }
-    order
+    None
+}
+
+/// BFS over the *undirected* view of `g` from `start`, up to `max_depth`
+/// hops, into `scratch.layers` (returned as a slice). `start` is included
+/// at depth 0; nodes appear in visit order. Allocation-free once the
+/// scratch has grown to the graph's size.
+pub fn bfs_layers_with<'s>(
+    g: &Graph,
+    start: NodeId,
+    max_depth: u32,
+    scratch: &'s mut NeighborhoodScratch,
+) -> &'s [(NodeId, u32)] {
+    bfs_bounded(g, start, max_depth, scratch, None);
+    &scratch.layers
+}
+
+/// BFS over the *undirected* view of `g` from `start`, up to `max_depth`
+/// hops. Returns `(node, depth)` pairs in visit order; `start` is included
+/// at depth 0. Convenience wrapper over [`bfs_layers_with`].
+pub fn bfs_layers(g: &Graph, start: NodeId, max_depth: u32) -> Vec<(NodeId, u32)> {
+    let mut scratch = NeighborhoodScratch::new();
+    bfs_layers_with(g, start, max_depth, &mut scratch).to_vec()
+}
+
+/// The ball `N_r(v)` into `scratch.nodes`: all nodes within undirected
+/// radius `r` of `v` (including `v`), sorted by node id.
+pub fn ball_with<'s>(
+    g: &Graph,
+    v: NodeId,
+    r: u32,
+    scratch: &'s mut NeighborhoodScratch,
+) -> &'s [NodeId] {
+    bfs_layers_with(g, v, r, scratch);
+    scratch.nodes.clear();
+    scratch.nodes.extend(scratch.layers.iter().map(|&(n, _)| n));
+    scratch.nodes.sort_unstable();
+    &scratch.nodes
 }
 
 /// The ball `N_r(v)`: all nodes within undirected radius `r` of `v`
 /// (including `v`), sorted by node id.
 pub fn ball(g: &Graph, v: NodeId, r: u32) -> Vec<NodeId> {
-    let mut nodes: Vec<NodeId> = bfs_layers(g, v, r).into_iter().map(|(n, _)| n).collect();
-    nodes.sort_unstable();
-    nodes
+    let mut scratch = NeighborhoodScratch::new();
+    ball_with(g, v, r, &mut scratch).to_vec()
 }
 
 /// Undirected distance between two nodes, if connected within `max_depth`.
+/// Terminates as soon as `b` is reached instead of exhausting the bounded
+/// BFS.
 pub fn undirected_distance(g: &Graph, a: NodeId, b: NodeId, max_depth: u32) -> Option<u32> {
-    bfs_layers(g, a, max_depth).into_iter().find(|&(n, _)| n == b).map(|(_, d)| d)
+    if a == b {
+        return Some(0);
+    }
+    bfs_bounded(g, a, max_depth, &mut NeighborhoodScratch::new(), Some(b))
 }
 
 /// A subgraph extracted from a parent graph, with the mapping back to
@@ -58,8 +153,9 @@ pub struct Extracted {
     pub graph: Graph,
     /// `to_global[local.index()]` is the parent-graph id of a local node.
     pub to_global: Vec<NodeId>,
-    /// Reverse map from parent-graph id to local id.
-    pub to_local: FxHashMap<NodeId, NodeId>,
+    /// Reverse map from parent-graph id to local id, sorted by global id
+    /// for binary search (see [`Extracted::local`]).
+    pub to_local: Vec<(NodeId, NodeId)>,
 }
 
 impl Extracted {
@@ -72,44 +168,130 @@ impl Extracted {
     /// Translates a parent-graph node id into this subgraph, if present.
     #[inline]
     pub fn local(&self, global: NodeId) -> Option<NodeId> {
-        self.to_local.get(&global).copied()
+        self.to_local.binary_search_by_key(&global, |&(g, _)| g).ok().map(|i| self.to_local[i].1)
     }
 }
 
 /// Extracts the subgraph of `g` *induced* by `nodes` (§2.1: all edges of `g`
 /// whose endpoints are both in the set), preserving labels and sharing the
-/// vocabulary.
+/// vocabulary. Reuses `scratch` for the global→local translation so the
+/// per-node cost is an indexed load, not a hash probe.
 ///
 /// `nodes` may be unsorted and may contain duplicates; local ids are
 /// assigned in first-occurrence order.
-pub fn extract_induced(g: &Graph, nodes: &[NodeId]) -> Extracted {
-    let mut to_local: FxHashMap<NodeId, NodeId> = FxHashMap::default();
-    to_local.reserve(nodes.len());
+pub fn extract_induced_with(
+    g: &Graph,
+    nodes: &[NodeId],
+    scratch: &mut NeighborhoodScratch,
+) -> Extracted {
+    let local_of = &mut scratch.local_of;
+    local_of.reset(g.node_count());
     let mut to_global = Vec::with_capacity(nodes.len());
-    let mut b = GraphBuilder::new(g.vocab().clone());
     for &v in nodes {
-        if let std::collections::hash_map::Entry::Vacant(slot) = to_local.entry(v) {
-            slot.insert(b.add_node(g.node_label(v)));
+        if local_of.insert_new(v, to_global.len() as u32) {
             to_global.push(v);
         }
     }
-    for (&global, &local) in to_local.clone().iter() {
-        for e in g.out_edges(global) {
-            if let Some(&dst) = to_local.get(&e.node) {
-                b.add_edge(local, dst, e.label);
+    // Fast path: when the (deduplicated) node list is id-ordered — which
+    // every ball/d-neighborhood extraction guarantees — local id order
+    // equals global id order, so the parent's `(label, endpoint)`-sorted
+    // adjacency runs stay sorted after translation and the CSR can be
+    // emitted directly, skipping the builder's two full edge sorts.
+    let graph = if to_global.is_sorted() {
+        let n = to_global.len();
+        let mut node_labels = Vec::with_capacity(n);
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_adj: Vec<crate::Edge> = Vec::new();
+        out_offsets.push(0u32);
+        for &gv in &to_global {
+            node_labels.push(g.node_label(gv));
+            for e in g.out_edges(gv) {
+                if let Some(dst) = local_of.get(e.node) {
+                    out_adj.push(crate::Edge { label: e.label, node: NodeId(dst) });
+                }
+            }
+            out_offsets.push(out_adj.len() as u32);
+        }
+        // In-adjacency by counting sort over destinations; each per-node
+        // slice then needs only a local re-sort from (src, label) to
+        // (label, src) order.
+        let mut in_offsets = vec![0u32; n + 1];
+        for e in &out_adj {
+            in_offsets[e.node.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        let mut in_adj =
+            vec![crate::Edge { label: crate::Label(0), node: NodeId(0) }; out_adj.len()];
+        for li in 0..n {
+            for e in &out_adj[out_offsets[li] as usize..out_offsets[li + 1] as usize] {
+                let c = &mut cursor[e.node.index()];
+                in_adj[*c as usize] = crate::Edge { label: e.label, node: NodeId(li as u32) };
+                *c += 1;
             }
         }
-    }
-    Extracted { graph: b.build(), to_global, to_local }
+        for li in 0..n {
+            in_adj[in_offsets[li] as usize..in_offsets[li + 1] as usize].sort_unstable();
+        }
+        let (label_nodes, label_starts) = crate::builder::build_label_index(&node_labels);
+        Graph {
+            node_labels,
+            out_offsets,
+            out_adj,
+            in_offsets,
+            in_adj,
+            label_nodes,
+            label_starts,
+            vocab: g.vocab().clone(),
+        }
+    } else {
+        let mut b = GraphBuilder::new(g.vocab().clone());
+        for &gv in &to_global {
+            b.add_node(g.node_label(gv));
+        }
+        for (li, &gv) in to_global.iter().enumerate() {
+            for e in g.out_edges(gv) {
+                if let Some(dst) = local_of.get(e.node) {
+                    b.add_edge(NodeId(li as u32), NodeId(dst), e.label);
+                }
+            }
+        }
+        b.build()
+    };
+    let mut to_local: Vec<(NodeId, NodeId)> =
+        to_global.iter().enumerate().map(|(li, &gv)| (gv, NodeId(li as u32))).collect();
+    to_local.sort_unstable_by_key(|&(gv, _)| gv);
+    Extracted { graph, to_global, to_local }
+}
+
+/// Extracts the subgraph of `g` *induced* by `nodes` with a fresh scratch.
+pub fn extract_induced(g: &Graph, nodes: &[NodeId]) -> Extracted {
+    extract_induced_with(g, nodes, &mut NeighborhoodScratch::new())
+}
+
+/// Extracts `G_d(v_x)`: the subgraph induced by `N_d(v_x)`, together with
+/// the local id of the center, reusing `scratch` across calls.
+pub fn d_neighborhood_with(
+    g: &Graph,
+    center: NodeId,
+    d: u32,
+    scratch: &mut NeighborhoodScratch,
+) -> (Extracted, NodeId) {
+    ball_with(g, center, d, scratch);
+    // Move the ball out of the scratch so extraction can reuse it too.
+    let nodes = std::mem::take(&mut scratch.nodes);
+    let ex = extract_induced_with(g, &nodes, scratch);
+    scratch.nodes = nodes;
+    let c = ex.local(center).expect("center is in its own ball");
+    (ex, c)
 }
 
 /// Extracts `G_d(v_x)`: the subgraph induced by `N_d(v_x)`, together with
 /// the local id of the center.
 pub fn d_neighborhood(g: &Graph, center: NodeId, d: u32) -> (Extracted, NodeId) {
-    let nodes = ball(g, center, d);
-    let ex = extract_induced(g, &nodes);
-    let c = ex.local(center).expect("center is in its own ball");
-    (ex, c)
+    d_neighborhood_with(g, center, d, &mut NeighborhoodScratch::new())
 }
 
 #[cfg(test)]
@@ -143,6 +325,20 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_traversals() {
+        let (g, vs) = path4();
+        let mut scratch = NeighborhoodScratch::new();
+        for &v in &vs {
+            for r in 0..3 {
+                let fresh = bfs_layers(&g, v, r);
+                assert_eq!(bfs_layers_with(&g, v, r, &mut scratch), &fresh[..]);
+                let fresh_ball = ball(&g, v, r);
+                assert_eq!(ball_with(&g, v, r, &mut scratch), &fresh_ball[..]);
+            }
+        }
+    }
+
+    #[test]
     fn ball_includes_center_and_is_sorted() {
         let (g, vs) = path4();
         let b = ball(&g, vs[1], 1);
@@ -155,6 +351,9 @@ mod tests {
         assert_eq!(undirected_distance(&g, vs[0], vs[3], 5), Some(3));
         assert_eq!(undirected_distance(&g, vs[0], vs[3], 2), None);
         assert_eq!(undirected_distance(&g, vs[2], vs[2], 0), Some(0));
+        // Early termination must still return the *shortest* distance.
+        assert_eq!(undirected_distance(&g, vs[0], vs[1], 5), Some(1));
+        assert_eq!(undirected_distance(&g, vs[3], vs[0], 3), Some(3));
     }
 
     #[test]
@@ -186,5 +385,54 @@ mod tests {
         let (g, vs) = path4();
         let ex = extract_induced(&g, &[vs[0], vs[0], vs[1], vs[0]]);
         assert_eq!(ex.graph.node_count(), 2);
+    }
+
+    #[test]
+    fn fast_csr_and_builder_extraction_agree() {
+        // A graph with multiple labels, parallel multi-labeled edges and a
+        // self-loop; extract a sorted subset (fast CSR path) and the same
+        // subset rotated (builder fallback) and compare structure through
+        // the global id maps.
+        let vocab = Vocab::new();
+        let (a, bb) = (vocab.intern("a"), vocab.intern("b"));
+        let (e1, e2) = (vocab.intern("e1"), vocab.intern("e2"));
+        let mut gb = GraphBuilder::new(vocab);
+        let ns: Vec<NodeId> =
+            (0..6).map(|i| gb.add_node(if i % 2 == 0 { a } else { bb })).collect();
+        for w in ns.windows(2) {
+            gb.add_edge(w[0], w[1], e1);
+            gb.add_edge(w[0], w[1], e2);
+        }
+        gb.add_edge(ns[2], ns[2], e1); // self-loop
+        gb.add_edge(ns[4], ns[0], e2); // back edge
+        let g = gb.build();
+
+        let sorted = vec![ns[0], ns[2], ns[3], ns[4]];
+        let rotated = vec![ns[3], ns[4], ns[0], ns[2]];
+        let fast = extract_induced(&g, &sorted);
+        let slow = extract_induced(&g, &rotated);
+        assert_eq!(fast.graph.node_count(), slow.graph.node_count());
+        assert_eq!(fast.graph.edge_count(), slow.graph.edge_count());
+        for &u in &sorted {
+            let (fu, su) = (fast.local(u).unwrap(), slow.local(u).unwrap());
+            assert_eq!(fast.graph.node_label(fu), slow.graph.node_label(su));
+            assert_eq!(fast.graph.out_degree(fu), slow.graph.out_degree(su), "node {u}");
+            assert_eq!(fast.graph.in_degree(fu), slow.graph.in_degree(su), "node {u}");
+            // Adjacency invariants the matcher relies on.
+            assert!(fast.graph.out_edges(fu).is_sorted());
+            assert!(fast.graph.in_edges(fu).is_sorted());
+            for &v in &sorted {
+                for l in [g.vocab().get("e1").unwrap(), g.vocab().get("e2").unwrap()] {
+                    assert_eq!(
+                        fast.graph.has_edge(fu, fast.local(v).unwrap(), l),
+                        slow.graph.has_edge(su, slow.local(v).unwrap(), l),
+                        "edge {u}->{v} label {l:?}"
+                    );
+                }
+            }
+            // Label index agrees with the node labels.
+            let lbl = fast.graph.node_label(fu);
+            assert!(fast.graph.nodes_with_label_slice(lbl).contains(&fu));
+        }
     }
 }

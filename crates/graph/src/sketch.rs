@@ -15,7 +15,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::label::Label;
-use crate::neighborhood::bfs_layers;
+use crate::neighborhood::{bfs_layers_with, NeighborhoodScratch};
 use rustc_hash::FxHashMap;
 
 /// A cumulative k-hop label-frequency sketch.
@@ -28,18 +28,52 @@ pub struct Sketch {
 impl Sketch {
     /// Builds the sketch of `v` in `g` with `k` layers.
     pub fn build(g: &Graph, v: NodeId, k: u32) -> Self {
-        let mut per_depth: Vec<FxHashMap<Label, u32>> =
-            (0..k).map(|_| FxHashMap::default()).collect();
-        for (n, depth) in bfs_layers(g, v, k) {
+        Self::build_with(g, v, k, &mut NeighborhoodScratch::new())
+    }
+
+    /// As [`Sketch::build`] but reusing `scratch` for the BFS and the
+    /// per-hop label buckets — no hashing and, once the scratch has grown,
+    /// no traversal-side allocation. Guided search builds one data sketch
+    /// per scored candidate, so this is the matcher's hot constructor.
+    pub fn build_with(g: &Graph, v: NodeId, k: u32, scratch: &mut NeighborhoodScratch) -> Self {
+        let k = k as usize;
+        if k == 0 {
+            return Self { layers: Vec::new() };
+        }
+        bfs_layers_with(g, v, k as u32, scratch);
+        // Bucket the neighborhood's labels by hop; buffer k + 1 holds the
+        // cumulative concatenation.
+        if scratch.labels.len() < k + 1 {
+            scratch.labels.resize_with(k + 1, Vec::new);
+        }
+        let (buckets, rest) = scratch.labels.split_at_mut(k);
+        let cum = &mut rest[0];
+        for b in buckets.iter_mut() {
+            b.clear();
+        }
+        cum.clear();
+        for &(n, depth) in &scratch.layers {
             if depth == 0 {
                 continue; // the center itself is not part of its neighborhood
             }
-            // Cumulative: a node at depth t counts in every layer >= t.
-            for layer in per_depth.iter_mut().skip(depth as usize - 1) {
-                *layer.entry(g.node_label(n)).or_insert(0) += 1;
-            }
+            buckets[depth as usize - 1].push(g.node_label(n));
         }
-        Self::from_layer_maps(per_depth)
+        // Cumulative: layer i counts every node within i + 1 hops, so each
+        // layer is the sorted run-length encoding of the growing prefix.
+        let mut layers = Vec::with_capacity(k);
+        for bucket in buckets.iter() {
+            cum.extend_from_slice(bucket);
+            cum.sort_unstable();
+            let mut layer: Vec<(Label, u32)> = Vec::new();
+            for &l in cum.iter() {
+                match layer.last_mut() {
+                    Some(last) if last.0 == l => last.1 += 1,
+                    _ => layer.push((l, 1)),
+                }
+            }
+            layers.push(layer);
+        }
+        Self { layers }
     }
 
     /// Builds a sketch from pre-computed cumulative per-layer label counts.
@@ -116,9 +150,12 @@ pub struct SketchIndex {
 }
 
 impl SketchIndex {
-    /// Builds sketches for `nodes` (typically the candidate centers `L`).
+    /// Builds sketches for `nodes` (typically the candidate centers `L`),
+    /// sharing one traversal scratch across the whole set.
     pub fn build_for(g: &Graph, nodes: impl IntoIterator<Item = NodeId>, k: u32) -> Self {
-        let sketches = nodes.into_iter().map(|v| (v, Sketch::build(g, v, k))).collect();
+        let mut scratch = NeighborhoodScratch::new();
+        let sketches =
+            nodes.into_iter().map(|v| (v, Sketch::build_with(g, v, k, &mut scratch))).collect();
         Self { k, sketches }
     }
 

@@ -1,0 +1,164 @@
+//! Epoch-versioned dense marks over `u32` node ids.
+//!
+//! BFS, ball extraction and the matcher's injectivity check all need a
+//! "visited?" predicate over dense node ids. Hashing (`FxHashSet`) pays a
+//! hash + probe per query and an allocation per traversal; a plain
+//! `Vec<bool>` pays an `O(|V|)` clear per traversal. The epoch trick pays
+//! neither: a mark is "set" iff its stored stamp equals the buffer's
+//! current epoch, so resetting is one increment and queries are one
+//! indexed load. Buffers are meant to live in reusable scratch state
+//! (see [`crate::neighborhood::NeighborhoodScratch`]) and be `reset` at
+//! the top of every traversal.
+
+use crate::graph::NodeId;
+
+/// A reusable visited-set over dense `u32` ids with `O(1)` reset.
+#[derive(Debug, Clone, Default)]
+pub struct VisitedBuffer {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedBuffer {
+    /// Creates an empty buffer (grows on first [`VisitedBuffer::reset`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh traversal over a domain of `n` ids: grows the
+    /// backing store if needed and invalidates all previous marks.
+    pub fn reset(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrap: stale stamps could alias the restarted
+                // counter, so clear once per 2^32 traversals.
+                self.stamps.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Marks `v`; returns `true` iff it was not yet marked this epoch.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let slot = &mut self.stamps[v.index()];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `v` is marked in the current epoch.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.stamps[v.index()] == self.epoch
+    }
+
+    /// Unmarks `v` (used by backtracking searches to release a node).
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) {
+        self.stamps[v.index()] = 0;
+    }
+}
+
+/// A reusable dense `NodeId → u32` map with `O(1)` reset, for the
+/// global→local id translation of induced-subgraph extraction.
+#[derive(Debug, Clone, Default)]
+pub struct EpochMap {
+    stamps: Vec<u32>,
+    values: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh mapping over a domain of `n` keys.
+    pub fn reset(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+            self.values.resize(n, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamps.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Inserts `k ↦ v` if `k` is unmapped this epoch; returns `true` on
+    /// first insertion (the value is *not* overwritten on repeats,
+    /// matching first-occurrence extraction semantics).
+    #[inline]
+    pub fn insert_new(&mut self, k: NodeId, v: u32) -> bool {
+        let i = k.index();
+        if self.stamps[i] == self.epoch {
+            false
+        } else {
+            self.stamps[i] = self.epoch;
+            self.values[i] = v;
+            true
+        }
+    }
+
+    /// The value mapped to `k` this epoch, if any.
+    #[inline]
+    pub fn get(&self, k: NodeId) -> Option<u32> {
+        let i = k.index();
+        (self.stamps[i] == self.epoch).then(|| self.values[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visited_marks_and_resets() {
+        let mut vb = VisitedBuffer::new();
+        vb.reset(4);
+        assert!(vb.insert(NodeId(2)));
+        assert!(!vb.insert(NodeId(2)));
+        assert!(vb.contains(NodeId(2)));
+        assert!(!vb.contains(NodeId(1)));
+        vb.reset(4);
+        assert!(!vb.contains(NodeId(2)), "reset must invalidate marks");
+        assert!(vb.insert(NodeId(2)));
+        vb.remove(NodeId(2));
+        assert!(!vb.contains(NodeId(2)));
+        assert!(vb.insert(NodeId(2)), "removed nodes can be re-marked");
+    }
+
+    #[test]
+    fn visited_grows_domain() {
+        let mut vb = VisitedBuffer::new();
+        vb.reset(2);
+        vb.insert(NodeId(1));
+        vb.reset(10);
+        assert!(vb.insert(NodeId(9)));
+        assert!(!vb.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn epoch_map_first_occurrence_wins() {
+        let mut m = EpochMap::new();
+        m.reset(5);
+        assert!(m.insert_new(NodeId(3), 0));
+        assert!(!m.insert_new(NodeId(3), 7), "repeat insert is a no-op");
+        assert_eq!(m.get(NodeId(3)), Some(0));
+        assert_eq!(m.get(NodeId(4)), None);
+        m.reset(5);
+        assert_eq!(m.get(NodeId(3)), None);
+    }
+}

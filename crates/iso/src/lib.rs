@@ -27,10 +27,12 @@
 pub mod bruteforce;
 pub mod matcher;
 pub mod order;
+pub mod scratch;
 pub mod simulation;
 
 pub use bruteforce::brute_force_images;
 pub use matcher::{EngineKind, Matcher, MatcherConfig, PatternSketchCache};
+pub use scratch::{ScratchArena, SharedScratch};
 pub use simulation::{dual_simulation, simulation_images};
 
 use gpar_graph::{FxHashSet, Graph, NodeId};

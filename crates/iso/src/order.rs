@@ -14,20 +14,40 @@ use gpar_pattern::{PNodeId, Pattern};
 /// heuristic of degree-ordered engines); otherwise break ties by most
 /// already-ordered neighbors (most-constrained-first, VF2-style).
 pub fn visit_order(p: &Pattern, anchor: PNodeId, prefer_degree: bool) -> Vec<PNodeId> {
+    let mut order = Vec::new();
+    visit_order_into(p, anchor, prefer_degree, &mut order, &mut Vec::new(), &mut Vec::new());
+    order
+}
+
+/// As [`visit_order`] but writing into reusable buffers (`order` receives
+/// the result; `placed`/`conn` are working storage): the matcher calls
+/// this once per anchored search, so the hot path computes orders without
+/// allocating.
+pub fn visit_order_into(
+    p: &Pattern,
+    anchor: PNodeId,
+    prefer_degree: bool,
+    order: &mut Vec<PNodeId>,
+    placed: &mut Vec<bool>,
+    conn: &mut Vec<u32>,
+) {
     let n = p.node_count();
-    let mut placed = vec![false; n];
-    let mut order = Vec::with_capacity(n);
+    placed.clear();
+    placed.resize(n, false);
+    order.clear();
+    order.reserve(n);
     placed[anchor.index()] = true;
     order.push(anchor);
 
     // Count of already-placed neighbors per node.
-    let mut conn = vec![0usize; n];
-    let bump = |conn: &mut Vec<usize>, p: &Pattern, u: PNodeId| {
+    conn.clear();
+    conn.resize(n, 0);
+    let bump = |conn: &mut Vec<u32>, p: &Pattern, u: PNodeId| {
         for &(v, _) in p.out(u).iter().chain(p.inn(u)) {
             conn[v.index()] += 1;
         }
     };
-    bump(&mut conn, p, anchor);
+    bump(conn, p, anchor);
 
     while order.len() < n {
         let mut best: Option<PNodeId> = None;
@@ -40,9 +60,9 @@ pub fn visit_order(p: &Pattern, anchor: PNodeId, prefer_degree: bool) -> Vec<PNo
                 Some(b) => {
                     let key = |w: PNodeId| {
                         if prefer_degree {
-                            (conn[w.index()].min(1), p.degree(w), usize::MAX - w.index())
+                            (conn[w.index()].min(1) as usize, p.degree(w), usize::MAX - w.index())
                         } else {
-                            (conn[w.index()], p.degree(w), usize::MAX - w.index())
+                            (conn[w.index()] as usize, p.degree(w), usize::MAX - w.index())
                         }
                     };
                     key(u) > key(b)
@@ -55,9 +75,8 @@ pub fn visit_order(p: &Pattern, anchor: PNodeId, prefer_degree: bool) -> Vec<PNo
         let u = best.unwrap();
         placed[u.index()] = true;
         order.push(u);
-        bump(&mut conn, p, u);
+        bump(conn, p, u);
     }
-    order
 }
 
 #[cfg(test)]

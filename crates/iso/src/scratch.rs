@@ -1,0 +1,171 @@
+//! Reusable search-state arena for the backtracking matcher.
+//!
+//! A single [`Matcher::exists_anchored`](crate::Matcher::exists_anchored)
+//! call used to allocate a partial-map vector, a hash-set of used data
+//! nodes, and one `Vec` per search step for candidates — and EIP/DMine/
+//! serve each make *thousands* of matcher calls per candidate round. The
+//! arena replaces all of that with buffers that live across calls:
+//!
+//! * the partial assignment is a sentinel-stuffed `Vec<NodeId>`;
+//! * injectivity marks are an epoch-stamped [`VisitedBuffer`] over data
+//!   node ids (`O(1)` reset per call, no hashing);
+//! * per-step candidate lists are *segments* of one shared stack —
+//!   `go` records the segment start, children push above it, and the
+//!   segment is truncated on backtrack;
+//! * sorted-run intersection ping-pongs between two reusable buffers;
+//! * guided search's on-demand sketch builds reuse one
+//!   [`NeighborhoodScratch`].
+//!
+//! Share one arena per thread/worker via [`SharedScratch`] (it is `Rc`-
+//! based and deliberately `!Send`, like the pattern-sketch cache): every
+//! matcher built with
+//! [`Matcher::with_scratch`](crate::Matcher::with_scratch) then runs
+//! allocation-free on the steady-state path, no matter how many site
+//! graphs it is rebuilt over.
+
+use gpar_graph::{NeighborhoodScratch, NodeId, VisitedBuffer};
+use gpar_pattern::PNodeId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Sentinel for "pattern node not yet assigned".
+pub(crate) const NO_NODE: NodeId = NodeId(u32::MAX);
+
+/// Reusable matcher search state. See the module docs.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    /// Partial assignment, indexed by pattern node ([`NO_NODE`] = free).
+    pub(crate) map: Vec<NodeId>,
+    /// Injectivity marks over data node ids.
+    pub(crate) used: VisitedBuffer,
+    /// Segmented candidate stack: one contiguous segment per active
+    /// search depth.
+    pub(crate) cand: Vec<NodeId>,
+    /// Intersection working buffers (ping-pong).
+    pub(crate) tmp: Vec<NodeId>,
+    pub(crate) tmp2: Vec<NodeId>,
+    /// Guided-search scoring buffer (`(surplus, node)` pairs).
+    pub(crate) scored: Vec<(i64, NodeId)>,
+    /// Assembled full match handed to enumeration callbacks.
+    pub(crate) out: Vec<NodeId>,
+    /// Pattern-node visit order for the current search.
+    pub(crate) order: Vec<PNodeId>,
+    /// Working storage for order computation.
+    pub(crate) placed: Vec<bool>,
+    pub(crate) conn: Vec<u32>,
+    /// Reusable pattern-fingerprint key buffer (also the pattern-sketch
+    /// cache key).
+    pub(crate) key: Vec<u64>,
+    /// Fingerprint + anchor + order-flavor the cached `order`/`deg_req`/
+    /// `node_flags` were computed for: consecutive searches of the same
+    /// anchored pattern (the steady state — one pattern probed at every
+    /// candidate/site) skip recomputing them entirely.
+    pub(crate) meta_key: Vec<u64>,
+    pub(crate) meta_anchor: u32,
+    pub(crate) meta_prefer: bool,
+    /// Per pattern node: minimum (out, in) data degree a candidate needs
+    /// (see `Matcher::compute_pattern_meta`).
+    pub(crate) deg_req: Vec<(u32, u32)>,
+    /// Flattened per-node labeled-degree requirements:
+    /// `(label, min_count, is_out)` triples, node `u`'s slice at
+    /// `lab_req_offsets[u] .. lab_req_offsets[u + 1]`.
+    pub(crate) lab_req: Vec<(gpar_graph::Label, u32, bool)>,
+    pub(crate) lab_req_offsets: Vec<u32>,
+    /// Per pattern node: structure flags ([`SELF_LOOP`] etc.), computed
+    /// once per search so the per-candidate verifier can skip edge scans
+    /// that cannot apply.
+    pub(crate) node_flags: Vec<u8>,
+    /// Traversal scratch for on-demand data-sketch construction.
+    pub(crate) nbr: NeighborhoodScratch,
+}
+
+/// `node_flags` bit: the pattern node has a self-loop edge.
+pub(crate) const SELF_LOOP: u8 = 1;
+/// `node_flags` bit: the pattern node has a wildcard out-edge.
+pub(crate) const WILD_OUT: u8 = 2;
+/// `node_flags` bit: the pattern node has a wildcard in-edge.
+pub(crate) const WILD_IN: u8 = 4;
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the arena for one anchored search over a pattern with
+    /// `pattern_nodes` nodes in a graph with `graph_nodes` nodes.
+    pub(crate) fn begin(&mut self, pattern_nodes: usize, graph_nodes: usize) {
+        self.map.clear();
+        self.map.resize(pattern_nodes, NO_NODE);
+        self.used.reset(graph_nodes);
+        self.cand.clear();
+    }
+
+    /// The data node assigned to pattern node index `i`, if any.
+    #[inline]
+    pub(crate) fn mapped(&self, i: usize) -> Option<NodeId> {
+        let v = self.map[i];
+        (v != NO_NODE).then_some(v)
+    }
+
+    #[inline]
+    pub(crate) fn assign(&mut self, i: usize, v: NodeId) {
+        self.map[i] = v;
+        self.used.insert(v);
+    }
+
+    #[inline]
+    pub(crate) fn unassign(&mut self, i: usize, v: NodeId) {
+        self.map[i] = NO_NODE;
+        self.used.remove(v);
+    }
+
+    /// The neighborhood-traversal scratch, for callers that interleave
+    /// ball/sketch construction with matching on the same thread.
+    pub fn neighborhood(&mut self) -> &mut NeighborhoodScratch {
+        &mut self.nbr
+    }
+}
+
+/// A per-thread shareable arena handle. Clone it into every matcher the
+/// thread builds; the underlying buffers are reused across all of them.
+///
+/// The arena is parked boxed behind `Option` so checking it in and out of
+/// the cell moves 8 bytes, not the whole buffer struct; a matcher whose
+/// search is re-entered from an enumeration callback finds the cell empty
+/// and falls back to a fresh arena instead of aliasing the active one.
+/// `Rc`-based and deliberately `!Send` — one per thread, like
+/// [`crate::PatternSketchCache`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedScratch(Rc<RefCell<Option<Box<ScratchArena>>>>);
+
+impl SharedScratch {
+    /// Creates an empty handle (the arena itself is built on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks the arena out (fresh if the cell is empty or re-entered).
+    pub(crate) fn take(&self) -> Box<ScratchArena> {
+        self.0.borrow_mut().take().unwrap_or_default()
+    }
+
+    /// Parks the arena back into the cell.
+    pub(crate) fn put(&self, arena: Box<ScratchArena>) {
+        *self.0.borrow_mut() = Some(arena);
+    }
+
+    /// Runs `f` over the parked arena, if present (diagnostics/tests).
+    pub fn inspect<R>(&self, f: impl FnOnce(&ScratchArena) -> R) -> Option<R> {
+        self.0.borrow().as_deref().map(f)
+    }
+
+    /// Runs `f` with the arena's neighborhood-traversal scratch, for
+    /// callers that interleave ball/sketch construction with matching on
+    /// the same thread (the EIP evaluator's center-sketch prefilter).
+    pub fn with_neighborhood<R>(&self, f: impl FnOnce(&mut NeighborhoodScratch) -> R) -> R {
+        let mut slot = self.0.borrow_mut();
+        let arena = slot.get_or_insert_with(Default::default);
+        f(arena.neighborhood())
+    }
+}

@@ -61,6 +61,10 @@ pub struct GeneratedTemplates {
 impl MineWorker {
     /// Phase 1: enumerate extension templates for each frontier rule.
     pub fn generate(&self, frontier: &[Gpar]) -> Vec<GeneratedTemplates> {
+        // One search arena + pattern-sketch cache for every (rule, site)
+        // matcher this pass builds.
+        let scratch = gpar_iso::SharedScratch::default();
+        let psketch = gpar_iso::PatternSketchCache::default();
         frontier
             .iter()
             .map(|rule| {
@@ -71,7 +75,9 @@ impl MineWorker {
                         continue;
                     }
                     let g = cs.site.graph();
-                    let m = Matcher::new(g, self.engine);
+                    let m = Matcher::new(g, self.engine)
+                        .with_scratch(scratch.clone())
+                        .with_shared_pattern_cache(psketch.clone());
                     match_capped |=
                         templates_at(rule, &m, g, cs.site.center, self.match_cap, &mut set);
                 }
@@ -87,13 +93,17 @@ impl MineWorker {
     /// Phase 2: evaluate local statistics for each candidate rule.
     /// Returns `(LocalConf, extendable)` per rule.
     pub fn evaluate(&self, candidates: &[Gpar]) -> Vec<(LocalConf, bool)> {
+        let scratch = gpar_iso::SharedScratch::default();
+        let psketch = gpar_iso::PatternSketchCache::default();
         candidates
             .iter()
             .map(|rule| {
                 let mut lc = LocalConf::default();
                 for cs in &self.sites {
                     let g = cs.site.graph();
-                    let m = Matcher::new(g, self.engine);
+                    let m = Matcher::new(g, self.engine)
+                        .with_scratch(scratch.clone())
+                        .with_shared_pattern_cache(psketch.clone());
                     match cs.class {
                         LcwaClass::Positive => {
                             if m.exists_anchored(rule.pr(), rule.pr().x(), cs.site.center) {

@@ -1,6 +1,6 @@
 //! Candidate-center-driven fragmentation.
 
-use gpar_graph::{ball, extract_induced, Extracted, Graph, NodeId};
+use gpar_graph::{ball_with, extract_induced_with, Extracted, Graph, NeighborhoodScratch, NodeId};
 
 /// How centers are assigned to fragments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,8 +63,10 @@ pub fn partition_by_centers(
 ) -> Vec<Fragment> {
     let n = n.max(1);
     // Compute each center's d-ball once; it both sizes the assignment and
-    // builds the fragment.
-    let balls: Vec<Vec<NodeId>> = centers.iter().map(|&c| ball(g, c, d)).collect();
+    // builds the fragment. One traversal scratch serves every ball.
+    let mut scratch = NeighborhoodScratch::new();
+    let balls: Vec<Vec<NodeId>> =
+        centers.iter().map(|&c| ball_with(g, c, d, &mut scratch).to_vec()).collect();
 
     // Assignment: fragment index per center.
     let mut assign = vec![0usize; centers.len()];
@@ -98,7 +100,7 @@ pub fn partition_by_centers(
             let mut nodes = std::mem::take(&mut frag_nodes[f]);
             nodes.sort_unstable();
             nodes.dedup();
-            let extracted = extract_induced(g, &nodes);
+            let extracted = extract_induced_with(g, &nodes, &mut scratch);
             let centers_local: Vec<NodeId> = centers
                 .iter()
                 .enumerate()
@@ -113,7 +115,7 @@ pub fn partition_by_centers(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_graph::{ball, GraphBuilder, Vocab};
 
     /// A ring of `n` hubs; each hub has `spokes` leaves.
     fn hub_ring(hubs: usize, spokes: usize) -> (Graph, Vec<NodeId>) {

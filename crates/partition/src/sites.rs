@@ -16,7 +16,7 @@
 
 use crate::fragment::PartitionStrategy;
 use crate::stats::chunk_evenly;
-use gpar_graph::{extract_induced, Extracted, Graph, NodeId};
+use gpar_graph::{d_neighborhood_with, Extracted, Graph, NeighborhoodScratch, NodeId};
 
 /// One candidate center with its materialized d-neighborhood `G_d(v_x)`.
 #[derive(Debug, Clone)]
@@ -34,18 +34,25 @@ pub struct CenterSite {
 impl CenterSite {
     /// Builds the site of `center` with radius `d`.
     pub fn build(g: &Graph, center: NodeId, d: u32) -> Self {
-        let layers = gpar_graph::bfs_layers(g, center, d);
+        Self::build_with(g, center, d, &mut NeighborhoodScratch::new())
+    }
+
+    /// As [`CenterSite::build`] but reusing `scratch` for the BFS,
+    /// visited marks and id translation — create one scratch per
+    /// worker/thread and amortize it across every site built (EIP
+    /// partitioning, mining rounds and the serve d-ball cache all build
+    /// thousands of sites per pass).
+    pub fn build_with(
+        g: &Graph,
+        center: NodeId,
+        d: u32,
+        scratch: &mut NeighborhoodScratch,
+    ) -> Self {
+        let (site, center_local) = d_neighborhood_with(g, center, d, scratch);
         let mut layer_sizes = vec![0u32; d as usize + 1];
-        for &(_, depth) in &layers {
+        for &(_, depth) in scratch.last_layers() {
             layer_sizes[depth as usize] += 1;
         }
-        let nodes: Vec<NodeId> = {
-            let mut v: Vec<NodeId> = layers.into_iter().map(|(n, _)| n).collect();
-            v.sort_unstable();
-            v
-        };
-        let site = extract_induced(g, &nodes);
-        let center_local = site.local(center).expect("center in own ball");
         Self { center_global: center, center: center_local, site, layer_sizes }
     }
 
@@ -76,7 +83,9 @@ pub fn partition_sites(
     strategy: PartitionStrategy,
 ) -> Vec<Vec<CenterSite>> {
     let n = n.max(1);
-    let sites: Vec<CenterSite> = centers.iter().map(|&c| CenterSite::build(g, c, d)).collect();
+    let mut scratch = NeighborhoodScratch::new();
+    let sites: Vec<CenterSite> =
+        centers.iter().map(|&c| CenterSite::build_with(g, c, d, &mut scratch)).collect();
     let mut out: Vec<Vec<CenterSite>> = (0..n).map(|_| Vec::new()).collect();
     match strategy {
         PartitionStrategy::Hash => {

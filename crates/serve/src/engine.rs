@@ -33,7 +33,7 @@ use crate::catalog::RuleCatalog;
 use crate::index::{CandidateIndex, PredicateGroup};
 use gpar_core::{classify, ConfStats, Confidence, Gpar, LcwaClass, Predicate};
 use gpar_eip::{CandidateEvaluator, EipAlgorithm, MatchOpts};
-use gpar_graph::{FxHashMap, Graph, NodeId};
+use gpar_graph::{FxHashMap, Graph, NeighborhoodScratch, NodeId};
 use gpar_partition::CenterSite;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -162,14 +162,19 @@ struct PredicateState {
     warm_pruned: usize,
 }
 
-/// Per-worker-thread reusable state. The pattern-sketch cache is
-/// `Rc`-based (thread-local by construction), so each worker keeps its
-/// own per-predicate instance and hands clones to every evaluator it
-/// builds — pattern-side sketches are then derived once per worker, not
-/// once per request.
+/// Per-worker-thread reusable state. The pattern-sketch cache and search
+/// arena are `Rc`-based (thread-local by construction), so each worker
+/// keeps its own instances and hands clones to every evaluator it
+/// builds — pattern-side sketches are derived once per worker, and
+/// search/traversal buffers are grown once per worker, not once per
+/// request.
 #[derive(Default)]
 struct WorkerCaches {
     psketch: FxHashMap<Predicate, gpar_iso::PatternSketchCache>,
+    /// Matcher search-state arena shared by every evaluator this worker
+    /// builds; its embedded neighborhood scratch also serves d-ball
+    /// extraction on cache misses (`SharedScratch::with_neighborhood`).
+    scratch: gpar_iso::SharedScratch,
 }
 
 impl WorkerCaches {
@@ -193,7 +198,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn site(&self, center: NodeId, d: u32) -> Arc<CenterSite> {
+    fn site(&self, center: NodeId, d: u32, nbr: &mut NeighborhoodScratch) -> Arc<CenterSite> {
         let key = (center, d);
         if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             return hit;
@@ -201,8 +206,9 @@ impl Shared {
         // Extract outside the lock: extraction is the expensive part and
         // must not serialize the pool. Rarely two workers race on the
         // same cold center and both extract; last insert wins, both use
-        // their own (identical) site.
-        let site = Arc::new(CenterSite::build(&self.graph, center, d));
+        // their own (identical) site. The worker's traversal scratch is
+        // reused across misses.
+        let site = Arc::new(CenterSite::build_with(&self.graph, center, d, nbr));
         self.cache.lock().unwrap().insert(key, site.clone());
         site
     }
@@ -227,6 +233,7 @@ impl Shared {
             group.eval_sketches.clone(),
         )
         .with_pattern_cache(caches.pattern_cache(&group.predicate))
+        .with_scratch(caches.scratch.clone())
     }
 
     /// Returns the warmed state for `group`, performing the full-candidate
@@ -281,7 +288,7 @@ impl Shared {
                 continue; // member of no antecedent: contributes nothing
             }
             warm_evaluated += 1;
-            let site = self.site(c, group.d);
+            let site = caches.scratch.with_neighborhood(|nbr| self.site(c, group.d, nbr));
             let o = ev.evaluate(&site);
             debug_assert_eq!(o.class, class, "site and global LCWA must agree");
             for (r, slot) in per_rule.iter_mut().enumerate() {
@@ -380,7 +387,7 @@ impl Shared {
                 continue;
             }
             evaluated += 1;
-            let site = self.site(c, group.d);
+            let site = caches.scratch.with_neighborhood(|nbr| self.site(c, group.d, nbr));
             let o = ev.evaluate(&site);
             if o.q_member.iter().zip(&state.active).any(|(&m, &a)| m && a) {
                 customers.push(c);

@@ -1,0 +1,169 @@
+//! Differential property tests for the matcher's candidate generators.
+//!
+//! The intersection-based generator (smallest adjacency run + sorted-run
+//! intersection, the steady-state path) must agree *exactly* — image
+//! sets, anchored existence, and full enumeration counts — with
+//!
+//! * the brute-force oracle (independent exhaustive enumeration), and
+//! * the legacy generate-then-filter pipeline
+//!   ([`MatcherConfig::legacy_filter_gen`]), the pre-arena implementation
+//!   kept precisely for this comparison,
+//!
+//! across every engine configuration, on random labeled graphs and
+//! patterns that include wildcard node/edge conditions, self-loops and
+//! parallel multi-labeled edges.
+
+use gpar::graph::{Graph, GraphBuilder, NodeId, Vocab};
+use gpar::iso::bruteforce::brute_force_count;
+use gpar::iso::{brute_force_images, Matcher, MatcherConfig, SharedScratch};
+use gpar::pattern::{Pattern, PatternBuilder};
+use proptest::prelude::*;
+
+const NLABELS: u32 = 3;
+const ELABELS: u32 = 2;
+
+/// Strategy: a random small labeled digraph (≤ 7 nodes, ≤ 14 edges) with
+/// occasional parallel multi-labeled edges and self-loops.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..7, proptest::collection::vec((0u32..8, 0u32..8, 0u32..ELABELS), 0..14)).prop_map(
+        |(n, edges)| {
+            let vocab = Vocab::new();
+            let nl: Vec<_> = (0..NLABELS).map(|i| vocab.intern(&format!("n{i}"))).collect();
+            let el: Vec<_> = (0..ELABELS).map(|i| vocab.intern(&format!("e{i}"))).collect();
+            let mut b = GraphBuilder::new(vocab);
+            for i in 0..n {
+                b.add_node(nl[i % nl.len()]);
+            }
+            for (s, d, l) in edges {
+                let s = NodeId(s % n as u32);
+                let d = NodeId(d % n as u32);
+                b.add_edge(s, d, el[l as usize]);
+            }
+            b.build()
+        },
+    )
+}
+
+/// Builds a random pattern against `g`'s vocabulary: `pn` nodes (some
+/// wildcard), edges with occasional wildcard conditions and self-loops.
+fn build_pattern(g: &Graph, pn: usize, edges: &[(u32, u32, u32)]) -> Pattern {
+    let vocab = g.vocab().clone();
+    let nl: Vec<_> = (0..NLABELS).map(|i| vocab.intern(&format!("n{i}"))).collect();
+    let el: Vec<_> = (0..ELABELS).map(|i| vocab.intern(&format!("e{i}"))).collect();
+    let mut b = PatternBuilder::new(vocab);
+    let ids: Vec<_> = (0..pn)
+        .map(|i| {
+            if i == pn - 1 && pn > 2 {
+                b.node_any() // one wildcard node condition
+            } else {
+                b.node(nl[i % nl.len()])
+            }
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    for &(s, d, l) in edges {
+        let s = ids[s as usize % pn];
+        let d = ids[d as usize % pn];
+        if seen.insert((s, d, l)) {
+            if l as usize >= ELABELS as usize {
+                b.edge_any(s, d); // wildcard edge condition
+            } else {
+                b.edge(s, d, el[l as usize]);
+            }
+        }
+    }
+    b.designate_x(ids[0]).build().unwrap()
+}
+
+/// Every engine × both candidate generators.
+fn all_configs() -> Vec<MatcherConfig> {
+    let engines = [MatcherConfig::vf2(), MatcherConfig::degree_ordered(), MatcherConfig::guided()];
+    engines.iter().flat_map(|&e| [e, e.with_legacy_gen()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Image sets: every engine/generator equals the brute-force oracle.
+    #[test]
+    fn images_agree_with_oracle_and_legacy(
+        g in arb_graph(),
+        pn in 2usize..4,
+        // Edge-label index ELABELS (== 2) selects a wildcard condition.
+        edges in proptest::collection::vec((0u32..4, 0u32..4, 0u32..ELABELS + 1), 1..4),
+    ) {
+        let p = build_pattern(&g, pn, &edges);
+        let oracle = brute_force_images(&p, &g, p.x());
+        for cfg in all_configs() {
+            let m = Matcher::new(&g, cfg);
+            prop_assert_eq!(
+                &m.images(&p, p.x()), &oracle,
+                "images: engine {:?} legacy={}", cfg.kind, cfg.legacy_filter_gen
+            );
+        }
+    }
+
+    // Full-enumeration counts: the intersection generator, the legacy
+    // generator and the brute-force oracle count the same assignments —
+    // per anchor candidate and in total.
+    #[test]
+    fn counts_agree_with_oracle_and_legacy(
+        g in arb_graph(),
+        pn in 2usize..4,
+        edges in proptest::collection::vec((0u32..4, 0u32..4, 0u32..ELABELS + 1), 1..4),
+    ) {
+        let p = build_pattern(&g, pn, &edges);
+        let oracle_total = brute_force_count(&p, &g);
+        for cfg in all_configs() {
+            let m = Matcher::new(&g, cfg);
+            prop_assert_eq!(
+                m.count_matches(&p, None), oracle_total,
+                "total: engine {:?} legacy={}", cfg.kind, cfg.legacy_filter_gen
+            );
+        }
+        // Per-anchor counts: intersection vs legacy, every engine.
+        for cfg in [MatcherConfig::vf2(), MatcherConfig::degree_ordered(), MatcherConfig::guided()] {
+            let fast = Matcher::new(&g, cfg);
+            let slow = Matcher::new(&g, cfg.with_legacy_gen());
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    fast.count_anchored(&p, p.x(), v, None),
+                    slow.count_anchored(&p, p.x(), v, None),
+                    "anchored at {}: engine {:?}", v, cfg.kind
+                );
+            }
+        }
+    }
+
+    // Anchored existence with a shared scratch arena across matchers is
+    // identical to fresh per-matcher state (buffer reuse must never leak
+    // state between searches or between site graphs).
+    #[test]
+    fn shared_scratch_never_leaks_state(
+        g1 in arb_graph(),
+        g2 in arb_graph(),
+        pn in 2usize..4,
+        edges in proptest::collection::vec((0u32..4, 0u32..4, 0u32..ELABELS + 1), 1..4),
+    ) {
+        let p1 = build_pattern(&g1, pn, &edges);
+        let p2 = build_pattern(&g2, pn, &edges);
+        let scratch = SharedScratch::default();
+        for cfg in [MatcherConfig::vf2(), MatcherConfig::guided()] {
+            // Interleave searches over two different graphs through ONE
+            // arena; compare against independent matchers.
+            let shared1 = Matcher::new(&g1, cfg).with_scratch(scratch.clone());
+            let shared2 = Matcher::new(&g2, cfg).with_scratch(scratch.clone());
+            let fresh1 = Matcher::new(&g1, cfg);
+            let fresh2 = Matcher::new(&g2, cfg);
+            for v in g1.nodes() {
+                let w = NodeId(v.0 % g2.node_count() as u32);
+                prop_assert_eq!(shared1.exists_anchored(&p1, p1.x(), v),
+                                fresh1.exists_anchored(&p1, p1.x(), v));
+                prop_assert_eq!(shared2.exists_anchored(&p2, p2.x(), w),
+                                fresh2.exists_anchored(&p2, p2.x(), w));
+            }
+            prop_assert_eq!(shared1.images(&p1, p1.x()), fresh1.images(&p1, p1.x()));
+            prop_assert_eq!(shared2.images(&p2, p2.x()), fresh2.images(&p2, p2.x()));
+        }
+    }
+}
