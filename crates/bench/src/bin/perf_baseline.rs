@@ -20,6 +20,7 @@ use gpar_core::Gpar;
 use gpar_datagen::{generate_rules, RuleGenConfig};
 use gpar_eip::{identify, EipAlgorithm, EipConfig};
 use gpar_iso::{Matcher, MatcherConfig, PatternSketchCache, SharedScratch};
+use gpar_mine::{DMine, DmineConfig};
 use gpar_partition::CenterSite;
 use gpar_serve::{RuleCatalog, ServeConfig, ServeEngine};
 use std::sync::Arc;
@@ -151,6 +152,35 @@ fn main() {
                 identify(&sg.graph, sigma_ref, &cfg).expect("valid").customers.len(),
             );
         });
+        println!("  {name:<44} {median_ns:>12} ns/op");
+        scenarios.push(Scenario { name, median_ns, ops: 1 });
+    }
+
+    // --- mine: full DMine rounds (Generate + Evaluate task queues). ---
+    // Two numbers per run: wall-clock (host-dependent) and the simulated
+    // n-processor time (partition/n + per-round critical path + sequential
+    // coordinator) — the latter is what work stealing improves even on a
+    // single-core host, by shrinking the slowest-worker busy time.
+    {
+        let cfg =
+            DmineConfig { k: 6, sigma: 2, d: 2, workers: 4, max_rounds: 2, ..Default::default() };
+        let miner = DMine::new(cfg);
+        let mut sims: Vec<u64> = Vec::new();
+        let median_ns = measure(eip_samples, 1, || {
+            let res = miner.run(&sg.graph, &pred);
+            sims.push(res.simulated_parallel_time().as_nanos() as u64);
+            std::hint::black_box(res.sigma_size);
+        });
+        let name = "mine/rounds/wall";
+        println!("  {name:<44} {median_ns:>12} ns/op");
+        scenarios.push(Scenario { name, median_ns, ops: 1 });
+        // `measure` ran one untimed warm-up call; drop its (cold-cache)
+        // sample so the simulated median covers the same warm runs as the
+        // wall median next to it.
+        let warm = &mut sims[1..];
+        warm.sort_unstable();
+        let median_ns = warm[warm.len() / 2];
+        let name = "mine/rounds/simulated_parallel";
         println!("  {name:<44} {median_ns:>12} ns/op");
         scenarios.push(Scenario { name, median_ns, ops: 1 });
     }

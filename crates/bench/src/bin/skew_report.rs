@@ -1,0 +1,105 @@
+//! One-shot straggler probe: runs one mining pass and one EIP pass and
+//! prints, for each, the simulated n-processor time, the wall clock, and
+//! the per-worker busy-time skew (`max/min` — 1.0 is perfectly even).
+//!
+//! Each invocation performs exactly one measurement of each kind, so an
+//! interleaved min-of-N comparison between two binaries is just an outer
+//! shell loop alternating them (single runs on shared hosts swing 2×;
+//! interleaved minima don't).
+//!
+//! ```text
+//! cargo run --release -p gpar-bench --bin skew_report -- [--users N] [--workers N] [--sigma N] [--workload pokec|gplus]
+//! ```
+
+use gpar_bench::Workloads;
+use gpar_eip::{identify, EipAlgorithm, EipConfig};
+use gpar_mine::{DMine, DmineConfig};
+use std::time::{Duration, Instant};
+
+fn arg(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `max/min` over per-worker busy times, as a display string.
+fn skew(times: &[Duration]) -> String {
+    let max = times.iter().max().copied().unwrap_or_default().as_secs_f64();
+    let min = times.iter().min().copied().unwrap_or_default().as_secs_f64();
+    if min > 0.0 {
+        format!("{:.2}", max / min)
+    } else {
+        "inf".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let users = arg(&args, "--users", 500);
+    let workers = arg(&args, "--workers", 4);
+    let sigma_n = arg(&args, "--sigma", 8);
+
+    let gplus = args
+        .iter()
+        .position(|a| a == "--workload")
+        .and_then(|i| args.get(i + 1))
+        .is_some_and(|v| v == "gplus");
+    let sg = if gplus { Workloads::gplus(users) } else { Workloads::pokec(users) };
+    let algo = args
+        .iter()
+        .position(|a| a == "--algo")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match v.as_str() {
+            "matchc" => EipAlgorithm::Matchc,
+            "matchs" => EipAlgorithm::Matchs,
+            "disvf2" => EipAlgorithm::DisVf2,
+            _ => EipAlgorithm::Match,
+        })
+        .unwrap_or(EipAlgorithm::Match);
+    let family = if gplus { "employer" } else { "music" };
+    let pred = sg.schema.predicate(family, 0).expect("family");
+
+    // --- one mining pass ---
+    let cfg = DmineConfig { k: 6, sigma: 2, d: 2, workers, max_rounds: 2, ..Default::default() };
+    let t0 = Instant::now();
+    let res = DMine::new(cfg).run(&sg.graph, &pred);
+    let wall = t0.elapsed();
+    // Per-worker busy time summed across rounds (the whole-run skew).
+    let mut per_worker = vec![Duration::ZERO; workers.max(1)];
+    for round in &res.round_worker_times {
+        for (acc, &t) in per_worker.iter_mut().zip(round) {
+            *acc += t;
+        }
+    }
+    let critical: Duration =
+        res.round_worker_times.iter().map(|r| r.iter().max().copied().unwrap_or_default()).sum();
+    println!(
+        "mine users={users} workers={workers} simulated_ns={} critical_ns={} wall_ns={} skew_max_min={} steals={} sigma_size={}",
+        res.simulated_parallel_time().as_nanos(),
+        critical.as_nanos(),
+        wall.as_nanos(),
+        skew(&per_worker),
+        res.steals,
+        res.sigma_size,
+    );
+
+    // --- one EIP pass ---
+    let sigma = Workloads::sigma(&sg, family, sigma_n, 2);
+    assert!(!sigma.is_empty());
+    let cfg = EipConfig { eta: 1.5, d: Some(2), ..EipConfig::new(algo, workers) };
+    let t0 = Instant::now();
+    let res = identify(&sg.graph, &sigma, &cfg).expect("valid Σ");
+    let wall = t0.elapsed();
+    println!(
+        "eip users={users} workers={workers} sigma={} simulated_ns={} critical_ns={} wall_ns={} skew_max_min={} steals={} customers={}",
+        sigma.len(),
+        res.simulated_parallel_time().as_nanos(),
+        res.worker_times.iter().max().copied().unwrap_or_default().as_nanos(),
+        wall.as_nanos(),
+        skew(&res.worker_times),
+        res.steals,
+        res.customers.len(),
+    );
+}

@@ -4,11 +4,19 @@
 use crate::eval::CandidateEvaluator;
 use crate::options::EipConfig;
 use gpar_core::{ConfStats, Confidence, Gpar, LcwaClass};
+use gpar_exec::Executor;
 use gpar_graph::{FxHashSet, Graph, NodeId};
-use gpar_partition::partition_sites;
+use gpar_partition::{build_sites, chunk_by_load, PartitionStrategy};
 use gpar_pattern::NodeCond;
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Site-chunk granules per worker (the task unit of the work-stealing
+/// executor). EIP runs exactly one task per chunk — the whole Σ is
+/// evaluated per site — so granules can be fine: 16 per worker bounds the
+/// load imbalance of the largest chunk at ~6% of a worker's share while
+/// per-task overhead stays invisible next to multi-rule site evaluation.
+const CHUNKS_PER_WORKER: usize = 16;
 
 /// Errors raised by [`identify`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,14 +60,24 @@ pub struct EipResult {
     pub customers: FxHashSet<NodeId>,
     /// Per-rule outcomes, aligned with the input Σ.
     pub per_rule: Vec<RuleOutcome>,
-    /// Per-worker busy times (skew measurement).
+    /// Per-worker busy times (skew measurement): measured **per-task
+    /// thread-CPU costs** list-scheduled onto `workers` virtual
+    /// processors — what each worker of an idle `workers`-core host would
+    /// be busy for, independent of how the OS interleaved the pool. Same
+    /// clock as [`EipResult::partition_time`] and
+    /// [`EipResult::coordinator_time`].
     pub worker_times: Vec<Duration>,
-    /// Total wall-clock time.
+    /// Successful work-steal operations (0 means the static chunk seed
+    /// was already balanced, or `workers = 1`).
+    pub steals: u64,
+    /// Total wall-clock time (the one wall-clock field).
     pub elapsed: Duration,
-    /// Time spent building/partitioning candidate sites (step 1; itself
+    /// Thread-CPU time spent building candidate sites (step 1; itself
     /// center-parallel on a real cluster).
     pub partition_time: Duration,
-    /// CPU time the coordinating thread spent on validation and assembly.
+    /// Thread-CPU time the coordinating thread spent on validation and
+    /// assembly — excludes any task work executed inline on it when
+    /// `workers = 1`.
     pub coordinator_time: Duration,
     /// Number of candidate centers examined (`|L|`).
     pub candidates: usize,
@@ -69,7 +87,9 @@ impl EipResult {
     /// Simulated wall-clock on an `n`-processor shared-nothing cluster:
     /// partitioning (embarrassingly center-parallel) divided by `n`, plus
     /// the *critical path* of the matching step (the slowest worker), plus
-    /// the sequential assembly remainder. On a single-core host — where
+    /// the sequential assembly remainder. Every component is measured on
+    /// the **thread-CPU clock** (never wall-clock), so the sum stays
+    /// meaningful on oversubscribed hosts; on a single-core host — where
     /// thread wall-clock cannot exhibit parallel speedup — this is the
     /// faithful reading of the paper's `T(|G|, |Σ|, n)` (see DESIGN.md
     /// substitutions).
@@ -80,14 +100,14 @@ impl EipResult {
     }
 }
 
-struct WorkerOut {
-    worker: usize,
+/// One chunk task's partial counts (merged in task-index order, so the
+/// assembly is independent of the steal interleaving).
+struct ChunkOut {
     supp_q: u64,
     supp_qbar: u64,
     /// Per rule: (supp_r, supp_q_qbar, q-matching centers, PR-matching
-    /// centers) over this worker's candidates.
+    /// centers) over this chunk's candidates.
     per_rule: Vec<(u64, u64, Vec<NodeId>, Vec<NodeId>)>,
-    elapsed: Duration,
 }
 
 /// The evaluation radius `d` for a rule set: the maximum of `r(P_R, x)`
@@ -133,63 +153,71 @@ pub fn identify(g: &Graph, sigma: &[Gpar], config: &EipConfig) -> Result<EipResu
     };
     let candidates = centers.len();
     let cpu_pre_part = gpar_graph::thread_cpu_time();
-    let assignments = partition_sites(g, &centers, d, config.workers, config.strategy);
+    let sites = build_sites(g, &centers, d);
     let partition_time = gpar_graph::thread_cpu_time().saturating_sub(cpu_pre_part);
     let opts = config.match_opts();
 
-    // Step 2: all workers compute local memberships in parallel.
-    let n = assignments.len();
-    let (tx, rx) = crossbeam::channel::unbounded::<WorkerOut>();
-    crossbeam::scope(|scope| {
-        for (w, sites) in assignments.into_iter().enumerate() {
-            let tx = tx.clone();
-            let sigma_ref = sigma;
-            scope.spawn(move |_| {
-                let t0 = gpar_graph::thread_cpu_time();
-                let ev = CandidateEvaluator::new(sigma_ref, opts);
-                let mut out = WorkerOut {
-                    worker: w,
-                    supp_q: 0,
-                    supp_qbar: 0,
-                    per_rule: vec![(0, 0, Vec::new(), Vec::new()); sigma_ref.len()],
-                    elapsed: Duration::ZERO,
-                };
-                for cs in &sites {
-                    let o = ev.evaluate(cs);
-                    match o.class {
-                        LcwaClass::Positive => out.supp_q += 1,
-                        LcwaClass::Negative => out.supp_qbar += 1,
-                        LcwaClass::Unknown => {}
+    // Step 2: per-candidate evaluation fans out as chunk tasks on the
+    // work-stealing executor — the chunk granule (not a static per-worker
+    // split) is what keeps the critical path at `max(chunk)` instead of
+    // `max(static share)` when per-site cost is skewed. Each worker
+    // builds one evaluator (sharing plan, sketches, scratch) on its own
+    // thread and reuses it for every task it runs, stolen or not.
+    let workers = config.workers.max(1);
+    let max_chunks = workers * CHUNKS_PER_WORKER;
+    let chunks = match config.strategy {
+        PartitionStrategy::Balanced => {
+            let loads: Vec<u64> = sites.iter().map(|s| s.load()).collect();
+            chunk_by_load(&loads, max_chunks)
+        }
+        PartitionStrategy::Hash => chunk_by_load(&vec![1u64; sites.len()], max_chunks),
+    };
+    let nrules = sigma.len();
+    let exec = Executor::new(workers);
+    let (parts, stats) = exec.map_indexed(
+        chunks.len(),
+        |_w| CandidateEvaluator::new(sigma, opts),
+        |ev, c| {
+            let mut out = ChunkOut {
+                supp_q: 0,
+                supp_qbar: 0,
+                per_rule: vec![(0, 0, Vec::new(), Vec::new()); nrules],
+            };
+            for cs in &sites[chunks[c].clone()] {
+                let o = ev.evaluate(cs);
+                match o.class {
+                    LcwaClass::Positive => out.supp_q += 1,
+                    LcwaClass::Negative => out.supp_qbar += 1,
+                    LcwaClass::Unknown => {}
+                }
+                for (r, slot) in out.per_rule.iter_mut().enumerate() {
+                    if o.q_member[r] {
+                        slot.2.push(cs.center_global);
+                        if o.class == LcwaClass::Negative {
+                            slot.1 += 1;
+                        }
                     }
-                    for (r, slot) in out.per_rule.iter_mut().enumerate() {
-                        if o.q_member[r] {
-                            slot.2.push(cs.center_global);
-                            if o.class == LcwaClass::Negative {
-                                slot.1 += 1;
-                            }
-                        }
-                        if o.pr_member[r] && o.class == LcwaClass::Positive {
-                            slot.0 += 1;
-                            slot.3.push(cs.center_global);
-                        }
+                    if o.pr_member[r] && o.class == LcwaClass::Positive {
+                        slot.0 += 1;
+                        slot.3.push(cs.center_global);
                     }
                 }
-                out.elapsed = gpar_graph::thread_cpu_time().saturating_sub(t0);
-                let _ = tx.send(out);
-            });
-        }
-        drop(tx);
-    })
-    .expect("EIP worker panicked");
+            }
+            out
+        },
+    );
+    // Inline execution (workers = 1) books task work as worker time; keep
+    // it out of the coordinator's own accounting below.
+    let inline_cpu: Duration =
+        if stats.inline { stats.worker_times.iter().sum() } else { Duration::ZERO };
+    let worker_times = stats.virtual_worker_times(workers);
 
-    // Step 3: assemble.
-    let mut worker_times = vec![Duration::ZERO; n];
+    // Step 3: assemble, folding chunk partials in task-index order.
     let mut supp_q = 0u64;
     let mut supp_qbar = 0u64;
     let mut per_rule: Vec<(u64, u64, FxHashSet<NodeId>, FxHashSet<NodeId>)> =
         vec![(0, 0, FxHashSet::default(), FxHashSet::default()); sigma.len()];
-    for out in rx.iter() {
-        worker_times[out.worker] = out.elapsed;
+    for out in parts {
         supp_q += out.supp_q;
         supp_qbar += out.supp_qbar;
         for (acc, part) in per_rule.iter_mut().zip(out.per_rule) {
@@ -219,12 +247,15 @@ pub fn identify(g: &Graph, sigma: &[Gpar], config: &EipConfig) -> Result<EipResu
         })
         .collect();
 
-    let coordinator_time =
-        gpar_graph::thread_cpu_time().saturating_sub(cpu0).saturating_sub(partition_time);
+    let coordinator_time = gpar_graph::thread_cpu_time()
+        .saturating_sub(cpu0)
+        .saturating_sub(partition_time)
+        .saturating_sub(inline_cpu);
     Ok(EipResult {
         customers,
         per_rule,
         worker_times,
+        steals: stats.steals,
         elapsed: start.elapsed(),
         partition_time,
         coordinator_time,

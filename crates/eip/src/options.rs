@@ -116,7 +116,7 @@ impl EipConfig {
 
 impl Default for EipConfig {
     fn default() -> Self {
-        Self::new(EipAlgorithm::Match, 4)
+        Self::new(EipAlgorithm::Match, gpar_exec::default_workers(4))
     }
 }
 

@@ -1,0 +1,134 @@
+//! A closeable blocking MPMC queue for long-lived worker pools.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// The shared task injector: producers [`Injector::push`] from any thread,
+/// pool workers block in [`Injector::pop`] until a task arrives or the
+/// injector is closed and drained. This is the serving engine's job
+/// queue — one injector replaces the old mutex-wrapped mpsc receiver, and
+/// any worker, not just the lock holder, can grab the next task.
+///
+/// Uses `std::sync::{Mutex, Condvar}` directly (the `parking_lot` shim has
+/// no condvar); a poisoned lock propagates the original panic, matching
+/// the pool's panic semantics.
+pub struct Injector<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty, open injector.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, waking one blocked worker. Returns the item back
+    /// if the injector is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("injector lock");
+        if s.closed {
+            return Err(item);
+        }
+        s.queue.push_back(item);
+        drop(s);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the injector is open and
+    /// empty. `None` means closed **and** drained — the pool worker's exit
+    /// signal (items pushed before `close` are always delivered).
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("injector lock");
+        loop {
+            if let Some(item) = s.queue.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cv.wait(s).expect("injector wait");
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().expect("injector lock").queue.pop_front()
+    }
+
+    /// Closes the injector: pending items still drain, future pushes fail,
+    /// and every blocked worker wakes (to drain or exit).
+    pub fn close(&self) {
+        self.state.lock().expect("injector lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Queued (undelivered) items.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("injector lock").queue.len()
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_close_semantics() {
+        let inj = Injector::new();
+        inj.push(1).unwrap();
+        inj.push(2).unwrap();
+        assert_eq!(inj.len(), 2);
+        inj.close();
+        assert_eq!(inj.push(3), Err(3), "push after close is rejected");
+        // Items pushed before the close still drain, in order.
+        assert_eq!(inj.pop(), Some(1));
+        assert_eq!(inj.try_pop(), Some(2));
+        assert_eq!(inj.pop(), None, "closed and drained");
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_close() {
+        let inj: Arc<Injector<u32>> = Arc::new(Injector::new());
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let inj = inj.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0u32;
+                    while let Some(x) = inj.pop() {
+                        got += x;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..50 {
+            inj.push(i).unwrap();
+        }
+        inj.close();
+        let total: u32 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+        assert_eq!(total, (0..50).sum::<u32>(), "every task delivered exactly once");
+    }
+}

@@ -1,0 +1,83 @@
+//! The shared work-stealing execution runtime (mining, EIP and serving).
+//!
+//! The paper's parallel-scalability argument (§4.1) assumes work divides
+//! evenly across processors; in practice per-site matching cost is wildly
+//! skewed (hub centers cost orders of magnitude more than leaves), so any
+//! *static* center-to-worker split leaves stragglers dominating the
+//! critical path. This crate replaces the three hand-rolled threading
+//! layers that used to live in `gpar-mine`, `gpar-eip` and `gpar-serve`
+//! with one runtime:
+//!
+//! * [`Executor`] — scoped fork-join over an indexed task list, with
+//!   per-worker deques and work stealing ([`Executor::map_indexed`]).
+//!   Results come back in **task-index order**, so reductions are
+//!   independent of the steal interleaving: any run, at any worker count,
+//!   folds the same values in the same order.
+//! * **Per-worker context slots** — each worker thread builds its own
+//!   context (search arenas, pattern-sketch caches — deliberately `!Send`
+//!   `Rc`-based state) via a factory called *on the worker thread*, and
+//!   every task the worker executes, stolen or not, reuses it.
+//! * [`Injector`] — a closeable multi-producer/multi-consumer queue for
+//!   long-lived pools (the serving engine's workers all drain one shared
+//!   injector instead of a mutex-wrapped mpsc receiver).
+//!
+//! All busy-time accounting uses the **thread-CPU clock**
+//! ([`thread_cpu_time`]), never wall-clock, so per-worker skew reports and
+//! the simulated cluster times built from them stay meaningful on
+//! oversubscribed hosts.
+
+mod executor;
+mod injector;
+
+pub use executor::{ExecStats, Executor};
+pub use injector::Injector;
+
+/// CPU time consumed by the calling thread (`CLOCK_THREAD_CPUTIME_ID`).
+///
+/// The same clock as `gpar_graph::thread_cpu_time`, duplicated here so the
+/// runtime stays dependency-free below the graph layer.
+pub fn thread_cpu_time() -> std::time::Duration {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // Safety: clock_gettime writes into the provided timespec.
+    unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    std::time::Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+/// The worker-count override from the `GPAR_WORKERS` environment variable,
+/// if set to a positive integer. The CI matrix uses this to run the whole
+/// test suite at a different pool width without touching any test.
+pub fn env_workers() -> Option<usize> {
+    std::env::var("GPAR_WORKERS").ok()?.trim().parse().ok().filter(|&n| n > 0)
+}
+
+/// `fallback` unless [`env_workers`] overrides it — the default worker
+/// count used by `DmineConfig`, `EipConfig` and `ServeConfig`.
+pub fn default_workers(fallback: usize) -> usize {
+    env_workers().unwrap_or(fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_clock_is_monotonic() {
+        let a = thread_cpu_time();
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        assert!(thread_cpu_time() >= a);
+    }
+
+    #[test]
+    fn default_workers_falls_back() {
+        // The suite may legitimately run under GPAR_WORKERS (the CI matrix
+        // leg); the fallback only applies when it is absent.
+        match env_workers() {
+            Some(n) => assert_eq!(default_workers(3), n),
+            None => assert_eq!(default_workers(3), 3),
+        }
+    }
+}

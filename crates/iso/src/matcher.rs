@@ -328,14 +328,19 @@ impl<'g> Matcher<'g> {
         // Pattern-derived search state (visit order, degree requirements,
         // node flags) depends only on (pattern, anchor, order flavor) —
         // which is constant across the thousands of candidate probes a
-        // round makes — so it is cached in the arena under the pattern's
-        // structural fingerprint and recomputed only when it changes.
+        // round makes — so it is kept in the arena under the pattern's
+        // structural fingerprint: the active slot serves the steady state
+        // (one pattern probed at every candidate), and the keyed
+        // multi-entry cache serves alternating workloads (EIP switching
+        // between `Q` and `P_R` per rule); only a miss in both recomputes.
         let prefer_degree = self.cfg.kind != EngineKind::Vf2;
         build_pattern_key(p, self.cfg.sketch_k, &mut arena.key);
-        if arena.key != arena.meta_key
+        if (arena.key != arena.meta_key
             || u.0 != arena.meta_anchor
-            || prefer_degree != arena.meta_prefer
+            || prefer_degree != arena.meta_prefer)
+            && !arena.switch_meta(u.0, prefer_degree)
         {
+            arena.meta_recomputes += 1;
             compute_pattern_meta(p, &mut arena.deg_req, &mut arena.node_flags);
             compute_label_requirements(p, &mut arena.lab_req, &mut arena.lab_req_offsets);
             {
@@ -1198,6 +1203,47 @@ mod tests {
         }
         // The arena retained its grown buffers between matchers.
         assert!(scratch.inspect(|a| a.cand.capacity()).unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn meta_cache_serves_alternating_patterns() {
+        // EIP's steady state: every candidate probes Q then P_R. The keyed
+        // metadata cache must turn the per-switch recomputation into a
+        // pair of swaps — exactly one recompute per distinct pattern, no
+        // matter how many times the workload alternates.
+        let (g, custs, _) = build_g1();
+        let q1 = build_q1(g.vocab());
+        // A second, structurally different pattern sharing the anchor
+        // label.
+        let vocab = g.vocab();
+        let cust = vocab.get("cust").unwrap();
+        let city = vocab.get("city").unwrap();
+        let live_in = vocab.get("live_in").unwrap();
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node(cust);
+        let c = pb.node(city);
+        pb.edge(x, c, live_in);
+        let q2 = pb.designate_x(x).build().unwrap();
+
+        let scratch = SharedScratch::default();
+        let m = Matcher::new(&g, MatcherConfig::vf2()).with_scratch(scratch.clone());
+        for _ in 0..10 {
+            for &v in custs.iter().take(3) {
+                m.exists_anchored(&q1, q1.x(), v);
+                m.exists_anchored(&q2, q2.x(), v);
+            }
+        }
+        let recomputes = scratch.inspect(|a| a.meta_recomputes()).unwrap();
+        assert_eq!(recomputes, 2, "one recompute per distinct (pattern, anchor)");
+
+        // Same pattern at a different anchor node id in the *pattern* is a
+        // different entry; re-probing both afterwards stays cached.
+        m.exists_anchored(&q1, q1.y().unwrap(), custs[0]);
+        let after_anchor_switch = scratch.inspect(|a| a.meta_recomputes()).unwrap();
+        assert_eq!(after_anchor_switch, 3);
+        m.exists_anchored(&q1, q1.x(), custs[0]);
+        m.exists_anchored(&q2, q2.x(), custs[0]);
+        assert_eq!(scratch.inspect(|a| a.meta_recomputes()).unwrap(), 3);
     }
 
     #[test]

@@ -56,13 +56,25 @@ pub struct ScratchArena {
     /// Reusable pattern-fingerprint key buffer (also the pattern-sketch
     /// cache key).
     pub(crate) key: Vec<u64>,
-    /// Fingerprint + anchor + order-flavor the cached `order`/`deg_req`/
+    /// Fingerprint + anchor + order-flavor the *active* `order`/`deg_req`/
     /// `node_flags` were computed for: consecutive searches of the same
     /// anchored pattern (the steady state — one pattern probed at every
     /// candidate/site) skip recomputing them entirely.
     pub(crate) meta_key: Vec<u64>,
     pub(crate) meta_anchor: u32,
     pub(crate) meta_prefer: bool,
+    /// Small keyed cache of *parked* pattern metadata. Workloads that
+    /// alternate a few anchored patterns per site — EIP evaluating `Q`
+    /// then `P_R` for every rule of Σ — switch the active entry on every
+    /// pattern change; parking the displaced metadata here (instead of
+    /// discarding it) makes those switches hits too. Entries are whole
+    /// buffer sets, so a switch is a handful of pointer swaps.
+    pub(crate) meta_cache: Vec<PatternMeta>,
+    /// Monotonic park counter (the cache's LRU clock).
+    pub(crate) meta_tick: u64,
+    /// Number of full metadata recomputations (cache misses) — the
+    /// observability hook the cache tests pin down.
+    pub(crate) meta_recomputes: u64,
     /// Per pattern node: minimum (out, in) data degree a candidate needs
     /// (see `Matcher::compute_pattern_meta`).
     pub(crate) deg_req: Vec<(u32, u32)>,
@@ -78,6 +90,31 @@ pub struct ScratchArena {
     /// Traversal scratch for on-demand data-sketch construction.
     pub(crate) nbr: NeighborhoodScratch,
 }
+
+/// One parked pattern-metadata entry: everything an anchored search
+/// derives from `(pattern fingerprint, anchor, order flavor)` alone.
+#[derive(Debug, Default)]
+pub(crate) struct PatternMeta {
+    key: Vec<u64>,
+    anchor: u32,
+    prefer: bool,
+    /// Park time on the arena's LRU clock.
+    tick: u64,
+    order: Vec<PNodeId>,
+    deg_req: Vec<(u32, u32)>,
+    lab_req: Vec<(gpar_graph::Label, u32, bool)>,
+    lab_req_offsets: Vec<u32>,
+    node_flags: Vec<u8>,
+}
+
+/// Parked metadata entries kept per arena. EIP's steady state cycles
+/// through `2·|Σ|` anchored patterns per candidate (`Q` then `P_R` for
+/// every rule), so the cap must exceed that to get hits at all — LRU on a
+/// cyclic scan one entry too long yields zero. 64 covers a 32-rule Σ;
+/// entries are a few tiny vectors each, and the linear key probe
+/// (first-word mismatch exits early) is noise next to one `visit_order`
+/// recomputation.
+const META_CACHE_CAP: usize = 64;
 
 /// `node_flags` bit: the pattern node has a self-loop edge.
 pub(crate) const SELF_LOOP: u8 = 1;
@@ -124,6 +161,70 @@ impl ScratchArena {
     /// ball/sketch construction with matching on the same thread.
     pub fn neighborhood(&mut self) -> &mut NeighborhoodScratch {
         &mut self.nbr
+    }
+
+    /// Full pattern-metadata recomputations performed so far (cache
+    /// misses across both the active slot and the keyed cache).
+    pub fn meta_recomputes(&self) -> u64 {
+        self.meta_recomputes
+    }
+
+    /// Switches the active pattern metadata to `(self.key, anchor,
+    /// prefer)`: parks the currently active entry into the keyed cache,
+    /// then loads the requested one out of it if present. Returns `true`
+    /// on a hit (the active buffers now hold the entry); on a miss the
+    /// caller must recompute into the (now empty) active buffers and set
+    /// `meta_key`/`meta_anchor`/`meta_prefer` as usual.
+    ///
+    /// Invariant: the cache holds only *parked* entries — a loaded entry
+    /// is moved out, and the active one is moved in — so no key is ever
+    /// present twice.
+    pub(crate) fn switch_meta(&mut self, anchor: u32, prefer: bool) -> bool {
+        if !self.meta_key.is_empty() {
+            self.meta_tick += 1;
+            let parked = PatternMeta {
+                key: std::mem::take(&mut self.meta_key),
+                anchor: self.meta_anchor,
+                prefer: self.meta_prefer,
+                tick: self.meta_tick,
+                order: std::mem::take(&mut self.order),
+                deg_req: std::mem::take(&mut self.deg_req),
+                lab_req: std::mem::take(&mut self.lab_req),
+                lab_req_offsets: std::mem::take(&mut self.lab_req_offsets),
+                node_flags: std::mem::take(&mut self.node_flags),
+            };
+            if self.meta_cache.len() == META_CACHE_CAP {
+                let lru = self
+                    .meta_cache
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, m)| m.tick)
+                    .map(|(i, _)| i)
+                    .expect("cache at capacity is non-empty");
+                self.meta_cache[lru] = parked;
+            } else {
+                self.meta_cache.push(parked);
+            }
+        }
+        let hit = self
+            .meta_cache
+            .iter()
+            .position(|m| m.anchor == anchor && m.prefer == prefer && m.key == self.key);
+        match hit {
+            Some(i) => {
+                let m = self.meta_cache.swap_remove(i);
+                self.meta_key = m.key;
+                self.meta_anchor = m.anchor;
+                self.meta_prefer = m.prefer;
+                self.order = m.order;
+                self.deg_req = m.deg_req;
+                self.lab_req = m.lab_req;
+                self.lab_req_offsets = m.lab_req_offsets;
+                self.node_flags = m.node_flags;
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -3,14 +3,38 @@
 use crate::incdiv::IncDiv;
 use crate::messages::{LocalConf, MinedRule};
 use crate::reduction::{apply_reduction, ReductionStats};
-use crate::worker::{ClassifiedSite, GeneratedTemplates, MineWorker};
+use crate::worker::{ClassifiedSite, MineTaskCtx};
 use gpar_core::{q_stats, ConfStats, Confidence, DiversifyParams, Gpar, LcwaClass, Predicate};
+use gpar_exec::{ExecStats, Executor};
 use gpar_graph::{FxHashMap, Graph, NodeId};
 use gpar_iso::MatcherConfig;
-use gpar_partition::{partition_sites, CenterSite, PartitionStrategy};
+use gpar_partition::{build_sites, chunk_by_load, PartitionStrategy};
 use gpar_pattern::{are_isomorphic, bisimilar, CanonicalCode};
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Finest site-chunk granularity, per worker, a phase may use. More
+/// granules than workers is what lets stealing even out per-site cost
+/// skew; a small multiple keeps per-task overhead negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Tasks per worker a phase *aims* for. A phase's task count is
+/// `items × chunks`; when the item side (frontier rules, candidates) is
+/// already large, one chunk per task suffices — multiplying further only
+/// buys queue/clock overhead on tiny tasks.
+const TASKS_PER_WORKER: usize = 16;
+
+/// Chunk ranges for one phase over `items` work items: aim for
+/// [`TASKS_PER_WORKER`] tasks per worker in total, capped at
+/// [`CHUNKS_PER_WORKER`] granules. Deterministic in `(loads, items,
+/// workers)` — and results never depend on the chunking at all (the
+/// per-chunk reductions are exact), so this is purely a scheduling knob.
+fn phase_chunks(loads: &[u64], items: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.max(1);
+    let per_item = (workers * TASKS_PER_WORKER).div_ceil(items.max(1));
+    chunk_by_load(loads, per_item.clamp(1, workers * CHUNKS_PER_WORKER))
+}
 
 /// Which of DMine's optimizations are enabled. The paper's `DMineno`
 /// baseline disables the incremental diversification, the Lemma 3
@@ -75,7 +99,8 @@ pub struct DmineConfig {
     pub d: u32,
     /// Diversification balance λ ∈ [0, 1].
     pub lambda: f64,
-    /// Number of worker threads `n − 1` (the coordinator is the caller).
+    /// Number of executor worker threads `n − 1` (the coordinator is the
+    /// caller; with `workers = 1` tasks run inline on it).
     pub workers: usize,
     /// Levelwise growth rounds (= maximum antecedent edges; see the crate
     /// docs for the interpretation of the paper's "d rounds").
@@ -102,7 +127,7 @@ impl Default for DmineConfig {
             sigma: 1,
             d: 2,
             lambda: 0.5,
-            workers: 4,
+            workers: gpar_exec::default_workers(4),
             max_rounds: 3,
             match_cap: 128,
             ext_cap: 64,
@@ -135,14 +160,26 @@ pub struct MineResult {
     pub logical_rules: usize,
     /// Accumulated reduction-rule statistics.
     pub reduction: ReductionStats,
-    /// Per-round, per-worker wall-clock times (skew reporting).
+    /// Per-round, per-worker busy times (skew reporting): measured
+    /// **per-task thread-CPU costs**, list-scheduled onto `workers`
+    /// virtual processors per phase (phases are barriers), summed per
+    /// round — i.e. what each worker of an idle `workers`-core host would
+    /// be busy for, independent of how the OS actually interleaved the
+    /// pool. Same clock as [`MineResult::partition_time`] and
+    /// [`MineResult::coordinator_time`], so the three compose into a
+    /// consistent simulated schedule; see
+    /// [`MineResult::simulated_parallel_time`].
     pub round_worker_times: Vec<Vec<Duration>>,
-    /// Time spent building/partitioning candidate sites.
+    /// Successful work-steal operations across all rounds (0 means the
+    /// static seed assignment was already balanced, or `workers = 1`).
+    pub steals: u64,
+    /// Thread-CPU time spent building candidate sites.
     pub partition_time: Duration,
-    /// CPU time the coordinator thread spent (grouping, assembly, incDiv,
-    /// reductions).
+    /// Thread-CPU time the coordinator thread spent (grouping, assembly,
+    /// incDiv, reductions) — excludes any task work executed inline on
+    /// the coordinator when `workers = 1`.
     pub coordinator_time: Duration,
-    /// Total wall-clock time of the run.
+    /// Total wall-clock time of the run (the one wall-clock field).
     pub elapsed: Duration,
     /// Whether any cap (frontier, templates, match enumeration) was hit.
     pub capped: bool,
@@ -152,9 +189,12 @@ impl MineResult {
     /// Simulated wall-clock on an `n`-processor shared-nothing cluster:
     /// partitioning divided by `n` (center-parallel), plus the per-round
     /// critical path (slowest worker per round, as BSP barriers dictate),
-    /// plus the sequential coordinator remainder. See the substitutions
-    /// section of DESIGN.md: on a single-core host this is the faithful
-    /// reading of the paper's per-round cost `t(|G|/n, k, |Σ|)`.
+    /// plus the sequential coordinator remainder. Every component is
+    /// measured on the **thread-CPU clock** (never wall-clock), so the sum
+    /// is meaningful on oversubscribed or single-core hosts. See the
+    /// substitutions section of DESIGN.md: on a single-core host this is
+    /// the faithful reading of the paper's per-round cost
+    /// `t(|G|/n, k, |Σ|)`.
     pub fn simulated_parallel_time(&self) -> Duration {
         let n = self.round_worker_times.iter().map(|r| r.len()).max().unwrap_or(1).max(1) as u32;
         let critical: Duration = self
@@ -174,17 +214,6 @@ impl MineResult {
         let mut seen: gpar_graph::FxHashSet<CanonicalCode> = Default::default();
         self.sigma.iter().filter(|r| seen.insert(r.rule.pr().canonical_code())).collect()
     }
-}
-
-enum CoordMsg {
-    Generate(Arc<Vec<Gpar>>),
-    Evaluate(Arc<Vec<Gpar>>),
-    Done,
-}
-
-enum Reply {
-    Generated { worker: usize, per_rule: Vec<GeneratedTemplates>, elapsed: Duration },
-    Evaluated { worker: usize, evals: Vec<(LocalConf, bool)>, elapsed: Duration },
 }
 
 /// The parallel diversified GPAR miner.
@@ -251,69 +280,31 @@ impl DMine {
                 LcwaClass::Negative
             }
         };
+        // Sites are built once, flat and in center-id order; rounds chunk
+        // them into task granules instead of pre-assigning them to
+        // workers. `Balanced` forms near-equal-*load* granules, `Hash`
+        // (the skew baseline) load-blind equal-*count* granules — either
+        // way the executor's stealing handles whatever the static estimate
+        // gets wrong.
         let cpu_pre_part = gpar_graph::thread_cpu_time();
-        let assignments = partition_sites(g, &centers, cfg.d, cfg.workers, cfg.strategy);
-        let partition_time = gpar_graph::thread_cpu_time().saturating_sub(cpu_pre_part);
-        let workers: Vec<MineWorker> = assignments
+        let sites: Vec<ClassifiedSite> = build_sites(g, &centers, cfg.d)
             .into_iter()
-            .enumerate()
-            .map(|(id, sites)| MineWorker {
-                id,
-                sites: sites
-                    .into_iter()
-                    .map(|site: CenterSite| ClassifiedSite {
-                        class: class_of(site.center_global),
-                        site,
-                    })
-                    .collect(),
-                engine: cfg.engine,
-                match_cap: cfg.match_cap,
-                ext_cap: cfg.ext_cap,
-                d: cfg.d,
-            })
+            .map(|site| ClassifiedSite { class: class_of(site.center_global), site })
             .collect();
+        let partition_time = gpar_graph::thread_cpu_time().saturating_sub(cpu_pre_part);
+        // Load estimates feeding the per-phase chunking: `Balanced` uses
+        // site sizes, `Hash` (the skew baseline) is load-blind.
+        let loads: Vec<u64> = match cfg.strategy {
+            PartitionStrategy::Balanced => sites.iter().map(|cs| cs.site.load()).collect(),
+            PartitionStrategy::Hash => vec![1u64; sites.len()],
+        };
 
         let params =
             DiversifyParams::new(cfg.lambda, cfg.k, qs.supp_q() as f64 * qs.supp_qbar() as f64);
-        let mut result = self.coordinate(g, pred, workers, params, qs.supp_q(), qs.supp_qbar());
+        let mut result = self.rounds(g, pred, params, qs.supp_q(), qs.supp_qbar(), &sites, &loads);
+        result.objective = finalize_objective(&result, params);
         result.partition_time = partition_time;
         result.elapsed = t_run.elapsed();
-        result
-    }
-
-    fn coordinate(
-        &self,
-        g: &Graph,
-        pred: &Predicate,
-        workers: Vec<MineWorker>,
-        params: DiversifyParams,
-        supp_q: u64,
-        supp_qbar: u64,
-    ) -> MineResult {
-        let n = workers.len().max(1);
-        let (reply_tx, reply_rx) = crossbeam::channel::unbounded::<Reply>();
-        let mut cmd_txs = Vec::with_capacity(n);
-        let mut cmd_rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = crossbeam::channel::unbounded::<CoordMsg>();
-            cmd_txs.push(tx);
-            cmd_rxs.push(rx);
-        }
-
-        let cpu0 = gpar_graph::thread_cpu_time();
-        let mut result = crossbeam::scope(|scope| {
-            for w in workers {
-                let rx = cmd_rxs.remove(0);
-                let tx = reply_tx.clone();
-                scope.spawn(move |_| worker_loop(w, rx, tx));
-            }
-            drop(reply_tx);
-            self.rounds(g, pred, params, supp_q, supp_qbar, &cmd_txs, &reply_rx, n)
-        })
-        .expect("worker thread panicked");
-        result.coordinator_time = gpar_graph::thread_cpu_time().saturating_sub(cpu0);
-
-        result.objective = finalize_objective(&result, params);
         result
     }
 
@@ -325,11 +316,12 @@ impl DMine {
         params: DiversifyParams,
         supp_q: u64,
         supp_qbar: u64,
-        cmd_txs: &[crossbeam::channel::Sender<CoordMsg>],
-        reply_rx: &crossbeam::channel::Receiver<Reply>,
-        n: usize,
+        sites: &[ClassifiedSite],
+        loads: &[u64],
     ) -> MineResult {
         let cfg = &self.config;
+        let cpu0 = gpar_graph::thread_cpu_time();
+        let exec = Executor::new(cfg.workers);
         let mut rules: Vec<MinedRule> = Vec::new();
         let mut alive: Vec<bool> = Vec::new();
         let mut codes: FxHashMap<CanonicalCode, usize> = FxHashMap::default();
@@ -340,6 +332,26 @@ impl DMine {
         let mut logical_rules = 0usize;
         let mut capped = false;
         let mut rounds_run = 0usize;
+        let mut steals = 0u64;
+        // Task work executed inline on this thread (workers = 1): counted
+        // as worker time, so it must be excluded from coordinator_time.
+        let mut inline_cpu = Duration::ZERO;
+        let ctx = |_w: usize| MineTaskCtx::new(cfg.engine, cfg.match_cap, cfg.ext_cap);
+        // Folds one phase's stats into the round report: virtual per-worker
+        // profile summed elementwise (the phase boundary is a barrier),
+        // steal count, and the inline-execution CPU correction.
+        let fold_phase = |stats: &ExecStats,
+                          round_virtual: &mut Vec<Duration>,
+                          steals: &mut u64,
+                          inline_cpu: &mut Duration| {
+            if stats.inline {
+                *inline_cpu += stats.worker_times.iter().sum::<Duration>();
+            }
+            *steals += stats.steals;
+            for (acc, t) in round_virtual.iter_mut().zip(stats.virtual_worker_times(cfg.workers)) {
+                *acc += t;
+            }
+        };
 
         let seed = Gpar::seed(pred, g.vocab().clone());
         let mut frontier: Vec<Gpar> = vec![seed];
@@ -349,38 +361,37 @@ impl DMine {
                 break;
             }
             rounds_run = round;
-            let mut worker_times = vec![Duration::ZERO; n];
+            let mut round_virtual = vec![Duration::ZERO; cfg.workers.max(1)];
 
             // ---- Phase 1: generate templates -------------------------
-            let frontier_arc = Arc::new(std::mem::take(&mut frontier));
-            for tx in cmd_txs {
-                tx.send(CoordMsg::Generate(frontier_arc.clone())).expect("worker alive");
-            }
-            // Union templates per frontier rule across workers.
+            // One task per (frontier rule × site chunk); results come
+            // back in task-index order, and the per-rule union is a set,
+            // so the merge is independent of chunking and stealing.
+            let frontier_now = std::mem::take(&mut frontier);
+            let chunks = phase_chunks(loads, frontier_now.len(), cfg.workers);
+            let nchunks = chunks.len();
+            let (gen_out, stats) =
+                exec.map_indexed(frontier_now.len() * nchunks, ctx, |c: &mut MineTaskCtx, t| {
+                    c.generate(&frontier_now[t / nchunks], &sites[chunks[t % nchunks].clone()])
+                });
+            fold_phase(&stats, &mut round_virtual, &mut steals, &mut inline_cpu);
             let mut per_rule: Vec<gpar_graph::FxHashSet<crate::extension::ExtTemplate>> =
-                vec![Default::default(); frontier_arc.len()];
-            for _ in 0..n {
-                match reply_rx.recv().expect("worker reply") {
-                    Reply::Generated { worker, per_rule: pr, elapsed } => {
-                        worker_times[worker] += elapsed;
-                        for (i, gt) in pr.into_iter().enumerate() {
-                            capped |= gt.dropped > 0 || gt.match_capped;
-                            per_rule[i].extend(gt.templates);
-                        }
-                    }
-                    Reply::Evaluated { .. } => unreachable!("phase mismatch"),
-                }
+                vec![Default::default(); frontier_now.len()];
+            for (t, gt) in gen_out.into_iter().enumerate() {
+                capped |= gt.dropped > 0 || gt.match_capped;
+                per_rule[t / nchunks].extend(gt.templates);
             }
 
             // ---- Materialize + group candidates ----------------------
-            // The per-rule template cap is re-applied *globally* here (on
-            // the same sorted order the workers truncate by), so the
-            // candidate set is identical for every worker count n: each
-            // worker's kept-`ext_cap` smallest templates necessarily
-            // include its share of the globally smallest `ext_cap`.
+            // The per-task template cap is re-applied *globally* here (on
+            // the same sorted order the tasks truncate by), so the
+            // candidate set is identical for every worker count and every
+            // chunking: each task's kept-`ext_cap` smallest templates
+            // necessarily include its share of the globally smallest
+            // `ext_cap`.
             let mut candidates: Vec<Gpar> = Vec::new();
             for (i, set) in per_rule.into_iter().enumerate() {
-                let parent = &frontier_arc[i];
+                let parent = &frontier_now[i];
                 let mut templates: Vec<_> = set.into_iter().collect();
                 templates.sort_unstable();
                 if templates.len() > cfg.ext_cap {
@@ -397,34 +408,34 @@ impl DMine {
             let candidates = group_candidates(candidates, cfg.opts.bisim_prefilter);
 
             if candidates.is_empty() {
-                round_worker_times.push(worker_times);
+                round_worker_times.push(round_virtual);
                 break;
             }
 
             // ---- Phase 2: evaluate ------------------------------------
-            let cand_arc = Arc::new(candidates);
-            for tx in cmd_txs {
-                tx.send(CoordMsg::Evaluate(cand_arc.clone())).expect("worker alive");
-            }
+            // One task per (candidate × site chunk); partial LocalConfs
+            // merge in task-index order (chunk order within each rule).
+            // With many candidates the phase re-chunks coarser — the
+            // candidate axis already provides the granularity.
+            let chunks = phase_chunks(loads, candidates.len(), cfg.workers);
+            let nchunks = chunks.len();
+            let (eval_out, stats) =
+                exec.map_indexed(candidates.len() * nchunks, ctx, |c: &mut MineTaskCtx, t| {
+                    c.evaluate(&candidates[t / nchunks], &sites[chunks[t % nchunks].clone()])
+                });
+            fold_phase(&stats, &mut round_virtual, &mut steals, &mut inline_cpu);
             let mut merged: Vec<(LocalConf, bool)> =
-                (0..cand_arc.len()).map(|_| (LocalConf::default(), false)).collect();
-            for _ in 0..n {
-                match reply_rx.recv().expect("worker reply") {
-                    Reply::Evaluated { worker, evals, elapsed } => {
-                        worker_times[worker] += elapsed;
-                        for (slot, (lc, ext)) in merged.iter_mut().zip(evals) {
-                            slot.0.merge(&lc);
-                            slot.1 |= ext;
-                        }
-                    }
-                    Reply::Generated { .. } => unreachable!("phase mismatch"),
-                }
+                (0..candidates.len()).map(|_| (LocalConf::default(), false)).collect();
+            for (t, (lc, ext)) in eval_out.into_iter().enumerate() {
+                let slot = &mut merged[t / nchunks];
+                slot.0.merge(&lc);
+                slot.1 |= ext;
             }
-            round_worker_times.push(worker_times);
+            round_worker_times.push(round_virtual);
 
             // ---- Assemble ∆E (σ filter + trivial filter) --------------
             let mut fresh: Vec<usize> = Vec::new();
-            for (rule, (lc, extendable)) in cand_arc.iter().zip(merged) {
+            for (rule, (lc, extendable)) in candidates.iter().zip(merged) {
                 if lc.supp_r < cfg.sigma {
                     continue; // anti-monotone: extensions can't recover σ
                 }
@@ -494,10 +505,6 @@ impl DMine {
             frontier = next.iter().map(|&i| (*rules[i].rule).clone()).collect();
         }
 
-        for tx in cmd_txs {
-            let _ = tx.send(CoordMsg::Done);
-        }
-
         // Naive baseline: single diversification pass at the very end.
         if !cfg.opts.diversify_during {
             let all: Vec<usize> = (0..rules.len()).filter(|&i| alive[i]).collect();
@@ -509,6 +516,8 @@ impl DMine {
         let sigma_size = alive.iter().filter(|&&a| a).count();
         let sigma: Vec<MinedRule> =
             rules.iter().zip(&alive).filter(|&(_, &a)| a).map(|(r, _)| r.clone()).collect();
+        let coordinator_time =
+            gpar_graph::thread_cpu_time().saturating_sub(cpu0).saturating_sub(inline_cpu);
         MineResult {
             top_k,
             sigma,
@@ -519,9 +528,10 @@ impl DMine {
             logical_rules,
             reduction,
             round_worker_times,
-            partition_time: Duration::ZERO,   // filled by run()
-            coordinator_time: Duration::ZERO, // filled by coordinate()
-            elapsed: Duration::ZERO,          // filled by run()
+            steals,
+            partition_time: Duration::ZERO, // filled by run()
+            coordinator_time,
+            elapsed: Duration::ZERO, // filled by run()
             capped,
         }
     }
@@ -544,6 +554,7 @@ fn empty_result() -> MineResult {
         logical_rules: 0,
         reduction: ReductionStats::default(),
         round_worker_times: Vec::new(),
+        steals: 0,
         partition_time: Duration::ZERO,
         coordinator_time: Duration::ZERO,
         elapsed: Duration::ZERO,
@@ -581,36 +592,6 @@ fn group_candidates(cands: Vec<Gpar>, fast: bool) -> Vec<Gpar> {
             }
         }
         kept
-    }
-}
-
-fn worker_loop(
-    w: MineWorker,
-    rx: crossbeam::channel::Receiver<CoordMsg>,
-    tx: crossbeam::channel::Sender<Reply>,
-) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            CoordMsg::Generate(frontier) => {
-                let start = gpar_graph::thread_cpu_time();
-                let per_rule = w.generate(&frontier);
-                let _ = tx.send(Reply::Generated {
-                    worker: w.id,
-                    per_rule,
-                    elapsed: gpar_graph::thread_cpu_time().saturating_sub(start),
-                });
-            }
-            CoordMsg::Evaluate(cands) => {
-                let start = gpar_graph::thread_cpu_time();
-                let evals = w.evaluate(&cands);
-                let _ = tx.send(Reply::Evaluated {
-                    worker: w.id,
-                    evals,
-                    elapsed: gpar_graph::thread_cpu_time().saturating_sub(start),
-                });
-            }
-            CoordMsg::Done => break,
-        }
     }
 }
 

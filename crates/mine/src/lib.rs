@@ -8,17 +8,23 @@
 //! (Prop. 1); DMine achieves approximation ratio 2 via the max-sum
 //! dispersion greedy (Theorem 2).
 //!
-//! ## Architecture (faithful to §4.2)
+//! ## Architecture (semantics faithful to §4.2)
 //!
-//! One *coordinator* (the calling thread) and `n` *workers* (scoped
-//! threads) communicate by explicit messages in bulk-synchronous rounds:
+//! One *coordinator* (the calling thread) drives bulk-synchronous rounds
+//! over the shared work-stealing runtime ([`gpar_exec::Executor`]):
 //!
-//! 1. the graph is partitioned into per-center d-neighborhood sites,
-//!    assigned evenly to workers (`gpar-partition`);
-//! 2. each round, the coordinator posts the frontier `M` of rules to
-//!    extend; workers grow each rule by one edge discovered in their local
-//!    match images (`localMine`), evaluate local supports, and reply with
-//!    `⟨R, conf, flag⟩` messages;
+//! 1. the graph is materialized into per-center d-neighborhood sites
+//!    (`gpar-partition`), kept as one flat list and cut into a few
+//!    load-balanced chunks per worker — the task granule;
+//! 2. each round runs two task queues: **Generate** tasks, one per
+//!    `(frontier rule × site chunk)`, grow the rule by one edge
+//!    discovered in the chunk's local match images (`localMine`), and
+//!    **Evaluate** tasks, one per `(candidate × site chunk)`, compute
+//!    local supports. Workers steal chunks dynamically, so a straggler
+//!    site never serializes a round behind one static split; task
+//!    outputs merge in task-index order, making every count independent
+//!    of the steal interleaving (the paper's `⟨R, conf, flag⟩` messages
+//!    are exactly these task outputs);
 //! 3. the coordinator groups automorphic rules (bisimulation prefilter of
 //!    Lemma 4 + exact check), assembles global confidence, filters by σ,
 //!    updates the top-k via **incremental diversification** (`incDiv`),

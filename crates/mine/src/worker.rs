@@ -1,24 +1,30 @@
-//! The worker side of DMine (`localMine`, §4.2).
+//! The task side of DMine (`localMine`, §4.2) on the work-stealing
+//! runtime.
 //!
-//! Each worker owns a disjoint set of classified center sites. A mining
-//! round is *two-phase* (one refinement over the paper's compressed
-//! description, required for exact global counts):
+//! A mining round is *two-phase* (one refinement over the paper's
+//! compressed description, required for exact global counts), and each
+//! phase is a task queue over `(rule × site-chunk)` units executed by
+//! [`gpar_exec::Executor`]:
 //!
-//! 1. **Generate** — for each frontier rule, enumerate extension templates
-//!    from the matches of `P_R` at the worker's positive centers;
-//! 2. **Evaluate** — for each globally deduplicated candidate rule,
-//!    compute local `supp(R, F_i)` (over positive centers) and
-//!    `supp(Qq̄, F_i)` (over negative centers).
+//! 1. **Generate** — a task enumerates extension templates for one
+//!    frontier rule from the matches of `P_R` at one chunk's positive
+//!    centers;
+//! 2. **Evaluate** — a task computes one globally deduplicated candidate
+//!    rule's local `supp(R, ·)` (over positive centers) and `supp(Qq̄, ·)`
+//!    (over negative centers) on one chunk.
 //!
 //! Only positives can match `P_R` (it contains the consequent edge) and
 //! only negatives contribute to `supp(Qq̄)`, so "unknown" centers are never
-//! assigned to mining workers at all — the LCWA does the load shedding.
+//! materialized as mining sites at all — the LCWA does the load shedding.
+//! Chunks partition the site list, so summing task outputs (in task-index
+//! order, the executor's determinism rule) yields exact global counts for
+//! any worker count and any steal interleaving.
 
 use crate::extension::{templates_at, ExtTemplate};
 use crate::messages::LocalConf;
 use gpar_core::{Gpar, LcwaClass};
 use gpar_graph::FxHashSet;
-use gpar_iso::{Matcher, MatcherConfig};
+use gpar_iso::{Matcher, MatcherConfig, PatternSketchCache, SharedScratch};
 use gpar_partition::CenterSite;
 
 /// A center site plus its LCWA class for the mining predicate.
@@ -30,25 +36,25 @@ pub struct ClassifiedSite {
     pub class: LcwaClass,
 }
 
-/// Per-worker mining state.
-pub struct MineWorker {
-    /// Worker index.
-    pub id: usize,
-    /// Assigned classified sites.
-    pub sites: Vec<ClassifiedSite>,
+/// Per-worker-thread mining context: the engine configuration plus the
+/// `!Send` search arena and pattern-sketch cache that every task this
+/// worker executes — its own or stolen — reuses. Built on the worker
+/// thread by the executor's context factory.
+pub struct MineTaskCtx {
     /// Isomorphism engine configuration.
     pub engine: MatcherConfig,
     /// Cap on matches enumerated per center during template generation.
     pub match_cap: u64,
-    /// Cap on templates kept per rule (deterministic: templates are
-    /// sorted before truncation, and the drop count is reported).
+    /// Cap on templates kept per (rule, chunk) task (deterministic:
+    /// templates are sorted before truncation; the coordinator re-applies
+    /// the same cap globally, so the kept set is chunking-independent).
     pub ext_cap: usize,
-    /// The radius bound `d`.
-    pub d: u32,
+    scratch: SharedScratch,
+    psketch: PatternSketchCache,
 }
 
-/// Result of the Generate phase for one frontier rule: deterministic,
-/// sorted template list plus the number dropped by the cap.
+/// Result of one Generate task: deterministic, sorted template list plus
+/// the number dropped by the cap.
 pub struct GeneratedTemplates {
     /// Sorted, deduplicated templates.
     pub templates: Vec<ExtTemplate>,
@@ -58,78 +64,70 @@ pub struct GeneratedTemplates {
     pub match_capped: bool,
 }
 
-impl MineWorker {
-    /// Phase 1: enumerate extension templates for each frontier rule.
-    pub fn generate(&self, frontier: &[Gpar]) -> Vec<GeneratedTemplates> {
-        // One search arena + pattern-sketch cache for every (rule, site)
-        // matcher this pass builds.
-        let scratch = gpar_iso::SharedScratch::default();
-        let psketch = gpar_iso::PatternSketchCache::default();
-        frontier
-            .iter()
-            .map(|rule| {
-                let mut set: FxHashSet<ExtTemplate> = FxHashSet::default();
-                let mut match_capped = false;
-                for cs in &self.sites {
-                    if cs.class != LcwaClass::Positive {
-                        continue;
-                    }
-                    let g = cs.site.graph();
-                    let m = Matcher::new(g, self.engine)
-                        .with_scratch(scratch.clone())
-                        .with_shared_pattern_cache(psketch.clone());
-                    match_capped |=
-                        templates_at(rule, &m, g, cs.site.center, self.match_cap, &mut set);
-                }
-                let mut templates: Vec<ExtTemplate> = set.into_iter().collect();
-                templates.sort_unstable();
-                let dropped = templates.len().saturating_sub(self.ext_cap) as u64;
-                templates.truncate(self.ext_cap);
-                GeneratedTemplates { templates, dropped, match_capped }
-            })
-            .collect()
+impl MineTaskCtx {
+    /// A fresh context (empty arena + sketch cache; both fill lazily).
+    pub fn new(engine: MatcherConfig, match_cap: u64, ext_cap: usize) -> Self {
+        Self {
+            engine,
+            match_cap,
+            ext_cap,
+            scratch: SharedScratch::default(),
+            psketch: PatternSketchCache::default(),
+        }
     }
 
-    /// Phase 2: evaluate local statistics for each candidate rule.
-    /// Returns `(LocalConf, extendable)` per rule.
-    pub fn evaluate(&self, candidates: &[Gpar]) -> Vec<(LocalConf, bool)> {
-        let scratch = gpar_iso::SharedScratch::default();
-        let psketch = gpar_iso::PatternSketchCache::default();
-        candidates
-            .iter()
-            .map(|rule| {
-                let mut lc = LocalConf::default();
-                for cs in &self.sites {
-                    let g = cs.site.graph();
-                    let m = Matcher::new(g, self.engine)
-                        .with_scratch(scratch.clone())
-                        .with_shared_pattern_cache(psketch.clone());
-                    match cs.class {
-                        LcwaClass::Positive => {
-                            if m.exists_anchored(rule.pr(), rule.pr().x(), cs.site.center) {
-                                lc.supp_r += 1;
-                                lc.matches.push(cs.site.center_global);
-                            }
-                        }
-                        LcwaClass::Negative => {
-                            if m.exists_anchored(
-                                rule.antecedent(),
-                                rule.antecedent().x(),
-                                cs.site.center,
-                            ) {
-                                lc.supp_q_qbar += 1;
-                            }
-                        }
-                        LcwaClass::Unknown => {}
+    fn matcher<'g>(&self, g: &'g gpar_graph::Graph) -> Matcher<'g> {
+        Matcher::new(g, self.engine)
+            .with_scratch(self.scratch.clone())
+            .with_shared_pattern_cache(self.psketch.clone())
+    }
+
+    /// Phase-1 task: enumerate extension templates for `rule` over one
+    /// site chunk.
+    pub fn generate(&self, rule: &Gpar, sites: &[ClassifiedSite]) -> GeneratedTemplates {
+        let mut set: FxHashSet<ExtTemplate> = FxHashSet::default();
+        let mut match_capped = false;
+        for cs in sites {
+            if cs.class != LcwaClass::Positive {
+                continue;
+            }
+            let g = cs.site.graph();
+            let m = self.matcher(g);
+            match_capped |= templates_at(rule, &m, g, cs.site.center, self.match_cap, &mut set);
+        }
+        let mut templates: Vec<ExtTemplate> = set.into_iter().collect();
+        templates.sort_unstable();
+        let dropped = templates.len().saturating_sub(self.ext_cap) as u64;
+        templates.truncate(self.ext_cap);
+        GeneratedTemplates { templates, dropped, match_capped }
+    }
+
+    /// Phase-2 task: local statistics for one candidate rule over one site
+    /// chunk. Returns `(LocalConf, extendable)`.
+    pub fn evaluate(&self, rule: &Gpar, sites: &[ClassifiedSite]) -> (LocalConf, bool) {
+        let mut lc = LocalConf::default();
+        for cs in sites {
+            let m = self.matcher(cs.site.graph());
+            match cs.class {
+                LcwaClass::Positive => {
+                    if m.exists_anchored(rule.pr(), rule.pr().x(), cs.site.center) {
+                        lc.supp_r += 1;
+                        lc.matches.push(cs.site.center_global);
                     }
                 }
-                // Usupp upper bound: any extension's support is at most the
-                // rule's own (anti-monotonicity).
-                lc.usupp = lc.supp_r;
-                let extendable = lc.supp_r > 0;
-                (lc, extendable)
-            })
-            .collect()
+                LcwaClass::Negative => {
+                    if m.exists_anchored(rule.antecedent(), rule.antecedent().x(), cs.site.center) {
+                        lc.supp_q_qbar += 1;
+                    }
+                }
+                LcwaClass::Unknown => {}
+            }
+        }
+        // Usupp upper bound: any extension's support is at most the rule's
+        // own (anti-monotonicity).
+        lc.usupp = lc.supp_r;
+        let extendable = lc.supp_r > 0;
+        (lc, extendable)
     }
 }
 
@@ -142,7 +140,7 @@ mod tests {
 
     /// Two customers visiting a restaurant (one also has a friend who
     /// visits), one negative (visits a bar instead).
-    fn setup() -> (MineWorker, Predicate, gpar_graph::Graph) {
+    fn setup() -> (MineTaskCtx, Vec<ClassifiedSite>, Predicate, gpar_graph::Graph) {
         let vocab = Vocab::new();
         let cust = vocab.intern("cust");
         let rest = vocab.intern("rest");
@@ -173,56 +171,69 @@ mod tests {
                 Some(ClassifiedSite { site: gpar_partition::CenterSite::build(&g, c, 2), class })
             })
             .collect();
-        let w = MineWorker {
-            id: 0,
-            sites,
-            engine: MatcherConfig::vf2(),
-            match_cap: 64,
-            ext_cap: 64,
-            d: 2,
-        };
-        (w, pred, g)
+        let ctx = MineTaskCtx::new(MatcherConfig::vf2(), 64, 64);
+        (ctx, sites, pred, g)
     }
 
     #[test]
     fn generate_then_evaluate_round_trip() {
-        let (w, pred, g) = setup();
+        let (ctx, sites, pred, g) = setup();
         let seed = Gpar::seed(&pred, g.vocab().clone());
-        let gens = w.generate(std::slice::from_ref(&seed));
-        assert_eq!(gens.len(), 1);
-        assert!(!gens[0].templates.is_empty());
-        assert_eq!(gens[0].dropped, 0);
+        let gen = ctx.generate(&seed, &sites);
+        assert!(!gen.templates.is_empty());
+        assert_eq!(gen.dropped, 0);
         // Materialize and evaluate.
         let candidates: Vec<Gpar> =
-            gens[0].templates.iter().filter_map(|t| t.apply(&seed, w.d)).collect();
-        let evals = w.evaluate(&candidates);
-        assert_eq!(evals.len(), candidates.len());
+            gen.templates.iter().filter_map(|t| t.apply(&seed, 2)).collect();
         // The friend(x, x') extension must have supp 1 (only c1's friend
         // c2 also visits... c1 has friend c2; c2 has no friend edge out).
         let friend = g.vocab().get("friend").unwrap();
-        let friendly: Vec<usize> = candidates
+        let friendly: Vec<&Gpar> = candidates
             .iter()
-            .enumerate()
-            .filter(|(_, r)| {
+            .filter(|r| {
                 r.antecedent()
                     .edges()
                     .iter()
                     .any(|e| e.cond == gpar_pattern::EdgeCond::Label(friend))
             })
-            .map(|(i, _)| i)
             .collect();
         assert!(!friendly.is_empty());
-        for i in friendly {
-            let (lc, ext) = &evals[i];
-            assert!(lc.supp_r >= 1, "friend-extension should match c1: {}", candidates[i]);
-            assert_eq!(*ext, lc.supp_r > 0);
+        for rule in friendly {
+            let (lc, ext) = ctx.evaluate(rule, &sites);
+            assert!(lc.supp_r >= 1, "friend-extension should match c1: {rule}");
+            assert_eq!(ext, lc.supp_r > 0);
             assert_eq!(lc.usupp, lc.supp_r);
         }
     }
 
     #[test]
+    fn chunked_evaluation_sums_to_whole_list() {
+        // Splitting the site list into chunks and merging the task outputs
+        // must equal evaluating the whole list at once — the invariant the
+        // executor's chunk tasks rely on.
+        let (ctx, sites, pred, g) = setup();
+        let seed = Gpar::seed(&pred, g.vocab().clone());
+        let gen = ctx.generate(&seed, &sites);
+        for rule in gen.templates.iter().filter_map(|t| t.apply(&seed, 2)) {
+            let (whole, ext_whole) = ctx.evaluate(&rule, &sites);
+            let mut merged = LocalConf::default();
+            let mut ext_merged = false;
+            for chunk in sites.chunks(1) {
+                let (lc, ext) = ctx.evaluate(&rule, chunk);
+                merged.merge(&lc);
+                ext_merged |= ext;
+            }
+            assert_eq!(merged.supp_r, whole.supp_r);
+            assert_eq!(merged.supp_q_qbar, whole.supp_q_qbar);
+            assert_eq!(merged.usupp, whole.usupp);
+            assert_eq!(merged.matches, whole.matches);
+            assert_eq!(ext_merged, ext_whole);
+        }
+    }
+
+    #[test]
     fn negative_centers_count_toward_qqbar_only() {
-        let (w, pred, g) = setup();
+        let (ctx, sites, pred, g) = setup();
         let friend = g.vocab().get("friend").unwrap();
         let cust = g.vocab().get("cust").unwrap();
         let seed = Gpar::seed(&pred, g.vocab().clone());
@@ -235,8 +246,7 @@ mod tests {
             nlabel: cust,
         };
         let rule = t.apply(&seed, 2).unwrap();
-        let evals = w.evaluate(std::slice::from_ref(&rule));
-        let (lc, _) = &evals[0];
+        let (lc, _) = ctx.evaluate(&rule, &sites);
         assert_eq!(lc.supp_q_qbar, 1, "c3 is the negative antecedent match");
         assert_eq!(lc.supp_r, 1, "c1 matches the full rule");
         assert_eq!(lc.matches.len(), 1);
@@ -244,13 +254,13 @@ mod tests {
 
     #[test]
     fn ext_cap_truncates_deterministically() {
-        let (mut w, pred, g) = setup();
-        w.ext_cap = 2;
+        let (mut ctx, sites, pred, g) = setup();
+        ctx.ext_cap = 2;
         let seed = Gpar::seed(&pred, g.vocab().clone());
-        let g1 = w.generate(std::slice::from_ref(&seed));
-        let g2 = w.generate(std::slice::from_ref(&seed));
-        assert_eq!(g1[0].templates, g2[0].templates);
-        assert_eq!(g1[0].templates.len(), 2);
-        assert!(g1[0].dropped > 0);
+        let g1 = ctx.generate(&seed, &sites);
+        let g2 = ctx.generate(&seed, &sites);
+        assert_eq!(g1.templates, g2.templates);
+        assert_eq!(g1.templates.len(), 2);
+        assert!(g1.dropped > 0);
     }
 }

@@ -29,5 +29,5 @@ pub mod sites;
 pub mod stats;
 
 pub use fragment::{partition_by_centers, Fragment, PartitionStrategy};
-pub use sites::{partition_sites, CenterSite};
+pub use sites::{build_sites, chunk_by_load, partition_sites, CenterSite};
 pub use stats::{chunk_evenly, PartitionStats};

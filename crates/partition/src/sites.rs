@@ -68,6 +68,45 @@ impl CenterSite {
     }
 }
 
+/// Builds the site of every center in input order, as one flat list.
+///
+/// This is the work-stealing execution model's site source: instead of
+/// pre-assigning sites to workers ([`partition_sites`]), callers chunk the
+/// flat list into task granules ([`chunk_by_load`]) and let the executor's
+/// stealing even out per-site cost skew dynamically. One traversal scratch
+/// is amortized across every build.
+pub fn build_sites(g: &Graph, centers: &[NodeId], d: u32) -> Vec<CenterSite> {
+    let mut scratch = NeighborhoodScratch::new();
+    centers.iter().map(|&c| CenterSite::build_with(g, c, d, &mut scratch)).collect()
+}
+
+/// Splits `0..loads.len()` into at most `max_chunks` contiguous,
+/// non-empty ranges of near-equal total load — the task granule for the
+/// executor (a few chunks per worker keeps stealing effective without
+/// per-site task overhead). Chunk `j` closes at the prefix-load boundary
+/// `total·j/max_chunks`, so the result is a deterministic function of
+/// `(loads, max_chunks)` alone; zero loads count as 1 so every site
+/// contributes.
+pub fn chunk_by_load(loads: &[u64], max_chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let mc = max_chunks.max(1) as u64;
+    let total: u64 = loads.iter().map(|&l| l.max(1)).sum();
+    let mut out: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &l) in loads.iter().enumerate() {
+        acc += l.max(1);
+        let chunk_no = out.len() as u64 + 1;
+        if chunk_no < mc && acc >= total * chunk_no / mc {
+            out.push(start..i + 1);
+            start = i + 1;
+        }
+    }
+    if start < loads.len() {
+        out.push(start..loads.len());
+    }
+    out
+}
+
 /// Builds sites for all centers and assigns them to `n` workers.
 ///
 /// * [`PartitionStrategy::Balanced`] — LPT bin packing on site loads.
@@ -174,6 +213,38 @@ mod tests {
         let max = *loads.iter().max().unwrap();
         let min = *loads.iter().min().unwrap();
         assert!(max - min <= 16, "loads should be near-even: {loads:?}");
+    }
+
+    #[test]
+    fn chunk_by_load_covers_every_index_with_even_loads() {
+        // Uniform loads: near-even chunk sizes, exactly max_chunks chunks.
+        let chunks = chunk_by_load(&[1; 10], 4);
+        assert_eq!(chunks.len(), 4);
+        let flat: Vec<usize> = chunks.iter().flat_map(|r| r.clone()).collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        // One dominating load gets its own chunk; the tail still splits.
+        let skewed = chunk_by_load(&[100, 1, 1, 1, 1, 1, 1, 1], 4);
+        assert_eq!(skewed[0], 0..1);
+        let flat: Vec<usize> = skewed.iter().flat_map(|r| r.clone()).collect();
+        assert_eq!(flat, (0..8).collect::<Vec<_>>());
+        assert!(skewed.iter().all(|r| !r.is_empty()));
+        // Degenerate shapes.
+        assert!(chunk_by_load(&[], 4).is_empty());
+        assert_eq!(chunk_by_load(&[5], 4), vec![0..1]);
+        assert_eq!(chunk_by_load(&[0, 0, 7], 1), vec![0..3]);
+    }
+
+    #[test]
+    fn build_sites_matches_individual_builds() {
+        let (g, vs) = chain(9);
+        let flat = build_sites(&g, &vs, 2);
+        assert_eq!(flat.len(), vs.len());
+        for (s, &c) in flat.iter().zip(&vs) {
+            let solo = CenterSite::build(&g, c, 2);
+            assert_eq!(s.center_global, c);
+            assert_eq!(s.graph().node_count(), solo.graph().node_count());
+            assert_eq!(s.layer_sizes, solo.layer_sizes);
+        }
     }
 
     #[test]

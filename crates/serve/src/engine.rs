@@ -4,7 +4,11 @@
 //! ## Execution model
 //!
 //! * [`ServeEngine::new`] builds the [`CandidateIndex`] and spawns
-//!   `workers` OS threads sharing one job queue.
+//!   `workers` OS threads that all drain one shared
+//!   [`gpar_exec::Injector`] — the same runtime primitive family the
+//!   mining and EIP layers execute on. Any idle worker, not just a lock
+//!   holder, grabs the next query; dropping the engine closes the
+//!   injector and joins the pool.
 //! * The first query touching a predicate **warms** it: every candidate
 //!   center is evaluated once, assembling the exact global
 //!   [`ConfStats`]/confidence per rule — the same counts
@@ -33,10 +37,11 @@ use crate::catalog::RuleCatalog;
 use crate::index::{CandidateIndex, PredicateGroup};
 use gpar_core::{classify, ConfStats, Confidence, Gpar, LcwaClass, Predicate};
 use gpar_eip::{CandidateEvaluator, EipAlgorithm, MatchOpts};
+use gpar_exec::Injector;
 use gpar_graph::{FxHashMap, Graph, NeighborhoodScratch, NodeId};
 use gpar_partition::CenterSite;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
@@ -62,7 +67,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
-            workers: 4,
+            workers: gpar_exec::default_workers(4),
             cache_capacity: 4096,
             eta: 1.5,
             d: None,
@@ -439,7 +444,7 @@ enum Job {
 /// joins every worker.
 pub struct ServeEngine {
     shared: Arc<Shared>,
-    job_tx: Option<Sender<Job>>,
+    jobs: Arc<Injector<Job>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -464,20 +469,19 @@ impl ServeEngine {
             index,
             cfg,
         });
-        let (job_tx, job_rx) = channel::<Job>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let jobs: Arc<Injector<Job>> = Arc::new(Injector::new());
         let handles = (0..workers)
             .map(|_| {
                 let shared = shared.clone();
-                let rx = job_rx.clone();
-                std::thread::spawn(move || worker_loop(shared, rx))
+                let jobs = jobs.clone();
+                std::thread::spawn(move || worker_loop(shared, jobs))
             })
             .collect();
-        Self { shared, job_tx: Some(job_tx), handles }
+        Self { shared, jobs, handles }
     }
 
     fn submit(&self, job: Job) -> Result<(), QueryError> {
-        self.job_tx.as_ref().ok_or(QueryError::Stopped)?.send(job).map_err(|_| QueryError::Stopped)
+        self.jobs.push(job).map_err(|_| QueryError::Stopped)
     }
 
     /// `Σ_p(x, G, η)` over `candidates` (or all candidates): submits one
@@ -545,22 +549,19 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
-        // Closing the channel makes every worker's recv fail and exit.
-        self.job_tx = None;
+        // Closing the injector drains in-flight jobs and wakes every
+        // blocked worker to exit.
+        self.jobs.close();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(shared: Arc<Shared>, jobs: Arc<Injector<Job>>) {
     let mut caches = WorkerCaches::default();
-    loop {
-        // Hold the queue lock only for the dequeue, never during work.
-        let job = match rx.lock().unwrap().recv() {
-            Ok(j) => j,
-            Err(_) => return,
-        };
+    // `pop` blocks while the injector is open; `None` = closed + drained.
+    while let Some(job) = jobs.pop() {
         shared.queries.fetch_add(1, Ordering::Relaxed);
         match job {
             Job::Identify(req, reply) => {

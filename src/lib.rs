@@ -14,6 +14,8 @@
 //! * [`iso`] — subgraph-isomorphism engines (VF2, guided search, …),
 //! * [`core`] — GPARs, topological support, LCWA + Bayes-Factor confidence,
 //!   diversification objective,
+//! * [`exec`] — the shared work-stealing execution runtime (fork-join
+//!   task queues with deterministic reduction, pool injector),
 //! * [`partition`] — d-neighborhood-preserving graph fragmentation,
 //! * [`mine`] — `DMine`, the parallel diversified top-k GPAR miner (DMP),
 //! * [`eip`] — `Match`/`Matchc`/`disVF2`, parallel-scalable entity
@@ -62,6 +64,7 @@
 pub use gpar_core as core;
 pub use gpar_datagen as datagen;
 pub use gpar_eip as eip;
+pub use gpar_exec as exec;
 pub use gpar_graph as graph;
 pub use gpar_iso as iso;
 pub use gpar_mine as mine;

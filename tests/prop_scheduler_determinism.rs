@@ -1,0 +1,118 @@
+//! Property tests pinning down the execution runtime's determinism rule:
+//! task outputs are reduced in task-index order, so mining and EIP results
+//! are **bit-identical** across worker counts and steal interleavings.
+//!
+//! The worker sets below always include {1, 2, 8}; a `GPAR_WORKERS`
+//! override (the CI matrix leg) is added on top, so the suite exercises
+//! whatever width the matrix pins.
+
+use gpar::core::{ConfStats, Predicate};
+use gpar::datagen::{generate_rules, synthetic, RuleGenConfig, SyntheticConfig};
+use gpar::eip::{identify, EipAlgorithm, EipConfig};
+use gpar::graph::{Graph, NodeId};
+use gpar::mine::{DMine, DmineConfig, MineResult};
+use gpar::pattern::CanonicalCode;
+use proptest::prelude::*;
+
+/// The most frequent edge triple of a synthetic graph, as its predicate.
+fn predicate_of(g: &Graph) -> Option<Predicate> {
+    let top = g.frequent_edge_patterns(1);
+    let ((sl, el, dl), _) = top.first()?;
+    Some(Predicate::new(
+        gpar::pattern::NodeCond::Label(*sl),
+        *el,
+        gpar::pattern::NodeCond::Label(*dl),
+    ))
+}
+
+/// Worker counts to compare: {1, 2, 8} plus any `GPAR_WORKERS` override.
+fn worker_counts() -> Vec<usize> {
+    let mut w = vec![1, 2, 8];
+    if let Some(n) = gpar::exec::env_workers() {
+        if !w.contains(&n) {
+            w.push(n);
+        }
+    }
+    w
+}
+
+/// A mining run's invariant surface: Σ in discovery order with exact
+/// stats, the top-k selection, the objective bits, and the run counters.
+type MiningFingerprint =
+    (Vec<(CanonicalCode, ConfStats)>, Vec<CanonicalCode>, u64, usize, usize, usize);
+
+/// Everything about a mining run that must be invariant across worker
+/// counts.
+fn mining_fingerprint(r: &MineResult) -> MiningFingerprint {
+    (
+        r.sigma.iter().map(|m| (m.rule.pr().canonical_code(), m.stats)).collect(),
+        r.top_k.iter().map(|m| m.rule.pr().canonical_code()).collect(),
+        r.objective.to_bits(),
+        r.sigma_size,
+        r.candidates_generated,
+        r.rounds_run,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn dmine_is_bit_identical_across_worker_counts(
+        seed in 0u64..1_000,
+        nodes in 120usize..260,
+        density in 15usize..25,
+    ) {
+        let g = synthetic(&SyntheticConfig::sized(nodes, nodes * density / 10, seed));
+        let Some(pred) = predicate_of(&g) else { return };
+        let run = |workers: usize| {
+            let cfg = DmineConfig {
+                k: 4,
+                sigma: 2,
+                workers,
+                max_rounds: 2,
+                ..Default::default()
+            };
+            mining_fingerprint(&DMine::new(cfg).run(&g, &pred))
+        };
+        let baseline = run(1);
+        for w in worker_counts() {
+            prop_assert_eq!(&run(w), &baseline, "workers = {}", w);
+        }
+        // Same width twice: a different steal interleaving must not show.
+        prop_assert_eq!(&run(8), &baseline, "steal-order rerun");
+    }
+
+    #[test]
+    fn identify_is_invariant_under_steal_order(
+        seed in 0u64..1_000,
+        nodes in 150usize..300,
+        rules in 2usize..5,
+    ) {
+        let g = synthetic(&SyntheticConfig::sized(nodes, nodes * 2, seed));
+        let Some(pred) = predicate_of(&g) else { return };
+        let sigma = generate_rules(&g, &pred, &RuleGenConfig {
+            count: rules,
+            pattern_nodes: 4,
+            pattern_edges: 5,
+            max_radius: 2,
+            seed,
+        });
+        if sigma.is_empty() {
+            return;
+        }
+        let run = |workers: usize| {
+            let cfg = EipConfig { eta: 0.5, ..EipConfig::new(EipAlgorithm::Match, workers) };
+            let res = identify(&g, &sigma, &cfg).expect("valid Σ");
+            let mut customers: Vec<NodeId> = res.customers.iter().copied().collect();
+            customers.sort_unstable();
+            let stats: Vec<ConfStats> = res.per_rule.iter().map(|o| o.stats).collect();
+            (customers, stats)
+        };
+        let baseline = run(1);
+        for w in worker_counts() {
+            prop_assert_eq!(&run(w), &baseline, "workers = {}", w);
+        }
+        prop_assert_eq!(&run(8), &baseline, "steal-order rerun");
+    }
+}
