@@ -22,7 +22,7 @@ use gpar_eip::{identify, EipAlgorithm, EipConfig};
 use gpar_iso::{Matcher, MatcherConfig, PatternSketchCache, SharedScratch};
 use gpar_mine::{DMine, DmineConfig};
 use gpar_partition::CenterSite;
-use gpar_serve::{RuleCatalog, ServeConfig, ServeEngine};
+use gpar_serve::{GraphUpdate, RuleCatalog, ServeConfig, ServeEngine};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -227,6 +227,93 @@ fn main() {
         let name = "serve/identify/hot_subset";
         println!("  {name:<44} {median_ns:>12} ns/op");
         scenarios.push(Scenario { name, median_ns, ops: reps });
+
+        // --- serve: live updates (apply-update + re-query) vs rebuild. ---
+        // Each sample applies a *fresh* mutation — a new center-typed node
+        // with one edge into the graph — so no sample degenerates to a
+        // deduplicated no-op, then re-runs the hot subset query. The
+        // rebuild baseline pays what a static engine would: a full
+        // engine construction plus the warm scan, per update.
+        let x_label = match serve_pred.x_cond {
+            gpar_pattern::NodeCond::Label(l) => l,
+            gpar_pattern::NodeCond::Any => sg.graph.node_label(gpar_graph::NodeId(0)),
+        };
+        let degree_extreme = |max: bool| {
+            let mut best = gpar_graph::NodeId(0);
+            for v in sg.graph.nodes() {
+                let better = if max {
+                    sg.graph.degree(v) > sg.graph.degree(best)
+                } else {
+                    sg.graph.degree(v) < sg.graph.degree(best)
+                };
+                if better {
+                    best = v;
+                }
+            }
+            best
+        };
+        for (name, target) in [
+            ("serve/update/small", degree_extreme(false)),
+            ("serve/update/hub", degree_extreme(true)),
+        ] {
+            let engine = ServeEngine::new(
+                graph.clone(),
+                &catalog,
+                ServeConfig { workers: 2, eta: 1.5, ..Default::default() },
+            );
+            engine.identify(serve_pred, None).expect("warm");
+            let median_ns = measure(samples, 1, || {
+                let n = engine.graph_size().0 as u32;
+                engine
+                    .apply_update(&GraphUpdate {
+                        new_nodes: vec![x_label],
+                        new_edges: vec![(gpar_graph::NodeId(n), target, serve_pred.label)],
+                        ..Default::default()
+                    })
+                    .expect("valid update");
+                std::hint::black_box(
+                    engine.identify(serve_pred, Some(hot.clone())).expect("served").customers.len(),
+                );
+            });
+            println!("  {name:<44} {median_ns:>12} ns/op");
+            scenarios.push(Scenario { name, median_ns, ops: 1 });
+        }
+        {
+            // Full-rebuild baseline for the same mutation + re-query: a
+            // static serving stack re-freezes the CSR, reconstructs the
+            // candidate index and re-runs the warm scan on every update.
+            let mut node_labels: Vec<gpar_graph::Label> =
+                sg.graph.nodes().map(|v| sg.graph.node_label(v)).collect();
+            let mut edges: Vec<(gpar_graph::NodeId, gpar_graph::NodeId, gpar_graph::Label)> = sg
+                .graph
+                .nodes()
+                .flat_map(|v| sg.graph.out_edges(v).iter().map(move |e| (v, e.node, e.label)))
+                .collect();
+            let target = degree_extreme(false);
+            let median_ns = measure(eip_samples, 1, || {
+                let n = gpar_graph::NodeId(node_labels.len() as u32);
+                node_labels.push(x_label);
+                edges.push((n, target, serve_pred.label));
+                let mut b = gpar_graph::GraphBuilder::new(graph.vocab().clone());
+                for &l in &node_labels {
+                    b.add_node(l);
+                }
+                for &(s, d, l) in &edges {
+                    b.add_edge(s, d, l);
+                }
+                let engine = ServeEngine::new(
+                    std::sync::Arc::new(b.build()),
+                    &catalog,
+                    ServeConfig { workers: 2, eta: 1.5, ..Default::default() },
+                );
+                std::hint::black_box(
+                    engine.identify(serve_pred, Some(hot.clone())).expect("served").customers.len(),
+                );
+            });
+            let name = "serve/update/rebuild";
+            println!("  {name:<44} {median_ns:>12} ns/op");
+            scenarios.push(Scenario { name, median_ns, ops: 1 });
+        }
     }
 
     // --- JSON out (hand-rolled: the workspace is serde-free). ---

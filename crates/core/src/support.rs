@@ -1,7 +1,7 @@
 //! Topological support and the LCWA trichotomy (§3).
 
 use crate::gpar::Predicate;
-use gpar_graph::{FxHashSet, Graph, NodeId};
+use gpar_graph::{FxHashSet, Graph, GraphView, NodeId};
 use gpar_iso::{Matcher, MatcherConfig};
 use gpar_pattern::{PNodeId, Pattern};
 
@@ -28,11 +28,11 @@ pub enum LcwaClass {
 
 /// Classifies `u` under the LCWA; `None` if `u` does not satisfy `x`'s
 /// search condition.
-pub fn classify(g: &Graph, pred: &Predicate, u: NodeId) -> Option<LcwaClass> {
+pub fn classify<G: GraphView + ?Sized>(g: &G, pred: &Predicate, u: NodeId) -> Option<LcwaClass> {
     if !pred.x_cond.matches(g.node_label(u)) {
         return None;
     }
-    let edges = g.out_edges_labeled(u, pred.label);
+    let edges = g.out_view(u).labeled(pred.label);
     if edges.is_empty() {
         return Some(LcwaClass::Unknown);
     }
@@ -75,7 +75,7 @@ impl QStats {
 
 /// Computes [`QStats`] for `pred` over `g` by one scan of the candidate
 /// nodes.
-pub fn q_stats(g: &Graph, pred: &Predicate) -> QStats {
+pub fn q_stats<G: GraphView + ?Sized>(g: &G, pred: &Predicate) -> QStats {
     let mut stats = QStats::default();
     for u in g.nodes() {
         match classify(g, pred, u) {

@@ -5,7 +5,7 @@ use crate::eval::CandidateEvaluator;
 use crate::options::EipConfig;
 use gpar_core::{ConfStats, Confidence, Gpar, LcwaClass};
 use gpar_exec::Executor;
-use gpar_graph::{FxHashSet, Graph, NodeId};
+use gpar_graph::{FxHashSet, GraphView, NodeId};
 use gpar_partition::{build_sites, chunk_by_load, PartitionStrategy};
 use gpar_pattern::NodeCond;
 use std::fmt;
@@ -135,7 +135,11 @@ pub fn derive_radius(sigma: &[Gpar]) -> u32 {
 /// every variant (Theorem 6's `Matchc` is exact; the optimizations only
 /// change the work per candidate), so all four algorithms return identical
 /// results — a property the integration tests pin down.
-pub fn identify(g: &Graph, sigma: &[Gpar], config: &EipConfig) -> Result<EipResult, EipError> {
+pub fn identify<G: GraphView + ?Sized>(
+    g: &G,
+    sigma: &[Gpar],
+    config: &EipConfig,
+) -> Result<EipResult, EipError> {
     let start = Instant::now();
     let cpu0 = gpar_graph::thread_cpu_time();
     let first = sigma.first().ok_or(EipError::EmptySigma)?;
@@ -148,7 +152,7 @@ pub fn identify(g: &Graph, sigma: &[Gpar], config: &EipConfig) -> Result<EipResu
     // Step 1: candidates L = nodes satisfying x's search condition,
     // partitioned with their d-neighborhoods.
     let centers: Vec<NodeId> = match pred.x_cond {
-        NodeCond::Label(l) => g.nodes_with_label(l).collect(),
+        NodeCond::Label(l) => g.label_members(l),
         NodeCond::Any => g.nodes().collect(),
     };
     let candidates = centers.len();
@@ -267,7 +271,7 @@ pub fn identify(g: &Graph, sigma: &[Gpar], config: &EipConfig) -> Result<EipResu
 mod tests {
     use super::*;
     use crate::options::EipAlgorithm;
-    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_graph::{Graph, GraphBuilder, Vocab};
     use gpar_pattern::PatternBuilder;
 
     /// 10 positives matching the rule, 2 negatives matching the

@@ -1,0 +1,454 @@
+//! The delta-graph overlay: a frozen base CSR plus append-only insert
+//! logs, read through the same [`GraphView`] surface as the base.
+//!
+//! Live serving cannot afford a full CSR rebuild per edge insert: the
+//! paper's locality property (§4.2) says a radius-`d` evaluation at `v_x`
+//! only ever reads `G_d(v_x)`, so an insert touching `(u, v)` can only
+//! change answers whose d-ball reaches `u` or `v` — everything else,
+//! including its cached extraction, stays valid. [`DeltaGraph`] is the
+//! substrate for that: updates append to per-node overlay runs in
+//! `O(log)`-probe-compatible `(label, endpoint)` order, reads merge base
+//! and overlay lazily, and [`DeltaGraph::compact`] folds the logs back
+//! into a fresh CSR (node ids are append-only and never change, so
+//! compaction invalidates nothing).
+//!
+//! Supported mutations are *monotone inserts plus relabels*: new nodes,
+//! new edges (possibly to new nodes), node label changes. Deletions are
+//! out of scope (see ROADMAP).
+
+use crate::builder::build_label_index;
+use crate::graph::{Edge, Graph, NodeId};
+use crate::label::{Label, Vocab};
+use crate::view::{EdgeView, GraphView};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// One batch of graph mutations, applied atomically by
+/// [`DeltaGraph::apply`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphUpdate {
+    /// Labels of nodes to append; ids are assigned densely in order,
+    /// starting at the pre-update `node_count()`.
+    pub new_nodes: Vec<Label>,
+    /// Directed labeled edges to insert. Endpoints may reference nodes
+    /// added by this same update. Edges already present are ignored.
+    pub new_edges: Vec<(NodeId, NodeId, Label)>,
+    /// `(node, new_label)` label changes. No-op relabels are ignored.
+    pub relabels: Vec<(NodeId, Label)>,
+}
+
+impl GraphUpdate {
+    /// Whether the update carries no mutations at all.
+    pub fn is_empty(&self) -> bool {
+        self.new_nodes.is_empty() && self.new_edges.is_empty() && self.relabels.is_empty()
+    }
+}
+
+/// What [`DeltaGraph::apply`] actually changed, after deduplication.
+#[derive(Debug, Clone, Default)]
+pub struct AppliedUpdate {
+    /// Ids assigned to `new_nodes`, in input order.
+    pub assigned: Vec<NodeId>,
+    /// Every node whose incident structure or label changed: endpoints of
+    /// effectively-new edges, effectively-relabeled nodes, and new nodes.
+    /// Sorted, deduplicated. This is the seed set for d-ball invalidation.
+    pub touched: Vec<NodeId>,
+    /// Effective (non-duplicate) edge inserts, as applied.
+    pub added_edges: Vec<(NodeId, NodeId, Label)>,
+    /// Effective relabels as `(node, old_label, new_label)`.
+    pub relabeled: Vec<(NodeId, Label, Label)>,
+}
+
+/// A base CSR [`Graph`] plus append-only insert logs, readable through
+/// [`GraphView`] exactly like the base.
+#[derive(Debug, Clone)]
+pub struct DeltaGraph {
+    base: Arc<Graph>,
+    /// Labels of appended nodes; node `base.node_count() + i` has label
+    /// `new_node_labels[i]`.
+    new_node_labels: Vec<Label>,
+    /// Label overrides for *base* nodes. Invariant: the stored label
+    /// always differs from the base label (a relabel back to the original
+    /// removes the entry), so `len()` counts real divergences.
+    relabels: FxHashMap<NodeId, Label>,
+    /// Per-node inserted out-edges, each run sorted by `(label, target)`
+    /// and disjoint from the base run.
+    out_delta: FxHashMap<NodeId, Vec<Edge>>,
+    /// Mirror of `out_delta` keyed by target, sorted by `(label, source)`.
+    in_delta: FxHashMap<NodeId, Vec<Edge>>,
+    /// Total inserted edges (Σ of `out_delta` run lengths).
+    delta_edge_count: usize,
+}
+
+impl DeltaGraph {
+    /// An overlay with no pending deltas.
+    pub fn new(base: Arc<Graph>) -> Self {
+        Self {
+            base,
+            new_node_labels: Vec::new(),
+            relabels: FxHashMap::default(),
+            out_delta: FxHashMap::default(),
+            in_delta: FxHashMap::default(),
+            delta_edge_count: 0,
+        }
+    }
+
+    /// The frozen base CSR.
+    pub fn base(&self) -> &Arc<Graph> {
+        &self.base
+    }
+
+    /// Nodes appended since the base was frozen.
+    pub fn delta_node_count(&self) -> usize {
+        self.new_node_labels.len()
+    }
+
+    /// Edges inserted since the base was frozen.
+    pub fn delta_edge_count(&self) -> usize {
+        self.delta_edge_count
+    }
+
+    /// Base nodes whose label currently diverges from the base CSR.
+    pub fn relabel_count(&self) -> usize {
+        self.relabels.len()
+    }
+
+    /// Whether the overlay carries no deltas (reads are pure base reads).
+    pub fn is_clean(&self) -> bool {
+        self.new_node_labels.is_empty() && self.relabels.is_empty() && self.delta_edge_count == 0
+    }
+
+    /// The first node reference in `update` that would be out of range
+    /// against a graph of `node_count` nodes (counting the update's own
+    /// node appends), if any. Callers wanting fallible application check
+    /// this before [`DeltaGraph::apply`].
+    pub fn first_out_of_range(update: &GraphUpdate, node_count: usize) -> Option<NodeId> {
+        let n = node_count + update.new_nodes.len();
+        update
+            .relabels
+            .iter()
+            .map(|&(v, _)| v)
+            .chain(update.new_edges.iter().flat_map(|&(s, d, _)| [s, d]))
+            .find(|v| v.index() >= n)
+    }
+
+    /// Applies one update batch. Duplicate edges (already in base or
+    /// overlay, or repeated within the batch) and no-op relabels are
+    /// dropped; the returned [`AppliedUpdate`] reports only *effective*
+    /// mutations.
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint or relabel target is out of range
+    /// (``>= node_count()`` after this update's node appends). The whole
+    /// batch is validated **before** any mutation, so a panicking call
+    /// leaves the overlay exactly as it was.
+    pub fn apply(&mut self, update: &GraphUpdate) -> AppliedUpdate {
+        if let Some(v) = Self::first_out_of_range(update, GraphView::node_count(self)) {
+            panic!("update references node {v} out of range");
+        }
+        let mut applied = AppliedUpdate::default();
+        for &l in &update.new_nodes {
+            let id = NodeId(GraphView::node_count(self) as u32);
+            self.new_node_labels.push(l);
+            applied.assigned.push(id);
+            applied.touched.push(id);
+        }
+        let n = GraphView::node_count(self);
+        for &(v, new) in &update.relabels {
+            debug_assert!(v.index() < n, "validated above");
+            let old = GraphView::node_label(self, v);
+            if old == new {
+                continue;
+            }
+            if v.index() >= self.base.node_count() {
+                self.new_node_labels[v.index() - self.base.node_count()] = new;
+            } else if self.base.node_label(v) == new {
+                self.relabels.remove(&v);
+            } else {
+                self.relabels.insert(v, new);
+            }
+            applied.relabeled.push((v, old, new));
+            applied.touched.push(v);
+        }
+        for &(src, dst, label) in &update.new_edges {
+            debug_assert!(src.index() < n && dst.index() < n, "validated above");
+            let e = Edge { label, node: dst };
+            if GraphView::out_view(self, src).contains(e) {
+                continue;
+            }
+            insert_sorted(self.out_delta.entry(src).or_default(), e);
+            insert_sorted(self.in_delta.entry(dst).or_default(), Edge { label, node: src });
+            self.delta_edge_count += 1;
+            applied.added_edges.push((src, dst, label));
+            applied.touched.push(src);
+            applied.touched.push(dst);
+        }
+        applied.touched.sort_unstable();
+        applied.touched.dedup();
+        applied
+    }
+
+    /// Merges all pending deltas into a fresh CSR [`Graph`]. Node ids are
+    /// preserved (appends are dense, relabels in place), so anything
+    /// keyed by `NodeId` — caches, candidate indexes, catalogs — remains
+    /// valid against the compacted graph.
+    ///
+    /// Per-node adjacency is produced by merging the two already-sorted
+    /// runs, so compaction is `O(|V| + |E|)` plus the label-index sort —
+    /// no full edge re-sort as in [`crate::GraphBuilder::build`].
+    pub fn compact(&self) -> Graph {
+        let n = GraphView::node_count(self);
+        let mut node_labels = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            node_labels.push(GraphView::node_label(self, NodeId(v)));
+        }
+        let total_edges = self.base.edge_count() + self.delta_edge_count;
+        let merge = |view: fn(&Self, NodeId) -> EdgeView<'_>| {
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut adj = Vec::with_capacity(total_edges);
+            offsets.push(0u32);
+            for v in 0..n as u32 {
+                adj.extend(view(self, NodeId(v)).merged());
+                offsets.push(adj.len() as u32);
+            }
+            (offsets, adj)
+        };
+        let (out_offsets, out_adj) = merge(GraphView::out_view);
+        let (in_offsets, in_adj) = merge(GraphView::in_view);
+        let (label_nodes, label_starts) = build_label_index(&node_labels);
+        Graph {
+            node_labels,
+            out_offsets,
+            out_adj,
+            in_offsets,
+            in_adj,
+            label_nodes,
+            label_starts,
+            vocab: self.base.vocab().clone(),
+        }
+    }
+}
+
+/// Inserts `e` into a `(label, endpoint)`-sorted run, keeping it sorted.
+/// Runs are per-node insert logs — short in any realistic update stream —
+/// so the `O(len)` shift is irrelevant next to the probe savings of
+/// keeping them binary-searchable.
+fn insert_sorted(run: &mut Vec<Edge>, e: Edge) {
+    match run.binary_search(&e) {
+        // Caller guarantees novelty (checked against the full view).
+        Ok(_) => debug_assert!(false, "duplicate edge reached insert_sorted"),
+        Err(i) => run.insert(i, e),
+    }
+}
+
+impl GraphView for DeltaGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.base.node_count() + self.new_node_labels.len()
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.base.edge_count() + self.delta_edge_count
+    }
+
+    #[inline]
+    fn vocab(&self) -> &Arc<Vocab> {
+        self.base.vocab()
+    }
+
+    #[inline]
+    fn node_label(&self, v: NodeId) -> Label {
+        let nb = self.base.node_count();
+        if v.index() >= nb {
+            self.new_node_labels[v.index() - nb]
+        } else if let Some(&l) = self.relabels.get(&v) {
+            l
+        } else {
+            self.base.node_label(v)
+        }
+    }
+
+    #[inline]
+    fn out_view(&self, v: NodeId) -> EdgeView<'_> {
+        EdgeView {
+            base: if v.index() < self.base.node_count() { self.base.out_edges(v) } else { &[] },
+            delta: self.out_delta.get(&v).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    #[inline]
+    fn in_view(&self, v: NodeId) -> EdgeView<'_> {
+        EdgeView {
+            base: if v.index() < self.base.node_count() { self.base.in_edges(v) } else { &[] },
+            delta: self.in_delta.get(&v).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    fn label_members(&self, label: Label) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .base
+            .nodes_with_label_slice(label)
+            .iter()
+            .copied()
+            .filter(|v| !self.relabels.contains_key(v))
+            .collect();
+        out.extend(self.relabels.iter().filter(|&(_, &l)| l == label).map(|(&v, _)| v));
+        let nb = self.base.node_count() as u32;
+        out.extend(
+            self.new_node_labels
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l == label)
+                .map(|(i, _)| NodeId(nb + i as u32)),
+        );
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label::Vocab;
+
+    fn base() -> (Arc<Graph>, Vec<NodeId>, [Label; 4]) {
+        let vocab = Vocab::new();
+        let a = vocab.intern("a");
+        let b = vocab.intern("b");
+        let e1 = vocab.intern("e1");
+        let e2 = vocab.intern("e2");
+        let mut gb = GraphBuilder::new(vocab);
+        let vs: Vec<NodeId> = (0..4).map(|i| gb.add_node(if i % 2 == 0 { a } else { b })).collect();
+        gb.add_edge(vs[0], vs[1], e1);
+        gb.add_edge(vs[1], vs[2], e1);
+        gb.add_edge(vs[2], vs[3], e2);
+        (Arc::new(gb.build()), vs, [a, b, e1, e2])
+    }
+
+    #[test]
+    fn clean_overlay_reads_like_the_base() {
+        let (g, vs, [a, _, e1, _]) = base();
+        let d = DeltaGraph::new(g.clone());
+        assert!(d.is_clean());
+        assert_eq!(GraphView::node_count(&d), g.node_count());
+        assert_eq!(GraphView::edge_count(&d), g.edge_count());
+        assert_eq!(GraphView::node_label(&d, vs[0]), a);
+        assert!(d.has_edge_view(vs[0], vs[1], e1));
+        assert!(!d.has_edge_view(vs[1], vs[0], e1));
+        assert_eq!(d.label_members(a), vec![vs[0], vs[2]]);
+    }
+
+    #[test]
+    fn apply_inserts_nodes_edges_and_relabels() {
+        let (g, vs, [a, b, e1, e2]) = base();
+        let mut d = DeltaGraph::new(g);
+        let applied = d.apply(&GraphUpdate {
+            new_nodes: vec![a],
+            new_edges: vec![(vs[3], NodeId(4), e1), (vs[0], vs[2], e2)],
+            relabels: vec![(vs[1], a)],
+        });
+        assert_eq!(applied.assigned, vec![NodeId(4)]);
+        assert_eq!(applied.added_edges.len(), 2);
+        assert_eq!(applied.relabeled, vec![(vs[1], b, a)]);
+        assert_eq!(applied.touched, vec![vs[0], vs[1], vs[2], vs[3], NodeId(4)]);
+        assert_eq!(GraphView::node_count(&d), 5);
+        assert!(d.has_edge_view(vs[3], NodeId(4), e1));
+        assert!(d.has_edge_view(vs[0], vs[2], e2));
+        assert_eq!(GraphView::node_label(&d, vs[1]), a);
+        assert_eq!(d.label_members(a), vec![vs[0], vs[1], vs[2], NodeId(4)]);
+        assert_eq!(d.label_members(b), vec![vs[3]]);
+        // In-view mirrors the insert.
+        assert!(d.in_view(NodeId(4)).contains(Edge { label: e1, node: vs[3] }));
+    }
+
+    #[test]
+    fn duplicates_and_noop_relabels_are_dropped() {
+        let (g, vs, [a, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        let applied = d.apply(&GraphUpdate {
+            new_nodes: vec![],
+            // Already in base; repeated in batch; genuinely new.
+            new_edges: vec![(vs[0], vs[1], e1), (vs[0], vs[3], e1), (vs[0], vs[3], e1)],
+            relabels: vec![(vs[0], a)], // no-op: already labeled a
+        });
+        assert_eq!(applied.added_edges, vec![(vs[0], vs[3], e1)]);
+        assert!(applied.relabeled.is_empty());
+        assert_eq!(applied.touched, vec![vs[0], vs[3]]);
+        // Re-applying the same batch is now a full no-op.
+        let again =
+            d.apply(&GraphUpdate { new_edges: vec![(vs[0], vs[3], e1)], ..Default::default() });
+        assert!(again.added_edges.is_empty());
+        assert!(again.touched.is_empty());
+    }
+
+    #[test]
+    fn relabel_back_to_base_label_clears_the_override() {
+        let (g, vs, [a, b, _, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        d.apply(&GraphUpdate { relabels: vec![(vs[0], b)], ..Default::default() });
+        assert_eq!(d.relabel_count(), 1);
+        let back = d.apply(&GraphUpdate { relabels: vec![(vs[0], a)], ..Default::default() });
+        assert_eq!(d.relabel_count(), 0);
+        assert!(d.is_clean());
+        assert_eq!(back.relabeled, vec![(vs[0], b, a)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics_without_mutating() {
+        let (g, vs, [_, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        d.apply(&GraphUpdate { new_edges: vec![(vs[0], NodeId(99), e1)], ..Default::default() });
+    }
+
+    #[test]
+    fn compact_equals_builder_materialization() {
+        let (g, vs, [a, b, e1, e2]) = base();
+        let mut d = DeltaGraph::new(g.clone());
+        d.apply(&GraphUpdate {
+            new_nodes: vec![b, a],
+            new_edges: vec![
+                (NodeId(4), vs[0], e2),
+                (vs[0], NodeId(5), e1),
+                (vs[0], vs[3], e1),
+                (NodeId(4), NodeId(5), e1),
+            ],
+            relabels: vec![(vs[2], b)],
+        });
+        let compacted = d.compact();
+
+        // Independent materialization through the builder.
+        let mut gb = GraphBuilder::new(g.vocab().clone());
+        for v in 0..GraphView::node_count(&d) as u32 {
+            gb.add_node(GraphView::node_label(&d, NodeId(v)));
+        }
+        for v in 0..g.node_count() as u32 {
+            for e in g.out_edges(NodeId(v)) {
+                gb.add_edge(NodeId(v), e.node, e.label);
+            }
+        }
+        gb.add_edge(NodeId(4), vs[0], e2);
+        gb.add_edge(vs[0], NodeId(5), e1);
+        gb.add_edge(vs[0], vs[3], e1);
+        gb.add_edge(NodeId(4), NodeId(5), e1);
+        let expect = gb.build();
+
+        assert_eq!(compacted.node_count(), expect.node_count());
+        assert_eq!(compacted.edge_count(), expect.edge_count());
+        for v in 0..expect.node_count() as u32 {
+            let v = NodeId(v);
+            assert_eq!(compacted.node_label(v), expect.node_label(v));
+            assert_eq!(compacted.out_edges(v), expect.out_edges(v), "{v}");
+            assert_eq!(compacted.in_edges(v), expect.in_edges(v), "{v}");
+            let l = expect.node_label(v);
+            assert_eq!(compacted.nodes_with_label_slice(l), expect.nodes_with_label_slice(l));
+        }
+        // Compacting a clean overlay round-trips.
+        let clean = DeltaGraph::new(Arc::new(compacted));
+        let again = clean.compact();
+        assert_eq!(again.node_count(), expect.node_count());
+        assert_eq!(again.edge_count(), expect.edge_count());
+    }
+}

@@ -247,7 +247,7 @@ impl Graph {
 }
 
 #[inline]
-fn labeled_range(adj: &[Edge], label: Label) -> &[Edge] {
+pub(crate) fn labeled_range(adj: &[Edge], label: Label) -> &[Edge] {
     // One binary search for the run start, then a second over the
     // *remainder* for the run end: same O(log deg) bound as two full
     // searches (length-only callers like `has_out_label` and the

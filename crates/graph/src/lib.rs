@@ -15,6 +15,10 @@
 //! * [`Graph`] — an immutable CSR-packed graph with out- *and* in-adjacency,
 //!   both sorted by `(label, endpoint)` for `O(log deg)` labeled lookups;
 //! * [`GraphBuilder`] — the mutable construction API;
+//! * [`DeltaGraph`] — a base CSR plus append-only insert logs (new nodes,
+//!   new edges, relabels) read through the shared [`GraphView`] trait, with
+//!   [`DeltaGraph::compact`] merging deltas back into CSR form — the
+//!   substrate for incremental serving;
 //! * [`neighborhood`] — BFS utilities, `N_r(v)` balls and `G_d(v_x)`
 //!   d-neighborhood extraction (the locality primitive both DMine and Match
 //!   capitalize on);
@@ -27,21 +31,25 @@
 //! width keeps the CSR arrays cache-resident.
 
 pub mod builder;
+pub mod delta;
 pub mod graph;
 pub mod io;
 pub mod label;
 pub mod neighborhood;
 pub mod sketch;
+pub mod view;
 pub mod visited;
 
 pub use builder::GraphBuilder;
+pub use delta::{AppliedUpdate, DeltaGraph, GraphUpdate};
 pub use graph::{Edge, Graph, NodeId};
 pub use label::{Label, Vocab};
 pub use neighborhood::{
     ball, ball_with, bfs_layers, bfs_layers_with, d_neighborhood, d_neighborhood_with,
-    extract_induced, extract_induced_with, Extracted, NeighborhoodScratch,
+    extract_induced, extract_induced_with, multi_source_distances, Extracted, NeighborhoodScratch,
 };
 pub use sketch::{Sketch, SketchIndex};
+pub use view::{EdgeView, GraphView, MergedEdges};
 pub use visited::{EpochMap, VisitedBuffer};
 
 /// Fast hash map keyed by small integers (FxHash; see the performance notes

@@ -17,6 +17,7 @@
 //! scratch per call and remain the convenient choice off the hot path.
 
 use crate::graph::{Graph, NodeId};
+use crate::view::GraphView;
 use crate::visited::{EpochMap, VisitedBuffer};
 use crate::GraphBuilder;
 
@@ -57,8 +58,8 @@ impl NeighborhoodScratch {
 /// `scratch.layers` with `(node, depth)` in visit order and, when a
 /// `target` is given, stops and reports its distance the moment an edge
 /// touches it (the first touch is the shortest distance).
-fn bfs_bounded(
-    g: &Graph,
+fn bfs_bounded<G: GraphView + ?Sized>(
+    g: &G,
     start: NodeId,
     max_depth: u32,
     scratch: &mut NeighborhoodScratch,
@@ -79,7 +80,7 @@ fn bfs_bounded(
         if depth == max_depth {
             continue;
         }
-        for e in g.out_edges(v).iter().chain(g.in_edges(v)) {
+        for e in g.out_view(v).iter().chain(g.in_view(v).iter()) {
             if target == Some(e.node) {
                 return Some(depth + 1);
             }
@@ -95,8 +96,8 @@ fn bfs_bounded(
 /// hops, into `scratch.layers` (returned as a slice). `start` is included
 /// at depth 0; nodes appear in visit order. Allocation-free once the
 /// scratch has grown to the graph's size.
-pub fn bfs_layers_with<'s>(
-    g: &Graph,
+pub fn bfs_layers_with<'s, G: GraphView + ?Sized>(
+    g: &G,
     start: NodeId,
     max_depth: u32,
     scratch: &'s mut NeighborhoodScratch,
@@ -108,15 +109,19 @@ pub fn bfs_layers_with<'s>(
 /// BFS over the *undirected* view of `g` from `start`, up to `max_depth`
 /// hops. Returns `(node, depth)` pairs in visit order; `start` is included
 /// at depth 0. Convenience wrapper over [`bfs_layers_with`].
-pub fn bfs_layers(g: &Graph, start: NodeId, max_depth: u32) -> Vec<(NodeId, u32)> {
+pub fn bfs_layers<G: GraphView + ?Sized>(
+    g: &G,
+    start: NodeId,
+    max_depth: u32,
+) -> Vec<(NodeId, u32)> {
     let mut scratch = NeighborhoodScratch::new();
     bfs_layers_with(g, start, max_depth, &mut scratch).to_vec()
 }
 
 /// The ball `N_r(v)` into `scratch.nodes`: all nodes within undirected
 /// radius `r` of `v` (including `v`), sorted by node id.
-pub fn ball_with<'s>(
-    g: &Graph,
+pub fn ball_with<'s, G: GraphView + ?Sized>(
+    g: &G,
     v: NodeId,
     r: u32,
     scratch: &'s mut NeighborhoodScratch,
@@ -130,7 +135,7 @@ pub fn ball_with<'s>(
 
 /// The ball `N_r(v)`: all nodes within undirected radius `r` of `v`
 /// (including `v`), sorted by node id.
-pub fn ball(g: &Graph, v: NodeId, r: u32) -> Vec<NodeId> {
+pub fn ball<G: GraphView + ?Sized>(g: &G, v: NodeId, r: u32) -> Vec<NodeId> {
     let mut scratch = NeighborhoodScratch::new();
     ball_with(g, v, r, &mut scratch).to_vec()
 }
@@ -138,11 +143,51 @@ pub fn ball(g: &Graph, v: NodeId, r: u32) -> Vec<NodeId> {
 /// Undirected distance between two nodes, if connected within `max_depth`.
 /// Terminates as soon as `b` is reached instead of exhausting the bounded
 /// BFS.
-pub fn undirected_distance(g: &Graph, a: NodeId, b: NodeId, max_depth: u32) -> Option<u32> {
+pub fn undirected_distance<G: GraphView + ?Sized>(
+    g: &G,
+    a: NodeId,
+    b: NodeId,
+    max_depth: u32,
+) -> Option<u32> {
     if a == b {
         return Some(0);
     }
     bfs_bounded(g, a, max_depth, &mut NeighborhoodScratch::new(), Some(b))
+}
+
+/// Shortest undirected distances from *any* of `seeds` to every node
+/// within `max_depth` hops, as one multi-source BFS (all seeds start at
+/// depth 0). This is the serving layer's invalidation primitive: a graph
+/// update touching nodes `T` can only change the d-ball of centers within
+/// distance `d` of `T`, and this map names exactly those centers.
+pub fn multi_source_distances<G: GraphView + ?Sized>(
+    g: &G,
+    seeds: &[NodeId],
+    max_depth: u32,
+) -> crate::FxHashMap<NodeId, u32> {
+    let mut scratch = NeighborhoodScratch::new();
+    let seen = &mut scratch.visited;
+    let order = &mut scratch.layers;
+    seen.reset(g.node_count());
+    for &s in seeds {
+        if seen.insert(s) {
+            order.push((s, 0));
+        }
+    }
+    let mut head = 0;
+    while head < order.len() {
+        let (v, depth) = order[head];
+        head += 1;
+        if depth == max_depth {
+            continue;
+        }
+        for e in g.out_view(v).iter().chain(g.in_view(v).iter()) {
+            if seen.insert(e.node) {
+                order.push((e.node, depth + 1));
+            }
+        }
+    }
+    order.iter().copied().collect()
 }
 
 /// A subgraph extracted from a parent graph, with the mapping back to
@@ -179,8 +224,8 @@ impl Extracted {
 ///
 /// `nodes` may be unsorted and may contain duplicates; local ids are
 /// assigned in first-occurrence order.
-pub fn extract_induced_with(
-    g: &Graph,
+pub fn extract_induced_with<G: GraphView + ?Sized>(
+    g: &G,
     nodes: &[NodeId],
     scratch: &mut NeighborhoodScratch,
 ) -> Extracted {
@@ -205,7 +250,10 @@ pub fn extract_induced_with(
         out_offsets.push(0u32);
         for &gv in &to_global {
             node_labels.push(g.node_label(gv));
-            for e in g.out_edges(gv) {
+            // `merged()` yields the (label, endpoint)-sorted union of the
+            // CSR run and any overlay run, so the emitted local runs stay
+            // sorted even when extracting from a `DeltaGraph`.
+            for e in g.out_view(gv).merged() {
                 if let Some(dst) = local_of.get(e.node) {
                     out_adj.push(crate::Edge { label: e.label, node: NodeId(dst) });
                 }
@@ -252,7 +300,7 @@ pub fn extract_induced_with(
             b.add_node(g.node_label(gv));
         }
         for (li, &gv) in to_global.iter().enumerate() {
-            for e in g.out_edges(gv) {
+            for e in g.out_view(gv).iter() {
                 if let Some(dst) = local_of.get(e.node) {
                     b.add_edge(NodeId(li as u32), NodeId(dst), e.label);
                 }
@@ -267,14 +315,14 @@ pub fn extract_induced_with(
 }
 
 /// Extracts the subgraph of `g` *induced* by `nodes` with a fresh scratch.
-pub fn extract_induced(g: &Graph, nodes: &[NodeId]) -> Extracted {
+pub fn extract_induced<G: GraphView + ?Sized>(g: &G, nodes: &[NodeId]) -> Extracted {
     extract_induced_with(g, nodes, &mut NeighborhoodScratch::new())
 }
 
 /// Extracts `G_d(v_x)`: the subgraph induced by `N_d(v_x)`, together with
 /// the local id of the center, reusing `scratch` across calls.
-pub fn d_neighborhood_with(
-    g: &Graph,
+pub fn d_neighborhood_with<G: GraphView + ?Sized>(
+    g: &G,
     center: NodeId,
     d: u32,
     scratch: &mut NeighborhoodScratch,
@@ -290,7 +338,7 @@ pub fn d_neighborhood_with(
 
 /// Extracts `G_d(v_x)`: the subgraph induced by `N_d(v_x)`, together with
 /// the local id of the center.
-pub fn d_neighborhood(g: &Graph, center: NodeId, d: u32) -> (Extracted, NodeId) {
+pub fn d_neighborhood<G: GraphView + ?Sized>(g: &G, center: NodeId, d: u32) -> (Extracted, NodeId) {
     d_neighborhood_with(g, center, d, &mut NeighborhoodScratch::new())
 }
 

@@ -16,6 +16,7 @@
 use crate::graph::{Graph, NodeId};
 use crate::label::Label;
 use crate::neighborhood::{bfs_layers_with, NeighborhoodScratch};
+use crate::view::GraphView;
 use rustc_hash::FxHashMap;
 
 /// A cumulative k-hop label-frequency sketch.
@@ -27,7 +28,7 @@ pub struct Sketch {
 
 impl Sketch {
     /// Builds the sketch of `v` in `g` with `k` layers.
-    pub fn build(g: &Graph, v: NodeId, k: u32) -> Self {
+    pub fn build<G: GraphView + ?Sized>(g: &G, v: NodeId, k: u32) -> Self {
         Self::build_with(g, v, k, &mut NeighborhoodScratch::new())
     }
 
@@ -35,7 +36,12 @@ impl Sketch {
     /// per-hop label buckets — no hashing and, once the scratch has grown,
     /// no traversal-side allocation. Guided search builds one data sketch
     /// per scored candidate, so this is the matcher's hot constructor.
-    pub fn build_with(g: &Graph, v: NodeId, k: u32, scratch: &mut NeighborhoodScratch) -> Self {
+    pub fn build_with<G: GraphView + ?Sized>(
+        g: &G,
+        v: NodeId,
+        k: u32,
+        scratch: &mut NeighborhoodScratch,
+    ) -> Self {
         let k = k as usize;
         if k == 0 {
             return Self { layers: Vec::new() };
@@ -152,7 +158,11 @@ pub struct SketchIndex {
 impl SketchIndex {
     /// Builds sketches for `nodes` (typically the candidate centers `L`),
     /// sharing one traversal scratch across the whole set.
-    pub fn build_for(g: &Graph, nodes: impl IntoIterator<Item = NodeId>, k: u32) -> Self {
+    pub fn build_for<G: GraphView + ?Sized>(
+        g: &G,
+        nodes: impl IntoIterator<Item = NodeId>,
+        k: u32,
+    ) -> Self {
         let mut scratch = NeighborhoodScratch::new();
         let sketches =
             nodes.into_iter().map(|v| (v, Sketch::build_with(g, v, k, &mut scratch))).collect();

@@ -1,0 +1,267 @@
+//! The read-only graph abstraction shared by the CSR [`Graph`] and the
+//! [`crate::DeltaGraph`] overlay.
+//!
+//! Every traversal primitive in this crate (BFS, d-balls, induced
+//! extraction, sketches) and every consumer up the stack (LCWA
+//! classification, site building, EIP) reads a graph through exactly one
+//! surface: node labels, label membership, and per-node adjacency served
+//! as an [`EdgeView`] — a *pair* of `(label, endpoint)`-sorted runs, the
+//! frozen CSR run plus an overlay run of inserted edges. For a plain
+//! [`Graph`] the overlay run is empty and every operation degenerates to
+//! the old single-slice code path; for a [`crate::DeltaGraph`] the two
+//! runs are probed (and, where order matters, merged) without ever
+//! materializing a combined adjacency. This is what lets the matcher and
+//! `gpar_eip::identify` run unmodified over a graph with pending inserts.
+
+use crate::graph::{labeled_range, Edge, Graph, NodeId};
+use crate::label::{Label, Vocab};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// A node's adjacency as two `(label, endpoint)`-sorted runs: the base
+/// CSR slice and the overlay's insert log for that node. The runs are
+/// disjoint (the overlay never duplicates a base edge) so `len` is exact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeView<'a> {
+    /// The frozen CSR run.
+    pub base: &'a [Edge],
+    /// Inserted edges not yet compacted into the CSR.
+    pub delta: &'a [Edge],
+}
+
+impl<'a> EdgeView<'a> {
+    /// A view over a single sorted slice (no overlay).
+    #[inline]
+    pub fn solid(base: &'a [Edge]) -> Self {
+        Self { base, delta: &[] }
+    }
+
+    /// Total number of edges in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+
+    /// Whether the view holds no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.delta.is_empty()
+    }
+
+    /// Iterates both runs, base first. Not globally sorted — use
+    /// [`EdgeView::merged`] when `(label, endpoint)` order matters.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = Edge> + 'a {
+        self.base.iter().copied().chain(self.delta.iter().copied())
+    }
+
+    /// Iterates the union in `(label, endpoint)` order by merging the two
+    /// sorted runs (a no-op passthrough when the overlay run is empty).
+    #[inline]
+    pub fn merged(&self) -> MergedEdges<'a> {
+        MergedEdges { base: self.base, delta: self.delta }
+    }
+
+    /// The sub-view restricted to edges labeled `label` (both runs are
+    /// sorted, so this is two binary searches).
+    #[inline]
+    pub fn labeled(&self, label: Label) -> EdgeView<'a> {
+        EdgeView { base: labeled_range(self.base, label), delta: labeled_range(self.delta, label) }
+    }
+
+    /// Whether the exact edge is present in either run.
+    #[inline]
+    pub fn contains(&self, e: Edge) -> bool {
+        self.base.binary_search(&e).is_ok() || self.delta.binary_search(&e).is_ok()
+    }
+}
+
+/// Sorted-merge iterator over the two runs of an [`EdgeView`].
+#[derive(Debug, Clone)]
+pub struct MergedEdges<'a> {
+    base: &'a [Edge],
+    delta: &'a [Edge],
+}
+
+impl Iterator for MergedEdges<'_> {
+    type Item = Edge;
+
+    #[inline]
+    fn next(&mut self) -> Option<Edge> {
+        match (self.base.first(), self.delta.first()) {
+            (Some(&b), Some(&d)) => {
+                if b <= d {
+                    self.base = &self.base[1..];
+                    Some(b)
+                } else {
+                    self.delta = &self.delta[1..];
+                    Some(d)
+                }
+            }
+            (Some(&b), None) => {
+                self.base = &self.base[1..];
+                Some(b)
+            }
+            (None, Some(&d)) => {
+                self.delta = &self.delta[1..];
+                Some(d)
+            }
+            (None, None) => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.base.len() + self.delta.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MergedEdges<'_> {}
+
+/// Read access to a labeled directed multigraph, implemented by the
+/// frozen CSR [`Graph`] and by the [`crate::DeltaGraph`] overlay.
+///
+/// Method names deliberately avoid colliding with `Graph`'s inherent
+/// slice-returning accessors where the signatures differ (`out_view` vs
+/// `out_edges`); where they coincide (`node_count`, `node_label`, …) the
+/// inherent method shadows the trait method with identical behavior.
+pub trait GraphView {
+    /// Number of nodes `|V|`.
+    fn node_count(&self) -> usize;
+
+    /// Number of directed edges `|E|`.
+    fn edge_count(&self) -> usize;
+
+    /// The shared label vocabulary.
+    fn vocab(&self) -> &Arc<Vocab>;
+
+    /// The label `L(v)` of a node.
+    fn node_label(&self, v: NodeId) -> Label;
+
+    /// Out-adjacency of `v` as a two-run view (each run sorted by
+    /// `(label, target)`).
+    fn out_view(&self, v: NodeId) -> EdgeView<'_>;
+
+    /// In-adjacency of `v` as a two-run view (each run sorted by
+    /// `(label, source)`).
+    fn in_view(&self, v: NodeId) -> EdgeView<'_>;
+
+    /// Iterator over all node ids (`0..node_count()`).
+    fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// All nodes carrying `label`, sorted by id. Allocates: overlays
+    /// cannot serve this as one contiguous slice. Call once per candidate
+    /// discovery, not per probe.
+    fn label_members(&self, label: Label) -> Vec<NodeId>;
+
+    /// Whether the directed edge `(src, dst)` with `label` exists.
+    #[inline]
+    fn has_edge_view(&self, src: NodeId, dst: NodeId, label: Label) -> bool {
+        self.out_view(src).contains(Edge { label, node: dst })
+    }
+
+    /// Whether `v` has at least one out-edge labeled `label` (the LCWA
+    /// trichotomy's "knows about q" probe).
+    #[inline]
+    fn has_out_label_view(&self, v: NodeId, label: Label) -> bool {
+        !self.out_view(v).labeled(label).is_empty()
+    }
+
+    /// Per-label node counts.
+    fn node_histogram(&self) -> FxHashMap<Label, u64> {
+        let mut h = FxHashMap::default();
+        for v in self.nodes() {
+            *h.entry(self.node_label(v)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Per-label directed-edge counts.
+    fn edge_histogram(&self) -> FxHashMap<Label, u64> {
+        let mut h = FxHashMap::default();
+        for v in self.nodes() {
+            for e in self.out_view(v).iter() {
+                *h.entry(e.label).or_insert(0) += 1;
+            }
+        }
+        h
+    }
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        Graph::edge_count(self)
+    }
+
+    #[inline]
+    fn vocab(&self) -> &Arc<Vocab> {
+        Graph::vocab(self)
+    }
+
+    #[inline]
+    fn node_label(&self, v: NodeId) -> Label {
+        Graph::node_label(self, v)
+    }
+
+    #[inline]
+    fn out_view(&self, v: NodeId) -> EdgeView<'_> {
+        EdgeView::solid(self.out_edges(v))
+    }
+
+    #[inline]
+    fn in_view(&self, v: NodeId) -> EdgeView<'_> {
+        EdgeView::solid(self.in_edges(v))
+    }
+
+    fn label_members(&self, label: Label) -> Vec<NodeId> {
+        self.nodes_with_label_slice(label).to_vec()
+    }
+
+    fn node_histogram(&self) -> FxHashMap<Label, u64> {
+        self.node_label_histogram()
+    }
+
+    fn edge_histogram(&self) -> FxHashMap<Label, u64> {
+        self.edge_label_histogram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(l: u32, n: u32) -> Edge {
+        Edge { label: Label(l), node: NodeId(n) }
+    }
+
+    #[test]
+    fn merged_interleaves_sorted_runs() {
+        let base = [e(1, 0), e(1, 4), e(3, 2)];
+        let delta = [e(1, 2), e(2, 0), e(3, 9)];
+        let v = EdgeView { base: &base, delta: &delta };
+        let merged: Vec<Edge> = v.merged().collect();
+        assert_eq!(merged.len(), v.len());
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v.merged().len(), 6);
+    }
+
+    #[test]
+    fn labeled_narrows_both_runs() {
+        let base = [e(1, 0), e(1, 4), e(3, 2)];
+        let delta = [e(1, 2), e(2, 0)];
+        let v = EdgeView { base: &base, delta: &delta };
+        let ones = v.labeled(Label(1));
+        assert_eq!((ones.base.len(), ones.delta.len()), (2, 1));
+        assert!(v.labeled(Label(9)).is_empty());
+        assert!(v.contains(e(2, 0)));
+        assert!(!v.contains(e(2, 1)));
+    }
+}

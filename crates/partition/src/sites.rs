@@ -16,7 +16,7 @@
 
 use crate::fragment::PartitionStrategy;
 use crate::stats::chunk_evenly;
-use gpar_graph::{d_neighborhood_with, Extracted, Graph, NeighborhoodScratch, NodeId};
+use gpar_graph::{d_neighborhood_with, Extracted, Graph, GraphView, NeighborhoodScratch, NodeId};
 
 /// One candidate center with its materialized d-neighborhood `G_d(v_x)`.
 #[derive(Debug, Clone)]
@@ -33,7 +33,7 @@ pub struct CenterSite {
 
 impl CenterSite {
     /// Builds the site of `center` with radius `d`.
-    pub fn build(g: &Graph, center: NodeId, d: u32) -> Self {
+    pub fn build<G: GraphView + ?Sized>(g: &G, center: NodeId, d: u32) -> Self {
         Self::build_with(g, center, d, &mut NeighborhoodScratch::new())
     }
 
@@ -42,8 +42,8 @@ impl CenterSite {
     /// worker/thread and amortize it across every site built (EIP
     /// partitioning, mining rounds and the serve d-ball cache all build
     /// thousands of sites per pass).
-    pub fn build_with(
-        g: &Graph,
+    pub fn build_with<G: GraphView + ?Sized>(
+        g: &G,
         center: NodeId,
         d: u32,
         scratch: &mut NeighborhoodScratch,
@@ -75,7 +75,7 @@ impl CenterSite {
 /// flat list into task granules ([`chunk_by_load`]) and let the executor's
 /// stealing even out per-site cost skew dynamically. One traversal scratch
 /// is amortized across every build.
-pub fn build_sites(g: &Graph, centers: &[NodeId], d: u32) -> Vec<CenterSite> {
+pub fn build_sites<G: GraphView + ?Sized>(g: &G, centers: &[NodeId], d: u32) -> Vec<CenterSite> {
     let mut scratch = NeighborhoodScratch::new();
     centers.iter().map(|&c| CenterSite::build_with(g, c, d, &mut scratch)).collect()
 }
@@ -114,8 +114,8 @@ pub fn chunk_by_load(loads: &[u64], max_chunks: usize) -> Vec<std::ops::Range<us
 ///
 /// Returns one site list per worker; every center appears in exactly one
 /// list, so summed per-center statistics never double count.
-pub fn partition_sites(
-    g: &Graph,
+pub fn partition_sites<G: GraphView + ?Sized>(
+    g: &G,
     centers: &[NodeId],
     d: u32,
     n: usize,

@@ -19,6 +19,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Entries removed by [`LruCache::retain`] (graph-update
+    /// invalidation, as opposed to capacity pressure).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -170,6 +173,27 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.map.insert(key, i);
         self.push_front(i);
     }
+
+    /// Iterator over the live keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
+    /// Removes every entry whose key fails `keep`, returning the removed
+    /// keys. This is the scoped-invalidation hook: a graph update evicts
+    /// exactly the `(center, d)` extractions whose d-ball it may have
+    /// changed, leaving the rest of the working set hot.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) -> Vec<K> {
+        let doomed: Vec<(K, usize)> =
+            self.map.iter().filter(|(k, _)| !keep(k)).map(|(k, &i)| (k.clone(), i)).collect();
+        for (k, i) in &doomed {
+            self.unlink(*i);
+            self.map.remove(k);
+            self.free.push(*i);
+            self.stats.invalidations += 1;
+        }
+        doomed.into_iter().map(|(k, _)| k).collect()
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +244,27 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (2, 1));
         assert!(s.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn retain_removes_exactly_the_failing_keys() {
+        let mut c: LruCache<u32, u32> = LruCache::new(8);
+        for i in 0..6u32 {
+            c.insert(i, i * 10);
+        }
+        let mut gone = c.retain(|&k| k % 2 == 0);
+        gone.sort_unstable();
+        assert_eq!(gone, vec![1, 3, 5]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().invalidations, 3);
+        for i in 0..6u32 {
+            assert_eq!(c.get(&i).is_some(), i % 2 == 0, "{i}");
+        }
+        // Freed slots are reusable and the list stays consistent.
+        for i in 10..20u32 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 8);
     }
 
     #[test]

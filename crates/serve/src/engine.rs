@@ -1,5 +1,6 @@
 //! The batched query executor: a fixed worker pool serving `identify` and
-//! `top_rules` requests concurrently over one graph + catalog.
+//! `top_rules` requests concurrently over one graph + catalog, with live
+//! graph updates.
 //!
 //! ## Execution model
 //!
@@ -13,37 +14,74 @@
 //!   center is evaluated once, assembling the exact global
 //!   [`ConfStats`]/confidence per rule — the same counts
 //!   [`gpar_eip::identify`] produces, so the η-gating of rules is
-//!   *identical* to a direct EIP run on this graph.
+//!   *identical* to a direct EIP run on this graph. The full-`L` scan
+//!   fans out over a nested [`gpar_exec::Executor`] (one chunk-task
+//!   queue under the pool worker that took the cold query), and the
+//!   per-center records it folds are order-independent, so warm state is
+//!   bit-identical at any worker count.
 //! * Subsequent `identify(pred, candidates?)` requests re-evaluate only
-//!   the requested candidates' antecedent memberships (serving semantics:
-//!   membership is recomputed per query so a future incremental-graph PR
-//!   can slot in without an API change), but d-ball extraction — the
-//!   dominant per-candidate cost — is served from a shared LRU cache
-//!   ([`crate::cache::LruCache`]), so hot centers are never re-extracted.
+//!   the requested candidates' antecedent memberships, with d-ball
+//!   extraction — the dominant per-candidate cost — served from a shared
+//!   LRU cache ([`crate::cache::LruCache`]).
 //! * Rule-group state built at index time is reused across the batch:
 //!   the [`gpar_eip::SharingPlan`] is cloned (two small `Vec`s) into each
 //!   request's [`CandidateEvaluator`] instead of re-deriving the `|Σ|²`
 //!   subsumption tests.
 //!
+//! ## Live updates
+//!
+//! The serving graph is a [`DeltaGraph`] overlay. [`ServeEngine::apply_update`]
+//! appends an insert/relabel batch and then repairs *only* what the batch
+//! can have changed, exploiting the paper's locality property (§4.2): a
+//! radius-`d` evaluation at center `v_x` reads nothing outside `G_d(v_x)`,
+//! so an update touching nodes `T` can only affect centers within
+//! undirected distance `d` of `T`. Concretely, one multi-source BFS from
+//! `T` yields the invalidation ball, and the engine
+//!
+//! 1. evicts exactly the `(center, d)` d-ball cache entries inside it,
+//! 2. repairs each predicate's candidate list and center sketches
+//!    incrementally (new/relabeled centers in, relabeled-away centers
+//!    out, in-ball sketches recomputed),
+//! 3. re-evaluates only the in-ball + new centers of every *warmed*
+//!    predicate, patching the per-rule [`ConfStats`] by subtracting each
+//!    re-evaluated center's old contribution and adding its new one, and
+//! 4. falls back to a full group rebuild only when the update introduces
+//!    a previously-absent label that can re-activate a
+//!    signature-deactivated rule.
+//!
+//! [`ServeEngine::compact`] folds the overlay back into a fresh CSR; node
+//! ids are stable, so caches, index and warm state all survive it.
+//!
 //! ## Consistency contract
 //!
-//! For any predicate `p` in the catalog and any candidate subset `C`:
-//! `identify(p, C).customers = C ∩ identify_eip(G, Σ_p, η).customers`
-//! (and with `C = None`, the full EIP answer). The serve tests and
-//! `examples/serving.rs` pin this down.
+//! For any predicate `p` in the catalog and any candidate subset `C`,
+//! after any sequence of updates:
+//! `identify(p, C).customers = C ∩ identify_eip(G', Σ_p, η).customers`
+//! where `G'` is the current (post-update) graph — i.e. incremental
+//! answers are those of a from-scratch rebuild. The differential property
+//! suites (`tests/prop_delta_equivalence.rs`,
+//! `tests/prop_invalidation_scope.rs`) pin this down.
 
 use crate::cache::{CacheStats, LruCache};
 use crate::catalog::RuleCatalog;
 use crate::index::{CandidateIndex, PredicateGroup};
 use gpar_core::{classify, ConfStats, Confidence, Gpar, LcwaClass, Predicate};
 use gpar_eip::{CandidateEvaluator, EipAlgorithm, MatchOpts};
-use gpar_exec::Injector;
-use gpar_graph::{FxHashMap, Graph, NeighborhoodScratch, NodeId};
-use gpar_partition::CenterSite;
+use gpar_exec::{Executor, Injector};
+use gpar_graph::{
+    multi_source_distances, DeltaGraph, FxHashMap, Graph, GraphUpdate, GraphView, Label,
+    NeighborhoodScratch, NodeId, Vocab,
+};
+use gpar_partition::{chunk_by_load, CenterSite};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+
+/// Warm-scan task granules per executor worker (same rationale as EIP's
+/// chunking: fine enough that stealing evens out per-site cost skew,
+/// coarse enough that task overhead stays invisible).
+const WARM_CHUNKS_PER_WORKER: usize = 16;
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -145,26 +183,228 @@ pub struct EngineStats {
     pub queries: u64,
     /// Predicate warm-ups performed.
     pub warmups: u64,
+    /// Update batches applied.
+    pub updates: u64,
     /// d-ball cache counters.
     pub cache: CacheStats,
 }
 
-/// Per-predicate state established by the warm-up pass.
+/// Errors returned by [`ServeEngine::apply_update`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The update references a node id outside the graph (counting the
+    /// update's own node appends). Nothing was applied.
+    NodeOutOfRange(NodeId),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::NodeOutOfRange(v) => {
+                write!(f, "update references node {v} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// What one [`ServeEngine::apply_update`] call changed.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// Ids assigned to the update's `new_nodes`, in input order.
+    pub assigned: Vec<NodeId>,
+    /// Nodes whose incident structure or label effectively changed
+    /// (sorted, deduplicated) — the invalidation seed set.
+    pub touched: Vec<NodeId>,
+    /// Effective (non-duplicate) edge inserts.
+    pub added_edges: usize,
+    /// d-ball cache keys evicted by scoped invalidation. Every key is
+    /// within distance `d` of a touched node (the tightness property).
+    pub evicted: Vec<(NodeId, u32)>,
+    /// Centers re-evaluated across all warmed predicates.
+    pub reevaluated: usize,
+    /// Candidate centers admitted (new/relabeled-in nodes).
+    pub added_centers: usize,
+    /// Candidate centers retired (relabeled-away nodes).
+    pub removed_centers: usize,
+    /// Predicate groups rebuilt from scratch because the update
+    /// introduced a label that re-activates a deactivated rule.
+    pub rebuilt_groups: usize,
+}
+
+/// One center's cached evaluation outcome, kept per warmed predicate so
+/// updates can subtract its exact contribution before re-evaluating.
+#[derive(Debug, Clone)]
+struct CenterRecord {
+    /// LCWA class on the *global* graph (counts supp_q / supp_q̄ even for
+    /// sketch-pruned centers).
+    class: LcwaClass,
+    /// Whether the index-level sketch prefilter skipped evaluation
+    /// (memberships are then vacuously all-false).
+    pruned: bool,
+    /// Per rule: `v_x ∈ Q(x, G_d(v_x))`. Empty iff `pruned`.
+    q_member: Vec<bool>,
+    /// Per rule: `v_x ∈ P_R(x, G_d(v_x))`. Empty iff `pruned`.
+    pr_member: Vec<bool>,
+}
+
+/// Per-predicate state established by the warm-up pass and maintained
+/// incrementally across updates.
+#[derive(Debug, Clone)]
 struct PredicateState {
-    /// Exact per-rule counts on the serving graph (aligned with the
-    /// group's active rules).
+    /// `supp(q, G)` over all candidates.
+    supp_q: u64,
+    /// `supp(q̄, G)` over all candidates.
+    supp_qbar: u64,
+    /// Per rule: `(supp_r, supp_q_qbar, supp_q_ante)` running counters.
+    per_rule: Vec<(u64, u64, u64)>,
+    /// Per center: its evaluation record (the subtractable ledger).
+    outcomes: FxHashMap<NodeId, CenterRecord>,
+    /// Exact per-rule counts, derived from the counters by `finalize`.
     stats: Vec<ConfStats>,
     /// Per-rule confidence.
     conf: Vec<Confidence>,
     /// Per-rule: clears η.
     active: Vec<bool>,
-    /// The full answer implied by the warm pass (sorted): the warming
-    /// request returns this directly instead of evaluating its
-    /// candidates a second time.
+    /// The full answer implied by the current state (sorted).
     warm_customers: Vec<NodeId>,
-    /// Candidates the warm pass evaluated / sketch-pruned.
+    /// Centers evaluated / sketch-pruned (current ledger tallies).
     warm_evaluated: usize,
     warm_pruned: usize,
+}
+
+impl PredicateState {
+    fn empty(rules: usize) -> Self {
+        Self {
+            supp_q: 0,
+            supp_qbar: 0,
+            per_rule: vec![(0, 0, 0); rules],
+            outcomes: FxHashMap::default(),
+            stats: Vec::new(),
+            conf: Vec::new(),
+            active: Vec::new(),
+            warm_customers: Vec::new(),
+            warm_evaluated: 0,
+            warm_pruned: 0,
+        }
+    }
+
+    /// Adds `rec`'s contribution to the counters and stores it.
+    fn add_record(&mut self, c: NodeId, rec: CenterRecord) {
+        if rec.pruned {
+            self.warm_pruned += 1;
+        } else {
+            self.warm_evaluated += 1;
+        }
+        match rec.class {
+            LcwaClass::Positive => self.supp_q += 1,
+            LcwaClass::Negative => self.supp_qbar += 1,
+            LcwaClass::Unknown => {}
+        }
+        for (r, slot) in self.per_rule.iter_mut().enumerate() {
+            if rec.q_member.get(r).copied().unwrap_or(false) {
+                slot.2 += 1;
+                if rec.class == LcwaClass::Negative {
+                    slot.1 += 1;
+                }
+            }
+            if rec.pr_member.get(r).copied().unwrap_or(false) && rec.class == LcwaClass::Positive {
+                slot.0 += 1;
+            }
+        }
+        let prev = self.outcomes.insert(c, rec);
+        debug_assert!(prev.is_none(), "record replaced without subtraction");
+    }
+
+    /// Removes `c`'s record, subtracting its exact contribution.
+    fn remove_record(&mut self, c: NodeId) {
+        let Some(rec) = self.outcomes.remove(&c) else { return };
+        if rec.pruned {
+            self.warm_pruned -= 1;
+        } else {
+            self.warm_evaluated -= 1;
+        }
+        match rec.class {
+            LcwaClass::Positive => self.supp_q -= 1,
+            LcwaClass::Negative => self.supp_qbar -= 1,
+            LcwaClass::Unknown => {}
+        }
+        for (r, slot) in self.per_rule.iter_mut().enumerate() {
+            if rec.q_member.get(r).copied().unwrap_or(false) {
+                slot.2 -= 1;
+                if rec.class == LcwaClass::Negative {
+                    slot.1 -= 1;
+                }
+            }
+            if rec.pr_member.get(r).copied().unwrap_or(false) && rec.class == LcwaClass::Positive {
+                slot.0 -= 1;
+            }
+        }
+    }
+
+    /// Whether `c`'s current record makes it a customer under `active`.
+    fn is_customer(&self, c: NodeId) -> bool {
+        self.outcomes
+            .get(&c)
+            .is_some_and(|rec| rec.q_member.iter().zip(&self.active).any(|(&m, &a)| m && a))
+    }
+
+    /// Recomputes the per-rule surface (stats, confidence, η-gating) from
+    /// the counters — O(|Σ|). Returns whether any rule's η verdict
+    /// flipped (callers must then rebuild the answer set; otherwise a
+    /// per-center patch suffices).
+    fn recompute_rule_surface(&mut self, eta: f64) -> bool {
+        self.stats = self
+            .per_rule
+            .iter()
+            .map(|&(supp_r, supp_q_qbar, supp_q_ante)| ConfStats {
+                supp_r,
+                supp_q_ante,
+                supp_q: self.supp_q,
+                supp_qbar: self.supp_qbar,
+                supp_q_qbar,
+            })
+            .collect();
+        self.conf = self.stats.iter().map(ConfStats::conf).collect();
+        let active: Vec<bool> = self.conf.iter().map(|c| c.at_least(eta)).collect();
+        let changed = active != self.active;
+        self.active = active;
+        changed
+    }
+
+    /// Rebuilds the full sorted answer set from the ledger — O(|L|).
+    fn rebuild_customers(&mut self) {
+        self.warm_customers = self
+            .outcomes
+            .iter()
+            .filter(|(_, rec)| rec.q_member.iter().zip(&self.active).any(|(&m, &a)| m && a))
+            .map(|(&c, _)| c)
+            .collect();
+        self.warm_customers.sort_unstable();
+    }
+
+    /// Patches the sorted answer set for exactly the given centers (their
+    /// records were removed / re-evaluated) — O(ball · log |L|), the
+    /// per-update fast path when no rule's η verdict flipped.
+    fn patch_customers(&mut self, centers: impl IntoIterator<Item = NodeId>) {
+        for c in centers {
+            let is = self.is_customer(c);
+            match self.warm_customers.binary_search(&c) {
+                Ok(i) if !is => {
+                    self.warm_customers.remove(i);
+                }
+                Err(i) if is => self.warm_customers.insert(i, c),
+                _ => {}
+            }
+        }
+    }
+
+    /// Recomputes the whole derived surface (rule stats + answer set).
+    fn finalize(&mut self, eta: f64) {
+        self.recompute_rule_surface(eta);
+        self.rebuild_customers();
+    }
 }
 
 /// Per-worker-thread reusable state. The pattern-sketch cache and search
@@ -188,9 +428,27 @@ impl WorkerCaches {
     }
 }
 
-struct Shared {
-    graph: Arc<Graph>,
+/// The update-consistent core: graph overlay, candidate index, and the
+/// label histograms that gate rule activation. Guarded by one `RwLock` —
+/// queries hold a read lock for their whole evaluation, updates hold the
+/// write lock, so every query sees one graph/index version end to end.
+struct EngineView {
+    graph: DeltaGraph,
     index: CandidateIndex,
+    node_hist: FxHashMap<Label, u64>,
+    edge_hist: FxHashMap<Label, u64>,
+}
+
+/// One warm-scan chunk's partial fold (merged in task-index order;
+/// commutative sums, so warm state is identical at any worker count).
+struct WarmPart {
+    records: Vec<(NodeId, CenterRecord)>,
+}
+
+struct Shared {
+    view: RwLock<EngineView>,
+    /// The catalog, retained for rule re-activation rebuilds.
+    catalog: RuleCatalog,
     cfg: ServeConfig,
     cache: Mutex<LruCache<(NodeId, u32), Arc<CenterSite>>>,
     states: RwLock<FxHashMap<Predicate, Arc<PredicateState>>>,
@@ -200,10 +458,17 @@ struct Shared {
     warm_lock: Mutex<()>,
     queries: AtomicU64,
     warmups: AtomicU64,
+    updates: AtomicU64,
 }
 
 impl Shared {
-    fn site(&self, center: NodeId, d: u32, nbr: &mut NeighborhoodScratch) -> Arc<CenterSite> {
+    fn site(
+        &self,
+        view: &EngineView,
+        center: NodeId,
+        d: u32,
+        nbr: &mut NeighborhoodScratch,
+    ) -> Arc<CenterSite> {
         let key = (center, d);
         if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             return hit;
@@ -213,7 +478,7 @@ impl Shared {
         // same cold center and both extract; last insert wins, both use
         // their own (identical) site. The worker's traversal scratch is
         // reused across misses.
-        let site = Arc::new(CenterSite::build_with(&self.graph, center, d, nbr));
+        let site = Arc::new(CenterSite::build_with(&view.graph, center, d, nbr));
         self.cache.lock().unwrap().insert(key, site.clone());
         site
     }
@@ -241,13 +506,38 @@ impl Shared {
         .with_scratch(caches.scratch.clone())
     }
 
+    /// Classifies + (unless sketch-pruned) evaluates the center at
+    /// `group.centers[pos]`, producing its ledger record.
+    fn evaluate_center(
+        &self,
+        view: &EngineView,
+        group: &PredicateGroup,
+        ev: &CandidateEvaluator<'_>,
+        pos: usize,
+        caches: &mut WorkerCaches,
+    ) -> CenterRecord {
+        let c = group.centers[pos];
+        // LCWA class is rule-independent and must count *every*
+        // candidate, including sketch-pruned ones.
+        let class = classify(&view.graph, &group.predicate, c)
+            .expect("centers satisfy x's condition by construction");
+        if !group.center_may_match(pos) {
+            return CenterRecord {
+                class,
+                pruned: true,
+                q_member: Vec::new(),
+                pr_member: Vec::new(),
+            };
+        }
+        let site = caches.scratch.with_neighborhood(|nbr| self.site(view, c, group.d, nbr));
+        let o = ev.evaluate(&site);
+        debug_assert_eq!(o.class, class, "site and global LCWA must agree");
+        CenterRecord { class, pruned: false, q_member: o.q_member, pr_member: o.pr_member }
+    }
+
     /// Returns the warmed state for `group`, performing the full-candidate
     /// evaluation pass if this predicate has not been touched yet.
-    fn state(
-        &self,
-        group: &PredicateGroup,
-        caches: &mut WorkerCaches,
-    ) -> (Arc<PredicateState>, bool) {
+    fn state(&self, view: &EngineView, group: &PredicateGroup) -> (Arc<PredicateState>, bool) {
         if let Some(s) = self.states.read().unwrap().get(&group.predicate) {
             return (s.clone(), false);
         }
@@ -257,7 +547,7 @@ impl Shared {
         if let Some(s) = self.states.read().unwrap().get(&group.predicate) {
             return (s.clone(), false);
         }
-        let state = Arc::new(self.warm(group, caches));
+        let state = Arc::new(self.warm(view, group));
         self.warmups.fetch_add(1, Ordering::Relaxed);
         self.states.write().unwrap().insert(group.predicate, state.clone());
         (state, true)
@@ -265,71 +555,36 @@ impl Shared {
 
     /// The warm-up pass: evaluate every candidate once and assemble the
     /// exact global statistics, exactly as `gpar_eip::identify`'s step 3.
-    fn warm(&self, group: &PredicateGroup, caches: &mut WorkerCaches) -> PredicateState {
-        let n = group.rules.len();
-        let ev = self.evaluator(group, caches);
-        let mut supp_q = 0u64;
-        let mut supp_qbar = 0u64;
-        // Per rule: (supp_r, supp_q_qbar, supp_q_ante).
-        let mut per_rule = vec![(0u64, 0u64, 0u64); n];
-        // Antecedent memberships of centers that matched anything — kept
-        // so the warming request can answer without a second pass (which
-        // rules gate as customers depends on η, known only at the end).
-        let mut memberships: Vec<(NodeId, Vec<bool>)> = Vec::new();
-        let mut warm_evaluated = 0usize;
-        let mut warm_pruned = 0usize;
-        for (i, &c) in group.centers.iter().enumerate() {
-            // LCWA class is rule-independent and must count *every*
-            // candidate, including sketch-pruned ones.
-            let class = classify(&self.graph, &group.predicate, c)
-                .expect("centers satisfy x's condition by construction");
-            match class {
-                LcwaClass::Positive => supp_q += 1,
-                LcwaClass::Negative => supp_qbar += 1,
-                LcwaClass::Unknown => {}
-            }
-            if !group.center_may_match(i) {
-                warm_pruned += 1;
-                continue; // member of no antecedent: contributes nothing
-            }
-            warm_evaluated += 1;
-            let site = caches.scratch.with_neighborhood(|nbr| self.site(c, group.d, nbr));
-            let o = ev.evaluate(&site);
-            debug_assert_eq!(o.class, class, "site and global LCWA must agree");
-            for (r, slot) in per_rule.iter_mut().enumerate() {
-                if o.q_member[r] {
-                    slot.2 += 1;
-                    if class == LcwaClass::Negative {
-                        slot.1 += 1;
-                    }
+    /// The full-`L` scan fans out as chunk tasks over a work-stealing
+    /// [`Executor`] nested under the pool worker running the cold query;
+    /// partial folds are commutative per-center records, so the resulting
+    /// state is bit-identical at any worker count.
+    fn warm(&self, view: &EngineView, group: &PredicateGroup) -> PredicateState {
+        let workers = self.cfg.workers.max(1);
+        let chunks =
+            chunk_by_load(&vec![1u64; group.centers.len()], workers * WARM_CHUNKS_PER_WORKER);
+        let exec = Executor::new(workers);
+        let (parts, _stats) = exec.map_indexed(
+            chunks.len(),
+            |_w| WorkerCaches::default(),
+            |caches, ci| {
+                let ev = self.evaluator(group, caches);
+                let mut part = WarmPart { records: Vec::new() };
+                for pos in chunks[ci].clone() {
+                    let rec = self.evaluate_center(view, group, &ev, pos, caches);
+                    part.records.push((group.centers[pos], rec));
                 }
-                if o.pr_member[r] && class == LcwaClass::Positive {
-                    slot.0 += 1;
-                }
-            }
-            if o.q_member.iter().any(|&m| m) {
-                memberships.push((c, o.q_member));
+                part
+            },
+        );
+        let mut state = PredicateState::empty(group.rules.len());
+        for part in parts {
+            for (c, rec) in part.records {
+                state.add_record(c, rec);
             }
         }
-        let stats: Vec<ConfStats> = per_rule
-            .into_iter()
-            .map(|(supp_r, supp_q_qbar, supp_q_ante)| ConfStats {
-                supp_r,
-                supp_q_ante,
-                supp_q,
-                supp_qbar,
-                supp_q_qbar,
-            })
-            .collect();
-        let conf: Vec<Confidence> = stats.iter().map(ConfStats::conf).collect();
-        let active: Vec<bool> = conf.iter().map(|c| c.at_least(self.cfg.eta)).collect();
-        let mut warm_customers: Vec<NodeId> = memberships
-            .into_iter()
-            .filter(|(_, qm)| qm.iter().zip(&active).any(|(&m, &a)| m && a))
-            .map(|(c, _)| c)
-            .collect();
-        warm_customers.sort_unstable();
-        PredicateState { stats, conf, active, warm_customers, warm_evaluated, warm_pruned }
+        state.finalize(self.cfg.eta);
+        state
     }
 
     fn identify(
@@ -337,8 +592,9 @@ impl Shared {
         req: &IdentifyRequest,
         caches: &mut WorkerCaches,
     ) -> Result<IdentifyResponse, QueryError> {
-        let group = self.index.group(&req.predicate).ok_or(QueryError::UnknownPredicate)?;
-        let (state, warmed) = self.state(group, caches);
+        let view = self.view.read().unwrap();
+        let group = view.index.group(&req.predicate).ok_or(QueryError::UnknownPredicate)?;
+        let (state, warmed) = self.state(&view, group);
         if warmed {
             // This request performed the warm-up, which already evaluated
             // every candidate — answer from that pass instead of doubling
@@ -375,7 +631,7 @@ impl Shared {
                 // `centers` is in id order, so one binary search both
                 // tests membership and yields the position.
                 let mut pos: Vec<usize> =
-                    cands.iter().filter_map(|c| group.centers.binary_search(c).ok()).collect();
+                    cands.iter().filter_map(|c| group.center_pos(*c)).collect();
                 pos.sort_unstable();
                 pos.dedup();
                 pos
@@ -392,7 +648,7 @@ impl Shared {
                 continue;
             }
             evaluated += 1;
-            let site = caches.scratch.with_neighborhood(|nbr| self.site(c, group.d, nbr));
+            let site = caches.scratch.with_neighborhood(|nbr| self.site(&view, c, group.d, nbr));
             let o = ev.evaluate(&site);
             if o.q_member.iter().zip(&state.active).any(|(&m, &a)| m && a) {
                 customers.push(c);
@@ -402,14 +658,10 @@ impl Shared {
         Ok(IdentifyResponse { customers, evaluated, pruned, warmed })
     }
 
-    fn top_rules(
-        &self,
-        pred: &Predicate,
-        k: usize,
-        caches: &mut WorkerCaches,
-    ) -> Result<Vec<RuleInfo>, QueryError> {
-        let group = self.index.group(pred).ok_or(QueryError::UnknownPredicate)?;
-        let (state, _) = self.state(group, caches);
+    fn top_rules(&self, pred: &Predicate, k: usize) -> Result<Vec<RuleInfo>, QueryError> {
+        let view = self.view.read().unwrap();
+        let group = view.index.group(pred).ok_or(QueryError::UnknownPredicate)?;
+        let (state, _) = self.state(&view, group);
         let mut out: Vec<RuleInfo> = group
             .rule_arcs
             .iter()
@@ -430,6 +682,228 @@ impl Shared {
         out.truncate(k);
         Ok(out)
     }
+
+    /// Applies one update batch under the view write lock. See the module
+    /// docs ("Live updates") for the invalidation rule.
+    fn apply_update(&self, update: &GraphUpdate) -> Result<UpdateReport, UpdateError> {
+        let mut guard = self.view.write().unwrap();
+        let view = &mut *guard;
+        // Validate before touching anything: a malformed batch must not
+        // half-mutate the overlay or poison the view lock.
+        if let Some(v) = DeltaGraph::first_out_of_range(update, view.graph.node_count()) {
+            return Err(UpdateError::NodeOutOfRange(v));
+        }
+        let applied = view.graph.apply(update);
+        let mut report = UpdateReport {
+            assigned: applied.assigned.clone(),
+            touched: applied.touched.clone(),
+            added_edges: applied.added_edges.len(),
+            ..Default::default()
+        };
+        if applied.touched.is_empty() {
+            return Ok(report); // fully deduplicated no-op batch
+        }
+        self.updates.fetch_add(1, Ordering::Relaxed);
+
+        // 1. Histogram maintenance; track labels that came into existence
+        // or vanished entirely — only those can flip a rule's label-
+        // signature satisfiability (activation on appearance, symmetric
+        // deactivation on disappearance).
+        let mut changed_labels: gpar_graph::FxHashSet<Label> = Default::default();
+        let bump = |hist: &mut FxHashMap<Label, u64>,
+                    l: Label,
+                    changed: &mut gpar_graph::FxHashSet<Label>| {
+            let n = hist.entry(l).or_insert(0);
+            if *n == 0 {
+                changed.insert(l);
+            }
+            *n += 1;
+        };
+        for &c in &applied.assigned {
+            bump(&mut view.node_hist, view.graph.node_label(c), &mut changed_labels);
+        }
+        // Coalesce chained relabels within the batch to net transitions.
+        let mut net_relabels: FxHashMap<NodeId, (Label, Label)> = FxHashMap::default();
+        for &(v, old, new) in &applied.relabeled {
+            net_relabels.entry(v).and_modify(|e| e.1 = new).or_insert((old, new));
+        }
+        net_relabels.retain(|_, (old, new)| old != new);
+        for (&v, &(old, new)) in &net_relabels {
+            if applied.assigned.contains(&v) {
+                continue; // new node: final label already counted above
+            }
+            if let Some(n) = view.node_hist.get_mut(&old) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    view.node_hist.remove(&old);
+                    changed_labels.insert(old); // vanished
+                }
+            }
+            bump(&mut view.node_hist, new, &mut changed_labels);
+        }
+        for &(_, _, l) in &applied.added_edges {
+            bump(&mut view.edge_hist, l, &mut changed_labels);
+        }
+
+        // 2. The invalidation ball: distances from every touched node, to
+        // the deepest radius any group evaluates at — *and* the deepest
+        // radius still cached: a group removed by deactivation can leave
+        // entries at a radius no current group uses, and they must keep
+        // being invalidated or a later re-activation would warm against
+        // stale sites. `max(d, 1)` because a center's LCWA class reads
+        // its out-neighbors' labels — depth-1 state even under a
+        // (pathological) d = 0 override.
+        let max_cached_d = self.cache.lock().unwrap().keys().map(|&(_, dk)| dk).max().unwrap_or(0);
+        let max_d = view.index.groups().map(|g| g.d).max().unwrap_or(0).max(max_cached_d).max(1);
+        let dist = multi_source_distances(&view.graph, &applied.touched, max_d);
+
+        // 3. Scoped cache eviction: exactly the keys whose d-ball can
+        // reach a touched node.
+        report.evicted =
+            self.cache.lock().unwrap().retain(|&(c, dk)| dist.get(&c).is_none_or(|&dc| dc > dk));
+
+        // 4. Rule activation / deactivation: a label flipping between
+        // present and absent can change which rules pass the signature
+        // satisfiability check, in either direction. Rebuild exactly the
+        // predicates whose rules *mention* a flipped label; everything
+        // else keeps its incrementally-maintained group.
+        let mut rebuilt: Vec<Predicate> = Vec::new();
+        if !changed_labels.is_empty() {
+            let affected: Vec<Predicate> = self
+                .catalog
+                .predicates()
+                .filter(|pred| {
+                    self.catalog.indices_for(pred).iter().any(|&i| {
+                        let sig = crate::index::LabelSignature::of_pattern(
+                            self.catalog.entries()[i].rule.antecedent(),
+                        );
+                        sig.node_labels
+                            .iter()
+                            .chain(&sig.edge_labels)
+                            .any(|l| changed_labels.contains(l))
+                    })
+                })
+                .copied()
+                .collect();
+            for pred in affected {
+                if view.index.rebuild_group(
+                    &view.graph,
+                    &self.catalog,
+                    &pred,
+                    self.cfg.sketch_k,
+                    self.cfg.d,
+                    &self.opts(),
+                    &view.node_hist,
+                    &view.edge_hist,
+                ) {
+                    rebuilt.push(pred);
+                }
+            }
+            report.rebuilt_groups = rebuilt.len();
+            if !rebuilt.is_empty() {
+                let mut states = self.states.write().unwrap();
+                for pred in &rebuilt {
+                    states.remove(pred); // re-warm lazily on next query
+                }
+            }
+        }
+
+        // 5. Per-group incremental repair.
+        let mut caches = WorkerCaches::default();
+        let preds: Vec<Predicate> = view.index.groups().map(|g| g.predicate).collect();
+        for pred in preds {
+            if rebuilt.contains(&pred) {
+                continue; // fresh group is already exact; state dropped
+            }
+            let EngineView { graph, index, .. } = view;
+            let group = index.group_mut(&pred).expect("group listed above");
+            let (added, removed) = center_changes(group, graph, &applied, &net_relabels);
+            for &c in &removed {
+                if group.remove_center(c) {
+                    report.removed_centers += 1;
+                }
+            }
+            for &c in &added {
+                if group.add_center(graph, c) {
+                    report.added_centers += 1;
+                }
+            }
+            // Every surviving center inside the invalidation ball: its
+            // d-ball (hence sketch, memberships, class) may have changed.
+            let reeval: Vec<NodeId> = dist
+                .iter()
+                .filter(|&(_, &dd)| dd <= group.d.max(1))
+                .map(|(&c, _)| c)
+                .filter(|&c| group.center_pos(c).is_some())
+                .collect();
+            for &c in &reeval {
+                group.refresh_center_sketch(graph, c);
+            }
+
+            // Warm-state repair: subtract stale contributions, re-evaluate
+            // only the in-ball + new centers, re-derive the answer surface
+            // (a per-center patch unless a rule's η verdict flipped).
+            let mut states = self.states.write().unwrap();
+            let Some(state) = states.get_mut(&pred) else { continue };
+            let state = Arc::make_mut(state);
+            let group = view.index.group(&pred).expect("group listed above");
+            let ev = self.evaluator(group, &mut caches);
+            for &c in &removed {
+                state.remove_record(c);
+            }
+            for &c in &reeval {
+                state.remove_record(c);
+                let pos = group.center_pos(c).expect("reeval centers are candidates");
+                let rec = self.evaluate_center(view, group, &ev, pos, &mut caches);
+                state.add_record(c, rec);
+                report.reevaluated += 1;
+            }
+            if state.recompute_rule_surface(self.cfg.eta) {
+                state.rebuild_customers();
+            } else {
+                state.patch_customers(removed.iter().chain(&reeval).copied());
+            }
+        }
+        Ok(report)
+    }
+
+    /// Folds the overlay into a fresh base CSR. Node ids are stable, so
+    /// the candidate index, warm states and d-ball cache all stay valid —
+    /// compaction changes the representation, never an answer.
+    fn compact(&self) {
+        let mut guard = self.view.write().unwrap();
+        if guard.graph.is_clean() {
+            return;
+        }
+        guard.graph = DeltaGraph::new(Arc::new(guard.graph.compact()));
+    }
+}
+
+/// The candidate-set delta implied by an applied update for one group:
+/// nodes whose (new) label admits them as centers, and relabeled nodes
+/// whose label no longer satisfies `x`'s condition.
+fn center_changes(
+    group: &PredicateGroup,
+    graph: &DeltaGraph,
+    applied: &gpar_graph::AppliedUpdate,
+    net_relabels: &FxHashMap<NodeId, (Label, Label)>,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let x = group.predicate.x_cond;
+    let mut added: Vec<NodeId> =
+        applied.assigned.iter().copied().filter(|&c| x.matches(graph.node_label(c))).collect();
+    let mut removed = Vec::new();
+    for (&v, &(old, new)) in net_relabels {
+        if applied.assigned.contains(&v) {
+            continue; // new node: final label handled above
+        }
+        let (was, is) = (x.matches(old), x.matches(new));
+        if is && !was {
+            added.push(v);
+        } else if was && !is {
+            removed.push(v);
+        }
+    }
+    (added, removed)
 }
 
 enum Job {
@@ -452,21 +926,29 @@ impl ServeEngine {
     /// Builds the index for `(graph, catalog)` and spawns the pool.
     pub fn new(graph: Arc<Graph>, catalog: &RuleCatalog, cfg: ServeConfig) -> Self {
         let index = CandidateIndex::build(
-            &graph,
+            &*graph,
             catalog,
             cfg.sketch_k,
             cfg.d,
             &MatchOpts::for_algorithm(cfg.algorithm),
         );
+        let node_hist = graph.node_label_histogram();
+        let edge_hist = graph.edge_label_histogram();
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
+            view: RwLock::new(EngineView {
+                graph: DeltaGraph::new(graph),
+                index,
+                node_hist,
+                edge_hist,
+            }),
+            catalog: catalog.clone(),
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
             states: RwLock::new(FxHashMap::default()),
             warm_lock: Mutex::new(()),
             queries: AtomicU64::new(0),
             warmups: AtomicU64::new(0),
-            graph,
-            index,
+            updates: AtomicU64::new(0),
             cfg,
         });
         let jobs: Arc<Injector<Job>> = Arc::new(Injector::new());
@@ -527,9 +1009,43 @@ impl ServeEngine {
         rx.recv().map_err(|_| QueryError::Stopped)?
     }
 
+    /// Applies one insert/relabel batch to the serving graph, invalidating
+    /// exactly the affected d-balls and incrementally repairing candidate
+    /// index and warm state. Blocks until in-flight queries drain (the
+    /// view write lock); queries submitted afterwards see the new graph.
+    /// A malformed batch (out-of-range node reference) is rejected whole:
+    /// `Err` means nothing was applied.
+    pub fn apply_update(&self, update: &GraphUpdate) -> Result<UpdateReport, UpdateError> {
+        self.shared.apply_update(update)
+    }
+
+    /// Merges all pending overlay deltas back into a fresh CSR base.
+    /// Node ids are stable, so cached extractions, index and warm state
+    /// remain valid; answers are unchanged.
+    pub fn compact(&self) {
+        self.shared.compact();
+    }
+
     /// Predicates this engine can serve.
     pub fn predicates(&self) -> Vec<Predicate> {
-        self.shared.index.groups().map(|g| g.predicate).collect()
+        self.shared.view.read().unwrap().index.groups().map(|g| g.predicate).collect()
+    }
+
+    /// The shared label vocabulary.
+    pub fn vocab(&self) -> Arc<Vocab> {
+        self.shared.view.read().unwrap().graph.vocab().clone()
+    }
+
+    /// Current serving-graph size as `(nodes, edges)` (base + overlay).
+    pub fn graph_size(&self) -> (usize, usize) {
+        let view = self.shared.view.read().unwrap();
+        (view.graph.node_count(), view.graph.edge_count())
+    }
+
+    /// Edges/nodes still in the overlay (0 right after [`ServeEngine::compact`]).
+    pub fn pending_deltas(&self) -> (usize, usize) {
+        let view = self.shared.view.read().unwrap();
+        (view.graph.delta_node_count(), view.graph.delta_edge_count())
     }
 
     /// A counters snapshot.
@@ -537,13 +1053,9 @@ impl ServeEngine {
         EngineStats {
             queries: self.shared.queries.load(Ordering::Relaxed),
             warmups: self.shared.warmups.load(Ordering::Relaxed),
+            updates: self.shared.updates.load(Ordering::Relaxed),
             cache: self.shared.cache.lock().unwrap().stats(),
         }
-    }
-
-    /// The serving graph.
-    pub fn graph(&self) -> &Arc<Graph> {
-        &self.shared.graph
     }
 }
 
@@ -568,7 +1080,7 @@ fn worker_loop(shared: Arc<Shared>, jobs: Arc<Injector<Job>>) {
                 let _ = reply.send(shared.identify(&req, &mut caches));
             }
             Job::TopRules(pred, k, reply) => {
-                let _ = reply.send(shared.top_rules(&pred, k, &mut caches));
+                let _ = reply.send(shared.top_rules(&pred, k));
             }
         }
     }
@@ -631,7 +1143,7 @@ mod tests {
         let sigma: Vec<Gpar> = cat.rules_for(&pred).iter().map(|e| (*e.rule).clone()).collect();
         for eta in [0.5, 1.5] {
             let eip = eip_identify(
-                &g,
+                &*g,
                 &sigma,
                 &EipConfig { eta, ..EipConfig::new(EipAlgorithm::Match, 3) },
             )
@@ -653,7 +1165,7 @@ mod tests {
         let (g, cat, pred) = scenario();
         let sigma: Vec<Gpar> = cat.rules_for(&pred).iter().map(|e| (*e.rule).clone()).collect();
         let eip = eip_identify(
-            &g,
+            &*g,
             &sigma,
             &EipConfig { eta: 0.5, ..EipConfig::new(EipAlgorithm::Match, 2) },
         )
@@ -675,7 +1187,7 @@ mod tests {
         let (g, cat, pred) = scenario();
         let sigma: Vec<Gpar> = cat.rules_for(&pred).iter().map(|e| (*e.rule).clone()).collect();
         let eip = eip_identify(
-            &g,
+            &*g,
             &sigma,
             &EipConfig { eta: 0.5, ..EipConfig::new(EipAlgorithm::Match, 2) },
         )
@@ -696,7 +1208,7 @@ mod tests {
         let engine = ServeEngine::new(
             g,
             &cat,
-            ServeConfig { eta: 0.5, cache_capacity: 64, ..Default::default() },
+            ServeConfig { eta: 0.5, cache_capacity: 64, workers: 1, ..Default::default() },
         );
         // Customers sit at even ids in the scenario graph (cust, rest pairs).
         let hot = vec![NodeId(0), NodeId(2), NodeId(6)];
@@ -738,7 +1250,7 @@ mod tests {
             }
         }
         // A predicate nobody mined for.
-        let vocab = engine.graph().vocab().clone();
+        let vocab = engine.vocab();
         let ghost = Predicate::new(
             gpar_pattern::NodeCond::Label(vocab.intern("cust")),
             vocab.intern("never_mined"),
@@ -756,5 +1268,270 @@ mod tests {
             engine.identify(pred, Some(vec![NodeId(0)])).unwrap();
         }
         drop(engine); // must join all workers without hanging
+    }
+
+    #[test]
+    fn warm_answers_are_identical_across_worker_counts() {
+        let (g, cat, pred) = scenario();
+        let run = |workers: usize| {
+            let engine = ServeEngine::new(
+                g.clone(),
+                &cat,
+                ServeConfig { workers, eta: 0.5, ..Default::default() },
+            );
+            let cold = engine.identify(pred, None).unwrap();
+            assert!(cold.warmed);
+            let hot = engine.identify(pred, None).unwrap();
+            assert!(!hot.warmed);
+            assert_eq!(cold.customers, hot.customers, "warm answer equals post-warm answer");
+            let top = engine.top_rules(pred, 10).unwrap();
+            (cold.customers, top[0].stats, top[0].confidence)
+        };
+        let baseline = run(1);
+        for workers in [2, 8] {
+            assert_eq!(run(workers), baseline, "workers = {workers}");
+        }
+    }
+
+    /// After an update, answers and stats must equal a fresh engine built
+    /// on the materialized (compacted) graph.
+    fn assert_matches_fresh_rebuild(engine: &ServeEngine, cat: &RuleCatalog, pred: Predicate) {
+        let compacted = {
+            let view = engine.shared.view.read().unwrap();
+            Arc::new(view.graph.compact())
+        };
+        let fresh = ServeEngine::new(
+            compacted,
+            cat,
+            ServeConfig { eta: engine.shared.cfg.eta, ..Default::default() },
+        );
+        assert_eq!(
+            engine.identify(pred, None).unwrap().customers,
+            fresh.identify(pred, None).unwrap().customers,
+            "incremental answers must equal a from-scratch rebuild"
+        );
+        let top_inc = engine.top_rules(pred, 16).unwrap();
+        let top_fresh = fresh.top_rules(pred, 16).unwrap();
+        assert_eq!(top_inc.len(), top_fresh.len());
+        for (a, b) in top_inc.iter().zip(&top_fresh) {
+            assert_eq!(a.stats, b.stats, "per-rule stats must be exact after update");
+            assert_eq!(a.confidence, b.confidence);
+            assert_eq!(a.active, b.active);
+        }
+    }
+
+    #[test]
+    fn edge_insert_updates_answers_like_a_rebuild() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let (like, visit) = (vocab.get("like").unwrap(), vocab.get("visit").unwrap());
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        engine.identify(pred, None).unwrap(); // warm
+
+        // Node 28 is an "unknown" cust (likes rest 29, no visit edge).
+        // Giving it a visit edge flips it to positive.
+        let report = engine
+            .apply_update(&GraphUpdate {
+                new_edges: vec![(NodeId(28), NodeId(29), visit)],
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(report.reevaluated > 0, "touched centers must be re-evaluated");
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+
+        // A brand-new customer pair arrives and likes a new restaurant.
+        let cust = vocab.get("cust").unwrap();
+        let rest = vocab.get("rest").unwrap();
+        let n = engine.graph_size().0 as u32;
+        let report = engine
+            .apply_update(&GraphUpdate {
+                new_nodes: vec![cust, rest],
+                new_edges: vec![(NodeId(n), NodeId(n + 1), like)],
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(report.assigned, vec![NodeId(n), NodeId(n + 1)]);
+        assert_eq!(report.added_centers, 1, "the new cust joins L");
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+        assert_eq!(engine.stats().updates, 2);
+    }
+
+    #[test]
+    fn relabels_move_centers_in_and_out() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let (cust, bar) = (vocab.get("cust").unwrap(), vocab.get("bar").unwrap());
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        let before = engine.identify(pred, None).unwrap().customers;
+        assert!(before.contains(&NodeId(0)));
+
+        // cust 0 stops being a customer-typed node entirely.
+        let report = engine
+            .apply_update(&GraphUpdate { relabels: vec![(NodeId(0), bar)], ..Default::default() })
+            .unwrap();
+        assert_eq!(report.removed_centers, 1);
+        assert!(!engine.identify(pred, None).unwrap().customers.contains(&NodeId(0)));
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+
+        // ...and comes back.
+        let report = engine
+            .apply_update(&GraphUpdate { relabels: vec![(NodeId(0), cust)], ..Default::default() })
+            .unwrap();
+        assert_eq!(report.added_centers, 1);
+        assert_eq!(engine.identify(pred, None).unwrap().customers, before);
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+    }
+
+    #[test]
+    fn fresh_label_reactivates_dormant_rules() {
+        let (g, cat0, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let cust = vocab.get("cust").unwrap();
+        let visit = vocab.get("visit").unwrap();
+        let club = vocab.intern("club"); // not yet in the graph
+        let goes = vocab.intern("goes_to"); // nor this edge label
+        let mut cat = cat0.clone();
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node(cust);
+        let y = pb.node(vocab.get("rest").unwrap());
+        let z = pb.node(club);
+        pb.edge(x, y, vocab.get("like").unwrap());
+        pb.edge(x, z, goes);
+        let clubby = Arc::new(Gpar::new(pb.designate(x, y).build().unwrap(), visit).unwrap());
+        cat.insert(clubby, ConfStats::default());
+
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.0, ..Default::default() });
+        {
+            let view = engine.shared.view.read().unwrap();
+            let grp = view.index.group(&pred).unwrap();
+            assert_eq!(grp.rules.len(), 1, "club rule starts signature-deactivated");
+            assert_eq!(grp.inactive_rules, 1);
+        }
+        engine.identify(pred, None).unwrap(); // warm the 1-rule group
+
+        // A club appears and cust 0 goes to it: the second rule activates.
+        let n = engine.graph_size().0 as u32;
+        let report = engine
+            .apply_update(&GraphUpdate {
+                new_nodes: vec![club],
+                new_edges: vec![(NodeId(0), NodeId(n), goes)],
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(report.rebuilt_groups, 1, "fresh labels must rebuild the group");
+        {
+            let view = engine.shared.view.read().unwrap();
+            let grp = view.index.group(&pred).unwrap();
+            assert_eq!(grp.rules.len(), 2);
+            assert_eq!(grp.inactive_rules, 0);
+        }
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+    }
+
+    #[test]
+    fn compact_preserves_answers_and_clears_the_overlay() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let visit = vocab.get("visit").unwrap();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        engine.identify(pred, None).unwrap();
+        engine
+            .apply_update(&GraphUpdate {
+                new_edges: vec![(NodeId(28), NodeId(29), visit)],
+                ..Default::default()
+            })
+            .unwrap();
+        let before = engine.identify(pred, None).unwrap().customers;
+        assert_ne!(engine.pending_deltas().1, 0);
+        engine.compact();
+        assert_eq!(engine.pending_deltas(), (0, 0));
+        assert_eq!(engine.identify(pred, None).unwrap().customers, before);
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+    }
+
+    #[test]
+    fn noop_update_touches_nothing() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let like = vocab.get("like").unwrap();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        engine.identify(pred, None).unwrap();
+        let filled = engine.stats().cache;
+        // Edge already present: fully deduplicated away.
+        let report = engine
+            .apply_update(&GraphUpdate {
+                new_edges: vec![(NodeId(0), NodeId(1), like)],
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(report.touched.is_empty());
+        assert!(report.evicted.is_empty());
+        assert_eq!(report.reevaluated, 0);
+        assert_eq!(engine.stats().updates, 0, "no-op batches are not counted");
+        assert_eq!(engine.stats().cache.invalidations, filled.invalidations);
+    }
+
+    #[test]
+    fn malformed_update_is_rejected_whole() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let like = vocab.get("like").unwrap();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        let before = engine.identify(pred, None).unwrap().customers;
+        // Valid new node, but an edge to a node that does not exist.
+        let err = engine
+            .apply_update(&GraphUpdate {
+                new_nodes: vec![vocab.get("cust").unwrap()],
+                new_edges: vec![(NodeId(0), NodeId(9999), like)],
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert_eq!(err, UpdateError::NodeOutOfRange(NodeId(9999)));
+        // Nothing was applied — not even the valid node — and the engine
+        // keeps serving (the view lock is not poisoned).
+        assert_eq!(engine.pending_deltas(), (0, 0));
+        assert_eq!(engine.stats().updates, 0);
+        assert_eq!(engine.identify(pred, None).unwrap().customers, before);
+    }
+
+    #[test]
+    fn invalidation_is_scoped_to_the_touched_ball() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let visit = vocab.get("visit").unwrap();
+        let engine = ServeEngine::new(
+            g.clone(),
+            &cat,
+            ServeConfig { eta: 0.5, cache_capacity: 1024, ..Default::default() },
+        );
+        engine.identify(pred, None).unwrap(); // warm: fills the cache with all evaluated sites
+        let cached_before = {
+            let cache = engine.shared.cache.lock().unwrap();
+            cache.len()
+        };
+        assert!(cached_before > 2);
+        // Touch the isolated pair (28, 29): only that component's centers
+        // can be invalidated.
+        let report = engine
+            .apply_update(&GraphUpdate {
+                new_edges: vec![(NodeId(28), NodeId(29), visit)],
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(report.touched, vec![NodeId(28), NodeId(29)]);
+        for &(c, _) in &report.evicted {
+            assert!(
+                c == NodeId(28) || c == NodeId(29),
+                "evicted {c} is outside the touched component"
+            );
+        }
+        assert!(report.reevaluated >= 1);
+        assert!(report.reevaluated <= 2, "only the touched component re-evaluates");
     }
 }

@@ -19,7 +19,7 @@
 use crate::catalog::RuleCatalog;
 use gpar_core::{Gpar, Predicate};
 use gpar_eip::{antecedent_sketches, derive_radius, MatchOpts, SharingPlan};
-use gpar_graph::{FxHashMap, Graph, Label, NodeId, Sketch};
+use gpar_graph::{FxHashMap, GraphView, Label, NodeId, Sketch};
 use gpar_pattern::{pattern_sketch, NodeCond, Pattern};
 use rustc_hash::FxHashMap as Map;
 use std::sync::Arc;
@@ -67,7 +67,7 @@ impl LabelSignature {
 }
 
 /// Everything precomputed for one consequent predicate.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PredicateGroup {
     /// The predicate `q(x, y)` this group serves.
     pub predicate: Predicate,
@@ -102,6 +102,9 @@ pub struct PredicateGroup {
     /// Per center (aligned with `centers`): its k-hop sketch, if sketch
     /// pruning is enabled.
     pub center_sketches: Option<Vec<Sketch>>,
+    /// Effective center-sketch depth (`min(cfg.sketch_k, d)`), kept so
+    /// incremental maintenance rebuilds sketches at the same depth.
+    pub sketch_k: u32,
 }
 
 impl PredicateGroup {
@@ -113,13 +116,64 @@ impl PredicateGroup {
             Some(sk) => self.q_sketches.iter().any(|q| sk[i].covers(q)),
         }
     }
+
+    /// Position of `c` in the sorted center list, if it is a candidate.
+    #[inline]
+    pub fn center_pos(&self, c: NodeId) -> Option<usize> {
+        self.centers.binary_search(&c).ok()
+    }
+
+    /// Admits `c` as a candidate center (no-op if already present),
+    /// keeping `centers` sorted and the sketch column aligned. Returns
+    /// whether the center was new.
+    pub fn add_center<G: GraphView + ?Sized>(&mut self, g: &G, c: NodeId) -> bool {
+        match self.centers.binary_search(&c) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.centers.insert(pos, c);
+                if let Some(sk) = &mut self.center_sketches {
+                    sk.insert(pos, Sketch::build(g, c, self.sketch_k));
+                }
+                true
+            }
+        }
+    }
+
+    /// Retires `c` as a candidate center (after a relabel away from `x`'s
+    /// condition). Returns whether it was present.
+    pub fn remove_center(&mut self, c: NodeId) -> bool {
+        match self.centers.binary_search(&c) {
+            Ok(pos) => {
+                self.centers.remove(pos);
+                if let Some(sk) = &mut self.center_sketches {
+                    sk.remove(pos);
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Recomputes the stored sketch of `c` against the current graph
+    /// (called for centers within the invalidation ball of an update).
+    pub fn refresh_center_sketch<G: GraphView + ?Sized>(&mut self, g: &G, c: NodeId) {
+        if let Ok(pos) = self.centers.binary_search(&c) {
+            let k = self.sketch_k;
+            if let Some(sk) = &mut self.center_sketches {
+                sk[pos] = Sketch::build(g, c, k);
+            }
+        }
+    }
 }
 
 /// The full index: one [`PredicateGroup`] per predicate in the catalog
-/// (with at least one rule valid for the graph).
-#[derive(Debug, Default)]
+/// with at least one rule valid for the graph; predicates whose every
+/// rule is unsatisfiable are parked as *dormant* and revisited when an
+/// update introduces a previously-absent label.
+#[derive(Debug, Default, Clone)]
 pub struct CandidateIndex {
-    groups: Map<Predicate, Arc<PredicateGroup>>,
+    groups: Map<Predicate, PredicateGroup>,
+    dormant: Vec<Predicate>,
 }
 
 impl CandidateIndex {
@@ -130,89 +184,38 @@ impl CandidateIndex {
     /// `d_override` pins the evaluation radius instead of deriving it;
     /// `eval_opts` is the engine's per-candidate matching configuration,
     /// used to pre-build the evaluator-side antecedent sketches.
-    pub fn build(
-        graph: &Graph,
+    pub fn build<G: GraphView + ?Sized>(
+        graph: &G,
         catalog: &RuleCatalog,
         sketch_k: u32,
         d_override: Option<u32>,
         eval_opts: &MatchOpts,
     ) -> Self {
-        let node_hist = graph.node_label_histogram();
-        let edge_hist = graph.edge_label_histogram();
-        let mut groups = Map::default();
+        let node_hist = graph.node_histogram();
+        let edge_hist = graph.edge_histogram();
+        let mut idx = Self::default();
         for pred in catalog.predicates() {
-            let mut entry_indices = Vec::new();
-            let mut rules = Vec::new();
-            let mut rule_arcs = Vec::new();
-            let mut inactive = 0usize;
-            for &i in catalog.indices_for(pred) {
-                let e = &catalog.entries()[i];
-                let sig = LabelSignature::of_pattern(e.rule.antecedent());
-                if sig.satisfiable_in(&node_hist, &edge_hist) {
-                    entry_indices.push(i);
-                    rules.push((*e.rule).clone());
-                    rule_arcs.push(e.rule.clone());
-                } else {
-                    inactive += 1;
+            match build_group(
+                graph, catalog, pred, sketch_k, d_override, eval_opts, &node_hist, &edge_hist,
+            ) {
+                Some(g) => {
+                    idx.groups.insert(*pred, g);
                 }
+                None => idx.dormant.push(*pred),
             }
-            if rules.is_empty() {
-                continue;
-            }
-            let plan = SharingPlan::build(&rules);
-            let d = d_override.unwrap_or_else(|| derive_radius(&rules));
-            let centers: Vec<NodeId> = match pred.x_cond {
-                NodeCond::Label(l) => graph.nodes_with_label(l).collect(),
-                NodeCond::Any => graph.nodes().collect(),
-            };
-            debug_assert!(centers.is_sorted(), "centers must stay binary-searchable");
-            let eval_sketches = antecedent_sketches(&rules, eval_opts);
-            // Index-side sketch depth must not exceed the evaluation
-            // radius: center sketches are built on the full graph, site
-            // evaluation sees the d-ball, and the two agree exactly on
-            // the first min(k, d) hops.
-            let k = sketch_k.min(d);
-            let (q_sketches, center_sketches) = if k > 0 {
-                let eval_depth = eval_sketches.first().map_or(0, |s| s.depth() as u32);
-                let qs = if eval_depth == k {
-                    // Same depth: the prefilter shares the evaluator's set.
-                    eval_sketches.clone()
-                } else {
-                    Arc::new(
-                        rules
-                            .iter()
-                            .map(|r| pattern_sketch(r.antecedent(), r.antecedent().x(), k))
-                            .collect::<Vec<Sketch>>(),
-                    )
-                };
-                let cs: Vec<Sketch> = centers.iter().map(|&c| Sketch::build(graph, c, k)).collect();
-                (qs, Some(cs))
-            } else {
-                (Arc::new(Vec::new()), None)
-            };
-            groups.insert(
-                *pred,
-                Arc::new(PredicateGroup {
-                    predicate: *pred,
-                    entry_indices,
-                    rules,
-                    rule_arcs,
-                    inactive_rules: inactive,
-                    plan,
-                    d,
-                    centers,
-                    q_sketches,
-                    eval_sketches,
-                    center_sketches,
-                }),
-            );
         }
-        Self { groups }
+        idx
     }
 
     /// The group serving `pred`, if any rule pertains to it.
-    pub fn group(&self, pred: &Predicate) -> Option<&Arc<PredicateGroup>> {
+    pub fn group(&self, pred: &Predicate) -> Option<&PredicateGroup> {
         self.groups.get(pred)
+    }
+
+    /// Mutable access to the group serving `pred` (incremental
+    /// maintenance under the engine's update lock).
+    pub fn group_mut(&mut self, pred: &Predicate) -> Option<&mut PredicateGroup> {
+        self.groups.get_mut(pred)
     }
 
     /// Number of predicate groups.
@@ -226,16 +229,138 @@ impl CandidateIndex {
     }
 
     /// Iterator over the groups.
-    pub fn groups(&self) -> impl Iterator<Item = &Arc<PredicateGroup>> {
+    pub fn groups(&self) -> impl Iterator<Item = &PredicateGroup> {
         self.groups.values()
     }
+
+    /// Predicates cataloged but currently unservable (every rule's label
+    /// signature is unsatisfiable in the graph).
+    pub fn dormant(&self) -> &[Predicate] {
+        &self.dormant
+    }
+
+    /// Rebuilds one predicate's group from scratch against the current
+    /// graph (the rule-activation slow path: an update introduced a label
+    /// that may satisfy a previously-deactivated rule). Returns `true`
+    /// when the set of active rules actually changed — callers must then
+    /// drop any warmed state for the predicate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild_group<G: GraphView + ?Sized>(
+        &mut self,
+        graph: &G,
+        catalog: &RuleCatalog,
+        pred: &Predicate,
+        sketch_k: u32,
+        d_override: Option<u32>,
+        eval_opts: &MatchOpts,
+        node_hist: &FxHashMap<Label, u64>,
+        edge_hist: &FxHashMap<Label, u64>,
+    ) -> bool {
+        let before: Option<Vec<usize>> = self.groups.get(pred).map(|g| g.entry_indices.clone());
+        let rebuilt = build_group(
+            graph, catalog, pred, sketch_k, d_override, eval_opts, node_hist, edge_hist,
+        );
+        let after: Option<Vec<usize>> = rebuilt.as_ref().map(|g| g.entry_indices.clone());
+        if before == after {
+            return false; // activation unchanged; keep the maintained group
+        }
+        match rebuilt {
+            Some(g) => {
+                self.dormant.retain(|p| p != pred);
+                self.groups.insert(*pred, g);
+            }
+            None => {
+                if self.groups.remove(pred).is_some() || !self.dormant.contains(pred) {
+                    self.dormant.push(*pred);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Builds one predicate's group, or `None` when no rule is satisfiable.
+#[allow(clippy::too_many_arguments)]
+fn build_group<G: GraphView + ?Sized>(
+    graph: &G,
+    catalog: &RuleCatalog,
+    pred: &Predicate,
+    sketch_k: u32,
+    d_override: Option<u32>,
+    eval_opts: &MatchOpts,
+    node_hist: &FxHashMap<Label, u64>,
+    edge_hist: &FxHashMap<Label, u64>,
+) -> Option<PredicateGroup> {
+    let mut entry_indices = Vec::new();
+    let mut rules = Vec::new();
+    let mut rule_arcs = Vec::new();
+    let mut inactive = 0usize;
+    for &i in catalog.indices_for(pred) {
+        let e = &catalog.entries()[i];
+        let sig = LabelSignature::of_pattern(e.rule.antecedent());
+        if sig.satisfiable_in(node_hist, edge_hist) {
+            entry_indices.push(i);
+            rules.push((*e.rule).clone());
+            rule_arcs.push(e.rule.clone());
+        } else {
+            inactive += 1;
+        }
+    }
+    if rules.is_empty() {
+        return None;
+    }
+    let plan = SharingPlan::build(&rules);
+    let d = d_override.unwrap_or_else(|| derive_radius(&rules));
+    let centers: Vec<NodeId> = match pred.x_cond {
+        NodeCond::Label(l) => graph.label_members(l),
+        NodeCond::Any => graph.nodes().collect(),
+    };
+    debug_assert!(centers.is_sorted(), "centers must stay binary-searchable");
+    let eval_sketches = antecedent_sketches(&rules, eval_opts);
+    // Index-side sketch depth must not exceed the evaluation
+    // radius: center sketches are built on the full graph, site
+    // evaluation sees the d-ball, and the two agree exactly on
+    // the first min(k, d) hops.
+    let k = sketch_k.min(d);
+    let (q_sketches, center_sketches) = if k > 0 {
+        let eval_depth = eval_sketches.first().map_or(0, |s| s.depth() as u32);
+        let qs = if eval_depth == k {
+            // Same depth: the prefilter shares the evaluator's set.
+            eval_sketches.clone()
+        } else {
+            Arc::new(
+                rules
+                    .iter()
+                    .map(|r| pattern_sketch(r.antecedent(), r.antecedent().x(), k))
+                    .collect::<Vec<Sketch>>(),
+            )
+        };
+        let cs: Vec<Sketch> = centers.iter().map(|&c| Sketch::build(graph, c, k)).collect();
+        (qs, Some(cs))
+    } else {
+        (Arc::new(Vec::new()), None)
+    };
+    Some(PredicateGroup {
+        predicate: *pred,
+        entry_indices,
+        rules,
+        rule_arcs,
+        inactive_rules: inactive,
+        plan,
+        d,
+        centers,
+        q_sketches,
+        eval_sketches,
+        center_sketches,
+        sketch_k: k,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gpar_core::ConfStats;
-    use gpar_graph::{GraphBuilder, Vocab};
+    use gpar_graph::{Graph, GraphBuilder, Vocab};
     use gpar_pattern::PatternBuilder;
 
     fn test_opts() -> MatchOpts {

@@ -23,12 +23,18 @@
 //!   [`identify`](ServeEngine::identify) /
 //!   [`top_rules`](ServeEngine::top_rules) requests concurrently, with a
 //!   shared LRU cache ([`cache::LruCache`]) of per-center d-ball
-//!   extractions so hot centers are never re-extracted.
+//!   extractions so hot centers are never re-extracted — and **live
+//!   updates**: [`ServeEngine::apply_update`] applies an insert/relabel
+//!   batch ([`GraphUpdate`]) to a [`gpar_graph::DeltaGraph`] overlay,
+//!   invalidating only the d-balls an update can reach and incrementally
+//!   repairing index and warm state; [`ServeEngine::compact`] folds the
+//!   overlay back into CSR form.
 //!
 //! The engine's answers are **exactly** those of a direct
-//! [`gpar_eip::identify`] run on the same graph (the warm-up pass
-//! assembles the same global confidence counts); see the consistency
-//! contract in [`engine`].
+//! [`gpar_eip::identify`] run on the same (current) graph — the warm-up
+//! pass assembles the same global confidence counts, and updates patch
+//! them to what a from-scratch rebuild would compute; see the
+//! consistency contract in [`engine`].
 //!
 //! ```
 //! use gpar_serve::{RuleCatalog, ServeConfig, ServeEngine};
@@ -75,5 +81,7 @@ pub use cache::{CacheStats, LruCache};
 pub use catalog::{CatalogEntry, CatalogError, RuleCatalog, CATALOG_FORMAT_VERSION, CATALOG_MAGIC};
 pub use engine::{
     EngineStats, IdentifyRequest, IdentifyResponse, QueryError, RuleInfo, ServeConfig, ServeEngine,
+    UpdateError, UpdateReport,
 };
+pub use gpar_graph::GraphUpdate;
 pub use index::{CandidateIndex, LabelSignature, PredicateGroup};

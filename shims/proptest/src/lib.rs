@@ -183,6 +183,17 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// A config running `PROPTEST_CASES` cases when that environment
+    /// variable is set (the CI deep-fuzz knob), else `default_cases`.
+    pub fn env_or(default_cases: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default_cases);
+        Self { cases }
+    }
 }
 
 /// Asserts a condition inside a property test.
@@ -293,6 +304,17 @@ mod tests {
         #[test]
         fn prop_map_applies(y in (1u32..4).prop_map(|v| v * 10)) {
             prop_assert!(y == 10 || y == 20 || y == 30, "{y}");
+        }
+    }
+
+    #[test]
+    fn env_or_reads_the_deep_fuzz_knob() {
+        // CI's delta-fuzz leg sets PROPTEST_CASES; everywhere else the
+        // fallback applies. Accept both so the test is env-agnostic.
+        let c = ProptestConfig::env_or(17);
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+            Some(n) if n > 0 => assert_eq!(c.cases, n),
+            _ => assert_eq!(c.cases, 17),
         }
     }
 

@@ -1,0 +1,206 @@
+//! Differential correctness of the delta-graph serving path: after any
+//! random sequence of update batches (edge inserts, new nodes, relabels),
+//! an incrementally-maintained [`ServeEngine`] must answer **exactly**
+//! like a fresh engine built from scratch on the materialized graph —
+//! same customers, same per-rule `ConfStats`/confidence/η-gating — across
+//! worker counts {1, 2, 8} (plus any `GPAR_WORKERS` override), and
+//! compaction must change nothing.
+//!
+//! The default case count is deliberately small (the suite builds many
+//! engines per case); CI's delta-fuzz leg raises it via `PROPTEST_CASES`.
+
+use gpar::core::{ConfStats, Gpar, Predicate};
+use gpar::datagen::{generate_rules, synthetic, RuleGenConfig, SyntheticConfig};
+use gpar::graph::{Graph, GraphBuilder, GraphUpdate, Label, NodeId};
+use gpar::serve::{RuleCatalog, ServeConfig, ServeEngine};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The most frequent edge triple of a synthetic graph, as its predicate.
+fn predicate_of(g: &Graph) -> Option<Predicate> {
+    let top = g.frequent_edge_patterns(1);
+    let ((sl, el, dl), _) = top.first()?;
+    Some(Predicate::new(
+        gpar::pattern::NodeCond::Label(*sl),
+        *el,
+        gpar::pattern::NodeCond::Label(*dl),
+    ))
+}
+
+/// Worker counts to compare: {1, 2, 8} plus any `GPAR_WORKERS` override.
+fn worker_counts() -> Vec<usize> {
+    let mut w = vec![1, 2, 8];
+    if let Some(n) = gpar::exec::env_workers() {
+        if !w.contains(&n) {
+            w.push(n);
+        }
+    }
+    w
+}
+
+/// An abstract update batch: indices are resolved modulo the live node /
+/// label universe at apply time, so every generated batch is valid.
+type RawBatch = (Vec<u32>, Vec<(u32, u32, u32)>, Vec<(u32, u32)>);
+
+/// The engine-independent ground truth: node labels + edge set, rebuilt
+/// into a CSR graph after every batch.
+struct Materialized {
+    node_labels: Vec<Label>,
+    edges: Vec<(NodeId, NodeId, Label)>,
+    vocab: Arc<gpar::graph::Vocab>,
+}
+
+impl Materialized {
+    fn of(g: &Graph) -> Self {
+        let node_labels = (0..g.node_count() as u32).map(|v| g.node_label(NodeId(v))).collect();
+        let mut edges = Vec::new();
+        for v in 0..g.node_count() as u32 {
+            for e in g.out_edges(NodeId(v)) {
+                edges.push((NodeId(v), e.node, e.label));
+            }
+        }
+        Self { node_labels, edges, vocab: g.vocab().clone() }
+    }
+
+    /// Resolves a raw batch against the current universe into a concrete
+    /// [`GraphUpdate`], and applies it to the ground truth.
+    fn resolve_and_apply(&mut self, raw: &RawBatch, labels: &[Label]) -> GraphUpdate {
+        let (raw_nodes, raw_edges, raw_relabels) = raw;
+        let pick = |i: u32| labels[i as usize % labels.len()];
+        let new_nodes: Vec<Label> = raw_nodes.iter().map(|&i| pick(i)).collect();
+        let n_after = self.node_labels.len() + new_nodes.len();
+        let resolve = |i: u32| NodeId((i as usize % n_after) as u32);
+        let new_edges: Vec<(NodeId, NodeId, Label)> =
+            raw_edges.iter().map(|&(s, d, l)| (resolve(s), resolve(d), pick(l))).collect();
+        let relabels: Vec<(NodeId, Label)> =
+            raw_relabels.iter().map(|&(v, l)| (resolve(v), pick(l))).collect();
+
+        self.node_labels.extend(&new_nodes);
+        for &(v, l) in &relabels {
+            self.node_labels[v.index()] = l;
+        }
+        self.edges.extend(&new_edges);
+        GraphUpdate { new_nodes, new_edges, relabels }
+    }
+
+    fn build(&self) -> Arc<Graph> {
+        let mut b = GraphBuilder::new(self.vocab.clone());
+        for &l in &self.node_labels {
+            b.add_node(l);
+        }
+        for &(s, d, l) in &self.edges {
+            b.add_edge(s, d, l);
+        }
+        Arc::new(b.build())
+    }
+}
+
+/// The comparable answer surface of one engine for one predicate.
+/// `None` means the predicate is unservable (every rule deactivated — a
+/// relabel can starve a rule's demanded label out of the graph), which a
+/// fresh rebuild must agree on too.
+type AnswerSurface = Option<(Vec<NodeId>, Vec<NodeId>, Vec<(ConfStats, u64, bool)>)>;
+
+fn surface(engine: &ServeEngine, pred: Predicate, subset: &[NodeId]) -> AnswerSurface {
+    let full = engine.identify(pred, None).ok()?.customers;
+    let sub = engine.identify(pred, Some(subset.to_vec())).expect("subset served").customers;
+    let mut rules: Vec<(ConfStats, u64, bool)> = engine
+        .top_rules(pred, usize::MAX)
+        .expect("top_rules served")
+        .into_iter()
+        .map(|r| (r.stats, r.confidence.ranking_value().to_bits(), r.active))
+        .collect();
+    // Order-insensitive: rank ties may order differently across engines.
+    rules.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.supp_r.cmp(&b.0.supp_r)));
+    Some((full, sub, rules))
+}
+
+/// The label universe updates draw from: every label the base graph uses
+/// plus two fresh ones (exercising the rule re-activation scan).
+fn label_universe(g: &Graph) -> Vec<Label> {
+    let mut labels: Vec<Label> = g.node_label_histogram().keys().copied().collect();
+    labels.extend(g.edge_label_histogram().keys().copied());
+    labels.sort_unstable();
+    labels.dedup();
+    labels.push(g.vocab().intern("delta_fresh_node"));
+    labels.push(g.vocab().intern("delta_fresh_edge"));
+    labels
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::env_or(5))]
+
+    #[test]
+    fn incremental_answers_equal_fresh_rebuild(
+        seed in 0u64..1_000,
+        nodes in 60usize..140,
+        rules in 2usize..4,
+        batches in collection::vec(
+            (
+                collection::vec(0u32..64, 0..3),          // new nodes
+                collection::vec((0u32..4096, 0u32..4096, 0u32..64), 0..6), // new edges
+                collection::vec((0u32..4096, 0u32..64), 0..3),             // relabels
+            ),
+            1..4,
+        ),
+    ) {
+        let g = synthetic(&SyntheticConfig::sized(nodes, nodes * 2, seed));
+        let Some(pred) = predicate_of(&g) else { return };
+        let sigma: Vec<Gpar> = generate_rules(&g, &pred, &RuleGenConfig {
+            count: rules,
+            pattern_nodes: 4,
+            pattern_edges: 5,
+            max_radius: 2,
+            seed,
+        });
+        if sigma.is_empty() {
+            return;
+        }
+        let mut catalog = RuleCatalog::new(g.vocab().clone());
+        for r in &sigma {
+            catalog.insert(Arc::new(r.clone()), ConfStats::default());
+        }
+        let labels = label_universe(&g);
+        let base = Arc::new(g.clone());
+        let mut truth = Materialized::of(&g);
+
+        let cfg = |workers| ServeConfig { workers, eta: 0.5, ..Default::default() };
+        let engines: Vec<ServeEngine> = worker_counts()
+            .into_iter()
+            .map(|w| ServeEngine::new(base.clone(), &catalog, cfg(w)))
+            .collect();
+        // Warm half the engines up front so updates exercise the
+        // incremental warm-state repair; the rest stay cold and re-warm
+        // over the overlay.
+        for e in engines.iter().step_by(2) {
+            e.identify(pred, None).expect("warm");
+        }
+
+        for raw in &batches {
+            let update = truth.resolve_and_apply(raw, &labels);
+            for e in &engines {
+                e.apply_update(&update).expect("update batches are valid by construction");
+            }
+            let fresh = ServeEngine::new(truth.build(), &catalog, cfg(2));
+            let subset: Vec<NodeId> =
+                (0..truth.node_labels.len() as u32).step_by(3).map(NodeId).collect();
+            let expect = surface(&fresh, pred, &subset);
+            for (e, w) in engines.iter().zip(worker_counts()) {
+                prop_assert_eq!(
+                    &surface(e, pred, &subset),
+                    &expect,
+                    "incremental (workers = {}) diverged from fresh rebuild",
+                    w
+                );
+            }
+        }
+
+        // Compaction folds the overlay into CSR without changing answers.
+        let subset: Vec<NodeId> =
+            (0..truth.node_labels.len() as u32).step_by(3).map(NodeId).collect();
+        let before = surface(&engines[0], pred, &subset);
+        engines[0].compact();
+        prop_assert_eq!(engines[0].pending_deltas(), (0, 0));
+        prop_assert_eq!(&surface(&engines[0], pred, &subset), &before, "compact changed answers");
+    }
+}

@@ -1,0 +1,178 @@
+//! The invalidation set is *sound* and *tight*.
+//!
+//! Sound: any center whose d-ball differs between the pre- and
+//! post-update graph (the canary: an independently-computed d-ball
+//! fingerprint diff) lies within undirected distance `d` of a touched
+//! node, so its cache entry — if present — was evicted and its membership
+//! re-evaluated. Tight: every key the engine actually evicted is within
+//! distance `d` of a touched node; nothing outside the ball is dropped.
+//!
+//! `d` is pinned (`ServeConfig::d = Some(D)`) so the externally-checked
+//! radius and the engine's are the same by construction.
+
+use gpar::core::{ConfStats, Gpar, Predicate};
+use gpar::datagen::{generate_rules, synthetic, RuleGenConfig, SyntheticConfig};
+use gpar::graph::{ball, multi_source_distances, Graph, GraphBuilder, GraphUpdate, Label, NodeId};
+use gpar::serve::{RuleCatalog, ServeConfig, ServeEngine};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The evaluation radius this suite pins everywhere.
+const D: u32 = 2;
+
+fn predicate_of(g: &Graph) -> Option<Predicate> {
+    let top = g.frequent_edge_patterns(1);
+    let ((sl, el, dl), _) = top.first()?;
+    Some(Predicate::new(
+        gpar::pattern::NodeCond::Label(*sl),
+        *el,
+        gpar::pattern::NodeCond::Label(*dl),
+    ))
+}
+
+/// An order-independent fingerprint of `G_d(c)`: the ball's nodes, their
+/// labels, and the induced edges, all in global ids. Two equal
+/// fingerprints ⇒ identical extracted sites ⇒ identical evaluation.
+type BallFingerprint = (Vec<(NodeId, Label)>, Vec<(NodeId, NodeId, Label)>);
+
+fn ball_fingerprint(g: &Graph, c: NodeId, d: u32) -> BallFingerprint {
+    let nodes = ball(g, c, d);
+    let labeled: Vec<(NodeId, Label)> = nodes.iter().map(|&v| (v, g.node_label(v))).collect();
+    let mut edges = Vec::new();
+    for &v in &nodes {
+        for e in g.out_edges(v) {
+            if nodes.binary_search(&e.node).is_ok() {
+                edges.push((v, e.node, e.label));
+            }
+        }
+    }
+    (labeled, edges)
+}
+
+/// Materializes `g` + `update` through the independent builder path.
+fn materialize(g: &Graph, update: &GraphUpdate) -> Arc<Graph> {
+    let mut b = GraphBuilder::new(g.vocab().clone());
+    let mut labels: Vec<Label> =
+        (0..g.node_count() as u32).map(|v| g.node_label(NodeId(v))).collect();
+    labels.extend(&update.new_nodes);
+    for &(v, l) in &update.relabels {
+        labels[v.index()] = l;
+    }
+    for &l in &labels {
+        b.add_node(l);
+    }
+    for v in 0..g.node_count() as u32 {
+        for e in g.out_edges(NodeId(v)) {
+            b.add_edge(NodeId(v), e.node, e.label);
+        }
+    }
+    for &(s, d, l) in &update.new_edges {
+        b.add_edge(s, d, l);
+    }
+    Arc::new(b.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::env_or(8))]
+
+    #[test]
+    fn invalidation_is_sound_and_tight(
+        seed in 0u64..1_000,
+        nodes in 60usize..140,
+        raw_nodes in collection::vec(0u32..64, 0..3),
+        raw_edges in collection::vec((0u32..4096, 0u32..4096, 0u32..64), 1..6),
+        raw_relabels in collection::vec((0u32..4096, 0u32..64), 0..3),
+    ) {
+        let g = synthetic(&SyntheticConfig::sized(nodes, nodes * 2, seed));
+        let Some(pred) = predicate_of(&g) else { return };
+        let sigma: Vec<Gpar> = generate_rules(&g, &pred, &RuleGenConfig {
+            count: 2,
+            pattern_nodes: 4,
+            pattern_edges: 5,
+            max_radius: D,
+            seed,
+        });
+        if sigma.is_empty() {
+            return;
+        }
+        let mut catalog = RuleCatalog::new(g.vocab().clone());
+        for r in &sigma {
+            catalog.insert(Arc::new(r.clone()), ConfStats::default());
+        }
+
+        // Resolve the abstract update against the graph's universe.
+        let mut labels: Vec<Label> = g.node_label_histogram().keys().copied().collect();
+        labels.extend(g.edge_label_histogram().keys().copied());
+        labels.sort_unstable();
+        labels.dedup();
+        let pick = |i: u32| labels[i as usize % labels.len()];
+        let n_after = g.node_count() + raw_nodes.len();
+        let resolve = |i: u32| NodeId((i as usize % n_after) as u32);
+        let update = GraphUpdate {
+            new_nodes: raw_nodes.iter().map(|&i| pick(i)).collect(),
+            new_edges: raw_edges.iter().map(|&(s, d, l)| (resolve(s), resolve(d), pick(l))).collect(),
+            relabels: raw_relabels.iter().map(|&(v, l)| (resolve(v), pick(l))).collect(),
+        };
+
+        let pre = Arc::new(g.clone());
+        let engine = ServeEngine::new(
+            pre.clone(),
+            &catalog,
+            ServeConfig { workers: 2, eta: 0.5, d: Some(D), cache_capacity: 1 << 14, ..Default::default() },
+        );
+        engine.identify(pred, None).expect("warm fills the d-ball cache");
+
+        let report = engine.apply_update(&update).expect("update is valid by construction");
+        let post = materialize(&g, &update);
+        let dist = multi_source_distances(&*post, &report.touched, D);
+
+        // Tight: every evicted key is within distance d of a touched node.
+        for &(c, dk) in &report.evicted {
+            prop_assert_eq!(dk, D, "engine caches at the pinned radius");
+            prop_assert!(
+                dist.get(&c).is_some_and(|&dd| dd <= dk),
+                "evicted ({}, {}) is outside the invalidation ball",
+                c, dk
+            );
+        }
+
+        // Sound (the canary): diff every center's pre/post d-ball; any
+        // divergence must lie inside the ball (⇒ evicted + re-evaluated),
+        // and everything outside the ball must be bit-identical (the
+        // locality theorem the whole design rests on).
+        let x = pred.x_cond;
+        for v in 0..post.node_count() as u32 {
+            let c = NodeId(v);
+            if !x.matches(post.node_label(c)) {
+                continue;
+            }
+            let in_ball = dist.get(&c).is_some_and(|&dd| dd <= D);
+            if c.index() >= pre.node_count() {
+                prop_assert!(in_ball, "new center {} must be invalidated", c);
+                continue;
+            }
+            // Contrapositive of the locality theorem: a changed d-ball
+            // implies membership in the invalidation ball — equivalently,
+            // everything outside the ball is bit-identical, so un-evicted
+            // cache entries can never be stale.
+            let changed = ball_fingerprint(&pre, c, D) != ball_fingerprint(&post, c, D);
+            if changed {
+                prop_assert!(in_ball, "center {} has a changed d-ball but was not invalidated", c);
+            }
+        }
+
+        // And the answers stay exact (the end-to-end consequence).
+        let fresh = ServeEngine::new(
+            post.clone(),
+            &catalog,
+            ServeConfig { workers: 2, eta: 0.5, d: Some(D), ..Default::default() },
+        );
+        // (`Err(UnknownPredicate)` is legitimate — a relabel can starve a
+        // demanded label out of the graph — but both sides must agree.)
+        prop_assert_eq!(
+            engine.identify(pred, None).map(|r| r.customers),
+            fresh.identify(pred, None).map(|r| r.customers),
+            "stale answer after invalidation"
+        );
+    }
+}
