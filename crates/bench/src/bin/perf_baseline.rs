@@ -278,6 +278,96 @@ fn main() {
             println!("  {name:<44} {median_ns:>12} ns/op");
             scenarios.push(Scenario { name, median_ns, ops: 1 });
         }
+        // --- serve: deletions (the non-monotone half of incrementality). ---
+        {
+            // serve/update/delete: the deletion mirror of
+            // serve/update/small — that scenario measures "a low-degree
+            // node joins", this one measures "a recently-joined low-degree
+            // node leaves" (node removal: edge cascade + tombstone-free
+            // overlay cleanup + union-ball invalidation + ledger
+            // subtraction) with a re-query per sample. The departures are
+            // staged before timing, each attached to a *distinct*
+            // low-degree anchor so every sample invalidates a comparably
+            // tiny union ball. Deleting an organic social edge instead
+            // touches a ≥ degree-8 endpoint here and re-evaluates its
+            // whole ball — that honest cost is what serve/update/churn
+            // records.
+            let engine = ServeEngine::new(
+                graph.clone(),
+                &catalog,
+                ServeConfig { workers: 2, eta: 1.5, ..Default::default() },
+            );
+            engine.identify(serve_pred, None).expect("warm");
+            let mut anchors: Vec<gpar_graph::NodeId> = sg.graph.nodes().collect();
+            anchors.sort_by_key(|&v| sg.graph.degree(v));
+            anchors.truncate(samples + 2);
+            let doomed: Vec<gpar_graph::NodeId> = anchors
+                .iter()
+                .map(|&a| {
+                    let n = gpar_graph::NodeId(engine.graph_size().0 as u32);
+                    engine
+                        .apply_update(&GraphUpdate {
+                            new_nodes: vec![x_label],
+                            new_edges: vec![(n, a, serve_pred.label)],
+                            ..Default::default()
+                        })
+                        .expect("valid staging insert");
+                    n
+                })
+                .collect();
+            let mut next = 0usize;
+            let median_ns = measure(samples, 1, || {
+                let w = doomed[next % doomed.len()];
+                next += 1;
+                engine
+                    .apply_update(&GraphUpdate { del_nodes: vec![w], ..Default::default() })
+                    .expect("valid removal");
+                std::hint::black_box(
+                    engine.identify(serve_pred, Some(hot.clone())).expect("served").customers.len(),
+                );
+            });
+            let name = "serve/update/delete";
+            println!("  {name:<44} {median_ns:>12} ns/op");
+            scenarios.push(Scenario { name, median_ns, ops: 1 });
+        }
+        {
+            // serve/update/churn: steady-state delete + reinsert of the
+            // same edge (tombstone, then un-tombstone) with a re-query
+            // after each batch — the write-heavy worst case where every
+            // sample pays two union-ball invalidations.
+            let engine = ServeEngine::new(
+                graph.clone(),
+                &catalog,
+                ServeConfig { workers: 2, eta: 1.5, ..Default::default() },
+            );
+            engine.identify(serve_pred, None).expect("warm");
+            // The most local edge there is (smallest summed endpoint
+            // degree): churn measures the steady-state batch machinery,
+            // not ball size.
+            let e = sg
+                .graph
+                .nodes()
+                .flat_map(|v| sg.graph.out_edges(v).iter().map(move |e| (v, e.node, e.label)))
+                .min_by_key(|&(s, d, _)| sg.graph.degree(s) + sg.graph.degree(d))
+                .expect("graph has edges");
+            let median_ns = measure(samples, 2, || {
+                engine
+                    .apply_update(&GraphUpdate { del_edges: vec![e], ..Default::default() })
+                    .expect("valid deletion");
+                std::hint::black_box(
+                    engine.identify(serve_pred, Some(hot.clone())).expect("served").customers.len(),
+                );
+                engine
+                    .apply_update(&GraphUpdate { new_edges: vec![e], ..Default::default() })
+                    .expect("valid reinsert");
+                std::hint::black_box(
+                    engine.identify(serve_pred, Some(hot.clone())).expect("served").customers.len(),
+                );
+            });
+            let name = "serve/update/churn";
+            println!("  {name:<44} {median_ns:>12} ns/op");
+            scenarios.push(Scenario { name, median_ns, ops: 2 });
+        }
         {
             // Full-rebuild baseline for the same mutation + re-query: a
             // static serving stack re-freezes the CSR, reconstructs the

@@ -1,30 +1,47 @@
-//! The delta-graph overlay: a frozen base CSR plus append-only insert
+//! The delta-graph overlay: a frozen base CSR plus append-only mutation
 //! logs, read through the same [`GraphView`] surface as the base.
 //!
 //! Live serving cannot afford a full CSR rebuild per edge insert: the
 //! paper's locality property (§4.2) says a radius-`d` evaluation at `v_x`
-//! only ever reads `G_d(v_x)`, so an insert touching `(u, v)` can only
+//! only ever reads `G_d(v_x)`, so an update touching `(u, v)` can only
 //! change answers whose d-ball reaches `u` or `v` — everything else,
 //! including its cached extraction, stays valid. [`DeltaGraph`] is the
 //! substrate for that: updates append to per-node overlay runs in
 //! `O(log)`-probe-compatible `(label, endpoint)` order, reads merge base
 //! and overlay lazily, and [`DeltaGraph::compact`] folds the logs back
-//! into a fresh CSR (node ids are append-only and never change, so
-//! compaction invalidates nothing).
+//! into a fresh CSR.
 //!
-//! Supported mutations are *monotone inserts plus relabels*: new nodes,
-//! new edges (possibly to new nodes), node label changes. Deletions are
-//! out of scope (see ROADMAP).
+//! Supported mutations are *inserts, relabels and deletions*: new nodes,
+//! new edges (possibly to new nodes), node label changes, edge deletions
+//! and node removals. Deleted base edges are **tombstoned** — recorded in
+//! per-node tombstone runs that the [`EdgeView`] merge subtracts — and a
+//! removed node drops out of [`GraphView::nodes`], label membership,
+//! histograms and every adjacency (its incident edges are cascaded into
+//! tombstones / removed from the insert log), while its id stays a dead
+//! slot until compaction. Node ids are therefore stable across any update
+//! sequence; only [`DeltaGraph::compact`] re-densifies them, returning a
+//! [`NodeRemap`] so id-keyed state (caches, candidate indexes, ledgers)
+//! can follow.
+//!
+//! ## Batch semantics
+//!
+//! Within one [`GraphUpdate`], operations apply in this order: node
+//! appends, relabels, edge deletions, node removals (cascading their
+//! incident edges), edge insertions. Hence a batch that deletes and
+//! re-inserts the same edge nets to the edge being **present**
+//! (delete-then-reinsert). Deletions may only reference pre-batch nodes;
+//! a batch may not relabel or attach edges to a node that is already
+//! removed or that the batch itself removes ([`UpdateInvalid`]).
 
 use crate::builder::build_label_index;
 use crate::graph::{Edge, Graph, NodeId};
 use crate::label::{Label, Vocab};
 use crate::view::{EdgeView, GraphView};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
 /// One batch of graph mutations, applied atomically by
-/// [`DeltaGraph::apply`].
+/// [`DeltaGraph::apply`] (see the module docs for intra-batch ordering).
 #[derive(Debug, Clone, Default)]
 pub struct GraphUpdate {
     /// Labels of nodes to append; ids are assigned densely in order,
@@ -35,31 +52,141 @@ pub struct GraphUpdate {
     pub new_edges: Vec<(NodeId, NodeId, Label)>,
     /// `(node, new_label)` label changes. No-op relabels are ignored.
     pub relabels: Vec<(NodeId, Label)>,
+    /// Directed labeled edges to delete. Edges not present (including
+    /// edges of already-removed nodes) are ignored. Applied *before*
+    /// `new_edges`, so delete + insert of the same edge in one batch nets
+    /// to the edge being present.
+    pub del_edges: Vec<(NodeId, NodeId, Label)>,
+    /// Nodes to remove. All incident edges are deleted with them;
+    /// already-removed nodes are ignored. May only reference pre-batch
+    /// node ids.
+    pub del_nodes: Vec<NodeId>,
 }
 
 impl GraphUpdate {
     /// Whether the update carries no mutations at all.
     pub fn is_empty(&self) -> bool {
-        self.new_nodes.is_empty() && self.new_edges.is_empty() && self.relabels.is_empty()
+        self.new_nodes.is_empty()
+            && self.new_edges.is_empty()
+            && self.relabels.is_empty()
+            && self.del_edges.is_empty()
+            && self.del_nodes.is_empty()
     }
 }
 
+/// Why [`DeltaGraph::validate`] rejects an update. The whole batch is
+/// checked before any mutation, so a rejected batch changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateInvalid {
+    /// A referenced node id is out of range (`>= node_count()` counting
+    /// the update's own node appends; deletions may only reference
+    /// pre-batch ids).
+    NodeOutOfRange(NodeId),
+    /// A relabel or new edge references a node that is removed — either
+    /// before this batch or by this batch's own `del_nodes`.
+    NodeRemoved(NodeId),
+}
+
+impl std::fmt::Display for UpdateInvalid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateInvalid::NodeOutOfRange(v) => {
+                write!(f, "update references node {v} out of range")
+            }
+            UpdateInvalid::NodeRemoved(v) => {
+                write!(f, "update references removed node {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateInvalid {}
+
 /// What [`DeltaGraph::apply`] actually changed, after deduplication.
+/// Produced without mutating by [`DeltaGraph::diff`]; realized by
+/// [`DeltaGraph::commit`].
 #[derive(Debug, Clone, Default)]
 pub struct AppliedUpdate {
     /// Ids assigned to `new_nodes`, in input order.
     pub assigned: Vec<NodeId>,
     /// Every node whose incident structure or label changed: endpoints of
-    /// effectively-new edges, effectively-relabeled nodes, and new nodes.
-    /// Sorted, deduplicated. This is the seed set for d-ball invalidation.
+    /// effectively-new and effectively-deleted edges, effectively-relabeled
+    /// nodes, new nodes, and removed nodes. Sorted, deduplicated. This is
+    /// the seed set for d-ball invalidation (note that for deletions the
+    /// seeds must be traversed on the **pre-update** view as well — see
+    /// `gpar-serve`'s union-ball rule).
     pub touched: Vec<NodeId>,
     /// Effective (non-duplicate) edge inserts, as applied.
     pub added_edges: Vec<(NodeId, NodeId, Label)>,
     /// Effective relabels as `(node, old_label, new_label)`.
     pub relabeled: Vec<(NodeId, Label, Label)>,
+    /// Effective edge deletions (edges that actually existed), including
+    /// the incident edges cascaded from node removals.
+    pub removed_edges: Vec<(NodeId, NodeId, Label)>,
+    /// Effective node removals as `(node, label_at_removal)`.
+    pub removed_nodes: Vec<(NodeId, Label)>,
 }
 
-/// A base CSR [`Graph`] plus append-only insert logs, readable through
+/// The result of [`DeltaGraph::compact`]: the merged CSR plus, when node
+/// removals re-densified the id space, the old→new id map.
+#[derive(Debug, Clone)]
+pub struct CompactedGraph {
+    /// The fully-merged CSR graph.
+    pub graph: Graph,
+    /// `None` when no nodes were removed: every surviving id is unchanged
+    /// and anything keyed by `NodeId` remains valid. `Some` when removal
+    /// slots were squeezed out: surviving nodes keep their relative order
+    /// but get new dense ids, and id-keyed state must be translated.
+    pub remap: Option<NodeRemap>,
+}
+
+/// Old-id → new-id translation produced by a compaction that dropped
+/// removed node slots. The map is monotone on survivors, so translating a
+/// sorted id list keeps it sorted.
+#[derive(Debug, Clone)]
+pub struct NodeRemap {
+    /// `forward[old] = new`, with `u32::MAX` marking a removed slot.
+    forward: Vec<u32>,
+    live: usize,
+}
+
+const DEAD: u32 = u32::MAX;
+
+impl NodeRemap {
+    /// The new id of `old`, or `None` if the node was removed.
+    #[inline]
+    pub fn get(&self, old: NodeId) -> Option<NodeId> {
+        match self.forward.get(old.index()) {
+            Some(&n) if n != DEAD => Some(NodeId(n)),
+            _ => None,
+        }
+    }
+
+    /// Size of the pre-compaction id space.
+    pub fn old_len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Number of surviving (live) nodes — the post-compaction node count.
+    pub fn new_len(&self) -> usize {
+        self.live
+    }
+
+    /// The inverse translation as a dense table: `inverse()[new.index()]`
+    /// is the pre-compaction id of post-compaction node `new`. Every new
+    /// id has exactly one old id, so the table is total.
+    pub fn inverse(&self) -> Vec<NodeId> {
+        let mut back = vec![NodeId(0); self.live];
+        for (old, &new) in self.forward.iter().enumerate() {
+            if new != DEAD {
+                back[new as usize] = NodeId(old as u32);
+            }
+        }
+        back
+    }
+}
+
+/// A base CSR [`Graph`] plus append-only mutation logs, readable through
 /// [`GraphView`] exactly like the base.
 #[derive(Debug, Clone)]
 pub struct DeltaGraph {
@@ -76,8 +203,19 @@ pub struct DeltaGraph {
     out_delta: FxHashMap<NodeId, Vec<Edge>>,
     /// Mirror of `out_delta` keyed by target, sorted by `(label, source)`.
     in_delta: FxHashMap<NodeId, Vec<Edge>>,
+    /// Per-node tombstoned (deleted) *base* out-edges, each run sorted by
+    /// `(label, target)` and a subset of the base run.
+    out_tombs: FxHashMap<NodeId, Vec<Edge>>,
+    /// Mirror of `out_tombs` keyed by target, sorted by `(label, source)`.
+    in_tombs: FxHashMap<NodeId, Vec<Edge>>,
+    /// Removed node ids (dead slots until compaction). A removed node has
+    /// no live incident edges: they were tombstoned / dropped from the
+    /// insert log when it was removed.
+    removed: FxHashSet<NodeId>,
     /// Total inserted edges (Σ of `out_delta` run lengths).
     delta_edge_count: usize,
+    /// Total tombstoned base edges (Σ of `out_tombs` run lengths).
+    tomb_edge_count: usize,
 }
 
 impl DeltaGraph {
@@ -89,7 +227,11 @@ impl DeltaGraph {
             relabels: FxHashMap::default(),
             out_delta: FxHashMap::default(),
             in_delta: FxHashMap::default(),
+            out_tombs: FxHashMap::default(),
+            in_tombs: FxHashMap::default(),
+            removed: FxHashSet::default(),
             delta_edge_count: 0,
+            tomb_edge_count: 0,
         }
     }
 
@@ -98,14 +240,31 @@ impl DeltaGraph {
         &self.base
     }
 
-    /// Nodes appended since the base was frozen.
+    /// Nodes appended since the base was frozen (including any appended
+    /// node that was later removed).
     pub fn delta_node_count(&self) -> usize {
         self.new_node_labels.len()
     }
 
-    /// Edges inserted since the base was frozen.
+    /// Edges inserted since the base was frozen and still live.
     pub fn delta_edge_count(&self) -> usize {
         self.delta_edge_count
+    }
+
+    /// Base edges deleted (tombstoned) since the base was frozen.
+    pub fn tomb_edge_count(&self) -> usize {
+        self.tomb_edge_count
+    }
+
+    /// Nodes removed since the base was frozen (dead id slots).
+    pub fn removed_node_count(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Whether `v` is a removed (dead) node id.
+    #[inline]
+    pub fn is_removed(&self, v: NodeId) -> bool {
+        !self.removed.is_empty() && self.removed.contains(&v)
     }
 
     /// Base nodes whose label currently diverges from the base CSR.
@@ -115,51 +274,162 @@ impl DeltaGraph {
 
     /// Whether the overlay carries no deltas (reads are pure base reads).
     pub fn is_clean(&self) -> bool {
-        self.new_node_labels.is_empty() && self.relabels.is_empty() && self.delta_edge_count == 0
+        self.new_node_labels.is_empty()
+            && self.relabels.is_empty()
+            && self.delta_edge_count == 0
+            && self.tomb_edge_count == 0
+            && self.removed.is_empty()
     }
 
-    /// The first node reference in `update` that would be out of range
-    /// against a graph of `node_count` nodes (counting the update's own
-    /// node appends), if any. Callers wanting fallible application check
-    /// this before [`DeltaGraph::apply`].
-    pub fn first_out_of_range(update: &GraphUpdate, node_count: usize) -> Option<NodeId> {
-        let n = node_count + update.new_nodes.len();
-        update
-            .relabels
-            .iter()
-            .map(|&(v, _)| v)
-            .chain(update.new_edges.iter().flat_map(|&(s, d, _)| [s, d]))
-            .find(|v| v.index() >= n)
-    }
-
-    /// Applies one update batch. Duplicate edges (already in base or
-    /// overlay, or repeated within the batch) and no-op relabels are
-    /// dropped; the returned [`AppliedUpdate`] reports only *effective*
-    /// mutations.
-    ///
-    /// # Panics
-    /// Panics if an edge endpoint or relabel target is out of range
-    /// (``>= node_count()`` after this update's node appends). The whole
-    /// batch is validated **before** any mutation, so a panicking call
-    /// leaves the overlay exactly as it was.
-    pub fn apply(&mut self, update: &GraphUpdate) -> AppliedUpdate {
-        if let Some(v) = Self::first_out_of_range(update, GraphView::node_count(self)) {
-            panic!("update references node {v} out of range");
+    /// Checks a whole batch against the current overlay **before** any
+    /// mutation: every referenced node must be in range, deletions may
+    /// only reference pre-batch ids, and relabels / new edges must not
+    /// reference removed nodes (pre-existing or removed by this batch).
+    pub fn validate(&self, update: &GraphUpdate) -> Result<(), UpdateInvalid> {
+        let n0 = GraphView::node_count(self);
+        let n = n0 + update.new_nodes.len();
+        for &w in &update.del_nodes {
+            if w.index() >= n0 {
+                return Err(UpdateInvalid::NodeOutOfRange(w));
+            }
         }
+        for &(s, d, _) in &update.del_edges {
+            for v in [s, d] {
+                if v.index() >= n0 {
+                    return Err(UpdateInvalid::NodeOutOfRange(v));
+                }
+            }
+        }
+        let batch_removed: FxHashSet<NodeId> = update.del_nodes.iter().copied().collect();
+        for &(v, _) in &update.relabels {
+            if v.index() >= n {
+                return Err(UpdateInvalid::NodeOutOfRange(v));
+            }
+            if self.is_removed(v) || batch_removed.contains(&v) {
+                return Err(UpdateInvalid::NodeRemoved(v));
+            }
+        }
+        for &(s, d, _) in &update.new_edges {
+            for v in [s, d] {
+                if v.index() >= n {
+                    return Err(UpdateInvalid::NodeOutOfRange(v));
+                }
+                if self.is_removed(v) || batch_removed.contains(&v) {
+                    return Err(UpdateInvalid::NodeRemoved(v));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the *effective* mutations of `update` against the current
+    /// overlay without applying anything: duplicate / pre-existing edges,
+    /// no-op relabels, deletions of absent edges and removals of
+    /// already-removed nodes are all dropped. Callers that need the
+    /// pre-update view between planning and application (the serving
+    /// layer's pre-update invalidation BFS) call this, read, then
+    /// [`DeltaGraph::commit`]; everyone else uses [`DeltaGraph::apply`].
+    pub fn diff(&self, update: &GraphUpdate) -> Result<AppliedUpdate, UpdateInvalid> {
+        self.validate(update)?;
         let mut applied = AppliedUpdate::default();
-        for &l in &update.new_nodes {
-            let id = NodeId(GraphView::node_count(self) as u32);
-            self.new_node_labels.push(l);
+        let n0 = GraphView::node_count(self);
+
+        for i in 0..update.new_nodes.len() {
+            let id = NodeId((n0 + i) as u32);
             applied.assigned.push(id);
             applied.touched.push(id);
         }
-        let n = GraphView::node_count(self);
+
+        // Relabels: chained relabels within the batch see earlier results
+        // and coalesce to one *net* `(old, final)` transition per node —
+        // a chain netting back to the original label is dropped entirely.
+        let mut pending_label: FxHashMap<NodeId, Label> = FxHashMap::default();
+        let mut first_old: FxHashMap<NodeId, Label> = FxHashMap::default();
+        let label_of = |pending: &FxHashMap<NodeId, Label>, v: NodeId| {
+            pending.get(&v).copied().unwrap_or_else(|| {
+                if v.index() >= n0 {
+                    update.new_nodes[v.index() - n0]
+                } else {
+                    GraphView::node_label(self, v)
+                }
+            })
+        };
         for &(v, new) in &update.relabels {
-            debug_assert!(v.index() < n, "validated above");
-            let old = GraphView::node_label(self, v);
+            let old = label_of(&pending_label, v);
             if old == new {
                 continue;
             }
+            first_old.entry(v).or_insert(old);
+            pending_label.insert(v, new);
+        }
+        for (&v, &old) in &first_old {
+            let fin = label_of(&pending_label, v);
+            if fin != old {
+                applied.relabeled.push((v, old, fin));
+                applied.touched.push(v);
+            }
+        }
+        applied.relabeled.sort_unstable_by_key(|&(v, _, _)| v);
+
+        // Edge deletions (explicit), then node removals (cascade).
+        let mut deleted: FxHashSet<(NodeId, NodeId, Label)> = FxHashSet::default();
+        for &(s, d, l) in &update.del_edges {
+            if !self.has_edge_view(s, d, l) || !deleted.insert((s, d, l)) {
+                continue;
+            }
+            applied.removed_edges.push((s, d, l));
+            applied.touched.push(s);
+            applied.touched.push(d);
+        }
+        let mut removing: FxHashSet<NodeId> = FxHashSet::default();
+        for &w in &update.del_nodes {
+            if self.is_removed(w) || !removing.insert(w) {
+                continue;
+            }
+            for e in self.out_view(w).iter() {
+                if deleted.insert((w, e.node, e.label)) {
+                    applied.removed_edges.push((w, e.node, e.label));
+                    applied.touched.push(e.node);
+                }
+            }
+            for e in self.in_view(w).iter() {
+                if deleted.insert((e.node, w, e.label)) {
+                    applied.removed_edges.push((e.node, w, e.label));
+                    applied.touched.push(e.node);
+                }
+            }
+            applied.removed_nodes.push((w, label_of(&pending_label, w)));
+            applied.touched.push(w);
+        }
+
+        // Edge inserts: deduplicate against the post-deletion state and
+        // within the batch.
+        let mut added: FxHashSet<(NodeId, NodeId, Label)> = FxHashSet::default();
+        for &(s, d, l) in &update.new_edges {
+            let exists = self.has_edge_view(s, d, l) && !deleted.contains(&(s, d, l));
+            if exists || !added.insert((s, d, l)) {
+                continue;
+            }
+            applied.added_edges.push((s, d, l));
+            applied.touched.push(s);
+            applied.touched.push(d);
+        }
+
+        applied.touched.sort_unstable();
+        applied.touched.dedup();
+        Ok(applied)
+    }
+
+    /// Applies the effective mutations previously produced by
+    /// [`DeltaGraph::diff`] on this exact overlay state. `update` must be
+    /// the batch `applied` was diffed from (it supplies the appended-node
+    /// labels); passing a mismatched pair corrupts the overlay.
+    pub fn commit(&mut self, update: &GraphUpdate, applied: &AppliedUpdate) {
+        debug_assert_eq!(applied.assigned.len(), update.new_nodes.len());
+        for &l in &update.new_nodes {
+            self.new_node_labels.push(l);
+        }
+        for &(v, _, new) in &applied.relabeled {
             if v.index() >= self.base.node_count() {
                 self.new_node_labels[v.index() - self.base.node_count()] = new;
             } else if self.base.node_label(v) == new {
@@ -167,48 +437,134 @@ impl DeltaGraph {
             } else {
                 self.relabels.insert(v, new);
             }
-            applied.relabeled.push((v, old, new));
-            applied.touched.push(v);
         }
-        for &(src, dst, label) in &update.new_edges {
-            debug_assert!(src.index() < n && dst.index() < n, "validated above");
-            let e = Edge { label, node: dst };
-            if GraphView::out_view(self, src).contains(e) {
-                continue;
-            }
-            insert_sorted(self.out_delta.entry(src).or_default(), e);
-            insert_sorted(self.in_delta.entry(dst).or_default(), Edge { label, node: src });
-            self.delta_edge_count += 1;
-            applied.added_edges.push((src, dst, label));
-            applied.touched.push(src);
-            applied.touched.push(dst);
+        for &(s, d, l) in &applied.removed_edges {
+            self.delete_edge_inner(s, d, l);
         }
-        applied.touched.sort_unstable();
-        applied.touched.dedup();
+        for &(w, _) in &applied.removed_nodes {
+            // The label override of a dead slot is meaningless; drop it so
+            // label membership never has to consult the removed set twice.
+            self.relabels.remove(&w);
+            self.removed.insert(w);
+        }
+        for &(s, d, l) in &applied.added_edges {
+            self.insert_edge_inner(s, d, l);
+        }
+    }
+
+    /// Applies one update batch: [`DeltaGraph::diff`] + [`DeltaGraph::commit`].
+    /// Duplicate edges, no-op relabels and deletions of absent elements
+    /// are dropped; the returned [`AppliedUpdate`] reports only
+    /// *effective* mutations.
+    ///
+    /// # Panics
+    /// Panics if [`DeltaGraph::validate`] rejects the batch. The whole
+    /// batch is validated **before** any mutation, so a panicking call
+    /// leaves the overlay exactly as it was.
+    pub fn apply(&mut self, update: &GraphUpdate) -> AppliedUpdate {
+        let applied = match self.diff(update) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        };
+        self.commit(update, &applied);
         applied
     }
 
-    /// Merges all pending deltas into a fresh CSR [`Graph`]. Node ids are
-    /// preserved (appends are dense, relabels in place), so anything
-    /// keyed by `NodeId` — caches, candidate indexes, catalogs — remains
-    /// valid against the compacted graph.
-    ///
-    /// Per-node adjacency is produced by merging the two already-sorted
-    /// runs, so compaction is `O(|V| + |E|)` plus the label-index sort —
-    /// no full edge re-sort as in [`crate::GraphBuilder::build`].
-    pub fn compact(&self) -> Graph {
-        let n = GraphView::node_count(self);
-        let mut node_labels = Vec::with_capacity(n);
-        for v in 0..n as u32 {
-            node_labels.push(GraphView::node_label(self, NodeId(v)));
+    /// Deletes one live edge: from the insert log if it was a pending
+    /// insert, otherwise by tombstoning the base entry.
+    fn delete_edge_inner(&mut self, src: NodeId, dst: NodeId, label: Label) {
+        let e = Edge { label, node: dst };
+        let mirror = Edge { label, node: src };
+        if remove_sorted(&mut self.out_delta, src, e) {
+            let ok = remove_sorted(&mut self.in_delta, dst, mirror);
+            debug_assert!(ok, "in/out delta runs diverged");
+            self.delta_edge_count -= 1;
+            return;
         }
-        let total_edges = self.base.edge_count() + self.delta_edge_count;
+        debug_assert!(
+            self.base_has_edge(src, dst, label),
+            "effective deletion of an edge that exists nowhere"
+        );
+        if insert_sorted(self.out_tombs.entry(src).or_default(), e) {
+            let ok = insert_sorted(self.in_tombs.entry(dst).or_default(), mirror);
+            debug_assert!(ok, "in/out tombstone runs diverged");
+            self.tomb_edge_count += 1;
+        } else {
+            debug_assert!(false, "edge tombstoned twice");
+        }
+    }
+
+    /// Inserts one edge known to be absent from the current view: by
+    /// clearing its tombstone if it is a deleted base edge (the base entry
+    /// resurfaces), otherwise by appending to the insert log.
+    fn insert_edge_inner(&mut self, src: NodeId, dst: NodeId, label: Label) {
+        let e = Edge { label, node: dst };
+        let mirror = Edge { label, node: src };
+        if remove_sorted(&mut self.out_tombs, src, e) {
+            let ok = remove_sorted(&mut self.in_tombs, dst, mirror);
+            debug_assert!(ok, "in/out tombstone runs diverged");
+            self.tomb_edge_count -= 1;
+            return;
+        }
+        // `insert_sorted` is a hard dedup guarantee: even if a duplicate
+        // slipped past the planning layer, the run is left intact and the
+        // edge is simply not double-counted.
+        if !insert_sorted(self.out_delta.entry(src).or_default(), e) {
+            debug_assert!(false, "duplicate edge reached insert_edge_inner");
+            return;
+        }
+        let ok = insert_sorted(self.in_delta.entry(dst).or_default(), mirror);
+        debug_assert!(ok, "in/out delta runs diverged");
+        self.delta_edge_count += 1;
+    }
+
+    fn base_has_edge(&self, src: NodeId, dst: NodeId, label: Label) -> bool {
+        src.index() < self.base.node_count()
+            && self.base.out_edges(src).binary_search(&Edge { label, node: dst }).is_ok()
+    }
+
+    /// Merges all pending deltas into a fresh CSR [`Graph`].
+    ///
+    /// When no nodes were removed, ids are preserved exactly (appends are
+    /// dense, relabels in place) and `remap` is `None` — anything keyed by
+    /// `NodeId` remains valid against the compacted graph. When removals
+    /// left dead slots, the survivors are re-densified (keeping their
+    /// relative order) and `remap` carries the old→new translation.
+    ///
+    /// Per-node adjacency is produced by merge-minus over the three
+    /// already-sorted runs, so compaction is `O(|V| + |E|)` plus the
+    /// label-index sort — no full edge re-sort as in
+    /// [`crate::GraphBuilder::build`].
+    pub fn compact(&self) -> CompactedGraph {
+        let id_space = GraphView::node_count(self);
+        let mut forward: Vec<u32> = Vec::with_capacity(id_space);
+        let mut node_labels = Vec::with_capacity(id_space - self.removed.len());
+        for v in 0..id_space as u32 {
+            if self.is_removed(NodeId(v)) {
+                forward.push(DEAD);
+            } else {
+                forward.push(node_labels.len() as u32);
+                node_labels.push(GraphView::node_label(self, NodeId(v)));
+            }
+        }
+        let n = node_labels.len();
+        let total_edges = self.base.edge_count() + self.delta_edge_count - self.tomb_edge_count;
         let merge = |view: fn(&Self, NodeId) -> EdgeView<'_>| {
             let mut offsets = Vec::with_capacity(n + 1);
             let mut adj = Vec::with_capacity(total_edges);
             offsets.push(0u32);
-            for v in 0..n as u32 {
-                adj.extend(view(self, NodeId(v)).merged());
+            for v in 0..id_space as u32 {
+                if self.is_removed(NodeId(v)) {
+                    continue;
+                }
+                // Surviving endpoints only: edges touching a removed node
+                // were tombstoned when it was removed. The remap is
+                // monotone, so the merged (label, endpoint) order holds.
+                adj.extend(view(self, NodeId(v)).merged().map(|e| {
+                    let new = forward[e.node.index()];
+                    debug_assert_ne!(new, DEAD, "live edge points at a removed node");
+                    Edge { label: e.label, node: NodeId(new) }
+                }));
                 offsets.push(adj.len() as u32);
             }
             (offsets, adj)
@@ -216,7 +572,7 @@ impl DeltaGraph {
         let (out_offsets, out_adj) = merge(GraphView::out_view);
         let (in_offsets, in_adj) = merge(GraphView::in_view);
         let (label_nodes, label_starts) = build_label_index(&node_labels);
-        Graph {
+        let graph = Graph {
             node_labels,
             out_offsets,
             out_adj,
@@ -225,19 +581,42 @@ impl DeltaGraph {
             label_nodes,
             label_starts,
             vocab: self.base.vocab().clone(),
+        };
+        let remap = (!self.removed.is_empty()).then_some(NodeRemap { forward, live: n });
+        CompactedGraph { graph, remap }
+    }
+}
+
+/// Removes `e` from the sorted run stored under `key`, dropping the map
+/// entry when the run empties. Returns whether the edge was present.
+fn remove_sorted(map: &mut FxHashMap<NodeId, Vec<Edge>>, key: NodeId, e: Edge) -> bool {
+    let Some(run) = map.get_mut(&key) else { return false };
+    match run.binary_search(&e) {
+        Ok(i) => {
+            run.remove(i);
+            if run.is_empty() {
+                map.remove(&key);
+            }
+            true
         }
+        Err(_) => false,
     }
 }
 
 /// Inserts `e` into a `(label, endpoint)`-sorted run, keeping it sorted.
-/// Runs are per-node insert logs — short in any realistic update stream —
-/// so the `O(len)` shift is irrelevant next to the probe savings of
-/// keeping them binary-searchable.
-fn insert_sorted(run: &mut Vec<Edge>, e: Edge) {
+/// Duplicates are **skipped**, never inserted — dedup is a hard guarantee
+/// of this function, not a caller contract: a duplicate silently reaching
+/// a run would corrupt its sorted-set invariant and double-count matches
+/// downstream. Returns whether the edge was inserted. Runs are per-node
+/// logs — short in any realistic update stream — so the `O(len)` shift is
+/// irrelevant next to the probe savings of keeping them binary-searchable.
+fn insert_sorted(run: &mut Vec<Edge>, e: Edge) -> bool {
     match run.binary_search(&e) {
-        // Caller guarantees novelty (checked against the full view).
-        Ok(_) => debug_assert!(false, "duplicate edge reached insert_sorted"),
-        Err(i) => run.insert(i, e),
+        Ok(_) => false,
+        Err(i) => {
+            run.insert(i, e);
+            true
+        }
     }
 }
 
@@ -249,7 +628,7 @@ impl GraphView for DeltaGraph {
 
     #[inline]
     fn edge_count(&self) -> usize {
-        self.base.edge_count() + self.delta_edge_count
+        self.base.edge_count() + self.delta_edge_count - self.tomb_edge_count
     }
 
     #[inline]
@@ -274,6 +653,11 @@ impl GraphView for DeltaGraph {
         EdgeView {
             base: if v.index() < self.base.node_count() { self.base.out_edges(v) } else { &[] },
             delta: self.out_delta.get(&v).map(Vec::as_slice).unwrap_or(&[]),
+            tombs: if self.out_tombs.is_empty() {
+                &[]
+            } else {
+                self.out_tombs.get(&v).map(Vec::as_slice).unwrap_or(&[])
+            },
         }
     }
 
@@ -282,7 +666,16 @@ impl GraphView for DeltaGraph {
         EdgeView {
             base: if v.index() < self.base.node_count() { self.base.in_edges(v) } else { &[] },
             delta: self.in_delta.get(&v).map(Vec::as_slice).unwrap_or(&[]),
+            tombs: if self.in_tombs.is_empty() {
+                &[]
+            } else {
+                self.in_tombs.get(&v).map(Vec::as_slice).unwrap_or(&[])
+            },
         }
+    }
+
+    fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..GraphView::node_count(self) as u32).map(NodeId).filter(|&v| !self.is_removed(v))
     }
 
     fn label_members(&self, label: Label) -> Vec<NodeId> {
@@ -291,15 +684,17 @@ impl GraphView for DeltaGraph {
             .nodes_with_label_slice(label)
             .iter()
             .copied()
-            .filter(|v| !self.relabels.contains_key(v))
+            .filter(|v| !self.relabels.contains_key(v) && !self.is_removed(*v))
             .collect();
+        // Removed nodes never keep a relabel override (commit drops it),
+        // so the override scan needs no removed filter.
         out.extend(self.relabels.iter().filter(|&(_, &l)| l == label).map(|(&v, _)| v));
         let nb = self.base.node_count() as u32;
         out.extend(
             self.new_node_labels
                 .iter()
                 .enumerate()
-                .filter(|&(_, &l)| l == label)
+                .filter(|&(i, &l)| l == label && !self.is_removed(NodeId(nb + i as u32)))
                 .map(|(i, _)| NodeId(nb + i as u32)),
         );
         out.sort_unstable();
@@ -348,6 +743,7 @@ mod tests {
             new_nodes: vec![a],
             new_edges: vec![(vs[3], NodeId(4), e1), (vs[0], vs[2], e2)],
             relabels: vec![(vs[1], a)],
+            ..Default::default()
         });
         assert_eq!(applied.assigned, vec![NodeId(4)]);
         assert_eq!(applied.added_edges.len(), 2);
@@ -372,6 +768,7 @@ mod tests {
             // Already in base; repeated in batch; genuinely new.
             new_edges: vec![(vs[0], vs[1], e1), (vs[0], vs[3], e1), (vs[0], vs[3], e1)],
             relabels: vec![(vs[0], a)], // no-op: already labeled a
+            ..Default::default()
         });
         assert_eq!(applied.added_edges, vec![(vs[0], vs[3], e1)]);
         assert!(applied.relabeled.is_empty());
@@ -396,11 +793,210 @@ mod tests {
     }
 
     #[test]
+    fn chained_relabels_coalesce_to_the_net_transition() {
+        let (g, vs, [a, b, _, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        // a -> b -> a nets to nothing.
+        let noop =
+            d.apply(&GraphUpdate { relabels: vec![(vs[0], b), (vs[0], a)], ..Default::default() });
+        assert!(noop.relabeled.is_empty());
+        assert!(d.is_clean());
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics_without_mutating() {
         let (g, vs, [_, _, e1, _]) = base();
         let mut d = DeltaGraph::new(g);
         d.apply(&GraphUpdate { new_edges: vec![(vs[0], NodeId(99), e1)], ..Default::default() });
+    }
+
+    #[test]
+    fn delete_base_edge_tombstones_every_read_path() {
+        let (g, vs, [a, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g.clone());
+        let applied =
+            d.apply(&GraphUpdate { del_edges: vec![(vs[0], vs[1], e1)], ..Default::default() });
+        assert_eq!(applied.removed_edges, vec![(vs[0], vs[1], e1)]);
+        assert_eq!(applied.touched, vec![vs[0], vs[1]]);
+        assert!(!d.has_edge_view(vs[0], vs[1], e1));
+        assert!(!d.in_view(vs[1]).contains(Edge { label: e1, node: vs[0] }));
+        assert_eq!(GraphView::edge_count(&d), g.edge_count() - 1);
+        assert_eq!(d.tomb_edge_count(), 1);
+        assert!(!d.is_clean());
+        // Labels and membership untouched.
+        assert_eq!(d.label_members(a), vec![vs[0], vs[2]]);
+        // Deleting it again (or a never-present edge) is a no-op.
+        let again = d.apply(&GraphUpdate {
+            del_edges: vec![(vs[0], vs[1], e1), (vs[3], vs[0], e1)],
+            ..Default::default()
+        });
+        assert!(again.removed_edges.is_empty());
+        assert!(again.touched.is_empty());
+    }
+
+    #[test]
+    fn delete_pending_insert_cancels_the_log_entry() {
+        let (g, vs, [_, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        d.apply(&GraphUpdate { new_edges: vec![(vs[0], vs[3], e1)], ..Default::default() });
+        assert_eq!(d.delta_edge_count(), 1);
+        d.apply(&GraphUpdate { del_edges: vec![(vs[0], vs[3], e1)], ..Default::default() });
+        assert_eq!(d.delta_edge_count(), 0);
+        assert_eq!(d.tomb_edge_count(), 0, "pending inserts are dropped, not tombstoned");
+        assert!(d.is_clean());
+        assert!(!d.has_edge_view(vs[0], vs[3], e1));
+    }
+
+    #[test]
+    fn reinsert_clears_the_tombstone_instead_of_logging() {
+        let (g, vs, [_, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        d.apply(&GraphUpdate { del_edges: vec![(vs[0], vs[1], e1)], ..Default::default() });
+        let back =
+            d.apply(&GraphUpdate { new_edges: vec![(vs[0], vs[1], e1)], ..Default::default() });
+        assert_eq!(back.added_edges, vec![(vs[0], vs[1], e1)]);
+        assert!(d.has_edge_view(vs[0], vs[1], e1));
+        assert_eq!((d.delta_edge_count(), d.tomb_edge_count()), (0, 0));
+        assert!(d.is_clean(), "delete + reinsert round-trips to a clean overlay");
+    }
+
+    #[test]
+    fn delete_then_reinsert_in_one_batch_nets_to_present() {
+        let (g, vs, [_, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        let applied = d.apply(&GraphUpdate {
+            del_edges: vec![(vs[0], vs[1], e1)],
+            new_edges: vec![(vs[0], vs[1], e1)],
+            ..Default::default()
+        });
+        assert_eq!(applied.removed_edges, vec![(vs[0], vs[1], e1)]);
+        assert_eq!(applied.added_edges, vec![(vs[0], vs[1], e1)]);
+        assert!(d.has_edge_view(vs[0], vs[1], e1));
+        assert!(d.is_clean(), "tombstone + un-tombstone cancel out");
+    }
+
+    #[test]
+    fn node_removal_cascades_incident_edges_and_hides_the_node() {
+        let (g, vs, [a, b, e1, e2]) = base();
+        let mut d = DeltaGraph::new(g.clone());
+        // Give v2 a pending insert too, so the cascade covers both runs.
+        d.apply(&GraphUpdate { new_edges: vec![(vs[0], vs[2], e2)], ..Default::default() });
+        let applied = d.apply(&GraphUpdate { del_nodes: vec![vs[2]], ..Default::default() });
+        assert_eq!(applied.removed_nodes, vec![(vs[2], a)]);
+        let mut gone = applied.removed_edges.clone();
+        gone.sort_unstable();
+        assert_eq!(
+            gone,
+            vec![(vs[0], vs[2], e2), (vs[1], vs[2], e1), (vs[2], vs[3], e2)],
+            "both directions and the pending insert cascade"
+        );
+        // Touched: the node and all its former neighbors.
+        assert_eq!(applied.touched, vec![vs[0], vs[1], vs[2], vs[3]]);
+        assert!(d.is_removed(vs[2]));
+        assert_eq!(d.removed_node_count(), 1);
+        // Adjacency of the dead slot and of its neighbors is consistent.
+        assert!(d.out_view(vs[2]).is_empty());
+        assert!(d.in_view(vs[2]).is_empty());
+        assert!(!d.has_edge_view(vs[1], vs[2], e1));
+        assert!(!d.in_view(vs[3]).contains(Edge { label: e2, node: vs[2] }));
+        // nodes(), label membership and histograms exclude the dead slot.
+        let live: Vec<NodeId> = d.nodes().collect();
+        assert_eq!(live, vec![vs[0], vs[1], vs[3]]);
+        assert_eq!(d.label_members(a), vec![vs[0]]);
+        assert_eq!(d.node_histogram().get(&a), Some(&1));
+        assert_eq!(d.node_histogram().get(&b), Some(&2));
+        assert_eq!(GraphView::edge_count(&d), 1, "only v0 -e1-> v1 survives");
+        // Removing it again is a no-op.
+        let again = d.apply(&GraphUpdate { del_nodes: vec![vs[2]], ..Default::default() });
+        assert!(again.removed_nodes.is_empty());
+        assert!(again.touched.is_empty());
+    }
+
+    #[test]
+    fn removal_cascade_handles_self_loops_once() {
+        let (g, vs, [_, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        d.apply(&GraphUpdate { new_edges: vec![(vs[3], vs[3], e1)], ..Default::default() });
+        let applied = d.apply(&GraphUpdate { del_nodes: vec![vs[3]], ..Default::default() });
+        // The self-loop appears in both the out- and in-view but must be
+        // reported (and deleted) exactly once.
+        assert_eq!(
+            applied.removed_edges.iter().filter(|&&(s, t, _)| s == vs[3] && t == vs[3]).count(),
+            1
+        );
+        assert_eq!(d.delta_edge_count(), 0);
+    }
+
+    #[test]
+    fn updates_referencing_removed_nodes_are_rejected() {
+        let (g, vs, [a, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        d.apply(&GraphUpdate { del_nodes: vec![vs[3]], ..Default::default() });
+        let err = d
+            .validate(&GraphUpdate { new_edges: vec![(vs[0], vs[3], e1)], ..Default::default() })
+            .unwrap_err();
+        assert_eq!(err, UpdateInvalid::NodeRemoved(vs[3]));
+        let err = d
+            .validate(&GraphUpdate { relabels: vec![(vs[3], a)], ..Default::default() })
+            .unwrap_err();
+        assert_eq!(err, UpdateInvalid::NodeRemoved(vs[3]));
+        // Same within one batch: remove + attach is contradictory.
+        let err = d
+            .validate(&GraphUpdate {
+                del_nodes: vec![vs[1]],
+                new_edges: vec![(vs[0], vs[1], e1)],
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert_eq!(err, UpdateInvalid::NodeRemoved(vs[1]));
+        // Deleting edges of a removed node is a legitimate no-op, not an error.
+        let ok =
+            d.apply(&GraphUpdate { del_edges: vec![(vs[2], vs[3], e1)], ..Default::default() });
+        assert!(ok.removed_edges.is_empty());
+        // Deletions may not reference ids the batch itself appends.
+        let err = d
+            .validate(&GraphUpdate {
+                new_nodes: vec![a],
+                del_nodes: vec![NodeId(4)],
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert_eq!(err, UpdateInvalid::NodeOutOfRange(NodeId(4)));
+    }
+
+    #[test]
+    fn diff_is_pure_and_commit_realizes_it() {
+        let (g, vs, [a, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g.clone());
+        let update = GraphUpdate {
+            new_nodes: vec![a],
+            new_edges: vec![(vs[0], NodeId(4), e1)],
+            del_edges: vec![(vs[1], vs[2], e1)],
+            ..Default::default()
+        };
+        let applied = d.diff(&update).unwrap();
+        assert!(d.is_clean(), "diff must not mutate");
+        assert_eq!(GraphView::node_count(&d), g.node_count());
+        d.commit(&update, &applied);
+        assert_eq!(GraphView::node_count(&d), g.node_count() + 1);
+        assert!(d.has_edge_view(vs[0], NodeId(4), e1));
+        assert!(!d.has_edge_view(vs[1], vs[2], e1));
+    }
+
+    /// The hard dedup guarantee of `insert_sorted`, independent of
+    /// `debug_assert!` — this test is exercised by the release-profile CI
+    /// leg (`cargo test --release`), where a silent duplicate would
+    /// corrupt the sorted run and double-count matches.
+    #[test]
+    fn duplicate_insert_is_skipped_not_corrupted() {
+        let e = |l: u32, n: u32| Edge { label: Label(l), node: NodeId(n) };
+        let mut run = vec![e(1, 0), e(1, 2), e(2, 1)];
+        assert!(!insert_sorted(&mut run, e(1, 2)), "duplicate must be rejected");
+        assert_eq!(run, vec![e(1, 0), e(1, 2), e(2, 1)], "run is untouched");
+        assert!(insert_sorted(&mut run, e(1, 1)));
+        assert!(run.is_sorted());
+        assert_eq!(run.len(), 4);
     }
 
     #[test]
@@ -416,8 +1012,11 @@ mod tests {
                 (NodeId(4), NodeId(5), e1),
             ],
             relabels: vec![(vs[2], b)],
+            ..Default::default()
         });
         let compacted = d.compact();
+        assert!(compacted.remap.is_none(), "no removals: ids are stable");
+        let compacted = compacted.graph;
 
         // Independent materialization through the builder.
         let mut gb = GraphBuilder::new(g.vocab().clone());
@@ -448,7 +1047,69 @@ mod tests {
         // Compacting a clean overlay round-trips.
         let clean = DeltaGraph::new(Arc::new(compacted));
         let again = clean.compact();
-        assert_eq!(again.node_count(), expect.node_count());
-        assert_eq!(again.edge_count(), expect.edge_count());
+        assert!(again.remap.is_none());
+        assert_eq!(again.graph.node_count(), expect.node_count());
+        assert_eq!(again.graph.edge_count(), expect.edge_count());
+    }
+
+    #[test]
+    fn compact_with_removals_densifies_and_remaps() {
+        let (g, vs, [a, b, e1, e2]) = base();
+        let mut d = DeltaGraph::new(g.clone());
+        d.apply(&GraphUpdate {
+            new_nodes: vec![a],
+            new_edges: vec![(vs[3], NodeId(4), e1)],
+            del_edges: vec![(vs[0], vs[1], e1)],
+            del_nodes: vec![vs[2]],
+            ..Default::default()
+        });
+        let CompactedGraph { graph: compacted, remap } = d.compact();
+        let remap = remap.expect("removals force a remap");
+        assert_eq!(remap.old_len(), 5);
+        assert_eq!(remap.new_len(), 4);
+        assert_eq!(remap.get(vs[2]), None, "removed slot has no new id");
+        assert_eq!(remap.get(vs[0]), Some(NodeId(0)));
+        assert_eq!(remap.get(vs[1]), Some(NodeId(1)));
+        assert_eq!(remap.get(vs[3]), Some(NodeId(2)), "survivors keep relative order");
+        assert_eq!(remap.get(NodeId(4)), Some(NodeId(3)));
+        assert_eq!(remap.get(NodeId(99)), None);
+
+        // Independent materialization of the survivor graph.
+        let mut gb = GraphBuilder::new(g.vocab().clone());
+        for l in [a, b, b, a] {
+            gb.add_node(l);
+        }
+        // Surviving edges: v3 -e1-> new node (v0 -e1-> v1 deleted, the
+        // rest were incident to v2).
+        gb.add_edge(NodeId(2), NodeId(3), e1);
+        let expect = gb.build();
+        assert_eq!(compacted.node_count(), expect.node_count());
+        assert_eq!(compacted.edge_count(), expect.edge_count());
+        for v in 0..expect.node_count() as u32 {
+            let v = NodeId(v);
+            assert_eq!(compacted.node_label(v), expect.node_label(v), "{v}");
+            assert_eq!(compacted.out_edges(v), expect.out_edges(v), "{v}");
+            assert_eq!(compacted.in_edges(v), expect.in_edges(v), "{v}");
+        }
+        assert_eq!(compacted.nodes_with_label_slice(a).len(), 2);
+        assert_eq!(compacted.nodes_with_label_slice(b).len(), 2);
+        let _ = e2;
+    }
+
+    #[test]
+    fn traversals_see_the_post_deletion_graph() {
+        use crate::neighborhood::{ball, d_neighborhood};
+        let (g, vs, [_, _, e1, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        // Base is the path v0 -e1-> v1 -e1-> v2 -e2-> v3. Cut the middle.
+        d.apply(&GraphUpdate { del_edges: vec![(vs[1], vs[2], e1)], ..Default::default() });
+        assert_eq!(ball(&d, vs[0], 3), vec![vs[0], vs[1]], "distance to v2 grew past the cut");
+        let (site, c) = d_neighborhood(&d, vs[0], 2);
+        assert_eq!(site.graph.node_count(), 2);
+        assert_eq!(site.graph.edge_count(), 1);
+        assert_eq!(site.global(c), vs[0]);
+        // And the compacted graph agrees.
+        let compacted = d.compact().graph;
+        assert_eq!(ball(&compacted, vs[0], 3), vec![vs[0], vs[1]]);
     }
 }

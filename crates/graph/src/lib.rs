@@ -15,10 +15,11 @@
 //! * [`Graph`] — an immutable CSR-packed graph with out- *and* in-adjacency,
 //!   both sorted by `(label, endpoint)` for `O(log deg)` labeled lookups;
 //! * [`GraphBuilder`] — the mutable construction API;
-//! * [`DeltaGraph`] — a base CSR plus append-only insert logs (new nodes,
-//!   new edges, relabels) read through the shared [`GraphView`] trait, with
-//!   [`DeltaGraph::compact`] merging deltas back into CSR form — the
-//!   substrate for incremental serving;
+//! * [`DeltaGraph`] — a base CSR plus append-only mutation logs (new nodes,
+//!   new edges, relabels, edge tombstones, node removals) read through the
+//!   shared [`GraphView`] trait, with [`DeltaGraph::compact`] merging
+//!   deltas back into CSR form (returning a [`NodeRemap`] when removals
+//!   re-densified the id space) — the substrate for incremental serving;
 //! * [`neighborhood`] — BFS utilities, `N_r(v)` balls and `G_d(v_x)`
 //!   d-neighborhood extraction (the locality primitive both DMine and Match
 //!   capitalize on);
@@ -41,7 +42,7 @@ pub mod view;
 pub mod visited;
 
 pub use builder::GraphBuilder;
-pub use delta::{AppliedUpdate, DeltaGraph, GraphUpdate};
+pub use delta::{AppliedUpdate, CompactedGraph, DeltaGraph, GraphUpdate, NodeRemap, UpdateInvalid};
 pub use graph::{Edge, Graph, NodeId};
 pub use label::{Label, Vocab};
 pub use neighborhood::{

@@ -5,82 +5,131 @@
 //! extraction, sketches) and every consumer up the stack (LCWA
 //! classification, site building, EIP) reads a graph through exactly one
 //! surface: node labels, label membership, and per-node adjacency served
-//! as an [`EdgeView`] — a *pair* of `(label, endpoint)`-sorted runs, the
-//! frozen CSR run plus an overlay run of inserted edges. For a plain
-//! [`Graph`] the overlay run is empty and every operation degenerates to
-//! the old single-slice code path; for a [`crate::DeltaGraph`] the two
-//! runs are probed (and, where order matters, merged) without ever
-//! materializing a combined adjacency. This is what lets the matcher and
-//! `gpar_eip::identify` run unmodified over a graph with pending inserts.
+//! as an [`EdgeView`] — a *triple* of `(label, endpoint)`-sorted runs: the
+//! frozen CSR run, an overlay run of inserted edges, and a tombstone run
+//! of deleted base edges that is **subtracted** from the CSR run. For a
+//! plain [`Graph`] the overlay and tombstone runs are empty and every
+//! operation degenerates to the old single-slice code path; for a
+//! [`crate::DeltaGraph`] the runs are probed (and, where order matters,
+//! merge-minus'd) without ever materializing a combined adjacency. This is
+//! what lets the matcher and `gpar_eip::identify` run unmodified over a
+//! graph with pending inserts *and* deletions.
 
 use crate::graph::{labeled_range, Edge, Graph, NodeId};
 use crate::label::{Label, Vocab};
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
 
-/// A node's adjacency as two `(label, endpoint)`-sorted runs: the base
-/// CSR slice and the overlay's insert log for that node. The runs are
-/// disjoint (the overlay never duplicates a base edge) so `len` is exact.
+/// A node's adjacency as three `(label, endpoint)`-sorted runs: the base
+/// CSR slice, the overlay's insert log for that node, and the overlay's
+/// tombstone log of deleted base edges. Invariants: `delta` is disjoint
+/// from `base`, and `tombs ⊆ base` — so `len` is exact.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EdgeView<'a> {
     /// The frozen CSR run.
     pub base: &'a [Edge],
     /// Inserted edges not yet compacted into the CSR.
     pub delta: &'a [Edge],
+    /// Deleted base edges not yet compacted out of the CSR; every entry
+    /// also occurs in `base` and is skipped by all read paths.
+    pub tombs: &'a [Edge],
 }
 
 impl<'a> EdgeView<'a> {
-    /// A view over a single sorted slice (no overlay).
+    /// A view over a single sorted slice (no overlay, no tombstones).
     #[inline]
     pub fn solid(base: &'a [Edge]) -> Self {
-        Self { base, delta: &[] }
+        Self { base, delta: &[], tombs: &[] }
     }
 
     /// Total number of edges in the view.
     #[inline]
     pub fn len(&self) -> usize {
-        self.base.len() + self.delta.len()
+        self.base.len() + self.delta.len() - self.tombs.len()
     }
 
     /// Whether the view holds no edges.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.base.is_empty() && self.delta.is_empty()
+        self.len() == 0
     }
 
-    /// Iterates both runs, base first. Not globally sorted — use
-    /// [`EdgeView::merged`] when `(label, endpoint)` order matters.
+    /// Iterates the surviving base run (base minus tombstones) followed by
+    /// the delta run. Not globally sorted — use [`EdgeView::merged`] when
+    /// `(label, endpoint)` order matters.
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = Edge> + 'a {
-        self.base.iter().copied().chain(self.delta.iter().copied())
+        SubtractedRun { base: self.base, tombs: self.tombs }.chain(self.delta.iter().copied())
     }
 
-    /// Iterates the union in `(label, endpoint)` order by merging the two
-    /// sorted runs (a no-op passthrough when the overlay run is empty).
+    /// Iterates the union in `(label, endpoint)` order by merging the
+    /// surviving base run with the delta run (a no-op passthrough when
+    /// both overlay runs are empty).
     #[inline]
     pub fn merged(&self) -> MergedEdges<'a> {
-        MergedEdges { base: self.base, delta: self.delta }
+        MergedEdges { base: self.base, delta: self.delta, tombs: self.tombs }
     }
 
-    /// The sub-view restricted to edges labeled `label` (both runs are
-    /// sorted, so this is two binary searches).
+    /// The sub-view restricted to edges labeled `label` (all runs are
+    /// sorted, so this is three binary searches).
     #[inline]
     pub fn labeled(&self, label: Label) -> EdgeView<'a> {
-        EdgeView { base: labeled_range(self.base, label), delta: labeled_range(self.delta, label) }
+        EdgeView {
+            base: labeled_range(self.base, label),
+            delta: labeled_range(self.delta, label),
+            tombs: labeled_range(self.tombs, label),
+        }
     }
 
-    /// Whether the exact edge is present in either run.
+    /// Whether the exact edge is present in the view (in the base run and
+    /// not tombstoned, or in the delta run).
     #[inline]
     pub fn contains(&self, e: Edge) -> bool {
-        self.base.binary_search(&e).is_ok() || self.delta.binary_search(&e).is_ok()
+        (self.base.binary_search(&e).is_ok() && self.tombs.binary_search(&e).is_err())
+            || self.delta.binary_search(&e).is_ok()
     }
 }
 
-/// Sorted-merge iterator over the two runs of an [`EdgeView`].
+/// Iterator over a sorted run minus a sorted tombstone subset (two-pointer
+/// subtraction; the tombstone run is empty in the common case, so the
+/// per-item overhead is one slice-head probe).
+#[derive(Debug, Clone)]
+struct SubtractedRun<'a> {
+    base: &'a [Edge],
+    tombs: &'a [Edge],
+}
+
+impl Iterator for SubtractedRun<'_> {
+    type Item = Edge;
+
+    #[inline]
+    fn next(&mut self) -> Option<Edge> {
+        while let Some((&b, rest)) = self.base.split_first() {
+            self.base = rest;
+            // Both runs are sorted and tombs ⊆ base, so the next relevant
+            // tombstone is always at the head.
+            if self.tombs.first() == Some(&b) {
+                self.tombs = &self.tombs[1..];
+                continue;
+            }
+            return Some(b);
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.base.len() - self.tombs.len();
+        (n, Some(n))
+    }
+}
+
+/// Sorted merge-minus iterator over the runs of an [`EdgeView`]: yields
+/// `(base ∖ tombs) ∪ delta` in `(label, endpoint)` order.
 #[derive(Debug, Clone)]
 pub struct MergedEdges<'a> {
     base: &'a [Edge],
     delta: &'a [Edge],
+    tombs: &'a [Edge],
 }
 
 impl Iterator for MergedEdges<'_> {
@@ -88,30 +137,37 @@ impl Iterator for MergedEdges<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<Edge> {
-        match (self.base.first(), self.delta.first()) {
-            (Some(&b), Some(&d)) => {
-                if b <= d {
-                    self.base = &self.base[1..];
-                    Some(b)
-                } else {
-                    self.delta = &self.delta[1..];
-                    Some(d)
+        loop {
+            match (self.base.first(), self.delta.first()) {
+                (Some(&b), d) => {
+                    if self.tombs.first() == Some(&b) {
+                        self.tombs = &self.tombs[1..];
+                        self.base = &self.base[1..];
+                        continue;
+                    }
+                    // `delta` is disjoint from `base`, so ties cannot occur.
+                    match d {
+                        Some(&d) if d < b => {
+                            self.delta = &self.delta[1..];
+                            return Some(d);
+                        }
+                        _ => {
+                            self.base = &self.base[1..];
+                            return Some(b);
+                        }
+                    }
                 }
+                (None, Some(&d)) => {
+                    self.delta = &self.delta[1..];
+                    return Some(d);
+                }
+                (None, None) => return None,
             }
-            (Some(&b), None) => {
-                self.base = &self.base[1..];
-                Some(b)
-            }
-            (None, Some(&d)) => {
-                self.delta = &self.delta[1..];
-                Some(d)
-            }
-            (None, None) => None,
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.base.len() + self.delta.len();
+        let n = self.base.len() + self.delta.len() - self.tombs.len();
         (n, Some(n))
     }
 }
@@ -126,32 +182,39 @@ impl ExactSizeIterator for MergedEdges<'_> {}
 /// `out_edges`); where they coincide (`node_count`, `node_label`, …) the
 /// inherent method shadows the trait method with identical behavior.
 pub trait GraphView {
-    /// Number of nodes `|V|`.
+    /// Size of the node **id space**: every live node id is strictly below
+    /// this bound. For an overlay with pending node removals this counts
+    /// the removed slots too (ids are never recycled until compaction), so
+    /// use [`GraphView::nodes`] — not `0..node_count()` — to enumerate
+    /// live nodes.
     fn node_count(&self) -> usize;
 
-    /// Number of directed edges `|E|`.
+    /// Number of live directed edges `|E|`.
     fn edge_count(&self) -> usize;
 
     /// The shared label vocabulary.
     fn vocab(&self) -> &Arc<Vocab>;
 
-    /// The label `L(v)` of a node.
+    /// The label `L(v)` of a node. For a removed node id the returned
+    /// value is unspecified (removed nodes are excluded from every other
+    /// read surface).
     fn node_label(&self, v: NodeId) -> Label;
 
-    /// Out-adjacency of `v` as a two-run view (each run sorted by
+    /// Out-adjacency of `v` as a three-run view (each run sorted by
     /// `(label, target)`).
     fn out_view(&self, v: NodeId) -> EdgeView<'_>;
 
-    /// In-adjacency of `v` as a two-run view (each run sorted by
+    /// In-adjacency of `v` as a three-run view (each run sorted by
     /// `(label, source)`).
     fn in_view(&self, v: NodeId) -> EdgeView<'_>;
 
-    /// Iterator over all node ids (`0..node_count()`).
+    /// Iterator over all **live** node ids (ascending; removed slots are
+    /// skipped).
     fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.node_count() as u32).map(NodeId)
     }
 
-    /// All nodes carrying `label`, sorted by id. Allocates: overlays
+    /// All live nodes carrying `label`, sorted by id. Allocates: overlays
     /// cannot serve this as one contiguous slice. Call once per candidate
     /// discovery, not per probe.
     fn label_members(&self, label: Label) -> Vec<NodeId>;
@@ -169,7 +232,7 @@ pub trait GraphView {
         !self.out_view(v).labeled(label).is_empty()
     }
 
-    /// Per-label node counts.
+    /// Per-label node counts (live nodes only).
     fn node_histogram(&self) -> FxHashMap<Label, u64> {
         let mut h = FxHashMap::default();
         for v in self.nodes() {
@@ -178,7 +241,7 @@ pub trait GraphView {
         h
     }
 
-    /// Per-label directed-edge counts.
+    /// Per-label directed-edge counts (live edges only).
     fn edge_histogram(&self) -> FxHashMap<Label, u64> {
         let mut h = FxHashMap::default();
         for v in self.nodes() {
@@ -246,7 +309,7 @@ mod tests {
     fn merged_interleaves_sorted_runs() {
         let base = [e(1, 0), e(1, 4), e(3, 2)];
         let delta = [e(1, 2), e(2, 0), e(3, 9)];
-        let v = EdgeView { base: &base, delta: &delta };
+        let v = EdgeView { base: &base, delta: &delta, tombs: &[] };
         let merged: Vec<Edge> = v.merged().collect();
         assert_eq!(merged.len(), v.len());
         assert!(merged.windows(2).all(|w| w[0] <= w[1]));
@@ -257,11 +320,51 @@ mod tests {
     fn labeled_narrows_both_runs() {
         let base = [e(1, 0), e(1, 4), e(3, 2)];
         let delta = [e(1, 2), e(2, 0)];
-        let v = EdgeView { base: &base, delta: &delta };
+        let v = EdgeView { base: &base, delta: &delta, tombs: &[] };
         let ones = v.labeled(Label(1));
         assert_eq!((ones.base.len(), ones.delta.len()), (2, 1));
         assert!(v.labeled(Label(9)).is_empty());
         assert!(v.contains(e(2, 0)));
         assert!(!v.contains(e(2, 1)));
+    }
+
+    #[test]
+    fn tombstones_subtract_from_every_read_path() {
+        let base = [e(1, 0), e(1, 4), e(2, 3), e(3, 2)];
+        let delta = [e(1, 2), e(2, 0)];
+        let tombs = [e(1, 4), e(3, 2)];
+        let v = EdgeView { base: &base, delta: &delta, tombs: &tombs };
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        // contains: tombstoned base edges are gone, survivors and delta stay.
+        assert!(!v.contains(e(1, 4)));
+        assert!(!v.contains(e(3, 2)));
+        assert!(v.contains(e(1, 0)));
+        assert!(v.contains(e(1, 2)));
+        // iter: survivors + delta, no tombstoned entry.
+        let mut seen: Vec<Edge> = v.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![e(1, 0), e(1, 2), e(2, 0), e(2, 3)]);
+        // merged: same set, already sorted, exact length.
+        let merged: Vec<Edge> = v.merged().collect();
+        assert_eq!(merged, seen);
+        assert_eq!(v.merged().len(), 4);
+        // labeled narrows the tombstone run alongside the others.
+        let ones = v.labeled(Label(1));
+        assert_eq!(ones.len(), 2);
+        assert!(!ones.contains(e(1, 4)));
+        // A fully-tombstoned label reads as empty.
+        let threes = v.labeled(Label(3));
+        assert!(threes.is_empty());
+    }
+
+    #[test]
+    fn fully_tombstoned_view_is_empty() {
+        let base = [e(1, 0), e(2, 3)];
+        let tombs = base;
+        let v = EdgeView { base: &base, delta: &[], tombs: &tombs };
+        assert!(v.is_empty());
+        assert_eq!(v.iter().count(), 0);
+        assert_eq!(v.merged().count(), 0);
     }
 }

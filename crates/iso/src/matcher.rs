@@ -240,8 +240,14 @@ impl<'g> Matcher<'g> {
     }
 
     /// Counts matches mapping `u ↦ v`, up to an optional cap (full
-    /// enumeration, as the `Matchc`/`disVF2` baselines perform).
+    /// enumeration, as the `Matchc`/`disVF2` baselines perform). The
+    /// result never exceeds the cap; `Some(0)` means "stop now" and
+    /// returns 0 without searching (an exhausted cap handed down by
+    /// [`Matcher::count_matches`] is not the same as `None` = uncapped).
     pub fn count_anchored(&self, p: &Pattern, u: PNodeId, v: NodeId, cap: Option<u64>) -> u64 {
+        if cap == Some(0) {
+            return 0;
+        }
         let mut n = 0u64;
         self.run_anchored(p, u, v, &mut |_| {
             n += 1;
@@ -283,9 +289,14 @@ impl<'g> Matcher<'g> {
     }
 
     /// Counts all matches of `p` in the graph (`‖Q(G)‖`), up to `cap`.
+    /// The result never exceeds the cap; a cap of `Some(0)` returns 0
+    /// without enumerating any candidate.
     pub fn count_matches(&self, p: &Pattern, cap: Option<u64>) -> u64 {
         let mut n = 0u64;
         for v in self.candidates(p, p.x()) {
+            // The remaining budget is strictly positive here (`n < c` or
+            // we returned below), so the per-candidate call can never
+            // confuse an exhausted cap with "no cap".
             n += self.count_anchored(p, p.x(), v, cap.map(|c| c.saturating_sub(n)));
             if let Some(c) = cap {
                 if n >= c {
@@ -1396,6 +1407,50 @@ mod tests {
         let m = Matcher::new(&g, MatcherConfig::vf2());
         assert_eq!(m.count_matches(&p, None), 4);
         assert_eq!(m.count_matches(&p, Some(3)), 3);
+    }
+
+    /// Cap-boundary regression: an exhausted cap (`Some(0)`) must mean
+    /// "stop now" — not fall through to a search, and never be conflated
+    /// with `None` = uncapped. Pins both the per-anchor and the global
+    /// counter at every boundary around the true count.
+    #[test]
+    fn count_caps_are_exact_at_the_boundary() {
+        // 2 custs × 2 liked rests = 4 matches, 2 per anchored cust.
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let r = vocab.intern("rest");
+        let like = vocab.intern("like");
+        let mut gb = GraphBuilder::new(vocab.clone());
+        let mut custs = Vec::new();
+        for _ in 0..2 {
+            let c = gb.add_node(cust);
+            custs.push(c);
+            for _ in 0..2 {
+                let rr = gb.add_node(r);
+                gb.add_edge(c, rr, like);
+            }
+        }
+        let g = gb.build();
+        let mut pb = PatternBuilder::new(vocab);
+        let x = pb.node(cust);
+        let y = pb.node(r);
+        pb.edge(x, y, like);
+        let p = pb.designate(x, y).build().unwrap();
+        for cfg in [MatcherConfig::vf2(), MatcherConfig::degree_ordered(), MatcherConfig::guided()]
+        {
+            let m = Matcher::new(&g, cfg);
+            // Anchored: true count is 2.
+            assert_eq!(m.count_anchored(&p, x, custs[0], Some(0)), 0, "{:?}", cfg.kind);
+            assert_eq!(m.count_anchored(&p, x, custs[0], Some(1)), 1, "{:?}", cfg.kind);
+            assert_eq!(m.count_anchored(&p, x, custs[0], Some(2)), 2, "{:?}", cfg.kind);
+            assert_eq!(m.count_anchored(&p, x, custs[0], Some(3)), 2, "cap above count");
+            assert_eq!(m.count_anchored(&p, x, custs[0], None), 2, "uncapped");
+            // Global: true count is 4; the second anchor receives the
+            // residual budget, which hits exactly 0 mid-scan at cap 2.
+            for cap in 0..=5u64 {
+                assert_eq!(m.count_matches(&p, Some(cap)), cap.min(4), "cap {cap} {:?}", cfg.kind);
+            }
+        }
     }
 
     #[test]

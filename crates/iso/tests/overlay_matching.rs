@@ -1,16 +1,66 @@
 //! The tentpole claim of the delta-graph design, pinned from the
 //! matcher's side: `gpar_iso` runs **unmodified** over the overlay view.
-//! A d-ball site extracted from a [`DeltaGraph`] (pending inserts and
-//! relabels, never compacted) is a plain CSR [`gpar_graph::Graph`] with
-//! the exact invariants the matcher's hot path relies on — sorted
-//! adjacency runs, label-partitioned node index — and every engine
-//! returns bit-identical results on it and on the same ball extracted
-//! from the fully materialized graph.
+//! A d-ball site extracted from a [`DeltaGraph`] (pending inserts,
+//! relabels *and deletions*, never compacted) is a plain CSR
+//! [`gpar_graph::Graph`] with the exact invariants the matcher's hot path
+//! relies on — sorted adjacency runs, label-partitioned node index — and
+//! every engine returns bit-identical results on it and on the same ball
+//! extracted from the fully materialized graph.
 
-use gpar_graph::{d_neighborhood, DeltaGraph, GraphBuilder, GraphUpdate, GraphView, NodeId, Vocab};
+use gpar_graph::{
+    d_neighborhood, DeltaGraph, GraphBuilder, GraphUpdate, GraphView, NodeId, NodeRemap, Vocab,
+};
 use gpar_iso::{Matcher, MatcherConfig};
-use gpar_pattern::PatternBuilder;
+use gpar_pattern::{Pattern, PatternBuilder};
 use std::sync::Arc;
+
+/// For every center of `delta`, extract the d-ball site from the overlay
+/// and from the independently compacted CSR (translating the center when
+/// removals re-densified ids) and assert every engine agrees bit-for-bit.
+fn assert_sites_agree(delta: &DeltaGraph, q: &Pattern, d: u32) {
+    let compacted = delta.compact();
+    let remap = compacted.remap;
+    let compacted = compacted.graph;
+    let translate = |c: NodeId| -> Option<NodeId> {
+        match &remap {
+            None => Some(c),
+            Some(r) => r.get(c),
+        }
+    };
+    let back: Option<Vec<NodeId>> = remap.as_ref().map(NodeRemap::inverse);
+    for center in delta.nodes() {
+        let cc = translate(center).expect("live nodes survive compaction");
+        let (via_overlay, lo) = d_neighborhood(delta, center, d);
+        let (via_csr, lc) = d_neighborhood(&compacted, cc, d);
+        let csr_ball_in_old_ids: Vec<NodeId> = match &back {
+            None => via_csr.to_global.clone(),
+            Some(b) => via_csr.to_global.iter().map(|&v| b[v.index()]).collect(),
+        };
+        assert_eq!(via_overlay.to_global, csr_ball_in_old_ids, "same ball at {center}");
+        // The overlay-extracted site satisfies the matcher's invariants.
+        for v in via_overlay.graph.nodes() {
+            assert!(via_overlay.graph.out_edges(v).is_sorted());
+            assert!(via_overlay.graph.in_edges(v).is_sorted());
+        }
+        for cfg in [MatcherConfig::vf2(), MatcherConfig::degree_ordered(), MatcherConfig::guided()]
+        {
+            let mo = Matcher::new(&via_overlay.graph, cfg);
+            let mc = Matcher::new(&via_csr.graph, cfg);
+            assert_eq!(
+                mo.exists_anchored(q, q.x(), lo),
+                mc.exists_anchored(q, q.x(), lc),
+                "existence diverged at {center} ({:?})",
+                cfg.kind
+            );
+            assert_eq!(
+                mo.count_anchored(q, q.x(), lo, None),
+                mc.count_anchored(q, q.x(), lc, None),
+                "count diverged at {center} ({:?})",
+                cfg.kind
+            );
+        }
+    }
+}
 
 #[test]
 fn engines_agree_on_overlay_and_compacted_sites() {
@@ -39,9 +89,9 @@ fn engines_agree_on_overlay_and_compacted_sites() {
             (c1, r0, like),
         ],
         relabels: vec![(r0, cust)],
+        ..Default::default()
     });
     assert_eq!(applied.assigned, vec![NodeId(3), NodeId(4)]);
-    let compacted = delta.compact();
 
     // Pattern: x:cust -[friend]-> x2:cust -[like]-> y:rest.
     let mut pb = PatternBuilder::new(vocab);
@@ -52,37 +102,66 @@ fn engines_agree_on_overlay_and_compacted_sites() {
     pb.edge(x2, y, like);
     let q = pb.designate(x, y).build().unwrap();
 
-    for center in (0..GraphView::node_count(&delta) as u32).map(NodeId) {
-        let (via_overlay, lo) = d_neighborhood(&delta, center, 2);
-        let (via_csr, lc) = d_neighborhood(&compacted, center, 2);
-        assert_eq!(via_overlay.to_global, via_csr.to_global, "same ball at {center}");
-        // The overlay-extracted site satisfies the matcher's invariants.
-        for v in via_overlay.graph.nodes() {
-            assert!(via_overlay.graph.out_edges(v).is_sorted());
-            assert!(via_overlay.graph.in_edges(v).is_sorted());
-        }
-        for cfg in [MatcherConfig::vf2(), MatcherConfig::degree_ordered(), MatcherConfig::guided()]
-        {
-            let mo = Matcher::new(&via_overlay.graph, cfg);
-            let mc = Matcher::new(&via_csr.graph, cfg);
-            assert_eq!(
-                mo.exists_anchored(&q, q.x(), lo),
-                mc.exists_anchored(&q, q.x(), lc),
-                "existence diverged at {center} ({:?})",
-                cfg.kind
-            );
-            assert_eq!(
-                mo.count_anchored(&q, q.x(), lo, None),
-                mc.count_anchored(&q, q.x(), lc, None),
-                "count diverged at {center} ({:?})",
-                cfg.kind
-            );
-        }
-    }
+    assert_sites_agree(&delta, &q, 2);
 
     // And the overlay actually changed the answer: c1 now matches via
     // the inserted friendship to the new cust, who likes the new rest
     // (c1 -[friend]-> v3 -[like]-> v4).
+    let compacted = delta.compact().graph;
     let (site, local) = d_neighborhood(&compacted, c1, 2);
     assert!(Matcher::new(&site.graph, MatcherConfig::vf2()).exists_anchored(&q, q.x(), local));
+}
+
+#[test]
+fn engines_agree_on_tombstoned_overlay_and_compacted_sites() {
+    let vocab = Vocab::new();
+    let cust = vocab.intern("cust");
+    let rest = vocab.intern("rest");
+    let (like, friend) = (vocab.intern("like"), vocab.intern("friend"));
+
+    // Base: a friendship chain of three custs, each liking a restaurant,
+    // plus a cross like from c0 to c2's restaurant.
+    let mut b = GraphBuilder::new(vocab.clone());
+    let custs: Vec<NodeId> = (0..3).map(|_| b.add_node(cust)).collect();
+    let rests: Vec<NodeId> = (0..3).map(|_| b.add_node(rest)).collect();
+    for i in 0..3 {
+        b.add_edge(custs[i], rests[i], like);
+    }
+    b.add_edge(custs[0], custs[1], friend);
+    b.add_edge(custs[1], custs[2], friend);
+    b.add_edge(custs[0], rests[2], like);
+    let base = Arc::new(b.build());
+
+    // Pattern: x:cust -[friend]-> x2:cust -[like]-> y:rest.
+    let mut pb = PatternBuilder::new(vocab);
+    let x = pb.node(cust);
+    let x2 = pb.node(cust);
+    let y = pb.node(rest);
+    pb.edge(x, x2, friend);
+    pb.edge(x2, y, like);
+    let q = pb.designate(x, y).build().unwrap();
+
+    // Mixed overlay: tombstone a base edge (c1's like), delete and
+    // re-insert another (net no-op through a tombstone round-trip), add a
+    // replacement like, and remove a whole node (r2 — cascading both its
+    // in-edges).
+    let mut delta = DeltaGraph::new(base.clone());
+    delta.apply(&GraphUpdate {
+        del_edges: vec![(custs[1], rests[1], like), (custs[0], custs[1], friend)],
+        new_edges: vec![(custs[0], custs[1], friend), (custs[1], rests[0], like)],
+        del_nodes: vec![rests[2]],
+        ..Default::default()
+    });
+    assert!(delta.tomb_edge_count() > 0, "the overlay really is tombstoned");
+    assert_eq!(delta.removed_node_count(), 1);
+    assert_sites_agree(&delta, &q, 2);
+
+    // The deletion changed answers: c1 -friend-> c2 -like-> r2 is gone
+    // (r2 removed), but c0 -friend-> c1 -like-> r0 newly matches.
+    let compacted = delta.compact();
+    let remap = compacted.remap.expect("node removal remaps");
+    let (site, local) = d_neighborhood(&compacted.graph, remap.get(custs[0]).unwrap(), 2);
+    assert!(Matcher::new(&site.graph, MatcherConfig::vf2()).exists_anchored(&q, q.x(), local));
+    let (site, local) = d_neighborhood(&compacted.graph, remap.get(custs[1]).unwrap(), 2);
+    assert!(!Matcher::new(&site.graph, MatcherConfig::vf2()).exists_anchored(&q, q.x(), local));
 }

@@ -179,6 +179,20 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.map.keys()
     }
 
+    /// Drops every entry, counting them as invalidations. Used when a
+    /// compaction re-densifies node ids: cached values embed the old ids,
+    /// so the whole working set is stale at once.
+    pub fn clear(&mut self) -> usize {
+        let n = self.map.len();
+        self.stats.invalidations += n as u64;
+        self.map.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        n
+    }
+
     /// Removes every entry whose key fails `keep`, returning the removed
     /// keys. This is the scoped-invalidation hook: a graph update evicts
     /// exactly the `(center, d)` extractions whose d-ball it may have
@@ -265,6 +279,22 @@ mod tests {
             c.insert(i, i);
         }
         assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn clear_drops_everything_and_stays_usable() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4u32 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.clear(), 4);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidations, 4);
+        for i in 10..16u32 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(&15), Some(15));
     }
 
     #[test]

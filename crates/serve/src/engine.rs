@@ -31,26 +31,46 @@
 //! ## Live updates
 //!
 //! The serving graph is a [`DeltaGraph`] overlay. [`ServeEngine::apply_update`]
-//! appends an insert/relabel batch and then repairs *only* what the batch
-//! can have changed, exploiting the paper's locality property (§4.2): a
-//! radius-`d` evaluation at center `v_x` reads nothing outside `G_d(v_x)`,
-//! so an update touching nodes `T` can only affect centers within
-//! undirected distance `d` of `T`. Concretely, one multi-source BFS from
-//! `T` yields the invalidation ball, and the engine
+//! applies an insert/relabel/deletion batch and then repairs *only* what
+//! the batch can have changed, exploiting the paper's locality property
+//! (§4.2): a radius-`d` evaluation at center `v_x` reads nothing outside
+//! `G_d(v_x)`, so an update touching nodes `T` can only affect centers
+//! whose d-ball reaches `T`.
 //!
-//! 1. evicts exactly the `(center, d)` d-ball cache entries inside it,
+//! **The union-ball rule.** For monotone inserts a post-update BFS from
+//! `T` suffices: inserts only shrink distances, so any center whose ball
+//! gained something is within post-update distance `d` of `T`. Deletion is
+//! non-monotone — cutting an edge can *grow* distances, pushing a center
+//! out of reach of `T` on the post-update graph even though its ball lost
+//! content. The engine therefore runs the multi-source BFS on **both** the
+//! pre-update and the post-update view and invalidates the *union* ball
+//! (per-node minimum distance): a ball that lost an element reached it
+//! pre-update, a ball that gained one reaches it post-update. Concretely:
+//!
+//! 1. evicts exactly the `(center, d)` d-ball cache entries inside the
+//!    union ball,
 //! 2. repairs each predicate's candidate list and center sketches
-//!    incrementally (new/relabeled centers in, relabeled-away centers
-//!    out, in-ball sketches recomputed),
+//!    incrementally (new/relabeled centers in, relabeled-away **and
+//!    removed** centers out, in-ball sketches recomputed),
 //! 3. re-evaluates only the in-ball + new centers of every *warmed*
 //!    predicate, patching the per-rule [`ConfStats`] by subtracting each
-//!    re-evaluated center's old contribution and adding its new one, and
-//! 4. falls back to a full group rebuild only when the update introduces
-//!    a previously-absent label that can re-activate a
-//!    signature-deactivated rule.
+//!    re-evaluated center's old contribution and adding its new one —
+//!    removed centers are subtracted from the outcome ledger without
+//!    replacement, so a rule whose last supporting center vanished drops
+//!    below η and deactivates (the mirror of insert-side activation), and
+//! 4. falls back to a full group rebuild only when the update flips a
+//!    label between present and absent, which can (de)activate a
+//!    signature-gated rule in either direction — deleting the last node
+//!    of a label takes this path exactly like inserting the first one.
 //!
-//! [`ServeEngine::compact`] folds the overlay back into a fresh CSR; node
-//! ids are stable, so caches, index and warm state all survive it.
+//! [`ServeEngine::compact`] folds the overlay back into a fresh CSR.
+//! Without node removals ids are stable and caches, index and warm state
+//! all survive untouched. With removals the id space is re-densified:
+//! compaction returns the [`NodeRemap`], the candidate index and warm
+//! ledgers are translated in place (the remap is monotone, so sorted
+//! structures stay sorted), and the d-ball cache — whose values embed old
+//! ids — is flushed. Callers holding node ids across such a compaction
+//! must translate them through the returned map.
 //!
 //! ## Consistency contract
 //!
@@ -70,12 +90,19 @@ use gpar_eip::{CandidateEvaluator, EipAlgorithm, MatchOpts};
 use gpar_exec::{Executor, Injector};
 use gpar_graph::{
     multi_source_distances, DeltaGraph, FxHashMap, Graph, GraphUpdate, GraphView, Label,
-    NeighborhoodScratch, NodeId, Vocab,
+    NeighborhoodScratch, NodeId, NodeRemap, UpdateInvalid, Vocab,
 };
 use gpar_partition::{chunk_by_load, CenterSite};
+// The cache and warm locks use the parking_lot shim's non-poisoning
+// mutex: a worker that panics mid-query must not poison shared state and
+// brick every subsequent query (the LRU is consistent between operations,
+// so recovery is always safe). The view/state `RwLock`s stay `std`:
+// poisoning there is a deliberate fail-stop, since a panic mid-commit
+// could leave a half-applied overlay behind.
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 
 /// Warm-scan task granules per executor worker (same rationale as EIP's
@@ -123,6 +150,9 @@ pub enum QueryError {
     UnknownPredicate,
     /// The worker pool has shut down.
     Stopped,
+    /// The query evaluation panicked. The worker caught the panic, so the
+    /// pool keeps serving; only this request is lost.
+    Panicked,
 }
 
 impl std::fmt::Display for QueryError {
@@ -130,6 +160,7 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::UnknownPredicate => write!(f, "no cataloged rules for this predicate"),
             QueryError::Stopped => write!(f, "serving engine stopped"),
+            QueryError::Panicked => write!(f, "query evaluation panicked"),
         }
     }
 }
@@ -193,8 +224,22 @@ pub struct EngineStats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UpdateError {
     /// The update references a node id outside the graph (counting the
-    /// update's own node appends). Nothing was applied.
+    /// update's own node appends; deletions may only reference pre-batch
+    /// ids). Nothing was applied.
     NodeOutOfRange(NodeId),
+    /// The update relabels or attaches an edge to a node that is removed —
+    /// either by an earlier batch or by this batch's own `del_nodes`.
+    /// Nothing was applied.
+    NodeRemoved(NodeId),
+}
+
+impl From<UpdateInvalid> for UpdateError {
+    fn from(e: UpdateInvalid) -> Self {
+        match e {
+            UpdateInvalid::NodeOutOfRange(v) => UpdateError::NodeOutOfRange(v),
+            UpdateInvalid::NodeRemoved(v) => UpdateError::NodeRemoved(v),
+        }
+    }
 }
 
 impl std::fmt::Display for UpdateError {
@@ -202,6 +247,9 @@ impl std::fmt::Display for UpdateError {
         match self {
             UpdateError::NodeOutOfRange(v) => {
                 write!(f, "update references node {v} out of range")
+            }
+            UpdateError::NodeRemoved(v) => {
+                write!(f, "update references removed node {v}")
             }
         }
     }
@@ -219,8 +267,14 @@ pub struct UpdateReport {
     pub touched: Vec<NodeId>,
     /// Effective (non-duplicate) edge inserts.
     pub added_edges: usize,
+    /// Effective edge deletions, including edges cascaded from node
+    /// removals.
+    pub removed_edges: usize,
+    /// Effective node removals.
+    pub removed_nodes: usize,
     /// d-ball cache keys evicted by scoped invalidation. Every key is
-    /// within distance `d` of a touched node (the tightness property).
+    /// within distance `d` of a touched node on the pre- or post-update
+    /// view (the union-ball tightness property).
     pub evicted: Vec<(NodeId, u32)>,
     /// Centers re-evaluated across all warmed predicates.
     pub reevaluated: usize,
@@ -470,7 +524,7 @@ impl Shared {
         nbr: &mut NeighborhoodScratch,
     ) -> Arc<CenterSite> {
         let key = (center, d);
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+        if let Some(hit) = self.cache.lock().get(&key) {
             return hit;
         }
         // Extract outside the lock: extraction is the expensive part and
@@ -479,7 +533,7 @@ impl Shared {
         // their own (identical) site. The worker's traversal scratch is
         // reused across misses.
         let site = Arc::new(CenterSite::build_with(&view.graph, center, d, nbr));
-        self.cache.lock().unwrap().insert(key, site.clone());
+        self.cache.lock().insert(key, site.clone());
         site
     }
 
@@ -543,7 +597,7 @@ impl Shared {
         }
         // Cold predicate: serialize warmers so losers wait for the winner
         // instead of redoing the full O(|L|) scan.
-        let _warming = self.warm_lock.lock().unwrap();
+        let _warming = self.warm_lock.lock();
         if let Some(s) = self.states.read().unwrap().get(&group.predicate) {
             return (s.clone(), false);
         }
@@ -684,20 +738,20 @@ impl Shared {
     }
 
     /// Applies one update batch under the view write lock. See the module
-    /// docs ("Live updates") for the invalidation rule.
+    /// docs ("Live updates") for the union-ball invalidation rule.
     fn apply_update(&self, update: &GraphUpdate) -> Result<UpdateReport, UpdateError> {
         let mut guard = self.view.write().unwrap();
         let view = &mut *guard;
-        // Validate before touching anything: a malformed batch must not
-        // half-mutate the overlay or poison the view lock.
-        if let Some(v) = DeltaGraph::first_out_of_range(update, view.graph.node_count()) {
-            return Err(UpdateError::NodeOutOfRange(v));
-        }
-        let applied = view.graph.apply(update);
+        // Plan without mutating: a malformed batch must not half-mutate
+        // the overlay or poison the view lock, and the effective touched
+        // set is needed *before* commit for the pre-update BFS.
+        let applied = view.graph.diff(update)?;
         let mut report = UpdateReport {
             assigned: applied.assigned.clone(),
             touched: applied.touched.clone(),
             added_edges: applied.added_edges.len(),
+            removed_edges: applied.removed_edges.len(),
+            removed_nodes: applied.removed_nodes.len(),
             ..Default::default()
         };
         if applied.touched.is_empty() {
@@ -705,10 +759,48 @@ impl Shared {
         }
         self.updates.fetch_add(1, Ordering::Relaxed);
 
-        // 1. Histogram maintenance; track labels that came into existence
+        // 1. The invalidation ball, to the deepest radius any group
+        // evaluates at — *and* the deepest radius still cached: a group
+        // removed by deactivation can leave entries at a radius no current
+        // group uses, and they must keep being invalidated or a later
+        // re-activation would warm against stale sites. `max(d, 1)`
+        // because a center's LCWA class reads its out-neighbors' labels —
+        // depth-1 state even under a (pathological) d = 0 override.
+        //
+        // Deletion makes invalidation non-monotone: a center can lose ball
+        // content and simultaneously lose its short path to the touched
+        // set, so the post-update BFS alone would miss it. Run the
+        // multi-source BFS on the pre-update view first, commit, run it
+        // again on the post-update view, and take the per-node minimum —
+        // the union ball.
+        let max_cached_d = self.cache.lock().keys().map(|&(_, dk)| dk).max().unwrap_or(0);
+        let max_d = view.index.groups().map(|g| g.d).max().unwrap_or(0).max(max_cached_d).max(1);
+        // The pre-update BFS is only needed when the batch deletes
+        // something: inserts only shrink distances and relabels leave
+        // structure unchanged, so for a monotone batch the pre-ball is a
+        // subset of the post-ball and the union degenerates to PR 4's
+        // single post-update BFS. (Nodes appended by this batch do not
+        // exist on the pre view; they seed only the post-update BFS.)
+        let deletes = !applied.removed_edges.is_empty() || !applied.removed_nodes.is_empty();
+        let pre_dist = if deletes {
+            let n_pre = view.graph.node_count();
+            let pre_seeds: Vec<NodeId> =
+                applied.touched.iter().copied().filter(|v| v.index() < n_pre).collect();
+            multi_source_distances(&view.graph, &pre_seeds, max_d)
+        } else {
+            Default::default()
+        };
+        view.graph.commit(update, &applied);
+        let mut dist = multi_source_distances(&view.graph, &applied.touched, max_d);
+        for (v, d) in pre_dist {
+            dist.entry(v).and_modify(|cur| *cur = (*cur).min(d)).or_insert(d);
+        }
+
+        // 2. Histogram maintenance; track labels that came into existence
         // or vanished entirely — only those can flip a rule's label-
         // signature satisfiability (activation on appearance, symmetric
-        // deactivation on disappearance).
+        // deactivation on disappearance — deleting the last node of a
+        // label takes the same rebuild path as inserting the first).
         let mut changed_labels: gpar_graph::FxHashSet<Label> = Default::default();
         let bump = |hist: &mut FxHashMap<Label, u64>,
                     l: Label,
@@ -719,48 +811,42 @@ impl Shared {
             }
             *n += 1;
         };
+        let drop_one = |hist: &mut FxHashMap<Label, u64>,
+                        l: Label,
+                        changed: &mut gpar_graph::FxHashSet<Label>| {
+            if let Some(n) = hist.get_mut(&l) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    hist.remove(&l);
+                    changed.insert(l); // vanished
+                }
+            }
+        };
         for &c in &applied.assigned {
             bump(&mut view.node_hist, view.graph.node_label(c), &mut changed_labels);
         }
-        // Coalesce chained relabels within the batch to net transitions.
-        let mut net_relabels: FxHashMap<NodeId, (Label, Label)> = FxHashMap::default();
+        // `applied.relabeled` is already net-coalesced per node by `diff`.
         for &(v, old, new) in &applied.relabeled {
-            net_relabels.entry(v).and_modify(|e| e.1 = new).or_insert((old, new));
-        }
-        net_relabels.retain(|_, (old, new)| old != new);
-        for (&v, &(old, new)) in &net_relabels {
             if applied.assigned.contains(&v) {
                 continue; // new node: final label already counted above
             }
-            if let Some(n) = view.node_hist.get_mut(&old) {
-                *n = n.saturating_sub(1);
-                if *n == 0 {
-                    view.node_hist.remove(&old);
-                    changed_labels.insert(old); // vanished
-                }
-            }
+            drop_one(&mut view.node_hist, old, &mut changed_labels);
             bump(&mut view.node_hist, new, &mut changed_labels);
+        }
+        for &(_, l) in &applied.removed_nodes {
+            drop_one(&mut view.node_hist, l, &mut changed_labels);
         }
         for &(_, _, l) in &applied.added_edges {
             bump(&mut view.edge_hist, l, &mut changed_labels);
         }
-
-        // 2. The invalidation ball: distances from every touched node, to
-        // the deepest radius any group evaluates at — *and* the deepest
-        // radius still cached: a group removed by deactivation can leave
-        // entries at a radius no current group uses, and they must keep
-        // being invalidated or a later re-activation would warm against
-        // stale sites. `max(d, 1)` because a center's LCWA class reads
-        // its out-neighbors' labels — depth-1 state even under a
-        // (pathological) d = 0 override.
-        let max_cached_d = self.cache.lock().unwrap().keys().map(|&(_, dk)| dk).max().unwrap_or(0);
-        let max_d = view.index.groups().map(|g| g.d).max().unwrap_or(0).max(max_cached_d).max(1);
-        let dist = multi_source_distances(&view.graph, &applied.touched, max_d);
+        for &(_, _, l) in &applied.removed_edges {
+            drop_one(&mut view.edge_hist, l, &mut changed_labels);
+        }
 
         // 3. Scoped cache eviction: exactly the keys whose d-ball can
-        // reach a touched node.
+        // reach a touched node on either side of the update.
         report.evicted =
-            self.cache.lock().unwrap().retain(|&(c, dk)| dist.get(&c).is_none_or(|&dc| dc > dk));
+            self.cache.lock().retain(|&(c, dk)| dist.get(&c).is_none_or(|&dc| dc > dk));
 
         // 4. Rule activation / deactivation: a label flipping between
         // present and absent can change which rules pass the signature
@@ -817,7 +903,7 @@ impl Shared {
             }
             let EngineView { graph, index, .. } = view;
             let group = index.group_mut(&pred).expect("group listed above");
-            let (added, removed) = center_changes(group, graph, &applied, &net_relabels);
+            let (added, removed) = center_changes(group, graph, &applied);
             for &c in &removed {
                 if group.remove_center(c) {
                     report.removed_centers += 1;
@@ -867,32 +953,56 @@ impl Shared {
         Ok(report)
     }
 
-    /// Folds the overlay into a fresh base CSR. Node ids are stable, so
-    /// the candidate index, warm states and d-ball cache all stay valid —
-    /// compaction changes the representation, never an answer.
-    fn compact(&self) {
+    /// Folds the overlay into a fresh base CSR. Without node removals ids
+    /// are stable and the candidate index, warm states and d-ball cache
+    /// all stay valid — compaction changes the representation, never an
+    /// answer. With removals the id space is re-densified: the index and
+    /// warm ledgers are translated through the returned [`NodeRemap`]
+    /// (monotone, so sorted structures stay sorted) and the d-ball cache
+    /// is flushed (its values embed old ids).
+    fn compact(&self) -> Option<NodeRemap> {
         let mut guard = self.view.write().unwrap();
         if guard.graph.is_clean() {
-            return;
+            return None;
         }
-        guard.graph = DeltaGraph::new(Arc::new(guard.graph.compact()));
+        let compacted = guard.graph.compact();
+        guard.graph = DeltaGraph::new(Arc::new(compacted.graph));
+        let remap = compacted.remap?;
+        guard.index.remap_ids(&remap);
+        self.cache.lock().clear();
+        let mut states = self.states.write().unwrap();
+        for state in states.values_mut() {
+            let state = Arc::make_mut(state);
+            state.outcomes = state
+                .outcomes
+                .drain()
+                .map(|(c, rec)| (remap.get(c).expect("warmed centers survive compaction"), rec))
+                .collect();
+            for c in &mut state.warm_customers {
+                *c = remap.get(*c).expect("customers are live centers");
+            }
+            debug_assert!(state.warm_customers.is_sorted(), "monotone remap preserves order");
+        }
+        Some(remap)
     }
 }
 
 /// The candidate-set delta implied by an applied update for one group:
-/// nodes whose (new) label admits them as centers, and relabeled nodes
-/// whose label no longer satisfies `x`'s condition.
+/// nodes whose (new) label admits them as centers, and nodes that stop
+/// being candidates — relabeled away from `x`'s condition or removed from
+/// the graph outright.
 fn center_changes(
     group: &PredicateGroup,
     graph: &DeltaGraph,
     applied: &gpar_graph::AppliedUpdate,
-    net_relabels: &FxHashMap<NodeId, (Label, Label)>,
 ) -> (Vec<NodeId>, Vec<NodeId>) {
     let x = group.predicate.x_cond;
     let mut added: Vec<NodeId> =
         applied.assigned.iter().copied().filter(|&c| x.matches(graph.node_label(c))).collect();
     let mut removed = Vec::new();
-    for (&v, &(old, new)) in net_relabels {
+    // `applied.relabeled` is net-coalesced per node and never overlaps
+    // `applied.removed_nodes`.
+    for &(v, old, new) in &applied.relabeled {
         if applied.assigned.contains(&v) {
             continue; // new node: final label handled above
         }
@@ -903,12 +1013,21 @@ fn center_changes(
             removed.push(v);
         }
     }
+    for &(w, old) in &applied.removed_nodes {
+        if x.matches(old) {
+            removed.push(w);
+        }
+    }
     (added, removed)
 }
 
 enum Job {
     Identify(IdentifyRequest, Sender<Result<IdentifyResponse, QueryError>>),
     TopRules(Predicate, usize, Sender<Result<Vec<RuleInfo>, QueryError>>),
+    /// Test-only: a job whose evaluation panics, pinning that a panicking
+    /// query neither kills the worker nor wedges the pool.
+    #[cfg(test)]
+    Crash(Sender<Result<IdentifyResponse, QueryError>>),
 }
 
 /// The serving engine: index + warm state + fixed worker pool.
@@ -1009,21 +1128,26 @@ impl ServeEngine {
         rx.recv().map_err(|_| QueryError::Stopped)?
     }
 
-    /// Applies one insert/relabel batch to the serving graph, invalidating
-    /// exactly the affected d-balls and incrementally repairing candidate
+    /// Applies one insert/relabel/deletion batch to the serving graph,
+    /// invalidating exactly the affected d-balls (the pre ∪ post union
+    /// ball — see the module docs) and incrementally repairing candidate
     /// index and warm state. Blocks until in-flight queries drain (the
     /// view write lock); queries submitted afterwards see the new graph.
-    /// A malformed batch (out-of-range node reference) is rejected whole:
-    /// `Err` means nothing was applied.
+    /// A malformed batch (out-of-range or removed node reference) is
+    /// rejected whole: `Err` means nothing was applied.
     pub fn apply_update(&self, update: &GraphUpdate) -> Result<UpdateReport, UpdateError> {
         self.shared.apply_update(update)
     }
 
-    /// Merges all pending overlay deltas back into a fresh CSR base.
-    /// Node ids are stable, so cached extractions, index and warm state
-    /// remain valid; answers are unchanged.
-    pub fn compact(&self) {
-        self.shared.compact();
+    /// Merges all pending overlay deltas back into a fresh CSR base;
+    /// answers are unchanged either way. Returns `None` when node ids were
+    /// stable (no pending node removals): cached extractions, index and
+    /// warm state survive untouched. Returns the old→new [`NodeRemap`]
+    /// when removals re-densified the id space: internal id-keyed state is
+    /// translated automatically, and callers holding node ids across the
+    /// call must translate them the same way.
+    pub fn compact(&self) -> Option<NodeRemap> {
+        self.shared.compact()
     }
 
     /// Predicates this engine can serve.
@@ -1037,6 +1161,11 @@ impl ServeEngine {
     }
 
     /// Current serving-graph size as `(nodes, edges)` (base + overlay).
+    /// The node component is the **id-space size** — it includes dead
+    /// slots left by node removals (so it is exactly the next id an
+    /// appended node will be assigned), while the edge component counts
+    /// live edges only. [`ServeEngine::pending_removals`] reports the
+    /// dead-slot count; compaction squeezes them out.
     pub fn graph_size(&self) -> (usize, usize) {
         let view = self.shared.view.read().unwrap();
         (view.graph.node_count(), view.graph.edge_count())
@@ -1048,13 +1177,20 @@ impl ServeEngine {
         (view.graph.delta_node_count(), view.graph.delta_edge_count())
     }
 
+    /// Removals still in the overlay as `(removed nodes, tombstoned
+    /// edges)` — both 0 right after [`ServeEngine::compact`].
+    pub fn pending_removals(&self) -> (usize, usize) {
+        let view = self.shared.view.read().unwrap();
+        (view.graph.removed_node_count(), view.graph.tomb_edge_count())
+    }
+
     /// A counters snapshot.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             queries: self.shared.queries.load(Ordering::Relaxed),
             warmups: self.shared.warmups.load(Ordering::Relaxed),
             updates: self.shared.updates.load(Ordering::Relaxed),
-            cache: self.shared.cache.lock().unwrap().stats(),
+            cache: self.shared.cache.lock().stats(),
         }
     }
 }
@@ -1070,6 +1206,28 @@ impl Drop for ServeEngine {
     }
 }
 
+/// Runs one evaluation with panics contained to the request: the worker
+/// survives to serve the next job (with a one-worker pool an uncaught
+/// panic would wedge every future query), and the requester gets
+/// [`QueryError::Panicked`] instead of a dead channel. Shared state stays
+/// sound across the unwind — the d-ball cache uses a non-poisoning mutex
+/// and is consistent between operations, and queries never hold the view
+/// write lock — which is exactly why `AssertUnwindSafe` is justified. The
+/// per-worker caches are rebuilt on panic: their buffers may have been
+/// mid-mutation when the unwind tore through them.
+fn run_contained<T>(
+    caches: &mut WorkerCaches,
+    eval: impl FnOnce(&mut WorkerCaches) -> Result<T, QueryError>,
+) -> Result<T, QueryError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval(caches))) {
+        Ok(r) => r,
+        Err(_) => {
+            *caches = WorkerCaches::default();
+            Err(QueryError::Panicked)
+        }
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>, jobs: Arc<Injector<Job>>) {
     let mut caches = WorkerCaches::default();
     // `pop` blocks while the injector is open; `None` = closed + drained.
@@ -1077,10 +1235,17 @@ fn worker_loop(shared: Arc<Shared>, jobs: Arc<Injector<Job>>) {
         shared.queries.fetch_add(1, Ordering::Relaxed);
         match job {
             Job::Identify(req, reply) => {
-                let _ = reply.send(shared.identify(&req, &mut caches));
+                let _ = reply.send(run_contained(&mut caches, |c| shared.identify(&req, c)));
             }
             Job::TopRules(pred, k, reply) => {
-                let _ = reply.send(shared.top_rules(&pred, k));
+                let _ = reply.send(run_contained(&mut caches, |_| shared.top_rules(&pred, k)));
+            }
+            #[cfg(test)]
+            Job::Crash(reply) => {
+                let _ = reply
+                    .send(run_contained(&mut caches, |_| -> Result<IdentifyResponse, _> {
+                        panic!("test-injected query panic")
+                    }));
             }
         }
     }
@@ -1294,11 +1459,21 @@ mod tests {
     }
 
     /// After an update, answers and stats must equal a fresh engine built
-    /// on the materialized (compacted) graph.
+    /// on the materialized (compacted) graph. When node removals forced a
+    /// dense re-numbering, the fresh engine's answers come back in new ids
+    /// and are translated into the incremental engine's id space first.
     fn assert_matches_fresh_rebuild(engine: &ServeEngine, cat: &RuleCatalog, pred: Predicate) {
-        let compacted = {
+        let (compacted, remap) = {
             let view = engine.shared.view.read().unwrap();
-            Arc::new(view.graph.compact())
+            let c = view.graph.compact();
+            (Arc::new(c.graph), c.remap)
+        };
+        let back: Option<Vec<NodeId>> = remap.as_ref().map(NodeRemap::inverse);
+        let to_old = |ids: Vec<NodeId>| -> Vec<NodeId> {
+            match &back {
+                None => ids,
+                Some(b) => ids.into_iter().map(|v| b[v.index()]).collect(),
+            }
         };
         let fresh = ServeEngine::new(
             compacted,
@@ -1307,7 +1482,7 @@ mod tests {
         );
         assert_eq!(
             engine.identify(pred, None).unwrap().customers,
-            fresh.identify(pred, None).unwrap().customers,
+            to_old(fresh.identify(pred, None).unwrap().customers),
             "incremental answers must equal a from-scratch rebuild"
         );
         let top_inc = engine.top_rules(pred, 16).unwrap();
@@ -1501,6 +1676,275 @@ mod tests {
     }
 
     #[test]
+    fn delete_then_reinsert_in_one_batch_is_answer_neutral() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let visit = vocab.get("visit").unwrap();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        let before = engine.identify(pred, None).unwrap().customers;
+        // One batch deletes and re-inserts the same edge: deletions apply
+        // first, so the edge nets to present and answers are unchanged —
+        // but both mutations are real (tombstone, then un-tombstone).
+        let report = engine
+            .apply_update(&GraphUpdate {
+                del_edges: vec![(NodeId(0), NodeId(1), visit)],
+                new_edges: vec![(NodeId(0), NodeId(1), visit)],
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(report.removed_edges, 1);
+        assert_eq!(report.added_edges, 1);
+        assert_eq!(report.touched, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(engine.identify(pred, None).unwrap().customers, before);
+        assert_eq!(engine.pending_removals(), (0, 0), "tombstone was cancelled");
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+    }
+
+    #[test]
+    fn edge_deletion_retires_customers_like_a_rebuild() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let like = vocab.get("like").unwrap();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        let before = engine.identify(pred, None).unwrap().customers;
+        assert!(before.contains(&NodeId(0)));
+        // cust 0 un-likes its restaurant: the antecedent no longer holds.
+        let report = engine
+            .apply_update(&GraphUpdate {
+                del_edges: vec![(NodeId(0), NodeId(1), like)],
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(report.removed_edges, 1);
+        assert!(report.reevaluated >= 1);
+        assert!(!engine.identify(pred, None).unwrap().customers.contains(&NodeId(0)));
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+        // And back: the tombstone clears and the customer returns.
+        engine
+            .apply_update(&GraphUpdate {
+                new_edges: vec![(NodeId(0), NodeId(1), like)],
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(engine.identify(pred, None).unwrap().customers, before);
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+    }
+
+    #[test]
+    fn node_removal_retires_the_center_and_subtracts_its_ledger_entry() {
+        let (g, cat, pred) = scenario();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        let before = engine.top_rules(pred, 1).unwrap()[0].stats;
+        // cust 0 (a positive supporting the rule) leaves the graph: its
+        // ledger contribution must be subtracted, not re-evaluated.
+        let report = engine
+            .apply_update(&GraphUpdate { del_nodes: vec![NodeId(0)], ..Default::default() })
+            .unwrap();
+        assert_eq!(report.removed_nodes, 1);
+        assert_eq!(report.removed_edges, 2, "like + visit edges cascade");
+        assert_eq!(report.removed_centers, 1);
+        let after = engine.top_rules(pred, 1).unwrap()[0].stats;
+        assert_eq!(after.supp_q, before.supp_q - 1);
+        assert_eq!(after.supp_r, before.supp_r - 1);
+        assert!(!engine.identify(pred, None).unwrap().customers.contains(&NodeId(0)));
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+    }
+
+    /// The non-monotone case the union ball exists for: deleting the only
+    /// edge connecting a cached center to part of its d-ball *grows* the
+    /// center's distance to the touched nodes, so the pre-update BFS — not
+    /// the post-update one — is what reaches it at the old radius.
+    #[test]
+    fn deleting_the_unique_path_edge_invalidates_the_shrunk_ball() {
+        let vocab = Vocab::new();
+        let cust = vocab.intern("cust");
+        let rest = vocab.intern("rest");
+        let (friend, like, visit) =
+            (vocab.intern("friend"), vocab.intern("like"), vocab.intern("visit"));
+        // c0 -friend-> c1 -like-> r2 is c0's only path to {c1, r2};
+        // c0 -visit-> r3 holds the consequent. A second friendship in a
+        // far component keeps the `friend` label present after the
+        // deletion, so the test exercises the incremental union-ball
+        // repair and not the label-vanish rebuild path.
+        let mut b = GraphBuilder::new(vocab.clone());
+        let c0 = b.add_node(cust);
+        let c1 = b.add_node(cust);
+        let r2 = b.add_node(rest);
+        let r3 = b.add_node(rest);
+        b.add_edge(c0, c1, friend);
+        b.add_edge(c1, r2, like);
+        b.add_edge(c0, r3, visit);
+        let c4 = b.add_node(cust);
+        let c5 = b.add_node(cust);
+        b.add_edge(c4, c5, friend);
+        let g = Arc::new(b.build());
+        // Rule: x -friend-> z, z -like-> y  ⇒  visit(x, y). Radius 2.
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node(cust);
+        let z = pb.node(cust);
+        let y = pb.node(rest);
+        pb.edge(x, z, friend);
+        pb.edge(z, y, like);
+        let rule = Arc::new(Gpar::new(pb.designate(x, y).build().unwrap(), visit).unwrap());
+        let pred = *rule.predicate();
+        let mut cat = RuleCatalog::new(vocab);
+        cat.insert(rule, ConfStats::default());
+
+        let engine = ServeEngine::new(
+            g.clone(),
+            &cat,
+            ServeConfig { eta: 0.0, cache_capacity: 64, ..Default::default() },
+        );
+        let before = engine.identify(pred, None).unwrap().customers;
+        assert_eq!(before, vec![c0], "c0 matches the 2-hop antecedent and visits");
+
+        let report = engine
+            .apply_update(&GraphUpdate { del_edges: vec![(c0, c1, friend)], ..Default::default() })
+            .unwrap();
+        // c0's cached 2-ball contained {c1, r2} only through the deleted
+        // edge; post-delete c0 is still adjacent to touched c0 itself, but
+        // the key property is that (c0, 2) was evicted and re-evaluated.
+        assert!(
+            report.evicted.iter().any(|&(c, _)| c == c0),
+            "the shrunk ball's cache entry must be evicted: {:?}",
+            report.evicted
+        );
+        assert_eq!(report.rebuilt_groups, 0, "label survives: incremental path, not rebuild");
+        assert!(report.reevaluated >= 1);
+        // The far component's cache entries stay hot (tightness).
+        assert!(report.evicted.iter().all(|&(c, _)| c != c4 && c != c5));
+        assert!(engine.identify(pred, None).unwrap().customers.is_empty());
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+    }
+
+    #[test]
+    fn deleting_the_last_node_of_a_label_deactivates_rules() {
+        let (g0, cat0, pred) = scenario();
+        let vocab = g0.vocab().clone();
+        let cust = vocab.get("cust").unwrap();
+        let visit = vocab.get("visit").unwrap();
+        let club = vocab.intern("club");
+        let goes = vocab.intern("goes_to");
+        // Start WITH the club in the graph, so the club rule is active.
+        let mut b = GraphBuilder::new(vocab.clone());
+        for v in g0.nodes() {
+            b.add_node(g0.node_label(v));
+        }
+        for v in g0.nodes() {
+            for e in g0.out_edges(v) {
+                b.add_edge(v, e.node, e.label);
+            }
+        }
+        let club_node = b.add_node(club);
+        b.add_edge(NodeId(0), club_node, goes);
+        let g = Arc::new(b.build());
+        let mut cat = cat0.clone();
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node(cust);
+        let y = pb.node(vocab.get("rest").unwrap());
+        let z = pb.node(club);
+        pb.edge(x, y, vocab.get("like").unwrap());
+        pb.edge(x, z, goes);
+        let clubby = Arc::new(Gpar::new(pb.designate(x, y).build().unwrap(), visit).unwrap());
+        cat.insert(clubby, ConfStats::default());
+
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.0, ..Default::default() });
+        {
+            let view = engine.shared.view.read().unwrap();
+            let grp = view.index.group(&pred).unwrap();
+            assert_eq!(grp.rules.len(), 2, "club rule starts active");
+        }
+        engine.identify(pred, None).unwrap(); // warm the 2-rule group
+
+        // The only club closes: the label vanishes, the present↔absent
+        // flip must take the group-rebuild path and deactivate the rule —
+        // the mirror of insert-side re-activation.
+        let report = engine
+            .apply_update(&GraphUpdate { del_nodes: vec![club_node], ..Default::default() })
+            .unwrap();
+        assert_eq!(report.rebuilt_groups, 1, "vanished label must rebuild the group");
+        {
+            let view = engine.shared.view.read().unwrap();
+            let grp = view.index.group(&pred).unwrap();
+            assert_eq!(grp.rules.len(), 1);
+            assert_eq!(grp.inactive_rules, 1);
+        }
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+    }
+
+    #[test]
+    fn compact_after_removals_remaps_ids_and_keeps_answers() {
+        let (g, cat, pred) = scenario();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        let before = engine.identify(pred, None).unwrap().customers;
+        assert!(before.contains(&NodeId(2)));
+        // Remove cust 0 and its restaurant; every other id survives.
+        engine
+            .apply_update(&GraphUpdate {
+                del_nodes: vec![NodeId(0), NodeId(1)],
+                ..Default::default()
+            })
+            .unwrap();
+        let pre_compact = engine.identify(pred, None).unwrap().customers;
+        assert_eq!(engine.pending_removals(), (2, 2), "base-edge cascade tombstones like + visit");
+        let remap = engine.compact().expect("removals force a remap");
+        assert_eq!(engine.pending_removals(), (0, 0));
+        assert_eq!(engine.pending_deltas(), (0, 0));
+        assert_eq!(remap.get(NodeId(0)), None);
+        // Old answers translated through the remap are the new answers,
+        // and the warm state answers them without re-warming.
+        let expect: Vec<NodeId> =
+            pre_compact.iter().map(|&c| remap.get(c).expect("customers survive")).collect();
+        let after = engine.identify(pred, None).unwrap();
+        assert!(!after.warmed, "warm state survives a remapped compaction");
+        assert_eq!(after.customers, expect);
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+        assert_eq!(engine.stats().warmups, 1, "no re-warm despite the id shuffle");
+    }
+
+    #[test]
+    fn poisoned_cache_lock_does_not_brick_the_engine() {
+        let (g, cat, pred) = scenario();
+        let engine = Arc::new(ServeEngine::new(
+            g,
+            &cat,
+            ServeConfig { eta: 0.5, workers: 2, ..Default::default() },
+        ));
+        let before = engine.identify(pred, None).unwrap().customers;
+        // A thread panics while holding the cache lock — with a poisoning
+        // mutex every subsequent query would unwrap-panic and the pool
+        // would die thread by thread.
+        let shared = engine.shared.clone();
+        let t = std::thread::spawn(move || {
+            let _guard = shared.cache.lock();
+            panic!("worker panic while holding the cache lock");
+        });
+        assert!(t.join().is_err());
+        // The engine keeps serving, cache included.
+        assert_eq!(engine.identify(pred, None).unwrap().customers, before);
+        assert_eq!(engine.identify(pred, Some(vec![NodeId(0)])).unwrap().customers.len(), 1);
+    }
+
+    #[test]
+    fn panicking_query_does_not_wedge_the_pool() {
+        let (g, cat, pred) = scenario();
+        // One worker: if the panic killed it, every later query would hang.
+        let engine =
+            ServeEngine::new(g, &cat, ServeConfig { eta: 0.5, workers: 1, ..Default::default() });
+        let (tx, rx) = channel();
+        engine.submit(Job::Crash(tx)).unwrap();
+        assert_eq!(rx.recv().unwrap().unwrap_err(), QueryError::Panicked);
+        // Same worker, next job: still alive, still correct.
+        let res = engine.identify(pred, None).unwrap();
+        assert!(!res.customers.is_empty());
+    }
+
+    #[test]
     fn invalidation_is_scoped_to_the_touched_ball() {
         let (g, cat, pred) = scenario();
         let vocab = g.vocab().clone();
@@ -1512,7 +1956,7 @@ mod tests {
         );
         engine.identify(pred, None).unwrap(); // warm: fills the cache with all evaluated sites
         let cached_before = {
-            let cache = engine.shared.cache.lock().unwrap();
+            let cache = engine.shared.cache.lock();
             cache.len()
         };
         assert!(cached_before > 2);

@@ -164,6 +164,18 @@ impl PredicateGroup {
             }
         }
     }
+
+    /// Translates the center list through a compaction [`NodeRemap`]. All
+    /// centers must survive (removed nodes are retired from every group
+    /// when the removal batch is applied, before any compaction), and the
+    /// remap is monotone, so the list stays sorted and the sketch column
+    /// stays aligned.
+    pub fn remap_centers(&mut self, remap: &gpar_graph::NodeRemap) {
+        for c in &mut self.centers {
+            *c = remap.get(*c).expect("removed centers are retired at removal time");
+        }
+        debug_assert!(self.centers.is_sorted(), "monotone remap preserves order");
+    }
 }
 
 /// The full index: one [`PredicateGroup`] per predicate in the catalog
@@ -237,6 +249,14 @@ impl CandidateIndex {
     /// signature is unsatisfiable in the graph).
     pub fn dormant(&self) -> &[Predicate] {
         &self.dormant
+    }
+
+    /// Translates every group's center list through a compaction
+    /// [`NodeRemap`] (see [`PredicateGroup::remap_centers`]).
+    pub fn remap_ids(&mut self, remap: &gpar_graph::NodeRemap) {
+        for g in self.groups.values_mut() {
+            g.remap_centers(remap);
+        }
     }
 
     /// Rebuilds one predicate's group from scratch against the current

@@ -24,11 +24,15 @@
 //!   [`top_rules`](ServeEngine::top_rules) requests concurrently, with a
 //!   shared LRU cache ([`cache::LruCache`]) of per-center d-ball
 //!   extractions so hot centers are never re-extracted — and **live
-//!   updates**: [`ServeEngine::apply_update`] applies an insert/relabel
-//!   batch ([`GraphUpdate`]) to a [`gpar_graph::DeltaGraph`] overlay,
-//!   invalidating only the d-balls an update can reach and incrementally
-//!   repairing index and warm state; [`ServeEngine::compact`] folds the
-//!   overlay back into CSR form.
+//!   updates**: [`ServeEngine::apply_update`] applies an
+//!   insert/relabel/deletion batch ([`GraphUpdate`]) to a
+//!   [`gpar_graph::DeltaGraph`] overlay (edge tombstones + node removal
+//!   included), invalidating only the d-balls an update can reach on
+//!   either side of the mutation (the union-ball rule for non-monotone
+//!   deletions) and incrementally repairing index and warm state;
+//!   [`ServeEngine::compact`] folds the overlay back into CSR form,
+//!   returning a [`gpar_graph::NodeRemap`] when node removals
+//!   re-densified the id space.
 //!
 //! The engine's answers are **exactly** those of a direct
 //! [`gpar_eip::identify`] run on the same (current) graph — the warm-up

@@ -1,10 +1,17 @@
 //! Differential correctness of the delta-graph serving path: after any
-//! random sequence of update batches (edge inserts, new nodes, relabels),
-//! an incrementally-maintained [`ServeEngine`] must answer **exactly**
-//! like a fresh engine built from scratch on the materialized graph —
-//! same customers, same per-rule `ConfStats`/confidence/η-gating — across
-//! worker counts {1, 2, 8} (plus any `GPAR_WORKERS` override), and
-//! compaction must change nothing.
+//! random sequence of update batches (edge inserts, **edge deletions,
+//! node removals**, new nodes, relabels), an incrementally-maintained
+//! [`ServeEngine`] must answer **exactly** like a fresh engine built from
+//! scratch on the materialized graph — same customers, same per-rule
+//! `ConfStats`/confidence/η-gating — across worker counts {1, 2, 8} (plus
+//! any `GPAR_WORKERS` override), and compaction must change nothing (up
+//! to the id re-densification its `NodeRemap` reports when nodes were
+//! removed).
+//!
+//! The ground truth deliberately has a different id space once nodes are
+//! removed (it is rebuilt densely), so the comparison translates the
+//! fresh engine's answers back into the overlay's stable id space — an
+//! independent check of the compaction remap semantics as well.
 //!
 //! The default case count is deliberately small (the suite builds many
 //! engines per case); CI's delta-fuzz leg raises it via `PROPTEST_CASES`.
@@ -39,66 +46,117 @@ fn worker_counts() -> Vec<usize> {
 }
 
 /// An abstract update batch: indices are resolved modulo the live node /
-/// label universe at apply time, so every generated batch is valid.
-type RawBatch = (Vec<u32>, Vec<(u32, u32, u32)>, Vec<(u32, u32)>);
+/// label / edge universe at apply time, so every generated batch is valid.
+/// Fields: (new nodes, new edges, relabels, edge deletions, node removals).
+type RawBatch = (Vec<u32>, Vec<(u32, u32, u32)>, Vec<(u32, u32)>, Vec<u32>, Vec<u32>);
 
-/// The engine-independent ground truth: node labels + edge set, rebuilt
-/// into a CSR graph after every batch.
+/// The engine-independent ground truth: node labels + liveness + edge
+/// set, rebuilt into a dense CSR graph after every batch.
 struct Materialized {
     node_labels: Vec<Label>,
+    alive: Vec<bool>,
     edges: Vec<(NodeId, NodeId, Label)>,
     vocab: Arc<gpar::graph::Vocab>,
 }
 
 impl Materialized {
     fn of(g: &Graph) -> Self {
-        let node_labels = (0..g.node_count() as u32).map(|v| g.node_label(NodeId(v))).collect();
+        let node_labels: Vec<Label> =
+            (0..g.node_count() as u32).map(|v| g.node_label(NodeId(v))).collect();
+        let alive = vec![true; node_labels.len()];
         let mut edges = Vec::new();
         for v in 0..g.node_count() as u32 {
             for e in g.out_edges(NodeId(v)) {
                 edges.push((NodeId(v), e.node, e.label));
             }
         }
-        Self { node_labels, edges, vocab: g.vocab().clone() }
+        Self { node_labels, alive, edges, vocab: g.vocab().clone() }
+    }
+
+    fn live_ids(&self) -> Vec<NodeId> {
+        (0..self.alive.len() as u32).map(NodeId).filter(|v| self.alive[v.index()]).collect()
     }
 
     /// Resolves a raw batch against the current universe into a concrete
-    /// [`GraphUpdate`], and applies it to the ground truth.
+    /// [`GraphUpdate`], and applies it to the ground truth. Deletions are
+    /// drawn from live nodes / existing edges so they are effective, and
+    /// inserts/relabels avoid removed nodes so the batch always validates.
     fn resolve_and_apply(&mut self, raw: &RawBatch, labels: &[Label]) -> GraphUpdate {
-        let (raw_nodes, raw_edges, raw_relabels) = raw;
+        let (raw_nodes, raw_edges, raw_relabels, raw_del_edges, raw_del_nodes) = raw;
         let pick = |i: u32| labels[i as usize % labels.len()];
+
+        // Node removals first: they reference the pre-batch graph, and
+        // everything else in the batch must avoid them.
+        let pre_live = self.live_ids();
+        let mut del_nodes: Vec<NodeId> = Vec::new();
+        if !pre_live.is_empty() {
+            for &i in raw_del_nodes {
+                del_nodes.push(pre_live[i as usize % pre_live.len()]);
+            }
+        }
+        // Edge deletions reference existing edges of the pre-batch graph
+        // (possibly edges the node removals would cascade anyway — a
+        // legitimate overlap the engine must tolerate).
+        let mut del_edges: Vec<(NodeId, NodeId, Label)> = Vec::new();
+        if !self.edges.is_empty() {
+            for &i in raw_del_edges {
+                del_edges.push(self.edges[i as usize % self.edges.len()]);
+            }
+        }
+
+        // Apply removals to the truth: dead flags + incident edges (all
+        // occurrences — the edge universe is a set).
+        for &(s, d, l) in &del_edges {
+            self.edges.retain(|&e| e != (s, d, l));
+        }
+        for &w in &del_nodes {
+            self.alive[w.index()] = false;
+            self.edges.retain(|&(s, d, _)| s != w && d != w);
+        }
+
+        // Inserts and relabels target the post-removal live universe.
         let new_nodes: Vec<Label> = raw_nodes.iter().map(|&i| pick(i)).collect();
-        let n_after = self.node_labels.len() + new_nodes.len();
-        let resolve = |i: u32| NodeId((i as usize % n_after) as u32);
+        let first_new = self.node_labels.len() as u32;
+        let mut live = self.live_ids();
+        live.extend((0..new_nodes.len() as u32).map(|i| NodeId(first_new + i)));
+        let resolve = |i: u32| live[i as usize % live.len()];
         let new_edges: Vec<(NodeId, NodeId, Label)> =
             raw_edges.iter().map(|&(s, d, l)| (resolve(s), resolve(d), pick(l))).collect();
         let relabels: Vec<(NodeId, Label)> =
             raw_relabels.iter().map(|&(v, l)| (resolve(v), pick(l))).collect();
 
         self.node_labels.extend(&new_nodes);
+        self.alive.extend(std::iter::repeat_n(true, new_nodes.len()));
         for &(v, l) in &relabels {
             self.node_labels[v.index()] = l;
         }
         self.edges.extend(&new_edges);
-        GraphUpdate { new_nodes, new_edges, relabels }
+        GraphUpdate { new_nodes, new_edges, relabels, del_edges, del_nodes }
     }
 
-    fn build(&self) -> Arc<Graph> {
+    /// Builds the dense ground-truth graph plus the overlay-id → dense-id
+    /// translation (identity while no node was ever removed).
+    fn build(&self) -> (Arc<Graph>, Vec<Option<NodeId>>) {
         let mut b = GraphBuilder::new(self.vocab.clone());
-        for &l in &self.node_labels {
-            b.add_node(l);
+        let mut fwd: Vec<Option<NodeId>> = Vec::with_capacity(self.node_labels.len());
+        for (i, &l) in self.node_labels.iter().enumerate() {
+            if self.alive[i] {
+                fwd.push(Some(b.add_node(l)));
+            } else {
+                fwd.push(None);
+            }
         }
         for &(s, d, l) in &self.edges {
-            b.add_edge(s, d, l);
+            b.add_edge(fwd[s.index()].unwrap(), fwd[d.index()].unwrap(), l);
         }
-        Arc::new(b.build())
+        (Arc::new(b.build()), fwd)
     }
 }
 
 /// The comparable answer surface of one engine for one predicate.
 /// `None` means the predicate is unservable (every rule deactivated — a
-/// relabel can starve a rule's demanded label out of the graph), which a
-/// fresh rebuild must agree on too.
+/// relabel or deletion can starve a rule's demanded label out of the
+/// graph), which a fresh rebuild must agree on too.
 type AnswerSurface = Option<(Vec<NodeId>, Vec<NodeId>, Vec<(ConfStats, u64, bool)>)>;
 
 fn surface(engine: &ServeEngine, pred: Predicate, subset: &[NodeId]) -> AnswerSurface {
@@ -113,6 +171,21 @@ fn surface(engine: &ServeEngine, pred: Predicate, subset: &[NodeId]) -> AnswerSu
     // Order-insensitive: rank ties may order differently across engines.
     rules.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.supp_r.cmp(&b.0.supp_r)));
     Some((full, sub, rules))
+}
+
+/// Translates a fresh (dense-id) surface back into the overlay id space
+/// through the inverse of `fwd`, so it compares against incremental
+/// engines whose ids never move.
+fn surface_to_overlay_ids(s: AnswerSurface, fwd: &[Option<NodeId>]) -> AnswerSurface {
+    let (full, sub, rules) = s?;
+    let mut back: Vec<NodeId> = vec![NodeId(u32::MAX); fwd.len()];
+    for (old, new) in fwd.iter().enumerate() {
+        if let Some(n) = new {
+            back[n.index()] = NodeId(old as u32);
+        }
+    }
+    let tr = |ids: Vec<NodeId>| ids.into_iter().map(|v| back[v.index()]).collect::<Vec<_>>();
+    Some((tr(full), tr(sub), rules))
 }
 
 /// The label universe updates draw from: every label the base graph uses
@@ -140,6 +213,8 @@ proptest! {
                 collection::vec(0u32..64, 0..3),          // new nodes
                 collection::vec((0u32..4096, 0u32..4096, 0u32..64), 0..6), // new edges
                 collection::vec((0u32..4096, 0u32..64), 0..3),             // relabels
+                collection::vec(0u32..4096, 0..4),                         // edge deletions
+                collection::vec(0u32..4096, 0..2),                         // node removals
             ),
             1..4,
         ),
@@ -181,13 +256,22 @@ proptest! {
             for e in &engines {
                 e.apply_update(&update).expect("update batches are valid by construction");
             }
-            let fresh = ServeEngine::new(truth.build(), &catalog, cfg(2));
-            let subset: Vec<NodeId> =
-                (0..truth.node_labels.len() as u32).step_by(3).map(NodeId).collect();
-            let expect = surface(&fresh, pred, &subset);
+            let (fresh_graph, fwd) = truth.build();
+            let fresh = ServeEngine::new(fresh_graph, &catalog, cfg(2));
+            // Subset queries are issued in each engine's own id space over
+            // the same underlying nodes.
+            let overlay_subset: Vec<NodeId> = truth
+                .live_ids()
+                .into_iter()
+                .step_by(3)
+                .collect();
+            let fresh_subset: Vec<NodeId> =
+                overlay_subset.iter().map(|&v| fwd[v.index()].unwrap()).collect();
+            let expect =
+                surface_to_overlay_ids(surface(&fresh, pred, &fresh_subset), &fwd);
             for (e, w) in engines.iter().zip(worker_counts()) {
                 prop_assert_eq!(
-                    &surface(e, pred, &subset),
+                    &surface(e, pred, &overlay_subset),
                     &expect,
                     "incremental (workers = {}) diverged from fresh rebuild",
                     w
@@ -195,12 +279,30 @@ proptest! {
             }
         }
 
-        // Compaction folds the overlay into CSR without changing answers.
-        let subset: Vec<NodeId> =
-            (0..truth.node_labels.len() as u32).step_by(3).map(NodeId).collect();
-        let before = surface(&engines[0], pred, &subset);
-        engines[0].compact();
+        // Compaction folds the overlay into CSR without changing answers —
+        // modulo the id re-densification its remap reports when nodes
+        // were removed.
+        let overlay_subset: Vec<NodeId> = truth.live_ids().into_iter().step_by(3).collect();
+        let before = surface(&engines[0], pred, &overlay_subset);
+        let remap = engines[0].compact();
         prop_assert_eq!(engines[0].pending_deltas(), (0, 0));
-        prop_assert_eq!(&surface(&engines[0], pred, &subset), &before, "compact changed answers");
+        prop_assert_eq!(engines[0].pending_removals(), (0, 0));
+        let (compacted_subset, expect_after) = match &remap {
+            None => (overlay_subset, before),
+            Some(r) => {
+                let tr = |ids: Vec<NodeId>| -> Vec<NodeId> {
+                    ids.into_iter().map(|v| r.get(v).expect("live ids survive")).collect()
+                };
+                (
+                    overlay_subset.iter().map(|&v| r.get(v).expect("live")).collect(),
+                    before.map(|(full, sub, rules)| (tr(full), tr(sub), rules)),
+                )
+            }
+        };
+        prop_assert_eq!(
+            &surface(&engines[0], pred, &compacted_subset),
+            &expect_after,
+            "compact changed answers"
+        );
     }
 }

@@ -1,14 +1,22 @@
-//! The invalidation set is *sound* and *tight*.
+//! The invalidation set is *sound* and *tight* — now under deletions.
+//!
+//! Deletion makes invalidation non-monotone: cutting an edge can grow a
+//! center's distance to the touched set, so the engine invalidates the
+//! **union ball** — nodes within distance `d` of a touched node on the
+//! pre-update *or* the post-update view.
 //!
 //! Sound: any center whose d-ball differs between the pre- and
 //! post-update graph (the canary: an independently-computed d-ball
-//! fingerprint diff) lies within undirected distance `d` of a touched
-//! node, so its cache entry — if present — was evicted and its membership
-//! re-evaluated. Tight: every key the engine actually evicted is within
-//! distance `d` of a touched node; nothing outside the ball is dropped.
+//! fingerprint diff) lies within the union ball, so its cache entry — if
+//! present — was evicted and its membership re-evaluated. Tight: every
+//! key the engine actually evicted is within the union ball; nothing
+//! outside it is dropped.
 //!
 //! `d` is pinned (`ServeConfig::d = Some(D)`) so the externally-checked
-//! radius and the engine's are the same by construction.
+//! radius and the engine's are the same by construction. The post-update
+//! ground truth is materialized densely (removed nodes squeezed out), so
+//! all post-side measurements run through the old↔new id translation —
+//! independently re-deriving the id contract `compact()` exposes.
 
 use gpar::core::{ConfStats, Gpar, Predicate};
 use gpar::datagen::{generate_rules, synthetic, RuleGenConfig, SyntheticConfig};
@@ -31,45 +39,69 @@ fn predicate_of(g: &Graph) -> Option<Predicate> {
 }
 
 /// An order-independent fingerprint of `G_d(c)`: the ball's nodes, their
-/// labels, and the induced edges, all in global ids. Two equal
-/// fingerprints ⇒ identical extracted sites ⇒ identical evaluation.
+/// labels, and the induced edges. Two equal fingerprints ⇒ identical
+/// extracted sites ⇒ identical evaluation. Node ids are reported through
+/// `tr`, so pre-graph (overlay-id) and post-graph (dense-id) fingerprints
+/// compare in one shared id space.
 type BallFingerprint = (Vec<(NodeId, Label)>, Vec<(NodeId, NodeId, Label)>);
 
-fn ball_fingerprint(g: &Graph, c: NodeId, d: u32) -> BallFingerprint {
+fn ball_fingerprint(
+    g: &Graph,
+    c: NodeId,
+    d: u32,
+    tr: &dyn Fn(NodeId) -> NodeId,
+) -> BallFingerprint {
     let nodes = ball(g, c, d);
-    let labeled: Vec<(NodeId, Label)> = nodes.iter().map(|&v| (v, g.node_label(v))).collect();
+    let mut labeled: Vec<(NodeId, Label)> =
+        nodes.iter().map(|&v| (tr(v), g.node_label(v))).collect();
+    labeled.sort_unstable();
     let mut edges = Vec::new();
     for &v in &nodes {
         for e in g.out_edges(v) {
             if nodes.binary_search(&e.node).is_ok() {
-                edges.push((v, e.node, e.label));
+                edges.push((tr(v), tr(e.node), e.label));
             }
         }
     }
+    edges.sort_unstable();
     (labeled, edges)
 }
 
-/// Materializes `g` + `update` through the independent builder path.
-fn materialize(g: &Graph, update: &GraphUpdate) -> Arc<Graph> {
-    let mut b = GraphBuilder::new(g.vocab().clone());
+/// Materializes `g` + `update` through the independent builder path,
+/// densely (removed nodes squeezed out). Returns the graph and the
+/// overlay-id → dense-id map (`None` for removed slots).
+fn materialize(g: &Graph, update: &GraphUpdate) -> (Arc<Graph>, Vec<Option<NodeId>>) {
     let mut labels: Vec<Label> =
         (0..g.node_count() as u32).map(|v| g.node_label(NodeId(v))).collect();
     labels.extend(&update.new_nodes);
     for &(v, l) in &update.relabels {
         labels[v.index()] = l;
     }
-    for &l in &labels {
-        b.add_node(l);
-    }
+    let mut alive = vec![true; labels.len()];
+    let mut edges: Vec<(NodeId, NodeId, Label)> = Vec::new();
     for v in 0..g.node_count() as u32 {
         for e in g.out_edges(NodeId(v)) {
-            b.add_edge(NodeId(v), e.node, e.label);
+            edges.push((NodeId(v), e.node, e.label));
         }
     }
-    for &(s, d, l) in &update.new_edges {
-        b.add_edge(s, d, l);
+    for &(s, d, l) in &update.del_edges {
+        edges.retain(|&e| e != (s, d, l));
     }
-    Arc::new(b.build())
+    for &w in &update.del_nodes {
+        alive[w.index()] = false;
+        edges.retain(|&(s, d, _)| s != w && d != w);
+    }
+    edges.extend(&update.new_edges);
+
+    let mut b = GraphBuilder::new(g.vocab().clone());
+    let mut fwd: Vec<Option<NodeId>> = Vec::with_capacity(labels.len());
+    for (i, &l) in labels.iter().enumerate() {
+        fwd.push(alive[i].then(|| b.add_node(l)));
+    }
+    for &(s, d, l) in &edges {
+        b.add_edge(fwd[s.index()].unwrap(), fwd[d.index()].unwrap(), l);
+    }
+    (Arc::new(b.build()), fwd)
 }
 
 proptest! {
@@ -82,6 +114,8 @@ proptest! {
         raw_nodes in collection::vec(0u32..64, 0..3),
         raw_edges in collection::vec((0u32..4096, 0u32..4096, 0u32..64), 1..6),
         raw_relabels in collection::vec((0u32..4096, 0u32..64), 0..3),
+        raw_del_edges in collection::vec(0u32..4096, 0..5),
+        raw_del_nodes in collection::vec(0u32..4096, 0..2),
     ) {
         let g = synthetic(&SyntheticConfig::sized(nodes, nodes * 2, seed));
         let Some(pred) = predicate_of(&g) else { return };
@@ -100,18 +134,45 @@ proptest! {
             catalog.insert(Arc::new(r.clone()), ConfStats::default());
         }
 
-        // Resolve the abstract update against the graph's universe.
+        // Resolve the abstract update against the graph's universe. Node
+        // removals come first (they may only reference pre-batch ids) and
+        // everything attaching state avoids them.
         let mut labels: Vec<Label> = g.node_label_histogram().keys().copied().collect();
         labels.extend(g.edge_label_histogram().keys().copied());
         labels.sort_unstable();
         labels.dedup();
         let pick = |i: u32| labels[i as usize % labels.len()];
+        let del_nodes: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = raw_del_nodes
+                .iter()
+                .map(|&i| NodeId((i as usize % g.node_count()) as u32))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut base_edges: Vec<(NodeId, NodeId, Label)> = Vec::new();
+        for v in 0..g.node_count() as u32 {
+            for e in g.out_edges(NodeId(v)) {
+                base_edges.push((NodeId(v), e.node, e.label));
+            }
+        }
+        let del_edges: Vec<(NodeId, NodeId, Label)> = raw_del_edges
+            .iter()
+            .map(|&i| base_edges[i as usize % base_edges.len()])
+            .collect();
         let n_after = g.node_count() + raw_nodes.len();
-        let resolve = |i: u32| NodeId((i as usize % n_after) as u32);
+        let live: Vec<NodeId> = (0..n_after as u32)
+            .map(NodeId)
+            .filter(|v| !del_nodes.contains(v))
+            .collect();
+        let resolve = |i: u32| live[i as usize % live.len()];
         let update = GraphUpdate {
             new_nodes: raw_nodes.iter().map(|&i| pick(i)).collect(),
             new_edges: raw_edges.iter().map(|&(s, d, l)| (resolve(s), resolve(d), pick(l))).collect(),
             relabels: raw_relabels.iter().map(|&(v, l)| (resolve(v), pick(l))).collect(),
+            del_edges,
+            del_nodes,
         };
 
         let pre = Arc::new(g.clone());
@@ -123,55 +184,81 @@ proptest! {
         engine.identify(pred, None).expect("warm fills the d-ball cache");
 
         let report = engine.apply_update(&update).expect("update is valid by construction");
-        let post = materialize(&g, &update);
-        let dist = multi_source_distances(&*post, &report.touched, D);
+        let (post, fwd) = materialize(&g, &update);
+        let mut back: Vec<NodeId> = vec![NodeId(u32::MAX); post.node_count()];
+        for (old, new) in fwd.iter().enumerate() {
+            if let Some(n) = new {
+                back[n.index()] = NodeId(old as u32);
+            }
+        }
 
-        // Tight: every evicted key is within distance d of a touched node.
+        // The union ball, independently: pre-distances on the pre graph,
+        // post-distances on the dense post graph (seeds and keys mapped
+        // through the id translation), per-node minimum.
+        let pre_seeds: Vec<NodeId> =
+            report.touched.iter().copied().filter(|v| v.index() < pre.node_count()).collect();
+        let mut union_dist = multi_source_distances(&*pre, &pre_seeds, D);
+        let post_seeds: Vec<NodeId> =
+            report.touched.iter().filter_map(|&v| fwd.get(v.index()).copied().flatten()).collect();
+        for (c, dd) in multi_source_distances(&*post, &post_seeds, D) {
+            let old = back[c.index()];
+            union_dist.entry(old).and_modify(|cur| *cur = (*cur).min(dd)).or_insert(dd);
+        }
+
+        // Tight: every evicted key is within the union ball.
         for &(c, dk) in &report.evicted {
             prop_assert_eq!(dk, D, "engine caches at the pinned radius");
             prop_assert!(
-                dist.get(&c).is_some_and(|&dd| dd <= dk),
-                "evicted ({}, {}) is outside the invalidation ball",
+                union_dist.get(&c).is_some_and(|&dd| dd <= dk),
+                "evicted ({}, {}) is outside the union invalidation ball",
                 c, dk
             );
         }
 
         // Sound (the canary): diff every center's pre/post d-ball; any
-        // divergence must lie inside the ball (⇒ evicted + re-evaluated),
-        // and everything outside the ball must be bit-identical (the
-        // locality theorem the whole design rests on).
+        // divergence must lie inside the union ball (⇒ evicted +
+        // re-evaluated), and everything outside it must be bit-identical
+        // (the locality theorem, extended to the non-monotone case).
         let x = pred.x_cond;
-        for v in 0..post.node_count() as u32 {
-            let c = NodeId(v);
-            if !x.matches(post.node_label(c)) {
+        let id = |v: NodeId| v;
+        for old in 0..fwd.len() as u32 {
+            let c = NodeId(old);
+            let Some(new_c) = fwd.get(c.index()).copied().flatten() else {
+                continue; // removed: its records were subtracted, not re-evaluated
+            };
+            if !x.matches(post.node_label(new_c)) {
                 continue;
             }
-            let in_ball = dist.get(&c).is_some_and(|&dd| dd <= D);
+            let in_ball = union_dist.get(&c).is_some_and(|&dd| dd <= D);
             if c.index() >= pre.node_count() {
                 prop_assert!(in_ball, "new center {} must be invalidated", c);
                 continue;
             }
-            // Contrapositive of the locality theorem: a changed d-ball
-            // implies membership in the invalidation ball — equivalently,
-            // everything outside the ball is bit-identical, so un-evicted
-            // cache entries can never be stale.
-            let changed = ball_fingerprint(&pre, c, D) != ball_fingerprint(&post, c, D);
+            let tr = |v: NodeId| back[v.index()];
+            let changed = ball_fingerprint(&pre, c, D, &id)
+                != ball_fingerprint(&post, new_c, D, &tr);
             if changed {
                 prop_assert!(in_ball, "center {} has a changed d-ball but was not invalidated", c);
             }
         }
 
-        // And the answers stay exact (the end-to-end consequence).
+        // And the answers stay exact (the end-to-end consequence), with
+        // the fresh engine's dense-id answers translated back.
         let fresh = ServeEngine::new(
             post.clone(),
             &catalog,
             ServeConfig { workers: 2, eta: 0.5, d: Some(D), ..Default::default() },
         );
-        // (`Err(UnknownPredicate)` is legitimate — a relabel can starve a
-        // demanded label out of the graph — but both sides must agree.)
+        // (`Err(UnknownPredicate)` is legitimate — a relabel or deletion
+        // can starve a demanded label out of the graph — but both sides
+        // must agree.)
         prop_assert_eq!(
             engine.identify(pred, None).map(|r| r.customers),
-            fresh.identify(pred, None).map(|r| r.customers),
+            fresh.identify(pred, None).map(|r| r
+                .customers
+                .into_iter()
+                .map(|v| back[v.index()])
+                .collect()),
             "stale answer after invalidation"
         );
     }
