@@ -1,0 +1,454 @@
+//! Open-loop load harness: replays a deterministic seeded workload —
+//! mixed identify / top-rules / update-batch traffic with hot-key Zipf
+//! skew — against a live [`ServeEngine`] and writes an SLO report
+//! (p50/p99/p999 per request class, stage breakdown, measured
+//! saturation QPS) as JSON.
+//!
+//! The generator is **open-loop**: arrivals follow a seeded Poisson
+//! schedule computed up front, and every request is stamped with its
+//! *intended* arrival time (`Ts::plus` off one phase epoch), not the
+//! time the dispatcher got around to submitting it. A backlogged engine
+//! therefore shows up as queue-wait and tail latency instead of quietly
+//! throttling the offered rate (coordinated omission). Latency is
+//! recorded engine-side into the merged obs histograms; the harness
+//! reads per-phase deltas via [`MetricsSnapshot::minus`], so the report
+//! reflects exactly the traffic of each phase.
+//!
+//! Saturation is measured by re-running the phase at geometrically
+//! increasing offered rates until completions can no longer keep up
+//! (achieved < 90% of offered); the highest achieved rate is reported.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p gpar-bench --bin load_harness             # full (pokec-500)
+//! cargo run --release -p gpar-bench --bin load_harness -- --quick  # ~10 s CI smoke
+//! cargo run --release -p gpar-bench --bin load_harness -- \
+//!     --qps 400 --duration-secs 5 --slo-p99-ms 20 --out report.json
+//! ```
+
+use gpar_bench::Workloads;
+use gpar_core::Predicate;
+use gpar_datagen::{generate_rules, RuleGenConfig};
+use gpar_graph::{Label, NodeId};
+use gpar_serve::{
+    GraphUpdate, HistKind, IdentifyRequest, MetricsSnapshot, RuleCatalog, ServeConfig, ServeEngine,
+    Ts,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A uniform sample in `[0, 1)` with 53 mantissa bits.
+fn unit(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Sleeps (coarsely, then spins) until `deadline`; returns immediately
+/// if it is already past. Cancellable via `stop`.
+fn wait_until(deadline: Instant, stop: Option<&AtomicBool>) {
+    loop {
+        if let Some(s) = stop {
+            if s.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let left = deadline - now;
+        if left > Duration::from_millis(2) {
+            // Leave the tail for the spin so overshoot stays small.
+            std::thread::sleep((left - Duration::from_millis(1)).min(Duration::from_millis(5)));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// One request class's latency summary over a phase delta.
+struct ClassReport {
+    name: &'static str,
+    count: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+}
+
+fn class_report(delta: &MetricsSnapshot, name: &'static str, kind: HistKind) -> ClassReport {
+    let h = delta.hist(kind);
+    ClassReport {
+        name,
+        count: h.count(),
+        p50_ns: h.quantile(0.50).unwrap_or(0),
+        p99_ns: h.quantile(0.99).unwrap_or(0),
+        p999_ns: h.quantile(0.999).unwrap_or(0),
+        max_ns: h.max(),
+    }
+}
+
+/// What one phase of offered load measured.
+struct PhaseResult {
+    offered_qps: f64,
+    /// Completions per second of wall time until the last reply landed.
+    achieved_qps: f64,
+    submitted: u64,
+    errors: u64,
+    updates_applied: u64,
+    delta: MetricsSnapshot,
+}
+
+#[derive(Clone, Copy)]
+struct PhaseConfig {
+    qps: f64,
+    duration: Duration,
+    /// Hard cap on scheduled queries per phase (bounds memory on the
+    /// high-rate sweep steps; the achieved rate is still honest because
+    /// it is measured over actual wall time).
+    max_requests: u64,
+    update_interval: Duration,
+    zipf_s: f64,
+    identify_frac: f64,
+    seed: u64,
+}
+
+/// Runs one open-loop phase: a dispatcher thread replays the query
+/// schedule while an updater thread applies churn batches (delete +
+/// reinsert of the most local edge) on its own fixed-interval schedule.
+fn run_phase(
+    engine: &ServeEngine,
+    pred: Predicate,
+    pool: &[NodeId],
+    churn_edge: (NodeId, NodeId, Label),
+    cfg: &PhaseConfig,
+) -> PhaseResult {
+    let before = engine.metrics();
+    let stop = AtomicBool::new(false);
+    let epoch_ts = Ts::now();
+    let epoch = Instant::now();
+
+    let mut submitted = 0u64;
+    let mut errors = 0u64;
+    let mut updates_applied = 0u64;
+
+    std::thread::scope(|scope| {
+        // Updater: churn batches at a fixed interval, each stamped with
+        // its scheduled tick so view-lock wait is charged to the batch.
+        let updater = scope.spawn(|| {
+            let mut applied = 0u64;
+            let mut deleted = false;
+            for i in 0u64.. {
+                let off = cfg.update_interval * (i as u32 + 1);
+                if off >= cfg.duration || stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                wait_until(epoch + off, Some(&stop));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let batch = if deleted {
+                    GraphUpdate { new_edges: vec![churn_edge], ..Default::default() }
+                } else {
+                    GraphUpdate { del_edges: vec![churn_edge], ..Default::default() }
+                };
+                if engine.apply_update_from(&batch, epoch_ts.plus(off)).is_ok() {
+                    applied += 1;
+                    deleted = !deleted;
+                }
+            }
+            if deleted {
+                // Leave the graph as we found it for the next phase.
+                let batch = GraphUpdate { new_edges: vec![churn_edge], ..Default::default() };
+                let _ = engine.apply_update(&batch);
+            }
+            applied
+        });
+
+        // Dispatcher (this thread): seeded Poisson arrivals, Zipf-skewed
+        // candidate subsets, a fixed identify/top-rules mix.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let zipf = Zipf::new(pool.len() as u64, cfg.zipf_s).expect("pool is non-empty");
+        let mut identify_rx: Vec<Receiver<_>> = Vec::new();
+        let mut top_rules_rx: Vec<Receiver<_>> = Vec::new();
+        let mut t = Duration::ZERO;
+        loop {
+            let dt = -(1.0 - unit(&mut rng)).ln() / cfg.qps;
+            t += Duration::from_secs_f64(dt);
+            if t >= cfg.duration || submitted >= cfg.max_requests {
+                break;
+            }
+            wait_until(epoch + t, None);
+            let scheduled = epoch_ts.plus(t);
+            if rng.gen_bool(cfg.identify_frac) {
+                let size = rng.gen_range(1usize..=8);
+                let mut candidates: Vec<NodeId> =
+                    (0..size).map(|_| pool[zipf.sample(&mut rng) as usize - 1]).collect();
+                candidates.sort_unstable();
+                candidates.dedup();
+                let req = IdentifyRequest { predicate: pred, candidates: Some(candidates) };
+                match engine.submit_identify_from(req, scheduled) {
+                    Ok(rx) => identify_rx.push(rx),
+                    Err(_) => errors += 1,
+                }
+            } else {
+                match engine.submit_top_rules_from(pred, 4, scheduled) {
+                    Ok(rx) => top_rules_rx.push(rx),
+                    Err(_) => errors += 1,
+                }
+            }
+            submitted += 1;
+        }
+
+        // Drain every reply; traces and histograms are recorded before
+        // the reply is sent, so once the last answer is in, so is every
+        // measurement.
+        for rx in identify_rx {
+            match rx.recv() {
+                Ok(Ok(_)) => {}
+                _ => errors += 1,
+            }
+        }
+        for rx in top_rules_rx {
+            match rx.recv() {
+                Ok(Ok(_)) => {}
+                _ => errors += 1,
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        updates_applied = updater.join().expect("updater thread");
+    });
+
+    let wall = epoch.elapsed().as_secs_f64().max(1e-9);
+    let after = engine.metrics();
+    let delta = after.minus(&before);
+    let completed = delta.hist(HistKind::IdentifyLatency).count()
+        + delta.hist(HistKind::TopRulesLatency).count();
+    PhaseResult {
+        offered_qps: cfg.qps,
+        achieved_qps: completed as f64 / wall,
+        submitted,
+        errors,
+        updates_applied,
+        delta,
+    }
+}
+
+fn json_class(out: &mut String, r: &ClassReport, slo_p99_ms: f64, last: bool) {
+    let p99_ms = r.p99_ns as f64 / 1e6;
+    let pass = r.count == 0 || p99_ms <= slo_p99_ms;
+    out.push_str(&format!(
+        "    {{ \"class\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+         \"p999_ns\": {}, \"max_ns\": {}, \"slo_p99_ms\": {:.3}, \"slo_pass\": {} }}{}\n",
+        r.name,
+        r.count,
+        r.p50_ns,
+        r.p99_ns,
+        r.p999_ns,
+        r.max_ns,
+        slo_p99_ms,
+        pass,
+        if last { "" } else { "," }
+    ));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let users: usize = flag("--users")
+        .map_or(if quick { 120 } else { 500 }, |v| v.parse().expect("--users takes an integer"));
+    // Defaults sit below the engine's measured saturation at each scale
+    // so the SLO phase reports steady-state tails; the sweep afterwards
+    // finds the ceiling.
+    let qps: f64 =
+        flag("--qps").map_or(if quick { 150.0 } else { 40.0 }, |v| v.parse().expect("--qps"));
+    let duration = Duration::from_secs_f64(
+        flag("--duration-secs")
+            .map_or(if quick { 1.0 } else { 4.0 }, |v| v.parse().expect("--duration-secs")),
+    );
+    let seed: u64 = flag("--seed").map_or(0x10AD, |v| v.parse().expect("--seed"));
+    // Query p99 is dominated by update batches holding the view write
+    // lock (~one churn repair, ~300 ms at pokec-500), so the default
+    // bound is set just above that; tighten with `--slo-p99-ms` to gate
+    // a no-update or read-mostly deployment profile.
+    let slo_p99_ms: f64 = flag("--slo-p99-ms").map_or(500.0, |v| v.parse().expect("--slo-p99-ms"));
+    let slo_update_p99_ms: f64 =
+        flag("--slo-update-p99-ms").map_or(1000.0, |v| v.parse().expect("--slo-update-p99-ms"));
+    let zipf_s: f64 = flag("--zipf-s").map_or(1.1, |v| v.parse().expect("--zipf-s"));
+    let out_path = flag("--out").unwrap_or_else(|| "SLO_report.json".to_string());
+    let sweep_steps: usize = if quick { 3 } else { 6 };
+    let max_requests: u64 = if quick { 5_000 } else { 50_000 };
+    let identify_frac = 0.85;
+    let update_interval = Duration::from_millis(if quick { 150 } else { 500 });
+
+    // Workload: the Pokec stand-in at `users`, one mined-rule catalog,
+    // the hottest candidate centers as the Zipf key pool.
+    let sg = Workloads::pokec(users);
+    let pred = sg.schema.predicate("music", 0).expect("family");
+    let rules = generate_rules(
+        &sg.graph,
+        &pred,
+        &RuleGenConfig { count: 8, pattern_nodes: 5, pattern_edges: 7, max_radius: 2, seed: 3 },
+    );
+    assert!(!rules.is_empty(), "workload must yield rules");
+    let graph = Arc::new(sg.graph.clone());
+    let mut catalog = RuleCatalog::new(graph.vocab().clone());
+    for r in &rules {
+        catalog.insert(Arc::new(r.clone()), gpar_core::ConfStats::default());
+    }
+    let serve_pred = *rules[0].predicate();
+    let engine = ServeEngine::new(
+        graph.clone(),
+        &catalog,
+        ServeConfig { eta: 1.5, trace_capacity: 1024, ..Default::default() },
+    );
+
+    let pool: Vec<NodeId> = {
+        let mut v: Vec<NodeId> =
+            gpar_core::q_stats(&sg.graph, &serve_pred).positives.into_iter().collect();
+        v.sort_unstable();
+        v.truncate(64);
+        v
+    };
+    assert!(!pool.is_empty(), "predicate has candidate centers");
+    let churn_edge = sg
+        .graph
+        .nodes()
+        .flat_map(|v| sg.graph.out_edges(v).iter().map(move |e| (v, e.node, e.label)))
+        .min_by_key(|&(s, d, _)| sg.graph.degree(s) + sg.graph.degree(d))
+        .expect("graph has edges");
+
+    // Warm outside the measured phases: the first query pays the warm
+    // scan; steady-state tails are what the SLO is about.
+    engine.identify(serve_pred, None).expect("warm-up query");
+
+    println!(
+        "load_harness: |V|={} |E|={} pool={} qps={qps} dur={:.1}s zipf_s={zipf_s}",
+        sg.graph.node_count(),
+        sg.graph.edge_count(),
+        pool.len(),
+        duration.as_secs_f64()
+    );
+
+    // Phase 1 — the SLO measurement phase at the requested rate.
+    let base_cfg =
+        PhaseConfig { qps, duration, max_requests, update_interval, zipf_s, identify_frac, seed };
+    let measured = run_phase(&engine, serve_pred, &pool, churn_edge, &base_cfg);
+    let classes = [
+        class_report(&measured.delta, "identify", HistKind::IdentifyLatency),
+        class_report(&measured.delta, "top_rules", HistKind::TopRulesLatency),
+        class_report(&measured.delta, "update", HistKind::UpdateLatency),
+    ];
+    for c in &classes {
+        println!(
+            "  {:<10} n={:<6} p50={:>9}ns p99={:>10}ns p999={:>10}ns",
+            c.name, c.count, c.p50_ns, c.p99_ns, c.p999_ns
+        );
+    }
+
+    // Phase 2..N — the saturation sweep: same shape, geometrically
+    // increasing offered rate, until completions fall behind offers.
+    let mut sweep: Vec<(f64, f64)> = vec![(measured.offered_qps, measured.achieved_qps)];
+    let mut saturated = measured.achieved_qps < 0.9 * measured.offered_qps;
+    let mut offered = qps;
+    for step in 1..sweep_steps {
+        if saturated {
+            break;
+        }
+        offered *= 4.0;
+        let cfg = PhaseConfig { qps: offered, seed: seed.wrapping_add(step as u64), ..base_cfg };
+        let r = run_phase(&engine, serve_pred, &pool, churn_edge, &cfg);
+        println!(
+            "  sweep: offered={:>10.0} qps achieved={:>10.0} qps (n={}, err={})",
+            r.offered_qps, r.achieved_qps, r.submitted, r.errors
+        );
+        sweep.push((r.offered_qps, r.achieved_qps));
+        saturated = r.achieved_qps < 0.9 * r.offered_qps;
+    }
+    let saturation_qps = sweep.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
+
+    let slo_pass = classes.iter().all(|c| {
+        let bound = if c.name == "update" { slo_update_p99_ms } else { slo_p99_ms };
+        c.count == 0 || (c.p99_ns as f64 / 1e6) <= bound
+    });
+
+    // --- JSON out (hand-rolled: the workspace is serde-free). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p gpar-bench --bin load_harness\",\n",
+    );
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"graph\": {{ \"users\": {users}, \"nodes\": {}, \"edges\": {} }},\n",
+        sg.graph.node_count(),
+        sg.graph.edge_count()
+    ));
+    json.push_str(&format!(
+        "  \"workload\": {{ \"qps\": {qps:.1}, \"duration_secs\": {:.3}, \"seed\": {seed}, \
+         \"zipf_s\": {zipf_s:.2}, \"identify_frac\": {identify_frac:.2}, \
+         \"update_interval_ms\": {}, \"pool\": {}, \"submitted\": {}, \"errors\": {}, \
+         \"updates_applied\": {} }},\n",
+        duration.as_secs_f64(),
+        update_interval.as_millis(),
+        pool.len(),
+        measured.submitted,
+        measured.errors,
+        measured.updates_applied
+    ));
+    json.push_str("  \"classes\": [\n");
+    for (i, c) in classes.iter().enumerate() {
+        let bound = if c.name == "update" { slo_update_p99_ms } else { slo_p99_ms };
+        json_class(&mut json, c, bound, i + 1 == classes.len());
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"stages\": [\n");
+    let stage_kinds = [
+        HistKind::QueueWait,
+        HistKind::CacheLookup,
+        HistKind::CandidatePrune,
+        HistKind::IsoEval,
+        HistKind::LedgerRead,
+        HistKind::UpdateDiff,
+        HistKind::UpdateCommit,
+        HistKind::UpdateBfs,
+        HistKind::UpdateGroupRepair,
+        HistKind::UpdateLedgerPatch,
+    ];
+    for (i, &k) in stage_kinds.iter().enumerate() {
+        let h = measured.delta.hist(k);
+        json.push_str(&format!(
+            "    {{ \"stage\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {} }}{}\n",
+            k.name(),
+            h.count(),
+            h.quantile(0.50).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            if i + 1 == stage_kinds.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"saturation\": {\n    \"sweep\": [\n");
+    for (i, &(o, a)) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"offered_qps\": {o:.1}, \"achieved_qps\": {a:.1} }}{}\n",
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"saturated\": {saturated},\n    \"saturation_qps\": {saturation_qps:.1}\n  }},\n"
+    ));
+    json.push_str(&format!("  \"slo_pass\": {slo_pass}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write report");
+    println!(
+        "saturation_qps={saturation_qps:.0} (saturated={saturated}) slo_pass={slo_pass} → {out_path}"
+    );
+}

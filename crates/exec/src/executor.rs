@@ -1,9 +1,11 @@
 //! Scoped fork-join over indexed tasks with per-worker deques + stealing.
 
 use crate::thread_cpu_time;
+use gpar_obs::{Counter, HistKind, MetricsRegistry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Execution report for one [`Executor::map_indexed`] call.
@@ -82,23 +84,45 @@ impl ExecStats {
     }
 }
 
-/// The work-stealing fork-join executor. Cheap to construct (it holds only
-/// the worker count); threads are scoped to each call, so task closures
-/// may borrow the caller's data freely.
-#[derive(Debug, Clone, Copy)]
+/// The work-stealing fork-join executor. Cheap to construct (it holds the
+/// worker count plus an optional metrics handle); threads are scoped to
+/// each call, so task closures may borrow the caller's data freely.
+#[derive(Debug, Clone)]
 pub struct Executor {
     workers: usize,
+    obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl Executor {
     /// An executor with `workers` threads (clamped to at least 1).
     pub fn new(workers: usize) -> Self {
-        Self { workers: workers.max(1) }
+        Self { workers: workers.max(1), obs: None }
+    }
+
+    /// Attaches a metrics registry: every `map_indexed` call then records
+    /// per-task run time into [`HistKind::ExecTask`] and bumps
+    /// [`Counter::ExecTasks`] / [`Counter::ExecSteals`], sharded by the
+    /// executing worker's index.
+    pub fn with_obs(mut self, reg: Arc<MetricsRegistry>) -> Self {
+        self.obs = Some(reg);
+        self
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Reports one call's stats into the attached registry (no-op when
+    /// detached). Task times land in the [`HistKind::ExecTask`]
+    /// histogram on the recording worker's shard.
+    fn observe(&self, stats: &ExecStats) {
+        let Some(reg) = &self.obs else { return };
+        reg.add(0, Counter::ExecTasks, stats.task_times.len() as u64);
+        reg.add(0, Counter::ExecSteals, stats.steals);
+        for &t in &stats.task_times {
+            reg.record(0, HistKind::ExecTask, t);
+        }
     }
 
     /// Runs `tasks` indexed tasks across the pool and returns their
@@ -143,6 +167,7 @@ impl Executor {
                 steals: 0,
                 inline: true,
             };
+            self.observe(&stats);
             return (out, stats);
         }
         let n = self.workers.min(tasks);
@@ -191,6 +216,7 @@ impl Executor {
             }
         }
         let out = slots.into_iter().map(|s| s.expect("every task executes exactly once")).collect();
+        self.observe(&stats);
         (out, stats)
     }
 }
@@ -327,6 +353,23 @@ mod tests {
         );
         assert_eq!(out, (0..32).collect::<Vec<_>>());
         assert_eq!(stats.tasks_run.iter().sum::<usize>(), 32);
+    }
+
+    #[test]
+    fn attached_registry_counts_tasks_and_steals() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new(4));
+        let ex = Executor::new(4).with_obs(reg.clone());
+        let (_, stats) = ex.map_indexed(64, |_| (), |_, i| i);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::ExecTasks), 64);
+        assert_eq!(snap.counter(Counter::ExecSteals), stats.steals);
+        if !cfg!(feature = "obs-off") {
+            assert_eq!(snap.hist(HistKind::ExecTask).count(), 64);
+        }
+        // The inline path reports too.
+        let ex1 = Executor::new(1).with_obs(reg.clone());
+        ex1.map_indexed(3, |_| (), |_, i| i);
+        assert_eq!(reg.snapshot().counter(Counter::ExecTasks), 67);
     }
 
     #[test]

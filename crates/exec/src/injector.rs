@@ -1,5 +1,6 @@
 //! A closeable blocking MPMC queue for long-lived worker pools.
 
+use gpar_obs::Gauge;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -20,6 +21,7 @@ struct State<T> {
 pub struct Injector<T> {
     state: Mutex<State<T>>,
     cv: Condvar,
+    depth: Option<Gauge>,
 }
 
 impl<T> Default for Injector<T> {
@@ -34,7 +36,17 @@ impl<T> Injector<T> {
         Self {
             state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
             cv: Condvar::new(),
+            depth: None,
         }
+    }
+
+    /// An injector that mirrors its queue depth into `gauge` (typically
+    /// one registered on the engine's metrics registry), so snapshots
+    /// show the instantaneous backlog.
+    pub fn with_depth_gauge(gauge: Gauge) -> Self {
+        let mut inj = Self::new();
+        inj.depth = Some(gauge);
+        inj
     }
 
     /// Enqueues `item`, waking one blocked worker. Returns the item back
@@ -45,6 +57,9 @@ impl<T> Injector<T> {
             return Err(item);
         }
         s.queue.push_back(item);
+        if let Some(g) = &self.depth {
+            g.add(1);
+        }
         drop(s);
         self.cv.notify_one();
         Ok(())
@@ -57,6 +72,9 @@ impl<T> Injector<T> {
         let mut s = self.state.lock().expect("injector lock");
         loop {
             if let Some(item) = s.queue.pop_front() {
+                if let Some(g) = &self.depth {
+                    g.sub(1);
+                }
                 return Some(item);
             }
             if s.closed {
@@ -68,7 +86,13 @@ impl<T> Injector<T> {
 
     /// Non-blocking dequeue.
     pub fn try_pop(&self) -> Option<T> {
-        self.state.lock().expect("injector lock").queue.pop_front()
+        let item = self.state.lock().expect("injector lock").queue.pop_front();
+        if item.is_some() {
+            if let Some(g) = &self.depth {
+                g.sub(1);
+            }
+        }
+        item
     }
 
     /// Closes the injector: pending items still drain, future pushes fail,
@@ -107,6 +131,21 @@ mod tests {
         assert_eq!(inj.try_pop(), Some(2));
         assert_eq!(inj.pop(), None, "closed and drained");
         assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn depth_gauge_tracks_backlog() {
+        let g = Gauge::new();
+        let inj = Injector::with_depth_gauge(g.clone());
+        inj.push(1).unwrap();
+        inj.push(2).unwrap();
+        assert_eq!(g.get(), 2);
+        assert_eq!(inj.try_pop(), Some(1));
+        assert_eq!(g.get(), 1);
+        assert_eq!(inj.pop(), Some(2));
+        assert_eq!(g.get(), 0);
+        assert_eq!(inj.try_pop(), None);
+        assert_eq!(g.get(), 0, "empty try_pop does not underflow");
     }
 
     #[test]

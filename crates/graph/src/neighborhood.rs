@@ -37,6 +37,13 @@ pub struct NeighborhoodScratch {
     pub(crate) local_of: EpochMap,
     /// Per-hop label buffers for sketch construction.
     pub(crate) labels: Vec<Vec<crate::Label>>,
+    /// BFS traversals run through this scratch since the last
+    /// [`NeighborhoodScratch::take_counters`] (plain `u64`s: the scratch
+    /// is per-thread; the serving engine drains them into its sharded
+    /// metrics registry per job).
+    traversals: u64,
+    /// Nodes visited across those traversals.
+    nodes_visited: u64,
 }
 
 impl NeighborhoodScratch {
@@ -51,6 +58,15 @@ impl NeighborhoodScratch {
     /// without a second traversal.
     pub fn last_layers(&self) -> &[(NodeId, u32)] {
         &self.layers
+    }
+
+    /// Takes and zeroes the traversal counters:
+    /// `(traversals run, nodes visited)`.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        let out = (self.traversals, self.nodes_visited);
+        self.traversals = 0;
+        self.nodes_visited = 0;
+        out
     }
 }
 
@@ -82,6 +98,8 @@ fn bfs_bounded<G: GraphView + ?Sized>(
         }
         for e in g.out_view(v).iter().chain(g.in_view(v).iter()) {
             if target == Some(e.node) {
+                scratch.traversals += 1;
+                scratch.nodes_visited += head as u64;
                 return Some(depth + 1);
             }
             if seen.insert(e.node) {
@@ -89,6 +107,8 @@ fn bfs_bounded<G: GraphView + ?Sized>(
             }
         }
     }
+    scratch.traversals += 1;
+    scratch.nodes_visited += scratch.layers.len() as u64;
     None
 }
 
@@ -384,6 +404,18 @@ mod tests {
                 assert_eq!(ball_with(&g, v, r, &mut scratch), &fresh_ball[..]);
             }
         }
+    }
+
+    #[test]
+    fn traversal_counters_drain() {
+        let (g, vs) = path4();
+        let mut scratch = NeighborhoodScratch::new();
+        bfs_layers_with(&g, vs[0], 3, &mut scratch);
+        ball_with(&g, vs[1], 1, &mut scratch);
+        let (traversals, visited) = scratch.take_counters();
+        assert_eq!(traversals, 2);
+        assert_eq!(visited, 4 + 3, "full path then the radius-1 ball of v1");
+        assert_eq!(scratch.take_counters(), (0, 0), "taking zeroes");
     }
 
     #[test]

@@ -442,9 +442,11 @@ impl<'g> Matcher<'g> {
             // The legacy generate-then-filter path re-verifies here.
             if !verified {
                 if st.used.contains(v) {
+                    st.cand_pruned += 1;
                     continue;
                 }
                 if !self.assign_feasible(p, u, v, st) {
+                    st.cand_pruned += 1;
                     continue;
                 }
             }
@@ -594,32 +596,43 @@ impl<'g> Matcher<'g> {
             && !check_wildcards;
         if !simple {
             for v in nodes {
+                st.cand_generated += 1;
+                let before = st.cand.len();
                 self.push_verified(p, u, v, st, check_wildcards);
+                if st.cand.len() == before {
+                    st.cand_pruned += 1;
+                }
             }
             return;
         }
         let (out_req, in_req) = st.deg_req[ui];
         let (out_req, in_req) = (out_req as usize, in_req as usize);
-        let ScratchArena { cand, used, .. } = st;
+        let ScratchArena { cand, used, cand_generated, cand_pruned, .. } = st;
         match p.cond(u) {
             NodeCond::Label(lc) => {
                 for v in nodes {
+                    *cand_generated += 1;
                     if self.g.node_label(v) == lc
                         && self.g.out_degree(v) >= out_req
                         && self.g.in_degree(v) >= in_req
                         && !used.contains(v)
                     {
                         cand.push(v);
+                    } else {
+                        *cand_pruned += 1;
                     }
                 }
             }
             NodeCond::Any => {
                 for v in nodes {
+                    *cand_generated += 1;
                     if self.g.out_degree(v) >= out_req
                         && self.g.in_degree(v) >= in_req
                         && !used.contains(v)
                     {
                         cand.push(v);
+                    } else {
+                        *cand_pruned += 1;
                     }
                 }
             }
@@ -682,7 +695,15 @@ impl<'g> Matcher<'g> {
     /// the smallest mapped-neighbor adjacency list and let the assignment
     /// loop re-verify every structural condition per candidate. Kept as a
     /// differential-testing oracle ([`MatcherConfig::legacy_filter_gen`]).
+    /// Counts the whole raw segment as generated; the re-filter in `go`
+    /// counts its rejects as pruned.
     fn gen_candidates_legacy(&self, p: &Pattern, u: PNodeId, st: &mut ScratchArena) {
+        let seg_start = st.cand.len();
+        self.gen_candidates_legacy_inner(p, u, st);
+        st.cand_generated += (st.cand.len() - seg_start) as u64;
+    }
+
+    fn gen_candidates_legacy_inner(&self, p: &Pattern, u: PNodeId, st: &mut ScratchArena) {
         let mut best: Option<(usize, NodeId, EdgeCond, bool)> = None;
         for &(dst, cond) in p.out(u) {
             if let Some(m) = st.mapped(dst.index()) {
@@ -1214,6 +1235,29 @@ mod tests {
         }
         // The arena retained its grown buffers between matchers.
         assert!(scratch.inspect(|a| a.cand.capacity()).unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn candidate_counters_accumulate_and_drain() {
+        let (g, custs, _) = build_g1();
+        let q1 = build_q1(g.vocab());
+        for cfg in [MatcherConfig::vf2(), MatcherConfig::vf2().with_legacy_gen()] {
+            let scratch = SharedScratch::default();
+            let m = Matcher::new(&g, cfg).with_scratch(scratch.clone());
+            assert!(m.exists_anchored(&q1, q1.x(), custs[0]));
+            let (generated, pruned, recomputes) = scratch.drain_counters();
+            assert!(generated > 0, "a successful search considered candidates");
+            assert!(pruned <= generated, "prunes are a subset of generated");
+            assert_eq!(recomputes, 1, "one metadata computation for one pattern");
+            // Draining zeroes: a second drain with no work in between is
+            // all zeros.
+            assert_eq!(scratch.drain_counters(), (0, 0, 0));
+            // And more work accumulates again from zero.
+            m.exists_anchored(&q1, q1.x(), custs[1]);
+            let (g2, _, r2) = scratch.drain_counters();
+            assert!(g2 > 0);
+            assert_eq!(r2, 0, "metadata stayed cached across drains");
+        }
     }
 
     #[test]

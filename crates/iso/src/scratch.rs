@@ -75,6 +75,13 @@ pub struct ScratchArena {
     /// Number of full metadata recomputations (cache misses) — the
     /// observability hook the cache tests pin down.
     pub(crate) meta_recomputes: u64,
+    /// Candidate data nodes generated across all searches (plain `u64`s,
+    /// not atomics: the arena is per-thread; the serving engine drains
+    /// them into its sharded registry per job).
+    pub(crate) cand_generated: u64,
+    /// Candidates rejected by degree/label/flag verification or the
+    /// re-filter on unverified segments.
+    pub(crate) cand_pruned: u64,
     /// Per pattern node: minimum (out, in) data degree a candidate needs
     /// (see `Matcher::compute_pattern_meta`).
     pub(crate) deg_req: Vec<(u32, u32)>,
@@ -169,6 +176,16 @@ impl ScratchArena {
         self.meta_recomputes
     }
 
+    /// Candidate data nodes generated across all searches so far.
+    pub fn cand_generated(&self) -> u64 {
+        self.cand_generated
+    }
+
+    /// Candidates rejected by verification filters so far.
+    pub fn cand_pruned(&self) -> u64 {
+        self.cand_pruned
+    }
+
     /// Switches the active pattern metadata to `(self.key, anchor,
     /// prefer)`: parks the currently active entry into the keyed cache,
     /// then loads the requested one out of it if present. Returns `true`
@@ -259,6 +276,24 @@ impl SharedScratch {
     /// Runs `f` over the parked arena, if present (diagnostics/tests).
     pub fn inspect<R>(&self, f: impl FnOnce(&ScratchArena) -> R) -> Option<R> {
         self.0.borrow().as_deref().map(f)
+    }
+
+    /// Takes and zeroes the arena's match counters: `(candidates
+    /// generated, candidates pruned, metadata recomputes)`. The serving
+    /// engine calls this once per job to drain per-thread counts into
+    /// its sharded metrics registry. Returns zeros when the arena is
+    /// checked out or not yet built.
+    pub fn drain_counters(&self) -> (u64, u64, u64) {
+        match self.0.borrow_mut().as_deref_mut() {
+            Some(a) => {
+                let out = (a.cand_generated, a.cand_pruned, a.meta_recomputes);
+                a.cand_generated = 0;
+                a.cand_pruned = 0;
+                a.meta_recomputes = 0;
+                out
+            }
+            None => (0, 0, 0),
+        }
     }
 
     /// Runs `f` with the arena's neighborhood-traversal scratch, for

@@ -1,0 +1,336 @@
+//! Log-linear (HDR-style) latency histograms with lock-free recording.
+//!
+//! Values (nanoseconds) are bucketed with 5 mantissa bits per power of
+//! two: buckets `0..32` hold the exact values `0..32`, and every higher
+//! power-of-two range `[2^e, 2^(e+1))` is split into 32 equal sub-buckets.
+//! The bucket holding a value `v ≥ 32` is therefore at most `v / 32` wide,
+//! so any quantile reconstructed from bucket midpoints is within **3.125%
+//! relative error** of the exact order statistic (and exact below 32 ns).
+//! The whole `u64` range fits in [`NUM_BUCKETS`] = 1920 buckets (15 KiB of
+//! counters), so per-shard histograms are cheap enough to allocate
+//! eagerly.
+//!
+//! Recording is one relaxed `fetch_add` per sample (plus a `fetch_max`
+//! for the max tracker); shards record concurrently without coordination
+//! and are merged at snapshot time — bucket-wise addition, which is
+//! associative and commutative, so the merged quantiles are independent
+//! of shard count and merge order (pinned by the tests below).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power of two (2^5): the resolution/size trade-off.
+const MANTISSA_BITS: u32 = 5;
+const SUBBUCKETS: u64 = 1 << MANTISSA_BITS;
+
+/// Total buckets covering the full `u64` value range.
+pub const NUM_BUCKETS: usize =
+    ((64 - MANTISSA_BITS as usize) << MANTISSA_BITS) + SUBBUCKETS as usize;
+
+/// Bucket index for value `v` (see the module docs for the layout).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUBBUCKETS {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros();
+        let shift = e - MANTISSA_BITS;
+        let mantissa = (v >> shift) & (SUBBUCKETS - 1);
+        ((shift as usize) << MANTISSA_BITS) + SUBBUCKETS as usize + mantissa as usize
+    }
+}
+
+/// Representative (midpoint) value of bucket `idx` — the value quantile
+/// queries report. Exact for the unit-width buckets below 32.
+#[inline]
+fn bucket_value(idx: usize) -> u64 {
+    if idx < SUBBUCKETS as usize {
+        idx as u64
+    } else {
+        let b = (idx - SUBBUCKETS as usize) as u64;
+        let e = (b >> MANTISSA_BITS) + MANTISSA_BITS as u64;
+        let mantissa = b & (SUBBUCKETS - 1);
+        let width = 1u64 << (e - MANTISSA_BITS as u64);
+        let lower = (1u64 << e) + mantissa * width;
+        lower + width / 2
+    }
+}
+
+/// A concurrent log-linear histogram of `u64` values (latency in ns).
+///
+/// One instance lives per registry shard; workers record into their own
+/// shard and [`MetricsRegistry::snapshot`](crate::MetricsRegistry::snapshot)
+/// merges the shards. With the `obs-off` feature the recording path
+/// compiles to nothing.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (buckets allocated eagerly, zeroed).
+    pub fn new() -> Self {
+        let counts: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self { counts: counts.into_boxed_slice(), sum: AtomicU64::new(0), max: AtomicU64::new(0) }
+    }
+
+    /// Records one sample. Compiled out under `obs-off`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if cfg!(feature = "obs-off") {
+            return;
+        }
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the buckets. Concurrent recorders may land
+    /// between bucket reads; each sample is still either fully visible
+    /// later or not counted — never split.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        for (dst, src) in counts.iter_mut().zip(self.counts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+            count += *dst;
+        }
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable histogram snapshot — the quantile query surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        Self { counts: vec![0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded values (ns) — `sum / count` is the mean.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean value, `None` when empty.
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum / self.count)
+    }
+
+    /// The `q`-quantile (nearest-rank, `0 < q <= 1`) as a bucket-midpoint
+    /// value — within 3.125% relative error of the exact order statistic.
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_value(i));
+            }
+        }
+        Some(bucket_value(NUM_BUCKETS - 1))
+    }
+
+    /// Adds `other`'s samples into `self` (the shard-merge operation —
+    /// bucket-wise addition, associative and commutative).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucket-wise difference `self - earlier`, for interval quantiles
+    /// (the load harness measures per-phase latency as the delta between
+    /// two cumulative snapshots). `earlier` must be a prior snapshot of
+    /// the same histogram; the max tracker cannot be un-merged, so the
+    /// delta keeps `self`'s max (an upper bound for the interval).
+    pub fn minus(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Vec<u64> =
+            self.counts.iter().zip(&earlier.counts).map(|(a, b)| a.saturating_sub(*b)).collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bucket_layout_is_monotone_and_tight() {
+        let mut prev = 0usize;
+        for v in (0u64..4096).chain([1 << 20, 1 << 40, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(b >= prev || v < 4096, "bucket index must not decrease");
+            prev = prev.max(b);
+            let mid = bucket_value(b);
+            if v < 32 {
+                assert_eq!(mid, v, "unit buckets are exact");
+            } else {
+                let rel = (mid as f64 - v as f64).abs() / v as f64;
+                assert!(rel <= 1.0 / 32.0 + 1e-9, "v={v} mid={mid} rel={rel}");
+            }
+        }
+        assert!(bucket_of(u64::MAX) < NUM_BUCKETS);
+    }
+
+    /// Satellite: quantile error bound vs an exact sorted oracle across
+    /// 3 orders of magnitude of latency.
+    #[cfg_attr(feature = "obs-off", ignore = "recording is compiled out")]
+    #[test]
+    fn quantiles_track_exact_oracle_within_bucket_error() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let h = LatencyHistogram::new();
+        let mut oracle: Vec<u64> = Vec::new();
+        // Latencies spanning 1 µs .. 1 ms (plus a heavy tail past 10 ms).
+        for _ in 0..50_000 {
+            let v = match rng.gen_range(0u32..100) {
+                0..=79 => rng.gen_range(1_000u64..10_000),
+                80..=97 => rng.gen_range(10_000u64..1_000_000),
+                _ => rng.gen_range(1_000_000u64..20_000_000),
+            };
+            h.record(v);
+            oracle.push(v);
+        }
+        oracle.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 50_000);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * oracle.len() as f64).ceil() as usize).clamp(1, oracle.len());
+            let exact = oracle[rank - 1];
+            let est = snap.quantile(q).unwrap();
+            let rel = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel <= 1.0 / 32.0 + 1e-9, "q={q} exact={exact} est={est} rel={rel}");
+        }
+        assert_eq!(snap.max(), *oracle.last().unwrap(), "max is tracked exactly");
+    }
+
+    /// Satellite: shard-merge associativity — merging per-shard snapshots
+    /// in any grouping equals recording the whole stream into one
+    /// histogram.
+    #[cfg_attr(feature = "obs-off", ignore = "recording is compiled out")]
+    #[test]
+    fn shard_merge_is_associative_and_order_independent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let shards: Vec<LatencyHistogram> = (0..3).map(|_| LatencyHistogram::new()).collect();
+        let reference = LatencyHistogram::new();
+        for i in 0..9_000u64 {
+            let v = rng.gen_range(1u64..5_000_000);
+            shards[(i % 3) as usize].record(v);
+            reference.record(v);
+        }
+        let [a, b, c] = [shards[0].snapshot(), shards[1].snapshot(), shards[2].snapshot()];
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut right = b.clone();
+        right.merge(&c);
+        let mut right2 = a.clone();
+        right2.merge(&right);
+        assert_eq!(left, right2, "associativity");
+        // c ⊕ b ⊕ a (commutativity)
+        let mut rev = c;
+        rev.merge(&b);
+        rev.merge(&a);
+        assert_eq!(left, rev, "order independence");
+        assert_eq!(left, reference.snapshot(), "merge equals single-stream recording");
+    }
+
+    #[test]
+    fn zero_and_one_count_edge_cases() {
+        let h = LatencyHistogram::new();
+        let empty = h.snapshot();
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.quantile(1.0), None);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.max(), 0);
+
+        h.record(777);
+        let one = h.snapshot();
+        if cfg!(feature = "obs-off") {
+            assert!(one.is_empty(), "obs-off compiles recording out");
+            return;
+        }
+        assert_eq!(one.count(), 1);
+        for q in [0.001, 0.5, 0.999, 1.0] {
+            let est = one.quantile(q).unwrap();
+            let rel = (est as f64 - 777.0).abs() / 777.0;
+            assert!(rel <= 1.0 / 32.0, "every quantile of one sample is that sample (q={q})");
+        }
+        assert_eq!(one.max(), 777);
+    }
+
+    #[cfg_attr(feature = "obs-off", ignore = "recording is compiled out")]
+    #[test]
+    fn minus_yields_interval_quantiles() {
+        let h = LatencyHistogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for _ in 0..100 {
+            h.record(1_000_000);
+        }
+        let delta = h.snapshot().minus(&before);
+        assert_eq!(delta.count(), 100);
+        let p50 = delta.quantile(0.5).unwrap();
+        let rel = (p50 as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(rel <= 1.0 / 32.0, "interval p50 ignores pre-interval samples: {p50}");
+    }
+}

@@ -22,6 +22,11 @@ pub struct CacheStats {
     /// Entries removed by [`LruCache::retain`] (graph-update
     /// invalidation, as opposed to capacity pressure).
     pub invalidations: u64,
+    /// Entries inserted (new keys only, not value replacements). With
+    /// `evictions` and `invalidations` this makes churn derivable from a
+    /// snapshot: `inserted - evictions - invalidations` entries are live
+    /// or replaced-in-place.
+    pub inserted: u64,
 }
 
 impl CacheStats {
@@ -140,9 +145,10 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 
     /// Inserts `key → value` as most-recently used, evicting the LRU
     /// entry if the cache is full. Replaces the value on key collision.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// Returns the evicted key, if the insert displaced one.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         if let Some(&i) = self.map.get(&key) {
             self.entries[i].value = value;
@@ -150,13 +156,17 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
                 self.unlink(i);
                 self.push_front(i);
             }
-            return;
+            return None;
         }
+        self.stats.inserted += 1;
+        let mut evicted = None;
         if self.map.len() == self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
             self.unlink(lru);
-            self.map.remove(&self.entries[lru].key);
+            let old = self.entries[lru].key.clone();
+            self.map.remove(&old);
+            evicted = Some(old);
             self.free.push(lru);
             self.stats.evictions += 1;
         }
@@ -172,6 +182,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         };
         self.map.insert(key, i);
         self.push_front(i);
+        evicted
     }
 
     /// Iterator over the live keys (arbitrary order).
@@ -258,6 +269,23 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (2, 1));
         assert!(s.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn inserted_counts_new_keys_and_insert_reports_evictee() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        assert_eq!(c.insert(1, 10), None);
+        assert_eq!(c.insert(2, 20), None);
+        assert_eq!(c.insert(1, 11), None, "replacement is not an insert");
+        assert_eq!(c.stats().inserted, 2);
+        // 2 is now LRU; inserting 3 reports it as displaced.
+        assert_eq!(c.insert(3, 30), Some(2));
+        let s = c.stats();
+        assert_eq!((s.inserted, s.evictions), (3, 1));
+        // Capacity 0: nothing inserted, nothing displaced.
+        let mut z: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(z.insert(1, 1), None);
+        assert_eq!(z.stats().inserted, 0);
     }
 
     #[test]

@@ -92,6 +92,10 @@ use gpar_graph::{
     multi_source_distances, DeltaGraph, FxHashMap, Graph, GraphUpdate, GraphView, Label,
     NeighborhoodScratch, NodeId, NodeRemap, UpdateInvalid, Vocab,
 };
+use gpar_obs::{
+    Counter, HistKind, MetricsRegistry, MetricsSnapshot, Span, Stage, Trace, TraceBuilder,
+    TraceKind, TraceRecorder, Ts,
+};
 use gpar_partition::{chunk_by_load, CenterSite};
 // The cache and warm locks use the parking_lot shim's non-poisoning
 // mutex: a worker that panics mid-query must not poison shared state and
@@ -100,10 +104,10 @@ use gpar_partition::{chunk_by_load, CenterSite};
 // poisoning there is a deliberate fail-stop, since a panic mid-commit
 // could leave a half-applied overlay behind.
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Warm-scan task granules per executor worker (same rationale as EIP's
 /// chunking: fine enough that stealing evens out per-site cost skew,
@@ -127,6 +131,9 @@ pub struct ServeConfig {
     /// Depth of the index-time candidate sketches (0 disables candidate
     /// pruning; effective depth is capped at the group's radius `d`).
     pub sketch_k: u32,
+    /// Per-request traces retained in the engine's ring buffer
+    /// ([`ServeEngine::traces`]; 0 disables trace recording).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +145,7 @@ impl Default for ServeConfig {
             d: None,
             algorithm: EipAlgorithm::Match,
             sketch_k: 2,
+            trace_capacity: 256,
         }
     }
 }
@@ -469,6 +477,9 @@ impl PredicateState {
 /// request.
 #[derive(Default)]
 struct WorkerCaches {
+    /// Registry shard this worker records into (worker index; wrapped
+    /// modulo the shard count by the registry).
+    shard: usize,
     psketch: FxHashMap<Predicate, gpar_iso::PatternSketchCache>,
     /// Matcher search-state arena shared by every evaluator this worker
     /// builds; its embedded neighborhood scratch also serves d-ball
@@ -510,9 +521,12 @@ struct Shared {
     /// predicate don't all run the full O(|L|) scan (warm-ups happen once
     /// per predicate, so cross-predicate contention here is negligible).
     warm_lock: Mutex<()>,
-    queries: AtomicU64,
-    warmups: AtomicU64,
-    updates: AtomicU64,
+    /// Per-worker-sharded counters + latency histograms. Engine counters
+    /// (queries, warm-ups, updates, cache activity) live here exclusively;
+    /// [`ServeEngine::stats`] reads them at one stable epoch.
+    obs: Arc<MetricsRegistry>,
+    /// Bounded ring of recent per-request traces.
+    traces: TraceRecorder,
 }
 
 impl Shared {
@@ -521,20 +535,62 @@ impl Shared {
         view: &EngineView,
         center: NodeId,
         d: u32,
+        shard: usize,
         nbr: &mut NeighborhoodScratch,
     ) -> Arc<CenterSite> {
         let key = (center, d);
         if let Some(hit) = self.cache.lock().get(&key) {
+            self.obs.incr(shard, Counter::CacheHits);
             return hit;
         }
+        self.obs.incr(shard, Counter::CacheMisses);
         // Extract outside the lock: extraction is the expensive part and
         // must not serialize the pool. Rarely two workers race on the
         // same cold center and both extract; last insert wins, both use
         // their own (identical) site. The worker's traversal scratch is
         // reused across misses.
         let site = Arc::new(CenterSite::build_with(&view.graph, center, d, nbr));
-        self.cache.lock().insert(key, site.clone());
+        {
+            let mut cache = self.cache.lock();
+            let len_before = cache.len();
+            let evicted = cache.insert(key, site.clone());
+            // A new key either grows the cache or displaces the LRU entry;
+            // a same-key replacement (two workers raced on one cold
+            // center) does neither and is not an insert.
+            if evicted.is_some() || cache.len() > len_before {
+                self.obs.incr(shard, Counter::CacheInserted);
+            }
+            if evicted.is_some() {
+                self.obs.incr(shard, Counter::CacheEvictions);
+            }
+        }
         site
+    }
+
+    /// Drains the plain per-thread counters accumulated in `caches`
+    /// (matcher candidate tallies, traversal tallies) into the registry —
+    /// called once per job / warm chunk, so the matcher hot path never
+    /// touches an atomic.
+    fn drain_worker_counters(&self, caches: &mut WorkerCaches) {
+        let shard = caches.shard;
+        let (generated, pruned, recomputes) = caches.scratch.drain_counters();
+        let (balls, visited) = caches.scratch.with_neighborhood(|nbr| nbr.take_counters());
+        self.obs.add(shard, Counter::IsoCandidatesGenerated, generated);
+        self.obs.add(shard, Counter::IsoCandidatesPruned, pruned);
+        self.obs.add(shard, Counter::IsoMetaRecomputes, recomputes);
+        self.obs.add(shard, Counter::BallsExtracted, balls);
+        self.obs.add(shard, Counter::BallNodesVisited, visited);
+    }
+
+    /// Records a finished request: root duration into `kind`'s histogram,
+    /// each stage into its mapped histogram, and the trace into the ring.
+    fn finish_trace(&self, shard: usize, tb: TraceBuilder, total: Duration, kind: HistKind) {
+        self.obs.record(shard, kind, total);
+        let trace = tb.finish(total);
+        for &(stage, d) in &trace.stages {
+            self.obs.record(shard, stage.hist(), d);
+        }
+        self.traces.push(trace);
     }
 
     fn opts(&self) -> MatchOpts {
@@ -583,7 +639,8 @@ impl Shared {
                 pr_member: Vec::new(),
             };
         }
-        let site = caches.scratch.with_neighborhood(|nbr| self.site(view, c, group.d, nbr));
+        let shard = caches.shard;
+        let site = caches.scratch.with_neighborhood(|nbr| self.site(view, c, group.d, shard, nbr));
         let o = ev.evaluate(&site);
         debug_assert_eq!(o.class, class, "site and global LCWA must agree");
         CenterRecord { class, pruned: false, q_member: o.q_member, pr_member: o.pr_member }
@@ -591,7 +648,12 @@ impl Shared {
 
     /// Returns the warmed state for `group`, performing the full-candidate
     /// evaluation pass if this predicate has not been touched yet.
-    fn state(&self, view: &EngineView, group: &PredicateGroup) -> (Arc<PredicateState>, bool) {
+    fn state(
+        &self,
+        view: &EngineView,
+        group: &PredicateGroup,
+        shard: usize,
+    ) -> (Arc<PredicateState>, bool) {
         if let Some(s) = self.states.read().unwrap().get(&group.predicate) {
             return (s.clone(), false);
         }
@@ -602,7 +664,7 @@ impl Shared {
             return (s.clone(), false);
         }
         let state = Arc::new(self.warm(view, group));
-        self.warmups.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr(shard, Counter::Warmups);
         self.states.write().unwrap().insert(group.predicate, state.clone());
         (state, true)
     }
@@ -617,10 +679,10 @@ impl Shared {
         let workers = self.cfg.workers.max(1);
         let chunks =
             chunk_by_load(&vec![1u64; group.centers.len()], workers * WARM_CHUNKS_PER_WORKER);
-        let exec = Executor::new(workers);
+        let exec = Executor::new(workers).with_obs(self.obs.clone());
         let (parts, _stats) = exec.map_indexed(
             chunks.len(),
-            |_w| WorkerCaches::default(),
+            |w| WorkerCaches { shard: w, ..Default::default() },
             |caches, ci| {
                 let ev = self.evaluator(group, caches);
                 let mut part = WarmPart { records: Vec::new() };
@@ -628,6 +690,7 @@ impl Shared {
                     let rec = self.evaluate_center(view, group, &ev, pos, caches);
                     part.records.push((group.centers[pos], rec));
                 }
+                self.drain_worker_counters(caches);
                 part
             },
         );
@@ -638,6 +701,8 @@ impl Shared {
             }
         }
         state.finalize(self.cfg.eta);
+        self.obs.add(0, Counter::CentersEvaluated, state.warm_evaluated as u64);
+        self.obs.add(0, Counter::CentersSketchPruned, state.warm_pruned as u64);
         state
     }
 
@@ -645,11 +710,15 @@ impl Shared {
         &self,
         req: &IdentifyRequest,
         caches: &mut WorkerCaches,
+        tb: &mut TraceBuilder,
     ) -> Result<IdentifyResponse, QueryError> {
+        let shard = caches.shard;
         let view = self.view.read().unwrap();
         let group = view.index.group(&req.predicate).ok_or(QueryError::UnknownPredicate)?;
-        let (state, warmed) = self.state(&view, group);
+        let warm_started = Ts::now();
+        let (state, warmed) = self.state(&view, group, shard);
         if warmed {
+            tb.add(Stage::Warmup, warm_started.elapsed());
             // This request performed the warm-up, which already evaluated
             // every candidate — answer from that pass instead of doubling
             // the cold-query latency.
@@ -697,25 +766,48 @@ impl Shared {
         let mut pruned = 0usize;
         for i in positions {
             let c = group.centers[i];
-            if !group.center_may_match(i) {
+            let may_match = {
+                let _s = Span::enter(tb, Stage::CandidatePrune);
+                group.center_may_match(i)
+            };
+            if !may_match {
                 pruned += 1;
                 continue;
             }
             evaluated += 1;
-            let site = caches.scratch.with_neighborhood(|nbr| self.site(&view, c, group.d, nbr));
-            let o = ev.evaluate(&site);
+            let site = {
+                let _s = Span::enter(tb, Stage::CacheLookup);
+                caches.scratch.with_neighborhood(|nbr| self.site(&view, c, group.d, shard, nbr))
+            };
+            let o = {
+                let _s = Span::enter(tb, Stage::IsoEval);
+                ev.evaluate(&site)
+            };
+            let _s = Span::enter(tb, Stage::LedgerRead);
             if o.q_member.iter().zip(&state.active).any(|(&m, &a)| m && a) {
                 customers.push(c);
             }
         }
+        self.obs.add(shard, Counter::CentersEvaluated, evaluated as u64);
+        self.obs.add(shard, Counter::CentersSketchPruned, pruned as u64);
         customers.sort_unstable();
         Ok(IdentifyResponse { customers, evaluated, pruned, warmed })
     }
 
-    fn top_rules(&self, pred: &Predicate, k: usize) -> Result<Vec<RuleInfo>, QueryError> {
+    fn top_rules(
+        &self,
+        pred: &Predicate,
+        k: usize,
+        shard: usize,
+        tb: &mut TraceBuilder,
+    ) -> Result<Vec<RuleInfo>, QueryError> {
         let view = self.view.read().unwrap();
         let group = view.index.group(pred).ok_or(QueryError::UnknownPredicate)?;
-        let (state, _) = self.state(&view, group);
+        let warm_started = Ts::now();
+        let (state, warmed) = self.state(&view, group, shard);
+        if warmed {
+            tb.add(Stage::Warmup, warm_started.elapsed());
+        }
         let mut out: Vec<RuleInfo> = group
             .rule_arcs
             .iter()
@@ -739,13 +831,20 @@ impl Shared {
 
     /// Applies one update batch under the view write lock. See the module
     /// docs ("Live updates") for the union-ball invalidation rule.
-    fn apply_update(&self, update: &GraphUpdate) -> Result<UpdateReport, UpdateError> {
+    /// End-to-end latency is measured from `started` (the caller's
+    /// schedule point), so lock-acquisition wait is part of the measured
+    /// cost, exactly like queue wait for queries.
+    fn apply_update(&self, update: &GraphUpdate, started: Ts) -> Result<UpdateReport, UpdateError> {
         let mut guard = self.view.write().unwrap();
         let view = &mut *guard;
+        let mut tb = TraceBuilder::new(TraceKind::Update);
         // Plan without mutating: a malformed batch must not half-mutate
         // the overlay or poison the view lock, and the effective touched
         // set is needed *before* commit for the pre-update BFS.
-        let applied = view.graph.diff(update)?;
+        let applied = {
+            let _s = Span::enter(&mut tb, Stage::UpdateDiff);
+            view.graph.diff(update)
+        }?;
         let mut report = UpdateReport {
             assigned: applied.assigned.clone(),
             touched: applied.touched.clone(),
@@ -755,9 +854,8 @@ impl Shared {
             ..Default::default()
         };
         if applied.touched.is_empty() {
-            return Ok(report); // fully deduplicated no-op batch
+            return Ok(report); // fully deduplicated no-op batch; not counted
         }
-        self.updates.fetch_add(1, Ordering::Relaxed);
 
         // 1. The invalidation ball, to the deepest radius any group
         // evaluates at — *and* the deepest radius still cached: a group
@@ -783,6 +881,7 @@ impl Shared {
         // exist on the pre view; they seed only the post-update BFS.)
         let deletes = !applied.removed_edges.is_empty() || !applied.removed_nodes.is_empty();
         let pre_dist = if deletes {
+            let _s = Span::enter(&mut tb, Stage::UpdateBfs);
             let n_pre = view.graph.node_count();
             let pre_seeds: Vec<NodeId> =
                 applied.touched.iter().copied().filter(|v| v.index() < n_pre).collect();
@@ -790,8 +889,14 @@ impl Shared {
         } else {
             Default::default()
         };
-        view.graph.commit(update, &applied);
-        let mut dist = multi_source_distances(&view.graph, &applied.touched, max_d);
+        {
+            let _s = Span::enter(&mut tb, Stage::UpdateCommit);
+            view.graph.commit(update, &applied);
+        }
+        let mut dist = {
+            let _s = Span::enter(&mut tb, Stage::UpdateBfs);
+            multi_source_distances(&view.graph, &applied.touched, max_d)
+        };
         for (v, d) in pre_dist {
             dist.entry(v).and_modify(|cur| *cur = (*cur).min(d)).or_insert(d);
         }
@@ -855,6 +960,7 @@ impl Shared {
         // else keeps its incrementally-maintained group.
         let mut rebuilt: Vec<Predicate> = Vec::new();
         if !changed_labels.is_empty() {
+            let _s = Span::enter(&mut tb, Stage::UpdateGroupRepair);
             let affected: Vec<Predicate> = self
                 .catalog
                 .predicates()
@@ -901,34 +1007,39 @@ impl Shared {
             if rebuilt.contains(&pred) {
                 continue; // fresh group is already exact; state dropped
             }
-            let EngineView { graph, index, .. } = view;
-            let group = index.group_mut(&pred).expect("group listed above");
-            let (added, removed) = center_changes(group, graph, &applied);
-            for &c in &removed {
-                if group.remove_center(c) {
-                    report.removed_centers += 1;
+            let (removed, reeval) = {
+                let _s = Span::enter(&mut tb, Stage::UpdateGroupRepair);
+                let EngineView { graph, index, .. } = view;
+                let group = index.group_mut(&pred).expect("group listed above");
+                let (added, removed) = center_changes(group, graph, &applied);
+                for &c in &removed {
+                    if group.remove_center(c) {
+                        report.removed_centers += 1;
+                    }
                 }
-            }
-            for &c in &added {
-                if group.add_center(graph, c) {
-                    report.added_centers += 1;
+                for &c in &added {
+                    if group.add_center(graph, c) {
+                        report.added_centers += 1;
+                    }
                 }
-            }
-            // Every surviving center inside the invalidation ball: its
-            // d-ball (hence sketch, memberships, class) may have changed.
-            let reeval: Vec<NodeId> = dist
-                .iter()
-                .filter(|&(_, &dd)| dd <= group.d.max(1))
-                .map(|(&c, _)| c)
-                .filter(|&c| group.center_pos(c).is_some())
-                .collect();
-            for &c in &reeval {
-                group.refresh_center_sketch(graph, c);
-            }
+                // Every surviving center inside the invalidation ball: its
+                // d-ball (hence sketch, memberships, class) may have changed.
+                let reeval: Vec<NodeId> = dist
+                    .iter()
+                    .filter(|&(_, &dd)| dd <= group.d.max(1))
+                    .map(|(&c, _)| c)
+                    .filter(|&c| group.center_pos(c).is_some())
+                    .collect();
+                for &c in &reeval {
+                    group.refresh_center_sketch(graph, c);
+                }
+                (removed, reeval)
+            };
 
             // Warm-state repair: subtract stale contributions, re-evaluate
             // only the in-ball + new centers, re-derive the answer surface
             // (a per-center patch unless a rule's η verdict flipped).
+            let _s = Span::enter(&mut tb, Stage::UpdateLedgerPatch);
             let mut states = self.states.write().unwrap();
             let Some(state) = states.get_mut(&pred) else { continue };
             let state = Arc::make_mut(state);
@@ -950,6 +1061,20 @@ impl Shared {
                 state.patch_customers(removed.iter().chain(&reeval).copied());
             }
         }
+        self.drain_worker_counters(&mut caches);
+
+        // All counter effects of one batch become visible atomically:
+        // `stats()` taken mid-update reports either the whole batch or
+        // none of it. The transaction is opened only for the bumps
+        // themselves (nanoseconds), so concurrent stable readers never
+        // spin for the duration of the repair work above.
+        let txn = self.obs.write_txn();
+        txn.incr(0, Counter::Updates);
+        txn.add(0, Counter::CacheInvalidations, report.evicted.len() as u64);
+        txn.add(0, Counter::UpdateReevaluated, report.reevaluated as u64);
+        txn.add(0, Counter::UpdateRebuiltGroups, report.rebuilt_groups as u64);
+        drop(txn);
+        self.finish_trace(0, tb, started.elapsed(), HistKind::UpdateLatency);
         Ok(report)
     }
 
@@ -969,7 +1094,8 @@ impl Shared {
         guard.graph = DeltaGraph::new(Arc::new(compacted.graph));
         let remap = compacted.remap?;
         guard.index.remap_ids(&remap);
-        self.cache.lock().clear();
+        let flushed = self.cache.lock().clear();
+        self.obs.add(0, Counter::CacheInvalidations, flushed as u64);
         let mut states = self.states.write().unwrap();
         for state in states.values_mut() {
             let state = Arc::make_mut(state);
@@ -1021,9 +1147,13 @@ fn center_changes(
     (added, removed)
 }
 
+/// A queued request, carrying its schedule timestamp so queue wait and
+/// end-to-end latency are measured from submission (open-loop semantics:
+/// a backed-up queue counts against latency rather than silently delaying
+/// the measurement — no coordinated omission).
 enum Job {
-    Identify(IdentifyRequest, Sender<Result<IdentifyResponse, QueryError>>),
-    TopRules(Predicate, usize, Sender<Result<Vec<RuleInfo>, QueryError>>),
+    Identify(IdentifyRequest, Ts, Sender<Result<IdentifyResponse, QueryError>>),
+    TopRules(Predicate, usize, Ts, Sender<Result<Vec<RuleInfo>, QueryError>>),
     /// Test-only: a job whose evaluation panics, pinning that a panicking
     /// query neither kills the worker nor wedges the pool.
     #[cfg(test)]
@@ -1054,6 +1184,7 @@ impl ServeEngine {
         let node_hist = graph.node_label_histogram();
         let edge_hist = graph.edge_label_histogram();
         let workers = cfg.workers.max(1);
+        let obs = Arc::new(MetricsRegistry::new(workers));
         let shared = Arc::new(Shared {
             view: RwLock::new(EngineView {
                 graph: DeltaGraph::new(graph),
@@ -1065,17 +1196,17 @@ impl ServeEngine {
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
             states: RwLock::new(FxHashMap::default()),
             warm_lock: Mutex::new(()),
-            queries: AtomicU64::new(0),
-            warmups: AtomicU64::new(0),
-            updates: AtomicU64::new(0),
+            obs: obs.clone(),
+            traces: TraceRecorder::new(cfg.trace_capacity),
             cfg,
         });
-        let jobs: Arc<Injector<Job>> = Arc::new(Injector::new());
+        let jobs: Arc<Injector<Job>> =
+            Arc::new(Injector::with_depth_gauge(obs.register_gauge("injector_depth")));
         let handles = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let shared = shared.clone();
                 let jobs = jobs.clone();
-                std::thread::spawn(move || worker_loop(shared, jobs))
+                std::thread::spawn(move || worker_loop(shared, jobs, w))
             })
             .collect();
         Self { shared, jobs, handles }
@@ -1092,9 +1223,24 @@ impl ServeEngine {
         predicate: Predicate,
         candidates: Option<Vec<NodeId>>,
     ) -> Result<IdentifyResponse, QueryError> {
-        let (tx, rx) = channel();
-        self.submit(Job::Identify(IdentifyRequest { predicate, candidates }, tx))?;
+        let rx = self.submit_identify_from(IdentifyRequest { predicate, candidates }, Ts::now())?;
         rx.recv().map_err(|_| QueryError::Stopped)?
+    }
+
+    /// Submits an identify request without blocking, returning the reply
+    /// channel — the open-loop load harness's entry point. Queue wait and
+    /// end-to-end latency are measured from `scheduled`, which callers
+    /// replaying a workload set to the request's *intended* arrival time:
+    /// if submission itself lags the schedule, the lag is charged to the
+    /// request rather than silently dropped (coordinated omission).
+    pub fn submit_identify_from(
+        &self,
+        req: IdentifyRequest,
+        scheduled: Ts,
+    ) -> Result<Receiver<Result<IdentifyResponse, QueryError>>, QueryError> {
+        let (tx, rx) = channel();
+        self.submit(Job::Identify(req, scheduled, tx))?;
+        Ok(rx)
     }
 
     /// Submits a whole batch concurrently and collects the answers in
@@ -1105,11 +1251,7 @@ impl ServeEngine {
     ) -> Vec<Result<IdentifyResponse, QueryError>> {
         let mut waits = Vec::with_capacity(reqs.len());
         for req in reqs {
-            let (tx, rx) = channel();
-            match self.submit(Job::Identify(req, tx)) {
-                Ok(()) => waits.push(Ok(rx)),
-                Err(e) => waits.push(Err(e)),
-            }
+            waits.push(self.submit_identify_from(req, Ts::now()));
         }
         waits
             .into_iter()
@@ -1123,9 +1265,21 @@ impl ServeEngine {
     /// The `k` highest-confidence rules for `pred`, with exact confidence
     /// on the serving graph (warms the predicate if needed).
     pub fn top_rules(&self, predicate: Predicate, k: usize) -> Result<Vec<RuleInfo>, QueryError> {
-        let (tx, rx) = channel();
-        self.submit(Job::TopRules(predicate, k, tx))?;
+        let rx = self.submit_top_rules_from(predicate, k, Ts::now())?;
         rx.recv().map_err(|_| QueryError::Stopped)?
+    }
+
+    /// Non-blocking [`ServeEngine::top_rules`] with an external schedule
+    /// timestamp; see [`ServeEngine::submit_identify_from`].
+    pub fn submit_top_rules_from(
+        &self,
+        predicate: Predicate,
+        k: usize,
+        scheduled: Ts,
+    ) -> Result<Receiver<Result<Vec<RuleInfo>, QueryError>>, QueryError> {
+        let (tx, rx) = channel();
+        self.submit(Job::TopRules(predicate, k, scheduled, tx))?;
+        Ok(rx)
     }
 
     /// Applies one insert/relabel/deletion batch to the serving graph,
@@ -1136,7 +1290,19 @@ impl ServeEngine {
     /// A malformed batch (out-of-range or removed node reference) is
     /// rejected whole: `Err` means nothing was applied.
     pub fn apply_update(&self, update: &GraphUpdate) -> Result<UpdateReport, UpdateError> {
-        self.shared.apply_update(update)
+        self.shared.apply_update(update, Ts::now())
+    }
+
+    /// [`ServeEngine::apply_update`] with an external schedule timestamp:
+    /// the recorded update latency (and its trace's root duration) starts
+    /// at `scheduled`, charging view-lock wait to the batch exactly like
+    /// queue wait is charged to queries.
+    pub fn apply_update_from(
+        &self,
+        update: &GraphUpdate,
+        scheduled: Ts,
+    ) -> Result<UpdateReport, UpdateError> {
+        self.shared.apply_update(update, scheduled)
     }
 
     /// Merges all pending overlay deltas back into a fresh CSR base;
@@ -1184,14 +1350,37 @@ impl ServeEngine {
         (view.graph.removed_node_count(), view.graph.tomb_edge_count())
     }
 
-    /// A counters snapshot.
+    /// A counters snapshot, read at one stable registry epoch: an
+    /// `apply_update` racing this call is reflected either completely or
+    /// not at all — `updates`, the cache invalidation count, and the rest
+    /// of a batch's counters always move together in the returned value.
     pub fn stats(&self) -> EngineStats {
+        let c = self.shared.obs.counters_stable();
         EngineStats {
-            queries: self.shared.queries.load(Ordering::Relaxed),
-            warmups: self.shared.warmups.load(Ordering::Relaxed),
-            updates: self.shared.updates.load(Ordering::Relaxed),
-            cache: self.shared.cache.lock().stats(),
+            queries: c[Counter::Queries as usize],
+            warmups: c[Counter::Warmups as usize],
+            updates: c[Counter::Updates as usize],
+            cache: CacheStats {
+                hits: c[Counter::CacheHits as usize],
+                misses: c[Counter::CacheMisses as usize],
+                evictions: c[Counter::CacheEvictions as usize],
+                invalidations: c[Counter::CacheInvalidations as usize],
+                inserted: c[Counter::CacheInserted as usize],
+            },
         }
+    }
+
+    /// A coherent snapshot of every counter, merged latency histogram and
+    /// gauge this engine records (queries, updates, cache, executor,
+    /// matcher and traversal activity).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.obs.snapshot()
+    }
+
+    /// The most recent per-request traces, oldest first (up to
+    /// [`ServeConfig::trace_capacity`]; empty under `obs-off`).
+    pub fn traces(&self) -> Vec<Trace> {
+        self.shared.traces.recent()
     }
 }
 
@@ -1228,17 +1417,30 @@ fn run_contained<T>(
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, jobs: Arc<Injector<Job>>) {
-    let mut caches = WorkerCaches::default();
+fn worker_loop(shared: Arc<Shared>, jobs: Arc<Injector<Job>>, shard: usize) {
+    let mut caches = WorkerCaches { shard, ..Default::default() };
     // `pop` blocks while the injector is open; `None` = closed + drained.
     while let Some(job) = jobs.pop() {
-        shared.queries.fetch_add(1, Ordering::Relaxed);
+        shared.obs.incr(shard, Counter::Queries);
         match job {
-            Job::Identify(req, reply) => {
-                let _ = reply.send(run_contained(&mut caches, |c| shared.identify(&req, c)));
+            Job::Identify(req, submitted, reply) => {
+                let mut tb = TraceBuilder::new(TraceKind::Identify);
+                tb.add(Stage::QueueWait, submitted.elapsed());
+                let res = run_contained(&mut caches, |c| shared.identify(&req, c, &mut tb));
+                shared.drain_worker_counters(&mut caches);
+                // Record before replying, so a snapshot taken after the
+                // answer arrives is guaranteed to include this request.
+                shared.finish_trace(shard, tb, submitted.elapsed(), HistKind::IdentifyLatency);
+                let _ = reply.send(res);
             }
-            Job::TopRules(pred, k, reply) => {
-                let _ = reply.send(run_contained(&mut caches, |_| shared.top_rules(&pred, k)));
+            Job::TopRules(pred, k, submitted, reply) => {
+                let mut tb = TraceBuilder::new(TraceKind::TopRules);
+                tb.add(Stage::QueueWait, submitted.elapsed());
+                let res =
+                    run_contained(&mut caches, |c| shared.top_rules(&pred, k, c.shard, &mut tb));
+                shared.drain_worker_counters(&mut caches);
+                shared.finish_trace(shard, tb, submitted.elapsed(), HistKind::TopRulesLatency);
+                let _ = reply.send(res);
             }
             #[cfg(test)]
             Job::Crash(reply) => {
@@ -1977,5 +2179,135 @@ mod tests {
         }
         assert!(report.reevaluated >= 1);
         assert!(report.reevaluated <= 2, "only the touched component re-evaluates");
+    }
+
+    /// `stats()` must be transactionally consistent under concurrent
+    /// update traffic: every committed update in this scenario evicts
+    /// exactly one cached d-ball (the isolated (28, 29) pair's center,
+    /// re-cached by a query between updates), so any snapshot must show
+    /// `invalidations == updates` — a snapshot that caught an update's
+    /// counter bump without its eviction bump (or vice versa) breaks the
+    /// equality. The pre-registry implementation read each counter
+    /// independently and fails exactly that way.
+    #[test]
+    fn stats_snapshots_are_transactionally_consistent_under_updates() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let visit = vocab.get("visit").unwrap();
+        let engine = Arc::new(ServeEngine::new(
+            g.clone(),
+            &cat,
+            ServeConfig { eta: 0.5, cache_capacity: 1024, workers: 2, ..Default::default() },
+        ));
+        engine.identify(pred, None).unwrap(); // warm: caches every center's ball
+        let writer = {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                for i in 0..200 {
+                    // Alternate insert / delete of one edge in the isolated
+                    // component; each batch touches {28, 29} and evicts
+                    // exactly the (28, d) entry the query below re-cached.
+                    let edge = vec![(NodeId(28), NodeId(29), visit)];
+                    let update = if i % 2 == 0 {
+                        GraphUpdate { new_edges: edge, ..Default::default() }
+                    } else {
+                        GraphUpdate { del_edges: edge, ..Default::default() }
+                    };
+                    let report = engine.apply_update(&update).unwrap();
+                    assert_eq!(report.evicted.len(), 1, "exactly the re-cached ball evicts");
+                    assert_eq!(report.evicted[0].0, NodeId(28));
+                    // Re-cache the evicted ball before the next update.
+                    engine.identify(pred, Some(vec![NodeId(28)])).unwrap();
+                }
+            })
+        };
+        let mut last_updates = 0;
+        while last_updates < 200 && !writer.is_finished() {
+            let s = engine.stats();
+            assert_eq!(
+                s.cache.invalidations, s.updates,
+                "snapshot split an update transaction: updates={} invalidations={}",
+                s.updates, s.cache.invalidations
+            );
+            assert!(s.updates >= last_updates, "counters are monotone");
+            last_updates = s.updates;
+        }
+        writer.join().unwrap();
+        let s = engine.stats();
+        assert_eq!((s.updates, s.cache.invalidations), (200, 200));
+    }
+
+    /// The acceptance criterion for per-query tracing: a cache-miss
+    /// identify query's trace attributes time to all five pipeline stages
+    /// (queue wait → cache lookup → candidate pruning → iso eval → ledger
+    /// read), each with a non-zero duration, summing to at most the root.
+    #[test]
+    fn cache_miss_identify_trace_has_all_five_stages() {
+        if cfg!(feature = "obs-off") {
+            return; // timing compiles out; traces are dropped
+        }
+        let (g, cat, pred) = scenario();
+        // Capacity 0 disables the cache: every site lookup is a miss, so
+        // the second (post-warm) query exercises the full extract path.
+        let engine = ServeEngine::new(
+            g,
+            &cat,
+            ServeConfig { eta: 0.5, cache_capacity: 0, workers: 1, ..Default::default() },
+        );
+        engine.identify(pred, None).unwrap(); // warm
+        engine.identify(pred, None).unwrap(); // traced cache-miss query
+        let traces = engine.traces();
+        assert_eq!(traces.len(), 2);
+        let warm_trace = &traces[0];
+        assert!(!warm_trace.stage(Stage::Warmup).is_zero(), "first query carries the warm-up");
+        let t = &traces[1];
+        assert_eq!(t.kind, TraceKind::Identify);
+        for stage in [
+            Stage::QueueWait,
+            Stage::CacheLookup,
+            Stage::CandidatePrune,
+            Stage::IsoEval,
+            Stage::LedgerRead,
+        ] {
+            assert!(!t.stage(stage).is_zero(), "stage {} has no recorded time", stage.name());
+        }
+        assert!(t.stages_total() <= t.total, "stages are disjoint slices of the root");
+    }
+
+    /// The registry snapshot exposes engine activity end to end: query /
+    /// warm-up counters, latency histograms (recorded before the reply is
+    /// sent, so post-answer snapshots are complete), matcher + traversal
+    /// tallies drained from worker scratch, and the injector depth gauge.
+    #[test]
+    fn metrics_snapshot_reflects_engine_activity() {
+        let (g, cat, pred) = scenario();
+        let engine =
+            ServeEngine::new(g, &cat, ServeConfig { eta: 0.5, workers: 1, ..Default::default() });
+        engine.identify(pred, None).unwrap();
+        engine.identify(pred, None).unwrap();
+        engine.top_rules(pred, 4).unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.counter(Counter::Queries), 3);
+        assert_eq!(m.counter(Counter::Warmups), 1);
+        assert!(m.counter(Counter::CentersEvaluated) > 0);
+        assert!(m.counter(Counter::BallsExtracted) > 0);
+        assert!(m.counter(Counter::BallNodesVisited) >= m.counter(Counter::BallsExtracted));
+        assert!(m.counter(Counter::IsoCandidatesGenerated) > 0);
+        assert_eq!(
+            m.gauges().iter().find(|(n, _)| *n == "injector_depth").map(|&(_, v)| v),
+            Some(0),
+            "queue is drained once answers are in"
+        );
+        if !cfg!(feature = "obs-off") {
+            assert_eq!(m.hist(HistKind::IdentifyLatency).count(), 2);
+            assert_eq!(m.hist(HistKind::TopRulesLatency).count(), 1);
+            assert_eq!(m.hist(HistKind::Warmup).count(), 1);
+            assert!(m.hist(HistKind::QueueWait).count() >= 3);
+        }
+        // The JSON surface carries the same rows (consumed by the CI
+        // overhead gate and the load harness).
+        let json = m.to_bench_json("engine-test");
+        assert!(json.contains("obs/counter/queries"));
+        assert!(json.contains("obs/counter/balls_extracted"));
     }
 }

@@ -88,4 +88,9 @@ pub use engine::{
     UpdateError, UpdateReport,
 };
 pub use gpar_graph::GraphUpdate;
+// Observability vocabulary, re-exported so engine consumers (the load
+// harness, dashboards) need not depend on gpar-obs directly.
+pub use gpar_obs::{
+    Counter, HistKind, HistogramSnapshot, MetricsSnapshot, Stage, Trace, TraceKind, Ts,
+};
 pub use index::{CandidateIndex, LabelSignature, PredicateGroup};

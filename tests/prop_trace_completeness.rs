@@ -1,0 +1,120 @@
+//! Trace completeness: every answered query — success or error, at any
+//! worker count — emits exactly one trace, and each trace's stage
+//! durations are disjoint slices of its root duration (their sum never
+//! exceeds the end-to-end time). Stage accumulators are per-request and
+//! worker-local, so this must hold regardless of how the pool interleaves
+//! requests; running the same workload at workers ∈ {1, 2, 8} pins that.
+
+use gpar::core::{ConfStats, Gpar, Predicate};
+use gpar::datagen::{generate_rules, synthetic, RuleGenConfig, SyntheticConfig};
+use gpar::graph::{Graph, NodeId};
+use gpar::serve::{IdentifyRequest, RuleCatalog, ServeConfig, ServeEngine, TraceKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn predicate_of(g: &Graph) -> Option<Predicate> {
+    let top = g.frequent_edge_patterns(1);
+    let ((sl, el, dl), _) = top.first()?;
+    Some(Predicate::new(
+        gpar::pattern::NodeCond::Label(*sl),
+        *el,
+        gpar::pattern::NodeCond::Label(*dl),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::env_or(8))]
+
+    #[test]
+    fn every_answered_query_emits_one_bounded_trace(
+        seed in 0u64..1_000,
+        nodes in 40usize..100,
+        subsets in proptest::collection::vec(
+            proptest::collection::vec(0u32..4096, 0..4),
+            1..8,
+        ),
+        top_k in 1usize..4,
+    ) {
+        let g = synthetic(&SyntheticConfig::sized(nodes, nodes * 2, seed));
+        let Some(pred) = predicate_of(&g) else { return };
+        let sigma: Vec<Gpar> = generate_rules(&g, &pred, &RuleGenConfig {
+            count: 2,
+            pattern_nodes: 3,
+            pattern_edges: 4,
+            max_radius: 2,
+            seed,
+        });
+        if sigma.is_empty() {
+            return;
+        }
+        let mut catalog = RuleCatalog::new(g.vocab().clone());
+        for r in &sigma {
+            catalog.insert(Arc::new(r.clone()), ConfStats::default());
+        }
+        let graph = Arc::new(g.clone());
+
+        let reqs: Vec<IdentifyRequest> = subsets
+            .iter()
+            .map(|raw| IdentifyRequest {
+                predicate: pred,
+                candidates: (!raw.is_empty()).then(|| {
+                    raw.iter()
+                        .map(|&i| NodeId((i as usize % g.node_count()) as u32))
+                        .collect()
+                }),
+            })
+            .collect();
+
+        for workers in [1usize, 2, 8] {
+            let engine = ServeEngine::new(
+                graph.clone(),
+                &catalog,
+                ServeConfig {
+                    workers,
+                    eta: 0.5,
+                    trace_capacity: 1024,
+                    ..Default::default()
+                },
+            );
+            let answers = engine.identify_batch(reqs.clone());
+            prop_assert_eq!(answers.len(), reqs.len());
+            for _ in 0..top_k {
+                engine.top_rules(pred, 4).expect("pred is cataloged");
+            }
+            // Traces are recorded before the reply is sent, so once every
+            // answer is in, so is every trace.
+            let traces = engine.traces();
+            prop_assert_eq!(
+                traces.len(),
+                reqs.len() + top_k,
+                "exactly one trace per answered query (workers = {})",
+                workers
+            );
+            prop_assert_eq!(
+                traces.iter().filter(|t| t.kind == TraceKind::Identify).count(),
+                reqs.len()
+            );
+            prop_assert_eq!(
+                traces.iter().filter(|t| t.kind == TraceKind::TopRules).count(),
+                top_k
+            );
+            for pair in traces.windows(2) {
+                prop_assert!(pair[0].seq < pair[1].seq, "recorder order is submission order");
+            }
+            for t in &traces {
+                prop_assert!(t.total > Duration::ZERO, "root span covers real wall time");
+                prop_assert!(
+                    t.stages_total() <= t.total,
+                    "stage durations ({:?}) exceed the root span ({:?}) at workers = {}",
+                    t.stages_total(),
+                    t.total,
+                    workers
+                );
+                for (_, d) in &t.stages {
+                    prop_assert!(!d.is_zero(), "zero-duration stages are filtered at finish");
+                }
+            }
+        }
+    }
+}
