@@ -49,6 +49,7 @@ fn batch(pred: gpar_core::Predicate, hot: &[NodeId], size: usize) -> Vec<Identif
                 let hi = (lo + 8).min(hot.len());
                 Some(hot[lo..hi].to_vec())
             },
+            opts: Default::default(),
         })
         .collect()
 }

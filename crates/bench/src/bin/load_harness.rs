@@ -25,15 +25,28 @@
 //! cargo run --release -p gpar-bench --bin load_harness -- --quick  # ~10 s CI smoke
 //! cargo run --release -p gpar-bench --bin load_harness -- \
 //!     --qps 400 --duration-secs 5 --slo-p99-ms 20 --out report.json
+//! cargo run --release -p gpar-bench --bin load_harness -- \
+//!     --deadline-ms 250 --queue-cap 256 --fail-on-slo   # overload profile
 //! ```
+//!
+//! Overload knobs: `--deadline-ms` arms a per-request latency budget
+//! (expired requests answer `DeadlineExceeded` instead of completing
+//! late), `--staleness-ms` lets identify queries accept warm-ledger
+//! answers of bounded age while an update holds the view lock,
+//! `--queue-cap` bounds the engine's admission queue (overflow answers
+//! `Shed` at submit time), and `--fail-on-slo` turns an SLO miss into
+//! exit code 1 for CI. Every reply is classified (`ok` / `shed` /
+//! `deadline_exceeded` / `stale` / `failed`) and reported per phase —
+//! under overload the error budget moves into typed sheds and timeouts,
+//! never silent drops.
 
 use gpar_bench::Workloads;
 use gpar_core::Predicate;
 use gpar_datagen::{generate_rules, RuleGenConfig};
 use gpar_graph::{Label, NodeId};
 use gpar_serve::{
-    GraphUpdate, HistKind, IdentifyRequest, MetricsSnapshot, RuleCatalog, ServeConfig, ServeEngine,
-    Ts,
+    GraphUpdate, HistKind, IdentifyRequest, MetricsSnapshot, QueryError, QueryOpts, RuleCatalog,
+    ServeConfig, ServeEngine, Ts,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -93,13 +106,29 @@ fn class_report(delta: &MetricsSnapshot, name: &'static str, kind: HistKind) -> 
     }
 }
 
+/// Per-phase reply classification: every submitted request lands in
+/// exactly one bucket (`shed` at submit time, the rest at drain time).
+#[derive(Default, Clone, Copy)]
+struct ResponseClasses {
+    /// Completed with a live (non-stale) answer.
+    ok: u64,
+    /// Completed from the warm ledger under an opted-in staleness bound.
+    stale: u64,
+    /// Rejected at admission (queue full) — a typed `Shed`, not a drop.
+    shed: u64,
+    /// Answered `DeadlineExceeded` (expired in queue or mid-evaluation).
+    deadline_exceeded: u64,
+    /// Anything else (panicked query, shutdown, lost reply).
+    failed: u64,
+}
+
 /// What one phase of offered load measured.
 struct PhaseResult {
     offered_qps: f64,
     /// Completions per second of wall time until the last reply landed.
     achieved_qps: f64,
     submitted: u64,
-    errors: u64,
+    classes: ResponseClasses,
     updates_applied: u64,
     delta: MetricsSnapshot,
 }
@@ -116,6 +145,8 @@ struct PhaseConfig {
     zipf_s: f64,
     identify_frac: f64,
     seed: u64,
+    /// Deadline / staleness options stamped on every query.
+    opts: QueryOpts,
 }
 
 /// Runs one open-loop phase: a dispatcher thread replays the query
@@ -134,7 +165,7 @@ fn run_phase(
     let epoch = Instant::now();
 
     let mut submitted = 0u64;
-    let mut errors = 0u64;
+    let mut classes = ResponseClasses::default();
     let mut updates_applied = 0u64;
 
     std::thread::scope(|scope| {
@@ -191,15 +222,21 @@ fn run_phase(
                     (0..size).map(|_| pool[zipf.sample(&mut rng) as usize - 1]).collect();
                 candidates.sort_unstable();
                 candidates.dedup();
-                let req = IdentifyRequest { predicate: pred, candidates: Some(candidates) };
+                let req = IdentifyRequest {
+                    predicate: pred,
+                    candidates: Some(candidates),
+                    opts: cfg.opts,
+                };
                 match engine.submit_identify_from(req, scheduled) {
                     Ok(rx) => identify_rx.push(rx),
-                    Err(_) => errors += 1,
+                    Err(QueryError::Shed { .. }) => classes.shed += 1,
+                    Err(_) => classes.failed += 1,
                 }
             } else {
-                match engine.submit_top_rules_from(pred, 4, scheduled) {
+                match engine.submit_top_rules_from(pred, 4, cfg.opts, scheduled) {
                     Ok(rx) => top_rules_rx.push(rx),
-                    Err(_) => errors += 1,
+                    Err(QueryError::Shed { .. }) => classes.shed += 1,
+                    Err(_) => classes.failed += 1,
                 }
             }
             submitted += 1;
@@ -207,17 +244,22 @@ fn run_phase(
 
         // Drain every reply; traces and histograms are recorded before
         // the reply is sent, so once the last answer is in, so is every
-        // measurement.
+        // measurement. Every admitted request must answer — a blocking
+        // `recv` here is the harness-level proof that deadlined or shed
+        // work never leaves a dangling waiter.
         for rx in identify_rx {
             match rx.recv() {
-                Ok(Ok(_)) => {}
-                _ => errors += 1,
+                Ok(Ok(resp)) if resp.stale => classes.stale += 1,
+                Ok(Ok(_)) => classes.ok += 1,
+                Ok(Err(QueryError::DeadlineExceeded { .. })) => classes.deadline_exceeded += 1,
+                _ => classes.failed += 1,
             }
         }
         for rx in top_rules_rx {
             match rx.recv() {
-                Ok(Ok(_)) => {}
-                _ => errors += 1,
+                Ok(Ok(_)) => classes.ok += 1,
+                Ok(Err(QueryError::DeadlineExceeded { .. })) => classes.deadline_exceeded += 1,
+                _ => classes.failed += 1,
             }
         }
         stop.store(true, Ordering::Relaxed);
@@ -233,7 +275,7 @@ fn run_phase(
         offered_qps: cfg.qps,
         achieved_qps: completed as f64 / wall,
         submitted,
-        errors,
+        classes,
         updates_applied,
         delta,
     }
@@ -283,6 +325,15 @@ fn main() {
     let slo_update_p99_ms: f64 =
         flag("--slo-update-p99-ms").map_or(1000.0, |v| v.parse().expect("--slo-update-p99-ms"));
     let zipf_s: f64 = flag("--zipf-s").map_or(1.1, |v| v.parse().expect("--zipf-s"));
+    let deadline_ms: Option<f64> = flag("--deadline-ms").map(|v| v.parse().expect("--deadline-ms"));
+    let staleness_ms: Option<f64> =
+        flag("--staleness-ms").map(|v| v.parse().expect("--staleness-ms"));
+    let queue_cap: usize = flag("--queue-cap").map_or(0, |v| v.parse().expect("--queue-cap"));
+    let fail_on_slo = args.iter().any(|a| a == "--fail-on-slo");
+    let opts = QueryOpts {
+        deadline: deadline_ms.map(|ms| Duration::from_secs_f64(ms / 1e3)),
+        staleness: staleness_ms.map(|ms| Duration::from_secs_f64(ms / 1e3)),
+    };
     let out_path = flag("--out").unwrap_or_else(|| "SLO_report.json".to_string());
     let sweep_steps: usize = if quick { 3 } else { 6 };
     let max_requests: u64 = if quick { 5_000 } else { 50_000 };
@@ -308,7 +359,12 @@ fn main() {
     let engine = ServeEngine::new(
         graph.clone(),
         &catalog,
-        ServeConfig { eta: 1.5, trace_capacity: 1024, ..Default::default() },
+        ServeConfig {
+            eta: 1.5,
+            trace_capacity: 1024,
+            queue_capacity: queue_cap,
+            ..Default::default()
+        },
     );
 
     let pool: Vec<NodeId> = {
@@ -339,9 +395,25 @@ fn main() {
     );
 
     // Phase 1 — the SLO measurement phase at the requested rate.
-    let base_cfg =
-        PhaseConfig { qps, duration, max_requests, update_interval, zipf_s, identify_frac, seed };
+    let base_cfg = PhaseConfig {
+        qps,
+        duration,
+        max_requests,
+        update_interval,
+        zipf_s,
+        identify_frac,
+        seed,
+        opts,
+    };
     let measured = run_phase(&engine, serve_pred, &pool, churn_edge, &base_cfg);
+    println!(
+        "  replies: ok={} stale={} shed={} deadline_exceeded={} failed={}",
+        measured.classes.ok,
+        measured.classes.stale,
+        measured.classes.shed,
+        measured.classes.deadline_exceeded,
+        measured.classes.failed
+    );
     let classes = [
         class_report(&measured.delta, "identify", HistKind::IdentifyLatency),
         class_report(&measured.delta, "top_rules", HistKind::TopRulesLatency),
@@ -367,18 +439,28 @@ fn main() {
         let cfg = PhaseConfig { qps: offered, seed: seed.wrapping_add(step as u64), ..base_cfg };
         let r = run_phase(&engine, serve_pred, &pool, churn_edge, &cfg);
         println!(
-            "  sweep: offered={:>10.0} qps achieved={:>10.0} qps (n={}, err={})",
-            r.offered_qps, r.achieved_qps, r.submitted, r.errors
+            "  sweep: offered={:>10.0} qps achieved={:>10.0} qps (n={}, shed={}, dl={}, err={})",
+            r.offered_qps,
+            r.achieved_qps,
+            r.submitted,
+            r.classes.shed,
+            r.classes.deadline_exceeded,
+            r.classes.failed
         );
         sweep.push((r.offered_qps, r.achieved_qps));
         saturated = r.achieved_qps < 0.9 * r.offered_qps;
     }
     let saturation_qps = sweep.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
 
-    let slo_pass = classes.iter().all(|c| {
-        let bound = if c.name == "update" { slo_update_p99_ms } else { slo_p99_ms };
-        c.count == 0 || (c.p99_ns as f64 / 1e6) <= bound
-    });
+    // The latency SLO applies to *admitted and completed* work: shed and
+    // deadline-expired requests are accounted separately (they are the
+    // mechanism that keeps the tail bounded, not violations of it). Any
+    // `failed` reply — a panic, a lost channel — fails the SLO outright.
+    let slo_pass = measured.classes.failed == 0
+        && classes.iter().all(|c| {
+            let bound = if c.name == "update" { slo_update_p99_ms } else { slo_p99_ms };
+            c.count == 0 || (c.p99_ns as f64 / 1e6) <= bound
+        });
 
     // --- JSON out (hand-rolled: the workspace is serde-free). ---
     let mut json = String::new();
@@ -395,14 +477,28 @@ fn main() {
     json.push_str(&format!(
         "  \"workload\": {{ \"qps\": {qps:.1}, \"duration_secs\": {:.3}, \"seed\": {seed}, \
          \"zipf_s\": {zipf_s:.2}, \"identify_frac\": {identify_frac:.2}, \
-         \"update_interval_ms\": {}, \"pool\": {}, \"submitted\": {}, \"errors\": {}, \
+         \"update_interval_ms\": {}, \"pool\": {}, \"submitted\": {}, \
          \"updates_applied\": {} }},\n",
         duration.as_secs_f64(),
         update_interval.as_millis(),
         pool.len(),
         measured.submitted,
-        measured.errors,
         measured.updates_applied
+    ));
+    json.push_str(&format!(
+        "  \"robustness\": {{ \"deadline_ms\": {}, \"staleness_ms\": {}, \"queue_cap\": {} }},\n",
+        deadline_ms.map_or("null".into(), |v| format!("{v:.1}")),
+        staleness_ms.map_or("null".into(), |v| format!("{v:.1}")),
+        queue_cap
+    ));
+    json.push_str(&format!(
+        "  \"response_classes\": {{ \"ok\": {}, \"stale\": {}, \"shed\": {}, \
+         \"deadline_exceeded\": {}, \"failed\": {} }},\n",
+        measured.classes.ok,
+        measured.classes.stale,
+        measured.classes.shed,
+        measured.classes.deadline_exceeded,
+        measured.classes.failed
     ));
     json.push_str("  \"classes\": [\n");
     for (i, c) in classes.iter().enumerate() {
@@ -451,4 +547,7 @@ fn main() {
     println!(
         "saturation_qps={saturation_qps:.0} (saturated={saturated}) slo_pass={slo_pass} → {out_path}"
     );
+    if fail_on_slo && !slo_pass {
+        std::process::exit(1);
+    }
 }

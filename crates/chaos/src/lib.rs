@@ -1,0 +1,382 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! The serving stack is sprinkled with named *failpoints* — call sites
+//! like `serve::update::plan` or `exec::task` that, when a fault plan is
+//! armed, may panic, sleep, report a full queue, or poison a batch. Every
+//! decision is a pure function of `(plan seed, site name, per-site hit
+//! counter)`, so a failing fault sequence replays exactly from its seed:
+//! no clocks, no thread ids, no global RNG.
+//!
+//! Without the `chaos` cargo feature (the default) every entry point
+//! compiles to an inert no-op — zero branches, zero atomics, zero state —
+//! so production builds pay nothing. With the feature enabled but no plan
+//! armed, each failpoint is a single relaxed atomic load.
+//!
+//! Faults are only ever injected at sites the host code has proven safe
+//! to fail at: panics fire exclusively inside `catch_unwind` containment
+//! (the serve worker loop, the pre-commit planning half of
+//! `apply_update`), while sites that must not unwind (executor tasks,
+//! post-commit repair) use [`delaypoint`], which only ever sleeps.
+
+use std::time::Duration;
+
+/// A fault plan: probabilities (in parts per 1024) for each fault class,
+/// all driven by one seed. Armed globally via [`arm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed for every injection decision; same seed ⇒ same fault sequence.
+    pub seed: u64,
+    /// Chance (per 1024) that a [`failpoint`] hit panics.
+    pub panic_ppk: u32,
+    /// Chance (per 1024) that a [`failpoint`] / [`delaypoint`] hit sleeps.
+    pub delay_ppk: u32,
+    /// Sleep length for delay faults.
+    pub delay: Duration,
+    /// Chance (per 1024) that [`should_reject_queue`] reports a full queue.
+    pub queue_full_ppk: u32,
+    /// Chance (per 1024) that [`should_poison_batch`] rejects the batch.
+    pub poison_batch_ppk: u32,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan {
+            seed: 0,
+            panic_ppk: 0,
+            delay_ppk: 0,
+            delay: Duration::from_micros(200),
+            queue_full_ppk: 0,
+            poison_batch_ppk: 0,
+        }
+    }
+}
+
+/// Faults actually fired since the plan was armed; returned by [`disarm`]
+/// so test suites can assert the run exercised what it meant to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosTally {
+    /// Panics raised by [`failpoint`].
+    pub panics: u64,
+    /// Sleeps performed by [`failpoint`] / [`delaypoint`].
+    pub delays: u64,
+    /// Queue-full rejections reported by [`should_reject_queue`].
+    pub queue_fulls: u64,
+    /// Batches poisoned by [`should_poison_batch`].
+    pub poisoned_batches: u64,
+}
+
+impl ChaosTally {
+    /// Total faults of any class.
+    pub fn total(&self) -> u64 {
+        self.panics + self.delays + self.queue_fulls + self.poisoned_batches
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod armed {
+    use super::{ChaosPlan, ChaosTally};
+    use std::collections::HashMap;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Mutex;
+
+    /// Fast-path flag: failpoints bail on one relaxed load when no plan
+    /// is armed, so an enabled-but-idle build stays near-free.
+    pub(super) static ARMED: AtomicBool = AtomicBool::new(false);
+    pub(super) static STATE: Mutex<Option<PlanState>> = Mutex::new(None);
+
+    pub(super) struct PlanState {
+        pub plan: ChaosPlan,
+        /// Per-site hit counters: decision `n` at a site is independent
+        /// of every other site's traffic, so adding a failpoint elsewhere
+        /// never perturbs an existing seed's sequence here.
+        pub hits: HashMap<&'static str, u64>,
+        pub tally: ChaosTally,
+    }
+
+    /// splitmix64: tiny, well-mixed, and exactly reproducible.
+    pub(super) fn splitmix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub(super) fn site_hash(site: &str) -> u64 {
+        // FNV-1a over the site name; stable across runs and platforms.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in site.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The decision word for hit `hit` at `site` under `seed`, salted per
+    /// fault class so e.g. panic and delay rolls are independent.
+    pub(super) fn roll(seed: u64, site: &str, hit: u64, salt: u64) -> u64 {
+        splitmix64(seed ^ splitmix64(site_hash(site) ^ splitmix64(hit ^ salt)))
+    }
+
+    pub(super) fn hits_ppk(word: u64, ppk: u32) -> bool {
+        ppk > 0 && (word & 1023) < u64::from(ppk)
+    }
+}
+
+/// What a [`failpoint`] decided to do for one hit.
+#[cfg(feature = "chaos")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    None,
+    Delay(Duration),
+    Panic,
+}
+
+/// Arms `plan` globally, resetting hit counters and the fault tally.
+/// No-op without the `chaos` feature.
+pub fn arm(plan: ChaosPlan) {
+    #[cfg(feature = "chaos")]
+    {
+        use std::sync::atomic::Ordering;
+        let mut state = armed::STATE.lock().expect("chaos state lock");
+        *state = Some(armed::PlanState {
+            plan,
+            hits: std::collections::HashMap::new(),
+            tally: ChaosTally::default(),
+        });
+        armed::ARMED.store(true, Ordering::Release);
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = plan;
+}
+
+/// Disarms the active plan and returns the tally of faults it fired.
+/// No-op (zero tally) without the `chaos` feature.
+pub fn disarm() -> ChaosTally {
+    #[cfg(feature = "chaos")]
+    {
+        use std::sync::atomic::Ordering;
+        armed::ARMED.store(false, Ordering::Release);
+        let mut state = armed::STATE.lock().expect("chaos state lock");
+        state.take().map(|s| s.tally).unwrap_or_default()
+    }
+    #[cfg(not(feature = "chaos"))]
+    ChaosTally::default()
+}
+
+/// Whether a plan is currently armed.
+pub fn is_armed() -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        armed::ARMED.load(std::sync::atomic::Ordering::Acquire)
+    }
+    #[cfg(not(feature = "chaos"))]
+    false
+}
+
+/// The tally so far under the active plan (zero when disarmed).
+pub fn tally() -> ChaosTally {
+    #[cfg(feature = "chaos")]
+    {
+        let state = armed::STATE.lock().expect("chaos state lock");
+        state.as_ref().map(|s| s.tally).unwrap_or_default()
+    }
+    #[cfg(not(feature = "chaos"))]
+    ChaosTally::default()
+}
+
+#[cfg(feature = "chaos")]
+fn decide(site: &'static str, allow_panic: bool) -> Decision {
+    use std::sync::atomic::Ordering;
+    if !armed::ARMED.load(Ordering::Relaxed) {
+        return Decision::None;
+    }
+    let mut guard = armed::STATE.lock().expect("chaos state lock");
+    let Some(state) = guard.as_mut() else {
+        return Decision::None;
+    };
+    let hit = {
+        let h = state.hits.entry(site).or_insert(0);
+        let v = *h;
+        *h += 1;
+        v
+    };
+    let seed = state.plan.seed;
+    if allow_panic && armed::hits_ppk(armed::roll(seed, site, hit, 0), state.plan.panic_ppk) {
+        state.tally.panics += 1;
+        return Decision::Panic;
+    }
+    if armed::hits_ppk(armed::roll(seed, site, hit, 1), state.plan.delay_ppk) {
+        state.tally.delays += 1;
+        return Decision::Delay(state.plan.delay);
+    }
+    Decision::None
+}
+
+#[cfg(feature = "chaos")]
+fn class_roll(site: &'static str, salt: u64, pick_ppk: fn(&ChaosPlan) -> u32) -> bool {
+    use std::sync::atomic::Ordering;
+    if !armed::ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let mut guard = armed::STATE.lock().expect("chaos state lock");
+    let Some(state) = guard.as_mut() else {
+        return false;
+    };
+    let hit = {
+        let h = state.hits.entry(site).or_insert(0);
+        let v = *h;
+        *h += 1;
+        v
+    };
+    armed::hits_ppk(armed::roll(state.plan.seed, site, hit, salt), pick_ppk(&state.plan))
+}
+
+/// A full failpoint: may panic (with a `"chaos: injected panic at
+/// <site>"` message) or sleep, per the armed plan. Place only where the
+/// host code contains unwinding. Inert no-op without the `chaos` feature.
+#[inline]
+pub fn failpoint(site: &'static str) {
+    #[cfg(feature = "chaos")]
+    // The decision is computed (and tallied) under the state lock, then
+    // acted on after it is released — a panic must not poison the lock.
+    match decide(site, true) {
+        Decision::None => {}
+        Decision::Delay(d) => std::thread::sleep(d),
+        Decision::Panic => panic!("chaos: injected panic at {site}"),
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = site;
+}
+
+/// A delay-only failpoint for sites that must never unwind (executor
+/// tasks, post-commit repair). Inert no-op without the `chaos` feature.
+#[inline]
+pub fn delaypoint(site: &'static str) {
+    #[cfg(feature = "chaos")]
+    match decide(site, false) {
+        Decision::None | Decision::Panic => {}
+        Decision::Delay(d) => std::thread::sleep(d),
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = site;
+}
+
+/// Whether admission should pretend the queue is full at this hit.
+/// Always `false` without the `chaos` feature.
+#[inline]
+pub fn should_reject_queue(site: &'static str) -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        let fired = class_roll(site, 2, |p| p.queue_full_ppk);
+        if fired {
+            if let Some(s) = armed::STATE.lock().expect("chaos state lock").as_mut() {
+                s.tally.queue_fulls += 1;
+            }
+        }
+        fired
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = site;
+        false
+    }
+}
+
+/// Whether this update batch should be rejected as poisoned before any
+/// work happens. Always `false` without the `chaos` feature.
+#[inline]
+pub fn should_poison_batch(site: &'static str) -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        let fired = class_roll(site, 3, |p| p.poison_batch_ppk);
+        if fired {
+            if let Some(s) = armed::STATE.lock().expect("chaos state lock").as_mut() {
+                s.tally.poisoned_batches += 1;
+            }
+        }
+        fired
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = site;
+        false
+    }
+}
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // Chaos state is process-global; serialize the tests that arm it.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn gate() -> MutexGuard<'static, ()> {
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn record(seed: u64, hits: usize) -> Vec<(bool, bool)> {
+        arm(ChaosPlan { seed, queue_full_ppk: 512, poison_batch_ppk: 512, ..ChaosPlan::default() });
+        let out = (0..hits)
+            .map(|_| (should_reject_queue("test::queue"), should_poison_batch("test::batch")))
+            .collect();
+        disarm();
+        out
+    }
+
+    #[test]
+    fn decisions_replay_exactly_from_the_seed() {
+        let _g = gate();
+        let a = record(42, 256);
+        let b = record(42, 256);
+        assert_eq!(a, b, "same seed must give the same fault sequence");
+        let c = record(43, 256);
+        assert_ne!(a, c, "different seeds should diverge at 512/1024 odds");
+    }
+
+    #[test]
+    fn unarmed_failpoints_are_inert_even_with_the_feature_on() {
+        let _g = gate();
+        disarm();
+        assert!(!is_armed());
+        for _ in 0..64 {
+            failpoint("test::inert");
+            delaypoint("test::inert");
+            assert!(!should_reject_queue("test::inert"));
+            assert!(!should_poison_batch("test::inert"));
+        }
+        assert_eq!(tally(), ChaosTally::default());
+    }
+
+    #[test]
+    fn tally_counts_fired_faults() {
+        let _g = gate();
+        arm(ChaosPlan {
+            seed: 7,
+            delay_ppk: 1024,
+            delay: Duration::from_micros(1),
+            queue_full_ppk: 1024,
+            ..ChaosPlan::default()
+        });
+        delaypoint("test::tally");
+        delaypoint("test::tally");
+        assert!(should_reject_queue("test::tally"));
+        let t = disarm();
+        assert_eq!(t.delays, 2);
+        assert_eq!(t.queue_fulls, 1);
+        assert_eq!(t.panics, 0);
+        assert_eq!(t.total(), 3);
+    }
+
+    #[test]
+    fn injected_panics_carry_the_site_and_do_not_poison_state() {
+        let _g = gate();
+        arm(ChaosPlan { seed: 1, panic_ppk: 1024, ..ChaosPlan::default() });
+        let err = std::panic::catch_unwind(|| failpoint("test::panic"))
+            .expect_err("panic_ppk=1024 must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("test::panic"), "panic names its site: {msg}");
+        // State survives: the next hit still decides (and the lock is fine).
+        assert_eq!(tally().panics, 1);
+        disarm();
+    }
+}

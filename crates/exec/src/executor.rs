@@ -155,6 +155,10 @@ impl Executor {
             let out: Vec<T> = (0..tasks)
                 .map(|i| {
                     let c0 = thread_cpu_time();
+                    // Delay-only failpoint: executor workers are joined
+                    // with a panic-propagating expect, so tasks must
+                    // never be made to unwind by fault injection.
+                    gpar_chaos::delaypoint("exec::task");
                     let v = run(&mut ctx, i);
                     task_times.push(thread_cpu_time().saturating_sub(c0));
                     v
@@ -186,6 +190,7 @@ impl Executor {
                         let mut steals = 0u64;
                         while let Some(i) = queues.next(w, &mut steals) {
                             let c0 = thread_cpu_time();
+                            gpar_chaos::delaypoint("exec::task");
                             let v = run(&mut ctx, i);
                             out.push((i as u32, v, thread_cpu_time().saturating_sub(c0)));
                         }

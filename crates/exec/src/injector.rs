@@ -1,12 +1,60 @@
-//! A closeable blocking MPMC queue for long-lived worker pools.
+//! A closeable, optionally bounded, two-lane blocking MPMC queue for
+//! long-lived worker pools.
 
 use gpar_obs::Gauge;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+/// Admission priority. The injector keeps one lane per priority; workers
+/// always drain [`Priority::High`] first, and each lane is bounded by the
+/// capacity *separately*, so a flood of normal-lane work can never
+/// consume the high lane's admission slots (the serving engine routes
+/// cold-predicate warm-ups high so a Zipf hot-key flood can't starve
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Popped before any normal-priority item; FIFO within the lane.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+}
+
+/// Why a push was rejected. Both variants hand the item back so callers
+/// can fail it explicitly instead of leaking it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The injector is closed.
+    Closed(T),
+    /// The item's lane was at capacity; `depth` is the total backlog
+    /// (both lanes) observed at rejection time.
+    Full {
+        /// The rejected item.
+        item: T,
+        /// Total queued items at the moment of rejection.
+        depth: usize,
+    },
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_item(self) -> T {
+        match self {
+            PushError::Closed(item) | PushError::Full { item, .. } => item,
+        }
+    }
+}
+
 struct State<T> {
-    queue: VecDeque<T>,
+    high: VecDeque<T>,
+    normal: VecDeque<T>,
     closed: bool,
+}
+
+impl<T> State<T> {
+    fn len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
 }
 
 /// The shared task injector: producers [`Injector::push`] from any thread,
@@ -15,6 +63,11 @@ struct State<T> {
 /// queue — one injector replaces the old mutex-wrapped mpsc receiver, and
 /// any worker, not just the lock holder, can grab the next task.
 ///
+/// With a non-zero capacity ([`Injector::with_capacity`]) the injector is
+/// also the engine's admission controller: pushes into a full lane are
+/// rejected with [`PushError::Full`] instead of growing the backlog
+/// without bound.
+///
 /// Uses `std::sync::{Mutex, Condvar}` directly (the `parking_lot` shim has
 /// no condvar); a poisoned lock propagates the original panic, matching
 /// the pool's panic semantics.
@@ -22,6 +75,8 @@ pub struct Injector<T> {
     state: Mutex<State<T>>,
     cv: Condvar,
     depth: Option<Gauge>,
+    /// Per-lane admission bound; 0 = unbounded.
+    capacity: usize,
 }
 
 impl<T> Default for Injector<T> {
@@ -31,12 +86,17 @@ impl<T> Default for Injector<T> {
 }
 
 impl<T> Injector<T> {
-    /// An empty, open injector.
+    /// An empty, open, unbounded injector.
     pub fn new() -> Self {
         Self {
-            state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+            state: Mutex::new(State {
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+                closed: false,
+            }),
             cv: Condvar::new(),
             depth: None,
+            capacity: 0,
         }
     }
 
@@ -49,14 +109,38 @@ impl<T> Injector<T> {
         inj
     }
 
-    /// Enqueues `item`, waking one blocked worker. Returns the item back
-    /// if the injector is closed.
-    pub fn push(&self, item: T) -> Result<(), T> {
+    /// Bounds each lane at `capacity` queued items (0 = unbounded).
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Enqueues `item` on the normal lane, waking one blocked worker.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        self.push_with(item, Priority::Normal)
+    }
+
+    /// Enqueues `item` on `prio`'s lane, waking one blocked worker.
+    /// Fails with [`PushError::Closed`] after [`Injector::close`], or
+    /// [`PushError::Full`] when the lane is at capacity.
+    pub fn push_with(&self, item: T, prio: Priority) -> Result<(), PushError<T>> {
         let mut s = self.state.lock().expect("injector lock");
         if s.closed {
-            return Err(item);
+            return Err(PushError::Closed(item));
         }
-        s.queue.push_back(item);
+        let lane_len = match prio {
+            Priority::High => s.high.len(),
+            Priority::Normal => s.normal.len(),
+        };
+        if self.capacity != 0 && lane_len >= self.capacity {
+            let depth = s.len();
+            return Err(PushError::Full { item, depth });
+        }
+        match prio {
+            Priority::High => s.high.push_back(item),
+            Priority::Normal => s.normal.push_back(item),
+        }
         if let Some(g) = &self.depth {
             g.add(1);
         }
@@ -65,13 +149,14 @@ impl<T> Injector<T> {
         Ok(())
     }
 
-    /// Dequeues the next item, blocking while the injector is open and
-    /// empty. `None` means closed **and** drained — the pool worker's exit
-    /// signal (items pushed before `close` are always delivered).
+    /// Dequeues the next item (high lane first), blocking while the
+    /// injector is open and empty. `None` means closed **and** drained —
+    /// the pool worker's exit signal (items pushed before `close` are
+    /// always delivered).
     pub fn pop(&self) -> Option<T> {
         let mut s = self.state.lock().expect("injector lock");
         loop {
-            if let Some(item) = s.queue.pop_front() {
+            if let Some(item) = s.high.pop_front().or_else(|| s.normal.pop_front()) {
                 if let Some(g) = &self.depth {
                     g.sub(1);
                 }
@@ -84,9 +169,10 @@ impl<T> Injector<T> {
         }
     }
 
-    /// Non-blocking dequeue.
+    /// Non-blocking dequeue (high lane first).
     pub fn try_pop(&self) -> Option<T> {
-        let item = self.state.lock().expect("injector lock").queue.pop_front();
+        let mut s = self.state.lock().expect("injector lock");
+        let item = s.high.pop_front().or_else(|| s.normal.pop_front());
         if item.is_some() {
             if let Some(g) = &self.depth {
                 g.sub(1);
@@ -102,9 +188,26 @@ impl<T> Injector<T> {
         self.cv.notify_all();
     }
 
-    /// Queued (undelivered) items.
+    /// Atomically closes the injector **and** removes every queued item,
+    /// returning them (high lane first, FIFO within lanes) so the caller
+    /// can fail each one explicitly. Blocked workers wake and exit;
+    /// nothing queued at the moment of the call will ever reach a worker.
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut s = self.state.lock().expect("injector lock");
+        let st = &mut *s;
+        st.closed = true;
+        let drained: Vec<T> = st.high.drain(..).chain(st.normal.drain(..)).collect();
+        if let Some(g) = &self.depth {
+            g.sub(drained.len() as i64);
+        }
+        drop(s);
+        self.cv.notify_all();
+        drained
+    }
+
+    /// Queued (undelivered) items across both lanes.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("injector lock").queue.len()
+        self.state.lock().expect("injector lock").len()
     }
 
     /// Whether no items are queued.
@@ -125,7 +228,7 @@ mod tests {
         inj.push(2).unwrap();
         assert_eq!(inj.len(), 2);
         inj.close();
-        assert_eq!(inj.push(3), Err(3), "push after close is rejected");
+        assert_eq!(inj.push(3), Err(PushError::Closed(3)), "push after close is rejected");
         // Items pushed before the close still drain, in order.
         assert_eq!(inj.pop(), Some(1));
         assert_eq!(inj.try_pop(), Some(2));
@@ -169,5 +272,52 @@ mod tests {
         inj.close();
         let total: u32 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
         assert_eq!(total, (0..50).sum::<u32>(), "every task delivered exactly once");
+    }
+
+    #[test]
+    fn high_lane_jumps_the_queue() {
+        let inj = Injector::new();
+        inj.push_with(10, Priority::Normal).unwrap();
+        inj.push_with(11, Priority::Normal).unwrap();
+        inj.push_with(99, Priority::High).unwrap();
+        assert_eq!(inj.pop(), Some(99), "high lane drains first");
+        assert_eq!(inj.pop(), Some(10));
+        assert_eq!(inj.pop(), Some(11));
+    }
+
+    #[test]
+    fn capacity_bounds_each_lane_separately() {
+        let g = Gauge::new();
+        let inj = Injector::with_depth_gauge(g.clone()).with_capacity(2);
+        inj.push(1).unwrap();
+        inj.push(2).unwrap();
+        assert_eq!(
+            inj.push(3),
+            Err(PushError::Full { item: 3, depth: 2 }),
+            "normal lane at capacity sheds with the observed depth"
+        );
+        // A full normal lane does not consume high-lane slots.
+        inj.push_with(90, Priority::High).unwrap();
+        inj.push_with(91, Priority::High).unwrap();
+        assert_eq!(inj.push_with(92, Priority::High), Err(PushError::Full { item: 92, depth: 4 }));
+        assert_eq!(g.get(), 4, "rejected pushes never touch the depth gauge");
+        assert_eq!(PushError::Full { item: 92, depth: 4 }.into_item(), 92);
+        // Draining frees slots again.
+        assert_eq!(inj.pop(), Some(90));
+        inj.push_with(92, Priority::High).unwrap();
+    }
+
+    #[test]
+    fn close_and_drain_returns_everything_queued() {
+        let g = Gauge::new();
+        let inj = Injector::with_depth_gauge(g.clone());
+        inj.push_with(1, Priority::Normal).unwrap();
+        inj.push_with(2, Priority::High).unwrap();
+        inj.push_with(3, Priority::Normal).unwrap();
+        let drained = inj.close_and_drain();
+        assert_eq!(drained, vec![2, 1, 3], "high lane first, FIFO within lanes");
+        assert_eq!(g.get(), 0, "drained items leave the depth gauge");
+        assert_eq!(inj.pop(), None, "closed and empty after drain");
+        assert_eq!(inj.push(4), Err(PushError::Closed(4)));
     }
 }

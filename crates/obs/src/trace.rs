@@ -46,6 +46,22 @@ impl Ts {
         }
     }
 
+    /// The underlying monotonic instant, or `None` under `obs-off`
+    /// (where `Ts` is zero-sized). Deadline enforcement anchors budgets
+    /// here when timing is compiled in, and falls back to its own clock
+    /// otherwise.
+    #[inline]
+    pub fn instant(&self) -> Option<std::time::Instant> {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            Some(self.0)
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            None
+        }
+    }
+
     /// This timestamp shifted `d` into the future (identity under
     /// `obs-off`). An open-loop workload generator stamps each request
     /// with its *intended* arrival time — one phase epoch plus the

@@ -87,7 +87,7 @@ use crate::catalog::RuleCatalog;
 use crate::index::{CandidateIndex, PredicateGroup};
 use gpar_core::{classify, ConfStats, Confidence, Gpar, LcwaClass, Predicate};
 use gpar_eip::{CandidateEvaluator, EipAlgorithm, MatchOpts};
-use gpar_exec::{Executor, Injector};
+use gpar_exec::{Executor, Injector, Priority, PushError};
 use gpar_graph::{
     multi_source_distances, DeltaGraph, FxHashMap, Graph, GraphUpdate, GraphView, Label,
     NeighborhoodScratch, NodeId, NodeRemap, UpdateInvalid, Vocab,
@@ -134,6 +134,12 @@ pub struct ServeConfig {
     /// Per-request traces retained in the engine's ring buffer
     /// ([`ServeEngine::traces`]; 0 disables trace recording).
     pub trace_capacity: usize,
+    /// Admission bound on the job queue, per priority lane (0 =
+    /// unbounded). When a lane is full, `submit_*` fails fast with
+    /// [`QueryError::Shed`] instead of growing the backlog without
+    /// limit — under sustained overload the shed rate, not queue depth,
+    /// absorbs the excess.
+    pub queue_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -146,6 +152,7 @@ impl Default for ServeConfig {
             algorithm: EipAlgorithm::Match,
             sketch_k: 2,
             trace_capacity: 256,
+            queue_capacity: 0,
         }
     }
 }
@@ -156,11 +163,34 @@ pub enum QueryError {
     /// No cataloged rule pertains to the predicate (or none is
     /// satisfiable in this graph).
     UnknownPredicate,
-    /// The worker pool has shut down.
+    /// The worker pool has shut down. Jobs still queued when
+    /// [`ServeEngine::stop`] runs are failed with this error instead of
+    /// being silently dropped.
     Stopped,
     /// The query evaluation panicked. The worker caught the panic, so the
     /// pool keeps serving; only this request is lost.
     Panicked,
+    /// Rejected at admission: the job queue's lane was at capacity
+    /// ([`ServeConfig::queue_capacity`]). `depth` is the total backlog
+    /// observed at rejection time. Retry later or shed upstream.
+    Shed {
+        /// Queued jobs (both lanes) when the request was rejected.
+        depth: usize,
+    },
+    /// The request's deadline ([`QueryOpts::deadline`]) expired before an
+    /// answer was produced. The budget runs from the schedule timestamp;
+    /// workers check it at stage boundaries, and an answer that completes
+    /// late is replaced by this error rather than delivered stale.
+    DeadlineExceeded {
+        /// The requested budget.
+        budget: Duration,
+        /// Time actually elapsed when the request was abandoned.
+        elapsed: Duration,
+    },
+    /// The worker's reply channel disconnected without an answer — a
+    /// worker died catastrophically. Distinct from [`QueryError::Stopped`]
+    /// (orderly shutdown), which pending jobs receive explicitly.
+    ReplyLost,
 }
 
 impl std::fmt::Display for QueryError {
@@ -169,11 +199,64 @@ impl std::fmt::Display for QueryError {
             QueryError::UnknownPredicate => write!(f, "no cataloged rules for this predicate"),
             QueryError::Stopped => write!(f, "serving engine stopped"),
             QueryError::Panicked => write!(f, "query evaluation panicked"),
+            QueryError::Shed { depth } => {
+                write!(f, "request shed at admission (queue depth {depth})")
+            }
+            QueryError::DeadlineExceeded { budget, elapsed } => {
+                write!(f, "deadline exceeded: budget {budget:?}, elapsed {elapsed:?}")
+            }
+            QueryError::ReplyLost => write!(f, "reply channel lost without an answer"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+/// Per-request quality-of-service options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOpts {
+    /// Latency budget, measured from the request's schedule timestamp
+    /// (`submit_*_from`'s `scheduled`; submission time for the blocking
+    /// wrappers). Workers check it at stage boundaries — on dequeue,
+    /// after lock acquisition, per candidate — and answer
+    /// [`QueryError::DeadlineExceeded`] instead of finishing dead work.
+    /// `None` disables the deadline.
+    pub deadline: Option<Duration>,
+    /// Opt-in bounded staleness: when an update holds the view write
+    /// lock, a request whose warm-ledger answer is at most this old is
+    /// served from the ledger without blocking (`stale = true`, stamped
+    /// with the epoch it reflects). `None` always reads the live view.
+    pub staleness: Option<Duration>,
+}
+
+/// A request's armed deadline. The budget anchors on the schedule
+/// instant when timing is compiled in; under `obs-off` (where [`Ts`] is
+/// zero-sized) it falls back to the submit instant.
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    started: std::time::Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    fn arm(opts: &QueryOpts, scheduled: Ts) -> Option<Deadline> {
+        opts.deadline.map(|budget| Deadline {
+            started: scheduled.instant().unwrap_or_else(std::time::Instant::now),
+            budget,
+        })
+    }
+
+    /// The stage-boundary cancellation check.
+    fn check(this: Option<&Deadline>) -> Result<(), QueryError> {
+        let Some(d) = this else { return Ok(()) };
+        let elapsed = d.started.elapsed();
+        if elapsed > d.budget {
+            Err(QueryError::DeadlineExceeded { budget: d.budget, elapsed })
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// One identification request.
 #[derive(Debug, Clone)]
@@ -182,10 +265,12 @@ pub struct IdentifyRequest {
     pub predicate: Predicate,
     /// Candidate centers to test; `None` means all candidates `L`.
     pub candidates: Option<Vec<NodeId>>,
+    /// Deadline / staleness options (default: none).
+    pub opts: QueryOpts,
 }
 
 /// The answer to an [`IdentifyRequest`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdentifyResponse {
     /// Identified potential customers, sorted by node id.
     pub customers: Vec<NodeId>,
@@ -199,6 +284,14 @@ pub struct IdentifyResponse {
     pub pruned: usize,
     /// Whether this request performed the predicate warm-up.
     pub warmed: bool,
+    /// View epoch this answer reflects (bumped once per committed update
+    /// batch). Stale-bounded answers stamp the epoch of the ledger they
+    /// read, which may lag the in-flight update's.
+    pub epoch: u64,
+    /// Whether this answer was served from the warm ledger without taking
+    /// the view lock (a stale-bounded read during a repair —
+    /// [`QueryOpts::staleness`]).
+    pub stale: bool,
 }
 
 /// One rule with its serving-graph confidence, as returned by
@@ -224,6 +317,13 @@ pub struct EngineStats {
     pub warmups: u64,
     /// Update batches applied.
     pub updates: u64,
+    /// Requests rejected at admission (bounded queue full).
+    pub shed: u64,
+    /// Requests answered with [`QueryError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Identify answers served from the warm ledger while an update held
+    /// the view write lock.
+    pub stale_served: u64,
     /// d-ball cache counters.
     pub cache: CacheStats,
 }
@@ -239,6 +339,13 @@ pub enum UpdateError {
     /// either by an earlier batch or by this batch's own `del_nodes`.
     /// Nothing was applied.
     NodeRemoved(NodeId),
+    /// The update's planning stage panicked (e.g. a chaos-injected
+    /// fault). The panic was caught *before* anything was committed, so
+    /// nothing was applied and the view lock is not poisoned.
+    Panicked,
+    /// The batch was rejected at admission by a fault-injection plan (the
+    /// `chaos` feature's poisoned-batch failpoint). Nothing was applied.
+    Rejected,
 }
 
 impl From<UpdateInvalid> for UpdateError {
@@ -258,6 +365,12 @@ impl std::fmt::Display for UpdateError {
             }
             UpdateError::NodeRemoved(v) => {
                 write!(f, "update references removed node {v}")
+            }
+            UpdateError::Panicked => {
+                write!(f, "update planning panicked; nothing was applied")
+            }
+            UpdateError::Rejected => {
+                write!(f, "update batch rejected by fault injection; nothing was applied")
             }
         }
     }
@@ -334,6 +447,9 @@ struct PredicateState {
     /// Centers evaluated / sketch-pruned (current ledger tallies).
     warm_evaluated: usize,
     warm_pruned: usize,
+    /// The view epoch this ledger reflects (stamped at warm-up and at
+    /// each update's ledger patch); stale-bounded answers report it.
+    epoch: u64,
 }
 
 impl PredicateState {
@@ -349,6 +465,7 @@ impl PredicateState {
             warm_customers: Vec::new(),
             warm_evaluated: 0,
             warm_pruned: 0,
+            epoch: 0,
         }
     }
 
@@ -502,6 +619,9 @@ struct EngineView {
     index: CandidateIndex,
     node_hist: FxHashMap<Label, u64>,
     edge_hist: FxHashMap<Label, u64>,
+    /// Bumped once per committed update batch; answers stamp the epoch
+    /// they read so clients can order them against updates.
+    epoch: u64,
 }
 
 /// One warm-scan chunk's partial fold (merged in task-index order;
@@ -527,6 +647,12 @@ struct Shared {
     obs: Arc<MetricsRegistry>,
     /// Bounded ring of recent per-request traces.
     traces: TraceRecorder,
+    /// Set while an update (or compaction) holds the view write lock
+    /// *and* has begun mutating: the instant the previous view stopped
+    /// being current. Stale-bounded reads ([`QueryOpts::staleness`])
+    /// measure their answer's age from it; `None` means the ledger is
+    /// current (or the writer is still in its pure planning phase).
+    stale_since: Mutex<Option<std::time::Instant>>,
 }
 
 impl Shared {
@@ -695,6 +821,7 @@ impl Shared {
             },
         );
         let mut state = PredicateState::empty(group.rules.len());
+        state.epoch = view.epoch;
         for part in parts {
             for (c, rec) in part.records {
                 state.add_record(c, rec);
@@ -706,15 +833,87 @@ impl Shared {
         state
     }
 
+    /// The stale-bounded fast path: when an update is mid-repair (view
+    /// write lock held, mutation begun) and the requester tolerates
+    /// answers at most `staleness` old, answer from the warm ledger
+    /// without touching the view lock. Returns `Ok(None)` when the fast
+    /// path does not apply (no staleness opt-in, bound exceeded, or the
+    /// predicate was never warmed) — the caller then blocks as usual.
+    /// Lock order is safe: this takes only the `states` read lock, which
+    /// the updater holds only transiently per group.
+    fn stale_identify(
+        &self,
+        req: &IdentifyRequest,
+        shard: usize,
+        tb: &mut TraceBuilder,
+    ) -> Result<Option<IdentifyResponse>, QueryError> {
+        let Some(bound) = req.opts.staleness else { return Ok(None) };
+        let age = match *self.stale_since.lock() {
+            Some(t) => t.elapsed(),
+            // The writer is still planning: nothing is mutated yet, so
+            // the ledger is current.
+            None => Duration::ZERO,
+        };
+        if age > bound {
+            return Ok(None);
+        }
+        let states = self.states.read().unwrap();
+        // A cold predicate has no ledger to serve from; fall back to the
+        // blocking path (which will warm it on the fresh view).
+        let Some(state) = states.get(&req.predicate) else { return Ok(None) };
+        let _s = Span::enter(tb, Stage::LedgerRead);
+        let customers = match &req.candidates {
+            None => state.warm_customers.clone(),
+            Some(cands) => {
+                let mut v: Vec<NodeId> = cands
+                    .iter()
+                    .filter(|c| state.warm_customers.binary_search(c).is_ok())
+                    .copied()
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        };
+        self.obs.incr(shard, Counter::StaleServed);
+        Ok(Some(IdentifyResponse {
+            customers,
+            evaluated: 0,
+            pruned: 0,
+            warmed: false,
+            epoch: state.epoch,
+            stale: true,
+        }))
+    }
+
     fn identify(
         &self,
         req: &IdentifyRequest,
         caches: &mut WorkerCaches,
         tb: &mut TraceBuilder,
+        dl: Option<&Deadline>,
     ) -> Result<IdentifyResponse, QueryError> {
         let shard = caches.shard;
-        let view = self.view.read().unwrap();
+        let view = match self.view.try_read() {
+            Ok(view) => view,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                // An update holds the write lock. Serve stale if the
+                // request opted in; otherwise check the deadline one last
+                // time before committing to an unbounded lock wait.
+                if let Some(resp) = self.stale_identify(req, shard, tb)? {
+                    return Ok(resp);
+                }
+                Deadline::check(dl)?;
+                self.view.read().unwrap()
+            }
+            Err(e @ std::sync::TryLockError::Poisoned(_)) => {
+                // Same deliberate fail-stop as `read().unwrap()`.
+                panic!("view lock poisoned: {e}")
+            }
+        };
+        let epoch = view.epoch;
         let group = view.index.group(&req.predicate).ok_or(QueryError::UnknownPredicate)?;
+        Deadline::check(dl)?;
         let warm_started = Ts::now();
         let (state, warmed) = self.state(&view, group, shard);
         if warmed {
@@ -740,6 +939,8 @@ impl Shared {
                 evaluated: state.warm_evaluated,
                 pruned: state.warm_pruned,
                 warmed: true,
+                epoch,
+                stale: false,
             });
         }
         let ev = self.evaluator(group, caches);
@@ -765,6 +966,9 @@ impl Shared {
         let mut evaluated = 0usize;
         let mut pruned = 0usize;
         for i in positions {
+            // Per-candidate cancellation point: a request whose budget
+            // ran out mid-scan stops computing a dead answer here.
+            Deadline::check(dl)?;
             let c = group.centers[i];
             let may_match = {
                 let _s = Span::enter(tb, Stage::CandidatePrune);
@@ -791,17 +995,22 @@ impl Shared {
         self.obs.add(shard, Counter::CentersEvaluated, evaluated as u64);
         self.obs.add(shard, Counter::CentersSketchPruned, pruned as u64);
         customers.sort_unstable();
-        Ok(IdentifyResponse { customers, evaluated, pruned, warmed })
+        Ok(IdentifyResponse { customers, evaluated, pruned, warmed, epoch, stale: false })
     }
 
+    /// `top_rules` supports deadlines but not stale reads: its answer
+    /// borrows rule `Arc`s living behind the view lock, so it always
+    /// reads the live view.
     fn top_rules(
         &self,
         pred: &Predicate,
         k: usize,
         shard: usize,
         tb: &mut TraceBuilder,
+        dl: Option<&Deadline>,
     ) -> Result<Vec<RuleInfo>, QueryError> {
         let view = self.view.read().unwrap();
+        Deadline::check(dl)?;
         let group = view.index.group(pred).ok_or(QueryError::UnknownPredicate)?;
         let warm_started = Ts::now();
         let (state, warmed) = self.state(&view, group, shard);
@@ -835,16 +1044,30 @@ impl Shared {
     /// schedule point), so lock-acquisition wait is part of the measured
     /// cost, exactly like queue wait for queries.
     fn apply_update(&self, update: &GraphUpdate, started: Ts) -> Result<UpdateReport, UpdateError> {
+        if gpar_chaos::should_poison_batch("serve::update::admit") {
+            return Err(UpdateError::Rejected);
+        }
         let mut guard = self.view.write().unwrap();
         let view = &mut *guard;
         let mut tb = TraceBuilder::new(TraceKind::Update);
         // Plan without mutating: a malformed batch must not half-mutate
         // the overlay or poison the view lock, and the effective touched
-        // set is needed *before* commit for the pre-update BFS.
-        let applied = {
-            let _s = Span::enter(&mut tb, Stage::UpdateDiff);
-            view.graph.diff(update)
-        }?;
+        // set is needed *before* commit for the pre-update BFS. Because
+        // this section is pure (`diff` borrows the overlay immutably), a
+        // panic inside it — including the chaos failpoint's — can be
+        // caught *before* it crosses the lock guard: nothing is applied
+        // and the view lock is not poisoned.
+        let planned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<_, UpdateInvalid> {
+                gpar_chaos::failpoint("serve::update::plan");
+                let _s = Span::enter(&mut tb, Stage::UpdateDiff);
+                view.graph.diff(update)
+            },
+        ));
+        let applied = match planned {
+            Ok(result) => result?,
+            Err(_) => return Err(UpdateError::Panicked),
+        };
         let mut report = UpdateReport {
             assigned: applied.assigned.clone(),
             touched: applied.touched.clone(),
@@ -891,8 +1114,16 @@ impl Shared {
         };
         {
             let _s = Span::enter(&mut tb, Stage::UpdateCommit);
+            // From here on the previous view is no longer current:
+            // stale-bounded readers measure their answer's age from this
+            // instant until the repair finishes.
+            *self.stale_since.lock() = Some(std::time::Instant::now());
             view.graph.commit(update, &applied);
+            view.epoch += 1;
         }
+        // Delay-only failpoint: the post-commit repair must never unwind
+        // (a panic here poisons the view lock by design — fail-stop).
+        gpar_chaos::delaypoint("serve::update::repair");
         let mut dist = {
             let _s = Span::enter(&mut tb, Stage::UpdateBfs);
             multi_source_distances(&view.graph, &applied.touched, max_d)
@@ -1043,6 +1274,7 @@ impl Shared {
             let mut states = self.states.write().unwrap();
             let Some(state) = states.get_mut(&pred) else { continue };
             let state = Arc::make_mut(state);
+            state.epoch = view.epoch;
             let group = view.index.group(&pred).expect("group listed above");
             let ev = self.evaluator(group, &mut caches);
             for &c in &removed {
@@ -1075,6 +1307,8 @@ impl Shared {
         txn.add(0, Counter::UpdateRebuiltGroups, report.rebuilt_groups as u64);
         drop(txn);
         self.finish_trace(0, tb, started.elapsed(), HistKind::UpdateLatency);
+        // The ledgers are fully patched: the warm state is current again.
+        *self.stale_since.lock() = None;
         Ok(report)
     }
 
@@ -1152,12 +1386,46 @@ fn center_changes(
 /// a backed-up queue counts against latency rather than silently delaying
 /// the measurement — no coordinated omission).
 enum Job {
-    Identify(IdentifyRequest, Ts, Sender<Result<IdentifyResponse, QueryError>>),
-    TopRules(Predicate, usize, Ts, Sender<Result<Vec<RuleInfo>, QueryError>>),
+    Identify(IdentifyRequest, Ts, Option<Deadline>, Sender<Result<IdentifyResponse, QueryError>>),
+    TopRules(Predicate, usize, Ts, Option<Deadline>, Sender<Result<Vec<RuleInfo>, QueryError>>),
     /// Test-only: a job whose evaluation panics, pinning that a panicking
     /// query neither kills the worker nor wedges the pool.
     #[cfg(test)]
     Crash(Sender<Result<IdentifyResponse, QueryError>>),
+    /// Test-only: occupies a worker for the given duration — shutdown and
+    /// admission tests use it to make the pool deterministically busy.
+    #[cfg(test)]
+    Sleep(Duration, Sender<Result<IdentifyResponse, QueryError>>),
+}
+
+impl Job {
+    /// Fails the job's requester explicitly — used by [`ServeEngine::stop`]
+    /// for jobs drained from the queue, so no `submit_*` caller is ever
+    /// left blocked on a reply that will never come.
+    fn reject(self, err: QueryError) {
+        match self {
+            Job::Identify(_, _, _, tx) => {
+                let _ = tx.send(Err(err));
+            }
+            Job::TopRules(_, _, _, _, tx) => {
+                let _ = tx.send(Err(err));
+            }
+            #[cfg(test)]
+            Job::Crash(tx) | Job::Sleep(_, tx) => {
+                let _ = tx.send(Err(err));
+            }
+        }
+    }
+
+    /// The predicate this job queries, if any.
+    fn predicate(&self) -> Option<&Predicate> {
+        match self {
+            Job::Identify(req, ..) => Some(&req.predicate),
+            Job::TopRules(pred, ..) => Some(pred),
+            #[cfg(test)]
+            Job::Crash(_) | Job::Sleep(..) => None,
+        }
+    }
 }
 
 /// The serving engine: index + warm state + fixed worker pool.
@@ -1184,6 +1452,7 @@ impl ServeEngine {
         let node_hist = graph.node_label_histogram();
         let edge_hist = graph.edge_label_histogram();
         let workers = cfg.workers.max(1);
+        let queue_capacity = cfg.queue_capacity;
         let obs = Arc::new(MetricsRegistry::new(workers));
         let shared = Arc::new(Shared {
             view: RwLock::new(EngineView {
@@ -1191,6 +1460,7 @@ impl ServeEngine {
                 index,
                 node_hist,
                 edge_hist,
+                epoch: 0,
             }),
             catalog: catalog.clone(),
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
@@ -1198,10 +1468,13 @@ impl ServeEngine {
             warm_lock: Mutex::new(()),
             obs: obs.clone(),
             traces: TraceRecorder::new(cfg.trace_capacity),
+            stale_since: Mutex::new(None),
             cfg,
         });
-        let jobs: Arc<Injector<Job>> =
-            Arc::new(Injector::with_depth_gauge(obs.register_gauge("injector_depth")));
+        let jobs: Arc<Injector<Job>> = Arc::new(
+            Injector::with_depth_gauge(obs.register_gauge("injector_depth"))
+                .with_capacity(queue_capacity),
+        );
         let handles = (0..workers)
             .map(|w| {
                 let shared = shared.clone();
@@ -1213,7 +1486,32 @@ impl ServeEngine {
     }
 
     fn submit(&self, job: Job) -> Result<(), QueryError> {
-        self.jobs.push(job).map_err(|_| QueryError::Stopped)
+        if gpar_chaos::should_reject_queue("serve::submit") {
+            self.shared.obs.incr(0, Counter::Shed);
+            return Err(QueryError::Shed { depth: self.jobs.len() });
+        }
+        let prio = self.priority_of(&job);
+        match self.jobs.push_with(job, prio) {
+            Ok(()) => Ok(()),
+            Err(PushError::Closed(_)) => Err(QueryError::Stopped),
+            Err(PushError::Full { depth, .. }) => {
+                self.shared.obs.incr(0, Counter::Shed);
+                Err(QueryError::Shed { depth })
+            }
+        }
+    }
+
+    /// Cold-predicate queries ride the high-priority lane: they run the
+    /// shared warm-up whose ledger every later query on that predicate
+    /// reuses, so a Zipf flood of already-warm hot keys must not starve
+    /// them out of the bounded queue. Everything else is normal priority.
+    fn priority_of(&self, job: &Job) -> Priority {
+        let Some(pred) = job.predicate() else { return Priority::Normal };
+        if self.shared.states.read().unwrap().contains_key(pred) {
+            Priority::Normal
+        } else {
+            Priority::High
+        }
     }
 
     /// `Σ_p(x, G, η)` over `candidates` (or all candidates): submits one
@@ -1223,8 +1521,20 @@ impl ServeEngine {
         predicate: Predicate,
         candidates: Option<Vec<NodeId>>,
     ) -> Result<IdentifyResponse, QueryError> {
-        let rx = self.submit_identify_from(IdentifyRequest { predicate, candidates }, Ts::now())?;
-        rx.recv().map_err(|_| QueryError::Stopped)?
+        self.identify_opts(predicate, candidates, QueryOpts::default())
+    }
+
+    /// [`ServeEngine::identify`] with explicit deadline / staleness
+    /// options.
+    pub fn identify_opts(
+        &self,
+        predicate: Predicate,
+        candidates: Option<Vec<NodeId>>,
+        opts: QueryOpts,
+    ) -> Result<IdentifyResponse, QueryError> {
+        let rx =
+            self.submit_identify_from(IdentifyRequest { predicate, candidates, opts }, Ts::now())?;
+        rx.recv().map_err(|_| QueryError::ReplyLost)?
     }
 
     /// Submits an identify request without blocking, returning the reply
@@ -1239,7 +1549,8 @@ impl ServeEngine {
         scheduled: Ts,
     ) -> Result<Receiver<Result<IdentifyResponse, QueryError>>, QueryError> {
         let (tx, rx) = channel();
-        self.submit(Job::Identify(req, scheduled, tx))?;
+        let dl = Deadline::arm(&req.opts, scheduled);
+        self.submit(Job::Identify(req, scheduled, dl, tx))?;
         Ok(rx)
     }
 
@@ -1256,7 +1567,10 @@ impl ServeEngine {
         waits
             .into_iter()
             .map(|w| match w {
-                Ok(rx) => rx.recv().unwrap_or(Err(QueryError::Stopped)),
+                // Submission errors (Shed / Stopped) surface as-is above;
+                // a recv failure is specifically a reply channel that died
+                // without an answer, not a shutdown.
+                Ok(rx) => rx.recv().unwrap_or(Err(QueryError::ReplyLost)),
                 Err(e) => Err(e),
             })
             .collect()
@@ -1265,20 +1579,24 @@ impl ServeEngine {
     /// The `k` highest-confidence rules for `pred`, with exact confidence
     /// on the serving graph (warms the predicate if needed).
     pub fn top_rules(&self, predicate: Predicate, k: usize) -> Result<Vec<RuleInfo>, QueryError> {
-        let rx = self.submit_top_rules_from(predicate, k, Ts::now())?;
-        rx.recv().map_err(|_| QueryError::Stopped)?
+        let rx = self.submit_top_rules_from(predicate, k, QueryOpts::default(), Ts::now())?;
+        rx.recv().map_err(|_| QueryError::ReplyLost)?
     }
 
     /// Non-blocking [`ServeEngine::top_rules`] with an external schedule
-    /// timestamp; see [`ServeEngine::submit_identify_from`].
+    /// timestamp; see [`ServeEngine::submit_identify_from`]. Only
+    /// `opts.deadline` applies: `top_rules` answers borrow rule data
+    /// behind the view lock, so they never take the stale path.
     pub fn submit_top_rules_from(
         &self,
         predicate: Predicate,
         k: usize,
+        opts: QueryOpts,
         scheduled: Ts,
     ) -> Result<Receiver<Result<Vec<RuleInfo>, QueryError>>, QueryError> {
         let (tx, rx) = channel();
-        self.submit(Job::TopRules(predicate, k, scheduled, tx))?;
+        let dl = Deadline::arm(&opts, scheduled);
+        self.submit(Job::TopRules(predicate, k, scheduled, dl, tx))?;
         Ok(rx)
     }
 
@@ -1360,6 +1678,9 @@ impl ServeEngine {
             queries: c[Counter::Queries as usize],
             warmups: c[Counter::Warmups as usize],
             updates: c[Counter::Updates as usize],
+            shed: c[Counter::Shed as usize],
+            deadline_exceeded: c[Counter::DeadlineExceeded as usize],
+            stale_served: c[Counter::StaleServed as usize],
             cache: CacheStats {
                 hits: c[Counter::CacheHits as usize],
                 misses: c[Counter::CacheMisses as usize],
@@ -1367,6 +1688,20 @@ impl ServeEngine {
                 invalidations: c[Counter::CacheInvalidations as usize],
                 inserted: c[Counter::CacheInserted as usize],
             },
+        }
+    }
+
+    /// Shuts the engine down **without** losing replies: the injector is
+    /// atomically closed and drained, and every job still queued at that
+    /// instant gets an explicit `Err(`[`QueryError::Stopped`]`)` on its
+    /// reply channel. Without the drain, a queued job's sender would be
+    /// dropped unanswered and a blocked `rx.recv()` in the submitter would
+    /// see a dead channel instead of a typed shutdown (the old shutdown
+    /// race). Jobs a worker already popped still run to completion.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn stop(&self) {
+        for job in self.jobs.close_and_drain() {
+            job.reject(QueryError::Stopped);
         }
     }
 
@@ -1386,9 +1721,9 @@ impl ServeEngine {
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
-        // Closing the injector drains in-flight jobs and wakes every
-        // blocked worker to exit.
-        self.jobs.close();
+        // Fail queued jobs with a typed error (see `stop`), wake every
+        // blocked worker to exit, then join them.
+        self.stop();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -1423,21 +1758,44 @@ fn worker_loop(shared: Arc<Shared>, jobs: Arc<Injector<Job>>, shard: usize) {
     while let Some(job) = jobs.pop() {
         shared.obs.incr(shard, Counter::Queries);
         match job {
-            Job::Identify(req, submitted, reply) => {
+            Job::Identify(req, submitted, dl, reply) => {
                 let mut tb = TraceBuilder::new(TraceKind::Identify);
                 tb.add(Stage::QueueWait, submitted.elapsed());
-                let res = run_contained(&mut caches, |c| shared.identify(&req, c, &mut tb));
+                // Check the deadline both before starting (don't compute a
+                // dead answer for a request that expired in the queue) and
+                // after finishing (never deliver a success the caller has
+                // already given up on).
+                let res = Deadline::check(dl.as_ref())
+                    .and_then(|()| {
+                        run_contained(&mut caches, |c| {
+                            gpar_chaos::failpoint("serve::worker::job");
+                            shared.identify(&req, c, &mut tb, dl.as_ref())
+                        })
+                    })
+                    .and_then(|resp| Deadline::check(dl.as_ref()).map(|()| resp));
+                if matches!(res, Err(QueryError::DeadlineExceeded { .. })) {
+                    shared.obs.incr(shard, Counter::DeadlineExceeded);
+                }
                 shared.drain_worker_counters(&mut caches);
                 // Record before replying, so a snapshot taken after the
                 // answer arrives is guaranteed to include this request.
                 shared.finish_trace(shard, tb, submitted.elapsed(), HistKind::IdentifyLatency);
                 let _ = reply.send(res);
             }
-            Job::TopRules(pred, k, submitted, reply) => {
+            Job::TopRules(pred, k, submitted, dl, reply) => {
                 let mut tb = TraceBuilder::new(TraceKind::TopRules);
                 tb.add(Stage::QueueWait, submitted.elapsed());
-                let res =
-                    run_contained(&mut caches, |c| shared.top_rules(&pred, k, c.shard, &mut tb));
+                let res = Deadline::check(dl.as_ref())
+                    .and_then(|()| {
+                        run_contained(&mut caches, |c| {
+                            gpar_chaos::failpoint("serve::worker::job");
+                            shared.top_rules(&pred, k, c.shard, &mut tb, dl.as_ref())
+                        })
+                    })
+                    .and_then(|rules| Deadline::check(dl.as_ref()).map(|()| rules));
+                if matches!(res, Err(QueryError::DeadlineExceeded { .. })) {
+                    shared.obs.incr(shard, Counter::DeadlineExceeded);
+                }
                 shared.drain_worker_counters(&mut caches);
                 shared.finish_trace(shard, tb, submitted.elapsed(), HistKind::TopRulesLatency);
                 let _ = reply.send(res);
@@ -1448,6 +1806,20 @@ fn worker_loop(shared: Arc<Shared>, jobs: Arc<Injector<Job>>, shard: usize) {
                     .send(run_contained(&mut caches, |_| -> Result<IdentifyResponse, _> {
                         panic!("test-injected query panic")
                     }));
+            }
+            #[cfg(test)]
+            Job::Sleep(d, reply) => {
+                // Occupies the worker for a fixed time — tests use it to
+                // build a deterministic backlog.
+                std::thread::sleep(d);
+                let _ = reply.send(Ok(IdentifyResponse {
+                    customers: vec![],
+                    evaluated: 0,
+                    pruned: 0,
+                    warmed: false,
+                    epoch: 0,
+                    stale: false,
+                }));
             }
         }
     }
@@ -1602,6 +1974,7 @@ mod tests {
             .map(|i| IdentifyRequest {
                 predicate: pred,
                 candidates: (i % 2 == 0).then(|| vec![NodeId(i as u32 % 12)]),
+                opts: QueryOpts::default(),
             })
             .collect();
         let answers = engine.identify_batch(reqs.clone());
@@ -2309,5 +2682,276 @@ mod tests {
         let json = m.to_bench_json("engine-test");
         assert!(json.contains("obs/counter/queries"));
         assert!(json.contains("obs/counter/balls_extracted"));
+    }
+
+    /// Parks the single worker on a long job and waits until it has been
+    /// popped, so everything submitted afterwards is queued behind it.
+    fn occupy_worker(
+        engine: &ServeEngine,
+        d: Duration,
+    ) -> Receiver<Result<IdentifyResponse, QueryError>> {
+        let (tx, rx) = channel();
+        engine.submit(Job::Sleep(d, tx)).unwrap();
+        while !engine.jobs.is_empty() {
+            std::thread::yield_now();
+        }
+        rx
+    }
+
+    /// The old shutdown race: jobs still queued when the engine stops had
+    /// their reply senders dropped unanswered, so a submitter blocked in
+    /// `rx.recv()` saw a dead channel instead of a typed error. `stop`
+    /// must drain the injector and fail every pending job explicitly.
+    #[test]
+    fn stop_fails_queued_jobs_instead_of_hanging() {
+        let (g, cat, pred) = scenario();
+        let engine =
+            ServeEngine::new(g, &cat, ServeConfig { eta: 0.5, workers: 1, ..Default::default() });
+        let _busy = occupy_worker(&engine, Duration::from_millis(300));
+        let pending: Vec<_> = (0..4)
+            .map(|_| {
+                engine
+                    .submit_identify_from(
+                        IdentifyRequest {
+                            predicate: pred,
+                            candidates: None,
+                            opts: QueryOpts::default(),
+                        },
+                        Ts::now(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        engine.stop();
+        for rx in pending {
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(5)).expect("reply must arrive"),
+                Err(QueryError::Stopped),
+                "queued jobs get a typed shutdown error, not a dead channel"
+            );
+        }
+        assert_eq!(engine.identify(pred, None), Err(QueryError::Stopped), "post-stop submits too");
+    }
+
+    #[test]
+    fn deadline_exceeded_when_queued_past_budget() {
+        let (g, cat, pred) = scenario();
+        let engine =
+            ServeEngine::new(g, &cat, ServeConfig { eta: 0.5, workers: 1, ..Default::default() });
+        engine.identify(pred, None).unwrap(); // warm
+        let _busy = occupy_worker(&engine, Duration::from_millis(200));
+        // 10ms budget, 200ms queue wait: the worker must reject on
+        // dequeue instead of computing a dead answer.
+        let err = engine
+            .identify_opts(
+                pred,
+                None,
+                QueryOpts { deadline: Some(Duration::from_millis(10)), ..Default::default() },
+            )
+            .unwrap_err();
+        match err {
+            QueryError::DeadlineExceeded { budget, elapsed } => {
+                assert_eq!(budget, Duration::from_millis(10));
+                assert!(elapsed >= budget, "elapsed {elapsed:?} must exceed the budget");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(engine.stats().deadline_exceeded >= 1);
+        // An un-deadlined query on the same engine still answers.
+        assert!(!engine.identify(pred, None).unwrap().customers.is_empty());
+    }
+
+    #[test]
+    fn shed_when_queue_is_full() {
+        let (g, cat, pred) = scenario();
+        let engine = ServeEngine::new(
+            g,
+            &cat,
+            ServeConfig { eta: 0.5, workers: 1, queue_capacity: 2, ..Default::default() },
+        );
+        engine.identify(pred, None).unwrap(); // warm: later identifies ride the normal lane
+        let _busy = occupy_worker(&engine, Duration::from_millis(300));
+        let req =
+            || IdentifyRequest { predicate: pred, candidates: None, opts: QueryOpts::default() };
+        let admitted: Vec<_> =
+            (0..2).map(|_| engine.submit_identify_from(req(), Ts::now()).unwrap()).collect();
+        assert_eq!(
+            engine.submit_identify_from(req(), Ts::now()).unwrap_err(),
+            QueryError::Shed { depth: 2 },
+            "a full lane rejects with the observed backlog"
+        );
+        assert_eq!(engine.stats().shed, 1);
+        for rx in admitted {
+            assert!(
+                rx.recv_timeout(Duration::from_secs(5)).expect("admitted job answers").is_ok(),
+                "admitted work is never silently dropped"
+            );
+        }
+    }
+
+    /// Cold-predicate queries (their warm-up repairs the ledger) ride the
+    /// high-priority lane, so a flood of hot-key traffic cannot starve
+    /// them indefinitely.
+    #[test]
+    fn cold_queries_jump_the_queue() {
+        let (g, cat0, hot) = scenario();
+        let vocab = g.vocab().clone();
+        let (cust, bar) = (vocab.get("cust").unwrap(), vocab.get("bar").unwrap());
+        let (like, visit) = (vocab.get("like").unwrap(), vocab.get("visit").unwrap());
+        // A second rule with a distinct predicate (bar-goers come to like
+        // the bar) — note `P_R` must differ from the hot rule's, or the
+        // catalog dedupes it away.
+        let mut cat = cat0.clone();
+        let mut pb = PatternBuilder::new(vocab.clone());
+        let x = pb.node(cust);
+        let y = pb.node(bar);
+        pb.edge(x, y, visit);
+        let cold_rule = Arc::new(Gpar::new(pb.designate(x, y).build().unwrap(), like).unwrap());
+        let cold = *cold_rule.predicate();
+        cat.insert(cold_rule, ConfStats::default());
+
+        let engine =
+            ServeEngine::new(g, &cat, ServeConfig { eta: 0.5, workers: 1, ..Default::default() });
+        engine.identify(hot, None).unwrap(); // warm the hot predicate only
+        let _busy = occupy_worker(&engine, Duration::from_millis(100));
+        // Normal-lane work queued first...
+        let (tx, normal_rx) = channel();
+        engine.submit(Job::Sleep(Duration::from_millis(300), tx)).unwrap();
+        // ...then a cold-predicate query: it must be popped first anyway.
+        let cold_resp = engine
+            .submit_identify_from(
+                IdentifyRequest { predicate: cold, candidates: None, opts: QueryOpts::default() },
+                Ts::now(),
+            )
+            .unwrap()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("cold query answers")
+            .unwrap();
+        assert!(cold_resp.warmed, "cold predicate warms on first touch");
+        assert_eq!(
+            normal_rx.try_recv(),
+            Err(std::sync::mpsc::TryRecvError::Empty),
+            "the normal-lane job queued earlier is still waiting"
+        );
+        assert!(normal_rx.recv_timeout(Duration::from_secs(5)).is_ok());
+    }
+
+    /// Graceful degradation: while an updater holds the view write lock,
+    /// a request that opts into bounded staleness is answered from the
+    /// warm ledger (stamped `stale`, pre-update epoch) without blocking,
+    /// while requests with no staleness budget — or one already exhausted
+    /// — wait for the writer as before.
+    #[test]
+    fn stale_reads_during_repair_are_bounded_and_stamped() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let visit = vocab.get("visit").unwrap();
+        let engine =
+            ServeEngine::new(g, &cat, ServeConfig { eta: 0.5, workers: 2, ..Default::default() });
+        let fresh = engine.identify(pred, None).unwrap();
+        assert_eq!((fresh.epoch, fresh.stale), (0, false));
+        let live = fresh.customers;
+
+        // Simulate an in-flight update: hold the view write lock exactly
+        // as `apply_update` does during repair, with `stale_since` marking
+        // when the ledger stopped reflecting the live graph.
+        let guard = engine.shared.view.write().unwrap();
+        *engine.shared.stale_since.lock() = Some(std::time::Instant::now());
+
+        let stale = engine
+            .identify_opts(
+                pred,
+                None,
+                QueryOpts { staleness: Some(Duration::from_secs(5)), ..Default::default() },
+            )
+            .expect("stale-tolerant read answers during the write");
+        assert!(stale.stale, "answer must be marked stale");
+        assert_eq!(stale.epoch, 0, "stamped with the epoch it reflects");
+        assert_eq!(stale.customers, live, "ledger answer equals the pre-update truth");
+        assert!(engine.stats().stale_served >= 1);
+
+        // No staleness budget → blocks behind the writer.
+        let strict = engine
+            .submit_identify_from(
+                IdentifyRequest { predicate: pred, candidates: None, opts: QueryOpts::default() },
+                Ts::now(),
+            )
+            .unwrap();
+        assert!(strict.recv_timeout(Duration::from_millis(100)).is_err(), "strict read waits");
+        // A zero budget is already exhausted → also blocks.
+        let zero = engine
+            .submit_identify_from(
+                IdentifyRequest {
+                    predicate: pred,
+                    candidates: None,
+                    opts: QueryOpts { staleness: Some(Duration::ZERO), ..Default::default() },
+                },
+                Ts::now(),
+            )
+            .unwrap();
+        assert!(zero.recv_timeout(Duration::from_millis(100)).is_err());
+
+        *engine.shared.stale_since.lock() = None;
+        drop(guard);
+        assert!(strict.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+        assert!(zero.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+
+        // A real update bumps the epoch; post-update answers are live.
+        engine
+            .apply_update(&GraphUpdate {
+                new_edges: vec![(NodeId(28), NodeId(29), visit)],
+                ..Default::default()
+            })
+            .unwrap();
+        let after = engine.identify(pred, None).unwrap();
+        assert_eq!((after.epoch, after.stale), (1, false));
+    }
+
+    /// Workers panicking mid-query while an updater mutates the graph:
+    /// the pool survives, every crash gets its typed error, and the final
+    /// engine state (stats, cache, warm ledgers) is bit-equal to a fresh
+    /// rebuild — a panic unwinding through a query must not leave shared
+    /// state half-mutated.
+    #[test]
+    fn panic_containment_under_concurrent_updates() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let visit = vocab.get("visit").unwrap();
+        let engine = Arc::new(ServeEngine::new(
+            g,
+            &cat,
+            ServeConfig { eta: 0.5, workers: 2, ..Default::default() },
+        ));
+        engine.identify(pred, None).unwrap(); // warm
+        let updater = {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    let edge = vec![(NodeId(28), NodeId(29), visit)];
+                    let update = if i % 2 == 0 {
+                        GraphUpdate { new_edges: edge, ..Default::default() }
+                    } else {
+                        GraphUpdate { del_edges: edge, ..Default::default() }
+                    };
+                    engine.apply_update(&update).unwrap();
+                }
+            })
+        };
+        let mut crashes = Vec::new();
+        for _ in 0..50 {
+            let (tx, rx) = channel();
+            engine.submit(Job::Crash(tx)).unwrap();
+            crashes.push(rx);
+            assert!(engine.identify(pred, None).is_ok());
+        }
+        for rx in crashes {
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(10)).expect("crash reply"),
+                Err(QueryError::Panicked)
+            );
+        }
+        updater.join().expect("updater survives");
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+        assert_eq!(engine.stats().updates, 50);
     }
 }

@@ -84,8 +84,8 @@ pub mod index;
 pub use cache::{CacheStats, LruCache};
 pub use catalog::{CatalogEntry, CatalogError, RuleCatalog, CATALOG_FORMAT_VERSION, CATALOG_MAGIC};
 pub use engine::{
-    EngineStats, IdentifyRequest, IdentifyResponse, QueryError, RuleInfo, ServeConfig, ServeEngine,
-    UpdateError, UpdateReport,
+    EngineStats, IdentifyRequest, IdentifyResponse, QueryError, QueryOpts, RuleInfo, ServeConfig,
+    ServeEngine, UpdateError, UpdateReport,
 };
 pub use gpar_graph::GraphUpdate;
 // Observability vocabulary, re-exported so engine consumers (the load

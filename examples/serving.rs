@@ -68,6 +68,7 @@ fn main() {
         .map(|i| IdentifyRequest {
             predicate: pred,
             candidates: Some(hot[(i * 5) % hot.len().max(1)..].iter().copied().take(6).collect()),
+            opts: Default::default(),
         })
         .collect();
     let t0 = Instant::now();

@@ -63,6 +63,7 @@ proptest! {
                         .map(|&i| NodeId((i as usize % g.node_count()) as u32))
                         .collect()
                 }),
+                opts: Default::default(),
             })
             .collect();
 
