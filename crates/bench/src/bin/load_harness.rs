@@ -27,26 +27,37 @@
 //!     --qps 400 --duration-secs 5 --slo-p99-ms 20 --out report.json
 //! cargo run --release -p gpar-bench --bin load_harness -- \
 //!     --deadline-ms 250 --queue-cap 256 --fail-on-slo   # overload profile
+//! cargo run --release -p gpar-bench --bin load_harness -- \
+//!     --write-heavy --staleness-ms 50                   # update-dominated
 //! ```
 //!
 //! Overload knobs: `--deadline-ms` arms a per-request latency budget
 //! (expired requests answer `DeadlineExceeded` instead of completing
-//! late), `--staleness-ms` lets identify queries accept warm-ledger
-//! answers of bounded age while an update holds the view lock,
+//! late), `--staleness-ms` lets identify queries accept snapshot answers
+//! of bounded publish lag while accepted updates are still in flight,
 //! `--queue-cap` bounds the engine's admission queue (overflow answers
 //! `Shed` at submit time), and `--fail-on-slo` turns an SLO miss into
 //! exit code 1 for CI. Every reply is classified (`ok` / `shed` /
 //! `deadline_exceeded` / `stale` / `failed`) and reported per phase —
 //! under overload the error budget moves into typed sheds and timeouts,
 //! never silent drops.
+//!
+//! Write-side knobs: `--update-rate` sets churn ticks per second,
+//! `--update-burst` submits that many batches back-to-back at every tick
+//! (the writer coalesces whatever it finds queued into one net snapshot
+//! generation), and `--write-heavy` is the preset for both (100 ticks/s
+//! × 8-deep bursts). The report's `write_pipeline` block shows how much
+//! of the burst the coalescer absorbed (`coalesce_ratio`) and the
+//! snapshot-lag percentiles — submission-to-publish age per accepted
+//! batch — next to the read tails they were bought with.
 
 use gpar_bench::Workloads;
 use gpar_core::Predicate;
 use gpar_datagen::{generate_rules, RuleGenConfig};
 use gpar_graph::{Label, NodeId};
 use gpar_serve::{
-    GraphUpdate, HistKind, IdentifyRequest, MetricsSnapshot, QueryError, QueryOpts, RuleCatalog,
-    ServeConfig, ServeEngine, Ts,
+    Counter, GraphUpdate, HistKind, IdentifyRequest, MetricsSnapshot, QueryError, QueryOpts,
+    RuleCatalog, ServeConfig, ServeEngine, Ts,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -142,6 +153,9 @@ struct PhaseConfig {
     /// it is measured over actual wall time).
     max_requests: u64,
     update_interval: Duration,
+    /// Batches submitted back-to-back at every update tick; the writer
+    /// coalesces whatever is queued when its window opens.
+    update_burst: usize,
     zipf_s: f64,
     identify_frac: f64,
     seed: u64,
@@ -169,11 +183,15 @@ fn run_phase(
     let mut updates_applied = 0u64;
 
     std::thread::scope(|scope| {
-        // Updater: churn batches at a fixed interval, each stamped with
-        // its scheduled tick so view-lock wait is charged to the batch.
+        // Updater: bursts of churn batches at a fixed tick, submitted
+        // asynchronously and each stamped with its scheduled tick, so
+        // coalesce-window and publish wait are charged to the batch as
+        // snapshot lag. Replies drain at the end: the open-loop write
+        // schedule never throttles itself behind a slow generation.
         let updater = scope.spawn(|| {
             let mut applied = 0u64;
             let mut deleted = false;
+            let mut replies = Vec::new();
             for i in 0u64.. {
                 let off = cfg.update_interval * (i as u32 + 1);
                 if off >= cfg.duration || stop.load(Ordering::Relaxed) {
@@ -183,14 +201,21 @@ fn run_phase(
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
-                let batch = if deleted {
-                    GraphUpdate { new_edges: vec![churn_edge], ..Default::default() }
-                } else {
-                    GraphUpdate { del_edges: vec![churn_edge], ..Default::default() }
-                };
-                if engine.apply_update_from(&batch, epoch_ts.plus(off)).is_ok() {
+                for _ in 0..cfg.update_burst.max(1) {
+                    let batch = if deleted {
+                        GraphUpdate { new_edges: vec![churn_edge], ..Default::default() }
+                    } else {
+                        GraphUpdate { del_edges: vec![churn_edge], ..Default::default() }
+                    };
+                    if let Ok(rx) = engine.submit_update_from(batch, epoch_ts.plus(off)) {
+                        replies.push(rx);
+                        deleted = !deleted;
+                    }
+                }
+            }
+            for rx in replies {
+                if matches!(rx.recv(), Ok(Ok(_))) {
                     applied += 1;
-                    deleted = !deleted;
                 }
             }
             if deleted {
@@ -317,10 +342,9 @@ fn main() {
             .map_or(if quick { 1.0 } else { 4.0 }, |v| v.parse().expect("--duration-secs")),
     );
     let seed: u64 = flag("--seed").map_or(0x10AD, |v| v.parse().expect("--seed"));
-    // Query p99 is dominated by update batches holding the view write
-    // lock (~one churn repair, ~300 ms at pokec-500), so the default
-    // bound is set just above that; tighten with `--slo-p99-ms` to gate
-    // a no-update or read-mostly deployment profile.
+    // Readers are served from published snapshots and never wait on the
+    // writer, so the default read bound is tight even under churn;
+    // loosen with `--slo-p99-ms` only for saturation experiments.
     let slo_p99_ms: f64 = flag("--slo-p99-ms").map_or(500.0, |v| v.parse().expect("--slo-p99-ms"));
     let slo_update_p99_ms: f64 =
         flag("--slo-update-p99-ms").map_or(1000.0, |v| v.parse().expect("--slo-update-p99-ms"));
@@ -338,7 +362,21 @@ fn main() {
     let sweep_steps: usize = if quick { 3 } else { 6 };
     let max_requests: u64 = if quick { 5_000 } else { 50_000 };
     let identify_frac = 0.85;
-    let update_interval = Duration::from_millis(if quick { 150 } else { 500 });
+    // Write-side shape: `--write-heavy` is the update-dominated preset
+    // (100 ticks/s × 8-deep bursts); `--update-rate` / `--update-burst`
+    // override either axis independently.
+    let write_heavy = args.iter().any(|a| a == "--write-heavy");
+    let update_rate: Option<f64> = flag("--update-rate").map(|v| v.parse().expect("--update-rate"));
+    let update_burst: usize = flag("--update-burst")
+        .map_or(if write_heavy { 8 } else { 1 }, |v| v.parse().expect("--update-burst"));
+    let update_interval = match update_rate {
+        Some(r) => {
+            assert!(r > 0.0, "--update-rate must be positive");
+            Duration::from_secs_f64(1.0 / r)
+        }
+        None if write_heavy => Duration::from_millis(10),
+        None => Duration::from_millis(if quick { 150 } else { 500 }),
+    };
 
     // Workload: the Pokec stand-in at `users`, one mined-rule catalog,
     // the hottest candidate centers as the Zipf key pool.
@@ -400,6 +438,7 @@ fn main() {
         duration,
         max_requests,
         update_interval,
+        update_burst,
         zipf_s,
         identify_frac,
         seed,
@@ -413,6 +452,21 @@ fn main() {
         measured.classes.shed,
         measured.classes.deadline_exceeded,
         measured.classes.failed
+    );
+    // Write-pipeline efficiency over the measured phase: how many
+    // accepted batches each published generation absorbed, and how long
+    // a batch waited from its scheduled tick to its snapshot's publish.
+    let wp_updates = measured.delta.counter(Counter::Updates);
+    let wp_coalesced = measured.delta.counter(Counter::UpdatesCoalesced);
+    let wp_publishes = measured.delta.counter(Counter::SnapshotPublishes);
+    let coalesce_ratio = wp_coalesced as f64 / (wp_updates.max(1)) as f64;
+    let lag = measured.delta.hist(HistKind::SnapshotLag);
+    println!(
+        "  writes: applied={} publishes={wp_publishes} coalesced={wp_coalesced} \
+         (ratio {coalesce_ratio:.2}) snapshot_lag p50={}ns p99={}ns",
+        measured.updates_applied,
+        lag.quantile(0.50).unwrap_or(0),
+        lag.quantile(0.99).unwrap_or(0)
     );
     let classes = [
         class_report(&measured.delta, "identify", HistKind::IdentifyLatency),
@@ -477,13 +531,25 @@ fn main() {
     json.push_str(&format!(
         "  \"workload\": {{ \"qps\": {qps:.1}, \"duration_secs\": {:.3}, \"seed\": {seed}, \
          \"zipf_s\": {zipf_s:.2}, \"identify_frac\": {identify_frac:.2}, \
-         \"update_interval_ms\": {}, \"pool\": {}, \"submitted\": {}, \
+         \"update_interval_ms\": {}, \"update_burst\": {update_burst}, \
+         \"write_heavy\": {write_heavy}, \"pool\": {}, \"submitted\": {}, \
          \"updates_applied\": {} }},\n",
         duration.as_secs_f64(),
         update_interval.as_millis(),
         pool.len(),
         measured.submitted,
         measured.updates_applied
+    ));
+    json.push_str(&format!(
+        "  \"write_pipeline\": {{ \"updates\": {wp_updates}, \"coalesced\": {wp_coalesced}, \
+         \"coalesce_ratio\": {coalesce_ratio:.4}, \"snapshot_publishes\": {wp_publishes}, \
+         \"snapshot_lag\": {{ \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+         \"p999_ns\": {}, \"max_ns\": {} }} }},\n",
+        lag.count(),
+        lag.quantile(0.50).unwrap_or(0),
+        lag.quantile(0.99).unwrap_or(0),
+        lag.quantile(0.999).unwrap_or(0),
+        lag.max()
     ));
     json.push_str(&format!(
         "  \"robustness\": {{ \"deadline_ms\": {}, \"staleness_ms\": {}, \"queue_cap\": {} }},\n",

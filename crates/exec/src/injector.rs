@@ -45,6 +45,17 @@ impl<T> PushError<T> {
     }
 }
 
+/// Outcome of a deadline-bounded dequeue ([`Injector::pop_until`]).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopTimeout<T> {
+    /// An item arrived before the deadline.
+    Item(T),
+    /// The deadline passed with the injector open and empty.
+    TimedOut,
+    /// The injector is closed and drained.
+    Closed,
+}
+
 struct State<T> {
     high: VecDeque<T>,
     normal: VecDeque<T>,
@@ -166,6 +177,33 @@ impl<T> Injector<T> {
                 return None;
             }
             s = self.cv.wait(s).expect("injector wait");
+        }
+    }
+
+    /// Dequeues the next item, blocking at most until `deadline`.
+    /// Distinguishes "nothing arrived in time" from "closed and
+    /// drained", which a writer pipeline's coalescing window needs: a
+    /// timeout closes the batching window, a close drains the pipeline.
+    pub fn pop_until(&self, deadline: std::time::Instant) -> PopTimeout<T> {
+        let mut s = self.state.lock().expect("injector lock");
+        loop {
+            if let Some(item) = s.high.pop_front().or_else(|| s.normal.pop_front()) {
+                if let Some(g) = &self.depth {
+                    g.sub(1);
+                }
+                return PopTimeout::Item(item);
+            }
+            if s.closed {
+                return PopTimeout::Closed;
+            }
+            let Some(wait) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return PopTimeout::TimedOut;
+            };
+            let (guard, timeout) = self.cv.wait_timeout(s, wait).expect("injector wait");
+            s = guard;
+            if timeout.timed_out() && s.high.is_empty() && s.normal.is_empty() && !s.closed {
+                return PopTimeout::TimedOut;
+            }
         }
     }
 
@@ -305,6 +343,39 @@ mod tests {
         // Draining frees slots again.
         assert_eq!(inj.pop(), Some(90));
         inj.push_with(92, Priority::High).unwrap();
+    }
+
+    #[test]
+    fn pop_until_distinguishes_timeout_from_close() {
+        use std::time::{Duration, Instant};
+        let inj = Injector::new();
+        inj.push(7).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(50);
+        assert_eq!(inj.pop_until(deadline), PopTimeout::Item(7), "queued item pops immediately");
+        let t0 = Instant::now();
+        assert_eq!(inj.pop_until(t0 + Duration::from_millis(20)), PopTimeout::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(20), "timeout waits the window out");
+        // An item arriving mid-wait is delivered.
+        let inj: Arc<Injector<u32>> = Arc::new(Injector::new());
+        let pusher = {
+            let inj = inj.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                inj.push(8).unwrap();
+            })
+        };
+        assert_eq!(
+            inj.pop_until(Instant::now() + Duration::from_secs(10)),
+            PopTimeout::Item(8),
+            "arrival during the wait is delivered, not timed out"
+        );
+        pusher.join().unwrap();
+        inj.close();
+        assert_eq!(
+            inj.pop_until(Instant::now() + Duration::from_millis(5)),
+            PopTimeout::Closed,
+            "closed and drained beats the deadline"
+        );
     }
 
     #[test]

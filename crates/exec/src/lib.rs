@@ -30,7 +30,7 @@ mod executor;
 mod injector;
 
 pub use executor::{ExecStats, Executor};
-pub use injector::{Injector, Priority, PushError};
+pub use injector::{Injector, PopTimeout, Priority, PushError};
 
 /// CPU time consumed by the calling thread (`CLOCK_THREAD_CPUTIME_ID`).
 ///

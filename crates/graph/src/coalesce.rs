@@ -1,0 +1,501 @@
+//! Update coalescing: folds a burst of [`GraphUpdate`] batches into the
+//! smallest equivalent batch sequence, preserving *sequential semantics
+//! exactly* — applying the coalesced output to an overlay yields the
+//! same final state (and the same per-update accept/reject decisions)
+//! as applying the inputs one at a time.
+//!
+//! The serving layer's write pipeline sits a [`Coalescer`] in front of
+//! the snapshot publisher: a burst of small updates becomes one
+//! diff/commit/repair/publish cycle instead of N, which is where the
+//! sustained-write-throughput win comes from (the d-ball repair pass,
+//! not the overlay mutation, dominates update cost).
+//!
+//! ## Net semantics
+//!
+//! Edges are a set, so the net effect of any op sequence on one
+//! `(src, dst, label)` key is decided by the **last** op: a
+//! delete+reinsert pair cancels to "present", an insert+delete pair to
+//! "absent". Relabels of one node collapse to the final label (chains
+//! collapse; a chain netting back to the original is dropped by
+//! [`DeltaGraph::diff`]). Node appends concatenate — id assignment is
+//! dense and order-preserving, so every input batch's appended ids are
+//! identical to sequential application. A node removal voids the
+//! window's still-pending inserts and relabels touching it (their net
+//! effect is cascaded away anyway, and a net batch may not relabel or
+//! attach edges to a node it removes).
+//!
+//! ## Segments
+//!
+//! One [`GraphUpdate`] cannot express "append a node and remove it":
+//! removals may only reference pre-batch ids. When an input removes a
+//! node appended earlier in the same window, the accumulated net batch
+//! is **sealed** and a new segment opened — the removal references the
+//! sealed segment's appends, which are pre-batch ids relative to it.
+//! [`Coalescer::finish`] therefore returns an ordered batch *sequence*
+//! (almost always of length 1) to apply atomically.
+//!
+//! Validation replays [`DeltaGraph::validate`] against the virtual
+//! post-window state, so an input the sequential path would reject is
+//! rejected here with the same [`UpdateInvalid`] — and rejected inputs
+//! leave the window state untouched.
+
+use crate::delta::{DeltaGraph, GraphUpdate, UpdateInvalid};
+use crate::graph::NodeId;
+use crate::label::Label;
+use crate::view::GraphView;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// What a finished window coalesced: inputs absorbed vs net output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceSummary {
+    /// Input batches absorbed into the window.
+    pub updates: usize,
+    /// Primitive ops (appends + edges + relabels + removals) absorbed.
+    pub ops_in: usize,
+    /// Primitive ops surviving in the net output.
+    pub ops_out: usize,
+    /// Net batches emitted (> 1 only when a window-created node was
+    /// removed, forcing a segment seal).
+    pub segments: usize,
+}
+
+/// One accumulating net batch (see the module docs for segment rules).
+#[derive(Debug)]
+struct Segment {
+    /// Virtual node count when this segment opened; ids `>= n0` are
+    /// appended by this segment itself.
+    n0: usize,
+    new_nodes: Vec<Label>,
+    /// Net relabels in first-touch order; `None` slots were voided by a
+    /// node removal.
+    relabels: Vec<Option<(NodeId, Label)>>,
+    relabel_idx: FxHashMap<NodeId, usize>,
+    /// Net edge ops in first-touch order: `Some(true)` insert,
+    /// `Some(false)` delete, `None` voided.
+    edge_ops: Vec<((NodeId, NodeId, Label), Option<bool>)>,
+    edge_idx: FxHashMap<(NodeId, NodeId, Label), usize>,
+    del_nodes: Vec<NodeId>,
+}
+
+impl Segment {
+    fn open(n0: usize) -> Self {
+        Self {
+            n0,
+            new_nodes: Vec::new(),
+            relabels: Vec::new(),
+            relabel_idx: FxHashMap::default(),
+            edge_ops: Vec::new(),
+            edge_idx: FxHashMap::default(),
+            del_nodes: Vec::new(),
+        }
+    }
+
+    fn set_edge_op(&mut self, key: (NodeId, NodeId, Label), insert: bool) {
+        match self.edge_idx.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.edge_ops[*e.get()].1 = Some(insert);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.edge_ops.len());
+                self.edge_ops.push((key, Some(insert)));
+            }
+        }
+    }
+
+    /// Voids pending inserts and relabels touching `w`: the net batch
+    /// may not reference a node it removes, and their effect is
+    /// cascaded away by the removal regardless.
+    fn purge_node(&mut self, w: NodeId) {
+        if let Some(i) = self.relabel_idx.remove(&w) {
+            self.relabels[i] = None;
+        }
+        for ((s, d, _), op) in self.edge_ops.iter_mut() {
+            if *op == Some(true) && (*s == w || *d == w) {
+                *op = None;
+            }
+        }
+        // Keep the index entries of voided edge ops: a later re-insert
+        // on the same key is impossible (validation rejects edges at a
+        // removed node), and deletes of a removed node's edges are
+        // no-ops either way.
+    }
+
+    fn into_update(self) -> GraphUpdate {
+        let n0 = self.n0;
+        let mut del_edges = Vec::new();
+        let mut new_edges = Vec::new();
+        for (key @ (s, d, _), op) in self.edge_ops {
+            match op {
+                Some(true) => new_edges.push(key),
+                // A net delete on an edge whose endpoint this segment
+                // itself appended: the edge cannot predate the segment
+                // (its insert was voided by the same-window delete), so
+                // the op nets to nothing — and a batch may not delete
+                // edges at its own appended ids.
+                Some(false) if s.index() >= n0 || d.index() >= n0 => {}
+                Some(false) => del_edges.push(key),
+                None => {}
+            }
+        }
+        GraphUpdate {
+            new_nodes: self.new_nodes,
+            new_edges,
+            relabels: self.relabels.into_iter().flatten().collect(),
+            del_edges,
+            del_nodes: self.del_nodes,
+        }
+    }
+}
+
+/// Folds a window of update batches into a minimal equivalent batch
+/// sequence. See the module docs for the exact semantics.
+#[derive(Debug)]
+pub struct Coalescer {
+    /// Sealed segments, oldest first.
+    sealed: Vec<Segment>,
+    /// The accumulating segment; `None` until the first push.
+    open: Option<Segment>,
+    /// Node count of the overlay the window opened on.
+    window_n0: usize,
+    /// Nodes appended anywhere in the window.
+    appended: usize,
+    /// Nodes removed anywhere in the window.
+    removed: FxHashSet<NodeId>,
+    updates: usize,
+    ops_in: usize,
+}
+
+impl Default for Coalescer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Coalescer {
+    /// An empty window.
+    pub fn new() -> Self {
+        Self {
+            sealed: Vec::new(),
+            open: None,
+            window_n0: 0,
+            appended: 0,
+            removed: FxHashSet::default(),
+            updates: 0,
+            ops_in: 0,
+        }
+    }
+
+    /// Whether any batch was absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.updates == 0
+    }
+
+    /// Input batches absorbed so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Nodes appended by the window so far. With the window opened on an
+    /// overlay of `n0` nodes, the next absorbed batch's appends are
+    /// assigned ids starting at `n0 + appended()` — identical to
+    /// sequential application, which is how the write pipeline reports
+    /// exact per-submitter assigned ids.
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// Absorbs one batch, exactly as if it were applied to `g` after
+    /// every previously absorbed batch. Returns the same
+    /// [`UpdateInvalid`] the sequential path would; a rejected batch
+    /// changes nothing (in the window or the overlay). `g` must be the
+    /// same overlay state for every push of one window.
+    pub fn push(&mut self, g: &DeltaGraph, update: &GraphUpdate) -> Result<(), UpdateInvalid> {
+        if self.open.is_none() {
+            self.window_n0 = GraphView::node_count(g);
+            self.open = Some(Segment::open(self.window_n0));
+        }
+        let n_pre = self.window_n0 + self.appended;
+        let n = n_pre + update.new_nodes.len();
+        let window_removed = &self.removed;
+        let removed_virtual = move |v: NodeId| g.is_removed(v) || window_removed.contains(&v);
+
+        // Validation mirrors `DeltaGraph::validate` (same checks, same
+        // order, so the same error surfaces) against the virtual state.
+        for &w in &update.del_nodes {
+            if w.index() >= n_pre {
+                return Err(UpdateInvalid::NodeOutOfRange(w));
+            }
+        }
+        for &(s, d, _) in &update.del_edges {
+            for v in [s, d] {
+                if v.index() >= n_pre {
+                    return Err(UpdateInvalid::NodeOutOfRange(v));
+                }
+            }
+        }
+        let batch_removed: FxHashSet<NodeId> = update.del_nodes.iter().copied().collect();
+        for &(v, _) in &update.relabels {
+            if v.index() >= n {
+                return Err(UpdateInvalid::NodeOutOfRange(v));
+            }
+            if removed_virtual(v) || batch_removed.contains(&v) {
+                return Err(UpdateInvalid::NodeRemoved(v));
+            }
+        }
+        for &(s, d, _) in &update.new_edges {
+            for v in [s, d] {
+                if v.index() >= n {
+                    return Err(UpdateInvalid::NodeOutOfRange(v));
+                }
+                if removed_virtual(v) || batch_removed.contains(&v) {
+                    return Err(UpdateInvalid::NodeRemoved(v));
+                }
+            }
+        }
+
+        // Seal before absorbing if this batch removes a node the open
+        // segment appended: one batch cannot remove its own appends.
+        let open_n0 = self.open.as_ref().expect("opened above").n0;
+        if update.del_nodes.iter().any(|w| w.index() >= open_n0 && !removed_virtual(*w)) {
+            self.sealed.push(std::mem::replace(
+                self.open.as_mut().expect("opened above"),
+                Segment::open(n_pre),
+            ));
+        }
+        let seg = self.open.as_mut().expect("opened above");
+
+        // Absorb in intra-batch op order: appends, relabels, edge
+        // deletions, node removals, edge inserts.
+        seg.new_nodes.extend(&update.new_nodes);
+        self.appended += update.new_nodes.len();
+        for &(v, l) in &update.relabels {
+            match seg.relabel_idx.entry(v) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    seg.relabels[*e.get()] = Some((v, l));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(seg.relabels.len());
+                    seg.relabels.push(Some((v, l)));
+                }
+            }
+        }
+        for &(s, d, l) in &update.del_edges {
+            seg.set_edge_op((s, d, l), false);
+        }
+        for &w in &update.del_nodes {
+            if g.is_removed(w) || self.removed.contains(&w) {
+                continue;
+            }
+            self.removed.insert(w);
+            seg.del_nodes.push(w);
+            seg.purge_node(w);
+        }
+        for &(s, d, l) in &update.new_edges {
+            seg.set_edge_op((s, d, l), true);
+        }
+
+        self.updates += 1;
+        self.ops_in += update.new_nodes.len()
+            + update.new_edges.len()
+            + update.relabels.len()
+            + update.del_edges.len()
+            + update.del_nodes.len();
+        Ok(())
+    }
+
+    /// Closes the window: the net batch sequence (apply in order) plus
+    /// the coalescing summary.
+    pub fn finish(mut self) -> (Vec<GraphUpdate>, CoalesceSummary) {
+        let mut batches: Vec<GraphUpdate> = self
+            .sealed
+            .drain(..)
+            .chain(self.open.take())
+            .map(Segment::into_update)
+            .filter(|u| !u.is_empty())
+            .collect();
+        // An all-voided window still owes the caller one (empty) batch
+        // shape only if nothing survived; drop empties entirely.
+        let ops_out = batches
+            .iter()
+            .map(|u| {
+                u.new_nodes.len()
+                    + u.new_edges.len()
+                    + u.relabels.len()
+                    + u.del_edges.len()
+                    + u.del_nodes.len()
+            })
+            .sum();
+        let summary = CoalesceSummary {
+            updates: self.updates,
+            ops_in: self.ops_in,
+            ops_out,
+            segments: batches.len(),
+        };
+        batches.shrink_to_fit();
+        (batches, summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::Graph;
+    use crate::label::Vocab;
+    use std::sync::Arc;
+
+    fn base() -> (Arc<Graph>, Vec<NodeId>, [Label; 4]) {
+        let vocab = Vocab::new();
+        let a = vocab.intern("a");
+        let b = vocab.intern("b");
+        let e1 = vocab.intern("e1");
+        let e2 = vocab.intern("e2");
+        let mut gb = GraphBuilder::new(vocab);
+        let vs: Vec<NodeId> = (0..4).map(|i| gb.add_node(if i % 2 == 0 { a } else { b })).collect();
+        gb.add_edge(vs[0], vs[1], e1);
+        gb.add_edge(vs[1], vs[2], e1);
+        gb.add_edge(vs[2], vs[3], e2);
+        (Arc::new(gb.build()), vs, [a, b, e1, e2])
+    }
+
+    /// Applies `updates` one at a time; the coalesced equivalent must
+    /// land on a state-identical overlay.
+    fn assert_equivalent(g: &Arc<Graph>, updates: &[GraphUpdate]) -> CoalesceSummary {
+        let mut sequential = DeltaGraph::new(g.clone());
+        for u in updates {
+            sequential.apply(u);
+        }
+        let coalesced_view = DeltaGraph::new(g.clone());
+        let mut co = Coalescer::new();
+        for u in updates {
+            co.push(&coalesced_view, u).expect("sequentially-valid batch");
+        }
+        let (batches, summary) = co.finish();
+        let mut coalesced = coalesced_view;
+        for b in &batches {
+            coalesced.apply(b);
+        }
+        let n = GraphView::node_count(&sequential);
+        assert_eq!(GraphView::node_count(&coalesced), n);
+        assert_eq!(GraphView::edge_count(&coalesced), GraphView::edge_count(&sequential));
+        for v in (0..n as u32).map(NodeId) {
+            assert_eq!(coalesced.is_removed(v), sequential.is_removed(v), "{v}");
+            if !sequential.is_removed(v) {
+                assert_eq!(
+                    GraphView::node_label(&coalesced, v),
+                    GraphView::node_label(&sequential, v),
+                    "{v}"
+                );
+            }
+            assert_eq!(
+                coalesced.out_view(v).merged().collect::<Vec<_>>(),
+                sequential.out_view(v).merged().collect::<Vec<_>>(),
+                "{v}"
+            );
+        }
+        summary
+    }
+
+    #[test]
+    fn delete_then_reinsert_cancels() {
+        let (g, vs, [_, _, e1, _]) = base();
+        let del = GraphUpdate { del_edges: vec![(vs[0], vs[1], e1)], ..Default::default() };
+        let ins = GraphUpdate { new_edges: vec![(vs[0], vs[1], e1)], ..Default::default() };
+        let s = assert_equivalent(&g, &[del, ins]);
+        assert_eq!(s.updates, 2);
+        assert_eq!(s.ops_in, 2);
+        assert_eq!(s.ops_out, 1, "last op wins: a single net insert survives");
+        // And the inverse order nets to a single delete.
+        let ins = GraphUpdate { new_edges: vec![(vs[0], vs[3], e1)], ..Default::default() };
+        let del = GraphUpdate { del_edges: vec![(vs[0], vs[3], e1)], ..Default::default() };
+        let s = assert_equivalent(&g, &[ins, del]);
+        assert_eq!(s.ops_out, 1, "net delete of a base-absent edge survives as a no-op delete");
+    }
+
+    #[test]
+    fn relabel_chains_collapse() {
+        let (g, vs, [a, b, _, _]) = base();
+        let u1 = GraphUpdate { relabels: vec![(vs[0], b)], ..Default::default() };
+        let u2 = GraphUpdate { relabels: vec![(vs[0], a)], ..Default::default() };
+        let u3 = GraphUpdate { relabels: vec![(vs[0], b)], ..Default::default() };
+        let s = assert_equivalent(&g, &[u1, u2, u3]);
+        assert_eq!(s.ops_in, 3);
+        assert_eq!(s.ops_out, 1, "chain collapses to the final label");
+    }
+
+    #[test]
+    fn insert_then_delete_on_a_window_created_node_vanishes() {
+        let (g, vs, [a, _, e1, _]) = base();
+        let create = GraphUpdate {
+            new_nodes: vec![a],
+            new_edges: vec![(vs[0], NodeId(4), e1)],
+            ..Default::default()
+        };
+        let del = GraphUpdate { del_edges: vec![(vs[0], NodeId(4), e1)], ..Default::default() };
+        let s = assert_equivalent(&g, &[create, del]);
+        assert_eq!(s.ops_out, 1, "only the node append survives; the edge round-trip vanishes");
+    }
+
+    #[test]
+    fn removal_voids_pending_ops_and_window_created_removal_seals() {
+        let (g, vs, [a, b, e1, _]) = base();
+        // Pending relabel + insert on v3, then remove v3.
+        let touch = GraphUpdate {
+            relabels: vec![(vs[3], a)],
+            new_edges: vec![(vs[0], vs[3], e1)],
+            ..Default::default()
+        };
+        let remove = GraphUpdate { del_nodes: vec![vs[3]], ..Default::default() };
+        let s = assert_equivalent(&g, &[touch, remove]);
+        assert_eq!(s.segments, 1, "no window-created node removed: one net batch");
+        assert_eq!(s.ops_out, 1, "only the removal survives");
+
+        // Append a node, then remove it: forces a seal.
+        let create = GraphUpdate { new_nodes: vec![b], ..Default::default() };
+        let remove = GraphUpdate { del_nodes: vec![NodeId(4)], ..Default::default() };
+        let s = assert_equivalent(&g, &[create, remove]);
+        assert_eq!(s.segments, 2, "removing a window-created node seals the segment");
+    }
+
+    #[test]
+    fn rejections_match_sequential_validation_and_leave_the_window_intact() {
+        let (g, vs, [a, _, e1, _]) = base();
+        let view = DeltaGraph::new(g.clone());
+        let mut co = Coalescer::new();
+        co.push(&view, &GraphUpdate { del_nodes: vec![vs[3]], ..Default::default() }).unwrap();
+        // Edge to the node removed earlier in the window: rejected like
+        // the sequential path would after committing the first batch.
+        let bad = GraphUpdate { new_edges: vec![(vs[0], vs[3], e1)], ..Default::default() };
+        assert_eq!(co.push(&view, &bad), Err(UpdateInvalid::NodeRemoved(vs[3])));
+        // Relabel of a node the same batch removes.
+        let bad = GraphUpdate {
+            relabels: vec![(vs[1], a)],
+            del_nodes: vec![vs[1]],
+            ..Default::default()
+        };
+        assert_eq!(co.push(&view, &bad), Err(UpdateInvalid::NodeRemoved(vs[1])));
+        // Out-of-range reference.
+        let bad = GraphUpdate { new_edges: vec![(vs[0], NodeId(99), e1)], ..Default::default() };
+        assert_eq!(co.push(&view, &bad), Err(UpdateInvalid::NodeOutOfRange(NodeId(99))));
+        // The window still nets to exactly the accepted removal.
+        let (batches, summary) = co.finish();
+        assert_eq!(summary.updates, 1);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].del_nodes, vec![vs[3]]);
+    }
+
+    #[test]
+    fn appended_ids_are_sequential_across_the_window() {
+        let (g, _, [a, b, _, _]) = base();
+        let view = DeltaGraph::new(g.clone());
+        let mut co = Coalescer::new();
+        assert_eq!(co.appended(), 0);
+        co.push(&view, &GraphUpdate { new_nodes: vec![a, b], ..Default::default() }).unwrap();
+        assert_eq!(co.appended(), 2);
+        co.push(&view, &GraphUpdate { new_nodes: vec![a], ..Default::default() }).unwrap();
+        assert_eq!(co.appended(), 3);
+        let (batches, _) = co.finish();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].new_nodes, vec![a, b, a], "appends concatenate in order");
+    }
+}

@@ -186,32 +186,45 @@ impl NodeRemap {
     }
 }
 
+/// A sorted per-node edge-log map shared copy-on-write between overlay
+/// clones: the map and every run are behind `Arc`s, so cloning a
+/// [`DeltaGraph`] is a few pointer bumps and a mutation clones only the
+/// map spine plus the one run it touches.
+type EdgeLog = Arc<FxHashMap<NodeId, Arc<Vec<Edge>>>>;
+
 /// A base CSR [`Graph`] plus append-only mutation logs, readable through
 /// [`GraphView`] exactly like the base.
+///
+/// Every overlay collection is `Arc`-shared copy-on-write, so `clone()`
+/// is cheap (a handful of refcount bumps) regardless of overlay size —
+/// the property the serving layer's snapshot publishing relies on to
+/// build the next view off to the side while readers keep the previous
+/// one. Mutating a clone unshares only what it touches
+/// ([`Arc::make_mut`]).
 #[derive(Debug, Clone)]
 pub struct DeltaGraph {
     base: Arc<Graph>,
     /// Labels of appended nodes; node `base.node_count() + i` has label
     /// `new_node_labels[i]`.
-    new_node_labels: Vec<Label>,
+    new_node_labels: Arc<Vec<Label>>,
     /// Label overrides for *base* nodes. Invariant: the stored label
     /// always differs from the base label (a relabel back to the original
     /// removes the entry), so `len()` counts real divergences.
-    relabels: FxHashMap<NodeId, Label>,
+    relabels: Arc<FxHashMap<NodeId, Label>>,
     /// Per-node inserted out-edges, each run sorted by `(label, target)`
     /// and disjoint from the base run.
-    out_delta: FxHashMap<NodeId, Vec<Edge>>,
+    out_delta: EdgeLog,
     /// Mirror of `out_delta` keyed by target, sorted by `(label, source)`.
-    in_delta: FxHashMap<NodeId, Vec<Edge>>,
+    in_delta: EdgeLog,
     /// Per-node tombstoned (deleted) *base* out-edges, each run sorted by
     /// `(label, target)` and a subset of the base run.
-    out_tombs: FxHashMap<NodeId, Vec<Edge>>,
+    out_tombs: EdgeLog,
     /// Mirror of `out_tombs` keyed by target, sorted by `(label, source)`.
-    in_tombs: FxHashMap<NodeId, Vec<Edge>>,
+    in_tombs: EdgeLog,
     /// Removed node ids (dead slots until compaction). A removed node has
     /// no live incident edges: they were tombstoned / dropped from the
     /// insert log when it was removed.
-    removed: FxHashSet<NodeId>,
+    removed: Arc<FxHashSet<NodeId>>,
     /// Total inserted edges (Σ of `out_delta` run lengths).
     delta_edge_count: usize,
     /// Total tombstoned base edges (Σ of `out_tombs` run lengths).
@@ -223,13 +236,13 @@ impl DeltaGraph {
     pub fn new(base: Arc<Graph>) -> Self {
         Self {
             base,
-            new_node_labels: Vec::new(),
-            relabels: FxHashMap::default(),
-            out_delta: FxHashMap::default(),
-            in_delta: FxHashMap::default(),
-            out_tombs: FxHashMap::default(),
-            in_tombs: FxHashMap::default(),
-            removed: FxHashSet::default(),
+            new_node_labels: Arc::default(),
+            relabels: Arc::default(),
+            out_delta: Arc::default(),
+            in_delta: Arc::default(),
+            out_tombs: Arc::default(),
+            in_tombs: Arc::default(),
+            removed: Arc::default(),
             delta_edge_count: 0,
             tomb_edge_count: 0,
         }
@@ -426,16 +439,16 @@ impl DeltaGraph {
     /// labels); passing a mismatched pair corrupts the overlay.
     pub fn commit(&mut self, update: &GraphUpdate, applied: &AppliedUpdate) {
         debug_assert_eq!(applied.assigned.len(), update.new_nodes.len());
-        for &l in &update.new_nodes {
-            self.new_node_labels.push(l);
+        if !update.new_nodes.is_empty() {
+            Arc::make_mut(&mut self.new_node_labels).extend(&update.new_nodes);
         }
         for &(v, _, new) in &applied.relabeled {
             if v.index() >= self.base.node_count() {
-                self.new_node_labels[v.index() - self.base.node_count()] = new;
+                Arc::make_mut(&mut self.new_node_labels)[v.index() - self.base.node_count()] = new;
             } else if self.base.node_label(v) == new {
-                self.relabels.remove(&v);
+                Arc::make_mut(&mut self.relabels).remove(&v);
             } else {
-                self.relabels.insert(v, new);
+                Arc::make_mut(&mut self.relabels).insert(v, new);
             }
         }
         for &(s, d, l) in &applied.removed_edges {
@@ -444,8 +457,8 @@ impl DeltaGraph {
         for &(w, _) in &applied.removed_nodes {
             // The label override of a dead slot is meaningless; drop it so
             // label membership never has to consult the removed set twice.
-            self.relabels.remove(&w);
-            self.removed.insert(w);
+            Arc::make_mut(&mut self.relabels).remove(&w);
+            Arc::make_mut(&mut self.removed).insert(w);
         }
         for &(s, d, l) in &applied.added_edges {
             self.insert_edge_inner(s, d, l);
@@ -485,8 +498,8 @@ impl DeltaGraph {
             self.base_has_edge(src, dst, label),
             "effective deletion of an edge that exists nowhere"
         );
-        if insert_sorted(self.out_tombs.entry(src).or_default(), e) {
-            let ok = insert_sorted(self.in_tombs.entry(dst).or_default(), mirror);
+        if insert_sorted_log(&mut self.out_tombs, src, e) {
+            let ok = insert_sorted_log(&mut self.in_tombs, dst, mirror);
             debug_assert!(ok, "in/out tombstone runs diverged");
             self.tomb_edge_count += 1;
         } else {
@@ -509,11 +522,11 @@ impl DeltaGraph {
         // `insert_sorted` is a hard dedup guarantee: even if a duplicate
         // slipped past the planning layer, the run is left intact and the
         // edge is simply not double-counted.
-        if !insert_sorted(self.out_delta.entry(src).or_default(), e) {
+        if !insert_sorted_log(&mut self.out_delta, src, e) {
             debug_assert!(false, "duplicate edge reached insert_edge_inner");
             return;
         }
-        let ok = insert_sorted(self.in_delta.entry(dst).or_default(), mirror);
+        let ok = insert_sorted_log(&mut self.in_delta, dst, mirror);
         debug_assert!(ok, "in/out delta runs diverged");
         self.delta_edge_count += 1;
     }
@@ -589,18 +602,31 @@ impl DeltaGraph {
 
 /// Removes `e` from the sorted run stored under `key`, dropping the map
 /// entry when the run empties. Returns whether the edge was present.
-fn remove_sorted(map: &mut FxHashMap<NodeId, Vec<Edge>>, key: NodeId, e: Edge) -> bool {
-    let Some(run) = map.get_mut(&key) else { return false };
-    match run.binary_search(&e) {
-        Ok(i) => {
-            run.remove(i);
-            if run.is_empty() {
-                map.remove(&key);
-            }
-            true
-        }
-        Err(_) => false,
+/// Probes the shared log first so an absent edge unshares nothing.
+fn remove_sorted(map: &mut EdgeLog, key: NodeId, e: Edge) -> bool {
+    let Some(i) = map.get(&key).and_then(|run| run.binary_search(&e).ok()) else {
+        return false;
+    };
+    let map = Arc::make_mut(map);
+    let run = map.get_mut(&key).expect("probed above");
+    let run_vec = Arc::make_mut(run);
+    run_vec.remove(i);
+    if run_vec.is_empty() {
+        map.remove(&key);
     }
+    true
+}
+
+/// Inserts `e` into the sorted run stored under `key` (see
+/// [`insert_sorted`] for the dedup guarantee), creating the run when
+/// absent. Probes the shared log first so a duplicate unshares nothing.
+fn insert_sorted_log(map: &mut EdgeLog, key: NodeId, e: Edge) -> bool {
+    if let Some(run) = map.get(&key) {
+        if run.binary_search(&e).is_ok() {
+            return false;
+        }
+    }
+    insert_sorted(Arc::make_mut(Arc::make_mut(map).entry(key).or_default()), e)
 }
 
 /// Inserts `e` into a `(label, endpoint)`-sorted run, keeping it sorted.
@@ -652,11 +678,11 @@ impl GraphView for DeltaGraph {
     fn out_view(&self, v: NodeId) -> EdgeView<'_> {
         EdgeView {
             base: if v.index() < self.base.node_count() { self.base.out_edges(v) } else { &[] },
-            delta: self.out_delta.get(&v).map(Vec::as_slice).unwrap_or(&[]),
+            delta: self.out_delta.get(&v).map(|r| r.as_slice()).unwrap_or(&[]),
             tombs: if self.out_tombs.is_empty() {
                 &[]
             } else {
-                self.out_tombs.get(&v).map(Vec::as_slice).unwrap_or(&[])
+                self.out_tombs.get(&v).map(|r| r.as_slice()).unwrap_or(&[])
             },
         }
     }
@@ -665,11 +691,11 @@ impl GraphView for DeltaGraph {
     fn in_view(&self, v: NodeId) -> EdgeView<'_> {
         EdgeView {
             base: if v.index() < self.base.node_count() { self.base.in_edges(v) } else { &[] },
-            delta: self.in_delta.get(&v).map(Vec::as_slice).unwrap_or(&[]),
+            delta: self.in_delta.get(&v).map(|r| r.as_slice()).unwrap_or(&[]),
             tombs: if self.in_tombs.is_empty() {
                 &[]
             } else {
-                self.in_tombs.get(&v).map(Vec::as_slice).unwrap_or(&[])
+                self.in_tombs.get(&v).map(|r| r.as_slice()).unwrap_or(&[])
             },
         }
     }
@@ -1094,6 +1120,42 @@ mod tests {
         assert_eq!(compacted.nodes_with_label_slice(a).len(), 2);
         assert_eq!(compacted.nodes_with_label_slice(b).len(), 2);
         let _ = e2;
+    }
+
+    /// Clones share the overlay logs until one side mutates, and the
+    /// mutation never leaks back — the contract snapshot publishing
+    /// relies on: the writer mutates a clone while readers keep the old
+    /// overlay.
+    #[test]
+    fn clones_are_shallow_and_isolated() {
+        let (g, vs, [a, b, e1, _]) = base();
+        let mut d = DeltaGraph::new(g);
+        d.apply(&GraphUpdate {
+            new_edges: vec![(vs[0], vs[3], e1)],
+            del_edges: vec![(vs[1], vs[2], e1)],
+            relabels: vec![(vs[0], b)],
+            ..Default::default()
+        });
+        let mut c = d.clone();
+        assert!(
+            Arc::ptr_eq(&d.out_delta, &c.out_delta) && Arc::ptr_eq(&d.relabels, &c.relabels),
+            "clone shares the logs"
+        );
+        c.apply(&GraphUpdate {
+            new_edges: vec![(vs[2], vs[0], e1)],
+            relabels: vec![(vs[0], a)],
+            del_nodes: vec![vs[3]],
+            ..Default::default()
+        });
+        // The original overlay is untouched by the clone's mutations.
+        assert!(!d.has_edge_view(vs[2], vs[0], e1));
+        assert_eq!(GraphView::node_label(&d, vs[0]), b);
+        assert!(!d.is_removed(vs[3]));
+        assert!(d.has_edge_view(vs[0], vs[3], e1));
+        // And the clone sees both generations.
+        assert!(c.has_edge_view(vs[2], vs[0], e1));
+        assert_eq!(GraphView::node_label(&c, vs[0]), a);
+        assert!(c.is_removed(vs[3]));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! width keeps the CSR arrays cache-resident.
 
 pub mod builder;
+pub mod coalesce;
 pub mod delta;
 pub mod graph;
 pub mod io;
@@ -42,6 +43,7 @@ pub mod view;
 pub mod visited;
 
 pub use builder::GraphBuilder;
+pub use coalesce::{CoalesceSummary, Coalescer};
 pub use delta::{AppliedUpdate, CompactedGraph, DeltaGraph, GraphUpdate, NodeRemap, UpdateInvalid};
 pub use graph::{Edge, Graph, NodeId};
 pub use label::{Label, Vocab};

@@ -139,6 +139,8 @@ metric_stage_enum! {
         UpdateBfs => ("update_bfs", HistKind::UpdateBfs),
         UpdateGroupRepair => ("update_group_repair", HistKind::UpdateGroupRepair),
         UpdateLedgerPatch => ("update_ledger_patch", HistKind::UpdateLedgerPatch),
+        UpdateCoalesce => ("update_coalesce", HistKind::UpdateCoalesce),
+        UpdatePublish => ("update_publish", HistKind::UpdatePublish),
     }
 }
 

@@ -204,6 +204,43 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         n
     }
 
+    /// Builds a new cache holding exactly the entries whose key passes
+    /// `keep`, preserving recency order and carrying the cumulative
+    /// counters forward (dropped entries count as invalidations, as in
+    /// [`LruCache::retain`]). The source is untouched — this is the
+    /// copy-on-write twin of `retain`, used when the serving engine
+    /// derives the next snapshot's cache from the published one while
+    /// readers keep hitting it. Returns the new cache and the dropped
+    /// keys.
+    pub fn cloned_retain(&self, mut keep: impl FnMut(&K) -> bool) -> (Self, Vec<K>) {
+        let mut out = Self::new(self.capacity);
+        out.stats = self.stats;
+        let mut dropped = Vec::new();
+        // Walk LRU → MRU so each push_front lands the entry exactly where
+        // the source had it.
+        let mut i = self.tail;
+        while i != NIL {
+            let e = &self.entries[i];
+            let up = e.prev;
+            if keep(&e.key) {
+                let slot = out.entries.len();
+                out.entries.push(Entry {
+                    key: e.key.clone(),
+                    value: e.value.clone(),
+                    prev: NIL,
+                    next: NIL,
+                });
+                out.map.insert(e.key.clone(), slot);
+                out.push_front(slot);
+            } else {
+                dropped.push(e.key.clone());
+                out.stats.invalidations += 1;
+            }
+            i = up;
+        }
+        (out, dropped)
+    }
+
     /// Removes every entry whose key fails `keep`, returning the removed
     /// keys. This is the scoped-invalidation hook: a graph update evicts
     /// exactly the `(center, d)` extractions whose d-ball it may have
@@ -307,6 +344,35 @@ mod tests {
             c.insert(i, i);
         }
         assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn cloned_retain_preserves_order_stats_and_source() {
+        let mut c: LruCache<u32, u32> = LruCache::new(8);
+        for i in 0..6u32 {
+            c.insert(i, i * 10);
+        }
+        let _ = c.get(&0); // 0 becomes MRU
+        let before = c.stats();
+        let (mut d, mut gone) = c.cloned_retain(|&k| k % 2 == 0);
+        gone.sort_unstable();
+        assert_eq!(gone, vec![1, 3, 5]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.stats().invalidations, before.invalidations + 3);
+        // Source untouched.
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.stats(), before);
+        // Recency order survives the copy: 2 and 4 are older than 0, so
+        // filling the clone to capacity evicts them first.
+        for i in 10..15u32 {
+            d.insert(i, i);
+        }
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.insert(20, 20), Some(2));
+        assert_eq!(d.insert(21, 21), Some(4));
+        assert_eq!(d.insert(22, 22), Some(0));
+        assert_eq!(d.get(&0), None);
+        assert_eq!(d.get(&10), Some(10));
     }
 
     #[test]

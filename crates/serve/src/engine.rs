@@ -28,12 +28,33 @@
 //!   request's [`CandidateEvaluator`] instead of re-deriving the `|Σ|²`
 //!   subsumption tests.
 //!
-//! ## Live updates
+//! ## Live updates: lock-free snapshots + a coalescing write pipeline
 //!
-//! The serving graph is a [`DeltaGraph`] overlay. [`ServeEngine::apply_update`]
-//! applies an insert/relabel/deletion batch and then repairs *only* what
-//! the batch can have changed, exploiting the paper's locality property
-//! (§4.2): a radius-`d` evaluation at center `v_x` reads nothing outside
+//! The serving graph is a [`DeltaGraph`] overlay published as immutable
+//! **epoch snapshots** behind an [`arc_swap::ArcSwap`]: a query grabs the
+//! current [`EngineView`] `Arc` with one lock-free atomic load and
+//! evaluates end to end against that frozen snapshot — readers never
+//! block on writers, and a snapshot stays alive (graph, index, warm
+//! ledgers, d-ball cache) until its last in-flight query drops it.
+//!
+//! All mutation flows through one **writer thread**.
+//! [`ServeEngine::apply_update`] enqueues the batch and blocks for its
+//! outcome (read-your-writes);
+//! [`ServeEngine::submit_update_from`] enqueues without blocking. The
+//! writer drains the queue opportunistically — plus an optional bounded
+//! window ([`ServeConfig::coalesce_window`]) — and folds a burst of
+//! batches into one *net* generation with [`gpar_graph::Coalescer`]:
+//! delete-then-reinsert cancels, relabel chains collapse, inserts onto a
+//! node the burst itself removes vanish. The net batch is applied to a
+//! private copy-on-write successor of the published snapshot (the
+//! overlay's `Arc`-shared logs make the clone a few refcount bumps), the
+//! repair below runs off to the side, and the generation becomes visible
+//! with **one pointer swap + epoch bump**. A failure anywhere before the
+//! swap — including injected faults — publishes nothing: every batch in
+//! the generation fails typed, all-or-nothing.
+//!
+//! The repair itself exploits the paper's locality property (§4.2): a
+//! radius-`d` evaluation at center `v_x` reads nothing outside
 //! `G_d(v_x)`, so an update touching nodes `T` can only affect centers
 //! whose d-ball reaches `T`.
 //!
@@ -63,14 +84,21 @@
 //!    signature-gated rule in either direction — deleting the last node
 //!    of a label takes this path exactly like inserting the first one.
 //!
-//! [`ServeEngine::compact`] folds the overlay back into a fresh CSR.
-//! Without node removals ids are stable and caches, index and warm state
-//! all survive untouched. With removals the id space is re-densified:
-//! compaction returns the [`NodeRemap`], the candidate index and warm
-//! ledgers are translated in place (the remap is monotone, so sorted
-//! structures stay sorted), and the d-ball cache — whose values embed old
-//! ids — is flushed. Callers holding node ids across such a compaction
-//! must translate them through the returned map.
+//! [`ServeEngine::compact`] folds the overlay back into a fresh CSR,
+//! published as its own snapshot generation. Without node removals ids
+//! are stable and caches, index and warm state all survive untouched.
+//! With removals the id space is re-densified: compaction returns the
+//! [`NodeRemap`], the candidate index and warm ledgers are translated
+//! (the remap is monotone, so sorted structures stay sorted), and the
+//! d-ball cache — whose values embed old ids — is flushed. Compaction is
+//! also **self-triggering**: after each published generation the writer
+//! measures overlay pressure (delta edges + tombstones + relabels + dead
+//! slots against the base) and compacts when it crosses
+//! [`ServeConfig::compact_pressure`] — taking the id-remapping form only
+//! when the dead-slot fraction alone exceeds
+//! [`ServeConfig::compact_dead_fraction`]. Every remap is logged with
+//! the epoch that published it; callers holding node ids resync via
+//! [`ServeEngine::remaps_since`].
 //!
 //! ## Consistency contract
 //!
@@ -85,29 +113,30 @@
 use crate::cache::{CacheStats, LruCache};
 use crate::catalog::RuleCatalog;
 use crate::index::{CandidateIndex, PredicateGroup};
+use arc_swap::ArcSwap;
 use gpar_core::{classify, ConfStats, Confidence, Gpar, LcwaClass, Predicate};
 use gpar_eip::{CandidateEvaluator, EipAlgorithm, MatchOpts};
-use gpar_exec::{Executor, Injector, Priority, PushError};
+use gpar_exec::{Executor, Injector, PopTimeout, Priority, PushError};
 use gpar_graph::{
-    multi_source_distances, DeltaGraph, FxHashMap, Graph, GraphUpdate, GraphView, Label,
+    multi_source_distances, Coalescer, DeltaGraph, FxHashMap, Graph, GraphUpdate, GraphView, Label,
     NeighborhoodScratch, NodeId, NodeRemap, UpdateInvalid, Vocab,
 };
 use gpar_obs::{
-    Counter, HistKind, MetricsRegistry, MetricsSnapshot, Span, Stage, Trace, TraceBuilder,
+    Counter, Gauge, HistKind, MetricsRegistry, MetricsSnapshot, Span, Stage, Trace, TraceBuilder,
     TraceKind, TraceRecorder, Ts,
 };
 use gpar_partition::{chunk_by_load, CenterSite};
-// The cache and warm locks use the parking_lot shim's non-poisoning
-// mutex: a worker that panics mid-query must not poison shared state and
-// brick every subsequent query (the LRU is consistent between operations,
-// so recovery is always safe). The view/state `RwLock`s stay `std`:
-// poisoning there is a deliberate fail-stop, since a panic mid-commit
-// could leave a half-applied overlay behind.
+// The per-snapshot cache/state maps and the warm lock use the
+// parking_lot shim's non-poisoning mutex: a worker that panics mid-query
+// must not poison shared state and brick every subsequent query (the LRU
+// is consistent between operations, so recovery is always safe). The
+// update clock uses `std` sync primitives because it needs a `Condvar`.
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Warm-scan task granules per executor worker (same rationale as EIP's
 /// chunking: fine enough that stealing evens out per-site cost skew,
@@ -140,6 +169,28 @@ pub struct ServeConfig {
     /// limit — under sustained overload the shed rate, not queue depth,
     /// absorbs the excess.
     pub queue_capacity: usize,
+    /// How long the writer lingers after popping an update, absorbing
+    /// further queued batches into the same net generation before
+    /// publishing. `ZERO` (the default) still merges everything *already*
+    /// queued — a burst submitted ahead of the writer coalesces either
+    /// way — but never delays a lone update.
+    pub coalesce_window: Duration,
+    /// Most update batches folded into one generation (bounds both the
+    /// latency of the first batch in a window and the size of the net
+    /// diff a single publish carries).
+    pub coalesce_max_batch: usize,
+    /// Overlay-pressure threshold for self-triggering compaction: after a
+    /// publish, when `(delta nodes+edges + tombstones + relabels + dead
+    /// slots) / (live nodes+edges)` crosses this, the writer folds the
+    /// overlay into a fresh CSR base as its own snapshot generation.
+    /// `f64::INFINITY` disables auto-compaction.
+    pub compact_pressure: f64,
+    /// Auto-compaction takes the **id-remapping** form only when the
+    /// dead-slot fraction alone exceeds this (remaps invalidate caller-
+    /// held node ids — see [`ServeEngine::remaps_since`] — so the writer
+    /// avoids them until dead slots dominate). Until then, an overlay
+    /// with pending removals is left un-compacted.
+    pub compact_dead_fraction: f64,
 }
 
 impl Default for ServeConfig {
@@ -153,6 +204,10 @@ impl Default for ServeConfig {
             sketch_k: 2,
             trace_capacity: 256,
             queue_capacity: 0,
+            coalesce_window: Duration::ZERO,
+            coalesce_max_batch: 64,
+            compact_pressure: 0.5,
+            compact_dead_fraction: 0.6,
         }
     }
 }
@@ -222,10 +277,17 @@ pub struct QueryOpts {
     /// [`QueryError::DeadlineExceeded`] instead of finishing dead work.
     /// `None` disables the deadline.
     pub deadline: Option<Duration>,
-    /// Opt-in bounded staleness: when an update holds the view write
-    /// lock, a request whose warm-ledger answer is at most this old is
-    /// served from the ledger without blocking (`stale = true`, stamped
-    /// with the epoch it reflects). `None` always reads the live view.
+    /// Opt-in bounded staleness, measured as **publish lag**: reads are
+    /// always served lock-free from the latest published snapshot, and
+    /// when updates have been *accepted but not yet published*, that
+    /// snapshot trails the write frontier. A request carrying a bound
+    /// accepts answers whose oldest unpublished update is at most this
+    /// old (`stale = true`, stamped with the snapshot's epoch); if the
+    /// lag exceeds the bound, the request waits (deadline-aware) for the
+    /// writer to publish instead of answering too far behind.
+    /// `Some(ZERO)` therefore always observes every accepted update;
+    /// `None` serves the latest snapshot without a staleness claim and
+    /// never stamps `stale`.
     pub staleness: Option<Duration>,
 }
 
@@ -284,13 +346,14 @@ pub struct IdentifyResponse {
     pub pruned: usize,
     /// Whether this request performed the predicate warm-up.
     pub warmed: bool,
-    /// View epoch this answer reflects (bumped once per committed update
-    /// batch). Stale-bounded answers stamp the epoch of the ledger they
-    /// read, which may lag the in-flight update's.
+    /// View epoch this answer reflects (bumped once per published
+    /// snapshot generation). Stale-bounded answers stamp the epoch of
+    /// the snapshot they read, which may lag unpublished updates.
     pub epoch: u64,
-    /// Whether this answer was served from the warm ledger without taking
-    /// the view lock (a stale-bounded read during a repair —
-    /// [`QueryOpts::staleness`]).
+    /// Whether this answer was served within a staleness bound while
+    /// accepted-but-unpublished updates were in flight
+    /// ([`QueryOpts::staleness`]) — the snapshot it read predates those
+    /// updates.
     pub stale: bool,
 }
 
@@ -308,22 +371,37 @@ pub struct RuleInfo {
     pub active: bool,
 }
 
-/// Aggregate engine counters.
+/// Aggregate engine counters, plus the epoch of the snapshot the call
+/// observed. All fields come from one registry read and one snapshot
+/// load, so `epoch` and the counters describe the same generation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineStats {
     /// Queries answered (identify + top_rules).
     pub queries: u64,
     /// Predicate warm-ups performed.
     pub warmups: u64,
-    /// Update batches applied.
+    /// Update batches applied (each accepted input batch, before
+    /// coalescing).
     pub updates: u64,
+    /// Snapshot generations published (net update generations +
+    /// compactions); the current view epoch equals this count.
+    pub snapshot_publishes: u64,
+    /// Input batches absorbed into an earlier batch's generation — the
+    /// write amplification the coalescer saved. The mean inputs-per-
+    /// publish ratio is `updates / (updates - updates_coalesced)`.
+    pub updates_coalesced: u64,
+    /// Overlay compactions performed (explicit + self-triggered).
+    pub compactions: u64,
     /// Requests rejected at admission (bounded queue full).
     pub shed: u64,
     /// Requests answered with [`QueryError::DeadlineExceeded`].
     pub deadline_exceeded: u64,
-    /// Identify answers served from the warm ledger while an update held
-    /// the view write lock.
+    /// Staleness-opted identify answers stamped `stale`: served from the
+    /// latest snapshot while accepted-but-unpublished updates were in
+    /// flight within the caller's bound.
     pub stale_served: u64,
+    /// Epoch of the snapshot current when this call read the counters.
+    pub epoch: u64,
     /// d-ball cache counters.
     pub cache: CacheStats,
 }
@@ -339,13 +417,18 @@ pub enum UpdateError {
     /// either by an earlier batch or by this batch's own `del_nodes`.
     /// Nothing was applied.
     NodeRemoved(NodeId),
-    /// The update's planning stage panicked (e.g. a chaos-injected
-    /// fault). The panic was caught *before* anything was committed, so
-    /// nothing was applied and the view lock is not poisoned.
+    /// The update pipeline panicked while this batch's generation was
+    /// being built (e.g. a chaos-injected fault). The generation was
+    /// abandoned *before* the publish swap, so nothing this batch — or
+    /// any batch coalesced with it — changed is visible.
     Panicked,
     /// The batch was rejected at admission by a fault-injection plan (the
     /// `chaos` feature's poisoned-batch failpoint). Nothing was applied.
     Rejected,
+    /// The engine stopped before this batch was applied: it was still in
+    /// the update queue (or submitted afterwards) when
+    /// [`ServeEngine::stop`] drained the pipeline. Nothing was applied.
+    Stopped,
 }
 
 impl From<UpdateInvalid> for UpdateError {
@@ -367,10 +450,13 @@ impl std::fmt::Display for UpdateError {
                 write!(f, "update references removed node {v}")
             }
             UpdateError::Panicked => {
-                write!(f, "update planning panicked; nothing was applied")
+                write!(f, "update generation panicked; nothing was published")
             }
             UpdateError::Rejected => {
                 write!(f, "update batch rejected by fault injection; nothing was applied")
+            }
+            UpdateError::Stopped => {
+                write!(f, "engine stopped before the update was applied")
             }
         }
     }
@@ -378,7 +464,12 @@ impl std::fmt::Display for UpdateError {
 
 impl std::error::Error for UpdateError {}
 
-/// What one [`ServeEngine::apply_update`] call changed.
+/// What one [`ServeEngine::apply_update`] call changed. When the writer
+/// coalesced several batches into one generation, `assigned` is always
+/// **this batch's** ids, while the repair-side tallies (`touched`,
+/// `evicted`, `reevaluated`, …) describe the whole generation the batch
+/// rode in — the publish is one atomic unit and its repair work is not
+/// attributable per input batch.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateReport {
     /// Ids assigned to the update's `new_nodes`, in input order.
@@ -610,18 +701,91 @@ impl WorkerCaches {
     }
 }
 
-/// The update-consistent core: graph overlay, candidate index, and the
-/// label histograms that gate rule activation. Guarded by one `RwLock` —
-/// queries hold a read lock for their whole evaluation, updates hold the
-/// write lock, so every query sees one graph/index version end to end.
+/// One published snapshot generation: graph overlay, candidate index,
+/// label histograms, warm ledgers and d-ball cache, all consistent with
+/// each other at `epoch`. Queries load the current snapshot `Arc` with
+/// one lock-free atomic read and evaluate entirely against it; the
+/// writer builds the next generation as a copy-on-write successor and
+/// publishes it with a single pointer swap. The structural fields are
+/// frozen after publish; `states` and `cache` have mutex interior
+/// because queries *warm into* the snapshot they read (a warm-up ledger,
+/// a cached d-ball extraction) — both are carried forward into the next
+/// generation by the writer.
 struct EngineView {
     graph: DeltaGraph,
     index: CandidateIndex,
     node_hist: FxHashMap<Label, u64>,
     edge_hist: FxHashMap<Label, u64>,
-    /// Bumped once per committed update batch; answers stamp the epoch
+    /// Bumped once per published generation; answers stamp the epoch
     /// they read so clients can order them against updates.
     epoch: u64,
+    /// Per-predicate warm ledgers, versioned with this snapshot: each
+    /// state's answers are exact for `graph` (patched by the writer when
+    /// the generation was built; stamped with the epoch that last
+    /// touched them).
+    states: Mutex<FxHashMap<Predicate, Arc<PredicateState>>>,
+    /// The d-ball cache for this snapshot's graph. Successor generations
+    /// start from a `cloned_retain` of it (union-ball invalidation), so
+    /// the hot working set survives publishes.
+    cache: Mutex<LruCache<(NodeId, u32), Arc<CenterSite>>>,
+}
+
+/// Tracks updates accepted into the pipeline but not yet settled
+/// (published or rejected), with each batch's accept instant. Staleness-
+/// bounded reads measure the published snapshot's lag as the age of the
+/// oldest pending batch, and wait on the condvar when it exceeds their
+/// bound.
+#[derive(Default)]
+struct UpdateClock {
+    pending: std::sync::Mutex<VecDeque<Instant>>,
+    settled_cv: std::sync::Condvar,
+}
+
+impl UpdateClock {
+    /// Records one accepted batch. Returns its accept instant.
+    fn submit(&self) -> Instant {
+        let now = Instant::now();
+        self.pending.lock().unwrap().push_back(now);
+        now
+    }
+
+    /// Retires the `k` oldest pending batches (published or failed) and
+    /// wakes staleness waiters.
+    fn settle(&self, k: usize) {
+        let mut q = self.pending.lock().unwrap();
+        let n = k.min(q.len());
+        q.drain(..n);
+        drop(q);
+        self.settled_cv.notify_all();
+    }
+
+    /// Whether any accepted batch is still unpublished.
+    fn has_pending(&self) -> bool {
+        !self.pending.lock().unwrap().is_empty()
+    }
+
+    /// Age of the oldest accepted-but-unpublished batch, if any.
+    fn frontier_age(&self) -> Option<Duration> {
+        self.pending.lock().unwrap().front().map(Instant::elapsed)
+    }
+
+    /// Blocks until the publish lag is within `bound` (the oldest
+    /// pending batch is younger than it, or nothing is pending),
+    /// honouring the request deadline. The short timeout re-check guards
+    /// against a missed wakeup and keeps the deadline responsive.
+    fn wait_within(&self, bound: Duration, dl: Option<&Deadline>) -> Result<(), QueryError> {
+        let mut q = self.pending.lock().unwrap();
+        loop {
+            match q.front() {
+                None => return Ok(()),
+                Some(t) if t.elapsed() <= bound => return Ok(()),
+                Some(_) => {}
+            }
+            Deadline::check(dl)?;
+            let (guard, _) = self.settled_cv.wait_timeout(q, Duration::from_millis(20)).unwrap();
+            q = guard;
+        }
+    }
 }
 
 /// One warm-scan chunk's partial fold (merged in task-index order;
@@ -631,12 +795,13 @@ struct WarmPart {
 }
 
 struct Shared {
-    view: RwLock<EngineView>,
+    /// The published snapshot. Queries grab it with one lock-free atomic
+    /// load (`load_full`) and evaluate entirely against that generation;
+    /// only the writer thread swaps in successors.
+    view: ArcSwap<EngineView>,
     /// The catalog, retained for rule re-activation rebuilds.
     catalog: RuleCatalog,
     cfg: ServeConfig,
-    cache: Mutex<LruCache<(NodeId, u32), Arc<CenterSite>>>,
-    states: RwLock<FxHashMap<Predicate, Arc<PredicateState>>>,
     /// Serializes warm-up passes so concurrent cold queries for one
     /// predicate don't all run the full O(|L|) scan (warm-ups happen once
     /// per predicate, so cross-predicate contention here is negligible).
@@ -647,12 +812,15 @@ struct Shared {
     obs: Arc<MetricsRegistry>,
     /// Bounded ring of recent per-request traces.
     traces: TraceRecorder,
-    /// Set while an update (or compaction) holds the view write lock
-    /// *and* has begun mutating: the instant the previous view stopped
-    /// being current. Stale-bounded reads ([`QueryOpts::staleness`])
-    /// measure their answer's age from it; `None` means the ledger is
-    /// current (or the writer is still in its pure planning phase).
-    stale_since: Mutex<Option<std::time::Instant>>,
+    /// Accepted-but-unpublished update batches. Staleness-bounded reads
+    /// ([`QueryOpts::staleness`]) measure the published snapshot's lag
+    /// against it and wait when the lag exceeds their bound.
+    clock: UpdateClock,
+    /// `(epoch, remap)` per id-remapping compaction, oldest first —
+    /// served by [`ServeEngine::remaps_since`].
+    remap_log: Mutex<Vec<(u64, Arc<NodeRemap>)>>,
+    /// Mirrors the published snapshot's epoch into the metrics gauges.
+    view_epoch: Gauge,
 }
 
 impl Shared {
@@ -665,7 +833,7 @@ impl Shared {
         nbr: &mut NeighborhoodScratch,
     ) -> Arc<CenterSite> {
         let key = (center, d);
-        if let Some(hit) = self.cache.lock().get(&key) {
+        if let Some(hit) = view.cache.lock().get(&key) {
             self.obs.incr(shard, Counter::CacheHits);
             return hit;
         }
@@ -674,10 +842,11 @@ impl Shared {
         // must not serialize the pool. Rarely two workers race on the
         // same cold center and both extract; last insert wins, both use
         // their own (identical) site. The worker's traversal scratch is
-        // reused across misses.
+        // reused across misses. The cache belongs to this snapshot, so a
+        // site built here is always consistent with `view.graph`.
         let site = Arc::new(CenterSite::build_with(&view.graph, center, d, nbr));
         {
-            let mut cache = self.cache.lock();
+            let mut cache = view.cache.lock();
             let len_before = cache.len();
             let evicted = cache.insert(key, site.clone());
             // A new key either grows the cache or displaces the LRU entry;
@@ -773,25 +942,29 @@ impl Shared {
     }
 
     /// Returns the warmed state for `group`, performing the full-candidate
-    /// evaluation pass if this predicate has not been touched yet.
+    /// evaluation pass if this predicate has not been touched on `view`'s
+    /// generation yet. Warms *into the snapshot*: the writer carries the
+    /// ledger forward (patched) into successor generations, so the scan
+    /// still happens once per predicate — a warm-up racing a publish at
+    /// worst lands on a superseded snapshot and is redone on the next one.
     fn state(
         &self,
         view: &EngineView,
         group: &PredicateGroup,
         shard: usize,
     ) -> (Arc<PredicateState>, bool) {
-        if let Some(s) = self.states.read().unwrap().get(&group.predicate) {
+        if let Some(s) = view.states.lock().get(&group.predicate) {
             return (s.clone(), false);
         }
         // Cold predicate: serialize warmers so losers wait for the winner
         // instead of redoing the full O(|L|) scan.
         let _warming = self.warm_lock.lock();
-        if let Some(s) = self.states.read().unwrap().get(&group.predicate) {
+        if let Some(s) = view.states.lock().get(&group.predicate) {
             return (s.clone(), false);
         }
         let state = Arc::new(self.warm(view, group));
         self.obs.incr(shard, Counter::Warmups);
-        self.states.write().unwrap().insert(group.predicate, state.clone());
+        view.states.lock().insert(group.predicate, state.clone());
         (state, true)
     }
 
@@ -833,57 +1006,32 @@ impl Shared {
         state
     }
 
-    /// The stale-bounded fast path: when an update is mid-repair (view
-    /// write lock held, mutation begun) and the requester tolerates
-    /// answers at most `staleness` old, answer from the warm ledger
-    /// without touching the view lock. Returns `Ok(None)` when the fast
-    /// path does not apply (no staleness opt-in, bound exceeded, or the
-    /// predicate was never warmed) — the caller then blocks as usual.
-    /// Lock order is safe: this takes only the `states` read lock, which
-    /// the updater holds only transiently per group.
-    fn stale_identify(
+    /// Resolves the staleness contract for one read: returns whether the
+    /// answer must be stamped stale, blocking first if the snapshot's
+    /// publish lag exceeds the caller's bound. A request with no
+    /// staleness opt-in never waits and is never stamped — the published
+    /// snapshot *is* its consistency point. An opted request tolerates
+    /// answers at most `bound` behind the accepted-update frontier:
+    /// within the bound it is served immediately (stamped stale while
+    /// updates are pending), beyond it it waits for the writer to catch
+    /// up. `Some(ZERO)` therefore observes every previously accepted
+    /// update.
+    fn resolve_staleness(
         &self,
-        req: &IdentifyRequest,
+        opts: &QueryOpts,
         shard: usize,
-        tb: &mut TraceBuilder,
-    ) -> Result<Option<IdentifyResponse>, QueryError> {
-        let Some(bound) = req.opts.staleness else { return Ok(None) };
-        let age = match *self.stale_since.lock() {
-            Some(t) => t.elapsed(),
-            // The writer is still planning: nothing is mutated yet, so
-            // the ledger is current.
-            None => Duration::ZERO,
-        };
+        dl: Option<&Deadline>,
+    ) -> Result<bool, QueryError> {
+        let Some(bound) = opts.staleness else { return Ok(false) };
+        let Some(age) = self.clock.frontier_age() else { return Ok(false) };
         if age > bound {
-            return Ok(None);
+            self.clock.wait_within(bound, dl)?;
         }
-        let states = self.states.read().unwrap();
-        // A cold predicate has no ledger to serve from; fall back to the
-        // blocking path (which will warm it on the fresh view).
-        let Some(state) = states.get(&req.predicate) else { return Ok(None) };
-        let _s = Span::enter(tb, Stage::LedgerRead);
-        let customers = match &req.candidates {
-            None => state.warm_customers.clone(),
-            Some(cands) => {
-                let mut v: Vec<NodeId> = cands
-                    .iter()
-                    .filter(|c| state.warm_customers.binary_search(c).is_ok())
-                    .copied()
-                    .collect();
-                v.sort_unstable();
-                v.dedup();
-                v
-            }
-        };
-        self.obs.incr(shard, Counter::StaleServed);
-        Ok(Some(IdentifyResponse {
-            customers,
-            evaluated: 0,
-            pruned: 0,
-            warmed: false,
-            epoch: state.epoch,
-            stale: true,
-        }))
+        let stale = self.clock.has_pending();
+        if stale {
+            self.obs.incr(shard, Counter::StaleServed);
+        }
+        Ok(stale)
     }
 
     fn identify(
@@ -894,23 +1042,11 @@ impl Shared {
         dl: Option<&Deadline>,
     ) -> Result<IdentifyResponse, QueryError> {
         let shard = caches.shard;
-        let view = match self.view.try_read() {
-            Ok(view) => view,
-            Err(std::sync::TryLockError::WouldBlock) => {
-                // An update holds the write lock. Serve stale if the
-                // request opted in; otherwise check the deadline one last
-                // time before committing to an unbounded lock wait.
-                if let Some(resp) = self.stale_identify(req, shard, tb)? {
-                    return Ok(resp);
-                }
-                Deadline::check(dl)?;
-                self.view.read().unwrap()
-            }
-            Err(e @ std::sync::TryLockError::Poisoned(_)) => {
-                // Same deliberate fail-stop as `read().unwrap()`.
-                panic!("view lock poisoned: {e}")
-            }
-        };
+        let stale = self.resolve_staleness(&req.opts, shard, dl)?;
+        // One lock-free atomic load pins the snapshot this whole request
+        // evaluates against; a concurrent publish retires the pointer but
+        // never this generation, which lives until its last reader drops.
+        let view = self.view.load_full();
         let epoch = view.epoch;
         let group = view.index.group(&req.predicate).ok_or(QueryError::UnknownPredicate)?;
         Deadline::check(dl)?;
@@ -940,7 +1076,7 @@ impl Shared {
                 pruned: state.warm_pruned,
                 warmed: true,
                 epoch,
-                stale: false,
+                stale,
             });
         }
         let ev = self.evaluator(group, caches);
@@ -995,12 +1131,12 @@ impl Shared {
         self.obs.add(shard, Counter::CentersEvaluated, evaluated as u64);
         self.obs.add(shard, Counter::CentersSketchPruned, pruned as u64);
         customers.sort_unstable();
-        Ok(IdentifyResponse { customers, evaluated, pruned, warmed, epoch, stale: false })
+        Ok(IdentifyResponse { customers, evaluated, pruned, warmed, epoch, stale })
     }
 
-    /// `top_rules` supports deadlines but not stale reads: its answer
-    /// borrows rule `Arc`s living behind the view lock, so it always
-    /// reads the live view.
+    /// `top_rules` supports deadlines but ignores staleness bounds: it
+    /// reads whatever snapshot is published (never blocking on writers),
+    /// and its confidence figures are exact for that generation.
     fn top_rules(
         &self,
         pred: &Predicate,
@@ -1009,7 +1145,7 @@ impl Shared {
         tb: &mut TraceBuilder,
         dl: Option<&Deadline>,
     ) -> Result<Vec<RuleInfo>, QueryError> {
-        let view = self.view.read().unwrap();
+        let view = self.view.load_full();
         Deadline::check(dl)?;
         let group = view.index.group(pred).ok_or(QueryError::UnknownPredicate)?;
         let warm_started = Ts::now();
@@ -1038,105 +1174,225 @@ impl Shared {
         Ok(out)
     }
 
-    /// Applies one update batch under the view write lock. See the module
-    /// docs ("Live updates") for the union-ball invalidation rule.
-    /// End-to-end latency is measured from `started` (the caller's
-    /// schedule point), so lock-acquisition wait is part of the measured
-    /// cost, exactly like queue wait for queries.
-    fn apply_update(&self, update: &GraphUpdate, started: Ts) -> Result<UpdateReport, UpdateError> {
-        if gpar_chaos::should_poison_batch("serve::update::admit") {
-            return Err(UpdateError::Rejected);
-        }
-        let mut guard = self.view.write().unwrap();
-        let view = &mut *guard;
+    /// Absorbs one popped update batch plus everything else queued
+    /// within the coalescing window, validating each against the
+    /// published overlay via the [`Coalescer`] (a rejected batch answers
+    /// immediately and leaves the window untouched), then builds and
+    /// publishes the net generation and replies to every accepted batch.
+    /// Runs on the writer thread only. Returns a non-update job popped
+    /// while the window was open — it closed the window and still needs
+    /// to run.
+    fn update_generation(
+        &self,
+        jobs: &Injector<UpdateJob>,
+        first: GraphUpdate,
+        first_scheduled: Ts,
+        first_reply: Sender<Result<UpdateReport, UpdateError>>,
+    ) -> Option<UpdateJob> {
         let mut tb = TraceBuilder::new(TraceKind::Update);
-        // Plan without mutating: a malformed batch must not half-mutate
-        // the overlay or poison the view lock, and the effective touched
-        // set is needed *before* commit for the pre-update BFS. Because
-        // this section is pure (`diff` borrows the overlay immutably), a
-        // panic inside it — including the chaos failpoint's — can be
-        // caught *before* it crosses the lock guard: nothing is applied
-        // and the view lock is not poisoned.
-        let planned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-            || -> Result<_, UpdateInvalid> {
-                gpar_chaos::failpoint("serve::update::plan");
-                let _s = Span::enter(&mut tb, Stage::UpdateDiff);
-                view.graph.diff(update)
-            },
-        ));
-        let applied = match planned {
-            Ok(result) => result?,
-            Err(_) => return Err(UpdateError::Panicked),
-        };
-        let mut report = UpdateReport {
-            assigned: applied.assigned.clone(),
-            touched: applied.touched.clone(),
-            added_edges: applied.added_edges.len(),
-            removed_edges: applied.removed_edges.len(),
-            removed_nodes: applied.removed_nodes.len(),
-            ..Default::default()
-        };
-        if applied.touched.is_empty() {
-            return Ok(report); // fully deduplicated no-op batch; not counted
+        let cur = self.view.load_full();
+        let base_n = cur.graph.node_count();
+        let mut coalescer = Coalescer::new();
+        let mut accepted: Vec<AcceptedUpdate> = Vec::new();
+        let mut carry = None;
+
+        let absorb_started = Ts::now();
+        let window_deadline = Instant::now() + self.cfg.coalesce_window;
+        let mut pending = Some((first, first_scheduled, first_reply));
+        loop {
+            let (update, scheduled, reply) = match pending.take() {
+                Some(j) => j,
+                None => {
+                    if accepted.len() >= self.cfg.coalesce_max_batch.max(1) {
+                        break;
+                    }
+                    // A `ZERO` window still merges everything *already*
+                    // queued; a positive window lingers for late
+                    // arrivals until the deadline.
+                    let next = if self.cfg.coalesce_window.is_zero() {
+                        match jobs.try_pop() {
+                            Some(j) => j,
+                            None => break,
+                        }
+                    } else {
+                        match jobs.pop_until(window_deadline) {
+                            PopTimeout::Item(j) => j,
+                            PopTimeout::TimedOut | PopTimeout::Closed => break,
+                        }
+                    };
+                    match next {
+                        UpdateJob::Update { update, scheduled, reply } => {
+                            (update, scheduled, reply)
+                        }
+                        // A compaction (or test stall) closes the
+                        // window; the caller runs it after this publish.
+                        other => {
+                            carry = Some(other);
+                            break;
+                        }
+                    }
+                }
+            };
+            if gpar_chaos::should_poison_batch("serve::update::admit") {
+                let _ = reply.send(Err(UpdateError::Rejected));
+                self.clock.settle(1);
+                continue;
+            }
+            let before = coalescer.appended();
+            // `push` validates before absorbing, so the window state is
+            // intact whether it rejects or panics (chaos failpoint
+            // included) — later batches in the window are unaffected.
+            let pushed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                gpar_chaos::failpoint("serve::update::coalesce");
+                coalescer.push(&cur.graph, &update)
+            }));
+            match pushed {
+                Ok(Ok(())) => {
+                    let assigned = (before..coalescer.appended())
+                        .map(|i| NodeId((base_n + i) as u32))
+                        .collect();
+                    accepted.push(AcceptedUpdate { scheduled, assigned, reply });
+                }
+                Ok(Err(invalid)) => {
+                    let _ = reply.send(Err(invalid.into()));
+                    self.clock.settle(1);
+                }
+                Err(_) => {
+                    let _ = reply.send(Err(UpdateError::Panicked));
+                    self.clock.settle(1);
+                }
+            }
+        }
+        tb.add(Stage::UpdateCoalesce, absorb_started.elapsed());
+
+        if accepted.is_empty() {
+            return carry;
+        }
+        let (net, summary) = coalescer.finish();
+        if net.is_empty() {
+            // The window cancelled out entirely (or held only no-ops):
+            // nothing to publish, no epoch bump, and — matching the
+            // no-op handling of a lone batch — nothing counted.
+            for a in accepted {
+                let report = UpdateReport { assigned: a.assigned, ..Default::default() };
+                let _ = a.reply.send(Ok(report));
+            }
+            self.clock.settle(summary.updates);
+            return carry;
         }
 
-        // 1. The invalidation ball, to the deepest radius any group
-        // evaluates at — *and* the deepest radius still cached: a group
-        // removed by deactivation can leave entries at a radius no current
-        // group uses, and they must keep being invalidated or a later
-        // re-activation would warm against stale sites. `max(d, 1)`
-        // because a center's LCWA class reads its out-neighbors' labels —
-        // depth-1 state even under a (pathological) d = 0 override.
-        //
-        // Deletion makes invalidation non-monotone: a center can lose ball
-        // content and simultaneously lose its short path to the touched
-        // set, so the post-update BFS alone would miss it. Run the
-        // multi-source BFS on the pre-update view first, commit, run it
-        // again on the post-update view, and take the per-node minimum —
-        // the union ball.
-        let max_cached_d = self.cache.lock().keys().map(|&(_, dk)| dk).max().unwrap_or(0);
-        let max_d = view.index.groups().map(|g| g.d).max().unwrap_or(0).max(max_cached_d).max(1);
-        // The pre-update BFS is only needed when the batch deletes
-        // something: inserts only shrink distances and relabels leave
-        // structure unchanged, so for a monotone batch the pre-ball is a
-        // subset of the post-ball and the union degenerates to PR 4's
-        // single post-update BFS. (Nodes appended by this batch do not
-        // exist on the pre view; they seed only the post-update BFS.)
-        let deletes = !applied.removed_edges.is_empty() || !applied.removed_nodes.is_empty();
-        let pre_dist = if deletes {
-            let _s = Span::enter(&mut tb, Stage::UpdateBfs);
-            let n_pre = view.graph.node_count();
-            let pre_seeds: Vec<NodeId> =
-                applied.touched.iter().copied().filter(|v| v.index() < n_pre).collect();
-            multi_source_distances(&view.graph, &pre_seeds, max_d)
-        } else {
-            Default::default()
-        };
-        {
-            let _s = Span::enter(&mut tb, Stage::UpdateCommit);
-            // From here on the previous view is no longer current:
-            // stale-bounded readers measure their answer's age from this
-            // instant until the repair finishes.
-            *self.stale_since.lock() = Some(std::time::Instant::now());
-            view.graph.commit(update, &applied);
-            view.epoch += 1;
+        let publish_started = Ts::now();
+        // The whole build runs against copy-on-write clones of the
+        // published snapshot: a panic anywhere inside (chaos failpoints
+        // included) publishes nothing, leaves the served view untouched,
+        // and fails every batch of the window with a typed error.
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.build_generation(&cur, &net, &mut tb)
+        }));
+        tb.add(Stage::UpdatePublish, publish_started.elapsed());
+        self.clock.settle(summary.updates);
+        match built {
+            // Every net batch deduplicated away against the live graph:
+            // same contract as an empty net window — acknowledge, count
+            // nothing, publish nothing.
+            Ok(None) => {
+                for a in accepted {
+                    let report = UpdateReport { assigned: a.assigned, ..Default::default() };
+                    let _ = a.reply.send(Ok(report));
+                }
+            }
+            Ok(Some(report)) => {
+                let txn = self.obs.write_txn();
+                txn.add(0, Counter::Updates, accepted.len() as u64);
+                txn.incr(0, Counter::SnapshotPublishes);
+                txn.add(
+                    0,
+                    Counter::UpdatesCoalesced,
+                    summary.updates.saturating_sub(summary.segments) as u64,
+                );
+                txn.add(0, Counter::CacheInvalidations, report.evicted.len() as u64);
+                txn.add(0, Counter::UpdateReevaluated, report.reevaluated as u64);
+                txn.add(0, Counter::UpdateRebuiltGroups, report.rebuilt_groups as u64);
+                drop(txn);
+                // Record before replying, so a snapshot taken after an
+                // answer arrives is guaranteed to include its batch. The
+                // window opener's end-to-end latency doubles as the
+                // trace root.
+                self.finish_trace(0, tb, accepted[0].scheduled.elapsed(), HistKind::UpdateLatency);
+                for (i, a) in accepted.into_iter().enumerate() {
+                    let lag = a.scheduled.elapsed();
+                    self.obs.record(0, HistKind::SnapshotLag, lag);
+                    if i > 0 {
+                        self.obs.record(0, HistKind::UpdateLatency, lag);
+                    }
+                    let mut r = report.clone();
+                    r.assigned = a.assigned;
+                    let _ = a.reply.send(Ok(r));
+                }
+            }
+            Err(_) => {
+                for a in accepted {
+                    let _ = a.reply.send(Err(UpdateError::Panicked));
+                }
+            }
         }
-        // Delay-only failpoint: the post-commit repair must never unwind
-        // (a panic here poisons the view lock by design — fail-stop).
-        gpar_chaos::delaypoint("serve::update::repair");
-        let mut dist = {
-            let _s = Span::enter(&mut tb, Stage::UpdateBfs);
-            multi_source_distances(&view.graph, &applied.touched, max_d)
-        };
-        for (v, d) in pre_dist {
-            dist.entry(v).and_modify(|cur| *cur = (*cur).min(d)).or_insert(d);
-        }
+        self.maybe_autocompact();
+        carry
+    }
 
-        // 2. Histogram maintenance; track labels that came into existence
-        // or vanished entirely — only those can flip a rule's label-
-        // signature satisfiability (activation on appearance, symmetric
-        // deactivation on disappearance — deleting the last node of a
-        // label takes the same rebuild path as inserting the first).
+    /// Builds the successor snapshot for one net batch sequence and
+    /// publishes it with a single pointer swap. Everything here mutates
+    /// copy-on-write clones; the published `cur` is never touched, so a
+    /// panic (the caller catches it) is all-or-nothing. The net sequence
+    /// is applied segment by segment — each contributes its pre/post
+    /// invalidation BFS to one union ball — and repaired once against
+    /// the final state.
+    /// Returns `None` — publishing nothing, bumping nothing — when every
+    /// net batch deduplicates away against the current graph (e.g. an
+    /// insert of an edge that already exists).
+    fn build_generation(
+        &self,
+        cur: &EngineView,
+        net: &[GraphUpdate],
+        tb: &mut TraceBuilder,
+    ) -> Option<UpdateReport> {
+        gpar_chaos::failpoint("serve::update::plan");
+        let mut graph = cur.graph.clone();
+        let mut index = cur.index.clone();
+        let mut node_hist = cur.node_hist.clone();
+        let mut edge_hist = cur.edge_hist.clone();
+        let mut states = cur.states.lock().clone();
+        let epoch = cur.epoch + 1;
+        let mut report = UpdateReport::default();
+
+        // 1. The invalidation ball radius (see the module docs): the
+        // deepest radius any group evaluates at — *and* the deepest
+        // radius still cached: a group removed by deactivation can leave
+        // entries at a radius no current group uses, and they must keep
+        // being invalidated or a later re-activation would warm against
+        // stale sites. `max(d, 1)` because a center's LCWA class reads
+        // its out-neighbors' labels.
+        let max_cached_d = cur.cache.lock().keys().map(|&(_, dk)| dk).max().unwrap_or(0);
+        let max_d = index.groups().map(|g| g.d).max().unwrap_or(0).max(max_cached_d).max(1);
+
+        // Union ball accumulated over every net batch: deletion makes
+        // invalidation non-monotone (a center can lose ball content and
+        // simultaneously lose its short path to the touched set), so
+        // each batch contributes a pre-commit BFS when it deletes and a
+        // post-commit BFS always, min-merged. The sequence is a valid
+        // start→end transformation, so the union covers every center
+        // whose d-ball changed anywhere in it.
+        fn union_min(dist: &mut FxHashMap<NodeId, u32>, found: FxHashMap<NodeId, u32>) {
+            for (v, d) in found {
+                dist.entry(v).and_modify(|c| *c = (*c).min(d)).or_insert(d);
+            }
+        }
+        let mut dist: FxHashMap<NodeId, u32> = FxHashMap::default();
+
+        // Histogram maintenance helpers; labels coming into existence or
+        // vanishing entirely can flip a rule's label-signature
+        // satisfiability (activation on appearance, symmetric
+        // deactivation on disappearance).
         let mut changed_labels: gpar_graph::FxHashSet<Label> = Default::default();
         let bump = |hist: &mut FxHashMap<Label, u64>,
                     l: Label,
@@ -1158,40 +1414,106 @@ impl Shared {
                 }
             }
         };
-        for &c in &applied.assigned {
-            bump(&mut view.node_hist, view.graph.node_label(c), &mut changed_labels);
-        }
-        // `applied.relabeled` is already net-coalesced per node by `diff`.
-        for &(v, old, new) in &applied.relabeled {
-            if applied.assigned.contains(&v) {
-                continue; // new node: final label already counted above
+
+        // Per-predicate retired centers accumulated across the batches
+        // (a center retired by one batch and re-admitted by the next is
+        // reconciled by the final re-evaluation pass: it sits at
+        // distance 0 in the union ball).
+        let mut removed_by_pred: FxHashMap<Predicate, Vec<NodeId>> = FxHashMap::default();
+
+        let mut effective = 0usize;
+        for update in net {
+            let applied = {
+                let _s = Span::enter(tb, Stage::UpdateDiff);
+                graph.diff(update).expect("coalesced net batches revalidate on the same overlay")
+            };
+            if applied.touched.is_empty() {
+                continue;
             }
-            drop_one(&mut view.node_hist, old, &mut changed_labels);
-            bump(&mut view.node_hist, new, &mut changed_labels);
-        }
-        for &(_, l) in &applied.removed_nodes {
-            drop_one(&mut view.node_hist, l, &mut changed_labels);
-        }
-        for &(_, _, l) in &applied.added_edges {
-            bump(&mut view.edge_hist, l, &mut changed_labels);
-        }
-        for &(_, _, l) in &applied.removed_edges {
-            drop_one(&mut view.edge_hist, l, &mut changed_labels);
-        }
+            effective += 1;
+            let deletes = !applied.removed_edges.is_empty() || !applied.removed_nodes.is_empty();
+            if deletes {
+                let _s = Span::enter(tb, Stage::UpdateBfs);
+                let n_pre = graph.node_count();
+                let pre_seeds: Vec<NodeId> =
+                    applied.touched.iter().copied().filter(|v| v.index() < n_pre).collect();
+                union_min(&mut dist, multi_source_distances(&graph, &pre_seeds, max_d));
+            }
+            {
+                let _s = Span::enter(tb, Stage::UpdateCommit);
+                graph.commit(update, &applied);
+            }
+            // Delay-only failpoint: stretches the repair (and so the
+            // snapshot-lag) window without unpublishing anything —
+            // readers are served from `cur` throughout.
+            gpar_chaos::delaypoint("serve::update::repair");
+            {
+                let _s = Span::enter(tb, Stage::UpdateBfs);
+                union_min(&mut dist, multi_source_distances(&graph, &applied.touched, max_d));
+            }
 
-        // 3. Scoped cache eviction: exactly the keys whose d-ball can
-        // reach a touched node on either side of the update.
-        report.evicted =
-            self.cache.lock().retain(|&(c, dk)| dist.get(&c).is_none_or(|&dc| dc > dk));
+            for &c in &applied.assigned {
+                bump(&mut node_hist, graph.node_label(c), &mut changed_labels);
+            }
+            // `applied.relabeled` is already net-coalesced per node.
+            for &(v, old, new) in &applied.relabeled {
+                if applied.assigned.contains(&v) {
+                    continue; // new node: final label already counted above
+                }
+                drop_one(&mut node_hist, old, &mut changed_labels);
+                bump(&mut node_hist, new, &mut changed_labels);
+            }
+            for &(_, l) in &applied.removed_nodes {
+                drop_one(&mut node_hist, l, &mut changed_labels);
+            }
+            for &(_, _, l) in &applied.added_edges {
+                bump(&mut edge_hist, l, &mut changed_labels);
+            }
+            for &(_, _, l) in &applied.removed_edges {
+                drop_one(&mut edge_hist, l, &mut changed_labels);
+            }
 
-        // 4. Rule activation / deactivation: a label flipping between
-        // present and absent can change which rules pass the signature
-        // satisfiability check, in either direction. Rebuild exactly the
-        // predicates whose rules *mention* a flipped label; everything
-        // else keeps its incrementally-maintained group.
+            // Candidate-set deltas, against the post-batch graph.
+            {
+                let _s = Span::enter(tb, Stage::UpdateGroupRepair);
+                let preds: Vec<Predicate> = index.groups().map(|g| g.predicate).collect();
+                for pred in preds {
+                    let group = index.group_mut(&pred).expect("group listed above");
+                    let (added, removed) = center_changes(group, &graph, &applied);
+                    for &c in &removed {
+                        if group.remove_center(c) {
+                            report.removed_centers += 1;
+                        }
+                    }
+                    for &c in &added {
+                        if group.add_center(&graph, c) {
+                            report.added_centers += 1;
+                        }
+                    }
+                    if !removed.is_empty() {
+                        removed_by_pred.entry(pred).or_default().extend(removed);
+                    }
+                }
+            }
+
+            report.touched.extend(applied.touched.iter().copied());
+            report.added_edges += applied.added_edges.len();
+            report.removed_edges += applied.removed_edges.len();
+            report.removed_nodes += applied.removed_nodes.len();
+        }
+        if effective == 0 {
+            return None;
+        }
+        report.touched.sort_unstable();
+        report.touched.dedup();
+
+        // 2. Rule activation / deactivation: rebuild exactly the
+        // predicates whose rules *mention* a flipped label, against the
+        // final graph and histograms; their warm state re-warms lazily
+        // on the new snapshot.
         let mut rebuilt: Vec<Predicate> = Vec::new();
         if !changed_labels.is_empty() {
-            let _s = Span::enter(&mut tb, Stage::UpdateGroupRepair);
+            let _s = Span::enter(tb, Stage::UpdateGroupRepair);
             let affected: Vec<Predicate> = self
                 .catalog
                 .predicates()
@@ -1209,52 +1531,38 @@ impl Shared {
                 .copied()
                 .collect();
             for pred in affected {
-                if view.index.rebuild_group(
-                    &view.graph,
+                if index.rebuild_group(
+                    &graph,
                     &self.catalog,
                     &pred,
                     self.cfg.sketch_k,
                     self.cfg.d,
                     &self.opts(),
-                    &view.node_hist,
-                    &view.edge_hist,
+                    &node_hist,
+                    &edge_hist,
                 ) {
                     rebuilt.push(pred);
                 }
             }
             report.rebuilt_groups = rebuilt.len();
-            if !rebuilt.is_empty() {
-                let mut states = self.states.write().unwrap();
-                for pred in &rebuilt {
-                    states.remove(pred); // re-warm lazily on next query
-                }
+            for pred in &rebuilt {
+                states.remove(pred); // fresh group is already exact
+                removed_by_pred.remove(pred);
             }
         }
 
-        // 5. Per-group incremental repair.
-        let mut caches = WorkerCaches::default();
-        let preds: Vec<Predicate> = view.index.groups().map(|g| g.predicate).collect();
-        for pred in preds {
-            if rebuilt.contains(&pred) {
-                continue; // fresh group is already exact; state dropped
-            }
-            let (removed, reeval) = {
-                let _s = Span::enter(&mut tb, Stage::UpdateGroupRepair);
-                let EngineView { graph, index, .. } = view;
+        // 3. Sketch refresh + the per-group re-evaluation sets: every
+        // surviving center inside the union ball — its d-ball (hence
+        // sketch, memberships, class) may have changed.
+        let mut repairs: Vec<(Predicate, Vec<NodeId>, Vec<NodeId>)> = Vec::new();
+        {
+            let _s = Span::enter(tb, Stage::UpdateGroupRepair);
+            let preds: Vec<Predicate> = index.groups().map(|g| g.predicate).collect();
+            for pred in preds {
+                if rebuilt.contains(&pred) {
+                    continue;
+                }
                 let group = index.group_mut(&pred).expect("group listed above");
-                let (added, removed) = center_changes(group, graph, &applied);
-                for &c in &removed {
-                    if group.remove_center(c) {
-                        report.removed_centers += 1;
-                    }
-                }
-                for &c in &added {
-                    if group.add_center(graph, c) {
-                        report.added_centers += 1;
-                    }
-                }
-                // Every surviving center inside the invalidation ball: its
-                // d-ball (hence sketch, memberships, class) may have changed.
                 let reeval: Vec<NodeId> = dist
                     .iter()
                     .filter(|&(_, &dd)| dd <= group.d.max(1))
@@ -1262,20 +1570,47 @@ impl Shared {
                     .filter(|&c| group.center_pos(c).is_some())
                     .collect();
                 for &c in &reeval {
-                    group.refresh_center_sketch(graph, c);
+                    group.refresh_center_sketch(&graph, c);
                 }
-                (removed, reeval)
-            };
+                let removed = removed_by_pred.remove(&pred).unwrap_or_default();
+                if !removed.is_empty() || !reeval.is_empty() {
+                    repairs.push((pred, removed, reeval));
+                }
+            }
+        }
 
-            // Warm-state repair: subtract stale contributions, re-evaluate
-            // only the in-ball + new centers, re-derive the answer surface
-            // (a per-center patch unless a rule's η verdict flipped).
-            let _s = Span::enter(&mut tb, Stage::UpdateLedgerPatch);
-            let mut states = self.states.write().unwrap();
+        // 4. Scoped cache invalidation, carrying the surviving working
+        // set into the successor: exactly the keys whose d-ball can
+        // reach a touched node on either side of the net update are
+        // dropped; everything else stays hot across the publish.
+        let (next_cache, evicted) =
+            cur.cache.lock().cloned_retain(|&(c, dk)| dist.get(&c).is_none_or(|&dc| dc > dk));
+        report.evicted = evicted;
+
+        let next = Arc::new(EngineView {
+            graph,
+            index,
+            node_hist,
+            edge_hist,
+            epoch,
+            states: Mutex::new(states),
+            cache: Mutex::new(next_cache),
+        });
+
+        // 5. Warm-ledger repair, against the complete successor:
+        // subtract stale contributions, re-evaluate only in-ball + new
+        // centers, re-derive the answer surface (a per-center patch
+        // unless a rule's η verdict flipped). Predicates the generation
+        // didn't touch keep their state `Arc` — shared with `cur`, still
+        // stamped with the epoch that last touched them.
+        let mut caches = WorkerCaches::default();
+        for (pred, removed, reeval) in repairs {
+            let _s = Span::enter(tb, Stage::UpdateLedgerPatch);
+            let mut states = next.states.lock();
             let Some(state) = states.get_mut(&pred) else { continue };
             let state = Arc::make_mut(state);
-            state.epoch = view.epoch;
-            let group = view.index.group(&pred).expect("group listed above");
+            state.epoch = epoch;
+            let group = next.index.group(&pred).expect("repairs hold live groups");
             let ev = self.evaluator(group, &mut caches);
             for &c in &removed {
                 state.remove_record(c);
@@ -1283,7 +1618,7 @@ impl Shared {
             for &c in &reeval {
                 state.remove_record(c);
                 let pos = group.center_pos(c).expect("reeval centers are candidates");
-                let rec = self.evaluate_center(view, group, &ev, pos, &mut caches);
+                let rec = self.evaluate_center(&next, group, &ev, pos, &mut caches);
                 state.add_record(c, rec);
                 report.reevaluated += 1;
             }
@@ -1295,55 +1630,115 @@ impl Shared {
         }
         self.drain_worker_counters(&mut caches);
 
-        // All counter effects of one batch become visible atomically:
-        // `stats()` taken mid-update reports either the whole batch or
-        // none of it. The transaction is opened only for the bumps
-        // themselves (nanoseconds), so concurrent stable readers never
-        // spin for the duration of the repair work above.
-        let txn = self.obs.write_txn();
-        txn.incr(0, Counter::Updates);
-        txn.add(0, Counter::CacheInvalidations, report.evicted.len() as u64);
-        txn.add(0, Counter::UpdateReevaluated, report.reevaluated as u64);
-        txn.add(0, Counter::UpdateRebuiltGroups, report.rebuilt_groups as u64);
-        drop(txn);
-        self.finish_trace(0, tb, started.elapsed(), HistKind::UpdateLatency);
-        // The ledgers are fully patched: the warm state is current again.
-        *self.stale_since.lock() = None;
-        Ok(report)
+        // 6. Publish: one pointer swap makes the generation current.
+        // In-flight queries holding the old `Arc` finish against their
+        // snapshot; new loads see this one.
+        gpar_chaos::failpoint("serve::update::publish");
+        self.view.store(next);
+        self.view_epoch.set(epoch as i64);
+        Some(report)
     }
 
-    /// Folds the overlay into a fresh base CSR. Without node removals ids
-    /// are stable and the candidate index, warm states and d-ball cache
-    /// all stay valid — compaction changes the representation, never an
-    /// answer. With removals the id space is re-densified: the index and
-    /// warm ledgers are translated through the returned [`NodeRemap`]
-    /// (monotone, so sorted structures stay sorted) and the d-ball cache
-    /// is flushed (its values embed old ids).
-    fn compact(&self) -> Option<NodeRemap> {
-        let mut guard = self.view.write().unwrap();
-        if guard.graph.is_clean() {
-            return None;
+    /// Overlay-pressure check after each published generation: folds the
+    /// overlay back into a fresh CSR base once it has grown past
+    /// [`ServeConfig::compact_pressure`] relative to the live graph —
+    /// but only in the id-stable form (no pending removals) until dead
+    /// slots alone exceed [`ServeConfig::compact_dead_fraction`], since
+    /// an id remap invalidates caller-held node ids.
+    fn maybe_autocompact(&self) {
+        let cur = self.view.load_full();
+        let g = &cur.graph;
+        if g.is_clean() {
+            return;
         }
-        let compacted = guard.graph.compact();
-        guard.graph = DeltaGraph::new(Arc::new(compacted.graph));
-        let remap = compacted.remap?;
-        guard.index.remap_ids(&remap);
-        let flushed = self.cache.lock().clear();
-        self.obs.add(0, Counter::CacheInvalidations, flushed as u64);
-        let mut states = self.states.write().unwrap();
-        for state in states.values_mut() {
-            let state = Arc::make_mut(state);
-            state.outcomes = state
-                .outcomes
-                .drain()
-                .map(|(c, rec)| (remap.get(c).expect("warmed centers survive compaction"), rec))
-                .collect();
-            for c in &mut state.warm_customers {
-                *c = remap.get(*c).expect("customers are live centers");
+        let size = (g.node_count() + g.edge_count()).max(1) as f64;
+        let overlay = g.delta_node_count()
+            + g.delta_edge_count()
+            + g.tomb_edge_count()
+            + g.removed_node_count()
+            + g.relabel_count();
+        let dead = g.removed_node_count() as f64 / g.node_count().max(1) as f64;
+        if dead > self.cfg.compact_dead_fraction
+            || (overlay as f64 / size > self.cfg.compact_pressure && g.removed_node_count() == 0)
+        {
+            self.compact_generation();
+        }
+    }
+
+    /// Folds the overlay into a fresh base CSR, published as its own
+    /// snapshot generation (epoch bump; answers unchanged either way).
+    /// Runs on the writer thread only. Without node removals ids are
+    /// stable and the candidate index, warm states and d-ball cache all
+    /// carry over — compaction changes the representation, never an
+    /// answer. With removals the id space is re-densified: index and
+    /// ledgers are translated through the [`NodeRemap`] (monotone, so
+    /// sorted structures stay sorted), the d-ball cache is flushed (its
+    /// values embed old ids), and the remap is appended to the log
+    /// behind [`ServeEngine::remaps_since`] just before the swap, so a
+    /// reader that observes the new epoch always finds its remap.
+    fn compact_generation(&self) -> Option<Arc<NodeRemap>> {
+        let published = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let cur = self.view.load_full();
+            if cur.graph.is_clean() {
+                return None;
             }
-            debug_assert!(state.warm_customers.is_sorted(), "monotone remap preserves order");
-        }
-        Some(remap)
+            let compacted = cur.graph.compact();
+            let graph = DeltaGraph::new(Arc::new(compacted.graph));
+            let epoch = cur.epoch + 1;
+            let mut index = cur.index.clone();
+            let mut states = cur.states.lock().clone();
+            let remap = compacted.remap.map(Arc::new);
+            let cache = match &remap {
+                None => cur.cache.lock().cloned_retain(|_| true).0,
+                Some(remap) => {
+                    index.remap_ids(remap);
+                    for state in states.values_mut() {
+                        let state = Arc::make_mut(state);
+                        state.epoch = epoch;
+                        state.outcomes = state
+                            .outcomes
+                            .drain()
+                            .map(|(c, rec)| {
+                                (remap.get(c).expect("warmed centers survive compaction"), rec)
+                            })
+                            .collect();
+                        for c in &mut state.warm_customers {
+                            *c = remap.get(*c).expect("customers are live centers");
+                        }
+                        debug_assert!(
+                            state.warm_customers.is_sorted(),
+                            "monotone remap preserves order"
+                        );
+                    }
+                    let flushed = cur.cache.lock().len();
+                    self.obs.add(0, Counter::CacheInvalidations, flushed as u64);
+                    LruCache::new(self.cfg.cache_capacity)
+                }
+            };
+            let next = Arc::new(EngineView {
+                graph,
+                index,
+                node_hist: cur.node_hist.clone(),
+                edge_hist: cur.edge_hist.clone(),
+                epoch,
+                states: Mutex::new(states),
+                cache: Mutex::new(cache),
+            });
+            gpar_chaos::failpoint("serve::update::publish");
+            if let Some(r) = &remap {
+                self.remap_log.lock().push((epoch, r.clone()));
+            }
+            self.view.store(next);
+            self.view_epoch.set(epoch as i64);
+            let txn = self.obs.write_txn();
+            txn.incr(0, Counter::Compactions);
+            txn.incr(0, Counter::SnapshotPublishes);
+            drop(txn);
+            remap
+        }));
+        // A publish-failpoint panic aborts the fold before the swap:
+        // nothing published, readers unaffected, the writer survives.
+        published.unwrap_or(None)
     }
 }
 
@@ -1379,6 +1774,37 @@ fn center_changes(
         }
     }
     (added, removed)
+}
+
+/// A queued write: one update batch bound for the writer's coalescing
+/// window, or a maintenance command the writer serializes with update
+/// generations.
+enum UpdateJob {
+    Update {
+        update: GraphUpdate,
+        /// The submitter's schedule point: update latency and snapshot
+        /// lag are measured from it (open-loop semantics, exactly like
+        /// query queue wait — no coordinated omission).
+        scheduled: Ts,
+        reply: Sender<Result<UpdateReport, UpdateError>>,
+    },
+    /// Explicit [`ServeEngine::compact`], routed through the queue so it
+    /// serializes with generations under the single-writer invariant.
+    Compact { reply: Sender<Option<Arc<NodeRemap>>> },
+    /// Test-only: occupies the writer for the given duration, letting
+    /// tests queue a deterministic burst behind it.
+    #[cfg(test)]
+    Stall(Duration),
+}
+
+/// One update admitted into the current coalescing window, waiting for
+/// its generation to publish.
+struct AcceptedUpdate {
+    scheduled: Ts,
+    /// Ids assigned to this batch's appends — the dense continuation of
+    /// the window so far, identical to sequential application.
+    assigned: Vec<NodeId>,
+    reply: Sender<Result<UpdateReport, UpdateError>>,
 }
 
 /// A queued request, carrying its schedule timestamp so queue wait and
@@ -1436,11 +1862,13 @@ impl Job {
 pub struct ServeEngine {
     shared: Arc<Shared>,
     jobs: Arc<Injector<Job>>,
+    updates: Arc<Injector<UpdateJob>>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl ServeEngine {
-    /// Builds the index for `(graph, catalog)` and spawns the pool.
+    /// Builds the index for `(graph, catalog)`, publishes the initial
+    /// snapshot, and spawns the query pool plus the single writer.
     pub fn new(graph: Arc<Graph>, catalog: &RuleCatalog, cfg: ServeConfig) -> Self {
         let index = CandidateIndex::build(
             &*graph,
@@ -1453,36 +1881,49 @@ impl ServeEngine {
         let edge_hist = graph.edge_label_histogram();
         let workers = cfg.workers.max(1);
         let queue_capacity = cfg.queue_capacity;
+        let cache_capacity = cfg.cache_capacity;
         let obs = Arc::new(MetricsRegistry::new(workers));
         let shared = Arc::new(Shared {
-            view: RwLock::new(EngineView {
+            view: ArcSwap::new(Arc::new(EngineView {
                 graph: DeltaGraph::new(graph),
                 index,
                 node_hist,
                 edge_hist,
                 epoch: 0,
-            }),
+                states: Mutex::new(FxHashMap::default()),
+                cache: Mutex::new(LruCache::new(cache_capacity)),
+            })),
             catalog: catalog.clone(),
-            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
-            states: RwLock::new(FxHashMap::default()),
             warm_lock: Mutex::new(()),
             obs: obs.clone(),
             traces: TraceRecorder::new(cfg.trace_capacity),
-            stale_since: Mutex::new(None),
+            clock: UpdateClock::default(),
+            remap_log: Mutex::new(Vec::new()),
+            view_epoch: obs.register_gauge("view_epoch"),
             cfg,
         });
         let jobs: Arc<Injector<Job>> = Arc::new(
             Injector::with_depth_gauge(obs.register_gauge("injector_depth"))
                 .with_capacity(queue_capacity),
         );
-        let handles = (0..workers)
+        // The update queue is unbounded: writers block on their reply
+        // (or watch the depth gauge when submitting open-loop), so
+        // admission control belongs to the caller, not the queue.
+        let updates: Arc<Injector<UpdateJob>> =
+            Arc::new(Injector::with_depth_gauge(obs.register_gauge("update_queue_depth")));
+        let mut handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|w| {
                 let shared = shared.clone();
                 let jobs = jobs.clone();
                 std::thread::spawn(move || worker_loop(shared, jobs, w))
             })
             .collect();
-        Self { shared, jobs, handles }
+        handles.push({
+            let shared = shared.clone();
+            let updates = updates.clone();
+            std::thread::spawn(move || writer_loop(shared, updates))
+        });
+        Self { shared, jobs, updates, handles }
     }
 
     fn submit(&self, job: Job) -> Result<(), QueryError> {
@@ -1507,7 +1948,7 @@ impl ServeEngine {
     /// them out of the bounded queue. Everything else is normal priority.
     fn priority_of(&self, job: &Job) -> Priority {
         let Some(pred) = job.predicate() else { return Priority::Normal };
-        if self.shared.states.read().unwrap().contains_key(pred) {
+        if self.shared.view.load_full().states.lock().contains_key(pred) {
             Priority::Normal
         } else {
             Priority::High
@@ -1600,48 +2041,89 @@ impl ServeEngine {
         Ok(rx)
     }
 
-    /// Applies one insert/relabel/deletion batch to the serving graph,
-    /// invalidating exactly the affected d-balls (the pre ∪ post union
-    /// ball — see the module docs) and incrementally repairing candidate
-    /// index and warm state. Blocks until in-flight queries drain (the
-    /// view write lock); queries submitted afterwards see the new graph.
-    /// A malformed batch (out-of-range or removed node reference) is
-    /// rejected whole: `Err` means nothing was applied.
+    /// Applies one insert/relabel/deletion batch to the serving graph:
+    /// the batch rides the writer's coalescing window (possibly merged
+    /// with concurrently submitted batches into one published
+    /// generation) and this call blocks until that generation is
+    /// published — never blocking any reader. A malformed batch
+    /// (out-of-range or removed node reference) is rejected whole:
+    /// `Err` means nothing of *this* batch was applied.
     pub fn apply_update(&self, update: &GraphUpdate) -> Result<UpdateReport, UpdateError> {
-        self.shared.apply_update(update, Ts::now())
+        self.apply_update_from(update, Ts::now())
     }
 
     /// [`ServeEngine::apply_update`] with an external schedule timestamp:
     /// the recorded update latency (and its trace's root duration) starts
-    /// at `scheduled`, charging view-lock wait to the batch exactly like
-    /// queue wait is charged to queries.
+    /// at `scheduled`, charging queue + window wait to the batch exactly
+    /// like queue wait is charged to queries.
     pub fn apply_update_from(
         &self,
         update: &GraphUpdate,
         scheduled: Ts,
     ) -> Result<UpdateReport, UpdateError> {
-        self.shared.apply_update(update, scheduled)
+        let rx = self.submit_update_from(update.clone(), scheduled)?;
+        rx.recv().map_err(|_| UpdateError::Stopped)?
     }
 
-    /// Merges all pending overlay deltas back into a fresh CSR base;
-    /// answers are unchanged either way. Returns `None` when node ids were
+    /// Submits an update without blocking, returning the reply channel —
+    /// the open-loop load harness's write-side entry point. The update
+    /// is accepted into the pipeline immediately (staleness-bounded
+    /// readers start counting it against their bound now); the channel
+    /// yields the report once its generation publishes.
+    pub fn submit_update_from(
+        &self,
+        update: GraphUpdate,
+        scheduled: Ts,
+    ) -> Result<Receiver<Result<UpdateReport, UpdateError>>, UpdateError> {
+        let (tx, rx) = channel();
+        self.shared.clock.submit();
+        match self
+            .updates
+            .push_with(UpdateJob::Update { update, scheduled, reply: tx }, Priority::Normal)
+        {
+            Ok(()) => Ok(rx),
+            Err(_) => {
+                self.shared.clock.settle(1);
+                Err(UpdateError::Stopped)
+            }
+        }
+    }
+
+    /// Merges all pending overlay deltas back into a fresh CSR base,
+    /// published as its own snapshot generation; answers are unchanged
+    /// either way. Routed through the update queue, so it serializes
+    /// behind in-flight generations. Returns `None` when node ids were
     /// stable (no pending node removals): cached extractions, index and
     /// warm state survive untouched. Returns the old→new [`NodeRemap`]
-    /// when removals re-densified the id space: internal id-keyed state is
-    /// translated automatically, and callers holding node ids across the
-    /// call must translate them the same way.
-    pub fn compact(&self) -> Option<NodeRemap> {
-        self.shared.compact()
+    /// when removals re-densified the id space: internal id-keyed state
+    /// is translated automatically, and callers holding node ids across
+    /// the call must translate them the same way (also available later
+    /// via [`ServeEngine::remaps_since`]). The writer triggers the same
+    /// fold by itself under overlay pressure — see
+    /// [`ServeConfig::compact_pressure`].
+    pub fn compact(&self) -> Option<Arc<NodeRemap>> {
+        let (tx, rx) = channel();
+        if self.updates.push_with(UpdateJob::Compact { reply: tx }, Priority::Normal).is_err() {
+            return None;
+        }
+        rx.recv().unwrap_or(None)
+    }
+
+    /// Every id-remapping compaction published after `epoch`, oldest
+    /// first. A caller holding node ids stamped with epoch `e` resyncs
+    /// by translating through each remap in order.
+    pub fn remaps_since(&self, epoch: u64) -> Vec<(u64, Arc<NodeRemap>)> {
+        self.shared.remap_log.lock().iter().filter(|(e, _)| *e > epoch).cloned().collect()
     }
 
     /// Predicates this engine can serve.
     pub fn predicates(&self) -> Vec<Predicate> {
-        self.shared.view.read().unwrap().index.groups().map(|g| g.predicate).collect()
+        self.shared.view.load_full().index.groups().map(|g| g.predicate).collect()
     }
 
     /// The shared label vocabulary.
     pub fn vocab(&self) -> Arc<Vocab> {
-        self.shared.view.read().unwrap().graph.vocab().clone()
+        self.shared.view.load_full().graph.vocab().clone()
     }
 
     /// Current serving-graph size as `(nodes, edges)` (base + overlay).
@@ -1651,29 +2133,32 @@ impl ServeEngine {
     /// live edges only. [`ServeEngine::pending_removals`] reports the
     /// dead-slot count; compaction squeezes them out.
     pub fn graph_size(&self) -> (usize, usize) {
-        let view = self.shared.view.read().unwrap();
+        let view = self.shared.view.load_full();
         (view.graph.node_count(), view.graph.edge_count())
     }
 
     /// Edges/nodes still in the overlay (0 right after [`ServeEngine::compact`]).
     pub fn pending_deltas(&self) -> (usize, usize) {
-        let view = self.shared.view.read().unwrap();
+        let view = self.shared.view.load_full();
         (view.graph.delta_node_count(), view.graph.delta_edge_count())
     }
 
     /// Removals still in the overlay as `(removed nodes, tombstoned
     /// edges)` — both 0 right after [`ServeEngine::compact`].
     pub fn pending_removals(&self) -> (usize, usize) {
-        let view = self.shared.view.read().unwrap();
+        let view = self.shared.view.load_full();
         (view.graph.removed_node_count(), view.graph.tomb_edge_count())
     }
 
-    /// A counters snapshot, read at one stable registry epoch: an
-    /// `apply_update` racing this call is reflected either completely or
-    /// not at all — `updates`, the cache invalidation count, and the rest
-    /// of a batch's counters always move together in the returned value.
+    /// A counters snapshot, read at one stable registry epoch: an update
+    /// generation racing this call is reflected either completely or not
+    /// at all — `updates`, the cache invalidation count, and the rest of
+    /// a generation's counters always move together in the returned
+    /// value. `epoch` is read from the same published snapshot the
+    /// engine is serving at the time of the call.
     pub fn stats(&self) -> EngineStats {
         let c = self.shared.obs.counters_stable();
+        let epoch = self.shared.view.load_full().epoch;
         EngineStats {
             queries: c[Counter::Queries as usize],
             warmups: c[Counter::Warmups as usize],
@@ -1681,6 +2166,10 @@ impl ServeEngine {
             shed: c[Counter::Shed as usize],
             deadline_exceeded: c[Counter::DeadlineExceeded as usize],
             stale_served: c[Counter::StaleServed as usize],
+            snapshot_publishes: c[Counter::SnapshotPublishes as usize],
+            updates_coalesced: c[Counter::UpdatesCoalesced as usize],
+            compactions: c[Counter::Compactions as usize],
+            epoch,
             cache: CacheStats {
                 hits: c[Counter::CacheHits as usize],
                 misses: c[Counter::CacheMisses as usize],
@@ -1691,17 +2180,33 @@ impl ServeEngine {
         }
     }
 
-    /// Shuts the engine down **without** losing replies: the injector is
-    /// atomically closed and drained, and every job still queued at that
-    /// instant gets an explicit `Err(`[`QueryError::Stopped`]`)` on its
-    /// reply channel. Without the drain, a queued job's sender would be
-    /// dropped unanswered and a blocked `rx.recv()` in the submitter would
-    /// see a dead channel instead of a typed shutdown (the old shutdown
-    /// race). Jobs a worker already popped still run to completion.
-    /// Idempotent; also invoked by `Drop`.
+    /// Shuts the engine down **without** losing replies: both injectors
+    /// are atomically closed and drained, and every job still queued at
+    /// that instant gets an explicit typed error on its reply channel —
+    /// [`QueryError::Stopped`] for queries, [`UpdateError::Stopped`] for
+    /// updates still waiting in the coalescing queue (nothing of them
+    /// was applied; pending compactions answer `None`). Without the
+    /// drain, a queued job's sender would be dropped unanswered and a
+    /// blocked `rx.recv()` in the submitter would see a dead channel
+    /// instead of a typed shutdown. Jobs the workers or the writer
+    /// already popped still run to completion. Idempotent; also invoked
+    /// by `Drop`.
     pub fn stop(&self) {
         for job in self.jobs.close_and_drain() {
             job.reject(QueryError::Stopped);
+        }
+        for job in self.updates.close_and_drain() {
+            match job {
+                UpdateJob::Update { reply, .. } => {
+                    let _ = reply.send(Err(UpdateError::Stopped));
+                    self.shared.clock.settle(1);
+                }
+                UpdateJob::Compact { reply } => {
+                    let _ = reply.send(None);
+                }
+                #[cfg(test)]
+                UpdateJob::Stall(_) => {}
+            }
         }
     }
 
@@ -1722,10 +2227,33 @@ impl ServeEngine {
 impl Drop for ServeEngine {
     fn drop(&mut self) {
         // Fail queued jobs with a typed error (see `stop`), wake every
-        // blocked worker to exit, then join them.
+        // blocked worker and the writer to exit, then join them all.
         self.stop();
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+    }
+}
+
+/// The single writer: owns every mutation of the published snapshot, so
+/// generation builds never race each other. Pops one update, absorbs the
+/// rest of the coalescing window, publishes the net generation, then
+/// runs any maintenance job that closed the window. Exits when the
+/// update injector is closed and drained.
+fn writer_loop(shared: Arc<Shared>, jobs: Arc<Injector<UpdateJob>>) {
+    while let Some(job) = jobs.pop() {
+        let mut cur = Some(job);
+        while let Some(job) = cur.take() {
+            match job {
+                UpdateJob::Update { update, scheduled, reply } => {
+                    cur = shared.update_generation(&jobs, update, scheduled, reply);
+                }
+                UpdateJob::Compact { reply } => {
+                    let _ = reply.send(shared.compact_generation());
+                }
+                #[cfg(test)]
+                UpdateJob::Stall(d) => std::thread::sleep(d),
+            }
         }
     }
 }
@@ -2039,7 +2567,7 @@ mod tests {
     /// and are translated into the incremental engine's id space first.
     fn assert_matches_fresh_rebuild(engine: &ServeEngine, cat: &RuleCatalog, pred: Predicate) {
         let (compacted, remap) = {
-            let view = engine.shared.view.read().unwrap();
+            let view = engine.shared.view.load_full();
             let c = view.graph.compact();
             (Arc::new(c.graph), c.remap)
         };
@@ -2155,7 +2683,7 @@ mod tests {
         let engine =
             ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.0, ..Default::default() });
         {
-            let view = engine.shared.view.read().unwrap();
+            let view = engine.shared.view.load_full();
             let grp = view.index.group(&pred).unwrap();
             assert_eq!(grp.rules.len(), 1, "club rule starts signature-deactivated");
             assert_eq!(grp.inactive_rules, 1);
@@ -2173,7 +2701,7 @@ mod tests {
             .unwrap();
         assert_eq!(report.rebuilt_groups, 1, "fresh labels must rebuild the group");
         {
-            let view = engine.shared.view.read().unwrap();
+            let view = engine.shared.view.load_full();
             let grp = view.index.group(&pred).unwrap();
             assert_eq!(grp.rules.len(), 2);
             assert_eq!(grp.inactive_rules, 0);
@@ -2258,9 +2786,9 @@ mod tests {
         let engine =
             ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
         let before = engine.identify(pred, None).unwrap().customers;
-        // One batch deletes and re-inserts the same edge: deletions apply
-        // first, so the edge nets to present and answers are unchanged —
-        // but both mutations are real (tombstone, then un-tombstone).
+        // One batch deletes and re-inserts the same edge: the coalescer
+        // cancels the pair, so the generation nets to nothing at all —
+        // no tombstone churn, no epoch bump, answers unchanged.
         let report = engine
             .apply_update(&GraphUpdate {
                 del_edges: vec![(NodeId(0), NodeId(1), visit)],
@@ -2268,9 +2796,10 @@ mod tests {
                 ..Default::default()
             })
             .unwrap();
-        assert_eq!(report.removed_edges, 1);
-        assert_eq!(report.added_edges, 1);
-        assert_eq!(report.touched, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(report.removed_edges, 0, "delete+reinsert cancels before applying");
+        assert_eq!(report.added_edges, 0);
+        assert!(report.touched.is_empty());
+        assert_eq!(engine.stats().epoch, 0, "a cancelled window publishes no snapshot");
         assert_eq!(engine.identify(pred, None).unwrap().customers, before);
         assert_eq!(engine.pending_removals(), (0, 0), "tombstone was cancelled");
         assert_matches_fresh_rebuild(&engine, &cat, pred);
@@ -2429,7 +2958,7 @@ mod tests {
         let engine =
             ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.0, ..Default::default() });
         {
-            let view = engine.shared.view.read().unwrap();
+            let view = engine.shared.view.load_full();
             let grp = view.index.group(&pred).unwrap();
             assert_eq!(grp.rules.len(), 2, "club rule starts active");
         }
@@ -2443,7 +2972,7 @@ mod tests {
             .unwrap();
         assert_eq!(report.rebuilt_groups, 1, "vanished label must rebuild the group");
         {
-            let view = engine.shared.view.read().unwrap();
+            let view = engine.shared.view.load_full();
             let grp = view.index.group(&pred).unwrap();
             assert_eq!(grp.rules.len(), 1);
             assert_eq!(grp.inactive_rules, 1);
@@ -2491,12 +3020,13 @@ mod tests {
             ServeConfig { eta: 0.5, workers: 2, ..Default::default() },
         ));
         let before = engine.identify(pred, None).unwrap().customers;
-        // A thread panics while holding the cache lock — with a poisoning
-        // mutex every subsequent query would unwrap-panic and the pool
-        // would die thread by thread.
+        // A thread panics while holding the snapshot's cache lock — with
+        // a poisoning mutex every subsequent query would unwrap-panic
+        // and the pool would die thread by thread.
         let shared = engine.shared.clone();
         let t = std::thread::spawn(move || {
-            let _guard = shared.cache.lock();
+            let view = shared.view.load_full();
+            let _guard = view.cache.lock();
             panic!("worker panic while holding the cache lock");
         });
         assert!(t.join().is_err());
@@ -2531,8 +3061,9 @@ mod tests {
         );
         engine.identify(pred, None).unwrap(); // warm: fills the cache with all evaluated sites
         let cached_before = {
-            let cache = engine.shared.cache.lock();
-            cache.len()
+            let view = engine.shared.view.load_full();
+            let n = view.cache.lock().len();
+            n
         };
         assert!(cached_before > 2);
         // Touch the isolated pair (28, 29): only that component's centers
@@ -2836,11 +3367,14 @@ mod tests {
         assert!(normal_rx.recv_timeout(Duration::from_secs(5)).is_ok());
     }
 
-    /// Graceful degradation: while an updater holds the view write lock,
-    /// a request that opts into bounded staleness is answered from the
-    /// warm ledger (stamped `stale`, pre-update epoch) without blocking,
-    /// while requests with no staleness budget — or one already exhausted
-    /// — wait for the writer as before.
+    /// Staleness semantics over snapshots: while accepted updates are
+    /// still unpublished, a request that opts into bounded staleness is
+    /// answered from the current snapshot immediately (stamped `stale`,
+    /// the epoch it reflects); a zero bound waits for the frontier to
+    /// settle; and a request with no opt-in is served the published
+    /// snapshot immediately, never stamped — a strict superset of the
+    /// old blocking behavior (every answer the lock-based engine could
+    /// return is still returned, only the mandatory wait is gone).
     #[test]
     fn stale_reads_during_repair_are_bounded_and_stamped() {
         let (g, cat, pred) = scenario();
@@ -2852,11 +3386,10 @@ mod tests {
         assert_eq!((fresh.epoch, fresh.stale), (0, false));
         let live = fresh.customers;
 
-        // Simulate an in-flight update: hold the view write lock exactly
-        // as `apply_update` does during repair, with `stale_since` marking
-        // when the ledger stopped reflecting the live graph.
-        let guard = engine.shared.view.write().unwrap();
-        *engine.shared.stale_since.lock() = Some(std::time::Instant::now());
+        // Simulate an accepted-but-unpublished update: exactly the state
+        // the pipeline is in between `submit_update_from` accepting a
+        // batch and its generation's publish.
+        engine.shared.clock.submit();
 
         let stale = engine
             .identify_opts(
@@ -2864,21 +3397,20 @@ mod tests {
                 None,
                 QueryOpts { staleness: Some(Duration::from_secs(5)), ..Default::default() },
             )
-            .expect("stale-tolerant read answers during the write");
+            .expect("stale-tolerant read answers during the publish lag");
         assert!(stale.stale, "answer must be marked stale");
         assert_eq!(stale.epoch, 0, "stamped with the epoch it reflects");
-        assert_eq!(stale.customers, live, "ledger answer equals the pre-update truth");
+        assert_eq!(stale.customers, live, "snapshot answer equals the pre-update truth");
         assert!(engine.stats().stale_served >= 1);
 
-        // No staleness budget → blocks behind the writer.
-        let strict = engine
-            .submit_identify_from(
-                IdentifyRequest { predicate: pred, candidates: None, opts: QueryOpts::default() },
-                Ts::now(),
-            )
-            .unwrap();
-        assert!(strict.recv_timeout(Duration::from_millis(100)).is_err(), "strict read waits");
-        // A zero budget is already exhausted → also blocks.
+        // No staleness opt-in → served from the published snapshot
+        // without waiting and without a stale stamp.
+        let strict = engine.identify(pred, None).unwrap();
+        assert_eq!((strict.epoch, strict.stale), (0, false));
+        assert_eq!(strict.customers, live);
+
+        // A zero bound insists on observing every accepted update →
+        // blocks until the frontier settles.
         let zero = engine
             .submit_identify_from(
                 IdentifyRequest {
@@ -2889,12 +3421,10 @@ mod tests {
                 Ts::now(),
             )
             .unwrap();
-        assert!(zero.recv_timeout(Duration::from_millis(100)).is_err());
-
-        *engine.shared.stale_since.lock() = None;
-        drop(guard);
-        assert!(strict.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
-        assert!(zero.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+        assert!(zero.recv_timeout(Duration::from_millis(100)).is_err(), "zero-bound read waits");
+        engine.shared.clock.settle(1);
+        let zero = zero.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert!(!zero.stale, "frontier settled: the answer is current");
 
         // A real update bumps the epoch; post-update answers are live.
         engine
@@ -2953,5 +3483,157 @@ mod tests {
         updater.join().expect("updater survives");
         assert_matches_fresh_rebuild(&engine, &cat, pred);
         assert_eq!(engine.stats().updates, 50);
+    }
+
+    fn wait_until(what: &str, mut f: impl FnMut() -> bool) {
+        for _ in 0..500 {
+            if f() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    /// A burst of updates queued behind a wedged writer merges into ONE
+    /// net generation: one snapshot publish, one epoch bump, every
+    /// submitter individually acknowledged, and the answers bit-equal to
+    /// applying the batches one by one.
+    #[test]
+    fn queued_burst_coalesces_into_one_generation() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let visit = vocab.get("visit").unwrap();
+        let engine =
+            ServeEngine::new(g.clone(), &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        engine.identify(pred, None).unwrap();
+        // Wedge the writer so the whole burst is already queued when the
+        // coalescing window opens.
+        assert!(engine
+            .updates
+            .push_with(UpdateJob::Stall(Duration::from_millis(200)), Priority::Normal)
+            .is_ok());
+        let edges = [(26u32, 27u32), (28, 29), (30, 31)];
+        let rxs: Vec<_> = edges
+            .iter()
+            .map(|&(u, v)| {
+                engine
+                    .submit_update_from(
+                        GraphUpdate {
+                            new_edges: vec![(NodeId(u), NodeId(v), visit)],
+                            ..Default::default()
+                        },
+                        Ts::now(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for rx in rxs {
+            rx.recv_timeout(Duration::from_secs(10)).expect("reply").expect("applied");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.epoch, 1, "the burst published as a single generation");
+        assert_eq!(stats.snapshot_publishes, 1);
+        assert_eq!(stats.updates, edges.len() as u64, "every submission counted");
+        assert_eq!(stats.updates_coalesced, (edges.len() - 1) as u64);
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+
+        // Sequential application of the same batches answers identically.
+        let seq = ServeEngine::new(g, &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        for &(u, v) in &edges {
+            seq.apply_update(&GraphUpdate {
+                new_edges: vec![(NodeId(u), NodeId(v), visit)],
+                ..Default::default()
+            })
+            .unwrap();
+        }
+        assert_eq!(
+            engine.identify(pred, None).unwrap().customers,
+            seq.identify(pred, None).unwrap().customers
+        );
+    }
+
+    /// `stop()` drains the coalescing queue: an update still waiting
+    /// behind a wedged writer gets a typed [`UpdateError::Stopped`] (not
+    /// a dead channel), the staleness frontier settles, and later
+    /// submissions fail fast.
+    #[test]
+    fn stop_fails_queued_updates_with_typed_error() {
+        let (g, cat, _pred) = scenario();
+        let vocab = g.vocab().clone();
+        let cust = vocab.get("cust").unwrap();
+        let engine = ServeEngine::new(g, &cat, ServeConfig { eta: 0.5, ..Default::default() });
+        assert!(engine
+            .updates
+            .push_with(UpdateJob::Stall(Duration::from_millis(300)), Priority::Normal)
+            .is_ok());
+        let rx = engine
+            .submit_update_from(
+                GraphUpdate { new_nodes: vec![cust], ..Default::default() },
+                Ts::now(),
+            )
+            .unwrap();
+        engine.stop();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)).expect("drained, not dropped"),
+            Err(UpdateError::Stopped)
+        ));
+        assert!(!engine.shared.clock.has_pending(), "drained submissions settle the frontier");
+        assert!(matches!(
+            engine.submit_update_from(GraphUpdate::default(), Ts::now()),
+            Err(UpdateError::Stopped)
+        ));
+        assert_eq!(engine.stats().updates, 0, "nothing of the queued update was applied");
+    }
+
+    /// The writer folds the overlay back into a fresh CSR base by itself
+    /// once it crosses the configured pressure — in the id-stable form
+    /// while no nodes were removed (no remap published), and in the
+    /// remapping form once dead slots cross their own threshold, with
+    /// the remap retrievable through [`ServeEngine::remaps_since`].
+    #[test]
+    fn overlay_pressure_triggers_self_compaction() {
+        let (g, cat, pred) = scenario();
+        let vocab = g.vocab().clone();
+        let visit = vocab.get("visit").unwrap();
+
+        // Id-stable arm: any growth trips the threshold.
+        let engine = ServeEngine::new(
+            g.clone(),
+            &cat,
+            ServeConfig { eta: 0.5, compact_pressure: 0.0, ..Default::default() },
+        );
+        let before = engine.identify(pred, None).unwrap().customers;
+        engine
+            .apply_update(&GraphUpdate {
+                new_edges: vec![(NodeId(28), NodeId(29), visit)],
+                ..Default::default()
+            })
+            .unwrap();
+        wait_until("self-compaction to fold the overlay", || engine.pending_deltas() == (0, 0));
+        assert!(engine.stats().compactions >= 1);
+        assert!(engine.remaps_since(0).is_empty(), "id-stable fold publishes no remap");
+        let after = engine.identify(pred, None).unwrap();
+        assert!(after.customers.len() >= before.len());
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
+
+        // Remapping arm: one dead slot trips the dead-fraction threshold.
+        let engine = ServeEngine::new(
+            g,
+            &cat,
+            ServeConfig { eta: 0.5, compact_dead_fraction: 0.0, ..Default::default() },
+        );
+        engine.identify(pred, None).unwrap();
+        engine
+            .apply_update(&GraphUpdate { del_nodes: vec![NodeId(30)], ..Default::default() })
+            .unwrap();
+        wait_until("self-compaction to publish a remap", || !engine.remaps_since(0).is_empty());
+        let remaps = engine.remaps_since(0);
+        let (at_epoch, remap) = &remaps[0];
+        assert!(*at_epoch >= 2, "the remap generation follows the deletion generation");
+        assert_eq!(remap.get(NodeId(30)), None, "removed slot");
+        assert_eq!(remap.get(NodeId(31)), Some(NodeId(30)), "tail id re-densified");
+        assert_eq!(engine.pending_removals(), (0, 0));
+        assert_matches_fresh_rebuild(&engine, &cat, pred);
     }
 }

@@ -184,7 +184,11 @@ impl PredicateGroup {
 /// update introduces a previously-absent label.
 #[derive(Debug, Default, Clone)]
 pub struct CandidateIndex {
-    groups: Map<Predicate, PredicateGroup>,
+    // Groups are `Arc`-wrapped so cloning the index for the next
+    // copy-on-write snapshot costs one refcount bump per predicate;
+    // incremental maintenance unshares only the groups it actually
+    // touches (`Arc::make_mut`).
+    groups: Map<Predicate, Arc<PredicateGroup>>,
     dormant: Vec<Predicate>,
 }
 
@@ -211,7 +215,7 @@ impl CandidateIndex {
                 graph, catalog, pred, sketch_k, d_override, eval_opts, &node_hist, &edge_hist,
             ) {
                 Some(g) => {
-                    idx.groups.insert(*pred, g);
+                    idx.groups.insert(*pred, Arc::new(g));
                 }
                 None => idx.dormant.push(*pred),
             }
@@ -221,13 +225,14 @@ impl CandidateIndex {
 
     /// The group serving `pred`, if any rule pertains to it.
     pub fn group(&self, pred: &Predicate) -> Option<&PredicateGroup> {
-        self.groups.get(pred)
+        self.groups.get(pred).map(|g| g.as_ref())
     }
 
     /// Mutable access to the group serving `pred` (incremental
-    /// maintenance under the engine's update lock).
+    /// maintenance on the writer's private next-snapshot copy). Unshares
+    /// the group if a published snapshot still holds it.
     pub fn group_mut(&mut self, pred: &Predicate) -> Option<&mut PredicateGroup> {
-        self.groups.get_mut(pred)
+        self.groups.get_mut(pred).map(Arc::make_mut)
     }
 
     /// Number of predicate groups.
@@ -242,7 +247,7 @@ impl CandidateIndex {
 
     /// Iterator over the groups.
     pub fn groups(&self) -> impl Iterator<Item = &PredicateGroup> {
-        self.groups.values()
+        self.groups.values().map(|g| g.as_ref())
     }
 
     /// Predicates cataloged but currently unservable (every rule's label
@@ -255,7 +260,7 @@ impl CandidateIndex {
     /// [`NodeRemap`] (see [`PredicateGroup::remap_centers`]).
     pub fn remap_ids(&mut self, remap: &gpar_graph::NodeRemap) {
         for g in self.groups.values_mut() {
-            g.remap_centers(remap);
+            Arc::make_mut(g).remap_centers(remap);
         }
     }
 
@@ -287,7 +292,7 @@ impl CandidateIndex {
         match rebuilt {
             Some(g) => {
                 self.dormant.retain(|p| p != pred);
-                self.groups.insert(*pred, g);
+                self.groups.insert(*pred, Arc::new(g));
             }
             None => {
                 if self.groups.remove(pred).is_some() || !self.dormant.contains(pred) {

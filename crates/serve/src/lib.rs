@@ -21,18 +21,25 @@
 //!   antecedent's demand at `x` are pruned without search.
 //! * [`ServeEngine`] — a fixed worker pool servicing
 //!   [`identify`](ServeEngine::identify) /
-//!   [`top_rules`](ServeEngine::top_rules) requests concurrently, with a
-//!   shared LRU cache ([`cache::LruCache`]) of per-center d-ball
-//!   extractions so hot centers are never re-extracted — and **live
-//!   updates**: [`ServeEngine::apply_update`] applies an
-//!   insert/relabel/deletion batch ([`GraphUpdate`]) to a
-//!   [`gpar_graph::DeltaGraph`] overlay (edge tombstones + node removal
-//!   included), invalidating only the d-balls an update can reach on
-//!   either side of the mutation (the union-ball rule for non-monotone
-//!   deletions) and incrementally repairing index and warm state;
-//!   [`ServeEngine::compact`] folds the overlay back into CSR form,
-//!   returning a [`gpar_graph::NodeRemap`] when node removals
-//!   re-densified the id space.
+//!   [`top_rules`](ServeEngine::top_rules) requests concurrently over
+//!   **lock-free snapshots**: the whole serving view (graph overlay,
+//!   candidate index, histograms, warm ledgers, the LRU cache of
+//!   per-center d-ball extractions) is one immutable epoch-stamped
+//!   generation behind an atomic pointer. Readers load it with a single
+//!   atomic operation and never block — not on each other and not on
+//!   writers. **Live updates** ([`ServeEngine::apply_update`], a
+//!   [`GraphUpdate`] batch of inserts / relabels / deletions with edge
+//!   tombstones and node removal) flow through a dedicated writer
+//!   thread that **coalesces** each queued burst into one net batch
+//!   (delete + reinsert cancels, relabel chains collapse), builds the
+//!   successor generation off to the side — invalidating only the
+//!   d-balls a mutation can reach on either side of it (the union-ball
+//!   rule for non-monotone deletions) and incrementally repairing index
+//!   and warm state — then publishes it with one pointer swap.
+//!   [`ServeEngine::compact`] folds the overlay back into CSR form as a
+//!   generation of its own (the writer triggers the same fold by itself
+//!   under overlay pressure), publishing a [`gpar_graph::NodeRemap`]
+//!   when node removals re-densified the id space.
 //!
 //! The engine's answers are **exactly** those of a direct
 //! [`gpar_eip::identify`] run on the same (current) graph — the warm-up
