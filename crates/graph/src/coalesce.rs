@@ -215,6 +215,7 @@ impl Coalescer {
             self.open = Some(Segment::open(self.window_n0));
         }
         let n_pre = self.window_n0 + self.appended;
+        crate::check_id_capacity(n_pre, update.new_nodes.len())?;
         let n = n_pre + update.new_nodes.len();
         let window_removed = &self.removed;
         let removed_virtual = move |v: NodeId| g.is_removed(v) || window_removed.contains(&v);

@@ -85,6 +85,31 @@ pub enum UpdateInvalid {
     /// A relabel or new edge references a node that is removed — either
     /// before this batch or by this batch's own `del_nodes`.
     NodeRemoved(NodeId),
+    /// Appending this batch's `new_nodes` would overflow the `u32` node
+    /// id space (ids are dense, so capacity is `u32::MAX` live-or-dead
+    /// slots; the batch is rejected whole rather than truncating ids).
+    IdSpaceExhausted {
+        /// Current overlay node count (live + tombstoned slots).
+        have: usize,
+        /// Nodes the rejected batch tried to append.
+        adding: usize,
+    },
+}
+
+/// Maximum number of node id slots an overlay can address: ids are dense
+/// `u32`s, and `NodeId(u32::MAX)` is reserved as a sentinel by callers.
+pub const MAX_NODE_SLOTS: usize = u32::MAX as usize;
+
+/// Checks that appending `adding` nodes to an overlay holding `have`
+/// slots stays within the addressable id space. Shared by
+/// [`DeltaGraph::validate`] and the serving layer's batch admission so
+/// both reject at the same boundary; unit-testable without materializing
+/// a four-billion-node graph.
+pub fn check_id_capacity(have: usize, adding: usize) -> Result<(), UpdateInvalid> {
+    if have.checked_add(adding).is_none_or(|n| n > MAX_NODE_SLOTS) {
+        return Err(UpdateInvalid::IdSpaceExhausted { have, adding });
+    }
+    Ok(())
 }
 
 impl std::fmt::Display for UpdateInvalid {
@@ -95,6 +120,13 @@ impl std::fmt::Display for UpdateInvalid {
             }
             UpdateInvalid::NodeRemoved(v) => {
                 write!(f, "update references removed node {v}")
+            }
+            UpdateInvalid::IdSpaceExhausted { have, adding } => {
+                write!(
+                    f,
+                    "appending {adding} nodes to {have} existing id slots \
+                     would overflow the u32 node id space"
+                )
             }
         }
     }
@@ -300,6 +332,7 @@ impl DeltaGraph {
     /// reference removed nodes (pre-existing or removed by this batch).
     pub fn validate(&self, update: &GraphUpdate) -> Result<(), UpdateInvalid> {
         let n0 = GraphView::node_count(self);
+        check_id_capacity(n0, update.new_nodes.len())?;
         let n = n0 + update.new_nodes.len();
         for &w in &update.del_nodes {
             if w.index() >= n0 {
@@ -733,6 +766,28 @@ mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
     use crate::label::Vocab;
+
+    /// Id-space capacity at the exact `u32` boundary: the last slot is
+    /// grantable, one past it is a typed rejection (never a truncated
+    /// id), and the arithmetic itself cannot overflow `usize`.
+    #[test]
+    fn id_capacity_rejects_exactly_at_the_u32_boundary() {
+        assert_eq!(check_id_capacity(MAX_NODE_SLOTS - 1, 1), Ok(()));
+        assert_eq!(check_id_capacity(0, MAX_NODE_SLOTS), Ok(()));
+        assert_eq!(
+            check_id_capacity(MAX_NODE_SLOTS, 1),
+            Err(UpdateInvalid::IdSpaceExhausted { have: MAX_NODE_SLOTS, adding: 1 })
+        );
+        assert_eq!(
+            check_id_capacity(MAX_NODE_SLOTS - 1, 2),
+            Err(UpdateInvalid::IdSpaceExhausted { have: MAX_NODE_SLOTS - 1, adding: 2 })
+        );
+        // `have + adding` overflowing usize must reject, not wrap.
+        assert_eq!(
+            check_id_capacity(usize::MAX, 2),
+            Err(UpdateInvalid::IdSpaceExhausted { have: usize::MAX, adding: 2 })
+        );
+    }
 
     fn base() -> (Arc<Graph>, Vec<NodeId>, [Label; 4]) {
         let vocab = Vocab::new();

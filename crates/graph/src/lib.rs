@@ -44,7 +44,10 @@ pub mod visited;
 
 pub use builder::GraphBuilder;
 pub use coalesce::{CoalesceSummary, Coalescer};
-pub use delta::{AppliedUpdate, CompactedGraph, DeltaGraph, GraphUpdate, NodeRemap, UpdateInvalid};
+pub use delta::{
+    check_id_capacity, AppliedUpdate, CompactedGraph, DeltaGraph, GraphUpdate, NodeRemap,
+    UpdateInvalid, MAX_NODE_SLOTS,
+};
 pub use graph::{Edge, Graph, NodeId};
 pub use label::{Label, Vocab};
 pub use neighborhood::{

@@ -1,0 +1,265 @@
+//! Node-space sharding for the serving layer (the fragment construction
+//! of §4.2, promoted from mining rounds to long-lived serving shards).
+//!
+//! A [`ShardPlan`] splits the initial node id space into `n` contiguous
+//! ranges balanced by adjacency load, and computes each shard's **d-ball
+//! halo**: the nodes within undirected distance `d` of its owned range.
+//! By the data locality of subgraph isomorphism, a rule of radius ≤ d at
+//! center `v_x` only ever reads `G_d(v_x)`, so a shard that owns `v_x`
+//! and can read its halo answers for `v_x` exactly — and a `GraphUpdate`
+//! can only affect shard `i`'s answers if it touches `owned(i) ∪
+//! halo(i)` ([`ShardPlan::routes_to`]).
+//!
+//! Nodes appended after the plan was built (live updates) are owned
+//! round-robin by `id % n`, which keeps ownership a pure function of the
+//! id so every shard and the scatter front agree without coordination.
+
+use gpar_graph::{multi_source_distances, GraphView, NodeId};
+use std::sync::Arc;
+
+/// One shard's membership test: a pure function of the node id, shared
+/// (via the plan's range bounds) by every shard and the routing front.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// This shard's index in `0..shards`.
+    pub shard: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// Start id of each shard's initial range (`bounds[0] == 0`,
+    /// ascending); shard `i` owns `bounds[i]..bounds[i+1]` (the last
+    /// shard up to `initial_n`).
+    bounds: Arc<Vec<u32>>,
+    /// Node id space size when the plan was built; ids at or above this
+    /// are post-plan appends, owned by `id % shards`.
+    initial_n: u32,
+}
+
+impl ShardSpec {
+    /// The shard owning node `v`.
+    pub fn owner_of(&self, v: NodeId) -> usize {
+        if v.0 >= self.initial_n {
+            (v.0 as usize) % self.shards
+        } else {
+            // partition_point > 0 because bounds[0] == 0 <= v.0.
+            self.bounds.partition_point(|&b| b <= v.0) - 1
+        }
+    }
+
+    /// Whether this shard owns node `v`.
+    pub fn owns(&self, v: NodeId) -> bool {
+        self.owner_of(v) == self.shard
+    }
+}
+
+/// A full sharding of the node space: per-shard owned ranges, halos, and
+/// load diagnostics. Built once against the initial graph; ownership of
+/// later-appended ids is derived (`id % shards`), so the plan never needs
+/// rebuilding while serving.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Shard count.
+    pub shards: usize,
+    /// Halo radius the plan was built for (the max catalog radius).
+    pub d: u32,
+    /// Node id space size at build time.
+    pub initial_n: u32,
+    bounds: Arc<Vec<u32>>,
+    /// Per shard: nodes within distance `d` of the owned range but not
+    /// owned (sorted by id). These are the nodes the shard must be able
+    /// to read — but not answer for — to keep owned answers exact.
+    halos: Vec<Vec<NodeId>>,
+    /// Per shard: owned adjacency load (`Σ 1 + deg(v)` over owned live
+    /// nodes), the balance target.
+    loads: Vec<u64>,
+}
+
+impl ShardPlan {
+    /// Plans `shards` contiguous ranges over `g`'s id space, balanced by
+    /// undirected adjacency load, and extracts each range's radius-`d`
+    /// halo with one multi-source BFS per shard.
+    pub fn build<G: GraphView + ?Sized>(g: &G, d: u32, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let n = g.node_count();
+        // Load proxy per id slot: 1 + degree for live nodes, 1 for
+        // removed slots (they still occupy id space).
+        let mut slot_loads = vec![1u64; n];
+        for v in g.nodes() {
+            slot_loads[v.index()] = 1 + (g.out_view(v).len() + g.in_view(v).len()) as u64;
+        }
+        let ranges = crate::chunk_by_load(&slot_loads, shards);
+        let mut bounds = vec![0u32; shards];
+        let mut loads = vec![0u64; shards];
+        // `chunk_by_load` may produce fewer ranges than requested on tiny
+        // graphs; trailing shards then own empty ranges starting at `n`.
+        for i in 0..shards {
+            match ranges.get(i) {
+                Some(r) => {
+                    bounds[i] = r.start as u32;
+                    loads[i] = slot_loads[r.clone()].iter().sum();
+                }
+                None => bounds[i] = n as u32,
+            }
+        }
+        let halos = (0..shards)
+            .map(|i| {
+                let start = bounds[i];
+                let end = if i + 1 < shards { bounds[i + 1] } else { n as u32 };
+                let seeds: Vec<NodeId> = (start..end).map(NodeId).collect();
+                let mut halo: Vec<NodeId> = multi_source_distances(g, &seeds, d)
+                    .into_keys()
+                    .filter(|v| v.0 < start || v.0 >= end)
+                    .collect();
+                halo.sort_unstable();
+                halo
+            })
+            .collect();
+        Self { shards, d, initial_n: n as u32, bounds: Arc::new(bounds), halos, loads }
+    }
+
+    /// The shard owning node `v`.
+    pub fn owner_of(&self, v: NodeId) -> usize {
+        self.spec(0).owner_of(v)
+    }
+
+    /// The membership test for shard `i` (cheaply cloneable; shares the
+    /// plan's bounds).
+    pub fn spec(&self, shard: usize) -> ShardSpec {
+        debug_assert!(shard < self.shards);
+        ShardSpec {
+            shard,
+            shards: self.shards,
+            bounds: Arc::clone(&self.bounds),
+            initial_n: self.initial_n,
+        }
+    }
+
+    /// Shard `i`'s halo (sorted): in-range nodes within `d` of its owned
+    /// range that it does not own.
+    pub fn halo(&self, shard: usize) -> &[NodeId] {
+        &self.halos[shard]
+    }
+
+    /// Shard `i`'s owned adjacency load at build time (balance
+    /// diagnostic).
+    pub fn load(&self, shard: usize) -> u64 {
+        self.loads[shard]
+    }
+
+    /// Which shards an update touching `touched` can affect: shard `i`
+    /// iff some touched node is owned by `i` or lies in `i`'s halo.
+    /// Post-plan appends have no precomputed halo, so a batch touching
+    /// one conservatively routes to every shard.
+    pub fn routes_to(&self, touched: &[NodeId]) -> Vec<bool> {
+        let mut out = vec![false; self.shards];
+        for &t in touched {
+            if t.0 >= self.initial_n {
+                out.iter_mut().for_each(|b| *b = true);
+                return out;
+            }
+            out[self.owner_of(t)] = true;
+            for (i, halo) in self.halos.iter().enumerate() {
+                if halo.binary_search(&t).is_ok() {
+                    out[i] = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpar_graph::{GraphBuilder, Vocab};
+    use std::sync::Arc;
+
+    /// A path 0–1–2–…–9 (undirected reachability via alternating edge
+    /// directions doesn't matter: halos use undirected BFS).
+    fn path_graph(n: u32) -> Arc<gpar_graph::Graph> {
+        let vocab = Vocab::new();
+        let l = vocab.intern("v");
+        let e = vocab.intern("e");
+        let mut gb = GraphBuilder::new(vocab);
+        for _ in 0..n {
+            gb.add_node(l);
+        }
+        for i in 0..n - 1 {
+            gb.add_edge(NodeId(i), NodeId(i + 1), e);
+        }
+        Arc::new(gb.build())
+    }
+
+    #[test]
+    fn ownership_is_a_partition_of_the_id_space() {
+        let g = path_graph(10);
+        for shards in [1, 2, 3, 4, 8] {
+            let plan = ShardPlan::build(&*g, 1, shards);
+            for v in 0..10u32 {
+                let owner = plan.owner_of(NodeId(v));
+                assert!(owner < shards);
+                let owning: Vec<usize> =
+                    (0..shards).filter(|&i| plan.spec(i).owns(NodeId(v))).collect();
+                assert_eq!(owning, vec![owner], "exactly one shard owns {v}");
+            }
+            // Appended ids are owned round-robin.
+            for v in 10..30u32 {
+                assert_eq!(plan.owner_of(NodeId(v)), v as usize % shards);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_holds_exactly_the_unowned_nodes_within_d() {
+        let g = path_graph(10);
+        for shards in [2, 3, 4] {
+            for d in [1u32, 2, 3] {
+                let plan = ShardPlan::build(&*g, d, shards);
+                for i in 0..shards {
+                    let spec = plan.spec(i);
+                    let owned: Vec<NodeId> =
+                        (0..10u32).map(NodeId).filter(|&v| spec.owns(v)).collect();
+                    let dist = multi_source_distances(&*g, &owned, d);
+                    let mut expect: Vec<NodeId> =
+                        dist.into_keys().filter(|v| !spec.owns(*v)).collect();
+                    expect.sort_unstable();
+                    assert_eq!(plan.halo(i), &expect[..], "shard {i}/{shards} at d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updates_route_to_owner_and_halo_shards() {
+        let g = path_graph(10);
+        let plan = ShardPlan::build(&*g, 2, 2);
+        for v in 0..10u32 {
+            let routed = plan.routes_to(&[NodeId(v)]);
+            assert!(routed[plan.owner_of(NodeId(v))], "owner always routed");
+            for (i, &hit) in routed.iter().enumerate() {
+                let in_halo = plan.halo(i).binary_search(&NodeId(v)).is_ok();
+                assert_eq!(
+                    hit,
+                    plan.spec(i).owns(NodeId(v)) || in_halo,
+                    "shard {i} for node {v}"
+                );
+            }
+        }
+        // A post-plan append routes everywhere.
+        assert_eq!(plan.routes_to(&[NodeId(10)]), vec![true, true]);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_trailing_shards_empty() {
+        let g = path_graph(3);
+        let plan = ShardPlan::build(&*g, 1, 8);
+        let mut owners: Vec<usize> = (0..3u32).map(|v| plan.owner_of(NodeId(v))).collect();
+        owners.dedup();
+        assert!(owners.len() <= 3);
+        for i in 0..8 {
+            // Every owned set is disjoint and halos only name real nodes.
+            for &h in plan.halo(i) {
+                assert!(h.0 < 3);
+            }
+        }
+    }
+}

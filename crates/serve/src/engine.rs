@@ -126,12 +126,13 @@ use gpar_obs::{
     TraceKind, TraceRecorder, Ts,
 };
 use gpar_partition::{chunk_by_load, CenterSite};
-// The per-snapshot cache/state maps and the warm lock use the
-// parking_lot shim's non-poisoning mutex: a worker that panics mid-query
-// must not poison shared state and brick every subsequent query (the LRU
-// is consistent between operations, so recovery is always safe). The
-// update clock uses `std` sync primitives because it needs a `Condvar`.
-use parking_lot::Mutex;
+// The per-snapshot cache/state maps, the warm lock, and the update clock
+// use the parking_lot shim's non-poisoning primitives: a worker (or a
+// chaos failpoint in the write pipeline) that panics while holding a
+// lock must not poison shared state and brick every subsequent query —
+// each protected structure is consistent between operations, so recovery
+// is always safe.
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -191,6 +192,13 @@ pub struct ServeConfig {
     /// avoids them until dead slots dominate). Until then, an overlay
     /// with pending removals is left un-compacted.
     pub compact_dead_fraction: f64,
+    /// When set, this engine serves as one shard of a
+    /// [`crate::ShardedEngine`]: its candidate index, warm ledgers, and
+    /// repair work cover only the centers the spec owns. The graph
+    /// itself stays whole (every shard applies every update, so ids and
+    /// overlays agree across shards); only the *answer* state is
+    /// sharded. `None` (the default) serves the full center set.
+    pub owned: Option<gpar_partition::ShardSpec>,
 }
 
 impl Default for ServeConfig {
@@ -208,6 +216,7 @@ impl Default for ServeConfig {
             coalesce_max_batch: 64,
             compact_pressure: 0.5,
             compact_dead_fraction: 0.6,
+            owned: None,
         }
     }
 }
@@ -357,6 +366,55 @@ pub struct IdentifyResponse {
     pub stale: bool,
 }
 
+/// The sharded front's scatter primitive: one shard's per-predicate
+/// ledger surface, read from a single snapshot. Carries everything the
+/// merger needs to re-derive **global** statistics exactly — per-rule
+/// support counters to sum, plus this shard's per-rule member lists to
+/// union — because a shard's local η verdicts are meaningless on their
+/// own (confidence is a global ratio).
+#[derive(Debug, Clone)]
+pub struct ShardQuery {
+    /// The event `q(x, y)` to read the ledger surface for.
+    pub predicate: Predicate,
+    /// `None` reports every owned candidate's memberships; `Some`
+    /// restricts the member lists (but never the counters, which always
+    /// cover the shard's whole owned candidate set) to these centers.
+    pub candidates: Option<Vec<NodeId>>,
+    /// Deadline / staleness options (default: none).
+    pub opts: QueryOpts,
+}
+
+/// One shard's answer to a [`ShardQuery`].
+#[derive(Debug, Clone)]
+pub struct ShardAnswer {
+    /// The group's rules, in group order. Identical across shards (rule
+    /// activation depends only on the graph, which every shard shares),
+    /// so the merger aligns per-rule data positionally.
+    pub rules: Vec<Arc<Gpar>>,
+    /// Per rule: `(supp_r, supp_q_qbar, supp_q_ante)` over this shard's
+    /// owned candidates.
+    pub per_rule: Vec<(u64, u64, u64)>,
+    /// `supp(q)` over this shard's owned candidates.
+    pub supp_q: u64,
+    /// `supp(q̄)` over this shard's owned candidates.
+    pub supp_qbar: u64,
+    /// Per rule: the owned candidates in `Q(x, G_d(v_x))` (sorted;
+    /// restricted to `candidates` when given). The merger unions these
+    /// across shards for every rule that clears η *globally*.
+    pub q_members: Vec<Vec<NodeId>>,
+    /// Owned candidates evaluated / sketch-pruned in the ledger.
+    pub evaluated: usize,
+    /// See `evaluated`.
+    pub pruned: usize,
+    /// Whether this query performed the shard's predicate warm-up.
+    pub warmed: bool,
+    /// View epoch of the snapshot this surface reflects.
+    pub epoch: u64,
+    /// Whether the answer was served within a staleness bound while
+    /// updates were in flight on this shard.
+    pub stale: bool,
+}
+
 /// One rule with its serving-graph confidence, as returned by
 /// [`ServeEngine::top_rules`].
 #[derive(Debug, Clone)]
@@ -380,15 +438,17 @@ pub struct EngineStats {
     pub queries: u64,
     /// Predicate warm-ups performed.
     pub warmups: u64,
-    /// Update batches applied (each accepted input batch, before
-    /// coalescing).
+    /// Update batches accepted (each input batch, before coalescing —
+    /// including batches whose window netted to nothing).
     pub updates: u64,
     /// Snapshot generations published (net update generations +
     /// compactions); the current view epoch equals this count.
     pub snapshot_publishes: u64,
-    /// Input batches absorbed into an earlier batch's generation — the
-    /// write amplification the coalescer saved. The mean inputs-per-
-    /// publish ratio is `updates / (updates - updates_coalesced)`.
+    /// Accepted batches that did not publish a generation of their own:
+    /// absorbed into an earlier batch's window, netted to nothing, or
+    /// deduplicated away — the write amplification the coalescer saved.
+    /// Invariant: `updates_coalesced ==
+    /// updates - (snapshot_publishes - compactions)`.
     pub updates_coalesced: u64,
     /// Overlay compactions performed (explicit + self-triggered).
     pub compactions: u64,
@@ -417,6 +477,16 @@ pub enum UpdateError {
     /// either by an earlier batch or by this batch's own `del_nodes`.
     /// Nothing was applied.
     NodeRemoved(NodeId),
+    /// Appending this batch's `new_nodes` would overflow the `u32` node
+    /// id space (`have` existing id slots + `adding` appends >
+    /// `gpar_graph::MAX_NODE_SLOTS`). Rejected at batch admission —
+    /// nothing was applied, and no truncated ids were ever acked.
+    IdSpaceExhausted {
+        /// Id slots already allocated (live + tombstoned).
+        have: usize,
+        /// Nodes the rejected batch tried to append.
+        adding: usize,
+    },
     /// The update pipeline panicked while this batch's generation was
     /// being built (e.g. a chaos-injected fault). The generation was
     /// abandoned *before* the publish swap, so nothing this batch — or
@@ -436,6 +506,9 @@ impl From<UpdateInvalid> for UpdateError {
         match e {
             UpdateInvalid::NodeOutOfRange(v) => UpdateError::NodeOutOfRange(v),
             UpdateInvalid::NodeRemoved(v) => UpdateError::NodeRemoved(v),
+            UpdateInvalid::IdSpaceExhausted { have, adding } => {
+                UpdateError::IdSpaceExhausted { have, adding }
+            }
         }
     }
 }
@@ -448,6 +521,13 @@ impl std::fmt::Display for UpdateError {
             }
             UpdateError::NodeRemoved(v) => {
                 write!(f, "update references removed node {v}")
+            }
+            UpdateError::IdSpaceExhausted { have, adding } => {
+                write!(
+                    f,
+                    "appending {adding} nodes to {have} existing id slots \
+                     would overflow the u32 node id space"
+                )
             }
             UpdateError::Panicked => {
                 write!(f, "update generation panicked; nothing was published")
@@ -737,22 +817,22 @@ struct EngineView {
 /// bound.
 #[derive(Default)]
 struct UpdateClock {
-    pending: std::sync::Mutex<VecDeque<Instant>>,
-    settled_cv: std::sync::Condvar,
+    pending: Mutex<VecDeque<Instant>>,
+    settled_cv: Condvar,
 }
 
 impl UpdateClock {
     /// Records one accepted batch. Returns its accept instant.
     fn submit(&self) -> Instant {
         let now = Instant::now();
-        self.pending.lock().unwrap().push_back(now);
+        self.pending.lock().push_back(now);
         now
     }
 
     /// Retires the `k` oldest pending batches (published or failed) and
     /// wakes staleness waiters.
     fn settle(&self, k: usize) {
-        let mut q = self.pending.lock().unwrap();
+        let mut q = self.pending.lock();
         let n = k.min(q.len());
         q.drain(..n);
         drop(q);
@@ -761,12 +841,12 @@ impl UpdateClock {
 
     /// Whether any accepted batch is still unpublished.
     fn has_pending(&self) -> bool {
-        !self.pending.lock().unwrap().is_empty()
+        !self.pending.lock().is_empty()
     }
 
     /// Age of the oldest accepted-but-unpublished batch, if any.
     fn frontier_age(&self) -> Option<Duration> {
-        self.pending.lock().unwrap().front().map(Instant::elapsed)
+        self.pending.lock().front().map(Instant::elapsed)
     }
 
     /// Blocks until the publish lag is within `bound` (the oldest
@@ -774,7 +854,7 @@ impl UpdateClock {
     /// honouring the request deadline. The short timeout re-check guards
     /// against a missed wakeup and keeps the deadline responsive.
     fn wait_within(&self, bound: Duration, dl: Option<&Deadline>) -> Result<(), QueryError> {
-        let mut q = self.pending.lock().unwrap();
+        let mut q = self.pending.lock();
         loop {
             match q.front() {
                 None => return Ok(()),
@@ -782,7 +862,7 @@ impl UpdateClock {
                 Some(_) => {}
             }
             Deadline::check(dl)?;
-            let (guard, _) = self.settled_cv.wait_timeout(q, Duration::from_millis(20)).unwrap();
+            let (guard, _) = self.settled_cv.wait_for(q, Duration::from_millis(20));
             q = guard;
         }
     }
@@ -1174,6 +1254,76 @@ impl Shared {
         Ok(out)
     }
 
+    /// Reads this engine's per-predicate ledger surface for the sharded
+    /// front (see [`ShardQuery`]): warm the predicate if needed, then
+    /// report raw support counters plus per-rule membership lists from
+    /// one snapshot. Pure ledger reads — no per-query evaluation — so
+    /// the scatter cost is independent of candidate ball sizes.
+    fn shard_answer(
+        &self,
+        req: &ShardQuery,
+        caches: &mut WorkerCaches,
+        tb: &mut TraceBuilder,
+        dl: Option<&Deadline>,
+    ) -> Result<ShardAnswer, QueryError> {
+        let shard = caches.shard;
+        let stale = self.resolve_staleness(&req.opts, shard, dl)?;
+        let view = self.view.load_full();
+        let group = view.index.group(&req.predicate).ok_or(QueryError::UnknownPredicate)?;
+        Deadline::check(dl)?;
+        let warm_started = Ts::now();
+        let (state, warmed) = self.state(&view, group, shard);
+        if warmed {
+            tb.add(Stage::Warmup, warm_started.elapsed());
+        }
+        let _s = Span::enter(tb, Stage::LedgerRead);
+        let nrules = group.rules.len();
+        let mut q_members: Vec<Vec<NodeId>> = vec![Vec::new(); nrules];
+        let push_members = |rec: &CenterRecord, c: NodeId, q_members: &mut Vec<Vec<NodeId>>| {
+            for (r, members) in q_members.iter_mut().enumerate().take(nrules) {
+                if rec.q_member.get(r).copied().unwrap_or(false) {
+                    members.push(c);
+                }
+            }
+        };
+        match &req.candidates {
+            None => {
+                for (&c, rec) in state.outcomes.iter() {
+                    push_members(rec, c, &mut q_members);
+                }
+            }
+            Some(cands) => {
+                // Intersect with this shard's owned candidate set; ids
+                // owned elsewhere (or outside L entirely) contribute
+                // nothing here and are answered by their owner.
+                let mut cs: Vec<NodeId> = cands.to_vec();
+                cs.sort_unstable();
+                cs.dedup();
+                for c in cs {
+                    Deadline::check(dl)?;
+                    if let Some(rec) = state.outcomes.get(&c) {
+                        push_members(rec, c, &mut q_members);
+                    }
+                }
+            }
+        }
+        for v in &mut q_members {
+            v.sort_unstable();
+        }
+        Ok(ShardAnswer {
+            rules: group.rule_arcs.clone(),
+            per_rule: state.per_rule.clone(),
+            supp_q: state.supp_q,
+            supp_qbar: state.supp_qbar,
+            q_members,
+            evaluated: state.warm_evaluated,
+            pruned: state.warm_pruned,
+            warmed,
+            epoch: view.epoch,
+            stale,
+        })
+    }
+
     /// Absorbs one popped update batch plus everything else queued
     /// within the coalescing window, validating each against the
     /// published overlay via the [`Coalescer`] (a rejected batch answers
@@ -1248,8 +1398,13 @@ impl Shared {
             }));
             match pushed {
                 Ok(Ok(())) => {
+                    // `push` capacity-checked the append, so `base_n + i`
+                    // fits in `u32` — an overflowing batch was rejected
+                    // with `IdSpaceExhausted` before any id was acked.
                     let assigned = (before..coalescer.appended())
-                        .map(|i| NodeId((base_n + i) as u32))
+                        .map(|i| {
+                            NodeId(u32::try_from(base_n + i).expect("admission checked capacity"))
+                        })
                         .collect();
                     accepted.push(AcceptedUpdate { scheduled, assigned, reply });
                 }
@@ -1271,8 +1426,13 @@ impl Shared {
         let (net, summary) = coalescer.finish();
         if net.is_empty() {
             // The window cancelled out entirely (or held only no-ops):
-            // nothing to publish, no epoch bump, and — matching the
-            // no-op handling of a lone batch — nothing counted.
+            // nothing to publish, no epoch bump. Every accepted batch
+            // still counts as submitted-and-coalesced, keeping
+            // `updates_coalesced == updates - update publishes` exact.
+            let txn = self.obs.write_txn();
+            txn.add(0, Counter::Updates, accepted.len() as u64);
+            txn.add(0, Counter::UpdatesCoalesced, accepted.len() as u64);
+            drop(txn);
             for a in accepted {
                 let report = UpdateReport { assigned: a.assigned, ..Default::default() };
                 let _ = a.reply.send(Ok(report));
@@ -1293,9 +1453,13 @@ impl Shared {
         self.clock.settle(summary.updates);
         match built {
             // Every net batch deduplicated away against the live graph:
-            // same contract as an empty net window — acknowledge, count
-            // nothing, publish nothing.
+            // same contract as an empty net window — acknowledge,
+            // publish nothing, count the whole window as coalesced.
             Ok(None) => {
+                let txn = self.obs.write_txn();
+                txn.add(0, Counter::Updates, accepted.len() as u64);
+                txn.add(0, Counter::UpdatesCoalesced, accepted.len() as u64);
+                drop(txn);
                 for a in accepted {
                     let report = UpdateReport { assigned: a.assigned, ..Default::default() };
                     let _ = a.reply.send(Ok(report));
@@ -1305,11 +1469,14 @@ impl Shared {
                 let txn = self.obs.write_txn();
                 txn.add(0, Counter::Updates, accepted.len() as u64);
                 txn.incr(0, Counter::SnapshotPublishes);
-                txn.add(
-                    0,
-                    Counter::UpdatesCoalesced,
-                    summary.updates.saturating_sub(summary.segments) as u64,
-                );
+                // One publish for the whole window, however many net
+                // segments it split into: every accepted batch beyond the
+                // first was coalesced. Counting `accepted - 1` (not
+                // `- segments`) keeps `updates_coalesced ==
+                // updates - update publishes` exact, which is what the
+                // harness's `coalesce_ratio = 1 - publishes/submitted`
+                // reports.
+                txn.add(0, Counter::UpdatesCoalesced, (accepted.len() - 1) as u64);
                 txn.add(0, Counter::CacheInvalidations, report.evicted.len() as u64);
                 txn.add(0, Counter::UpdateReevaluated, report.reevaluated as u64);
                 txn.add(0, Counter::UpdateRebuiltGroups, report.rebuilt_groups as u64);
@@ -1486,6 +1653,11 @@ impl Shared {
                         }
                     }
                     for &c in &added {
+                        // Shard mode: another shard owns this center's
+                        // answers; it performs the same add on its copy.
+                        if self.cfg.owned.as_ref().is_some_and(|s| !s.owns(c)) {
+                            continue;
+                        }
                         if group.add_center(&graph, c) {
                             report.added_centers += 1;
                         }
@@ -1541,6 +1713,13 @@ impl Shared {
                     &node_hist,
                     &edge_hist,
                 ) {
+                    // A rebuilt group enumerated the full graph's
+                    // centers; restrict it to this shard's share again.
+                    if let Some(spec) = &self.cfg.owned {
+                        if let Some(g) = index.group_mut(&pred) {
+                            g.retain_centers(|c| spec.owns(c));
+                        }
+                    }
                     rebuilt.push(pred);
                 }
             }
@@ -1814,6 +1993,8 @@ struct AcceptedUpdate {
 enum Job {
     Identify(IdentifyRequest, Ts, Option<Deadline>, Sender<Result<IdentifyResponse, QueryError>>),
     TopRules(Predicate, usize, Ts, Option<Deadline>, Sender<Result<Vec<RuleInfo>, QueryError>>),
+    /// The sharded front's scatter primitive (a per-shard ledger read).
+    Shard(ShardQuery, Ts, Option<Deadline>, Sender<Result<ShardAnswer, QueryError>>),
     /// Test-only: a job whose evaluation panics, pinning that a panicking
     /// query neither kills the worker nor wedges the pool.
     #[cfg(test)]
@@ -1836,6 +2017,9 @@ impl Job {
             Job::TopRules(_, _, _, _, tx) => {
                 let _ = tx.send(Err(err));
             }
+            Job::Shard(_, _, _, tx) => {
+                let _ = tx.send(Err(err));
+            }
             #[cfg(test)]
             Job::Crash(tx) | Job::Sleep(_, tx) => {
                 let _ = tx.send(Err(err));
@@ -1848,6 +2032,7 @@ impl Job {
         match self {
             Job::Identify(req, ..) => Some(&req.predicate),
             Job::TopRules(pred, ..) => Some(pred),
+            Job::Shard(req, ..) => Some(&req.predicate),
             #[cfg(test)]
             Job::Crash(_) | Job::Sleep(..) => None,
         }
@@ -1870,13 +2055,19 @@ impl ServeEngine {
     /// Builds the index for `(graph, catalog)`, publishes the initial
     /// snapshot, and spawns the query pool plus the single writer.
     pub fn new(graph: Arc<Graph>, catalog: &RuleCatalog, cfg: ServeConfig) -> Self {
-        let index = CandidateIndex::build(
+        let mut index = CandidateIndex::build(
             &*graph,
             catalog,
             cfg.sketch_k,
             cfg.d,
             &MatchOpts::for_algorithm(cfg.algorithm),
         );
+        if let Some(spec) = &cfg.owned {
+            // Shard mode: groups are built against the whole graph (so
+            // activation signatures match every other shard exactly),
+            // then restricted to this shard's owned centers.
+            index.retain_centers(|c| spec.owns(c));
+        }
         let node_hist = graph.node_label_histogram();
         let edge_hist = graph.edge_label_histogram();
         let workers = cfg.workers.max(1);
@@ -2039,6 +2230,28 @@ impl ServeEngine {
         let dl = Deadline::arm(&opts, scheduled);
         self.submit(Job::TopRules(predicate, k, scheduled, dl, tx))?;
         Ok(rx)
+    }
+
+    /// Submits a per-shard ledger read without blocking — the
+    /// [`crate::ShardedEngine`] front's scatter primitive, also usable
+    /// standalone to read a predicate's exact support surface. Rides the
+    /// same worker pool, admission control, and priority lanes as
+    /// `identify`.
+    pub fn submit_shard_query_from(
+        &self,
+        req: ShardQuery,
+        scheduled: Ts,
+    ) -> Result<Receiver<Result<ShardAnswer, QueryError>>, QueryError> {
+        let (tx, rx) = channel();
+        let dl = Deadline::arm(&req.opts, scheduled);
+        self.submit(Job::Shard(req, scheduled, dl, tx))?;
+        Ok(rx)
+    }
+
+    /// Blocking [`ServeEngine::submit_shard_query_from`].
+    pub fn shard_query(&self, req: ShardQuery) -> Result<ShardAnswer, QueryError> {
+        let rx = self.submit_shard_query_from(req, Ts::now())?;
+        rx.recv().map_err(|_| QueryError::ReplyLost)?
     }
 
     /// Applies one insert/relabel/deletion batch to the serving graph:
@@ -2328,6 +2541,24 @@ fn worker_loop(shared: Arc<Shared>, jobs: Arc<Injector<Job>>, shard: usize) {
                 shared.finish_trace(shard, tb, submitted.elapsed(), HistKind::TopRulesLatency);
                 let _ = reply.send(res);
             }
+            Job::Shard(req, submitted, dl, reply) => {
+                let mut tb = TraceBuilder::new(TraceKind::Identify);
+                tb.add(Stage::QueueWait, submitted.elapsed());
+                let res = Deadline::check(dl.as_ref())
+                    .and_then(|()| {
+                        run_contained(&mut caches, |c| {
+                            gpar_chaos::failpoint("serve::worker::job");
+                            shared.shard_answer(&req, c, &mut tb, dl.as_ref())
+                        })
+                    })
+                    .and_then(|ans| Deadline::check(dl.as_ref()).map(|()| ans));
+                if matches!(res, Err(QueryError::DeadlineExceeded { .. })) {
+                    shared.obs.incr(shard, Counter::DeadlineExceeded);
+                }
+                shared.drain_worker_counters(&mut caches);
+                shared.finish_trace(shard, tb, submitted.elapsed(), HistKind::ShardQueryLatency);
+                let _ = reply.send(res);
+            }
             #[cfg(test)]
             Job::Crash(reply) => {
                 let _ = reply
@@ -2525,6 +2756,28 @@ mod tests {
             gpar_pattern::NodeCond::Any,
         );
         assert_eq!(engine.identify(ghost, None).unwrap_err(), QueryError::UnknownPredicate);
+    }
+
+    /// A panic while holding the update clock's `pending` queue (e.g. a
+    /// chaos failpoint firing inside the write pipeline) must not poison
+    /// the clock: staleness-bounded reads keep working afterwards.
+    #[test]
+    fn update_clock_survives_panic_while_held() {
+        let clock = Arc::new(UpdateClock::default());
+        let c2 = Arc::clone(&clock);
+        let t = std::thread::spawn(move || {
+            let _held = c2.pending.lock();
+            panic!("failpoint fired while holding the clock");
+        });
+        assert!(t.join().is_err());
+
+        // Submit + settle + bounded wait all still function.
+        clock.submit();
+        assert!(clock.has_pending());
+        assert!(clock.frontier_age().is_some());
+        clock.settle(1);
+        assert!(!clock.has_pending());
+        clock.wait_within(Duration::from_millis(1), None).expect("empty clock is within any bound");
     }
 
     #[test]
@@ -2750,8 +3003,11 @@ mod tests {
         assert!(report.touched.is_empty());
         assert!(report.evicted.is_empty());
         assert_eq!(report.reevaluated, 0);
-        assert_eq!(engine.stats().updates, 0, "no-op batches are not counted");
-        assert_eq!(engine.stats().cache.invalidations, filled.invalidations);
+        let stats = engine.stats();
+        assert_eq!(stats.updates, 1, "accepted batches count even when deduplicated away");
+        assert_eq!(stats.snapshot_publishes, 0, "nothing published");
+        assert_eq!(stats.updates_coalesced, 1, "a no-publish batch is fully coalesced");
+        assert_eq!(stats.cache.invalidations, filled.invalidations);
     }
 
     #[test]
@@ -2799,7 +3055,14 @@ mod tests {
         assert_eq!(report.removed_edges, 0, "delete+reinsert cancels before applying");
         assert_eq!(report.added_edges, 0);
         assert!(report.touched.is_empty());
-        assert_eq!(engine.stats().epoch, 0, "a cancelled window publishes no snapshot");
+        let stats = engine.stats();
+        assert_eq!(stats.epoch, 0, "a cancelled window publishes no snapshot");
+        // Netted-to-nothing windows still count their accepted batches,
+        // keeping `coalesced == updates - update publishes` exact (the
+        // harness's `coalesce_ratio = 1 - publishes/submitted`).
+        assert_eq!(stats.updates, 1);
+        assert_eq!(stats.snapshot_publishes, 0);
+        assert_eq!(stats.updates_coalesced, 1, "the cancelled batch is fully coalesced");
         assert_eq!(engine.identify(pred, None).unwrap().customers, before);
         assert_eq!(engine.pending_removals(), (0, 0), "tombstone was cancelled");
         assert_matches_fresh_rebuild(&engine, &cat, pred);

@@ -165,6 +165,19 @@ impl PredicateGroup {
         }
     }
 
+    /// Drops every center failing `keep`, keeping the sketch column
+    /// aligned. The sharded engine uses this to restrict a group (built
+    /// or rebuilt against the full graph) to the shard's owned centers.
+    pub fn retain_centers(&mut self, mut keep: impl FnMut(NodeId) -> bool) {
+        let mask: Vec<bool> = self.centers.iter().map(|&c| keep(c)).collect();
+        let mut it = mask.iter();
+        self.centers.retain(|_| *it.next().expect("mask aligned"));
+        if let Some(sk) = &mut self.center_sketches {
+            let mut it = mask.iter();
+            sk.retain(|_| *it.next().expect("mask aligned"));
+        }
+    }
+
     /// Translates the center list through a compaction [`NodeRemap`]. All
     /// centers must survive (removed nodes are retired from every group
     /// when the removal batch is applied, before any compaction), and the
@@ -254,6 +267,15 @@ impl CandidateIndex {
     /// signature is unsatisfiable in the graph).
     pub fn dormant(&self) -> &[Predicate] {
         &self.dormant
+    }
+
+    /// Restricts every group to the centers passing `keep` (see
+    /// [`PredicateGroup::retain_centers`]) — the sharded engine's
+    /// owned-center filter.
+    pub fn retain_centers(&mut self, mut keep: impl FnMut(NodeId) -> bool) {
+        for g in self.groups.values_mut() {
+            Arc::make_mut(g).retain_centers(&mut keep);
+        }
     }
 
     /// Translates every group's center list through a compaction

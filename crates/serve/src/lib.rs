@@ -87,14 +87,16 @@ pub mod cache;
 pub mod catalog;
 pub mod engine;
 pub mod index;
+pub mod shard;
 
 pub use cache::{CacheStats, LruCache};
 pub use catalog::{CatalogEntry, CatalogError, RuleCatalog, CATALOG_FORMAT_VERSION, CATALOG_MAGIC};
 pub use engine::{
     EngineStats, IdentifyRequest, IdentifyResponse, QueryError, QueryOpts, RuleInfo, ServeConfig,
-    ServeEngine, UpdateError, UpdateReport,
+    ServeEngine, ShardAnswer, ShardQuery, UpdateError, UpdateReport,
 };
 pub use gpar_graph::GraphUpdate;
+pub use shard::ShardedEngine;
 // Observability vocabulary, re-exported so engine consumers (the load
 // harness, dashboards) need not depend on gpar-obs directly.
 pub use gpar_obs::{

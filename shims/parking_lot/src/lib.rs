@@ -1,11 +1,13 @@
-//! Offline shim for `parking_lot`: poison-free `RwLock`/`Mutex` facades
-//! over `std::sync`. Poisoning is converted to a panic propagation (a
-//! poisoned lock means a writer already panicked), which matches how the
-//! workspace uses the real crate. See `shims/README.md`.
+//! Offline shim for `parking_lot`: poison-free `RwLock`/`Mutex`/`Condvar`
+//! facades over `std::sync`. Poisoning is converted to a panic propagation
+//! (a poisoned lock means a writer already panicked), which matches how
+//! the workspace uses the real crate. See `shims/README.md`.
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
 };
+use std::time::Duration;
 
 /// A reader-writer lock with `parking_lot`'s panic-on-poison API.
 #[derive(Default, Debug)]
@@ -72,6 +74,72 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Result of a timed condition-variable wait, mirroring
+/// `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (as opposed to a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable with a poison-free API.
+///
+/// Works with guards handed out by the shim [`Mutex`] (plain
+/// `std::sync::MutexGuard`s). Unlike `std`, waking up on a mutex whose
+/// previous owner panicked mid-critical-section hands the guard back
+/// instead of surfacing a `PoisonError`, so one panicked writer cannot
+/// wedge every later waiter.
+///
+/// API note: the real `parking_lot` re-acquires into the same guard via
+/// `&mut MutexGuard`; over `std` primitives that shape cannot be written
+/// without `unsafe`, so the shim uses ownership-passing waits (`wait`
+/// consumes the guard and returns the re-acquired one).
+#[derive(Default, Debug)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Self { inner: StdCondvar::new() }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Blocks until notified; returns the re-acquired guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until notified or `timeout` elapses; returns the re-acquired
+    /// guard plus whether the wait timed out.
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let (guard, res) =
+            self.inner.wait_timeout(guard, timeout).unwrap_or_else(|e| e.into_inner());
+        (guard, WaitTimeoutResult { timed_out: res.timed_out() })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +161,46 @@ mod tests {
         let m = Mutex::new(vec![1, 2]);
         m.lock().push(3);
         assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_timed_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            *p2.0.lock() = true;
+            p2.1.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        let mut timed_out = false;
+        while !*ready && !timed_out {
+            let (g, res) = cv.wait_for(ready, Duration::from_secs(5));
+            ready = g;
+            timed_out = res.timed_out();
+        }
+        assert!(*ready, "waiter must observe the flag, not time out");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_survives_panic_while_mutex_held() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        // Poison the mutex by panicking while holding it.
+        let poisoner = std::thread::spawn(move || {
+            let _g = p2.0.lock();
+            panic!("boom while holding the lock");
+        });
+        assert!(poisoner.join().is_err());
+        // Both the lock and a timed wait must still work.
+        let (lock, cv) = &*pair;
+        let mut g = lock.lock();
+        *g = 7;
+        let (g, res) = cv.wait_for(g, Duration::from_millis(1));
+        assert!(res.timed_out());
+        assert_eq!(*g, 7);
     }
 }
