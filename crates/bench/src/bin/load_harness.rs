@@ -87,6 +87,8 @@ fn unit(rng: &mut impl RngCore) -> f64 {
 fn wait_until(deadline: Instant, stop: Option<&AtomicBool>) {
     loop {
         if let Some(s) = stop {
+            // ordering: Relaxed — `stop` is a lone cancellation flag; no
+            // data is published through it.
             if s.load(Ordering::Relaxed) {
                 return;
             }
@@ -289,10 +291,13 @@ fn run_phase(
             let mut replies = Vec::new();
             for i in 0u64.. {
                 let off = cfg.update_interval * (i as u32 + 1);
+                // ordering: Relaxed — cancellation flag only, see
+                // `wait_until`.
                 if off >= cfg.duration || stop.load(Ordering::Relaxed) {
                     break;
                 }
                 wait_until(epoch + off, Some(&stop));
+                // ordering: Relaxed — cancellation flag only.
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -382,6 +387,7 @@ fn run_phase(
                 _ => classes.failed += 1,
             }
         }
+        // ordering: Relaxed — the join below is the synchronization point.
         stop.store(true, Ordering::Relaxed);
         updates_applied = updater.join().expect("updater thread");
     });

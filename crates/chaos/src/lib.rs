@@ -75,9 +75,9 @@ impl ChaosTally {
 #[cfg(feature = "chaos")]
 mod armed {
     use super::{ChaosPlan, ChaosTally};
+    use parking_lot::Mutex;
     use std::collections::HashMap;
     use std::sync::atomic::AtomicBool;
-    use std::sync::Mutex;
 
     /// Fast-path flag: failpoints bail on one relaxed load when no plan
     /// is armed, so an enabled-but-idle build stays near-free.
@@ -136,12 +136,16 @@ pub fn arm(plan: ChaosPlan) {
     #[cfg(feature = "chaos")]
     {
         use std::sync::atomic::Ordering;
-        let mut state = armed::STATE.lock().expect("chaos state lock");
+        let mut state = armed::STATE.lock();
         *state = Some(armed::PlanState {
             plan,
             hits: std::collections::HashMap::new(),
             tally: ChaosTally::default(),
         });
+        // ordering: Release pairs with the Acquire in `is_armed` — a
+        // thread that observes the flag set also observes the plan write
+        // above. (Failpoint fast paths re-check under the state lock, so
+        // their Relaxed loads never act on a stale plan.)
         armed::ARMED.store(true, Ordering::Release);
     }
     #[cfg(not(feature = "chaos"))]
@@ -154,8 +158,11 @@ pub fn disarm() -> ChaosTally {
     #[cfg(feature = "chaos")]
     {
         use std::sync::atomic::Ordering;
+        // ordering: Release mirrors `arm`'s store; failpoints that still
+        // see the flag set race harmlessly into the lock below and find
+        // the plan gone.
         armed::ARMED.store(false, Ordering::Release);
-        let mut state = armed::STATE.lock().expect("chaos state lock");
+        let mut state = armed::STATE.lock();
         state.take().map(|s| s.tally).unwrap_or_default()
     }
     #[cfg(not(feature = "chaos"))]
@@ -166,6 +173,8 @@ pub fn disarm() -> ChaosTally {
 pub fn is_armed() -> bool {
     #[cfg(feature = "chaos")]
     {
+        // ordering: Acquire pairs with `arm`'s Release store so a caller
+        // that sees `true` also sees the armed plan.
         armed::ARMED.load(std::sync::atomic::Ordering::Acquire)
     }
     #[cfg(not(feature = "chaos"))]
@@ -176,7 +185,7 @@ pub fn is_armed() -> bool {
 pub fn tally() -> ChaosTally {
     #[cfg(feature = "chaos")]
     {
-        let state = armed::STATE.lock().expect("chaos state lock");
+        let state = armed::STATE.lock();
         state.as_ref().map(|s| s.tally).unwrap_or_default()
     }
     #[cfg(not(feature = "chaos"))]
@@ -186,10 +195,12 @@ pub fn tally() -> ChaosTally {
 #[cfg(feature = "chaos")]
 fn decide(site: &'static str, allow_panic: bool) -> Decision {
     use std::sync::atomic::Ordering;
+    // ordering: Relaxed is the disarmed fast path — no plan data is read
+    // on it, and an armed hit re-validates under the state lock below.
     if !armed::ARMED.load(Ordering::Relaxed) {
         return Decision::None;
     }
-    let mut guard = armed::STATE.lock().expect("chaos state lock");
+    let mut guard = armed::STATE.lock();
     let Some(state) = guard.as_mut() else {
         return Decision::None;
     };
@@ -214,10 +225,11 @@ fn decide(site: &'static str, allow_panic: bool) -> Decision {
 #[cfg(feature = "chaos")]
 fn class_roll(site: &'static str, salt: u64, pick_ppk: fn(&ChaosPlan) -> u32) -> bool {
     use std::sync::atomic::Ordering;
+    // ordering: Relaxed fast path, same contract as `decide`.
     if !armed::ARMED.load(Ordering::Relaxed) {
         return false;
     }
-    let mut guard = armed::STATE.lock().expect("chaos state lock");
+    let mut guard = armed::STATE.lock();
     let Some(state) = guard.as_mut() else {
         return false;
     };
@@ -268,7 +280,7 @@ pub fn should_reject_queue(site: &'static str) -> bool {
     {
         let fired = class_roll(site, 2, |p| p.queue_full_ppk);
         if fired {
-            if let Some(s) = armed::STATE.lock().expect("chaos state lock").as_mut() {
+            if let Some(s) = armed::STATE.lock().as_mut() {
                 s.tally.queue_fulls += 1;
             }
         }
@@ -289,7 +301,7 @@ pub fn should_poison_batch(site: &'static str) -> bool {
     {
         let fired = class_roll(site, 3, |p| p.poison_batch_ppk);
         if fired {
-            if let Some(s) = armed::STATE.lock().expect("chaos state lock").as_mut() {
+            if let Some(s) = armed::STATE.lock().as_mut() {
                 s.tally.poisoned_batches += 1;
             }
         }

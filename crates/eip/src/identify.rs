@@ -9,7 +9,7 @@ use gpar_graph::{FxHashSet, GraphView, NodeId};
 use gpar_partition::{build_sites, chunk_by_load, PartitionStrategy};
 use gpar_pattern::NodeCond;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Site-chunk granules per worker (the task unit of the work-stealing
 /// executor). EIP runs exactly one task per chunk — the whole Σ is
@@ -140,7 +140,7 @@ pub fn identify<G: GraphView + ?Sized>(
     sigma: &[Gpar],
     config: &EipConfig,
 ) -> Result<EipResult, EipError> {
-    let start = Instant::now();
+    let start = gpar_obs::Ts::monotonic_now();
     let cpu0 = gpar_graph::thread_cpu_time();
     let first = sigma.first().ok_or(EipError::EmptySigma)?;
     if sigma.iter().any(|r| !r.same_predicate(first)) {
@@ -245,6 +245,8 @@ pub fn identify<G: GraphView + ?Sized>(
             };
             let confidence = stats.conf();
             if confidence.at_least(config.eta) {
+                // det: set-into-set union — element order cannot leak
+                // into the (unordered) customers set.
                 customers.extend(q_matches.iter().copied());
             }
             RuleOutcome { stats, confidence, q_matches, pr_matches }

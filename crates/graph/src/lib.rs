@@ -72,7 +72,7 @@ pub type FxHashSet<K> = rustc_hash::FxHashSet<K>;
 /// DESIGN.md "Substitutions") meaningless.
 pub fn thread_cpu_time() -> std::time::Duration {
     let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
-    // Safety: clock_gettime writes into the provided timespec.
+    // SAFETY: clock_gettime writes into the provided timespec.
     unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
     std::time::Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
 }

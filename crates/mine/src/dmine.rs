@@ -12,7 +12,7 @@ use gpar_partition::{build_sites, chunk_by_load, PartitionStrategy};
 use gpar_pattern::{are_isomorphic, bisimilar, CanonicalCode};
 use std::ops::Range;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Finest site-chunk granularity, per worker, a phase may use. More
 /// granules than workers is what lets stealing even out per-site cost
@@ -262,7 +262,7 @@ impl DMine {
     /// Mines diversified top-k GPARs for `pred` over `g`.
     pub fn run(&self, g: &Graph, pred: &Predicate) -> MineResult {
         let cfg = &self.config;
-        let t_run = Instant::now();
+        let t_run = gpar_obs::Ts::monotonic_now();
         // Trivial case 1: q(x, y) names no one in G (§3 Remark).
         let qs = q_stats(g, pred);
         if qs.supp_q() == 0 {

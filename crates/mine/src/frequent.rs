@@ -166,6 +166,7 @@ impl FsgMiner {
                 }
             });
         }
+        // det: hash order is erased by the sort on the next line.
         let mut sorted: Vec<T> = templates.into_iter().collect();
         sorted.sort();
         sorted

@@ -95,6 +95,7 @@ impl MineTaskCtx {
             let m = self.matcher(g);
             match_capped |= templates_at(rule, &m, g, cs.site.center, self.match_cap, &mut set);
         }
+        // det: hash order is erased by the sort on the next line.
         let mut templates: Vec<ExtTemplate> = set.into_iter().collect();
         templates.sort_unstable();
         let dropped = templates.len().saturating_sub(self.ext_cap) as u64;

@@ -1,0 +1,8 @@
+//! Model-checking suites for the workspace's lock-free protocols live in
+//! `tests/` (see `tests/*.rs`); each suite runs a protocol under
+//! [`gpar_model`](../gpar_model/index.html)'s exhaustive scheduler and
+//! asserts its invariant over every explored interleaving. This library
+//! target is intentionally empty — the crate exists so `cargo test -p
+//! gpar-model-tests` has somewhere to hang the suites, with every
+//! protocol crate pulled in as a *dev*-dependency so the `model` feature
+//! never unifies into release builds.

@@ -1,0 +1,71 @@
+//! Model-checks the serve [`UpdateClock`]'s staleness-wait protocol: a
+//! reader parks in `wait_within` while the oldest accepted batch is too
+//! old, and the writer's `settle` must wake it.
+//!
+//! The invariants, asserted over **every** explored interleaving:
+//!
+//! * no missed wakeup — every schedule completes, including the one
+//!   where `settle` lands between the waiter's predicate check and its
+//!   park (the classic lost-notify window);
+//! * liveness comes from the condvar, not the 20ms re-check:
+//!   [`Report::timeout_rescues`] stays zero, i.e. no explored schedule
+//!   ever needed a timed wait to fire to make progress.
+//!
+//! [`UpdateClock`]: gpar_serve::clock::UpdateClock
+//! [`Report::timeout_rescues`]: gpar_model::Report
+
+use gpar_serve::clock::UpdateClock;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn settle_always_wakes_a_staleness_waiter() {
+    let report = gpar_model::model(|| {
+        let clock = Arc::new(UpdateClock::default());
+        clock.submit();
+
+        let settler = {
+            let clock = Arc::clone(&clock);
+            gpar_model::thread::spawn(move || clock.settle(1))
+        };
+
+        // `ZERO` bound: the pending batch is always too old, so this
+        // returns only once the settler has retired it.
+        clock.wait_within::<()>(Duration::ZERO, || Ok(())).expect("check never errors");
+        assert!(!clock.has_pending(), "wait returned with the frontier settled");
+        settler.join();
+    });
+    assert!(report.complete, "exploration exhausted the schedule space");
+    assert!(report.executions > 1, "racy protocol must have more than one schedule");
+    assert_eq!(
+        report.timeout_rescues, 0,
+        "the condvar, not the timeout re-check, provides liveness"
+    );
+}
+
+#[test]
+fn settle_wakes_every_waiter_not_just_one() {
+    let report = gpar_model::model(|| {
+        let clock = Arc::new(UpdateClock::default());
+        clock.submit();
+
+        let other = {
+            let clock = Arc::clone(&clock);
+            gpar_model::thread::spawn(move || {
+                clock.wait_within::<()>(Duration::ZERO, || Ok(())).expect("check never errors");
+            })
+        };
+        let settler = {
+            let clock = Arc::clone(&clock);
+            gpar_model::thread::spawn(move || clock.settle(1))
+        };
+
+        clock.wait_within::<()>(Duration::ZERO, || Ok(())).expect("check never errors");
+        other.join();
+        settler.join();
+        assert!(!clock.has_pending());
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1);
+    assert_eq!(report.timeout_rescues, 0, "notify_all reached both waiters in every schedule");
+}

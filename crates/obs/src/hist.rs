@@ -16,7 +16,7 @@
 //! associative and commutative, so the merged quantiles are independent
 //! of shard count and merge order (pinned by the tests below).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Sub-buckets per power of two (2^5): the resolution/size trade-off.
 const MANTISSA_BITS: u32 = 5;
@@ -87,8 +87,14 @@ impl LatencyHistogram {
         if cfg!(feature = "obs-off") {
             return;
         }
+        // ordering: Relaxed — each cell is an independent statistical
+        // accumulator; snapshots accept any interleaving of concurrent
+        // samples (a sample is whole per cell, and cross-cell skew only
+        // shifts which instant the snapshot represents).
         self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — same contract as the bucket cell above.
         self.sum.fetch_add(v, Ordering::Relaxed);
+        // ordering: Relaxed — same contract as the bucket cell above.
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -98,14 +104,21 @@ impl LatencyHistogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut counts = vec![0u64; NUM_BUCKETS];
         let mut count = 0u64;
+        // ordering: Relaxed — see `record`: buckets are independent
+        // accumulators, and the documented snapshot contract is "each
+        // sample fully visible later or not counted", not a cut at one
+        // global instant.
         for (dst, src) in counts.iter_mut().zip(self.counts.iter()) {
+            // ordering: Relaxed — see the accumulator contract above.
             *dst = src.load(Ordering::Relaxed);
             count += *dst;
         }
         HistogramSnapshot {
             counts,
             count,
+            // ordering: Relaxed — see the accumulator contract above.
             sum: self.sum.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the accumulator contract above.
             max: self.max.load(Ordering::Relaxed),
         }
     }

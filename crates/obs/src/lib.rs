@@ -37,6 +37,24 @@ pub mod hist;
 pub mod metrics;
 pub mod trace;
 
+/// Internal atomics/spin switch: `std` by default; under the `model`
+/// feature the registry's atomics and spin hints come from `gpar-model`,
+/// so the seqlock protocol runs under the deterministic model checker
+/// (and passes through to `std` outside model executions).
+pub(crate) mod sync {
+    #[cfg(feature = "model")]
+    pub(crate) use gpar_model::hint::spin_loop;
+    #[cfg(not(feature = "model"))]
+    pub(crate) use std::hint::spin_loop;
+
+    pub(crate) mod atomic {
+        #[cfg(feature = "model")]
+        pub(crate) use gpar_model::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+        #[cfg(not(feature = "model"))]
+        pub(crate) use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+    }
+}
+
 pub use hist::{HistogramSnapshot, LatencyHistogram, NUM_BUCKETS};
 pub use metrics::{Counter, Gauge, HistKind, MetricsRegistry, MetricsSnapshot, WriteTxn};
 pub use trace::{Span, Stage, Trace, TraceBuilder, TraceKind, TraceRecorder, Ts};

@@ -46,6 +46,19 @@ impl Ts {
         }
     }
 
+    /// The current monotonic instant, **live in every configuration**
+    /// (including `obs-off`, where [`Ts::now`] readings compile out).
+    /// This is the workspace's one blessed wall-clock entry point for
+    /// *scheduling decisions* — deadlines, coalescing windows, frontier
+    /// waits — which must keep working when measurement is compiled out.
+    /// The `cargo xtask lint` coordinated-omission rule forbids raw
+    /// `Instant::now()` outside this crate for exactly that reason.
+    #[inline]
+    #[must_use]
+    pub fn monotonic_now() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+
     /// The underlying monotonic instant, or `None` under `obs-off`
     /// (where `Ts` is zero-sized). Deadline enforcement anchors budgets
     /// here when timing is compiled in, and falls back to its own clock

@@ -237,11 +237,7 @@ mod tests {
             assert!(routed[plan.owner_of(NodeId(v))], "owner always routed");
             for (i, &hit) in routed.iter().enumerate() {
                 let in_halo = plan.halo(i).binary_search(&NodeId(v)).is_ok();
-                assert_eq!(
-                    hit,
-                    plan.spec(i).owns(NodeId(v)) || in_halo,
-                    "shard {i} for node {v}"
-                );
+                assert_eq!(hit, plan.spec(i).owns(NodeId(v)) || in_halo, "shard {i} for node {v}");
             }
         }
         // A post-plan append routes everywhere.

@@ -1,0 +1,160 @@
+//! The update frontier clock: staleness accounting for accepted-but-
+//! unpublished update batches.
+//!
+//! [`UpdateClock`] tracks updates accepted into the write pipeline but
+//! not yet settled (published or rejected), with each batch's accept
+//! instant. Staleness-bounded reads measure the published snapshot's lag
+//! as the age of the oldest pending batch and block in
+//! [`UpdateClock::wait_within`] until the writer catches up.
+//!
+//! The protocol is small but easy to get wrong — a settle that lands
+//! between a waiter's predicate check and its park must not be lost.
+//! It is public (rather than private to the engine) so the
+//! `gpar-model-tests` suite can drive it on the model checker's
+//! instrumented `Mutex`/`Condvar` and explore exactly that window.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Tracks updates accepted into the pipeline but not yet settled
+/// (published or rejected), with each batch's accept instant. Staleness-
+/// bounded reads measure the published snapshot's lag as the age of the
+/// oldest pending batch, and wait on the condvar when it exceeds their
+/// bound.
+#[derive(Default)]
+pub struct UpdateClock {
+    pending: Mutex<VecDeque<Instant>>,
+    settled_cv: Condvar,
+}
+
+impl UpdateClock {
+    /// Records one accepted batch. Returns its accept instant.
+    pub fn submit(&self) -> Instant {
+        let now = gpar_obs::Ts::monotonic_now();
+        self.pending.lock().push_back(now);
+        now
+    }
+
+    /// Retires the `k` oldest pending batches (published or failed) and
+    /// wakes staleness waiters.
+    pub fn settle(&self, k: usize) {
+        let mut q = self.pending.lock();
+        let n = k.min(q.len());
+        q.drain(..n);
+        drop(q);
+        self.settled_cv.notify_all();
+    }
+
+    /// Whether any accepted batch is still unpublished.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.lock().is_empty()
+    }
+
+    /// Age of the oldest accepted-but-unpublished batch, if any.
+    pub fn frontier_age(&self) -> Option<Duration> {
+        self.pending.lock().front().map(Instant::elapsed)
+    }
+
+    /// Blocks until the publish lag is within `bound` (the oldest
+    /// pending batch is younger than it, or nothing is pending). `check`
+    /// runs before every park and aborts the wait by returning `Err`
+    /// (the engine passes its request-deadline probe). The short timeout
+    /// re-check guards against a missed wakeup and keeps the deadline
+    /// responsive.
+    pub fn wait_within<E>(
+        &self,
+        bound: Duration,
+        mut check: impl FnMut() -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut q = self.pending.lock();
+        loop {
+            match q.front() {
+                None => return Ok(()),
+                Some(t) if t.elapsed() <= bound => return Ok(()),
+                Some(_) => {}
+            }
+            check()?;
+            let (guard, _) = self.settled_cv.wait_for(q, Duration::from_millis(20));
+            q = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_settle_roundtrip() {
+        let clock = UpdateClock::default();
+        assert!(!clock.has_pending());
+        assert!(clock.frontier_age().is_none());
+        clock.submit();
+        clock.submit();
+        assert!(clock.has_pending());
+        assert!(clock.frontier_age().is_some());
+        clock.settle(1);
+        assert!(clock.has_pending(), "one of two batches still pending");
+        clock.settle(10);
+        assert!(!clock.has_pending(), "over-settling is a no-op");
+    }
+
+    #[test]
+    fn wait_within_aborts_via_check() {
+        let clock = UpdateClock::default();
+        clock.submit();
+        std::thread::sleep(Duration::from_millis(5));
+        let mut polls = 0;
+        let out: Result<(), &str> = clock.wait_within(Duration::ZERO, || {
+            polls += 1;
+            if polls >= 2 {
+                Err("deadline")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(out, Err("deadline"), "check error propagates out of the wait");
+    }
+
+    /// A panic while holding the clock's `pending` queue (e.g. a chaos
+    /// failpoint firing inside the write pipeline) must not poison the
+    /// clock: staleness-bounded reads keep working afterwards.
+    #[test]
+    fn update_clock_survives_panic_while_held() {
+        let clock = std::sync::Arc::new(UpdateClock::default());
+        let c2 = std::sync::Arc::clone(&clock);
+        let t = std::thread::spawn(move || {
+            let _held = c2.pending.lock();
+            panic!("failpoint fired while holding the clock");
+        });
+        assert!(t.join().is_err());
+
+        // Submit + settle + bounded wait all still function.
+        clock.submit();
+        assert!(clock.has_pending());
+        assert!(clock.frontier_age().is_some());
+        clock.settle(1);
+        assert!(!clock.has_pending());
+        clock
+            .wait_within::<()>(Duration::from_millis(1), || Ok(()))
+            .expect("empty clock is within any bound");
+    }
+
+    #[test]
+    fn wait_within_returns_once_settled() {
+        let clock = std::sync::Arc::new(UpdateClock::default());
+        clock.submit();
+        std::thread::sleep(Duration::from_millis(5));
+        let settler = {
+            let clock = clock.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                clock.settle(1);
+            })
+        };
+        let out: Result<(), ()> = clock.wait_within(Duration::ZERO, || Ok(()));
+        assert_eq!(out, Ok(()), "settle wakes the staleness waiter");
+        settler.join().unwrap();
+    }
+}

@@ -112,6 +112,7 @@
 
 use crate::cache::{CacheStats, LruCache};
 use crate::catalog::RuleCatalog;
+use crate::clock::UpdateClock;
 use crate::index::{CandidateIndex, PredicateGroup};
 use arc_swap::ArcSwap;
 use gpar_core::{classify, ConfStats, Confidence, Gpar, LcwaClass, Predicate};
@@ -132,12 +133,11 @@ use gpar_partition::{chunk_by_load, CenterSite};
 // lock must not poison shared state and brick every subsequent query —
 // each protected structure is consistent between operations, so recovery
 // is always safe.
-use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use parking_lot::Mutex;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Warm-scan task granules per executor worker (same rationale as EIP's
 /// chunking: fine enough that stealing evens out per-site cost skew,
@@ -312,7 +312,7 @@ struct Deadline {
 impl Deadline {
     fn arm(opts: &QueryOpts, scheduled: Ts) -> Option<Deadline> {
         opts.deadline.map(|budget| Deadline {
-            started: scheduled.instant().unwrap_or_else(std::time::Instant::now),
+            started: scheduled.instant().unwrap_or_else(Ts::monotonic_now),
             budget,
         })
     }
@@ -810,64 +810,6 @@ struct EngineView {
     cache: Mutex<LruCache<(NodeId, u32), Arc<CenterSite>>>,
 }
 
-/// Tracks updates accepted into the pipeline but not yet settled
-/// (published or rejected), with each batch's accept instant. Staleness-
-/// bounded reads measure the published snapshot's lag as the age of the
-/// oldest pending batch, and wait on the condvar when it exceeds their
-/// bound.
-#[derive(Default)]
-struct UpdateClock {
-    pending: Mutex<VecDeque<Instant>>,
-    settled_cv: Condvar,
-}
-
-impl UpdateClock {
-    /// Records one accepted batch. Returns its accept instant.
-    fn submit(&self) -> Instant {
-        let now = Instant::now();
-        self.pending.lock().push_back(now);
-        now
-    }
-
-    /// Retires the `k` oldest pending batches (published or failed) and
-    /// wakes staleness waiters.
-    fn settle(&self, k: usize) {
-        let mut q = self.pending.lock();
-        let n = k.min(q.len());
-        q.drain(..n);
-        drop(q);
-        self.settled_cv.notify_all();
-    }
-
-    /// Whether any accepted batch is still unpublished.
-    fn has_pending(&self) -> bool {
-        !self.pending.lock().is_empty()
-    }
-
-    /// Age of the oldest accepted-but-unpublished batch, if any.
-    fn frontier_age(&self) -> Option<Duration> {
-        self.pending.lock().front().map(Instant::elapsed)
-    }
-
-    /// Blocks until the publish lag is within `bound` (the oldest
-    /// pending batch is younger than it, or nothing is pending),
-    /// honouring the request deadline. The short timeout re-check guards
-    /// against a missed wakeup and keeps the deadline responsive.
-    fn wait_within(&self, bound: Duration, dl: Option<&Deadline>) -> Result<(), QueryError> {
-        let mut q = self.pending.lock();
-        loop {
-            match q.front() {
-                None => return Ok(()),
-                Some(t) if t.elapsed() <= bound => return Ok(()),
-                Some(_) => {}
-            }
-            Deadline::check(dl)?;
-            let (guard, _) = self.settled_cv.wait_for(q, Duration::from_millis(20));
-            q = guard;
-        }
-    }
-}
-
 /// One warm-scan chunk's partial fold (merged in task-index order;
 /// commutative sums, so warm state is identical at any worker count).
 struct WarmPart {
@@ -1105,7 +1047,7 @@ impl Shared {
         let Some(bound) = opts.staleness else { return Ok(false) };
         let Some(age) = self.clock.frontier_age() else { return Ok(false) };
         if age > bound {
-            self.clock.wait_within(bound, dl)?;
+            self.clock.wait_within(bound, || Deadline::check(dl))?;
         }
         let stale = self.clock.has_pending();
         if stale {
@@ -1347,7 +1289,7 @@ impl Shared {
         let mut carry = None;
 
         let absorb_started = Ts::now();
-        let window_deadline = Instant::now() + self.cfg.coalesce_window;
+        let window_deadline = Ts::monotonic_now() + self.cfg.coalesce_window;
         let mut pending = Some((first, first_scheduled, first_reply));
         loop {
             let (update, scheduled, reply) = match pending.take() {
@@ -2756,28 +2698,6 @@ mod tests {
             gpar_pattern::NodeCond::Any,
         );
         assert_eq!(engine.identify(ghost, None).unwrap_err(), QueryError::UnknownPredicate);
-    }
-
-    /// A panic while holding the update clock's `pending` queue (e.g. a
-    /// chaos failpoint firing inside the write pipeline) must not poison
-    /// the clock: staleness-bounded reads keep working afterwards.
-    #[test]
-    fn update_clock_survives_panic_while_held() {
-        let clock = Arc::new(UpdateClock::default());
-        let c2 = Arc::clone(&clock);
-        let t = std::thread::spawn(move || {
-            let _held = c2.pending.lock();
-            panic!("failpoint fired while holding the clock");
-        });
-        assert!(t.join().is_err());
-
-        // Submit + settle + bounded wait all still function.
-        clock.submit();
-        assert!(clock.has_pending());
-        assert!(clock.frontier_age().is_some());
-        clock.settle(1);
-        assert!(!clock.has_pending());
-        clock.wait_within(Duration::from_millis(1), None).expect("empty clock is within any bound");
     }
 
     #[test]

@@ -85,6 +85,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod clock;
 pub mod engine;
 pub mod index;
 pub mod shard;

@@ -621,6 +621,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "latency recording is compiled out")]
     fn front_records_end_to_end_latency() {
         let (g, catalog, pred) = fixture(8, 3);
         let sharded = ShardedEngine::new(g, &catalog, cfg(), 2);

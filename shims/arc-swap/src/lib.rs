@@ -28,8 +28,15 @@
 //! `from_pointee`, `load_full`, `store`, `swap`.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+
+// With the `model` feature the cell's atomics come from gpar-model, so
+// the whole borrow/settlement protocol runs under the deterministic
+// model checker (and passes through to std outside model executions).
+#[cfg(feature = "model")]
+use gpar_model::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
+#[cfg(not(feature = "model"))]
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 
 const COUNT_SHIFT: u32 = 48;
 const PTR_MASK: u64 = (1 << COUNT_SHIFT) - 1;
@@ -61,9 +68,13 @@ pub struct ArcSwap<T> {
     _owns: PhantomData<Published<T>>,
 }
 
-// The cell shares `&T` across threads (readers clone the Arc) and moves
-// `Arc<T>` between them (swap), so it needs both bounds.
+// SAFETY: the cell shares `&T` across threads (readers clone the Arc)
+// and moves `Arc<T>` between them (swap), so `T: Send + Sync` gives
+// exactly the bounds `Arc<T>` itself would need for the same uses; the
+// raw pointer inside is only a packed representation of an owned box.
 unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+// SAFETY: see the `Send` impl above — `&ArcSwap<T>` only exposes
+// `Arc<T>` clones and atomic word operations.
 unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
 
 impl<T> ArcSwap<T> {
@@ -82,11 +93,16 @@ impl<T> ArcSwap<T> {
     /// finishing on the same word — never against a writer holding
     /// anything.
     pub fn load_full(&self) -> Arc<T> {
+        // ordering: Acquire — pairs with the displacing writer's AcqRel
+        // swap/settlement: a reader that observed this pointer also sees
+        // the pointee the writer published before installing it.
         let w = self.word.fetch_add(ONE_BORROW, Ordering::Acquire);
         debug_assert!(w >> COUNT_SHIFT < u16::MAX as u64, "borrow counter out of headroom");
         let p = (w & PTR_MASK) as *mut Published<T>;
-        // Safe: our registered borrow keeps the box allocated until we
-        // release it below.
+        // SAFETY: the fetch_add above registered a borrow on `p`
+        // atomically with reading it; a displacing writer settles that
+        // borrow into the box's ledger and the box is only freed at
+        // ledger zero, so `p` stays allocated until `release` below.
         let value = unsafe { (*p).value.clone() };
         self.release(p);
         value
@@ -94,6 +110,9 @@ impl<T> ArcSwap<T> {
 
     /// Retires one registered borrow on `p`.
     fn release(&self, p: *mut Published<T>) {
+        // ordering: Relaxed — this read only picks a release path; if it
+        // is stale the CAS below fails and reloads, and the slow path
+        // re-synchronizes through the ledger.
         let mut cur = self.word.load(Ordering::Relaxed);
         loop {
             if (cur & PTR_MASK) as *mut Published<T> != p {
@@ -101,13 +120,34 @@ impl<T> ArcSwap<T> {
                 // be) settled into its ledger; retire it there. The
                 // ledger stays positive until the displacing writer's
                 // settlement, so the zero crossing is unique.
+                //
+                // SAFETY: our borrow is still registered against `p`
+                // (we have not retired it yet), so the ledger cannot
+                // have reached zero and the box is still allocated.
+                //
+                // ordering: Release — orders our read of the pointee
+                // before the decrement, pairing with the Acquire fence
+                // at the zero crossing (here or in `swap`) so the free
+                // happens-after every borrower is done.
                 let v = unsafe { (*p).holds.fetch_sub(1, Ordering::Release) } - 1;
                 if v == 0 {
+                    // ordering: Acquire — pairs with every other
+                    // releaser's Release decrement before the box drops.
                     fence(Ordering::Acquire);
+                    // SAFETY: the ledger hit zero exactly once (it only
+                    // becomes reachable-zero after the displacing
+                    // writer's settlement), so we are the unique owner
+                    // of the box, and it was created by `Box::into_raw`
+                    // in `Published::install`.
                     drop(unsafe { Box::from_raw(p) });
                 }
                 return;
             }
+            // ordering: Release on success — orders this reader's use of
+            // the pointee before the borrow-count decrement that a
+            // subsequent writer's AcqRel swap observes (the fast path
+            // never frees, so no Acquire is needed here); Relaxed on
+            // failure — the retry only needs the fresh word value.
             match self.word.compare_exchange_weak(
                 cur,
                 cur - ONE_BORROW,
@@ -125,17 +165,36 @@ impl<T> ArcSwap<T> {
     /// the swap that displaced it.
     pub fn swap(&self, new: Arc<T>) -> Arc<T> {
         let fresh = Published::install(new);
+        // ordering: AcqRel — Release publishes the fresh pointee to
+        // readers' Acquire fetch_adds; Acquire makes the displaced
+        // generation's writes (and fast-path borrow retirements) visible
+        // to this writer before it touches the old box.
         let old_w = self.word.swap(fresh as u64, Ordering::AcqRel);
         let old = (old_w & PTR_MASK) as *mut Published<T>;
         let borrows = (old_w >> COUNT_SHIFT) as i64;
-        // The ledger is still ≥ BIAS - borrows > 0, so the box is alive.
+        // SAFETY: the ledger is still ≥ BIAS - borrows > 0 (BIAS dwarfs
+        // the 16-bit packed counter), so no release path can have freed
+        // the box before our settlement below.
         let value = unsafe { (*old).value.clone() };
         // Settle: after this, the ledger equals the number of slow-path
         // releases still owed; zero (now or at the last release) frees.
+        //
+        // SAFETY: same liveness argument as above — the box cannot be
+        // freed before this, the unique settlement that first makes a
+        // zero ledger reachable.
+        //
+        // ordering: AcqRel — Release orders our clone of the pointee
+        // before the settlement; Acquire pairs with slow-path releasers'
+        // Release decrements in case we take the zero crossing here.
         let v =
             unsafe { (*old).holds.fetch_add(borrows - BIAS, Ordering::AcqRel) } + borrows - BIAS;
         if v == 0 {
+            // ordering: Acquire — pairs with slow-path releasers'
+            // Release decrements before the box drops (belt-and-braces
+            // with the AcqRel settlement above).
             fence(Ordering::Acquire);
+            // SAFETY: unique zero crossing (see `release`); the box came
+            // from `Box::into_raw` in `Published::install`.
             drop(unsafe { Box::from_raw(old) });
         }
         value
@@ -153,6 +212,10 @@ impl<T> Drop for ArcSwap<T> {
         // was never displaced, so its ledger is untouched.
         let w = *self.word.get_mut();
         debug_assert_eq!(w >> COUNT_SHIFT, 0, "borrow leaked past release");
+        // SAFETY: exclusive access (`&mut self`) means no reader or
+        // writer can touch the word; the currently installed box was
+        // produced by `Box::into_raw` and never settled, so this is its
+        // unique owner.
         drop(unsafe { Box::from_raw((w & PTR_MASK) as *mut Published<T>) });
     }
 }

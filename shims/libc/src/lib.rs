@@ -32,6 +32,7 @@ mod tests {
     #[test]
     fn thread_cpu_clock_ticks() {
         let mut a = timespec::default();
+        // SAFETY: clock_gettime writes into the provided timespec.
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a) };
         assert_eq!(rc, 0);
         // Burn a little CPU, then read again: must not go backwards.
@@ -41,6 +42,7 @@ mod tests {
         }
         std::hint::black_box(x);
         let mut b = timespec::default();
+        // SAFETY: clock_gettime writes into the provided timespec.
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) };
         assert_eq!(rc, 0);
         assert!((b.tv_sec, b.tv_nsec) >= (a.tv_sec, a.tv_nsec));

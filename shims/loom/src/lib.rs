@@ -1,0 +1,111 @@
+//! # gpar-model
+//!
+//! A loom-style deterministic concurrency model checker, written against
+//! the same constraints as the other shims: offline, std-only, no
+//! external dependencies.
+//!
+//! ## What it does
+//!
+//! [`model`] (or a configured [`Builder`]) runs a test closure over
+//! **every** schedule of its threads, up to a configurable preemption
+//! bound — not a random sample of interleavings the way a stress test
+//! does. The closure spawns threads with [`thread::spawn`] and
+//! synchronizes through the instrumented primitives in [`sync`]
+//! (atomics, `Mutex`, `RwLock`, `Condvar`); every operation on them is a
+//! *scheduling point* where the checker may switch threads. A depth-first
+//! explorer enumerates the schedule tree: each execution replays a
+//! decision prefix deterministically, takes the next unexplored branch,
+//! and runs scheduler defaults to completion. Assertion failures,
+//! deadlocks (no runnable thread and no timed wait to rescue), and
+//! step-budget livelocks are reported with the full interleaving trace
+//! that produced them.
+//!
+//! The production crates thread these primitives in behind a `model`
+//! cargo feature (`shims/arc-swap`, `shims/parking_lot`, `crates/obs`),
+//! so `gpar-model-tests` exercises the *real* protocol code — the
+//! arc-swap borrow ledger, the metrics seqlock, the exec `Injector`, the
+//! serve `UpdateClock` — under exhaustive interleaving, while default
+//! builds compile none of this in.
+//!
+//! ## The model
+//!
+//! * Threads are real OS threads, but exactly **one** runs at a time; a
+//!   token handoff serializes them, which is what makes replay
+//!   deterministic.
+//! * Atomic operations execute with their requested orderings on real
+//!   atomics, but because execution is serialized, the explored semantics
+//!   are **sequentially consistent**. The checker therefore verifies
+//!   *protocol/atomicity* properties (lost updates, torn multi-word
+//!   transactions, use-after-free, missed wakeups, double-pops) over all
+//!   interleavings; it does not verify weak-memory ordering choices —
+//!   those are covered by the `cargo xtask lint` ordering-justification
+//!   rule and the best-effort Miri CI leg.
+//! * `compare_exchange_weak` never fails spuriously under the model
+//!   (spurious failure would make replay nondeterministic); the retry
+//!   loops around it are still explored under every interleaving.
+//! * Timed waits ([`sync::Condvar::wait_for`]) never time out while any
+//!   thread can still run. Only when the execution would otherwise
+//!   deadlock does the scheduler fire them (a *timeout rescue*), and the
+//!   [`Report`] counts how often that happened — a protocol whose
+//!   liveness silently leans on its timeout re-check shows up as a
+//!   non-zero [`Report::timeout_rescues`], which the model tests assert
+//!   to be zero.
+//! * Exploration is **preemption-bounded** (default: 2 forced
+//!   preemptions per schedule, the CHESS result — almost all concurrency
+//!   bugs need very few). Voluntary reschedules — blocking, finishing,
+//!   [`hint::spin_loop`], [`thread::yield_now`] — are free, so spin/retry
+//!   loops don't exhaust the bound. `preemption_bound(None)` makes the
+//!   search fully exhaustive.
+//!
+//! Outside an active execution every primitive passes straight through
+//! to `std` (one thread-local check), so crates built with the `model`
+//! feature still behave — and their regular test suites still pass —
+//! when nothing is being model-checked.
+//!
+//! ```
+//! use gpar_model::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! // A correct CAS increment: the final value is 2 under EVERY schedule.
+//! let report = gpar_model::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = gpar_model::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.complete && report.executions >= 2);
+//! ```
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{model, Builder, FailureKind, ModelFailure, Report};
+
+/// Spin-loop hint, instrumented: under an active model execution this is
+/// a **voluntary yield** — the scheduler must hand the token to another
+/// runnable thread if one exists (so a spin-wait cannot monopolize the
+/// schedule and livelock the search) — and costs no preemption budget.
+/// Outside an execution it is `std::hint::spin_loop`.
+pub mod hint {
+    /// See [module docs](self).
+    #[inline]
+    pub fn spin_loop() {
+        if crate::scheduler::is_active() {
+            crate::scheduler::yield_voluntary("hint.spin_loop");
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Whether the calling thread is currently inside a model execution.
+/// Shims use this to decide between instrumented and passthrough paths;
+/// exposed for tests and diagnostics.
+pub fn is_active() -> bool {
+    scheduler::is_active()
+}

@@ -1,0 +1,696 @@
+//! The deterministic explorer: one token, serialized threads, and a
+//! depth-first search over scheduling decisions.
+//!
+//! Every instrumented operation calls [`point`], which hands the step
+//! token back to the controller and parks the thread until it is
+//! rescheduled. The controller (the thread that called
+//! [`Builder::check`]) waits for the token, computes the runnable set,
+//! and consults the [`Explorer`] tape: within the replay prefix it takes
+//! the recorded choice, past it it records a new decision (default
+//! first) for later backtracking. Blocking (mutex contention, condvar
+//! waits, joins) parks a thread in a non-runnable state; the wake edges
+//! — unlock, notify, thread exit — flip parked threads back to runnable
+//! without themselves being decisions, so the decision tree stays as
+//! small as the protocol allows.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Where a parked thread is waiting, keyed by the owning primitive's
+/// address (unique for the primitive's lifetime; never compared across
+/// executions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Holds the step token right now.
+    Running,
+    /// Parked on a contended mutex.
+    BlockedMutex(usize),
+    /// Parked on a contended rwlock (`write` = wants exclusive).
+    BlockedRw { addr: usize, write: bool },
+    /// Parked in a condvar wait; `seq` orders FIFO wakeup, `timed` marks
+    /// a `wait_for` eligible for a timeout rescue.
+    CvWait { addr: usize, seq: u64, timed: bool },
+    /// Parked in `JoinHandle::join` on the given thread index.
+    BlockedJoin(usize),
+    /// Done (normally, by panic, or by abort drain).
+    Finished,
+}
+
+struct ThreadSlot {
+    status: Status,
+    /// Set when the thread's last condvar park was ended by a timeout
+    /// rescue rather than a notification.
+    woke_by_timeout: bool,
+    /// Set by a voluntary yield (`spin_loop`/`yield_now`): the next
+    /// decision must deprioritize this thread, and switching away from
+    /// it costs no preemption.
+    yielded: bool,
+}
+
+struct ExecState {
+    threads: Vec<ThreadSlot>,
+    /// `Some(i)`: thread `i` owns the step token. `None`: controller's
+    /// turn to schedule.
+    token: Option<usize>,
+    /// Set on the first failure (panic, deadlock, step budget); all
+    /// remaining threads are drained with [`AbortSentinel`] panics.
+    aborting: bool,
+    failure: Option<Box<dyn Any + Send>>,
+    failure_kind: Option<FailureKind>,
+    /// `(thread, op)` log of the execution, for failure reports.
+    trace: Vec<(usize, &'static str)>,
+    steps: usize,
+    max_steps: usize,
+    cv_seq: u64,
+    timeout_rescues: u64,
+    /// The thread the controller scheduled last (preemption accounting).
+    last_ran: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    m: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+/// Payload of the panic used to unwind surviving threads once an
+/// execution has failed; recognized (and swallowed) by the thread
+/// wrapper.
+struct AbortSentinel;
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Execution>,
+    idx: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn is_active() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// A scheduling point: record `op`, hand the token back, park until
+/// rescheduled. No-op outside an execution.
+pub(crate) fn point(op: &'static str) {
+    if let Some(c) = ctx() {
+        c.exec.park(c.idx, op, Status::Runnable, false);
+    }
+}
+
+/// A voluntary yield (spin hint / `yield_now`): like [`point`] but the
+/// scheduler must prefer another runnable thread, free of preemption
+/// cost.
+pub(crate) fn yield_voluntary(op: &'static str) {
+    if let Some(c) = ctx() {
+        c.exec.park(c.idx, op, Status::Runnable, true);
+    }
+}
+
+/// Parks the calling thread as blocked (`status`) until a wake edge
+/// makes it runnable and the scheduler picks it again.
+pub(crate) fn block_on(op: &'static str, status: Status) {
+    let c = ctx().expect("gpar-model: block_on outside an execution");
+    c.exec.park(c.idx, op, status, false);
+}
+
+/// Parks the calling thread in a condvar wait on `addr`. Returns `true`
+/// if the park ended by timeout rescue instead of a notification.
+pub(crate) fn cv_park(op: &'static str, addr: usize, timed: bool) -> bool {
+    let c = ctx().expect("gpar-model: cv_park outside an execution");
+    let seq = {
+        let mut s = c.exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        s.cv_seq += 1;
+        s.cv_seq
+    };
+    c.exec.park(c.idx, op, Status::CvWait { addr, seq, timed }, false);
+    let mut s = c.exec.m.lock().unwrap_or_else(|e| e.into_inner());
+    std::mem::take(&mut s.threads[c.idx].woke_by_timeout)
+}
+
+/// Wake edge: a mutex at `addr` was released — every thread parked on it
+/// becomes runnable (they re-contend; the scheduler picks the winner).
+pub(crate) fn on_mutex_release(addr: usize) {
+    if let Some(c) = ctx() {
+        let mut s = c.exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        for t in &mut s.threads {
+            if t.status == Status::BlockedMutex(addr) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+}
+
+/// Wake edge: an rwlock at `addr` changed state — every thread parked on
+/// it re-contends.
+pub(crate) fn on_rw_release(addr: usize) {
+    if let Some(c) = ctx() {
+        let mut s = c.exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        for t in &mut s.threads {
+            if matches!(t.status, Status::BlockedRw { addr: a, .. } if a == addr) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+}
+
+/// Wake edge: notify `n` waiters (in FIFO `seq` order) parked on the
+/// condvar at `addr`. A notification with no waiter is lost, exactly as
+/// in the real primitive.
+pub(crate) fn cv_notify(addr: usize, n: usize) {
+    let Some(c) = ctx() else { return };
+    let mut s = c.exec.m.lock().unwrap_or_else(|e| e.into_inner());
+    for _ in 0..n {
+        let next = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t.status {
+                Status::CvWait { addr: a, seq, .. } if a == addr => Some((seq, i)),
+                _ => None,
+            })
+            .min();
+        match next {
+            Some((_, i)) => {
+                s.threads[i].status = Status::Runnable;
+                s.threads[i].woke_by_timeout = false;
+            }
+            None => break,
+        }
+    }
+}
+
+/// Whether thread `target` has finished (for `join`).
+pub(crate) fn is_finished(target: usize) -> bool {
+    let c = ctx().expect("gpar-model: join outside an execution");
+    let s = c.exec.m.lock().unwrap_or_else(|e| e.into_inner());
+    s.threads[target].status == Status::Finished
+}
+
+/// Registers a new model thread running `f`, returning its index.
+pub(crate) fn spawn_thread(f: impl FnOnce() + Send + 'static) -> usize {
+    let c = ctx().expect("gpar-model: thread::spawn outside an execution");
+    point("thread.spawn");
+    let mut s = c.exec.m.lock().unwrap_or_else(|e| e.into_inner());
+    let idx = s.threads.len();
+    s.threads.push(ThreadSlot { status: Status::Runnable, woke_by_timeout: false, yielded: false });
+    let exec = Arc::clone(&c.exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("gpar-model-{idx}"))
+        .spawn(move || run_model_thread(exec, idx, f))
+        .expect("gpar-model: OS thread spawn failed");
+    s.handles.push(handle);
+    idx
+}
+
+impl Execution {
+    /// The universal park: record the op, publish `status`, release the
+    /// token, wait to be granted it again. Unwinds with
+    /// [`AbortSentinel`] if the execution is aborting.
+    fn park(&self, idx: usize, op: &'static str, status: Status, yielded: bool) {
+        let mut s = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        s.trace.push((idx, op));
+        s.steps += 1;
+        if s.steps > s.max_steps && !s.aborting {
+            s.aborting = true;
+            s.failure_kind = Some(FailureKind::StepBudget);
+        }
+        s.threads[idx].status = status;
+        s.threads[idx].yielded = yielded;
+        s.token = None;
+        self.cv.notify_all();
+        loop {
+            if s.token == Some(idx) {
+                break;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.aborting {
+            drop(s);
+            panic::panic_any(AbortSentinel);
+        }
+        s.threads[idx].status = Status::Running;
+    }
+}
+
+/// Body of every model OS thread: wait for the first grant, run the
+/// user closure under `catch_unwind`, record the outcome, release the
+/// token.
+fn run_model_thread(exec: Arc<Execution>, idx: usize, f: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec: Arc::clone(&exec), idx }));
+    // Initial grant (the spawn itself was the scheduling point).
+    {
+        let mut s = exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if s.token == Some(idx) {
+                break;
+            }
+            s = exec.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.aborting {
+            finish_thread(&exec, idx, &mut s);
+            CTX.with(|c| *c.borrow_mut() = None);
+            return;
+        }
+        s.threads[idx].status = Status::Running;
+    }
+    let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+    let mut s = exec.m.lock().unwrap_or_else(|e| e.into_inner());
+    match outcome {
+        Ok(()) => {}
+        Err(p) if p.is::<AbortSentinel>() => {}
+        Err(p) => {
+            if s.failure.is_none() {
+                s.failure = Some(p);
+                s.failure_kind = Some(FailureKind::Panic);
+            }
+            s.aborting = true;
+        }
+    }
+    finish_thread(&exec, idx, &mut s);
+    drop(s);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn finish_thread(exec: &Execution, idx: usize, s: &mut ExecState) {
+    s.threads[idx].status = Status::Finished;
+    // Wake joiners.
+    for t in &mut s.threads {
+        if t.status == Status::BlockedJoin(idx) {
+            t.status = Status::Runnable;
+        }
+    }
+    s.token = None;
+    exec.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// The DFS explorer.
+// ---------------------------------------------------------------------
+
+/// One recorded scheduling decision: the runnable candidates in
+/// exploration order (scheduler default first) and which of them the
+/// current execution is taking.
+struct Decision {
+    candidates: Vec<usize>,
+    /// Preemption cost of each candidate (parallel to `candidates`).
+    costs: Vec<u32>,
+    cursor: usize,
+}
+
+struct Explorer {
+    tape: Vec<Decision>,
+    depth: usize,
+    preemption_bound: Option<u32>,
+    used_preemptions: u32,
+    max_depth_seen: usize,
+}
+
+impl Explorer {
+    /// Picks the next thread among `runnable` (len >= 2), recording or
+    /// replaying a decision.
+    fn choose(&mut self, runnable: &[usize], last_ran: usize, last_yielded: bool) -> usize {
+        let has_last = runnable.contains(&last_ran);
+        let default = if has_last && !last_yielded {
+            last_ran
+        } else {
+            // Voluntary yield or the last thread is gone: round-robin to
+            // the next runnable index after it (deterministic, and fair
+            // enough that spin loops make progress).
+            *runnable.iter().find(|&&i| i > last_ran).unwrap_or(&runnable[0])
+        };
+        let cost = |cand: usize| -> u32 {
+            // Switching away from a thread that could have continued is a
+            // preemption — unless it volunteered the processor.
+            u32::from(cand != last_ran && has_last && !last_yielded)
+        };
+        let chosen = if self.depth < self.tape.len() {
+            let d = &self.tape[self.depth];
+            debug_assert_eq!(
+                d.candidates.first(),
+                Some(&default),
+                "gpar-model: nondeterministic test closure (schedule replay diverged)"
+            );
+            d.candidates[d.cursor]
+        } else {
+            let budget_left = self.preemption_bound.map(|b| b - self.used_preemptions.min(b));
+            let mut candidates = vec![default];
+            let mut costs = vec![cost(default)];
+            for &r in runnable {
+                if r == default {
+                    continue;
+                }
+                if budget_left.is_none_or(|left| cost(r) <= left) {
+                    candidates.push(r);
+                    costs.push(cost(r));
+                }
+            }
+            self.tape.push(Decision { candidates, costs, cursor: 0 });
+            self.tape[self.depth].candidates[0]
+        };
+        self.used_preemptions += self.tape[self.depth].costs[self.tape[self.depth].cursor];
+        self.depth += 1;
+        self.max_depth_seen = self.max_depth_seen.max(self.depth);
+        chosen
+    }
+
+    /// Rewinds to the deepest decision with an unexplored candidate.
+    /// Returns `false` when the whole tree has been explored.
+    fn advance(&mut self) -> bool {
+        while let Some(mut d) = self.tape.pop() {
+            if d.cursor + 1 < d.candidates.len() {
+                d.cursor += 1;
+                self.tape.push(d);
+                self.depth = 0;
+                self.used_preemptions = 0;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Bounds and knobs for a model-checking run.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum forced preemptions per schedule (`None` = unbounded, a
+    /// fully exhaustive search). Default 2 — the CHESS bound.
+    pub preemption_bound: Option<u32>,
+    /// Hard cap on executions; exceeding it ends the run with
+    /// [`Report::complete`] `false`.
+    pub max_executions: u64,
+    /// Per-execution scheduling-point budget; exceeding it fails the
+    /// execution as a livelock ([`FailureKind::StepBudget`]).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self { preemption_bound: Some(2), max_executions: 500_000, max_steps: 20_000 }
+    }
+}
+
+/// Why a model-checking run failed; carried in [`ModelFailure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (an assertion about the protocol failed,
+    /// or the protocol itself hit UB-adjacent state that a debug assert
+    /// caught).
+    Panic,
+    /// No thread was runnable, none had finished everything, and no
+    /// timed wait was available to rescue.
+    Deadlock,
+    /// One execution exceeded [`Builder::max_steps`] scheduling points —
+    /// a livelock (e.g. a spin loop whose exit condition never comes).
+    StepBudget,
+}
+
+/// A failed run: the kind, the panic message if any, and the exact
+/// interleaving (thread, operation) that produced it.
+#[derive(Debug)]
+pub struct ModelFailure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Panic payload rendered to text (empty for deadlock/livelock).
+    pub message: String,
+    /// The schedule that failed, as `(thread index, operation)` steps.
+    pub trace: Vec<(usize, &'static str)>,
+    /// Executions completed before the failing one.
+    pub executions: u64,
+}
+
+impl std::fmt::Display for ModelFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model check failed after {} complete executions: {:?} {}",
+            self.executions, self.kind, self.message
+        )?;
+        writeln!(f, "failing schedule ({} points):", self.trace.len())?;
+        for (t, op) in &self.trace {
+            writeln!(f, "  t{t}: {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a completed (non-failing) run.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Executions explored.
+    pub executions: u64,
+    /// `true` when the decision tree was exhausted within
+    /// [`Builder::max_executions`]; `false` when the cap cut it short.
+    pub complete: bool,
+    /// Total timed waits ended by the deadlock-rescue path rather than a
+    /// notification, across all executions. A liveness-correct protocol
+    /// shows 0: its wakeups arrive without leaning on timeouts.
+    pub timeout_rescues: u64,
+    /// Deepest decision tape seen (a size-of-search diagnostic).
+    pub max_depth: usize,
+}
+
+impl Builder {
+    /// A builder with default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the preemption bound (`None` = exhaustive).
+    #[must_use]
+    pub fn preemption_bound(mut self, bound: Option<u32>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Sets the execution cap.
+    #[must_use]
+    pub fn max_executions(mut self, cap: u64) -> Self {
+        self.max_executions = cap;
+        self
+    }
+
+    /// Runs `f` under every schedule within the bounds. Returns the
+    /// report, or the first failing schedule.
+    pub fn check<F>(&self, f: F) -> Result<Report, ModelFailure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(!is_active(), "gpar-model: nested model executions are not supported");
+        let f = Arc::new(f);
+        let mut explorer = Explorer {
+            tape: Vec::new(),
+            depth: 0,
+            preemption_bound: self.preemption_bound,
+            used_preemptions: 0,
+            max_depth_seen: 0,
+        };
+        let mut executions = 0u64;
+        let mut timeout_rescues = 0u64;
+        loop {
+            let outcome = run_one_execution(&f, &mut explorer, self.max_steps);
+            timeout_rescues += outcome.timeout_rescues;
+            if let Some((kind, payload, trace)) = outcome.failure {
+                return Err(ModelFailure {
+                    kind,
+                    message: payload_to_string(payload.as_deref()),
+                    trace,
+                    executions,
+                });
+            }
+            executions += 1;
+            if executions >= self.max_executions {
+                return Ok(Report {
+                    executions,
+                    complete: false,
+                    timeout_rescues,
+                    max_depth: explorer.max_depth_seen,
+                });
+            }
+            if !explorer.advance() {
+                return Ok(Report {
+                    executions,
+                    complete: true,
+                    timeout_rescues,
+                    max_depth: explorer.max_depth_seen,
+                });
+            }
+        }
+    }
+}
+
+struct ExecutionOutcome {
+    timeout_rescues: u64,
+    #[allow(clippy::type_complexity)]
+    failure: Option<(FailureKind, Option<Box<dyn Any + Send>>, Vec<(usize, &'static str)>)>,
+}
+
+fn run_one_execution<F>(f: &Arc<F>, explorer: &mut Explorer, max_steps: usize) -> ExecutionOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Execution {
+        m: StdMutex::new(ExecState {
+            threads: vec![ThreadSlot {
+                status: Status::Runnable,
+                woke_by_timeout: false,
+                yielded: false,
+            }],
+            token: None,
+            aborting: false,
+            failure: None,
+            failure_kind: None,
+            trace: vec![(0, "start")],
+            steps: 0,
+            max_steps,
+            cv_seq: 0,
+            timeout_rescues: 0,
+            last_ran: 0,
+            handles: Vec::new(),
+        }),
+        cv: StdCondvar::new(),
+    });
+    // Thread 0 runs the closure itself.
+    let root = {
+        let exec = Arc::clone(&exec);
+        let f = Arc::clone(f);
+        std::thread::Builder::new()
+            .name("gpar-model-0".into())
+            .spawn(move || run_model_thread(exec, 0, move || f()))
+            .expect("gpar-model: OS thread spawn failed")
+    };
+
+    // The controller loop.
+    loop {
+        let mut s = exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        while s.token.is_some() {
+            s = exec.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.threads.iter().all(|t| t.status == Status::Finished) {
+            break;
+        }
+        if s.aborting {
+            // Drain: grant the token to each surviving thread so it
+            // unwinds with the sentinel (releasing its locks).
+            let next =
+                s.threads.iter().position(|t| t.status != Status::Finished).expect("drain target");
+            s.token = Some(next);
+            exec.cv.notify_all();
+            continue;
+        }
+        let mut runnable: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            // Timeout rescue: fire every timed condvar wait at once.
+            let timed: Vec<usize> = s
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.status, Status::CvWait { timed: true, .. }))
+                .map(|(i, _)| i)
+                .collect();
+            if timed.is_empty() {
+                s.aborting = true;
+                s.failure_kind = Some(FailureKind::Deadlock);
+                continue;
+            }
+            s.timeout_rescues += timed.len() as u64;
+            for i in timed {
+                s.threads[i].status = Status::Runnable;
+                s.threads[i].woke_by_timeout = true;
+                runnable.push(i);
+            }
+        }
+        // CHESS-style fairness: a thread that voluntarily yielded is not
+        // eligible again until every non-yielded runnable thread has had
+        // its turn (i.e. until none remain). This is what keeps spin
+        // loops from branching the search unboundedly — and it is sound
+        // for yields used as they're meant: stateless waiting.
+        let eligible: Vec<usize> =
+            runnable.iter().copied().filter(|&i| !s.threads[i].yielded).collect();
+        let pool = if eligible.is_empty() { runnable } else { eligible };
+        let chosen = if pool.len() == 1 {
+            pool[0]
+        } else {
+            let last = s.last_ran;
+            let yielded = s.threads.get(last).is_some_and(|t| t.yielded);
+            explorer.choose(&pool, last, yielded)
+        };
+        s.last_ran = chosen;
+        s.threads[chosen].status = Status::Running;
+        s.token = Some(chosen);
+        exec.cv.notify_all();
+    }
+
+    // All model threads have finished; reap the OS threads.
+    let (handles, rescues, failure_kind, failure, trace) = {
+        let mut s = exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        (
+            std::mem::take(&mut s.handles),
+            s.timeout_rescues,
+            s.failure_kind,
+            s.failure.take(),
+            std::mem::take(&mut s.trace),
+        )
+    };
+    let _ = root.join();
+    for h in handles {
+        let _ = h.join();
+    }
+    ExecutionOutcome {
+        timeout_rescues: rescues,
+        failure: failure_kind.map(|kind| (kind, failure, trace)),
+    }
+}
+
+fn payload_to_string(p: Option<&(dyn Any + Send)>) -> String {
+    match p {
+        Some(p) => {
+            if let Some(s) = p.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            }
+        }
+        None => String::new(),
+    }
+}
+
+/// Checks `f` with default bounds, panicking (with the failing
+/// interleaving) on any failure and asserting the exploration actually
+/// finished. Use [`Builder`] directly to customize or to inspect
+/// failures programmatically.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match Builder::default().check(f) {
+        Ok(report) => {
+            assert!(
+                report.complete,
+                "gpar-model: exploration hit the execution cap; raise max_executions or \
+                 tighten the scenario ({} executions)",
+                report.executions
+            );
+            report
+        }
+        Err(failure) => panic!("{failure}"),
+    }
+}

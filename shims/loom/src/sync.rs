@@ -1,0 +1,512 @@
+//! Instrumented synchronization primitives: drop-in `std`-shaped
+//! atomics plus the `parking_lot`-shim-shaped `Mutex`/`Condvar`/`RwLock`.
+//!
+//! Every operation first checks whether the calling thread is inside a
+//! model execution. If not, it delegates straight to `std` (so crates
+//! compiled with the `model` feature behave identically outside
+//! `gpar_model::model(..)`). If so, the operation is a scheduling point:
+//! the explorer may switch threads before it runs, contended locks park
+//! the thread in the scheduler instead of the OS, and condvar waits are
+//! woken only by instrumented notifies (or a deadlock-rescue timeout for
+//! `wait_for`, which the run's [`crate::Report`] counts).
+
+use crate::scheduler::{self, Status};
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+/// Instrumented atomics. Types mirror `std::sync::atomic`; every
+/// operation (except the `&mut self` ones, which prove exclusivity) is a
+/// scheduling point under the model. Because model execution is
+/// serialized, the explored semantics are sequentially consistent
+/// regardless of the `Ordering` argument — see the crate docs.
+pub mod atomic {
+    use crate::scheduler;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Instrumented counterpart of the `std` atomic of the same
+            /// name; see the [module docs](self).
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates a new atomic (const, so it works in statics).
+                #[must_use]
+                pub const fn new(v: $ty) -> Self {
+                    Self { inner: std::sync::atomic::$std::new(v) }
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn load(&self, order: Ordering) -> $ty {
+                    scheduler::point("atomic.load");
+                    self.inner.load(order)
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    scheduler::point("atomic.store");
+                    self.inner.store(v, order);
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    scheduler::point("atomic.swap");
+                    self.inner.swap(v, order)
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    scheduler::point("atomic.compare_exchange");
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Like `std`'s, except it never fails spuriously under
+                /// the model (spurious failure would break deterministic
+                /// replay); the surrounding retry loop is still explored
+                /// under every interleaving.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    scheduler::point("atomic.compare_exchange_weak");
+                    if crate::scheduler::is_active() {
+                        self.inner.compare_exchange(current, new, success, failure)
+                    } else {
+                        self.inner.compare_exchange_weak(current, new, success, failure)
+                    }
+                }
+
+                /// Exclusive access; not a scheduling point.
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic; not a scheduling point.
+                #[must_use]
+                pub fn into_inner(self) -> $ty {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! instrumented_atomic_int {
+        ($name:ident, $std:ident, $ty:ty) => {
+            instrumented_atomic!($name, $std, $ty);
+
+            impl $name {
+                /// See the `std` atomic's method of the same name.
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    scheduler::point("atomic.fetch_add");
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    scheduler::point("atomic.fetch_sub");
+                    self.inner.fetch_sub(v, order)
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn fetch_and(&self, v: $ty, order: Ordering) -> $ty {
+                    scheduler::point("atomic.fetch_and");
+                    self.inner.fetch_and(v, order)
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn fetch_or(&self, v: $ty, order: Ordering) -> $ty {
+                    scheduler::point("atomic.fetch_or");
+                    self.inner.fetch_or(v, order)
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn fetch_xor(&self, v: $ty, order: Ordering) -> $ty {
+                    scheduler::point("atomic.fetch_xor");
+                    self.inner.fetch_xor(v, order)
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                    scheduler::point("atomic.fetch_max");
+                    self.inner.fetch_max(v, order)
+                }
+
+                /// See the `std` atomic's method of the same name.
+                pub fn fetch_min(&self, v: $ty, order: Ordering) -> $ty {
+                    scheduler::point("atomic.fetch_min");
+                    self.inner.fetch_min(v, order)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicBool, AtomicBool, bool);
+    instrumented_atomic_int!(AtomicUsize, AtomicUsize, usize);
+    instrumented_atomic_int!(AtomicU32, AtomicU32, u32);
+    instrumented_atomic_int!(AtomicU64, AtomicU64, u64);
+    instrumented_atomic_int!(AtomicI64, AtomicI64, i64);
+
+    impl AtomicBool {
+        /// See `std::sync::atomic::AtomicBool::fetch_or`.
+        pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+            scheduler::point("atomic.fetch_or");
+            self.inner.fetch_or(v, order)
+        }
+
+        /// See `std::sync::atomic::AtomicBool::fetch_and`.
+        pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+            scheduler::point("atomic.fetch_and");
+            self.inner.fetch_and(v, order)
+        }
+    }
+
+    /// Instrumented memory fence: a scheduling point followed by the
+    /// real `std` fence (a no-op for the model's interleaving semantics,
+    /// but kept so passthrough behavior is exact).
+    pub fn fence(order: Ordering) {
+        scheduler::point("atomic.fence");
+        std::sync::atomic::fence(order);
+    }
+}
+
+fn addr_of<T>(r: &T) -> usize {
+    std::ptr::from_ref(r) as usize
+}
+
+/// Mutual exclusion with the same non-poisoning surface as the
+/// `parking_lot` shim. Under the model, contention parks the thread in
+/// the scheduler (the OS lock is only ever `try_lock`ed, so the explorer
+/// keeps full control of who runs).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex (const, so it works in statics).
+    pub const fn new(t: T) -> Self {
+        Self { inner: std::sync::Mutex::new(t) }
+    }
+
+    /// Acquires the lock, parking in the model scheduler on contention.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if scheduler::is_active() {
+            loop {
+                scheduler::point("mutex.lock");
+                match self.inner.try_lock() {
+                    Ok(g) => return MutexGuard { lock: self, inner: Some(g), model: true },
+                    Err(std::sync::TryLockError::Poisoned(e)) => {
+                        return MutexGuard { lock: self, inner: Some(e.into_inner()), model: true }
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        scheduler::block_on("mutex.blocked", Status::BlockedMutex(addr_of(self)));
+                    }
+                }
+            }
+        } else {
+            let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            MutexGuard { lock: self, inner: Some(g), model: false }
+        }
+    }
+
+    /// Attempts the lock without blocking; a scheduling point either way.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        scheduler::point("mutex.try_lock");
+        let model = scheduler::is_active();
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { lock: self, inner: Some(g), model }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { lock: self, inner: Some(e.into_inner()), model })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consumes the mutex, returning the data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Guard for [`Mutex`]; releasing it wakes model threads parked on the
+/// lock.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently inside `Condvar::wait`/`wait_for`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Whether this guard was acquired inside a model execution (and so
+    /// must emit the scheduler wake edge on release).
+    model: bool,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("gpar-model: guard used after condvar release")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("gpar-model: guard used after condvar release")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the OS lock first, then wake model waiters. No
+        // scheduling point here: `drop` may run during an abort unwind,
+        // where parking again would double-panic.
+        if self.inner.take().is_some() && self.model {
+            scheduler::on_mutex_release(addr_of(self.lock));
+        }
+    }
+}
+
+/// Result of [`Condvar::wait_for`], mirroring `std`'s.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed (under the
+    /// model: because the deadlock-rescue fired) rather than a notify.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable with the `parking_lot`-shim surface
+/// (guard-consuming `wait`/`wait_for`). Under the model, waiters park in
+/// the scheduler and are woken FIFO by instrumented notifies; a notify
+/// with no parked waiter is lost, exactly like the real primitive —
+/// which is what lets the explorer find missed-wakeup bugs.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condvar (const, so it works in statics).
+    pub const fn new() -> Self {
+        Self { inner: std::sync::Condvar::new() }
+    }
+
+    /// Releases the guard's mutex and parks until notified; reacquires
+    /// before returning. Under the model the release+park pair is a
+    /// single scheduler transaction, so no notify can slip between them.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        if scheduler::is_active() && guard.model {
+            // A scheduling point BEFORE the release+park transaction:
+            // this is the real-world window between the caller's last
+            // predicate check and the wait registering, where a notify
+            // can land and be lost — the explorer must be able to
+            // interleave here to find missed-wakeup bugs.
+            scheduler::point("condvar.wait");
+            let lock = guard.lock;
+            drop(guard.inner.take());
+            scheduler::on_mutex_release(addr_of(lock));
+            let _ = scheduler::cv_park("condvar.park", addr_of(self), false);
+            lock.lock()
+        } else {
+            let lock = guard.lock;
+            let g = guard.inner.take().expect("gpar-model: guard used after condvar release");
+            let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
+            MutexGuard { lock, inner: Some(g), model: false }
+        }
+    }
+
+    /// Like [`Self::wait`] with a timeout. Under the model the timeout
+    /// never fires while any thread can still make progress; it fires
+    /// only as a deadlock rescue, and each rescue is counted in the
+    /// run's [`crate::Report::timeout_rescues`].
+    pub fn wait_for<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        if scheduler::is_active() && guard.model {
+            // Same pre-transaction point as `wait` (see the comment
+            // there).
+            scheduler::point("condvar.wait_for");
+            let lock = guard.lock;
+            drop(guard.inner.take());
+            scheduler::on_mutex_release(addr_of(lock));
+            let timed_out = scheduler::cv_park("condvar.park_timed", addr_of(self), true);
+            (lock.lock(), WaitTimeoutResult(timed_out))
+        } else {
+            let lock = guard.lock;
+            let g = guard.inner.take().expect("gpar-model: guard used after condvar release");
+            let (g, r) = self.inner.wait_timeout(g, timeout).unwrap_or_else(|e| e.into_inner());
+            (MutexGuard { lock, inner: Some(g), model: false }, WaitTimeoutResult(r.timed_out()))
+        }
+    }
+
+    /// Wakes one waiter (FIFO under the model).
+    pub fn notify_one(&self) {
+        scheduler::point("condvar.notify_one");
+        if scheduler::is_active() {
+            scheduler::cv_notify(addr_of(self), 1);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        scheduler::point("condvar.notify_all");
+        if scheduler::is_active() {
+            scheduler::cv_notify(addr_of(self), usize::MAX);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+/// Reader-writer lock with the `parking_lot`-shim surface. Under the
+/// model, contended acquisitions park in the scheduler and every release
+/// re-wakes all parked contenders to re-contend.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new rwlock (const, so it works in statics).
+    pub const fn new(t: T) -> Self {
+        Self { inner: std::sync::RwLock::new(t) }
+    }
+
+    /// Acquires shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if scheduler::is_active() {
+            loop {
+                scheduler::point("rwlock.read");
+                match self.inner.try_read() {
+                    Ok(g) => return RwLockReadGuard { lock: self, inner: Some(g), model: true },
+                    Err(std::sync::TryLockError::Poisoned(e)) => {
+                        return RwLockReadGuard {
+                            lock: self,
+                            inner: Some(e.into_inner()),
+                            model: true,
+                        }
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        scheduler::block_on(
+                            "rwlock.read_blocked",
+                            Status::BlockedRw { addr: addr_of(self), write: false },
+                        );
+                    }
+                }
+            }
+        } else {
+            let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            RwLockReadGuard { lock: self, inner: Some(g), model: false }
+        }
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if scheduler::is_active() {
+            loop {
+                scheduler::point("rwlock.write");
+                match self.inner.try_write() {
+                    Ok(g) => return RwLockWriteGuard { lock: self, inner: Some(g), model: true },
+                    Err(std::sync::TryLockError::Poisoned(e)) => {
+                        return RwLockWriteGuard {
+                            lock: self,
+                            inner: Some(e.into_inner()),
+                            model: true,
+                        }
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        scheduler::block_on(
+                            "rwlock.write_blocked",
+                            Status::BlockedRw { addr: addr_of(self), write: true },
+                        );
+                    }
+                }
+            }
+        } else {
+            let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            RwLockWriteGuard { lock: self, inner: Some(g), model: false }
+        }
+    }
+
+    /// Consumes the lock, returning the data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("gpar-model: rwlock guard already released")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() && self.model {
+            scheduler::on_rw_release(addr_of(self.lock));
+        }
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("gpar-model: rwlock guard already released")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("gpar-model: rwlock guard already released")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() && self.model {
+            scheduler::on_rw_release(addr_of(self.lock));
+        }
+    }
+}

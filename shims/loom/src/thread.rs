@@ -1,0 +1,71 @@
+//! Instrumented thread spawn/join. Inside a model execution, spawned
+//! closures run on real OS threads serialized by the scheduler token;
+//! outside one, this is `std::thread` with an infallible `join` (model
+//! code has no use for the poison-style `Result`).
+
+use crate::scheduler::{self, Status};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle returned by [`spawn`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model { idx: usize, result: Arc<StdMutex<Option<T>>> },
+}
+
+/// Spawns a thread. Under the model this registers a new schedulable
+/// thread (the spawn itself is a scheduling point); otherwise it is
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if scheduler::is_active() {
+        let result = Arc::new(StdMutex::new(None));
+        let slot = Arc::clone(&result);
+        let idx = scheduler::spawn_thread(move || {
+            let out = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+        });
+        JoinHandle { inner: Inner::Model { idx, result } }
+    } else {
+        JoinHandle { inner: Inner::Std(std::thread::spawn(f)) }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Under the
+    /// model the caller parks (not a busy wait) until the target's exit
+    /// wakes it. Panics in the target propagate as a model failure, not
+    /// through this return value.
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Std(h) => h.join().expect("gpar-model: passthrough thread panicked"),
+            Inner::Model { idx, result } => {
+                while !scheduler::is_finished(idx) {
+                    scheduler::block_on("thread.join", Status::BlockedJoin(idx));
+                }
+                result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("gpar-model: joined thread produced no result")
+            }
+        }
+    }
+}
+
+/// Voluntary reschedule: under the model this must switch to another
+/// runnable thread if one exists (free of preemption budget); outside
+/// one it is `std::thread::yield_now`.
+pub fn yield_now() {
+    if scheduler::is_active() {
+        scheduler::yield_voluntary("thread.yield_now");
+    } else {
+        std::thread::yield_now();
+    }
+}

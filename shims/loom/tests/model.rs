@@ -1,0 +1,246 @@
+//! Self-tests for the model checker: known-racy protocols must fail,
+//! known-correct ones must pass, and the exploration itself must be
+//! exhaustive and deterministic.
+
+use gpar_model::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use gpar_model::sync::{Condvar, Mutex};
+use gpar_model::{thread, Builder, FailureKind};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+/// A load/store increment race: across all interleavings both final
+/// values {1, 2} must be observed (the lost update exists and the
+/// explorer finds it).
+#[test]
+fn racy_increment_explores_both_outcomes() {
+    let seen = Arc::new(StdMutex::new(BTreeSet::new()));
+    let seen2 = Arc::clone(&seen);
+    let report = gpar_model::model(move || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        t.join();
+        seen2.lock().unwrap().insert(n.load(Ordering::SeqCst));
+    });
+    assert!(report.complete);
+    assert!(report.executions >= 2, "expected multiple interleavings, got {}", report.executions);
+    assert_eq!(*seen.lock().unwrap(), BTreeSet::from([1, 2]));
+}
+
+/// The same increment through fetch_add is atomic: every interleaving
+/// ends at exactly 2.
+#[test]
+fn atomic_increment_always_two() {
+    let report = gpar_model::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        n.fetch_add(1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete && report.executions >= 2);
+}
+
+/// Mutex-protected read-modify-write: no lost update in any schedule,
+/// and contention actually parks/wakes through the scheduler.
+#[test]
+fn mutexed_increment_always_two() {
+    let report = gpar_model::model(|| {
+        let n = Arc::new(Mutex::new(0usize));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            let mut g = n2.lock();
+            *g += 1;
+        });
+        {
+            let mut g = n.lock();
+            *g += 1;
+        }
+        t.join();
+        assert_eq!(*n.lock(), 2);
+    });
+    assert!(report.complete);
+}
+
+/// Classic ABBA lock-order inversion: the explorer must find the
+/// deadlock.
+#[test]
+fn abba_deadlock_detected() {
+    let result = Builder::default().check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop((_ga, _gb));
+        t.join();
+    });
+    let failure = result.expect_err("ABBA must deadlock under some schedule");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(!failure.trace.is_empty(), "failure must carry the interleaving");
+}
+
+/// Missed wakeup: the flag is set and the notify issued *outside* the
+/// mutex, so a schedule exists where the notify lands between the
+/// waiter's check and its park — and is lost. Untimed wait ⇒ deadlock.
+#[test]
+fn missed_wakeup_detected() {
+    let result = Builder::default().check(|| {
+        let m = Arc::new(Mutex::new(()));
+        let cv = Arc::new(Condvar::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (cv2, flag2) = (Arc::clone(&cv), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            flag2.store(true, Ordering::SeqCst);
+            cv2.notify_one();
+        });
+        let mut g = m.lock();
+        while !flag.load(Ordering::SeqCst) {
+            g = cv.wait(g);
+        }
+        drop(g);
+        t.join();
+    });
+    let failure = result.expect_err("lost notify must deadlock the waiter");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}
+
+/// The correct version of the same handshake — flag update and notify
+/// under the mutex — completes in every schedule with zero timeout
+/// rescues (its liveness never leans on a timed re-check).
+#[test]
+fn correct_handshake_no_rescues() {
+    let report = gpar_model::model(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*state2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*state;
+        let mut g = m.lock();
+        while !*g {
+            g = cv.wait(g);
+        }
+        drop(g);
+        t.join();
+    });
+    assert!(report.complete);
+    assert_eq!(report.timeout_rescues, 0, "correct handshake must never need a rescue");
+}
+
+/// A timed wait with no notifier in sight: the rescue fires (instead of
+/// deadlocking) and is counted, which is how the model tests assert a
+/// protocol is *not* leaning on its timeout.
+#[test]
+fn timed_wait_rescue_counted() {
+    let report = gpar_model::model(|| {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = m.lock();
+        let (g, r) = cv.wait_for(g, std::time::Duration::from_millis(1));
+        assert!(r.timed_out());
+        drop(g);
+    });
+    assert!(report.complete);
+    assert!(report.timeout_rescues > 0);
+}
+
+/// Spin loops built on `hint::spin_loop` are voluntary yields: the
+/// waited-on thread gets scheduled and the loop terminates without
+/// burning the preemption bound or the step budget.
+#[test]
+fn spin_wait_makes_progress() {
+    let report = gpar_model::model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let flag2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            flag2.store(true, Ordering::SeqCst);
+        });
+        while !flag.load(Ordering::SeqCst) {
+            gpar_model::hint::spin_loop();
+        }
+        t.join();
+    });
+    assert!(report.complete);
+}
+
+/// Exploration is deterministic: two runs of the same scenario explore
+/// exactly the same number of executions.
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        Builder::default()
+            .check(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let n2 = Arc::clone(&n);
+                let t = thread::spawn(move || {
+                    n2.fetch_add(1, Ordering::SeqCst);
+                    n2.fetch_add(1, Ordering::SeqCst);
+                });
+                n.fetch_add(1, Ordering::SeqCst);
+                t.join();
+                assert_eq!(n.load(Ordering::SeqCst), 3);
+            })
+            .expect("no failure")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.max_depth, b.max_depth);
+}
+
+/// Outside `model(..)` every primitive passes through to std: plain
+/// sequential use works with no scheduler in sight.
+#[test]
+fn passthrough_outside_model() {
+    assert!(!gpar_model::is_active());
+    let n = AtomicUsize::new(41);
+    n.fetch_add(1, Ordering::Relaxed);
+    assert_eq!(n.load(Ordering::Relaxed), 42);
+    let m = Mutex::new(1);
+    *m.lock() += 1;
+    assert_eq!(*m.lock(), 2);
+    let cv = Condvar::new();
+    let (g, r) = cv.wait_for(m.lock(), std::time::Duration::from_millis(1));
+    assert!(r.timed_out());
+    drop(g);
+    let t = thread::spawn(|| 7);
+    assert_eq!(t.join(), 7);
+}
+
+/// An assertion failure inside the model surfaces as a Panic failure
+/// with the failing interleaving attached.
+#[test]
+fn panic_reported_with_trace() {
+    let result = Builder::default().check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        t.join();
+        // Wrong claim: the racy increment CAN lose an update.
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    let failure = result.expect_err("the lost-update schedule must be found");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("assertion"), "got: {}", failure.message);
+    assert!(!failure.trace.is_empty());
+}

@@ -2,147 +2,168 @@
 //! facades over `std::sync`. Poisoning is converted to a panic propagation
 //! (a poisoned lock means a writer already panicked), which matches how
 //! the workspace uses the real crate. See `shims/README.md`.
+//!
+//! With the `model` feature the whole surface is re-exported from
+//! `gpar-model` instead: the same non-poisoning API, but every
+//! lock/wait/notify is a scheduling point for the deterministic model
+//! checker (and a plain passthrough outside `gpar_model::model(..)`).
+//! Downstream crates forward their own `model` feature here, so one
+//! `--features model` swaps the primitives under the entire stack.
 
-use std::sync::{
-    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard,
-    RwLockWriteGuard,
+#[cfg(feature = "model")]
+pub use gpar_model::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
 };
-use std::time::Duration;
 
-/// A reader-writer lock with `parking_lot`'s panic-on-poison API.
-#[derive(Default, Debug)]
-pub struct RwLock<T: ?Sized> {
-    inner: StdRwLock<T>,
-}
+#[cfg(not(feature = "model"))]
+pub use imp::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
 
-impl<T> RwLock<T> {
-    /// Creates a new lock.
-    pub fn new(value: T) -> Self {
-        Self { inner: StdRwLock::new(value) }
+#[cfg(not(feature = "model"))]
+mod imp {
+    pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+    use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, RwLock as StdRwLock};
+    use std::time::Duration;
+
+    /// A reader-writer lock with `parking_lot`'s panic-on-poison API.
+    #[derive(Default, Debug)]
+    pub struct RwLock<T: ?Sized> {
+        inner: StdRwLock<T>,
     }
 
-    /// Consumes the lock, returning the value.
-    pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
-    }
-}
+    impl<T> RwLock<T> {
+        /// Creates a new lock (const, so it works in statics).
+        pub const fn new(value: T) -> Self {
+            Self { inner: StdRwLock::new(value) }
+        }
 
-impl<T: ?Sized> RwLock<T> {
-    /// Acquires a shared read guard.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Acquires an exclusive write guard.
-    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        /// Consumes the lock, returning the value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
-    /// Mutable access without locking (requires `&mut self`).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
-    }
-}
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires a shared read guard.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.inner.read().unwrap_or_else(|e| e.into_inner())
+        }
 
-/// A mutex with `parking_lot`'s panic-on-poison API.
-#[derive(Default, Debug)]
-pub struct Mutex<T: ?Sized> {
-    inner: StdMutex<T>,
-}
+        /// Acquires an exclusive write guard.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.inner.write().unwrap_or_else(|e| e.into_inner())
+        }
 
-impl<T> Mutex<T> {
-    /// Creates a new mutex.
-    pub fn new(value: T) -> Self {
-        Self { inner: StdMutex::new(value) }
-    }
-
-    /// Consumes the mutex, returning the value.
-    pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
-    }
-}
-
-impl<T: ?Sized> Mutex<T> {
-    /// Acquires the lock.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        /// Mutable access without locking (requires `&mut self`).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
-    /// Mutable access without locking (requires `&mut self`).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
-    }
-}
-
-/// Result of a timed condition-variable wait, mirroring
-/// `parking_lot::WaitTimeoutResult`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WaitTimeoutResult {
-    timed_out: bool,
-}
-
-impl WaitTimeoutResult {
-    /// Whether the wait ended because the timeout elapsed (as opposed to a
-    /// notification).
-    pub fn timed_out(&self) -> bool {
-        self.timed_out
-    }
-}
-
-/// A condition variable with a poison-free API.
-///
-/// Works with guards handed out by the shim [`Mutex`] (plain
-/// `std::sync::MutexGuard`s). Unlike `std`, waking up on a mutex whose
-/// previous owner panicked mid-critical-section hands the guard back
-/// instead of surfacing a `PoisonError`, so one panicked writer cannot
-/// wedge every later waiter.
-///
-/// API note: the real `parking_lot` re-acquires into the same guard via
-/// `&mut MutexGuard`; over `std` primitives that shape cannot be written
-/// without `unsafe`, so the shim uses ownership-passing waits (`wait`
-/// consumes the guard and returns the re-acquired one).
-#[derive(Default, Debug)]
-pub struct Condvar {
-    inner: StdCondvar,
-}
-
-impl Condvar {
-    /// Creates a new condition variable.
-    pub fn new() -> Self {
-        Self { inner: StdCondvar::new() }
+    /// A mutex with `parking_lot`'s panic-on-poison API.
+    #[derive(Default, Debug)]
+    pub struct Mutex<T: ?Sized> {
+        inner: StdMutex<T>,
     }
 
-    /// Wakes one waiter.
-    pub fn notify_one(&self) {
-        self.inner.notify_one();
+    impl<T> Mutex<T> {
+        /// Creates a new mutex (const, so it works in statics).
+        pub const fn new(value: T) -> Self {
+            Self { inner: StdMutex::new(value) }
+        }
+
+        /// Consumes the mutex, returning the value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
-    /// Wakes all waiters.
-    pub fn notify_all(&self) {
-        self.inner.notify_all();
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Mutable access without locking (requires `&mut self`).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
     }
 
-    /// Blocks until notified; returns the re-acquired guard.
-    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    /// Result of a timed condition-variable wait, mirroring
+    /// `parking_lot::WaitTimeoutResult`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct WaitTimeoutResult {
+        timed_out: bool,
     }
 
-    /// Blocks until notified or `timeout` elapses; returns the re-acquired
-    /// guard plus whether the wait timed out.
-    pub fn wait_for<'a, T>(
-        &self,
-        guard: MutexGuard<'a, T>,
-        timeout: Duration,
-    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
-        let (guard, res) =
-            self.inner.wait_timeout(guard, timeout).unwrap_or_else(|e| e.into_inner());
-        (guard, WaitTimeoutResult { timed_out: res.timed_out() })
+    impl WaitTimeoutResult {
+        /// Whether the wait ended because the timeout elapsed (as opposed
+        /// to a notification).
+        pub fn timed_out(&self) -> bool {
+            self.timed_out
+        }
+    }
+
+    /// A condition variable with a poison-free API.
+    ///
+    /// Works with guards handed out by the shim [`Mutex`] (plain
+    /// `std::sync::MutexGuard`s). Unlike `std`, waking up on a mutex whose
+    /// previous owner panicked mid-critical-section hands the guard back
+    /// instead of surfacing a `PoisonError`, so one panicked writer cannot
+    /// wedge every later waiter.
+    ///
+    /// API note: the real `parking_lot` re-acquires into the same guard via
+    /// `&mut MutexGuard`; over `std` primitives that shape cannot be written
+    /// without `unsafe`, so the shim uses ownership-passing waits (`wait`
+    /// consumes the guard and returns the re-acquired one).
+    #[derive(Default, Debug)]
+    pub struct Condvar {
+        inner: StdCondvar,
+    }
+
+    impl Condvar {
+        /// Creates a new condition variable (const, so it works in
+        /// statics).
+        pub const fn new() -> Self {
+            Self { inner: StdCondvar::new() }
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+
+        /// Blocks until notified; returns the re-acquired guard.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Blocks until notified or `timeout` elapses; returns the
+        /// re-acquired guard plus whether the wait timed out.
+        pub fn wait_for<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            timeout: Duration,
+        ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+            let (guard, res) =
+                self.inner.wait_timeout(guard, timeout).unwrap_or_else(|e| e.into_inner());
+            (guard, WaitTimeoutResult { timed_out: res.timed_out() })
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn rwlock_guards_exclude_writers() {
@@ -161,6 +182,13 @@ mod tests {
         let m = Mutex::new(vec![1, 2]);
         m.lock().push(3);
         assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mutex_works_in_a_static() {
+        static S: Mutex<u32> = Mutex::new(0);
+        *S.lock() += 1;
+        assert_eq!(*S.lock(), 1);
     }
 
     #[test]

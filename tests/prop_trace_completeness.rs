@@ -4,6 +4,10 @@
 //! exceeds the end-to-end time). Stage accumulators are per-request and
 //! worker-local, so this must hold regardless of how the pool interleaves
 //! requests; running the same workload at workers ∈ {1, 2, 8} pins that.
+//!
+//! `obs-off` compiles the span clocks out (zero traces by design), so the
+//! whole suite is gated on instrumentation being present.
+#![cfg(not(feature = "obs-off"))]
 
 use gpar::core::{ConfStats, Gpar, Predicate};
 use gpar::datagen::{generate_rules, synthetic, RuleGenConfig, SyntheticConfig};

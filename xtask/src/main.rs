@@ -1,0 +1,458 @@
+//! `cargo xtask lint` — the workspace invariant linter.
+//!
+//! A deliberately dependency-free (no `syn`, no regex) line/token-based
+//! checker for conventions the compiler cannot enforce:
+//!
+//! * **std-sync** — `std::sync::{Mutex, RwLock, Condvar}` are forbidden
+//!   outside `shims/`: production code goes through the `parking_lot`
+//!   shim so the `model` feature can swap in `gpar-model`'s instrumented
+//!   primitives (and so nothing poisons).
+//! * **wall-clock** — `Instant::now()` / `SystemTime` are forbidden
+//!   outside `crates/obs` (and the benchmark harnesses): scheduling
+//!   decisions take their time from `gpar_obs::Ts`, whose `obs-off`
+//!   story and monotonic entry point (`Ts::monotonic_now`) are audited
+//!   in one place.
+//! * **safety-comment** — every `unsafe {` block and `unsafe impl`
+//!   carries a `// SAFETY:` justification on it or in the contiguous
+//!   comment block above it.
+//! * **ordering-comment** — every non-`SeqCst` atomic ordering
+//!   (`Relaxed`, `Acquire`, `Release`, `AcqRel`) carries an
+//!   `// ordering:` justification the same way. The model checker
+//!   explores interleavings, not weak memory — these comments are where
+//!   the ordering argument lives.
+//! * **hash-iter** — in the deterministic pipelines (`crates/mine`,
+//!   `crates/eip`, `crates/exec`), iterating a `HashMap`/`HashSet`
+//!   (incl. the `Fx` variants) directly into a collected/extended
+//!   result is flagged unless a `// det:` comment justifies why the
+//!   nondeterministic order cannot leak into output.
+//!
+//! Test code is exempt: `tests/`, `benches/`, `examples/` trees and the
+//! conventional trailing `#[cfg(test)] mod …` of a source file.
+//!
+//! A violation can be suppressed with `// lint: allow(<rule>)` on the
+//! line or the comment block above it. Suppressions are reported, and
+//! the expectation (checked in review, not by the tool) is that none
+//! exist outside `shims/`.
+
+use std::path::{Path, PathBuf};
+
+const RULE_STD_SYNC: &str = "std-sync";
+const RULE_WALL_CLOCK: &str = "wall-clock";
+const RULE_SAFETY: &str = "safety-comment";
+const RULE_ORDERING: &str = "ordering-comment";
+const RULE_HASH_ITER: &str = "hash-iter";
+
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+struct Suppression {
+    file: PathBuf,
+    line: usize,
+    rule: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") | None => {}
+        Some(other) => {
+            eprintln!("unknown xtask `{other}` (available: lint)");
+            std::process::exit(2);
+        }
+    }
+
+    // The linter does not lint itself: its source is made of the very
+    // tokens it searches for.
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for top in ["crates", "shims", "src"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut suppressions = Vec::new();
+    for file in &files {
+        lint_file(&root, file, &mut violations, &mut suppressions);
+    }
+
+    for s in &suppressions {
+        let rel = s.file.strip_prefix(&root).unwrap_or(&s.file);
+        println!("note: {}:{}: suppressed [{}]", rel.display(), s.line, s.rule);
+    }
+    let outside_shims =
+        suppressions.iter().filter(|s| !s.file.starts_with(root.join("shims"))).count();
+    if outside_shims > 0 {
+        println!("note: {outside_shims} suppression(s) outside shims/ — keep this at zero");
+    }
+
+    if violations.is_empty() {
+        println!(
+            "xtask lint: ok ({} files, {} suppression(s), 0 violations)",
+            files.len(),
+            suppressions.len()
+        );
+        return;
+    }
+    for v in &violations {
+        let rel = v.file.strip_prefix(&root).unwrap_or(&v.file);
+        println!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);
+    }
+    println!("xtask lint: {} violation(s)", violations.len());
+    std::process::exit(1);
+}
+
+fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::current_dir().expect("cwd"));
+    manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Which rule scopes apply to a file (workspace-relative path logic).
+struct Scope {
+    std_sync: bool,
+    wall_clock: bool,
+    hash_iter: bool,
+}
+
+fn scope_of(root: &Path, file: &Path) -> Option<Scope> {
+    let rel = file.strip_prefix(root).ok()?;
+    let mut parts = rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned());
+    let top = parts.next()?;
+    let second = parts.next().unwrap_or_default();
+    // Integration tests, benches and examples are exempt from everything.
+    let rel_str = rel.to_string_lossy();
+    if rel_str.contains("/tests/")
+        || rel_str.contains("/benches/")
+        || rel_str.contains("/examples/")
+    {
+        return None;
+    }
+    let in_crates = top == "crates";
+    Some(Scope {
+        std_sync: in_crates || top == "src",
+        wall_clock: in_crates && second != "obs" && second != "bench",
+        hash_iter: in_crates && matches!(second.as_str(), "mine" | "eip" | "exec"),
+    })
+}
+
+fn lint_file(
+    root: &Path,
+    file: &Path,
+    violations: &mut Vec<Violation>,
+    suppressions: &mut Vec<Suppression>,
+) {
+    let Some(scope) = scope_of(root, file) else { return };
+    let Ok(text) = std::fs::read_to_string(file) else { return };
+    let lines: Vec<&str> = text.lines().collect();
+    let code: Vec<String> = lines.iter().map(|l| strip_comment(l)).collect();
+    let test_tail = cfg_test_tail(&lines);
+    let hash_idents = if scope.hash_iter { hash_typed_idents(&code) } else { Vec::new() };
+
+    let mut push =
+        |violations: &mut Vec<Violation>, idx: usize, rule: &'static str, msg: String| {
+            if suppressed(&lines, idx, rule) {
+                suppressions.push(Suppression {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    rule: rule.to_string(),
+                });
+            } else {
+                violations.push(Violation {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    rule,
+                    message: msg,
+                });
+            }
+        };
+
+    for (idx, _) in lines.iter().enumerate() {
+        if idx >= test_tail {
+            break;
+        }
+        let code_line = code[idx].as_str();
+        if code_line.trim().is_empty() {
+            continue;
+        }
+
+        if scope.std_sync {
+            let names_primitive =
+                ["Mutex", "RwLock", "Condvar"].iter().any(|p| contains_word(code_line, p));
+            let direct = code_line.contains("std::sync::Mutex")
+                || code_line.contains("std::sync::RwLock")
+                || code_line.contains("std::sync::Condvar");
+            let via_use = code_line.trim_start().starts_with("use ")
+                && code_line.contains("std::sync::")
+                && !code_line.contains("std::sync::atomic")
+                && !code_line.contains("std::sync::mpsc")
+                && names_primitive;
+            if direct || via_use {
+                push(
+                    violations,
+                    idx,
+                    RULE_STD_SYNC,
+                    "std::sync lock primitive outside shims/ — use the parking_lot shim \
+                     (non-poisoning, model-checkable)"
+                        .into(),
+                );
+            }
+        }
+
+        if scope.wall_clock
+            && (code_line.contains("Instant::now") || contains_word(code_line, "SystemTime"))
+        {
+            push(
+                violations,
+                idx,
+                RULE_WALL_CLOCK,
+                "raw wall-clock read outside crates/obs — use gpar_obs::Ts \
+                 (Ts::now / Ts::monotonic_now)"
+                    .into(),
+            );
+        }
+
+        // SAFETY / ordering annotations apply to every scoped file.
+        let is_unsafe_site = code_line.contains("unsafe {") || code_line.contains("unsafe impl");
+        if is_unsafe_site && !annotated(&lines, idx, "SAFETY:") {
+            push(
+                violations,
+                idx,
+                RULE_SAFETY,
+                "unsafe block/impl without a `// SAFETY:` justification".into(),
+            );
+        }
+
+        let weak_ordering =
+            ["Ordering::Relaxed", "Ordering::Acquire", "Ordering::Release", "Ordering::AcqRel"]
+                .iter()
+                .any(|o| code_line.contains(o));
+        if weak_ordering
+            && !code_line.trim_start().starts_with("use ")
+            && !annotated(&lines, idx, "ordering:")
+        {
+            push(
+                violations,
+                idx,
+                RULE_ORDERING,
+                "non-SeqCst atomic ordering without a `// ordering:` justification \
+                 (the model checker explores interleavings, not weak memory — \
+                 argue the ordering here)"
+                    .into(),
+            );
+        }
+
+        if scope.hash_iter && !hash_idents.is_empty() {
+            let feeds_collection = code_line.contains("collect")
+                || code_line.contains(".extend(")
+                || code_line.contains("from_iter");
+            if feeds_collection {
+                for ident in &hash_idents {
+                    let hit = [".iter()", ".keys()", ".values()", ".into_iter()", ".drain()"]
+                        .iter()
+                        .any(|acc| code_line.contains(&format!("{ident}{acc}")));
+                    if hit && !annotated(&lines, idx, "det:") {
+                        push(
+                            violations,
+                            idx,
+                            RULE_HASH_ITER,
+                            format!(
+                                "`{ident}` is hash-keyed: its iteration order feeds a \
+                                 collected result — sort it, or justify with `// det:`"
+                            ),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The comment-stripped code portion of a line (tracks string/char
+/// literals so `"//"` inside a string survives).
+fn strip_comment(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_str {
+            if b == b'\\' {
+                i += 1;
+            } else if b == b'"' {
+                in_str = false;
+            }
+        } else if b == b'"' {
+            in_str = true;
+        } else if b == b'\'' {
+            // Char literal like '"' or '\\' — skip its body so a quote
+            // inside does not open a "string". Lifetimes (`'a`, `'static`)
+            // have no closing quote within a token and fall through.
+            if i + 2 < bytes.len()
+                && bytes[i + 1] == b'\\'
+                && bytes[i + 3..].first() == Some(&b'\'')
+            {
+                i += 3;
+            } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                i += 2;
+            }
+        } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            return line[..i].to_string();
+        }
+        i += 1;
+    }
+    line.to_string()
+}
+
+/// Whether `word` appears delimited by non-identifier characters.
+fn contains_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line.as_bytes()[at - 1].is_ascii_alphanumeric() && line.as_bytes()[at - 1] != b'_';
+        let after = at + word.len();
+        let after_ok = after >= line.len()
+            || !line.as_bytes()[after].is_ascii_alphanumeric() && line.as_bytes()[after] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Index of the first line of the conventional trailing test module
+/// (`#[cfg(test)]` + `mod …`), or `lines.len()` if there is none.
+fn cfg_test_tail(lines: &[&str]) -> usize {
+    for (idx, line) in lines.iter().enumerate() {
+        let t = line.trim_start();
+        if t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test") {
+            // Confirm a module (not a single test fn) follows within a
+            // few attribute lines.
+            for follow in lines.iter().skip(idx + 1).take(4) {
+                let f = follow.trim_start();
+                if f.starts_with("mod ") || f.starts_with("pub mod ") {
+                    return idx;
+                }
+                if !f.starts_with("#[") && !f.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    lines.len()
+}
+
+/// Whether line `idx`, an earlier line of the same statement, or the
+/// contiguous comment block above the statement contains `marker`.
+///
+/// A multi-line call like `compare_exchange(a, b, Ordering::…,` puts the
+/// flagged token several lines below the statement head, so the walk
+/// continues upward through continuation lines (ones whose predecessor
+/// does not end a statement) until it crosses a `;`/`{`/`}` boundary.
+fn annotated(lines: &[&str], idx: usize, marker: &str) -> bool {
+    if lines[idx].contains(marker) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") {
+            if t.contains(marker) {
+                return true;
+            }
+        } else if t.starts_with("#[") || t.is_empty() {
+            // Attributes between the comment block and the site are fine.
+            continue;
+        } else {
+            // A code line: if it closes a statement, the comment block
+            // search ends here; otherwise it is a continuation (or the
+            // head) of the flagged statement — keep walking.
+            let code = strip_comment(lines[i]);
+            let tail = code.trim_end();
+            if tail.ends_with(';') || tail.ends_with('{') || tail.ends_with('}') {
+                return false;
+            }
+        }
+    }
+    false
+}
+
+/// Whether line `idx` (or its comment block) carries
+/// `// lint: allow(<rule>)`.
+fn suppressed(lines: &[&str], idx: usize, rule: &str) -> bool {
+    annotated(lines, idx, &format!("lint: allow({rule})"))
+}
+
+/// Identifiers declared with a hash-map/set type in this file (field,
+/// binding, or parameter position) — the receivers the hash-iter rule
+/// watches.
+fn hash_typed_idents(code: &[String]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in code {
+        for ty in ["FxHashMap", "FxHashSet", "HashMap", "HashSet"] {
+            let mut search = 0;
+            while let Some(pos) = line[search..].find(ty) {
+                let at = search + pos;
+                let before = line[..at].trim_end();
+                // `name: FxHashMap<…>` (fields, params, typed lets).
+                if let Some(name) =
+                    before.strip_suffix(':').map(str::trim_end).and_then(ident_suffix)
+                {
+                    idents.push(name);
+                }
+                // `let name = FxHashMap::…`.
+                if line[at..].starts_with(&format!("{ty}::")) {
+                    if let Some(name) =
+                        before.strip_suffix('=').map(str::trim_end).and_then(ident_suffix)
+                    {
+                        idents.push(name);
+                    }
+                }
+                search = at + ty.len();
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// The trailing identifier of `s`, if any (e.g. `let mut seen` → `seen`).
+fn ident_suffix(s: &str) -> Option<String> {
+    let end = s.len();
+    let start = s.rfind(|c: char| !c.is_ascii_alphanumeric() && c != '_').map_or(0, |p| p + 1);
+    if start >= end {
+        return None;
+    }
+    let cand = &s[start..end];
+    if cand.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+        Some(cand.to_string())
+    } else {
+        None
+    }
+}
